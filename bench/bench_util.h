@@ -1,0 +1,130 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary prints the rows/series of one table or figure from the
+// paper's evaluation (Section VII). Defaults are scaled to finish in seconds
+// on a laptop-class machine; env vars rescale:
+//   PPANNS_BENCH_N      base vectors per dataset (default 20000; GIST 4000)
+//   PPANNS_BENCH_Q      query count              (default 50)
+//   PPANNS_BENCH_FULL=1 paper-scale parameters (n=1M, m=40, efc=600) — hours.
+
+#ifndef PPANNS_BENCH_BENCH_UTIL_H_
+#define PPANNS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cloud_server.h"
+#include "core/data_owner.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+#include "eval/runner.h"
+#include "index/brute_force.h"
+
+namespace ppanns::bench {
+
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline bool FullScale() { return EnvSize("PPANNS_BENCH_FULL", 0) != 0; }
+
+/// Scaled-down defaults; GIST (d=960) gets a smaller base set.
+inline std::size_t DefaultN(SyntheticKind kind) {
+  const std::size_t base = FullScale() ? 1'000'000 : 20'000;
+  const std::size_t n = EnvSize("PPANNS_BENCH_N", base);
+  return (kind == SyntheticKind::kGistLike && !FullScale()) ? n / 5 : n;
+}
+
+inline std::size_t DefaultQ() {
+  return EnvSize("PPANNS_BENCH_Q", FullScale() ? 1000 : 50);
+}
+
+inline HnswParams DefaultHnsw(std::uint64_t seed) {
+  // Paper setup: m=40, efConstruction=600 (Section VII-A); scaled default
+  // keeps build times in seconds.
+  if (FullScale()) return HnswParams{.m = 40, .ef_construction = 600, .seed = seed};
+  return HnswParams{.m = 16, .ef_construction = 200, .seed = seed};
+}
+
+/// Mean distance to the k-th nearest neighbor over a query sample — the
+/// scale against which the SAP noise bound beta is meaningful.
+inline double MeanKnnDistance(const Dataset& ds, std::size_t k) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& gt : ds.ground_truth) {
+    if (gt.size() >= k) {
+      sum += std::sqrt(static_cast<double>(gt[k - 1].distance));
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 1.0;
+}
+
+/// beta tuned like the paper (Section VII-A): large enough to blur exact
+/// neighborhoods (filter-only recall around ~0.5 at k'=k), small enough for
+/// the refine phase to recover accuracy. `fraction` of the k-NN distance.
+inline double ChooseBeta(const Dataset& ds, std::size_t k, double fraction) {
+  return fraction * MeanKnnDistance(ds, k);
+}
+
+struct BenchSystem {
+  Dataset dataset;
+  DatasetStats stats;
+  double beta = 0.0;
+  std::unique_ptr<DataOwner> owner;
+  std::unique_ptr<CloudServer> server;
+  std::vector<QueryToken> tokens;
+};
+
+/// Builds the full PP-ANNS stack over one dataset kind. `beta_fraction` = 0
+/// picks the default 0.5 * d(k-NN).
+inline BenchSystem BuildSystem(SyntheticKind kind, std::size_t n,
+                               std::size_t nq, std::size_t gt_k,
+                               std::uint64_t seed, double beta_fraction = 0.5) {
+  BenchSystem sys;
+  sys.dataset = MakeOrLoadDataset(kind, n, nq, gt_k, seed);
+  Rng stat_rng(seed + 17);
+  sys.stats = ComputeStats(sys.dataset.base, stat_rng);
+  sys.beta = ChooseBeta(sys.dataset, gt_k, beta_fraction);
+
+  PpannsParams params;
+  params.dcpe_beta = sys.beta;
+  params.dce_scale_hint = std::max(sys.stats.mean_norm, 1e-3);
+  params.hnsw = DefaultHnsw(seed);
+  params.seed = seed;
+
+  auto owner = DataOwner::Create(sys.dataset.base.dim(), params);
+  PPANNS_CHECK(owner.ok());
+  sys.owner = std::make_unique<DataOwner>(std::move(*owner));
+  sys.server =
+      std::make_unique<CloudServer>(sys.owner->EncryptAndIndex(sys.dataset.base));
+  QueryClient client(sys.owner->ShareKeys(), seed + 23);
+  sys.tokens = EncryptQueries(client, sys.dataset.queries);
+  return sys;
+}
+
+inline const std::vector<SyntheticKind>& AllKinds() {
+  static const std::vector<SyntheticKind> kinds = {
+      SyntheticKind::kSiftLike, SyntheticKind::kGistLike,
+      SyntheticKind::kGloveLike, SyntheticKind::kDeepLike};
+  return kinds;
+}
+
+inline void PrintBanner(const char* title, const char* paper_ref) {
+  std::printf("=================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: %s (PPANNS_BENCH_N=%zu, PPANNS_BENCH_Q=%zu)\n",
+              FullScale() ? "FULL (paper)" : "scaled-down",
+              EnvSize("PPANNS_BENCH_N", 0), EnvSize("PPANNS_BENCH_Q", 0));
+  std::printf("=================================================================\n");
+}
+
+}  // namespace ppanns::bench
+
+#endif  // PPANNS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,40 @@
+// Fig. 10: scalability — per-query latency at fixed accuracy as the
+// database grows. The paper samples Sift1B/Deep1B at 25/50/75/100M; we
+// sweep four sizes in the same 1:2:3:4 ratio (default 20k..80k, paper scale
+// via PPANNS_BENCH_FULL / PPANNS_BENCH_N). The claim under reproduction:
+// latency grows sublinearly in n.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ppanns;
+  using namespace ppanns::bench;
+
+  PrintBanner("Fig. 10: scalability with database size",
+              "Figure 10 (Section VII-C), SIFT-like and Deep-like samples");
+
+  const std::size_t k = 10;
+  const std::size_t base = EnvSize("PPANNS_BENCH_N", FullScale() ? 25'000'000 : 10'000);
+  const std::vector<std::size_t> sizes = {base, 2 * base, 3 * base, 4 * base};
+
+  std::printf("%s\n", FormatHeader().c_str());
+  for (SyntheticKind kind : {SyntheticKind::kSiftLike, SyntheticKind::kDeepLike}) {
+    double first_latency = 0.0;
+    for (std::size_t n : sizes) {
+      BenchSystem sys = BuildSystem(kind, n, DefaultQ(), k, /*seed=*/707);
+      SearchSettings settings{.k_prime = 16 * k, .ef_search = 200};
+      OperatingPoint p = MeasureServer(*sys.server, sys.tokens,
+                                       sys.dataset.ground_truth, k, settings);
+      char param[32];
+      std::snprintf(param, sizeof(param), "n=%zu", n);
+      std::printf("%s\n", FormatRow(sys.dataset.name, param, p).c_str());
+      if (first_latency == 0.0) first_latency = p.mean_latency_ms;
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape (paper): latency grows sublinearly — 4x data "
+              "should cost well under 4x latency (graph search is ~log n).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 8: per-vector encryption cost of DCPE vs DCE vs AME at each
+// dataset's dimensionality. The paper's ordering: DCPE << DCE << AME.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "crypto/ame.h"
+
+int main() {
+  using namespace ppanns;
+  using namespace ppanns::bench;
+
+  PrintBanner("Fig. 8: vector encryption cost (us/vector)",
+              "Figure 8 (Section VII-B)");
+
+  const std::size_t batch = EnvSize("PPANNS_BENCH_ENC_BATCH", 200);
+  std::printf("%-12s %6s %14s %14s %14s\n", "dataset", "dim", "DCPE_us",
+              "DCE_us", "AME_us");
+
+  for (SyntheticKind kind : AllKinds()) {
+    const std::size_t dim = PaperDim(kind);
+    Rng rng(505);
+    FloatMatrix data = GenerateSynthetic(kind, batch, dim, rng);
+    Rng stat_rng(506);
+    const DatasetStats stats = ComputeStats(data, stat_rng, 100);
+    const double scale = std::max(stats.mean_norm, 1e-3);
+
+    auto dcpe = DcpeScheme::Create(dim, 1024.0, stats.max_abs_coord * 0.1);
+    auto dce = DceScheme::KeyGen(dim, rng, scale);
+    auto ame = AmeScheme::KeyGen(dim, rng, scale);
+    PPANNS_CHECK(dcpe.ok() && dce.ok() && ame.ok());
+
+    // Warm caches / CPU clocks before each timed loop.
+    std::vector<float> sap_out(dim);
+    for (std::size_t i = 0; i < std::min<std::size_t>(batch, 50); ++i) {
+      dcpe->Encrypt(data.row(i), sap_out.data(), rng);
+      DceCiphertext warm = dce->Encrypt(data.row(i), rng);
+      if (warm.data.empty()) return 1;
+    }
+
+    Timer t_dcpe;
+    for (std::size_t i = 0; i < batch; ++i) {
+      dcpe->Encrypt(data.row(i), sap_out.data(), rng);
+    }
+    const double us_dcpe = t_dcpe.ElapsedMicros() / batch;
+
+    Timer t_dce;
+    for (std::size_t i = 0; i < batch; ++i) {
+      DceCiphertext c = dce->Encrypt(data.row(i), rng);
+      if (c.data.empty()) return 1;  // keep the work observable
+    }
+    const double us_dce = t_dce.ElapsedMicros() / batch;
+
+    // AME is ~2 orders heavier: amortize over fewer vectors.
+    const std::size_t ame_batch = std::max<std::size_t>(batch / 20, 5);
+    Timer t_ame;
+    for (std::size_t i = 0; i < ame_batch; ++i) {
+      AmeCiphertext c = ame->Encrypt(data.row(i), rng);
+      if (c.rows.rows() == 0) return 1;
+    }
+    const double us_ame = t_ame.ElapsedMicros() / ame_batch;
+
+    std::printf("%-12s %6zu %14.2f %14.2f %14.2f\n", PaperName(kind).c_str(),
+                dim, us_dcpe, us_dce, us_ame);
+  }
+  std::printf("\nexpected shape (paper): DCPE cheapest (O(d) noise), DCE in "
+              "the middle (O(d^2) projections), AME costliest (32 matrix "
+              "products at (2d+6)^2).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the secure-distance-comparison
+// primitives of Sections III/IV: plaintext distance vs DCPE distance vs one
+// DCE comparison (4d+32 MACs) vs one AME comparison (64d^2+... MACs), plus
+// encryption and trapdoor generation costs. These are the per-op numbers
+// behind Fig. 6 / Fig. 8.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/ame.h"
+#include "crypto/dce.h"
+#include "crypto/dcpe.h"
+
+namespace ppanns {
+namespace {
+
+std::vector<float> RandomFloats(std::size_t d, Rng& rng) {
+  std::vector<float> v(d);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
+  return v;
+}
+
+void BM_PlaintextDistance(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(1);
+  const auto a = RandomFloats(d, rng), b = RandomFloats(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(a.data(), b.data(), d));
+  }
+}
+BENCHMARK(BM_PlaintextDistance)->Arg(96)->Arg(128)->Arg(960);
+
+void BM_DcpeDistance(benchmark::State& state) {
+  // Same cost as plaintext (the paper's point about the filter phase).
+  const std::size_t d = state.range(0);
+  Rng rng(2);
+  auto scheme = DcpeScheme::Create(d, 1024.0, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  auto a = RandomFloats(d, rng), b = RandomFloats(d, rng);
+  std::vector<float> ca(d), cb(d);
+  scheme->Encrypt(a.data(), ca.data(), rng);
+  scheme->Encrypt(b.data(), cb.data(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(ca.data(), cb.data(), d));
+  }
+}
+BENCHMARK(BM_DcpeDistance)->Arg(96)->Arg(128)->Arg(960);
+
+void BM_DceComparison(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(3);
+  auto scheme = DceScheme::KeyGen(d, rng, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  const auto o = RandomFloats(d, rng), p = RandomFloats(d, rng),
+             q = RandomFloats(d, rng);
+  const DceCiphertext co = scheme->Encrypt(o.data(), rng);
+  const DceCiphertext cp = scheme->Encrypt(p.data(), rng);
+  const DceTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DceScheme::DistanceComp(co, cp, tq));
+  }
+}
+BENCHMARK(BM_DceComparison)->Arg(96)->Arg(128)->Arg(960);
+
+void BM_AmeComparison(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(4);
+  auto scheme = AmeScheme::KeyGen(d, rng, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  const auto o = RandomFloats(d, rng), p = RandomFloats(d, rng),
+             q = RandomFloats(d, rng);
+  const AmeCiphertext co = scheme->Encrypt(o.data(), rng);
+  const AmeCiphertext cp = scheme->Encrypt(p.data(), rng);
+  const AmeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AmeScheme::DistanceComp(co, cp, tq));
+  }
+}
+BENCHMARK(BM_AmeComparison)->Arg(96)->Arg(128);
+
+void BM_DceEncrypt(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(5);
+  auto scheme = DceScheme::KeyGen(d, rng, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  const auto p = RandomFloats(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->Encrypt(p.data(), rng));
+  }
+}
+BENCHMARK(BM_DceEncrypt)->Arg(96)->Arg(128);
+
+void BM_DceTrapdoor(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(6);
+  auto scheme = DceScheme::KeyGen(d, rng, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  const auto q = RandomFloats(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->GenTrapdoor(q.data(), rng));
+  }
+}
+BENCHMARK(BM_DceTrapdoor)->Arg(96)->Arg(128);
+
+void BM_DcpeEncrypt(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  Rng rng(7);
+  auto scheme = DcpeScheme::Create(d, 1024.0, 1.0);
+  PPANNS_CHECK(scheme.ok());
+  const auto p = RandomFloats(d, rng);
+  std::vector<float> out(d);
+  for (auto _ : state) {
+    scheme->Encrypt(p.data(), out.data(), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DcpeEncrypt)->Arg(96)->Arg(128);
+
+}  // namespace
+}  // namespace ppanns
+
+BENCHMARK_MAIN();

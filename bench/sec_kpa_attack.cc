@@ -1,0 +1,96 @@
+// Security demonstration (Section III-A): end-to-end KPA against every
+// "enhanced" ASPE variant — the motivation for DCE. Prints, per variant,
+// the number of leaked pairs used and the plaintext recovery error.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "crypto/aspe.h"
+#include "crypto/kpa_attack.h"
+#include "linalg/matrix.h"
+
+int main() {
+  using namespace ppanns;
+  using namespace ppanns::bench;
+
+  PrintBanner("Section III-A: KPA against ASPE variants",
+              "Theorem 1, Corollaries 1-2, Theorem 2");
+
+  const std::size_t d = EnvSize("PPANNS_BENCH_KPA_DIM", 16);
+  Rng rng(909);
+
+  std::printf("%-14s %10s %14s %16s %12s\n", "variant", "leaks",
+              "query_err", "database_err", "attack_ms");
+  struct VariantCase {
+    AspeVariant variant;
+    const char* name;
+    std::size_t dim;
+  };
+  for (const VariantCase vc :
+       {VariantCase{AspeVariant::kLinear, "linear", d},
+        VariantCase{AspeVariant::kExponential, "exponential", d},
+        VariantCase{AspeVariant::kLogarithmic, "logarithmic", d},
+        VariantCase{AspeVariant::kSquare, "square", std::min<std::size_t>(d, 8)}}) {
+    auto scheme = AspeScheme::KeyGen(vc.dim, vc.variant, rng, 1.0);
+    PPANNS_CHECK(scheme.ok());
+    AspeKpaAttack attack(*scheme);
+    const std::size_t m = attack.RequiredLeaks();
+
+    // Leaked plaintext subset.
+    Matrix leaked(m, vc.dim);
+    std::vector<std::vector<double>> leaked_rows;
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<double> p(vc.dim);
+      for (auto& v : p) v = rng.Uniform(-1, 1);
+      std::copy(p.begin(), p.end(), leaked.row(i));
+      leaked_rows.push_back(std::move(p));
+    }
+
+    Timer timer;
+
+    // Stage 1: recover m queries (with their blinding scalars).
+    std::vector<RecoveredQuery> queries;
+    std::vector<AspeTrapdoor> trapdoors;
+    double query_err = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      std::vector<double> q(vc.dim);
+      for (auto& v : q) v = rng.Uniform(-1, 1);
+      AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+      std::vector<double> leakage(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        leakage[i] = scheme->Leakage(scheme->Encrypt(leaked_rows[i].data()), tq);
+      }
+      auto rec = attack.RecoverQuery(leaked, leakage);
+      PPANNS_CHECK(rec.ok());
+      for (std::size_t i = 0; i < vc.dim; ++i) {
+        query_err = std::max(query_err, std::fabs(rec->q[i] - q[i]));
+      }
+      queries.push_back(std::move(*rec));
+      trapdoors.push_back(std::move(tq));
+    }
+
+    // Stage 2: recover an unseen database vector.
+    std::vector<double> target(vc.dim);
+    for (auto& v : target) v = rng.Uniform(-1, 1);
+    const AspeCiphertext ct = scheme->Encrypt(target.data());
+    std::vector<double> target_leakage(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      target_leakage[j] = scheme->Leakage(ct, trapdoors[j]);
+    }
+    auto rec_p = attack.RecoverDataVector(queries, target_leakage);
+    PPANNS_CHECK(rec_p.ok());
+    double db_err = 0.0;
+    for (std::size_t i = 0; i < vc.dim; ++i) {
+      db_err = std::max(db_err, std::fabs((*rec_p)[i] - target[i]));
+    }
+
+    std::printf("%-14s %10zu %14.2e %16.2e %12.2f\n", vc.name, m, query_err,
+                db_err, timer.ElapsedMillis());
+  }
+  std::printf("\nexpected shape (paper): every variant broken — recovery "
+              "error at numerical noise level. This is why the scheme needs "
+              "DCE (comparison-only leakage) instead of ASPE.\n");
+  return 0;
+}

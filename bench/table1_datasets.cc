@@ -1,0 +1,38 @@
+// Table I: statistics of the evaluation datasets. Prints the same columns
+// the paper reports (#dimensions, #vectors, #queries) for the four datasets
+// (real files when present under data/, synthetic stand-ins otherwise),
+// plus the derived quantities the scheme's keys depend on (M, mean norm).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ppanns;
+  using namespace ppanns::bench;
+
+  PrintBanner("Table I: statistics of datasets",
+              "Table I (Section VII), plus key-tuning statistics");
+
+  std::printf("%-12s %12s %10s %10s %12s %12s %12s\n", "dataset", "#dims",
+              "#vectors", "#queries", "max|coord|", "mean||p||", "beta_range");
+  for (SyntheticKind kind : AllKinds()) {
+    const std::size_t n = DefaultN(kind);
+    const std::size_t nq = DefaultQ();
+    Dataset ds = MakeOrLoadDataset(kind, n, nq, /*gt_k=*/0, /*seed=*/7);
+    Rng rng(11);
+    const DatasetStats stats = ComputeStats(ds.base, rng);
+    char range[64];
+    std::snprintf(range, sizeof(range), "[%.1f,%.0f]",
+                  DcpeScheme::MinBeta(stats.max_abs_coord),
+                  DcpeScheme::MaxBeta(stats.max_abs_coord, stats.dim));
+    std::printf("%-12s %12zu %10zu %10zu %12.2f %12.2f %12s\n",
+                ds.name.c_str(), stats.dim, stats.n, ds.queries.size(),
+                stats.max_abs_coord, stats.mean_norm, range);
+  }
+  std::printf("\nPaper-scale counts (Table I): Sift1M/Gist/Deep1M = 1,000,000 "
+              "vectors; Glove = 1,183,514;\nqueries = 10,000 (1,000 for Gist). "
+              "Set PPANNS_BENCH_FULL=1 PPANNS_BENCH_N=1000000 to regenerate "
+              "at full scale.\n");
+  return 0;
+}

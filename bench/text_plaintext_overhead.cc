@@ -1,0 +1,80 @@
+// In-text claim (Section VII-B, last paragraph): at Recall@10 = 0.9 the
+// PP-ANNS scheme costs 5x / 7x / 3x / 4x a plaintext HNSW search on
+// Sift1M / Gist / Glove / Deep1M. This bench regenerates that comparison:
+// plaintext HNSW vs our encrypted filter+refine at matched recall.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace ppanns;
+  using namespace ppanns::bench;
+
+  PrintBanner("In-text: overhead vs plaintext HNSW at Recall@10 ~= 0.9",
+              "Section VII-B closing comparison (5x/7x/3x/4x)");
+
+  const std::size_t k = 10;
+  const double target = 0.88;  // matched operating point
+
+  std::printf("%-14s %12s %14s %14s %10s\n", "dataset", "recall",
+              "plain_ms", "ppanns_ms", "overhead");
+  for (SyntheticKind kind : AllKinds()) {
+    const std::size_t n = DefaultN(kind);
+    BenchSystem sys = BuildSystem(kind, n, DefaultQ(), k, /*seed=*/808);
+    const Dataset& ds = sys.dataset;
+
+    // Plaintext HNSW (same graph parameters, raw vectors).
+    HnswIndex plain(ds.base.dim(), DefaultHnsw(808));
+    plain.AddBatch(ds.base);
+
+    // Find the cheapest plaintext ef reaching the target.
+    double plain_ms = -1.0, plain_recall = 0.0;
+    for (std::size_t ef : {20u, 40u, 80u, 160u, 320u, 640u}) {
+      std::vector<std::vector<VectorId>> results;
+      Timer t;
+      for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+        auto res = plain.Search(ds.queries.row(i), k, ef);
+        std::vector<VectorId> ids;
+        for (const auto& r : res) ids.push_back(r.id);
+        results.push_back(std::move(ids));
+      }
+      const double ms = t.ElapsedMillis() / ds.queries.size();
+      plain_recall = MeanRecallAtK(results, ds.ground_truth, k);
+      if (plain_recall >= target) {
+        plain_ms = ms;
+        break;
+      }
+    }
+
+    // Cheapest encrypted operating point reaching the target.
+    double enc_ms = -1.0, enc_recall = 0.0;
+    for (std::size_t ratio : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      SearchSettings settings{
+          .k_prime = ratio * k,
+          .ef_search = std::max<std::size_t>(ratio * k, 64)};
+      OperatingPoint p = MeasureServer(*sys.server, sys.tokens,
+                                       ds.ground_truth, k, settings);
+      enc_recall = p.recall;
+      if (p.recall >= target) {
+        enc_ms = p.mean_latency_ms;
+        break;
+      }
+    }
+
+    if (plain_ms < 0 || enc_ms < 0) {
+      std::printf("%-14s target not reached (plain %.3f, enc %.3f)\n",
+                  ds.name.c_str(), plain_recall, enc_recall);
+      continue;
+    }
+    std::printf("%-14s %12.4f %14.4f %14.4f %9.2fx\n", ds.name.c_str(),
+                enc_recall, plain_ms, enc_ms, enc_ms / plain_ms);
+  }
+  std::printf("\nexpected shape (paper): overhead of roughly 3x-7x — "
+              "encrypted search pays the DCPE-noise recall penalty (larger "
+              "k', ef) plus the DCE refine, but stays within one order of "
+              "magnitude of plaintext HNSW.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Why DCE? — a live demonstration of Section III: the "enhanced" ASPE
+// schemes leak transformed distances, and a known-plaintext attacker who
+// obtains a few plaintexts recovers EVERY query and database vector. DCE
+// leaks only comparison signs, which defeats the same attack shape.
+//
+// Build & run:  ./build/examples/kpa_attack_demo
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crypto/aspe.h"
+#include "crypto/dce.h"
+#include "crypto/kpa_attack.h"
+#include "linalg/matrix.h"
+
+using namespace ppanns;
+
+int main() {
+  const std::size_t d = 8;
+  Rng rng(1337);
+
+  // The victim's secret: a query vector (e.g. a user's biometric template).
+  std::vector<double> secret_query(d);
+  for (auto& v : secret_query) v = rng.Uniform(-1, 1);
+
+  std::printf("victim query: ");
+  for (double v : secret_query) std::printf("%+.3f ", v);
+  std::printf("\n\n");
+
+  // ---- Part 1: ASPE with exponential distance transformation.
+  auto aspe = AspeScheme::KeyGen(d, AspeVariant::kExponential, rng, 1.0);
+  if (!aspe.ok()) return 1;
+  AspeKpaAttack attack(*aspe);
+  const std::size_t m = attack.RequiredLeaks();
+  std::printf("[ASPE-exp] attacker leaks %zu plaintexts (of millions) and "
+              "observes the per-candidate scores...\n", m);
+
+  Matrix leaked(m, d);
+  std::vector<double> leakage(m);
+  const AspeTrapdoor tq = aspe->GenTrapdoor(secret_query.data(), rng);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> p(d);
+    for (auto& v : p) v = rng.Uniform(-1, 1);
+    std::copy(p.begin(), p.end(), leaked.row(i));
+    leakage[i] = aspe->Leakage(aspe->Encrypt(p.data()), tq);
+  }
+  auto recovered = attack.RecoverQuery(leaked, leakage);
+  if (!recovered.ok()) return 1;
+
+  double err = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    err = std::max(err, std::fabs(recovered->q[i] - secret_query[i]));
+  }
+  std::printf("[ASPE-exp] recovered:  ");
+  for (double v : recovered->q) std::printf("%+.3f ", v);
+  std::printf("\n[ASPE-exp] max error %.1e -> query FULLY RECOVERED "
+              "(Corollary 1)\n\n", err);
+
+  // ---- Part 2: the same observation surface under DCE.
+  auto dce = DceScheme::KeyGen(d, rng, 1.0);
+  if (!dce.ok()) return 1;
+  const DceTrapdoor dce_tq = dce->GenTrapdoor(secret_query.data(), rng);
+
+  std::printf("[DCE] the server's entire view of a candidate pair is one "
+              "blinded sign:\n");
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> o(d), p(d);
+    for (auto& v : o) v = rng.Uniform(-1, 1);
+    for (auto& v : p) v = rng.Uniform(-1, 1);
+    const DceCiphertext co = dce->Encrypt(o.data(), rng);
+    const DceCiphertext cp = dce->Encrypt(p.data(), rng);
+    const double z = DceScheme::DistanceComp(co, cp, dce_tq);
+    std::printf("  Z = %+.4e  -> \"%s\"  (magnitude blinded by r_o r_p r_q)\n",
+                z, z < 0 ? "o closer" : "p closer");
+  }
+  std::printf("\n[DCE] the Theorem-1 attack needs distance *values* to build "
+              "linear equations;\ncomparison signs admit no such system — "
+              "the scheme is IND-KPA secure with\nleakage limited to "
+              "comparison results (Theorem 4).\n");
+  return 0;
+}

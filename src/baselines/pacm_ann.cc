@@ -1,0 +1,64 @@
+#include "baselines/pacm_ann.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace ppanns {
+
+PacmAnnSystem::PacmAnnSystem(std::unique_ptr<HnswIndex> index,
+                             PacmAnnParams params, std::size_t n)
+    : index_(std::move(index)),
+      params_(params),
+      dim_(index_->dim()),
+      pir_workload_(
+          static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) * 16 + 16,
+          1.0f) {}
+
+Result<PacmAnnSystem> PacmAnnSystem::Build(const FloatMatrix& data,
+                                           PacmAnnParams params) {
+  if (data.empty()) return Status::InvalidArgument("PACM-ANN: empty database");
+  auto index = std::make_unique<HnswIndex>(data.dim(), params.hnsw);
+  index->AddBatch(data);
+  return PacmAnnSystem(std::move(index), params, data.size());
+}
+
+float PacmAnnSystem::PirServerScan() const {
+  float acc = 0.0f;
+  for (const float v : pir_workload_) acc += v * 1.000001f;
+  return acc;
+}
+
+PacmAnnSystem::QueryOutcome PacmAnnSystem::Search(const float* q,
+                                                  std::size_t k) const {
+  QueryOutcome out;
+
+  // --- User: drives the graph walk. The walk itself is the user's compute
+  // (distance evaluations on fetched vectors).
+  Timer user_timer;
+  std::size_t visited = 0;
+  const std::vector<Neighbor> result =
+      index_->Search(q, k, params_.ef_search, &visited);
+  out.cost.user_seconds = user_timer.ElapsedSeconds();
+  out.ids.reserve(result.size());
+  for (const Neighbor& n : result) out.ids.push_back(n.id);
+
+  // --- Server: one sublinear PIR evaluation per fetched node.
+  Timer server_timer;
+  float sink = 0.0f;
+  for (std::size_t i = 0; i < visited; ++i) sink += PirServerScan();
+  out.cost.server_seconds = server_timer.ElapsedSeconds();
+  if (sink == -1.0f) out.cost.server_seconds += 1.0;
+
+  // --- Communication: every fetched node ships its vector + adjacency list
+  // (PIR-expanded); fetches are batched into interactive rounds.
+  const std::size_t node_bytes =
+      dim_ * sizeof(float) + params_.hnsw.max_m0() * sizeof(VectorId);
+  out.cost.comm_bytes = static_cast<std::size_t>(
+      static_cast<double>(visited * node_bytes) * params_.pir_expansion);
+  out.cost.comm_rounds =
+      (visited + params_.fetch_batch - 1) / params_.fetch_batch;
+  return out;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,75 @@
+#include "baselines/rs_sann.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace ppanns {
+
+Result<RsSannSystem> RsSannSystem::Build(const FloatMatrix& data,
+                                         RsSannParams params) {
+  if (data.empty()) return Status::InvalidArgument("RS-SANN: empty database");
+  Rng rng(params.seed);
+
+  // Owner: derive the AES key, encrypt every vector, build the LSH index.
+  std::array<std::uint8_t, Aes128::kKeySize> key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  Aes128 aes(key);
+
+  auto lsh = std::make_unique<LshIndex>(data.dim(), params.lsh, rng);
+  lsh->AddBatch(data);
+
+  std::vector<std::vector<std::uint8_t>> blobs;
+  blobs.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    blobs.push_back(aes.EncryptFloats(/*nonce=*/i, data.row(i), data.dim()));
+  }
+  return RsSannSystem(std::move(lsh), aes, std::move(blobs), params, data.dim());
+}
+
+RsSannSystem::QueryOutcome RsSannSystem::Search(
+    const float* q, std::size_t k, std::size_t probes_override) const {
+  QueryOutcome out;
+  const std::size_t probes = probes_override != static_cast<std::size_t>(-1)
+                                 ? probes_override
+                                 : params_.probes_per_table;
+
+  // --- Server: LSH bucket lookup -> candidate ids; gather their blobs.
+  Timer server_timer;
+  const std::vector<VectorId> candidates = lsh_->Candidates(q, probes);
+  std::size_t blob_bytes = 0;
+  for (VectorId id : candidates) blob_bytes += blobs_[id].size();
+  out.cost.server_seconds = server_timer.ElapsedSeconds();
+
+  // --- Communication: query hashes up, candidate blobs + ids down; one
+  // synchronous round.
+  out.cost.comm_rounds = 1;
+  out.cost.comm_bytes = params_.lsh.num_tables * params_.lsh.num_hashes * 8 +
+                        blob_bytes + candidates.size() * sizeof(VectorId);
+
+  // --- User: decrypt candidates and rank exactly (the refine phase happens
+  // client-side; this is RS-SANN's structural cost).
+  Timer user_timer;
+  std::vector<float> plain(dim_);
+  std::priority_queue<Neighbor> heap;
+  for (VectorId id : candidates) {
+    aes_.DecryptFloats(id, blobs_[id], plain.data(), dim_);
+    const float dist = SquaredL2(plain.data(), q, dim_);
+    if (heap.size() < k) {
+      heap.push(Neighbor{id, dist});
+    } else if (dist < heap.top().distance) {
+      heap.pop();
+      heap.push(Neighbor{id, dist});
+    }
+  }
+  out.ids.resize(heap.size());
+  for (std::size_t i = heap.size(); i > 0; --i) {
+    out.ids[i - 1] = heap.top().id;
+    heap.pop();
+  }
+  out.cost.user_seconds = user_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,425 @@
+#include "common/bigint.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr std::uint64_t kLimbMax = ~0ull;
+
+// Small primes for the pre-sieve in prime generation.
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37,  41,  43,  47,  53,
+    59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  std::uint64_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::Bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sum = u128(i < limbs_.size() ? limbs_[i] : 0) +
+                     (i < other.limbs_.size() ? other.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  PPANNS_CHECK(Compare(other) >= 0);
+  BigUint out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t rhs = (i < other.limbs_.size() ? other.limbs_[i] : 0);
+    const u128 lhs = u128(limbs_[i]);
+    const u128 need = u128(rhs) + borrow;
+    if (lhs >= need) {
+      out.limbs_[i] = static_cast<std::uint64_t>(lhs - need);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<std::uint64_t>((u128(1) << 64) + lhs - need);
+      borrow = 1;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::Mul(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    if (a == 0) continue;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur = u128(a) * other.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      const u128 cur = u128(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::ShiftLeft(std::size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::ShiftRight(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+void BigUint::Divide(const BigUint& divisor, BigUint* quotient,
+                     BigUint* remainder) const {
+  PPANNS_CHECK(!divisor.IsZero());
+  if (Compare(divisor) < 0) {
+    if (quotient != nullptr) *quotient = BigUint();
+    if (remainder != nullptr) *remainder = *this;
+    return;
+  }
+  // Single-limb divisor: straight division.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    BigUint q;
+    q.limbs_.assign(limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = limbs_.size(); i > 0; --i) {
+      const u128 cur = (rem << 64) | limbs_[i - 1];
+      q.limbs_[i - 1] = static_cast<std::uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    if (quotient != nullptr) *quotient = std::move(q);
+    if (remainder != nullptr) {
+      *remainder = BigUint(static_cast<std::uint64_t>(rem));
+    }
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top bit is set.
+  int shift = 0;
+  {
+    std::uint64_t top = divisor.limbs_.back();
+    while ((top & (1ull << 63)) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigUint u_norm = ShiftLeft(shift);
+  const BigUint v_norm = divisor.ShiftLeft(shift);
+  const std::size_t n = v_norm.limbs_.size();
+  std::vector<std::uint64_t> u = u_norm.limbs_;
+  u.resize(std::max(u.size(), n) + 1, 0);  // u[m+n] slot
+  const std::size_t m = u.size() - n - 1;
+  const std::vector<std::uint64_t>& v = v_norm.limbs_;
+
+  BigUint q_out;
+  q_out.limbs_.assign(m + 1, 0);
+  for (std::size_t jj = m + 1; jj > 0; --jj) {
+    const std::size_t j = jj - 1;
+    // Estimate qhat from the top two dividend limbs and top divisor limb.
+    const u128 num = (u128(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = num / v[n - 1];
+    u128 rhat = num % v[n - 1];
+    while (qhat > kLimbMax ||
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat > kLimbMax) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u128 borrow = 0, carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 prod = qhat * v[i] + carry;
+      carry = prod >> 64;
+      const std::uint64_t plo = static_cast<std::uint64_t>(prod);
+      const u128 sub = u128(u[j + i]) - plo - borrow;
+      u[j + i] = static_cast<std::uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;  // wrapped => borrow
+    }
+    const u128 sub = u128(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<std::uint64_t>(sub);
+    const bool negative = (sub >> 64) != 0;
+
+    if (negative) {
+      // qhat was one too large: add v back once.
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = u128(u[j + i]) + v[i] + c;
+        u[j + i] = static_cast<std::uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u[j + n] = static_cast<std::uint64_t>(u128(u[j + n]) + c);
+    }
+    q_out.limbs_[j] = static_cast<std::uint64_t>(qhat);
+  }
+  q_out.Normalize();
+  if (quotient != nullptr) *quotient = std::move(q_out);
+
+  if (remainder != nullptr) {
+    BigUint rem;
+    rem.limbs_.assign(u.begin(), u.begin() + n);
+    rem.Normalize();
+    *remainder = rem.ShiftRight(shift);
+  }
+}
+
+BigUint BigUint::MulMod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return a.Mul(b).Mod(m);
+}
+
+BigUint BigUint::PowMod(const BigUint& base, const BigUint& exp,
+                        const BigUint& m) {
+  PPANNS_CHECK(!m.IsZero());
+  BigUint result(1);
+  result = result.Mod(m);
+  BigUint b = base.Mod(m);
+  const std::size_t bits = exp.BitLength();
+  for (std::size_t i = bits; i > 0; --i) {
+    result = MulMod(result, result, m);
+    if (exp.Bit(i - 1)) result = MulMod(result, b, m);
+  }
+  return result;
+}
+
+BigUint BigUint::Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = a.Mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigUint BigUint::InverseMod(const BigUint& a, const BigUint& m) {
+  // Extended Euclid with coefficients tracked modulo m (signed via flag).
+  BigUint old_r = a.Mod(m), r = m;
+  BigUint old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+
+  while (!r.IsZero()) {
+    BigUint q, rem;
+    old_r.Divide(r, &q, &rem);
+    // (old_r, r) <- (r, old_r - q*r)
+    old_r = r;
+    r = std::move(rem);
+    // (old_s, s) <- (s, old_s - q*s) with sign bookkeeping.
+    BigUint qs = q.Mul(s);
+    BigUint new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s - q*s where both share sign: magnitude subtraction.
+      if (old_s.Compare(qs) >= 0) {
+        new_s = old_s.Sub(qs);
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs.Sub(old_s);
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s.Add(qs);
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (!(old_r == BigUint(1))) return BigUint();  // not invertible
+  BigUint inv = old_s.Mod(m);
+  if (old_s_neg && !inv.IsZero()) inv = m.Sub(inv);
+  return inv;
+}
+
+bool BigUint::IsProbablePrime(const BigUint& n, Rng& rng, int rounds) {
+  if (n.BitLength() <= 1) return false;  // 0, 1
+  if (n == BigUint(2) || n == BigUint(3)) return true;
+  if (!n.IsOdd()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if (n.Mod(bp).IsZero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  const BigUint n_minus_1 = n.Sub(BigUint(1));
+  BigUint d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Witness in [2, n-2].
+    BigUint a = RandomBelow(n.Sub(BigUint(3)), rng).Add(BigUint(2));
+    BigUint x = PowMod(a, d, n);
+    if (x == BigUint(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::Random(std::size_t bits, Rng& rng) {
+  BigUint out;
+  if (bits == 0) return out;
+  const std::size_t limbs = (bits + 63) / 64;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = rng.NextUint64();
+  const std::size_t excess = limbs * 64 - bits;
+  if (excess != 0) out.limbs_.back() >>= excess;
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::RandomBelow(const BigUint& bound, Rng& rng) {
+  PPANNS_CHECK(!bound.IsZero());
+  const std::size_t bits = bound.BitLength();
+  for (;;) {
+    BigUint candidate = Random(bits, rng);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigUint BigUint::RandomPrime(std::size_t bits, Rng& rng, int mr_rounds) {
+  PPANNS_CHECK(bits >= 8);
+  for (;;) {
+    BigUint candidate = Random(bits, rng);
+    // Force exact bit length and oddness.
+    candidate.limbs_.resize((bits + 63) / 64, 0);
+    candidate.limbs_[(bits - 1) / 64] |= 1ull << ((bits - 1) % 64);
+    candidate.limbs_[0] |= 1;
+    candidate.Normalize();
+    if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+std::uint64_t BigUint::ToUint64() const {
+  PPANNS_CHECK(BitLength() <= 64);
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+BigUint BigUint::FromHex(const std::string& hex) {
+  BigUint out;
+  for (char c : hex) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      continue;  // permissive: skip separators
+    }
+    out = out.ShiftLeft(4).Add(BigUint(digit));
+  }
+  return out;
+}
+
+std::string BigUint::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i - 1] >> (nib * 4)) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+}  // namespace ppanns

@@ -1,0 +1,99 @@
+// Arbitrary-precision unsigned integer arithmetic — the substrate for the
+// Paillier cryptosystem (crypto/paillier.h). Implemented from scratch:
+// 64-bit limbs, schoolbook multiplication, shift-subtract division,
+// square-and-multiply modular exponentiation, binary extended GCD, and
+// Miller-Rabin primality for key generation.
+//
+// Scope: correctness and honest cost for the HE-exclusion benchmark
+// (Section III of the paper argues HE-based secure distance comparison is
+// orders of magnitude too slow; bench/he_exclusion measures that with this
+// implementation). Not constant-time; not for production key material.
+
+#ifndef PPANNS_COMMON_BIGINT_H_
+#define PPANNS_COMMON_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppanns {
+
+/// Unsigned big integer, little-endian 64-bit limbs, normalized (no
+/// trailing zero limbs; zero is the empty limb vector).
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t v);  // NOLINT(runtime/explicit)
+
+  /// Parses a hexadecimal string (no 0x prefix).
+  static BigUint FromHex(const std::string& hex);
+  std::string ToHex() const;
+
+  /// Uniform in [0, 2^bits).
+  static BigUint Random(std::size_t bits, Rng& rng);
+  /// Uniform in [0, bound).
+  static BigUint RandomBelow(const BigUint& bound, Rng& rng);
+  /// Random probable prime with exactly `bits` bits (top bit set, odd),
+  /// `mr_rounds` Miller-Rabin rounds.
+  static BigUint RandomPrime(std::size_t bits, Rng& rng, int mr_rounds = 24);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t BitLength() const;
+  bool Bit(std::size_t i) const;
+
+  int Compare(const BigUint& other) const;
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+
+  BigUint Add(const BigUint& other) const;
+  /// Requires *this >= other.
+  BigUint Sub(const BigUint& other) const;
+  BigUint Mul(const BigUint& other) const;
+  BigUint ShiftLeft(std::size_t bits) const;
+  BigUint ShiftRight(std::size_t bits) const;
+
+  /// Quotient and remainder via Knuth Algorithm D long division. Either
+  /// output may be null.
+  void Divide(const BigUint& divisor, BigUint* quotient,
+              BigUint* remainder) const;
+  BigUint Div(const BigUint& divisor) const {
+    BigUint q;
+    Divide(divisor, &q, nullptr);
+    return q;
+  }
+  BigUint Mod(const BigUint& modulus) const {
+    BigUint r;
+    Divide(modulus, nullptr, &r);
+    return r;
+  }
+
+  /// (a * b) mod m.
+  static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// (base ^ exp) mod m, square-and-multiply.
+  static BigUint PowMod(const BigUint& base, const BigUint& exp,
+                        const BigUint& m);
+  static BigUint Gcd(BigUint a, BigUint b);
+  /// Modular inverse; fails (returns zero) when gcd(a, m) != 1.
+  static BigUint InverseMod(const BigUint& a, const BigUint& m);
+
+  /// Miller-Rabin probable-prime test.
+  static bool IsProbablePrime(const BigUint& n, Rng& rng, int rounds = 24);
+
+  /// Value as uint64 (requires BitLength() <= 64).
+  std::uint64_t ToUint64() const;
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void Normalize();
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_BIGINT_H_

@@ -1,0 +1,147 @@
+#include "common/io.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+
+namespace ppanns {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenFile(const std::string& path, const char* mode) {
+  return FilePtr(std::fopen(path.c_str(), mode));
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Result<FloatMatrix> ReadFvecs(const std::string& path, std::size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+
+  FloatMatrix m;
+  std::vector<float> row;
+  std::size_t rows = 0;
+  while (max_rows == 0 || rows < max_rows) {
+    std::int32_t d = 0;
+    if (std::fread(&d, sizeof(d), 1, f.get()) != 1) break;  // EOF
+    if (d <= 0 || d > (1 << 20)) {
+      return Status::IOError(path + ": bad fvecs dimension");
+    }
+    if (m.empty() && m.dim() == 0) m = FloatMatrix(0, static_cast<std::size_t>(d));
+    if (static_cast<std::size_t>(d) != m.dim()) {
+      return Status::IOError(path + ": inconsistent fvecs dimension");
+    }
+    row.resize(d);
+    if (std::fread(row.data(), sizeof(float), d, f.get()) !=
+        static_cast<std::size_t>(d)) {
+      return Status::IOError(path + ": truncated fvecs record");
+    }
+    m.Append(row.data());
+    ++rows;
+  }
+  return m;
+}
+
+Result<FloatMatrix> ReadBvecs(const std::string& path, std::size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+
+  FloatMatrix m;
+  std::vector<std::uint8_t> raw;
+  std::vector<float> row;
+  std::size_t rows = 0;
+  while (max_rows == 0 || rows < max_rows) {
+    std::int32_t d = 0;
+    if (std::fread(&d, sizeof(d), 1, f.get()) != 1) break;
+    if (d <= 0 || d > (1 << 20)) {
+      return Status::IOError(path + ": bad bvecs dimension");
+    }
+    if (m.empty() && m.dim() == 0) m = FloatMatrix(0, static_cast<std::size_t>(d));
+    if (static_cast<std::size_t>(d) != m.dim()) {
+      return Status::IOError(path + ": inconsistent bvecs dimension");
+    }
+    raw.resize(d);
+    if (std::fread(raw.data(), 1, d, f.get()) != static_cast<std::size_t>(d)) {
+      return Status::IOError(path + ": truncated bvecs record");
+    }
+    row.resize(d);
+    for (std::int32_t i = 0; i < d; ++i) row[i] = static_cast<float>(raw[i]);
+    m.Append(row.data());
+    ++rows;
+  }
+  return m;
+}
+
+Result<std::vector<std::vector<std::int32_t>>> ReadIvecs(
+    const std::string& path, std::size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+
+  std::vector<std::vector<std::int32_t>> rows;
+  while (max_rows == 0 || rows.size() < max_rows) {
+    std::int32_t k = 0;
+    if (std::fread(&k, sizeof(k), 1, f.get()) != 1) break;
+    if (k < 0 || k > (1 << 20)) {
+      return Status::IOError(path + ": bad ivecs length");
+    }
+    std::vector<std::int32_t> row(k);
+    if (std::fread(row.data(), sizeof(std::int32_t), k, f.get()) !=
+        static_cast<std::size_t>(k)) {
+      return Status::IOError(path + ": truncated ivecs record");
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status WriteFvecs(const std::string& path, const FloatMatrix& m) {
+  FilePtr f = OpenFile(path, "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const auto d = static_cast<std::int32_t>(m.dim());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(m.row(i), sizeof(float), m.dim(), f.get()) != m.dim()) {
+      return Status::IOError(path + ": short write");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::vector<std::uint8_t>& buf) {
+  FilePtr f = OpenFile(path, "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IOError(path + ": short write");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::uint8_t>> ReadFile(const std::string& path) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size < 0) return Status::IOError(path + ": ftell failed");
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IOError(path + ": short read");
+  }
+  return buf;
+}
+
+}  // namespace ppanns

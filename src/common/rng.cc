@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace ppanns {
+
+std::vector<std::uint32_t> Rng::Sample(std::size_t n, std::size_t k) {
+  PPANNS_CHECK(k <= n);
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full permutation and truncate.
+    std::vector<std::uint32_t> perm = Permutation(n);
+    perm.resize(k);
+    return perm;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(UniformInt(0, n - 1));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ppanns

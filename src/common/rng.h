@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that tests, benchmarks and experiments are reproducible. Rng also
+// provides the distributions the paper's constructions need (Gaussian vectors,
+// random permutations, uniform reals bounded away from zero).
+
+#ifndef PPANNS_COMMON_RNG_H_
+#define PPANNS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Creates an independent child stream; useful for giving each component
+  /// its own reproducible stream derived from one master seed.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::uint64_t NextUint64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform magnitude in [lo, hi) with a random sign. Used for DCE key
+  /// vectors whose elements must be bounded away from zero (they divide).
+  double SignedUniform(double lo, double hi) {
+    const double mag = Uniform(lo, hi);
+    return (engine_() & 1u) ? mag : -mag;
+  }
+
+  /// Standard normal draw.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Fills `out` with iid N(mean, stddev^2) draws.
+  void GaussianVector(double mean, double stddev, double* out, std::size_t n) {
+    std::normal_distribution<double> dist(mean, stddev);
+    for (std::size_t i = 0; i < n; ++i) out[i] = dist(engine_);
+  }
+
+  /// Random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::uint32_t> Permutation(std::size_t n) {
+    std::vector<std::uint32_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformInt(0, i - 1));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n).
+  std::vector<std::uint32_t> Sample(std::size_t n, std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+// Minimal binary (de)serialization for index/ciphertext persistence.
+//
+// Little-endian, no framing; each module writes a magic + version header of
+// its own. Writers append to a byte buffer; readers consume from a view with
+// range checks returning Status.
+
+#ifndef PPANNS_COMMON_SERIALIZE_H_
+#define PPANNS_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+/// Appends fixed-width scalars and vectors to a growable byte buffer.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    Put<std::uint64_t>(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes scalars and vectors from a byte span with bounds checking.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  template <typename T>
+  Status Get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > size_) {
+      return Status::OutOfRange("BinaryReader: truncated input");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status GetVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t n = 0;
+    PPANNS_RETURN_IF_ERROR(Get(&n));
+    if (pos_ + n * sizeof(T) > size_) {
+      return Status::OutOfRange("BinaryReader: truncated vector");
+    }
+    out->resize(n);
+    std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+  Status GetString(std::string* out) {
+    std::uint64_t n = 0;
+    PPANNS_RETURN_IF_ERROR(Get(&n));
+    if (pos_ + n > size_) {
+      return Status::OutOfRange("BinaryReader: truncated string");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_SERIALIZE_H_

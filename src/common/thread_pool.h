@@ -1,0 +1,56 @@
+// A small fixed-size thread pool used for parallel ground-truth computation
+// and batch encryption. Search benchmarks remain single-threaded to match the
+// paper's measurement methodology (Section VII, "single thread").
+
+#ifndef PPANNS_COMMON_THREAD_POOL_H_
+#define PPANNS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ppanns {
+
+/// Fixed-size worker pool with a blocking Wait() for all submitted tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+  /// pool, blocking until all chunks complete.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// A process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for benchmarks and cost accounting.
+
+#ifndef PPANNS_COMMON_TIMER_H_
+#define PPANNS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ppanns {
+
+/// Monotonic stopwatch. Construction starts it; Restart() resets it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_TIMER_H_

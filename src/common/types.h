@@ -1,0 +1,98 @@
+// Core vector-database value types shared across all modules.
+
+#ifndef PPANNS_COMMON_TYPES_H_
+#define PPANNS_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppanns {
+
+/// Identifier of a database vector. Dense in [0, n).
+using VectorId = std::uint32_t;
+
+/// Sentinel for "no vector".
+inline constexpr VectorId kInvalidVectorId = 0xFFFFFFFFu;
+
+/// A (vector id, squared L2 distance) search result entry.
+struct Neighbor {
+  VectorId id = kInvalidVectorId;
+  float distance = 0.0f;  ///< squared Euclidean distance
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// Row-major dense collection of n d-dimensional float vectors.
+///
+/// The canonical in-memory representation of a plaintext or SAP-encrypted
+/// database. Cheap to index, trivially serializable.
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(std::size_t n, std::size_t dim)
+      : n_(n), dim_(dim), data_(n * dim, 0.0f) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  float* row(std::size_t i) { return data_.data() + i * dim_; }
+  const float* row(std::size_t i) const { return data_.data() + i * dim_; }
+
+  float& at(std::size_t i, std::size_t j) { return data_[i * dim_ + j]; }
+  float at(std::size_t i, std::size_t j) const { return data_[i * dim_ + j]; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Appends one row (must have length dim()); returns its id.
+  VectorId Append(const float* v) {
+    data_.insert(data_.end(), v, v + dim_);
+    return static_cast<VectorId>(n_++);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// Squared Euclidean distance between two d-dimensional float vectors.
+inline float SquaredL2(const float* a, const float* b, std::size_t d) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < d; ++i) {
+    const float di = a[i] - b[i];
+    acc += di * di;
+  }
+  return acc;
+}
+
+/// Inner product between two d-dimensional float vectors.
+inline float InnerProduct(const float* a, const float* b, std::size_t d) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_TYPES_H_

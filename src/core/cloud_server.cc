@@ -1,0 +1,78 @@
+#include "core/cloud_server.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/comparison_heap.h"
+
+namespace ppanns {
+
+SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
+                                 const SearchSettings& settings) const {
+  SearchResult result;
+  if (k == 0 || db_.index.size() == 0) return result;
+
+  const std::size_t k_prime =
+      settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
+  const std::size_t ef =
+      settings.ef_search > 0 ? settings.ef_search : std::max<std::size_t>(k_prime, 64);
+
+  // ---- Filter phase (Algorithm 2, line 1): k'-ANNS on the HNSW graph over
+  // SAP ciphertexts; distances are computed on the encrypted vectors at
+  // plaintext cost.
+  Timer filter_timer;
+  const std::vector<Neighbor> candidates =
+      db_.index.Search(token.sap.data(), k_prime, ef);
+  result.counters.filter_seconds = filter_timer.ElapsedSeconds();
+  result.counters.filter_candidates = candidates.size();
+
+  if (!settings.refine) {
+    // Filter-only variant: the SAP ranking is final (approximate).
+    const std::size_t out_k = std::min(k, candidates.size());
+    result.ids.reserve(out_k);
+    for (std::size_t i = 0; i < out_k; ++i) result.ids.push_back(candidates[i].id);
+    return result;
+  }
+
+  // ---- Refine phase (Algorithm 2, lines 2-9): exact DCE comparisons.
+  Timer refine_timer;
+  std::size_t* comparisons = &result.counters.dce_comparisons;
+  ComparisonHeap heap(k, [this, &token, comparisons](VectorId a, VectorId b) {
+    ++*comparisons;
+    return DceScheme::Closer(db_.dce[a], db_.dce[b], token.trapdoor);
+  });
+  for (const Neighbor& cand : candidates) {
+    heap.Offer(cand.id);
+  }
+  result.ids = heap.ExtractSorted();
+  result.counters.refine_seconds = refine_timer.ElapsedSeconds();
+  return result;
+}
+
+VectorId CloudServer::Insert(const EncryptedVector& v) {
+  PPANNS_CHECK(v.sap.size() == db_.index.dim());
+  const VectorId id = db_.index.Add(v.sap.data());
+  PPANNS_CHECK(id == db_.dce.size());
+  db_.dce.push_back(v.dce);
+  return id;
+}
+
+Status CloudServer::Delete(VectorId id) {
+  PPANNS_RETURN_IF_ERROR(db_.index.Remove(id));
+  // Blank the DCE ciphertext: the server drops the deleted payload while
+  // keeping ids stable.
+  db_.dce[id].data.clear();
+  db_.dce[id].data.shrink_to_fit();
+  return Status::OK();
+}
+
+std::size_t CloudServer::StorageBytes() const {
+  // SAP layer + graph edges + DCE layer.
+  std::size_t bytes = db_.index.data().data().size() * sizeof(float);
+  const HnswStats stats = db_.index.ComputeStats();
+  bytes += stats.total_edges_level0 * sizeof(VectorId);
+  bytes += db_.DceBytes();
+  return bytes;
+}
+
+}  // namespace ppanns

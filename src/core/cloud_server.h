@@ -1,0 +1,69 @@
+// The cloud server role (Fig. 1 / Fig. 3): holds only ciphertexts and the
+// privacy-preserving index, and answers encrypted queries with the
+// filter-and-refine search of Algorithm 2. It never sees plaintext vectors,
+// plaintext distances, or keys — its entire observable input is
+// (EncryptedDatabase, QueryToken, k).
+
+#ifndef PPANNS_CORE_CLOUD_SERVER_H_
+#define PPANNS_CORE_CLOUD_SERVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/encrypted_database.h"
+#include "core/query_client.h"
+
+namespace ppanns {
+
+/// Per-query search knobs (Section V-B).
+struct SearchSettings {
+  std::size_t k_prime = 0;    ///< filter-phase candidate count; 0 => 4*k
+  std::size_t ef_search = 0;  ///< HNSW beam width; 0 => max(k', 64)
+  bool refine = true;         ///< false = filter-only (the Fig. 4/6 baseline)
+};
+
+/// Instrumentation for the cost analyses (Fig. 6 / Fig. 9).
+struct SearchCounters {
+  std::size_t filter_candidates = 0;
+  std::size_t dce_comparisons = 0;
+  double filter_seconds = 0.0;
+  double refine_seconds = 0.0;
+};
+
+/// Result returned to the user: ids only (4k bytes — the server cannot rank
+/// by true distance values, and the user needs no more).
+struct SearchResult {
+  std::vector<VectorId> ids;
+  SearchCounters counters;
+};
+
+class CloudServer {
+ public:
+  explicit CloudServer(EncryptedDatabase db) : db_(std::move(db)) {}
+
+  /// Algorithm 2: filter (k'-ANNS over SAP ciphertexts on HNSW) + refine
+  /// (exact DCE comparisons through a comparison-only max-heap).
+  SearchResult Search(const QueryToken& token, std::size_t k,
+                      const SearchSettings& settings = {}) const;
+
+  /// Maintenance (Section V-D): link a freshly encrypted vector into the
+  /// graph / remove one and repair affected in-neighbors.
+  VectorId Insert(const EncryptedVector& v);
+  Status Delete(VectorId id);
+
+  std::size_t size() const { return db_.index.size(); }
+  const HnswIndex& index() const { return db_.index; }
+  const std::vector<DceCiphertext>& dce_ciphertexts() const { return db_.dce; }
+
+  /// Total resident bytes of the outsourced package (space accounting).
+  std::size_t StorageBytes() const;
+
+ private:
+  EncryptedDatabase db_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_CLOUD_SERVER_H_

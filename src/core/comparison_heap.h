@@ -1,0 +1,112 @@
+// A bounded max-heap ordered only by a three-way comparison oracle — the
+// data structure of the refine phase (Algorithm 2).
+//
+// The server never sees distance *values* during refinement: DCE yields only
+// the sign of dist(a,q) - dist(b,q). This heap therefore runs entirely on a
+// "closer(a, b)" predicate. Each insertion into a heap of k elements costs
+// O(log k) predicate calls, matching the paper's O(k' log k) refine bound.
+
+#ifndef PPANNS_CORE_COMPARISON_HEAP_H_
+#define PPANNS_CORE_COMPARISON_HEAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppanns {
+
+/// Bounded max-heap over VectorIds: the root is the FARTHEST element under
+/// the supplied closer(a,b) predicate ("a strictly closer to q than b").
+class ComparisonHeap {
+ public:
+  using CloserFn = std::function<bool(VectorId, VectorId)>;
+
+  ComparisonHeap(std::size_t capacity, CloserFn closer)
+      : capacity_(capacity), closer_(std::move(closer)) {
+    PPANNS_CHECK(capacity > 0);
+    heap_.reserve(capacity + 1);
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= capacity_; }
+
+  /// The current farthest element (requires non-empty).
+  VectorId Top() const {
+    PPANNS_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Algorithm 2 insertion: if not full, insert; otherwise replace the
+  /// farthest element iff `id` is closer than it. Returns true if inserted.
+  bool Offer(VectorId id) {
+    if (!full()) {
+      Push(id);
+      return true;
+    }
+    // Line 8: DistanceComp(C_top, C_id, T_q) > 0 <=> top is farther.
+    if (closer_(id, heap_.front())) {
+      PopTop();
+      Push(id);
+      return true;
+    }
+    return false;
+  }
+
+  /// Extracts all elements, closest first. Costs O(k log k) comparisons.
+  std::vector<VectorId> ExtractSorted() {
+    std::vector<VectorId> out(heap_.size());
+    for (std::size_t i = heap_.size(); i > 0; --i) {
+      out[i - 1] = heap_.front();
+      PopTop();
+    }
+    return out;
+  }
+
+  /// Unordered view of the current contents.
+  const std::vector<VectorId>& contents() const { return heap_; }
+
+ private:
+  /// true if a has lower priority than b in the max-heap, i.e. a closer.
+  bool Lower(VectorId a, VectorId b) const { return closer_(a, b); }
+
+  void Push(VectorId id) {
+    heap_.push_back(id);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (Lower(heap_[parent], heap_[i])) {  // parent closer than child: swap up
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void PopTop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      std::size_t farthest = i;
+      if (l < n && Lower(heap_[farthest], heap_[l])) farthest = l;
+      if (r < n && Lower(heap_[farthest], heap_[r])) farthest = r;
+      if (farthest == i) break;
+      std::swap(heap_[i], heap_[farthest]);
+      i = farthest;
+    }
+  }
+
+  std::size_t capacity_;
+  CloserFn closer_;
+  std::vector<VectorId> heap_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_COMPARISON_HEAP_H_

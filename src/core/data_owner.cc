@@ -1,0 +1,73 @@
+#include "core/data_owner.h"
+
+#include "common/thread_pool.h"
+
+namespace ppanns {
+
+Result<DataOwner> DataOwner::Create(std::size_t dim,
+                                    const PpannsParams& params) {
+  Rng key_rng(params.seed);
+  Result<DceScheme> dce = DceScheme::KeyGen(dim, key_rng, params.dce_scale_hint);
+  if (!dce.ok()) return dce.status();
+  Result<DcpeScheme> dcpe =
+      DcpeScheme::Create(dim, params.dcpe_s, params.dcpe_beta);
+  if (!dcpe.ok()) return dcpe.status();
+
+  auto keys =
+      std::make_shared<const SecretKeys>(std::move(*dce), std::move(*dcpe));
+  return DataOwner(dim, params, std::move(keys));
+}
+
+EncryptedDatabase DataOwner::EncryptAndIndex(const FloatMatrix& data) {
+  PPANNS_CHECK(data.dim() == dim_);
+
+  EncryptedDatabase db{HnswIndex(dim_, params_.hnsw), {}};
+  db.dce.reserve(data.size());
+
+  std::vector<float> sap(dim_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
+    // The graph is built over SAP ciphertexts: its edges reflect only
+    // approximate neighborhoods (privacy argument of Section V-A).
+    const VectorId id = db.index.Add(sap.data());
+    PPANNS_CHECK(id == db.dce.size());
+    db.dce.push_back(keys_->dce.Encrypt(data.row(i), rng_));
+  }
+  return db;
+}
+
+EncryptedDatabase DataOwner::EncryptAndIndexParallel(const FloatMatrix& data) {
+  PPANNS_CHECK(data.dim() == dim_);
+
+  EncryptedDatabase db{HnswIndex(dim_, params_.hnsw), {}};
+  db.dce.resize(data.size());
+
+  // Sequential pass: SAP layer + graph (insertion order matters).
+  std::vector<float> sap(dim_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
+    db.index.Add(sap.data());
+  }
+
+  // Parallel pass: the DCE layer, with per-row derived randomness so the
+  // package is independent of chunking and thread interleaving.
+  const std::uint64_t base_seed = params_.seed ^ 0xDCE0DCE0DCE0ull;
+  ThreadPool::Global().ParallelFor(
+      data.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng row_rng(base_seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+          db.dce[i] = keys_->dce.Encrypt(data.row(i), row_rng);
+        }
+      });
+  return db;
+}
+
+EncryptedVector DataOwner::EncryptOne(const float* v) {
+  EncryptedVector out;
+  out.sap.resize(dim_);
+  keys_->dcpe.Encrypt(v, out.sap.data(), rng_);
+  out.dce = keys_->dce.Encrypt(v, rng_);
+  return out;
+}
+
+}  // namespace ppanns

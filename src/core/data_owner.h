@@ -1,0 +1,59 @@
+// The data owner role (Fig. 1, step 0-1): generates keys, encrypts the
+// database under both layers, builds the privacy-preserving index over the
+// SAP ciphertexts, and produces the package outsourced to the cloud.
+
+#ifndef PPANNS_CORE_DATA_OWNER_H_
+#define PPANNS_CORE_DATA_OWNER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/encrypted_database.h"
+#include "core/keys.h"
+
+namespace ppanns {
+
+class DataOwner {
+ public:
+  /// Generates fresh keys for d-dimensional data.
+  static Result<DataOwner> Create(std::size_t dim, const PpannsParams& params);
+
+  /// Encrypts every row of `data` (DCPE + DCE) and builds the HNSW graph
+  /// over the SAP ciphertexts (never the plaintexts — Section V-A). The
+  /// result is everything the cloud server receives.
+  EncryptedDatabase EncryptAndIndex(const FloatMatrix& data);
+
+  /// Same output contract, but computes the DCE layer (the expensive part:
+  /// O(d^2) per vector) on the global thread pool. Graph construction stays
+  /// sequential (insertions are order-dependent). Per-row encryption
+  /// randomness is derived from the owner seed and the row index, so the
+  /// result is deterministic for a given (seed, data) regardless of thread
+  /// scheduling.
+  EncryptedDatabase EncryptAndIndexParallel(const FloatMatrix& data);
+
+  /// Encrypts a single new vector for insertion (Section V-D); the pair is
+  /// sent to the server, which links it into the graph.
+  EncryptedVector EncryptOne(const float* v);
+
+  /// Hands the secret key bundle to an authorized query user (step 0).
+  SecretKeysPtr ShareKeys() const { return keys_; }
+
+  std::size_t dim() const { return dim_; }
+  const PpannsParams& params() const { return params_; }
+
+ private:
+  DataOwner(std::size_t dim, PpannsParams params, SecretKeysPtr keys)
+      : dim_(dim), params_(std::move(params)), keys_(std::move(keys)),
+        rng_(params_.seed ^ 0xD07A0A37) {}
+
+  std::size_t dim_;
+  PpannsParams params_;
+  SecretKeysPtr keys_;
+  Rng rng_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_DATA_OWNER_H_

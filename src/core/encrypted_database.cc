@@ -1,0 +1,46 @@
+#include "core/encrypted_database.h"
+
+namespace ppanns {
+
+void EncryptedDatabase::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(0x50504442);  // "PPDB"
+  out->Put<std::uint32_t>(1);
+  index.Serialize(out);
+  out->Put<std::uint64_t>(dce.size());
+  for (const auto& c : dce) {
+    out->Put<std::uint64_t>(c.block);
+    out->PutVector(c.data);
+  }
+}
+
+Result<EncryptedDatabase> EncryptedDatabase::Deserialize(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != 0x50504442) return Status::IOError("EncryptedDatabase: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) {
+    return Status::IOError("EncryptedDatabase: unsupported version");
+  }
+  Result<HnswIndex> index = HnswIndex::Deserialize(in);
+  if (!index.ok()) return index.status();
+
+  std::uint64_t n = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&n));
+  std::vector<DceCiphertext> dce(n);
+  for (auto& c : dce) {
+    std::uint64_t block = 0;
+    PPANNS_RETURN_IF_ERROR(in->Get(&block));
+    c.block = block;
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&c.data));
+    if (c.data.size() != 4 * c.block) {
+      return Status::IOError("EncryptedDatabase: bad ciphertext size");
+    }
+  }
+  EncryptedDatabase db{std::move(*index), std::move(dce)};
+  if (db.dce.size() != db.index.capacity()) {
+    return Status::IOError("EncryptedDatabase: index/ciphertext mismatch");
+  }
+  return db;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,63 @@
+// Key material and parameters of the PP-ANNS scheme (Section V).
+//
+// The scheme composes two encryption layers over the same database:
+//  * DCPE/SAP ciphertexts — approximate-distance layer; the HNSW graph is
+//    built over these, and the filter phase computes distances on them.
+//  * DCE ciphertexts — exact-comparison layer; the refine phase uses them
+//    through DistanceComp only.
+// The secret keys of both layers stay with the data owner and authorized
+// query users; the cloud server receives only ciphertexts and the index.
+
+#ifndef PPANNS_CORE_KEYS_H_
+#define PPANNS_CORE_KEYS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/dce.h"
+#include "crypto/dcpe.h"
+#include "crypto/key_io.h"
+#include "index/hnsw.h"
+
+namespace ppanns {
+
+/// Tunable parameters of the scheme.
+struct PpannsParams {
+  double dcpe_s = 1024.0;  ///< SAP scaling factor (paper recommendation)
+  double dcpe_beta = 0.0;  ///< SAP noise bound; tuned per dataset (Fig. 4)
+  double dce_scale_hint = 1.0;  ///< typical vector norm, for DCE blinding
+  HnswParams hnsw;         ///< index construction parameters
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// The owner/user side key bundle.
+struct SecretKeys {
+  SecretKeys(DceScheme dce_in, DcpeScheme dcpe_in)
+      : dce(std::move(dce_in)), dcpe(std::move(dcpe_in)) {}
+  DceScheme dce;
+  DcpeScheme dcpe;
+};
+
+using SecretKeysPtr = std::shared_ptr<const SecretKeys>;
+
+/// Persists the full key bundle (Fig. 1 step 0 hand-off: owner -> authorized
+/// user over a secure channel). Never send this to the cloud.
+inline void SerializeSecretKeys(const SecretKeys& keys, BinaryWriter* out) {
+  SerializeDceKey(keys.dce.key(), out);
+  SerializeDcpeKey(keys.dcpe.key(), out);
+}
+
+inline Result<SecretKeysPtr> DeserializeSecretKeys(BinaryReader* in) {
+  Result<DceSecretKey> dce_key = DeserializeDceKey(in);
+  if (!dce_key.ok()) return dce_key.status();
+  Result<DcpeSecretKey> dcpe_key = DeserializeDcpeKey(in);
+  if (!dcpe_key.ok()) return dcpe_key.status();
+  Result<DcpeScheme> dcpe = DcpeScheme::FromKey(*dcpe_key);
+  if (!dcpe.ok()) return dcpe.status();
+  return std::make_shared<const SecretKeys>(
+      DceScheme::FromKey(std::move(*dce_key)), std::move(*dcpe));
+}
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_KEYS_H_

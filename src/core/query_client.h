@@ -1,0 +1,52 @@
+// The query user role (Fig. 1, step 2): encrypts a query into the token
+// sent to the cloud — the SAP ciphertext C_q^SAP (for the filter phase) and
+// the DCE trapdoor T_q (for the refine phase). This is the *only* user-side
+// computation per query (property P3): O(d^2) for the trapdoor, O(d) for
+// the SAP ciphertext.
+
+#ifndef PPANNS_CORE_QUERY_CLIENT_H_
+#define PPANNS_CORE_QUERY_CLIENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/keys.h"
+
+namespace ppanns {
+
+/// What the user sends to the server for one query.
+struct QueryToken {
+  std::vector<float> sap;  ///< C_q^SAP, length d
+  DceTrapdoor trapdoor;    ///< T_q, length 2 d_pad + 16
+
+  /// Upload size in bytes (communication accounting, Section V-C).
+  std::size_t ByteSize() const {
+    return sap.size() * sizeof(float) +
+           trapdoor.data.size() * sizeof(double) + sizeof(std::uint32_t) /*k*/;
+  }
+};
+
+class QueryClient {
+ public:
+  QueryClient(SecretKeysPtr keys, std::uint64_t seed)
+      : keys_(std::move(keys)), rng_(seed) {}
+
+  /// Encrypts a query vector. Randomized: repeated calls on the same query
+  /// produce unlinkable tokens.
+  QueryToken EncryptQuery(const float* q) {
+    QueryToken token;
+    token.sap.resize(keys_->dcpe.dim());
+    keys_->dcpe.Encrypt(q, token.sap.data(), rng_);
+    token.trapdoor = keys_->dce.GenTrapdoor(q, rng_);
+    return token;
+  }
+
+ private:
+  SecretKeysPtr keys_;
+  Rng rng_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_QUERY_CLIENT_H_

@@ -1,0 +1,53 @@
+// AES-128 block cipher with CTR mode — the "distance incomparable
+// encryption" substrate for the RS-SANN baseline (Section VII-B): database
+// vectors are AES-CTR encrypted at rest; the user must download and decrypt
+// candidates before computing any distance.
+//
+// Straightforward table-based FIPS-197 implementation (encrypt direction
+// only; CTR needs no block decryption). Not constant-time — adequate for the
+// honest-but-curious benchmark setting, not for production side-channel
+// resistance.
+
+#ifndef PPANNS_CRYPTO_AES_H_
+#define PPANNS_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ppanns {
+
+/// AES-128 with a 16-byte key. Encrypt-only core + CTR keystream mode.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit Aes128(const std::array<std::uint8_t, kKeySize>& key);
+
+  /// Encrypts one 16-byte block in place (out may alias in).
+  void EncryptBlock(const std::uint8_t in[kBlockSize],
+                    std::uint8_t out[kBlockSize]) const;
+
+  /// CTR mode: XORs `len` bytes of keystream derived from (nonce, counter=0)
+  /// into `data`. Applying twice with the same nonce decrypts.
+  void CtrXor(std::uint64_t nonce, std::uint8_t* data, std::size_t len) const;
+
+  /// Convenience: CTR-encrypts a float vector into an opaque byte blob.
+  std::vector<std::uint8_t> EncryptFloats(std::uint64_t nonce,
+                                          const float* v, std::size_t n) const;
+
+  /// Inverse of EncryptFloats.
+  void DecryptFloats(std::uint64_t nonce, const std::vector<std::uint8_t>& blob,
+                     float* out, std::size_t n) const;
+
+ private:
+  static constexpr std::size_t kRounds = 10;
+  // Round keys: (kRounds + 1) * 16 bytes.
+  std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CRYPTO_AES_H_

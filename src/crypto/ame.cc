@@ -1,0 +1,137 @@
+#include "crypto/ame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppanns {
+
+namespace {
+
+/// Index of the constant-1 slot in the lift [p (d); ||p||^2; 1; padding].
+std::size_t OneSlot(std::size_t dim) { return dim + 1; }
+
+}  // namespace
+
+Result<AmeScheme> AmeScheme::KeyGen(std::size_t dim, Rng& rng,
+                                    double scale_hint) {
+  if (dim == 0) return Status::InvalidArgument("AME: dim must be positive");
+  AmeScheme s(dim, scale_hint);
+  const std::size_t n = s.lifted_dim();
+  s.left_.reserve(kAmeSplits);
+  s.right_.reserve(kAmeSplits);
+  for (std::size_t i = 0; i < kAmeSplits; ++i) {
+    // Fast conditioned keys: 32 full QRs at (2d+6)^2 would take minutes at
+    // GIST dims; AME is a cost-model baseline, so key-structure fidelity is
+    // not load-bearing (see ame.h header).
+    s.left_.push_back(InvertibleMatrix::RandomFast(n, rng));
+    s.right_.push_back(InvertibleMatrix::RandomFast(n, rng));
+  }
+  return s;
+}
+
+void AmeScheme::Lift(const double* p, double r, Rng& rng, double* out) const {
+  const std::size_t n = lifted_dim();
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] = r * p[i];
+    norm2 += p[i] * p[i];
+  }
+  out[dim_] = r * norm2;
+  out[dim_ + 1] = r;  // the constant-1 slot, scaled
+  // d+4 random padding slots; they meet zero weights in G(q), so they blind
+  // the ciphertext without perturbing the comparison.
+  for (std::size_t i = dim_ + 2; i < n; ++i) {
+    out[i] = rng.SignedUniform(0.5, 2.0) * scale_ * r;
+  }
+}
+
+AmeCiphertext AmeScheme::Encrypt(const double* p, Rng& rng) const {
+  const std::size_t n = lifted_dim();
+  AmeCiphertext c;
+  c.rows = Matrix(kAmeSplits, n);
+  c.cols = Matrix(kAmeSplits, n);
+  std::vector<double> phi(n);
+  for (std::size_t i = 0; i < kAmeSplits; ++i) {
+    // Fresh positive randomizer and fresh padding per split and per side.
+    Lift(p, rng.Uniform(0.5, 2.0), rng, phi.data());
+    VecMat(phi.data(), left_[i].m_inv, c.rows.row(i));  // phi^T ML_i^{-1}
+    Lift(p, rng.Uniform(0.5, 2.0), rng, phi.data());
+    MatVec(right_[i].m_inv, phi.data(), c.cols.row(i));  // MR_i^{-1} phi
+  }
+  return c;
+}
+
+AmeCiphertext AmeScheme::Encrypt(const float* p, Rng& rng) const {
+  std::vector<double> tmp(dim_);
+  std::copy(p, p + dim_, tmp.begin());
+  return Encrypt(tmp.data(), rng);
+}
+
+AmeTrapdoor AmeScheme::GenTrapdoor(const double* q, Rng& rng) const {
+  const std::size_t n = lifted_dim();
+  const std::size_t one = OneSlot(dim_);
+
+  // G(q) = a(q) e_one^T + e_one d(q)^T with a(q) = [-2q; 1; 0...] and
+  // d(q) = [2q; -1; 0...]:
+  //   phi(o)^T G(q) phi(p) = r_o r_p [ (||o||^2 - 2 o.q) - (||p||^2 - 2 p.q) ]
+  //                        = r_o r_p (dist(o,q) - dist(p,q)).
+  std::vector<double> a(n, 0.0), d_vec(n, 0.0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    a[i] = -2.0 * q[i];
+    d_vec[i] = 2.0 * q[i];
+  }
+  a[dim_] = 1.0;
+  d_vec[dim_] = -1.0;
+
+  AmeTrapdoor t;
+  t.mats.reserve(kAmeSplits);
+  std::vector<double> la(n), rb(n), lc(n), rd(n);
+  for (std::size_t i = 0; i < kAmeSplits; ++i) {
+    const double lambda = rng.Uniform(0.5, 2.0);  // positive blinding
+    // T_i = lambda * ML_i (a e^T + e d^T) MR_i
+    //     = lambda * (ML_i a)(e^T MR_i) + lambda * (ML_i e)(d^T MR_i):
+    // two rank-1 outer products — O(n^2) per trapdoor matrix.
+    MatVec(left_[i].m, a.data(), la.data());
+    VecMat(d_vec.data(), right_[i].m, rd.data());
+    // ML_i e_one is column `one` of ML_i; e_one^T MR_i is row `one` of MR_i.
+    for (std::size_t r = 0; r < n; ++r) lc[r] = left_[i].m.at(r, one);
+    const double* mr_row = right_[i].m.row(one);
+    std::copy(mr_row, mr_row + n, rb.begin());
+
+    Matrix ti(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      double* out = ti.row(r);
+      const double va = lambda * la[r];
+      const double vc = lambda * lc[r];
+      for (std::size_t cidx = 0; cidx < n; ++cidx) {
+        out[cidx] = va * rb[cidx] + vc * rd[cidx];
+      }
+    }
+    t.mats.push_back(std::move(ti));
+  }
+  return t;
+}
+
+AmeTrapdoor AmeScheme::GenTrapdoor(const float* q, Rng& rng) const {
+  std::vector<double> tmp(dim_);
+  std::copy(q, q + dim_, tmp.begin());
+  return GenTrapdoor(tmp.data(), rng);
+}
+
+double AmeScheme::DistanceComp(const AmeCiphertext& o, const AmeCiphertext& p,
+                               const AmeTrapdoor& tq) {
+  PPANNS_CHECK(tq.mats.size() == kAmeSplits);
+  const std::size_t n = tq.mats[0].rows();
+  std::vector<double> tmp(n);
+  double acc = 0.0;
+  // 16 vector-matrix products + 16 inner products (Section III-C cost).
+  // Every term is (positive) * (dist(o,q) - dist(p,q)): the sum keeps the
+  // exact comparison sign.
+  for (std::size_t i = 0; i < kAmeSplits; ++i) {
+    VecMat(o.rows.row(i), tq.mats[i], tmp.data());
+    acc += Dot(tmp.data(), p.cols.row(i), n);
+  }
+  return acc;
+}
+
+}  // namespace ppanns

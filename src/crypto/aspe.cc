@@ -1,0 +1,80 @@
+#include "crypto/aspe.h"
+
+#include <cmath>
+
+namespace ppanns {
+
+AspeScheme::AspeScheme(std::size_t dim, AspeVariant variant,
+                       InvertibleMatrix m, double scale_hint)
+    : dim_(dim),
+      variant_(variant),
+      m_(std::move(m)),
+      // exp(v / exp_norm) must stay in double range for v up to a few times
+      // the squared data scale; log(v + log_shift) must have a positive
+      // argument. Both are public parameters in the threat model.
+      exp_norm_(scale_hint * scale_hint * static_cast<double>(dim)),
+      log_shift_(8.0 * scale_hint * scale_hint * static_cast<double>(dim)) {}
+
+Result<AspeScheme> AspeScheme::KeyGen(std::size_t dim, AspeVariant variant,
+                                      Rng& rng, double scale_hint) {
+  if (dim == 0) return Status::InvalidArgument("ASPE: dim must be positive");
+  return AspeScheme(dim, variant, InvertibleMatrix::Random(dim + 2, rng),
+                    scale_hint);
+}
+
+AspeCiphertext AspeScheme::Encrypt(const double* p) const {
+  // a(p) = [-2p; ||p||^2; 1]; Enc_d(p) = M^T a(p) = (a(p)^T M)^T.
+  std::vector<double> lift(dim_ + 2);
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    lift[i] = -2.0 * p[i];
+    norm2 += p[i] * p[i];
+  }
+  lift[dim_] = norm2;
+  lift[dim_ + 1] = 1.0;
+
+  AspeCiphertext c;
+  c.data.resize(dim_ + 2);
+  VecMat(lift.data(), m_.m, c.data.data());
+  return c;
+}
+
+AspeTrapdoor AspeScheme::GenTrapdoor(const double* q, Rng& rng) const {
+  AspeTrapdoor t;
+  t.r1 = rng.Uniform(0.5, 2.0);  // positive: preserves comparison order
+  t.r2 = rng.SignedUniform(0.5, 2.0);
+  t.r3 = rng.SignedUniform(0.5, 2.0);
+
+  // b(q) = [r1*q; r1; r2]; Enc_q(q) = M^{-1} b(q).
+  std::vector<double> lift(dim_ + 2);
+  for (std::size_t i = 0; i < dim_; ++i) lift[i] = t.r1 * q[i];
+  lift[dim_] = t.r1;
+  lift[dim_ + 1] = t.r2;
+
+  t.data.resize(dim_ + 2);
+  MatVec(m_.m_inv, lift.data(), t.data.data());
+  return t;
+}
+
+double AspeScheme::Leakage(const AspeCiphertext& cp,
+                           const AspeTrapdoor& tq) const {
+  // v = <Enc_d(p), Enc_q(q)> = r1*(||p||^2 - 2 p.q) + r2.
+  const double v = Dot(cp.data.data(), tq.data.data(), dim_ + 2);
+  switch (variant_) {
+    case AspeVariant::kLinear:
+      return v;
+    case AspeVariant::kExponential:
+      return std::exp(v / exp_norm_);
+    case AspeVariant::kLogarithmic:
+      return std::log(v + log_shift_);
+    case AspeVariant::kSquare: {
+      // Theorem 2 form: L = r1*(v0 + r2)^2 + r3 with v0 = ||p||^2 - 2 p.q.
+      const double v0 = (v - tq.r2) / tq.r1;
+      const double base = v0 + tq.r2;
+      return tq.r1 * base * base + tq.r3;
+    }
+  }
+  return v;
+}
+
+}  // namespace ppanns

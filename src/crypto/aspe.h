@@ -1,0 +1,92 @@
+// ASPE (asymmetric scalar-product-preserving encryption, Wong et al.
+// SIGMOD'09) and its "enhanced" variants — Section III-A of the paper.
+//
+// These schemes are implemented as *attack targets*: the paper proves
+// (Theorem 1, Corollaries 1-2, Theorem 2) that every variant that leaks a
+// fixed transformation of distances is breakable under a known-plaintext
+// attack, which motivates DCE. kpa_attack.h implements the attacks.
+//
+// Base construction: with invertible M in R^{(d+2)x(d+2)} and the lifts
+//   a(p) = [-2p; ||p||^2; 1]             (database side)
+//   b(q) = [r1*q; r1; r2]                (query side, r1 > 0)
+// the ciphertexts Enc_d(p) = M^T a(p) and Enc_q(q) = M^{-1} b(q) satisfy
+//   <Enc_d(p), Enc_q(q)> = <a(p), b(q)> = r1*(||p||^2 - 2 p.q) + r2,
+// a per-query linear transformation of dist(p,q) (the ||q||^2 term is a
+// per-query constant absorbed into the comparison).
+//
+// Variants transform that leaked value v:
+//   kLinear      L = v
+//   kExponential L = exp(v / norm)   (norm keeps exp in range; invertible)
+//   kLogarithmic L = log(v + shift)  (shift keeps the argument positive)
+//   kSquare      L = r1*(v0 + r2)^2 + r3, v0 = ||p||^2 - 2 p.q (Theorem 2)
+
+#ifndef PPANNS_CRYPTO_ASPE_H_
+#define PPANNS_CRYPTO_ASPE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace ppanns {
+
+enum class AspeVariant {
+  kLinear,
+  kExponential,
+  kLogarithmic,
+  kSquare,
+};
+
+/// ASPE database-vector ciphertext (length d+2).
+struct AspeCiphertext {
+  std::vector<double> data;
+};
+
+/// ASPE query trapdoor. Carries the per-query randomizers so the scheme can
+/// compute the leaked transformation; a real deployment would fold them into
+/// the ciphertext, the attack surface is identical.
+struct AspeTrapdoor {
+  std::vector<double> data;  ///< M^{-1} b(q), length d+2
+  double r1 = 1.0;
+  double r2 = 0.0;
+  double r3 = 0.0;  ///< square variant only
+};
+
+/// The ASPE scheme with a configurable leakage variant.
+class AspeScheme {
+ public:
+  static Result<AspeScheme> KeyGen(std::size_t dim, AspeVariant variant,
+                                   Rng& rng, double scale_hint = 1.0);
+
+  AspeCiphertext Encrypt(const double* p) const;
+  AspeTrapdoor GenTrapdoor(const double* q, Rng& rng) const;
+
+  /// The value the server observes for the pair (C_p, T_q): the variant's
+  /// transformation of r1*(||p||^2 - 2 p.q) + r2. Monotone in dist(p,q) for
+  /// a fixed query, so the server can rank candidates — and, per Section
+  /// III-A, an attacker can recover plaintexts from enough of these values.
+  double Leakage(const AspeCiphertext& cp, const AspeTrapdoor& tq) const;
+
+  AspeVariant variant() const { return variant_; }
+  std::size_t dim() const { return dim_; }
+  /// Normalization constant used by the exponential variant.
+  double exp_norm() const { return exp_norm_; }
+  /// Shift used by the logarithmic variant.
+  double log_shift() const { return log_shift_; }
+
+ private:
+  AspeScheme(std::size_t dim, AspeVariant variant, InvertibleMatrix m,
+             double scale_hint);
+
+  std::size_t dim_;
+  AspeVariant variant_;
+  InvertibleMatrix m_;
+  double exp_norm_;
+  double log_shift_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CRYPTO_ASPE_H_

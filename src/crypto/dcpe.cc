@@ -1,0 +1,59 @@
+#include "crypto/dcpe.h"
+
+#include <cmath>
+
+namespace ppanns {
+
+Result<DcpeScheme> DcpeScheme::Create(std::size_t dim, double s, double beta) {
+  if (dim == 0) return Status::InvalidArgument("DCPE: dim must be positive");
+  if (!(s > 0.0)) return Status::InvalidArgument("DCPE: s must be positive");
+  if (beta < 0.0) return Status::InvalidArgument("DCPE: beta must be >= 0");
+  DcpeSecretKey key;
+  key.dim = dim;
+  key.s = s;
+  key.beta = beta;
+  return DcpeScheme(key);
+}
+
+double DcpeScheme::MinBeta(double max_abs_coord) {
+  return std::sqrt(max_abs_coord);
+}
+
+double DcpeScheme::MaxBeta(double max_abs_coord, std::size_t dim) {
+  return 2.0 * max_abs_coord * std::sqrt(static_cast<double>(dim));
+}
+
+void DcpeScheme::Encrypt(const float* p, float* out, Rng& rng) const {
+  const std::size_t d = key_.dim;
+  if (key_.beta == 0.0) {
+    for (std::size_t i = 0; i < d; ++i) {
+      out[i] = static_cast<float>(key_.s * p[i]);
+    }
+    return;
+  }
+  // Algorithm 1: u ~ N(0, I_d); x' ~ U(0,1); x = (s*beta/4) * x'^(1/d);
+  // lambda = x * u/||u||; C = s*p + lambda. The x'^(1/d) radial correction
+  // makes lambda uniform in the ball B(0, s*beta/4).
+  std::vector<double> u(d);
+  rng.GaussianVector(0.0, 1.0, u.data(), d);
+  double norm2 = 0.0;
+  for (double v : u) norm2 += v * v;
+  const double norm = std::sqrt(norm2);
+  const double x_prime = rng.Uniform(0.0, 1.0);
+  const double x = NoiseRadius() * std::pow(x_prime, 1.0 / static_cast<double>(d));
+  const double scale = (norm > 0.0) ? x / norm : 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] = static_cast<float>(key_.s * p[i] + scale * u[i]);
+  }
+}
+
+FloatMatrix DcpeScheme::EncryptMatrix(const FloatMatrix& data, Rng& rng) const {
+  PPANNS_CHECK(data.dim() == key_.dim);
+  FloatMatrix out(data.size(), data.dim());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Encrypt(data.row(i), out.row(i), rng);
+  }
+  return out;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,74 @@
+// Distance-Comparison-Preserving Encryption (DCPE), Scale-and-Perturb (SAP)
+// instance — Section III-B / V-A of the paper, construction from Fuchsbauer
+// et al. (SCN 2022), Algorithm 1.
+//
+// C_p = s*p + lambda_p, where lambda_p is drawn uniformly from the ball
+// B(0, s*beta/4): lambda = x * u/||u||, u ~ N(0, I_d),
+// x = (s*beta/4) * (x')^{1/d}, x' ~ U(0,1).
+//
+// SAP is a beta-DCP function: for all o,p,q, if dist(o,q) < dist(p,q) - beta
+// (Euclidean, not squared) then dist(C_o,C_q) < dist(C_p,C_q). Ciphertexts
+// keep dimension d, so a distance computation over SAP ciphertexts costs
+// exactly the same as over plaintexts — this is why the filter phase of the
+// PP-ANNS scheme runs on SAP ciphertexts.
+//
+// As in the paper (Section V-A) the decryption information is deliberately
+// not retained: the server-side ciphertexts are never decrypted.
+
+#ifndef PPANNS_CRYPTO_DCPE_H_
+#define PPANNS_CRYPTO_DCPE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppanns {
+
+/// SAP secret key: scaling factor s and perturbation bound beta.
+struct DcpeSecretKey {
+  std::size_t dim = 0;
+  double s = 1024.0;  ///< scaling factor (paper uses s = 1024)
+  double beta = 0.0;  ///< noise bound; valid range [sqrt(M), 2*M*sqrt(d)]
+};
+
+/// The SAP scheme (EncSAP of Algorithm 1). beta = 0 yields pure scaling
+/// (no noise), used as the leakage-maximal reference point in Fig. 4.
+class DcpeScheme {
+ public:
+  /// Creates a scheme. `beta` may be 0 (no perturbation).
+  static Result<DcpeScheme> Create(std::size_t dim, double s, double beta);
+
+  /// Reconstructs a scheme from an existing key.
+  static Result<DcpeScheme> FromKey(const DcpeSecretKey& key) {
+    return Create(key.dim, key.s, key.beta);
+  }
+
+  /// Paper-recommended beta range endpoints for data with max absolute
+  /// coordinate M: [sqrt(M), 2*M*sqrt(d)].
+  static double MinBeta(double max_abs_coord);
+  static double MaxBeta(double max_abs_coord, std::size_t dim);
+
+  /// Encrypts `p` into `out` (length dim). Fresh randomness per call.
+  void Encrypt(const float* p, float* out, Rng& rng) const;
+
+  /// Encrypts a whole matrix row-by-row.
+  FloatMatrix EncryptMatrix(const FloatMatrix& data, Rng& rng) const;
+
+  /// Upper bound on the noise norm: s*beta/4.
+  double NoiseRadius() const { return key_.s * key_.beta / 4.0; }
+
+  const DcpeSecretKey& key() const { return key_; }
+  std::size_t dim() const { return key_.dim; }
+
+ private:
+  explicit DcpeScheme(DcpeSecretKey key) : key_(key) {}
+
+  DcpeSecretKey key_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CRYPTO_DCPE_H_

@@ -1,0 +1,181 @@
+#include "crypto/key_io.h"
+
+namespace ppanns {
+
+namespace {
+constexpr std::uint32_t kDceKeyMagic = 0x44434531;   // "DCE1"
+constexpr std::uint32_t kDcpeKeyMagic = 0x44435045;  // "DCPE"
+}  // namespace
+
+void SerializeMatrix(const Matrix& m, BinaryWriter* out) {
+  out->Put<std::uint64_t>(m.rows());
+  out->Put<std::uint64_t>(m.cols());
+  out->PutVector(m.data());
+}
+
+Result<Matrix> DeserializeMatrix(BinaryReader* in) {
+  std::uint64_t rows = 0, cols = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&rows));
+  PPANNS_RETURN_IF_ERROR(in->Get(&cols));
+  std::vector<double> data;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&data));
+  if (data.size() != rows * cols) {
+    return Status::IOError("matrix: size mismatch");
+  }
+  Matrix m(rows, cols);
+  m.data() = std::move(data);
+  return m;
+}
+
+namespace {
+
+void SerializePermutation(const Permutation& p, BinaryWriter* out) {
+  out->PutVector(p.indices());
+}
+
+Result<Permutation> DeserializePermutation(BinaryReader* in) {
+  std::vector<std::uint32_t> indices;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&indices));
+  // Validate bijectivity: a corrupted permutation would silently break
+  // every future ciphertext.
+  std::vector<bool> seen(indices.size(), false);
+  for (std::uint32_t v : indices) {
+    if (v >= indices.size() || seen[v]) {
+      return Status::IOError("permutation: not a bijection");
+    }
+    seen[v] = true;
+  }
+  return Permutation(std::move(indices));
+}
+
+void SerializeInvertible(const InvertibleMatrix& im, BinaryWriter* out) {
+  SerializeMatrix(im.m, out);
+  SerializeMatrix(im.m_inv, out);
+}
+
+Result<InvertibleMatrix> DeserializeInvertible(BinaryReader* in) {
+  Result<Matrix> m = DeserializeMatrix(in);
+  if (!m.ok()) return m.status();
+  Result<Matrix> m_inv = DeserializeMatrix(in);
+  if (!m_inv.ok()) return m_inv.status();
+  InvertibleMatrix out;
+  out.m = std::move(*m);
+  out.m_inv = std::move(*m_inv);
+  return out;
+}
+
+}  // namespace
+
+void SerializeDceKey(const DceSecretKey& key, BinaryWriter* out) {
+  out->Put(kDceKeyMagic);
+  out->Put<std::uint32_t>(1);  // version
+  out->Put<std::uint64_t>(key.dim);
+  out->Put<std::uint64_t>(key.dim_pad);
+  out->Put(key.scale);
+  SerializeInvertible(key.m1, out);
+  SerializeInvertible(key.m2, out);
+  SerializeMatrix(key.m_up, out);
+  SerializeMatrix(key.m_down, out);
+  SerializeMatrix(key.m3_inv, out);
+  SerializePermutation(key.pi1, out);
+  SerializePermutation(key.pi2, out);
+  out->Put(key.r1);
+  out->Put(key.r2);
+  out->Put(key.r3);
+  out->Put(key.r4);
+  out->PutVector(key.kv1);
+  out->PutVector(key.kv2);
+  out->PutVector(key.kv3);
+  out->PutVector(key.kv4);
+}
+
+Result<DceSecretKey> DeserializeDceKey(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != kDceKeyMagic) return Status::IOError("DCE key: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("DCE key: unsupported version");
+
+  DceSecretKey key;
+  std::uint64_t dim = 0, dim_pad = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim_pad));
+  key.dim = dim;
+  key.dim_pad = dim_pad;
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.scale));
+
+  auto m1 = DeserializeInvertible(in);
+  if (!m1.ok()) return m1.status();
+  key.m1 = std::move(*m1);
+  auto m2 = DeserializeInvertible(in);
+  if (!m2.ok()) return m2.status();
+  key.m2 = std::move(*m2);
+  auto up = DeserializeMatrix(in);
+  if (!up.ok()) return up.status();
+  key.m_up = std::move(*up);
+  auto down = DeserializeMatrix(in);
+  if (!down.ok()) return down.status();
+  key.m_down = std::move(*down);
+  auto m3_inv = DeserializeMatrix(in);
+  if (!m3_inv.ok()) return m3_inv.status();
+  key.m3_inv = std::move(*m3_inv);
+
+  auto pi1 = DeserializePermutation(in);
+  if (!pi1.ok()) return pi1.status();
+  key.pi1 = std::move(*pi1);
+  auto pi2 = DeserializePermutation(in);
+  if (!pi2.ok()) return pi2.status();
+  key.pi2 = std::move(*pi2);
+
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.r1));
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.r2));
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.r3));
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.r4));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&key.kv1));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&key.kv2));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&key.kv3));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&key.kv4));
+
+  // Structural validation before anything gets encrypted under this key.
+  const std::size_t half = key.dim_pad / 2 + 4;
+  const std::size_t dr = key.dim_pad + 8;
+  const std::size_t dt = 2 * key.dim_pad + 16;
+  if (key.dim == 0 || key.dim_pad < key.dim || key.dim_pad > key.dim + 1 ||
+      key.m1.m.rows() != half || key.m2.m.rows() != half ||
+      key.m_up.rows() != dr || key.m_up.cols() != dt ||
+      key.m_down.rows() != dr || key.m3_inv.rows() != dt ||
+      key.pi1.size() != key.dim_pad || key.pi2.size() != dr ||
+      key.kv1.size() != dt || key.kv2.size() != dt ||
+      key.kv3.size() != dt || key.kv4.size() != dt) {
+    return Status::IOError("DCE key: inconsistent shapes");
+  }
+  return key;
+}
+
+void SerializeDcpeKey(const DcpeSecretKey& key, BinaryWriter* out) {
+  out->Put(kDcpeKeyMagic);
+  out->Put<std::uint32_t>(1);
+  out->Put<std::uint64_t>(key.dim);
+  out->Put(key.s);
+  out->Put(key.beta);
+}
+
+Result<DcpeSecretKey> DeserializeDcpeKey(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != kDcpeKeyMagic) return Status::IOError("DCPE key: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("DCPE key: unsupported version");
+  DcpeSecretKey key;
+  std::uint64_t dim = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  key.dim = dim;
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.s));
+  PPANNS_RETURN_IF_ERROR(in->Get(&key.beta));
+  if (key.dim == 0 || key.s <= 0 || key.beta < 0) {
+    return Status::IOError("DCPE key: invalid parameters");
+  }
+  return key;
+}
+
+}  // namespace ppanns

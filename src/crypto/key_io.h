@@ -1,0 +1,27 @@
+// Serialization of the scheme's secret keys — the "authorized secret key
+// sk" hand-off of Fig. 1 (step 0). The data owner persists/export keys to
+// authorized query users over a secure channel; the serialized form never
+// goes to the cloud.
+
+#ifndef PPANNS_CRYPTO_KEY_IO_H_
+#define PPANNS_CRYPTO_KEY_IO_H_
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "crypto/dce.h"
+#include "crypto/dcpe.h"
+
+namespace ppanns {
+
+void SerializeMatrix(const Matrix& m, BinaryWriter* out);
+Result<Matrix> DeserializeMatrix(BinaryReader* in);
+
+void SerializeDceKey(const DceSecretKey& key, BinaryWriter* out);
+Result<DceSecretKey> DeserializeDceKey(BinaryReader* in);
+
+void SerializeDcpeKey(const DcpeSecretKey& key, BinaryWriter* out);
+Result<DcpeSecretKey> DeserializeDcpeKey(BinaryReader* in);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CRYPTO_KEY_IO_H_

@@ -1,0 +1,184 @@
+#include "crypto/kpa_attack.h"
+
+#include <cmath>
+
+namespace ppanns {
+
+std::size_t AspeKpaAttack::RequiredLeaks() const {
+  if (variant_ == AspeVariant::kSquare) {
+    // (d+2)(d+3)/2 - 1: the paper's lift minus the redundant ||p||^2
+    // coordinate (see header).
+    return (dim_ + 2) * (dim_ + 3) / 2 - 1;
+  }
+  return dim_ + 2;
+}
+
+double AspeKpaAttack::InverseTransform(double leaked) const {
+  switch (variant_) {
+    case AspeVariant::kLinear:
+      return leaked;
+    case AspeVariant::kExponential:
+      // L = exp(v / norm)  =>  v = norm * ln(L)   (Corollary 1).
+      return exp_norm_ * std::log(leaked);
+    case AspeVariant::kLogarithmic:
+      // L = log(v + shift) =>  v = exp(L) - shift (Corollary 2).
+      return std::exp(leaked) - log_shift_;
+    case AspeVariant::kSquare:
+      PPANNS_CHECK(false);  // handled by the lifted system, not here
+  }
+  return leaked;
+}
+
+std::vector<double> AspeKpaAttack::SquareLiftData(const double* p) const {
+  const std::size_t d = dim_;
+  std::vector<double> out;
+  out.reserve(RequiredLeaks());
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < d; ++i) norm2 += p[i] * p[i];
+
+  out.push_back(norm2 * norm2);                              // ||p||^4
+  for (std::size_t i = 0; i < d; ++i) out.push_back(norm2 * p[i]);
+  // No separate ||p||^2 coordinate: it is linearly dependent on the p^2
+  // block and would make every attack system singular (see header).
+  for (std::size_t i = 0; i < d; ++i) out.push_back(4.0 * p[i] * p[i]);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) out.push_back(8.0 * p[i] * p[j]);
+  }
+  for (std::size_t i = 0; i < d; ++i) out.push_back(-4.0 * p[i]);
+  out.push_back(1.0);
+  return out;
+}
+
+std::vector<double> AspeKpaAttack::SquareLiftQuery(const double* q, double r1,
+                                                   double r2,
+                                                   double r3) const {
+  const std::size_t d = dim_;
+  std::vector<double> out;
+  out.reserve(RequiredLeaks());
+  out.push_back(r1);
+  for (std::size_t i = 0; i < d; ++i) out.push_back(-4.0 * r1 * q[i]);
+  // The 2 r1 r2 * ||p||^2 term rides on the p^2 block:
+  // 2 r1 r2 ||p||^2 = sum_i (4 p_i^2) * (r1 r2 / 2).
+  for (std::size_t i = 0; i < d; ++i) {
+    out.push_back(r1 * q[i] * q[i] + r1 * r2 / 2.0);
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) out.push_back(r1 * q[i] * q[j]);
+  }
+  for (std::size_t i = 0; i < d; ++i) out.push_back(r1 * r2 * q[i]);
+  out.push_back(r1 * r2 * r2 + r3);
+  return out;
+}
+
+Result<RecoveredQuery> AspeKpaAttack::RecoverQuery(
+    const Matrix& leaked_points, const std::vector<double>& leakage) const {
+  const std::size_t need = RequiredLeaks();
+  if (leaked_points.rows() < need || leakage.size() < need) {
+    return Status::InvalidArgument("KPA: not enough leaked pairs");
+  }
+  PPANNS_CHECK(leaked_points.cols() == dim_);
+  const std::size_t d = dim_;
+
+  if (variant_ != AspeVariant::kSquare) {
+    // Theorem 1: rows [-2 p_i^T, ||p_i||^2, 1], unknown x = [r1 q; r1; r2].
+    Matrix mc(need, d + 2);
+    std::vector<double> b(need);
+    for (std::size_t i = 0; i < need; ++i) {
+      const double* p = leaked_points.row(i);
+      double norm2 = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        mc.at(i, j) = -2.0 * p[j];
+        norm2 += p[j] * p[j];
+      }
+      mc.at(i, d) = norm2;
+      mc.at(i, d + 1) = 1.0;
+      b[i] = InverseTransform(leakage[i]);
+    }
+    std::vector<double> x;
+    PPANNS_RETURN_IF_ERROR(SolveLinearSystem(mc, b, &x));
+    RecoveredQuery out;
+    out.r1 = x[d];
+    if (out.r1 == 0.0) return Status::FailedPrecondition("KPA: r1 == 0");
+    out.r2 = x[d + 1];
+    out.q.resize(d);
+    for (std::size_t j = 0; j < d; ++j) out.q[j] = x[j] / out.r1;
+    return out;
+  }
+
+  // Theorem 2: lifted system in 0.5 d^2 + 2.5 d + 3 unknowns.
+  Matrix mc(need, need);
+  std::vector<double> b(need);
+  for (std::size_t i = 0; i < need; ++i) {
+    const std::vector<double> lift = SquareLiftData(leaked_points.row(i));
+    PPANNS_CHECK(lift.size() == need);
+    for (std::size_t j = 0; j < need; ++j) mc.at(i, j) = lift[j];
+    b[i] = leakage[i];
+  }
+  std::vector<double> x;
+  PPANNS_RETURN_IF_ERROR(SolveLinearSystem(mc, b, &x));
+
+  RecoveredQuery out;
+  out.r1 = x[0];
+  if (out.r1 == 0.0) return Status::FailedPrecondition("KPA: r1 == 0");
+  out.q.resize(d);
+  for (std::size_t j = 0; j < d; ++j) out.q[j] = -x[1 + j] / (4.0 * out.r1);
+  // The p^2 block carries r1*q_i^2 + r1*r2/2; average the r2 estimates.
+  double r2_sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    r2_sum += 2.0 * (x[d + 1 + j] / out.r1 - out.q[j] * out.q[j]);
+  }
+  out.r2 = r2_sum / static_cast<double>(d);
+  out.r3 = x[need - 1] - out.r1 * out.r2 * out.r2;
+  return out;
+}
+
+Result<std::vector<double>> AspeKpaAttack::RecoverDataVector(
+    const std::vector<RecoveredQuery>& queries,
+    const std::vector<double>& leakage) const {
+  const std::size_t need = RequiredLeaks();
+  if (queries.size() < need || leakage.size() < need) {
+    return Status::InvalidArgument("KPA: not enough recovered queries");
+  }
+  const std::size_t d = dim_;
+
+  if (variant_ != AspeVariant::kSquare) {
+    // Dual of Theorem 1: rows [r1_j q_j^T, r1_j, r2_j], unknown
+    // y = [-2p; ||p||^2; 1].
+    Matrix mc(need, d + 2);
+    std::vector<double> b(need);
+    for (std::size_t i = 0; i < need; ++i) {
+      const RecoveredQuery& rq = queries[i];
+      PPANNS_CHECK(rq.q.size() == d);
+      for (std::size_t j = 0; j < d; ++j) mc.at(i, j) = rq.r1 * rq.q[j];
+      mc.at(i, d) = rq.r1;
+      mc.at(i, d + 1) = rq.r2;
+      b[i] = InverseTransform(leakage[i]);
+    }
+    std::vector<double> y;
+    PPANNS_RETURN_IF_ERROR(SolveLinearSystem(mc, b, &y));
+    std::vector<double> p(d);
+    for (std::size_t j = 0; j < d; ++j) p[j] = -y[j] / 2.0;
+    return p;
+  }
+
+  // Dual of Theorem 2: rows are the lifted recovered queries, unknown is the
+  // lifted p; p is read off the -4p block.
+  Matrix mc(need, need);
+  std::vector<double> b(need);
+  for (std::size_t i = 0; i < need; ++i) {
+    const RecoveredQuery& rq = queries[i];
+    const std::vector<double> lift =
+        SquareLiftQuery(rq.q.data(), rq.r1, rq.r2, rq.r3);
+    PPANNS_CHECK(lift.size() == need);
+    for (std::size_t j = 0; j < need; ++j) mc.at(i, j) = lift[j];
+    b[i] = leakage[i];
+  }
+  std::vector<double> x;
+  PPANNS_RETURN_IF_ERROR(SolveLinearSystem(mc, b, &x));
+  const std::size_t minus4p_offset = 2 * d + 1 + d * (d - 1) / 2;
+  std::vector<double> p(d);
+  for (std::size_t j = 0; j < d; ++j) p[j] = -x[minus4p_offset + j] / 4.0;
+  return p;
+}
+
+}  // namespace ppanns

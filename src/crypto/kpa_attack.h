@@ -1,0 +1,102 @@
+// Known-plaintext attacks against ASPE and its enhanced variants —
+// Section III-A of the paper (Theorem 1, Corollaries 1-2, Theorem 2).
+//
+// Setting: the attacker holds the encrypted database C_P, encrypted queries
+// C_Q, a leaked subset P_leak of plaintexts, and observes the per-pair
+// leakage L(C_p, T_q). The transformation family (linear / exponential /
+// logarithmic / square) and its public parameters are known (Kerckhoffs);
+// the matrix key M and the per-query randomizers r1, r2, r3 are not.
+//
+// Attack shape (Theorem 1): each leaked plaintext p_i yields one linear
+// equation [-2 p_i^T, ||p_i||^2, 1] * x = v_i in the unknown
+// x = [r1*q; r1; r2], where v_i is the (inverse-transformed) leakage. With
+// d+2 leaked plaintexts the system is square and q = x[0..d)/x[d]. Once d+2
+// queries (with their r's) are recovered, every remaining database vector
+// falls to the dual system. The square variant (Theorem 2) lifts to
+// 0.5 d^2 + 2.5 d + 3 unknowns but is otherwise identical.
+
+#ifndef PPANNS_CRYPTO_KPA_ATTACK_H_
+#define PPANNS_CRYPTO_KPA_ATTACK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/aspe.h"
+#include "linalg/matrix.h"
+
+namespace ppanns {
+
+/// A query recovered by the attack, including its blinding scalars (needed
+/// for the second-stage database recovery).
+struct RecoveredQuery {
+  std::vector<double> q;
+  double r1 = 0.0;
+  double r2 = 0.0;
+  double r3 = 0.0;  ///< square variant only
+};
+
+/// Implements the attacks of Section III-A against a given ASPE variant.
+class AspeKpaAttack {
+ public:
+  /// The attacker knows the scheme's public transformation parameters but
+  /// not its secret key; `scheme` is only consulted for variant / exp_norm /
+  /// log_shift.
+  explicit AspeKpaAttack(const AspeScheme& scheme)
+      : variant_(scheme.variant()),
+        dim_(scheme.dim()),
+        exp_norm_(scheme.exp_norm()),
+        log_shift_(scheme.log_shift()) {}
+
+  /// Number of (leaked plaintext, leakage) pairs the attack needs: d+2 for
+  /// linear/exp/log, 0.5 d^2 + 2.5 d + 2 for square.
+  ///
+  /// Note on the square count: the paper's Theorem-2 lift has 0.5 d^2 +
+  /// 2.5 d + 3 coordinates, but it is rank-deficient by exactly one — the
+  /// ||p||^2 coordinate is a fixed linear combination of the p^2 block
+  /// (||p||^2 = sum_i p_i^2), so the induced linear system is singular for
+  /// EVERY choice of leaked points. The attacker resolves this by folding
+  /// the ||p||^2 column into the p^2 block (shifting the matching query
+  /// coefficients by r1*r2/2), which drops one unknown and makes the system
+  /// generically invertible. The recovered q, r1, r2, r3 are unchanged.
+  std::size_t RequiredLeaks() const;
+
+  /// Stage 1 (Theorem 1 / Corollaries 1-2 / Theorem 2): recovers a query
+  /// vector from `RequiredLeaks()` leaked plaintexts (rows of
+  /// `leaked_points`, m x d) and the corresponding leakage values for one
+  /// query. Fails with FailedPrecondition if the induced system is singular
+  /// (attacker then resamples leaks).
+  Result<RecoveredQuery> RecoverQuery(const Matrix& leaked_points,
+                                      const std::vector<double>& leakage) const;
+
+  /// Stage 2: recovers a database vector from `RequiredLeaks()` recovered
+  /// queries and the leakage values L(C_p, T_qj). For the square variant the
+  /// recovered queries must carry exact r1/r2 (as produced by RecoverQuery).
+  Result<std::vector<double>> RecoverDataVector(
+      const std::vector<RecoveredQuery>& queries,
+      const std::vector<double>& leakage) const;
+
+  /// The (rank-repaired) Theorem-2 lift of a data vector p:
+  /// [||p||^4; ||p||^2 p; 4 p^2; {8 p_i p_j}_{i<j}; -4p; 1].
+  std::vector<double> SquareLiftData(const double* p) const;
+
+  /// The matching query lift:
+  /// [r1; -4 r1 q; r1 q^2 + r1 r2/2; {r1 q_i q_j}_{i<j}; r1 r2 q;
+  ///  r1 r2^2 + r3].
+  std::vector<double> SquareLiftQuery(const double* q, double r1, double r2,
+                                      double r3) const;
+
+ private:
+  /// Inverts the variant's transformation, recovering the linear leakage
+  /// v = r1*(||p||^2 - 2 p.q) + r2 (not used for kSquare).
+  double InverseTransform(double leaked) const;
+
+  AspeVariant variant_;
+  std::size_t dim_;
+  double exp_norm_;
+  double log_shift_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CRYPTO_KPA_ATTACK_H_

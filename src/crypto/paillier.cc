@@ -1,0 +1,112 @@
+#include "crypto/paillier.h"
+
+namespace ppanns {
+
+Result<Paillier> Paillier::KeyGen(std::size_t modulus_bits, Rng& rng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("Paillier: modulus too small");
+  }
+  const std::size_t prime_bits = modulus_bits / 2;
+  Paillier out;
+  for (;;) {
+    const BigUint p = BigUint::RandomPrime(prime_bits, rng);
+    const BigUint q = BigUint::RandomPrime(prime_bits, rng);
+    if (p == q) continue;
+    out.n_ = p.Mul(q);
+    out.n2_ = out.n_.Mul(out.n_);
+    // lambda = lcm(p-1, q-1).
+    const BigUint p1 = p.Sub(BigUint(1));
+    const BigUint q1 = q.Sub(BigUint(1));
+    const BigUint gcd = BigUint::Gcd(p1, q1);
+    out.lambda_ = p1.Mul(q1).Div(gcd);
+    // With g = n+1: g^lambda mod n^2 = 1 + lambda*n (binomial), so
+    // L(g^lambda) = lambda mod n and mu = lambda^{-1} mod n.
+    out.mu_ = BigUint::InverseMod(out.lambda_.Mod(out.n_), out.n_);
+    if (!out.mu_.IsZero()) return out;
+    // gcd(lambda, n) != 1 is vanishingly rare; resample primes.
+  }
+}
+
+PaillierCiphertext Paillier::Encrypt(const BigUint& m, Rng& rng) const {
+  PPANNS_CHECK(m < n_);
+  // r uniform in Z_n^* (gcd check; retry on the negligible failure case).
+  BigUint r;
+  do {
+    r = BigUint::RandomBelow(n_, rng);
+  } while (r.IsZero() || !(BigUint::Gcd(r, n_) == BigUint(1)));
+
+  // c = (1 + m*n) * r^n mod n^2.
+  const BigUint gm = BigUint(1).Add(m.Mul(n_)).Mod(n2_);
+  const BigUint rn = BigUint::PowMod(r, n_, n2_);
+  return PaillierCiphertext{BigUint::MulMod(gm, rn, n2_)};
+}
+
+BigUint Paillier::Decrypt(const PaillierCiphertext& c) const {
+  // m = L(c^lambda mod n^2) * mu mod n, L(x) = (x - 1) / n.
+  const BigUint x = BigUint::PowMod(c.value, lambda_, n2_);
+  const BigUint l = x.Sub(BigUint(1)).Div(n_);
+  return BigUint::MulMod(l, mu_, n_);
+}
+
+PaillierCiphertext Paillier::Add(const PaillierCiphertext& a,
+                                 const PaillierCiphertext& b) const {
+  return PaillierCiphertext{BigUint::MulMod(a.value, b.value, n2_)};
+}
+
+PaillierCiphertext Paillier::AddPlain(const PaillierCiphertext& a,
+                                      const BigUint& b, Rng& rng) const {
+  return Add(a, Encrypt(b.Mod(n_), rng));
+}
+
+PaillierCiphertext Paillier::ScalarMul(const PaillierCiphertext& a,
+                                       const BigUint& k) const {
+  return PaillierCiphertext{BigUint::PowMod(a.value, k, n2_)};
+}
+
+BigUint Paillier::EncodeSigned(std::int64_t v) const {
+  if (v >= 0) return BigUint(static_cast<std::uint64_t>(v));
+  return n_.Sub(BigUint(static_cast<std::uint64_t>(-v)));
+}
+
+std::int64_t Paillier::DecodeSigned(const BigUint& m) const {
+  const BigUint half = n_.ShiftRight(1);
+  if (m <= half) {
+    return static_cast<std::int64_t>(m.ToUint64());
+  }
+  return -static_cast<std::int64_t>(n_.Sub(m).ToUint64());
+}
+
+HeDistanceProtocol::EncryptedVector HeDistanceProtocol::EncryptVector(
+    const std::vector<std::int64_t>& p, Rng& rng) const {
+  EncryptedVector out;
+  out.coords.reserve(p.size());
+  std::int64_t norm2 = 0;
+  for (std::int64_t v : p) {
+    out.coords.push_back(he_->Encrypt(he_->EncodeSigned(v), rng));
+    norm2 += v * v;
+  }
+  out.norm2 = he_->Encrypt(he_->EncodeSigned(norm2), rng);
+  return out;
+}
+
+PaillierCiphertext HeDistanceProtocol::DistanceCiphertext(
+    const EncryptedVector& p, const std::vector<std::int64_t>& q,
+    Rng& rng) const {
+  PPANNS_CHECK(p.coords.size() == q.size());
+  // Enc(dist^2) = Enc(||p||^2) * prod_i Enc(p_i)^{-2 q_i} * Enc(||q||^2).
+  PaillierCiphertext acc = p.norm2;
+  std::int64_t q_norm2 = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q_norm2 += q[i] * q[i];
+    const BigUint k = he_->EncodeSigned(-2 * q[i]);
+    acc = he_->Add(acc, he_->ScalarMul(p.coords[i], k));  // d modexps total
+  }
+  return he_->AddPlain(acc, he_->EncodeSigned(q_norm2), rng);
+}
+
+std::int64_t HeDistanceProtocol::DecryptDistance(
+    const PaillierCiphertext& c) const {
+  return he_->DecodeSigned(he_->Decrypt(c));
+}
+
+}  // namespace ppanns

@@ -1,0 +1,199 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/io.h"
+#include "index/brute_force.h"
+
+namespace ppanns {
+
+namespace {
+
+/// Per-kind mixture geometry: the centers live in [lo, hi]^d with cluster
+/// radius sigma (pre-post-processing).
+struct KindProfile {
+  double lo;
+  double hi;
+  double sigma;
+  std::size_t dim;
+  const char* name;
+};
+
+KindProfile ProfileOf(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kSiftLike:
+      return {0.0, 255.0, 24.0, 128, "Sift1M"};
+    case SyntheticKind::kGistLike:
+      return {0.0, 1.0, 0.08, 960, "Gist"};
+    case SyntheticKind::kGloveLike:
+      return {-4.0, 4.0, 0.9, 100, "Glove"};
+    case SyntheticKind::kDeepLike:
+      return {-1.0, 1.0, 0.25, 96, "Deep1M"};
+  }
+  PPANNS_CHECK(false);
+  return {};
+}
+
+void PostProcess(SyntheticKind kind, float* v, std::size_t dim) {
+  switch (kind) {
+    case SyntheticKind::kSiftLike:
+      // SIFT descriptors are non-negative integers capped at 255.
+      for (std::size_t i = 0; i < dim; ++i) {
+        v[i] = std::round(std::clamp(v[i], 0.0f, 255.0f));
+      }
+      break;
+    case SyntheticKind::kGistLike:
+      for (std::size_t i = 0; i < dim; ++i) v[i] = std::clamp(v[i], 0.0f, 1.0f);
+      break;
+    case SyntheticKind::kGloveLike:
+      break;  // unbounded dense embeddings
+    case SyntheticKind::kDeepLike: {
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) norm2 += double(v[i]) * v[i];
+      const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+      for (std::size_t i = 0; i < dim; ++i) v[i] = static_cast<float>(v[i] * inv);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t PaperDim(SyntheticKind kind) { return ProfileOf(kind).dim; }
+std::string PaperName(SyntheticKind kind) { return ProfileOf(kind).name; }
+
+DatasetStats ComputeStats(const FloatMatrix& data, Rng& rng,
+                          std::size_t pair_samples) {
+  DatasetStats s;
+  s.n = data.size();
+  s.dim = data.dim();
+  double norm_sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < data.dim(); ++j) {
+      const double v = data.at(i, j);
+      s.max_abs_coord = std::max(s.max_abs_coord, std::fabs(v));
+      norm2 += v * v;
+    }
+    norm_sum += std::sqrt(norm2);
+  }
+  if (data.size() > 0) s.mean_norm = norm_sum / data.size();
+
+  if (data.size() >= 2 && pair_samples > 0) {
+    double dist_sum = 0.0;
+    for (std::size_t t = 0; t < pair_samples; ++t) {
+      const auto i = static_cast<std::size_t>(rng.UniformInt(0, data.size() - 1));
+      auto j = static_cast<std::size_t>(rng.UniformInt(0, data.size() - 1));
+      if (j == i) j = (j + 1) % data.size();
+      dist_sum += std::sqrt(SquaredL2(data.row(i), data.row(j), data.dim()));
+    }
+    s.mean_dist = dist_sum / pair_samples;
+  }
+  return s;
+}
+
+FloatMatrix GenerateSynthetic(SyntheticKind kind, std::size_t n,
+                              std::size_t dim, Rng& rng,
+                              std::size_t num_clusters) {
+  const KindProfile prof = ProfileOf(kind);
+  if (dim == 0) dim = prof.dim;
+  num_clusters = std::max<std::size_t>(1, std::min(num_clusters, n));
+
+  // Cluster centers uniform in the data box; cluster weights mildly skewed
+  // (Zipf-ish) like real descriptor corpora.
+  FloatMatrix centers(num_clusters, dim);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      centers.at(c, j) = static_cast<float>(rng.Uniform(prof.lo, prof.hi));
+    }
+  }
+  std::vector<double> cum_weight(num_clusters);
+  double total = 0.0;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    total += 1.0 / std::sqrt(static_cast<double>(c + 1));
+    cum_weight[c] = total;
+  }
+
+  FloatMatrix out(n, dim);
+  std::vector<double> noise(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.Uniform(0.0, total);
+    const std::size_t c =
+        std::lower_bound(cum_weight.begin(), cum_weight.end(), u) -
+        cum_weight.begin();
+    rng.GaussianVector(0.0, prof.sigma, noise.data(), dim);
+    float* row = out.row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(centers.at(std::min(c, num_clusters - 1), j) +
+                                  noise[j]);
+    }
+    PostProcess(kind, row, dim);
+  }
+  return out;
+}
+
+Dataset MakeDataset(SyntheticKind kind, std::size_t n, std::size_t num_queries,
+                    std::size_t gt_k, std::uint64_t seed,
+                    std::size_t dim_override) {
+  Rng rng(seed);
+  const std::size_t dim = dim_override ? dim_override : PaperDim(kind);
+  // Generate base and queries from one mixture draw so queries follow the
+  // data distribution, then split.
+  FloatMatrix all = GenerateSynthetic(kind, n + num_queries, dim, rng);
+  Dataset ds;
+  ds.name = PaperName(kind) + "-like";
+  ds.base = FloatMatrix(n, dim);
+  ds.queries = FloatMatrix(num_queries, dim);
+  std::copy(all.data().begin(), all.data().begin() + n * dim,
+            ds.base.data().begin());
+  std::copy(all.data().begin() + n * dim, all.data().end(),
+            ds.queries.data().begin());
+  if (gt_k > 0) {
+    ds.ground_truth = BruteForceKnnBatch(ds.base, ds.queries, gt_k);
+  }
+  return ds;
+}
+
+Dataset MakeOrLoadDataset(SyntheticKind kind, std::size_t n,
+                          std::size_t num_queries, std::size_t gt_k,
+                          std::uint64_t seed) {
+  struct Paths {
+    const char* base;
+    const char* query;
+    bool bvecs;
+  };
+  Paths paths{};
+  switch (kind) {
+    case SyntheticKind::kSiftLike:
+      paths = {"data/sift/sift_base.fvecs", "data/sift/sift_query.fvecs", false};
+      break;
+    case SyntheticKind::kGistLike:
+      paths = {"data/gist/gist_base.fvecs", "data/gist/gist_query.fvecs", false};
+      break;
+    case SyntheticKind::kGloveLike:
+      paths = {"data/glove/glove_base.fvecs", "data/glove/glove_query.fvecs",
+               false};
+      break;
+    case SyntheticKind::kDeepLike:
+      paths = {"data/deep/deep_base.fvecs", "data/deep/deep_query.fvecs", false};
+      break;
+  }
+  if (FileExists(paths.base) && FileExists(paths.query)) {
+    auto base = ReadFvecs(paths.base, n);
+    auto queries = ReadFvecs(paths.query, num_queries);
+    if (base.ok() && queries.ok()) {
+      Dataset ds;
+      ds.name = PaperName(kind);
+      ds.base = std::move(*base);
+      ds.queries = std::move(*queries);
+      if (gt_k > 0) {
+        ds.ground_truth = BruteForceKnnBatch(ds.base, ds.queries, gt_k);
+      }
+      return ds;
+    }
+  }
+  return MakeDataset(kind, n, num_queries, gt_k, seed);
+}
+
+}  // namespace ppanns

@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+double RecallAtK(const std::vector<VectorId>& result,
+                 const std::vector<Neighbor>& ground_truth, std::size_t k) {
+  if (k == 0) return 0.0;
+  const std::size_t gt_k = std::min(k, ground_truth.size());
+  std::unordered_set<VectorId> truth;
+  truth.reserve(gt_k);
+  for (std::size_t i = 0; i < gt_k; ++i) truth.insert(ground_truth[i].id);
+
+  std::size_t hits = 0;
+  const std::size_t upto = std::min(k, result.size());
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (truth.count(result[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<VectorId>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     std::size_t k) {
+  PPANNS_CHECK(results.size() == ground_truth.size());
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    total += RecallAtK(results[i], ground_truth[i], k);
+  }
+  return total / results.size();
+}
+
+double Percentile(std::vector<double> latencies, double pct) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double rank = pct / 100.0 * (latencies.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+  const double frac = rank - lo;
+  return latencies[lo] * (1.0 - frac) + latencies[hi] * frac;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,28 @@
+// Accuracy and throughput metrics (Section VII: Recall@k, QPS, latency).
+
+#ifndef PPANNS_EVAL_METRICS_H_
+#define PPANNS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ppanns {
+
+/// Recall@k of one result list against the exact neighbors:
+/// |result ∩ gt[0..k)| / k. `result` may be shorter than k.
+double RecallAtK(const std::vector<VectorId>& result,
+                 const std::vector<Neighbor>& ground_truth, std::size_t k);
+
+/// Mean Recall@k over a query batch.
+double MeanRecallAtK(const std::vector<std::vector<VectorId>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     std::size_t k);
+
+/// Latency percentile (seconds) from a sample of per-query latencies.
+double Percentile(std::vector<double> latencies, double pct);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_EVAL_METRICS_H_

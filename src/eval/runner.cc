@@ -1,0 +1,76 @@
+#include "eval/runner.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace ppanns {
+
+OperatingPoint MeasureServer(
+    const CloudServer& server, const std::vector<QueryToken>& tokens,
+    const std::vector<std::vector<Neighbor>>& ground_truth, std::size_t k,
+    const SearchSettings& settings) {
+  OperatingPoint point;
+  if (tokens.empty()) return point;
+  PPANNS_CHECK(tokens.size() <= ground_truth.size());
+
+  std::vector<std::vector<VectorId>> results(tokens.size());
+  std::vector<double> latencies(tokens.size());
+  double total_seconds = 0.0;
+  double filter_s = 0.0, refine_s = 0.0, comparisons = 0.0, candidates = 0.0;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    Timer timer;
+    SearchResult r = server.Search(tokens[i], k, settings);
+    const double elapsed = timer.ElapsedSeconds();
+    latencies[i] = elapsed;
+    total_seconds += elapsed;
+    results[i] = std::move(r.ids);
+    filter_s += r.counters.filter_seconds;
+    refine_s += r.counters.refine_seconds;
+    comparisons += static_cast<double>(r.counters.dce_comparisons);
+    candidates += static_cast<double>(r.counters.filter_candidates);
+  }
+
+  const double n = static_cast<double>(tokens.size());
+  point.recall = MeanRecallAtK(results, ground_truth, k);
+  point.qps = n / total_seconds;
+  point.mean_latency_ms = total_seconds / n * 1e3;
+  point.p99_latency_ms = Percentile(latencies, 99.0) * 1e3;
+  point.mean_filter_ms = filter_s / n * 1e3;
+  point.mean_refine_ms = refine_s / n * 1e3;
+  point.mean_dce_comparisons = comparisons / n;
+  point.mean_filter_candidates = candidates / n;
+  return point;
+}
+
+std::vector<QueryToken> EncryptQueries(QueryClient& client,
+                                       const FloatMatrix& queries) {
+  std::vector<QueryToken> tokens;
+  tokens.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    tokens.push_back(client.EncryptQuery(queries.row(i)));
+  }
+  return tokens;
+}
+
+std::string FormatHeader() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-18s %-14s %8s %10s %10s %10s %10s",
+                "series", "param", "recall", "QPS", "lat_ms", "filter_ms",
+                "refine_ms");
+  return buf;
+}
+
+std::string FormatRow(const std::string& label, const std::string& param,
+                      const OperatingPoint& p) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%-18s %-14s %8.4f %10.1f %10.4f %10.4f %10.4f",
+                label.c_str(), param.c_str(), p.recall, p.qps,
+                p.mean_latency_ms, p.mean_filter_ms, p.mean_refine_ms);
+  return buf;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,50 @@
+// Measurement harness: runs a query batch through a CloudServer
+// single-threaded (the paper's methodology) and reports the operating point
+// (Recall@k, QPS, latency, counter totals). Bench binaries sweep ef_search /
+// k' / beta through this.
+
+#ifndef PPANNS_EVAL_RUNNER_H_
+#define PPANNS_EVAL_RUNNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cloud_server.h"
+#include "core/query_client.h"
+
+namespace ppanns {
+
+/// One point on a recall-vs-throughput curve.
+struct OperatingPoint {
+  double recall = 0.0;
+  double qps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double mean_filter_ms = 0.0;
+  double mean_refine_ms = 0.0;
+  double mean_dce_comparisons = 0.0;
+  double mean_filter_candidates = 0.0;
+};
+
+/// Runs all tokens through `server` with `settings`; recall against
+/// `ground_truth` at `k`.
+OperatingPoint MeasureServer(const CloudServer& server,
+                             const std::vector<QueryToken>& tokens,
+                             const std::vector<std::vector<Neighbor>>& ground_truth,
+                             std::size_t k, const SearchSettings& settings);
+
+/// Pre-encrypts a query batch (user-side work, excluded from server QPS).
+std::vector<QueryToken> EncryptQueries(QueryClient& client,
+                                       const FloatMatrix& queries);
+
+/// Formats one table row "label  param  recall  qps  latency" for the bench
+/// binaries' stdout (the series the paper's figures plot).
+std::string FormatRow(const std::string& label, const std::string& param,
+                      const OperatingPoint& point);
+/// The matching header.
+std::string FormatHeader();
+
+}  // namespace ppanns
+
+#endif  // PPANNS_EVAL_RUNNER_H_

@@ -1,0 +1,49 @@
+#include "index/brute_force.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/thread_pool.h"
+
+namespace ppanns {
+
+std::vector<Neighbor> BruteForceKnn(const FloatMatrix& data, const float* query,
+                                    std::size_t k) {
+  // Bounded max-heap of the current best k.
+  std::priority_queue<Neighbor> heap;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float dist = SquaredL2(data.row(i), query, data.dim());
+    if (heap.size() < k) {
+      heap.push(Neighbor{static_cast<VectorId>(i), dist});
+    } else if (!heap.empty() && dist < heap.top().distance) {
+      heap.pop();
+      heap.push(Neighbor{static_cast<VectorId>(i), dist});
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (std::size_t i = heap.size(); i > 0; --i) {
+    out[i - 1] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
+                                                      const FloatMatrix& queries,
+                                                      std::size_t k,
+                                                      bool parallel) {
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = BruteForceKnn(data, queries.row(i), k);
+    }
+  };
+  if (parallel && queries.size() > 1) {
+    ThreadPool::Global().ParallelFor(queries.size(), work);
+  } else {
+    work(0, queries.size());
+  }
+  return out;
+}
+
+}  // namespace ppanns

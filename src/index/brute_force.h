@@ -1,0 +1,28 @@
+// Exact k-nearest-neighbor search by linear scan — the ground-truth oracle
+// for recall measurement, optionally multi-threaded over the database.
+
+#ifndef PPANNS_INDEX_BRUTE_FORCE_H_
+#define PPANNS_INDEX_BRUTE_FORCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ppanns {
+
+/// Exact top-k by squared L2 over `data` for a single query, ascending by
+/// distance (ties broken by id).
+std::vector<Neighbor> BruteForceKnn(const FloatMatrix& data, const float* query,
+                                    std::size_t k);
+
+/// Exact top-k for a batch of queries; parallelized over queries with the
+/// global thread pool when `parallel` is true.
+std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
+                                                      const FloatMatrix& queries,
+                                                      std::size_t k,
+                                                      bool parallel = true);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_BRUTE_FORCE_H_

@@ -1,0 +1,432 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ppanns {
+
+namespace {
+
+/// Min-heap comparator on distance (closest on top).
+struct FartherFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.distance > b.distance || (a.distance == b.distance && a.id > b.id);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<HnswIndex::VisitedList> HnswIndex::VisitedPool::Acquire(
+    std::size_t n) {
+  std::unique_ptr<VisitedList> vl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      vl = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!vl) vl = std::make_unique<VisitedList>();
+  if (vl->tags.size() < n) vl->tags.resize(n, 0);
+  if (++vl->epoch == 0) {  // epoch wrap: clear tags once every 2^32 uses
+    std::fill(vl->tags.begin(), vl->tags.end(), 0);
+    vl->epoch = 1;
+  }
+  return vl;
+}
+
+void HnswIndex::VisitedPool::Release(std::unique_ptr<VisitedList> vl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(vl));
+}
+
+HnswIndex::HnswIndex(std::size_t dim, HnswParams params)
+    : dim_(dim),
+      params_(params),
+      level_mult_(1.0 / std::log(static_cast<double>(std::max<std::size_t>(params.m, 2)))),
+      level_rng_(params.seed),
+      data_(0, dim),
+      visited_pool_(std::make_unique<VisitedPool>()) {
+  PPANNS_CHECK(dim > 0);
+  PPANNS_CHECK(params.m >= 2);
+}
+
+int HnswIndex::RandomLevel() {
+  const double u = level_rng_.Uniform(0.0, 1.0);
+  const double r = -std::log(std::max(u, 1e-300)) * level_mult_;
+  return static_cast<int>(r);
+}
+
+VectorId HnswIndex::GreedyClosest(const float* query, VectorId start,
+                                  int level, std::size_t* dist_count) const {
+  VectorId cur = start;
+  float cur_dist = Distance(query, cur);
+  if (dist_count != nullptr) ++*dist_count;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (VectorId nb : nodes_[cur].adjacency[level]) {
+      const float d = Distance(query, nb);
+      if (dist_count != nullptr) ++*dist_count;
+      if (d < cur_dist) {
+        cur_dist = d;
+        cur = nb;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
+                                             std::size_t ef, int level,
+                                             VisitedList* visited,
+                                             std::size_t* dist_count) const {
+  const std::uint32_t epoch = visited->epoch;
+  auto& tags = visited->tags;
+
+  // candidates: min-heap by distance (expansion frontier);
+  // results: max-heap of the ef best found so far.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FartherFirst> candidates;
+  std::priority_queue<Neighbor> results;
+
+  const float entry_dist = Distance(query, entry);
+  if (dist_count != nullptr) ++*dist_count;
+  candidates.push(Neighbor{entry, entry_dist});
+  tags[entry] = epoch;
+  if (!nodes_[entry].deleted) results.push(Neighbor{entry, entry_dist});
+
+  while (!candidates.empty()) {
+    const Neighbor cand = candidates.top();
+    if (results.size() >= ef && cand.distance > results.top().distance) break;
+    candidates.pop();
+
+    for (VectorId nb : nodes_[cand.id].adjacency[level]) {
+      if (tags[nb] == epoch) continue;
+      tags[nb] = epoch;
+      const float d = Distance(query, nb);
+      if (dist_count != nullptr) ++*dist_count;
+      if (results.size() < ef || d < results.top().distance) {
+        candidates.push(Neighbor{nb, d});
+        // Deleted nodes stay traversable (their edges hold the graph
+        // together mid-repair) but are not returned.
+        if (!nodes_[nb].deleted) {
+          results.push(Neighbor{nb, d});
+          if (results.size() > ef) results.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(results.size());
+  for (std::size_t i = results.size(); i > 0; --i) {
+    out[i - 1] = results.top();
+    results.pop();
+  }
+  return out;  // ascending by distance
+}
+
+std::vector<VectorId> HnswIndex::SelectNeighbors(
+    const float* base, std::vector<Neighbor> candidates, std::size_t m) const {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<VectorId> selected;
+  selected.reserve(m);
+  // Algorithm 4 heuristic: keep c only if it is closer to the base than to
+  // every already-selected neighbor; this spreads edges across directions.
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= m) break;
+    bool diverse = true;
+    for (VectorId s : selected) {
+      if (SquaredL2(data_.row(c.id), data_.row(s), dim_) < c.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) selected.push_back(c.id);
+  }
+  // Fill remaining slots with the closest rejected candidates
+  // (keepPrunedConnections of the HNSW paper).
+  if (selected.size() < m) {
+    for (const Neighbor& c : candidates) {
+      if (selected.size() >= m) break;
+      if (std::find(selected.begin(), selected.end(), c.id) == selected.end()) {
+        selected.push_back(c.id);
+      }
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::Connect(VectorId id, int level,
+                        const std::vector<VectorId>& neighbors) {
+  const std::size_t max_degree = (level == 0) ? params_.max_m0() : params_.m;
+  nodes_[id].adjacency[level] = neighbors;
+
+  for (VectorId nb : neighbors) {
+    auto& back = nodes_[nb].adjacency[level];
+    if (std::find(back.begin(), back.end(), id) != back.end()) continue;
+    if (back.size() < max_degree) {
+      back.push_back(id);
+      continue;
+    }
+    // Overflow: re-select the neighbor's adjacency with the heuristic over
+    // existing edges + the new node.
+    std::vector<Neighbor> cands;
+    cands.reserve(back.size() + 1);
+    const float* nb_vec = data_.row(nb);
+    for (VectorId existing : back) {
+      cands.push_back(Neighbor{existing, SquaredL2(nb_vec, data_.row(existing), dim_)});
+    }
+    cands.push_back(Neighbor{id, SquaredL2(nb_vec, data_.row(id), dim_)});
+    back = SelectNeighbors(nb_vec, std::move(cands), max_degree);
+  }
+}
+
+VectorId HnswIndex::Add(const float* v) {
+  const VectorId id = data_.Append(v);
+  const int level = RandomLevel();
+  Node node;
+  node.level = level;
+  node.adjacency.resize(level + 1);
+  nodes_.push_back(std::move(node));
+
+  if (entry_point_ == kInvalidVectorId) {
+    entry_point_ = id;
+    max_level_ = level;
+    return id;
+  }
+
+  const float* query = data_.row(id);
+  VectorId cur = entry_point_;
+
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    cur = GreedyClosest(query, cur, l);
+  }
+
+  // Beam search + heuristic linking at each level the node occupies.
+  auto visited = visited_pool_->Acquire(nodes_.size());
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<Neighbor> cands =
+        SearchLayer(query, cur, params_.ef_construction, l, visited.get());
+    if (++visited->epoch == 0) {
+      std::fill(visited->tags.begin(), visited->tags.end(), 0);
+      visited->epoch = 1;
+    }
+    if (cands.empty()) continue;
+    cur = cands.front().id;  // closest found feeds the next level down
+    const std::size_t max_degree = (l == 0) ? params_.max_m0() : params_.m;
+    Connect(id, l, SelectNeighbors(query, std::move(cands),
+                                   std::min(params_.m, max_degree)));
+  }
+  visited_pool_->Release(std::move(visited));
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+void HnswIndex::AddBatch(const FloatMatrix& batch) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
+}
+
+std::vector<Neighbor> HnswIndex::Search(const float* query, std::size_t k,
+                                        std::size_t ef_search,
+                                        std::size_t* visited_out) const {
+  if (visited_out != nullptr) *visited_out = 0;
+  if (entry_point_ == kInvalidVectorId) return {};
+  const std::size_t ef = std::max(ef_search, k);
+
+  VectorId cur = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    cur = GreedyClosest(query, cur, l, visited_out);
+  }
+  auto visited = visited_pool_->Acquire(nodes_.size());
+  std::vector<Neighbor> results =
+      SearchLayer(query, cur, ef, 0, visited.get(), visited_out);
+  visited_pool_->Release(std::move(visited));
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+Status HnswIndex::Remove(VectorId id) {
+  if (id >= nodes_.size()) return Status::InvalidArgument("HNSW: bad id");
+  if (nodes_[id].deleted) return Status::NotFound("HNSW: already deleted");
+
+  nodes_[id].deleted = true;
+  ++num_deleted_;
+
+  // Collect in-neighbors per level, drop their edge to `id`, then re-link
+  // them (Section V-D: deletion is repaired server-side by reinserting the
+  // affected in-neighbors' edge sets).
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (v == id || nodes_[v].deleted) continue;
+    Node& node = nodes_[v];
+    for (int l = 0; l <= node.level; ++l) {
+      auto& adj = node.adjacency[l];
+      auto it = std::find(adj.begin(), adj.end(), id);
+      if (it == adj.end()) continue;
+      adj.erase(it);
+      RepairNode(static_cast<VectorId>(v), l);
+    }
+  }
+  nodes_[id].adjacency.assign(nodes_[id].adjacency.size(), {});
+
+  // Re-seat the entry point if it was deleted.
+  if (entry_point_ == id) {
+    entry_point_ = kInvalidVectorId;
+    max_level_ = -1;
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      if (nodes_[v].deleted) continue;
+      if (nodes_[v].level > max_level_) {
+        max_level_ = nodes_[v].level;
+        entry_point_ = static_cast<VectorId>(v);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void HnswIndex::RepairNode(VectorId v, int level) {
+  // Re-run a neighborhood search from v and refill its adjacency at `level`
+  // with the selection heuristic (skipping v itself and deleted nodes).
+  if (entry_point_ == kInvalidVectorId || entry_point_ == v) return;
+  const float* vec = data_.row(v);
+  VectorId cur = entry_point_;
+  for (int l = max_level_; l > level; --l) cur = GreedyClosest(vec, cur, l);
+
+  auto visited = visited_pool_->Acquire(nodes_.size());
+  std::vector<Neighbor> cands =
+      SearchLayer(vec, cur, params_.ef_construction, level, visited.get());
+  visited_pool_->Release(std::move(visited));
+
+  cands.erase(std::remove_if(cands.begin(), cands.end(),
+                             [&](const Neighbor& c) { return c.id == v; }),
+              cands.end());
+  if (cands.empty()) return;
+
+  const std::size_t max_degree = (level == 0) ? params_.max_m0() : params_.m;
+  // Merge with surviving adjacency so repair never loses good edges.
+  for (VectorId existing : nodes_[v].adjacency[level]) {
+    cands.push_back(Neighbor{existing, SquaredL2(vec, data_.row(existing), dim_)});
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end(),
+                          [](const Neighbor& a, const Neighbor& b) {
+                            return a.id == b.id;
+                          }),
+              cands.end());
+  Connect(v, level, SelectNeighbors(vec, std::move(cands), max_degree));
+}
+
+bool HnswIndex::IsDeleted(VectorId id) const {
+  PPANNS_CHECK(id < nodes_.size());
+  return nodes_[id].deleted;
+}
+
+const std::vector<VectorId>& HnswIndex::NeighborsAt(VectorId id,
+                                                    std::size_t level) const {
+  PPANNS_CHECK(id < nodes_.size());
+  PPANNS_CHECK(static_cast<int>(level) <= nodes_[id].level);
+  return nodes_[id].adjacency[level];
+}
+
+int HnswIndex::LevelOf(VectorId id) const {
+  PPANNS_CHECK(id < nodes_.size());
+  return nodes_[id].level;
+}
+
+HnswStats HnswIndex::ComputeStats() const {
+  HnswStats s;
+  s.num_deleted = num_deleted_;
+  s.max_level = max_level_;
+  for (const Node& node : nodes_) {
+    if (node.deleted) continue;
+    ++s.num_nodes;
+    s.total_edges_level0 += node.adjacency[0].size();
+  }
+  if (s.num_nodes > 0) {
+    s.avg_out_degree_level0 =
+        static_cast<double>(s.total_edges_level0) / s.num_nodes;
+  }
+  return s;
+}
+
+void HnswIndex::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(0x484E5357);  // "HNSW"
+  out->Put<std::uint32_t>(1);           // version
+  out->Put<std::uint64_t>(dim_);
+  out->Put<std::uint64_t>(params_.m);
+  out->Put<std::uint64_t>(params_.ef_construction);
+  out->Put<std::uint64_t>(params_.seed);
+  out->Put<std::uint32_t>(entry_point_);
+  out->Put<std::int32_t>(max_level_);
+  out->Put<std::uint64_t>(num_deleted_);
+  out->PutVector(data_.data());
+  out->Put<std::uint64_t>(nodes_.size());
+  for (const Node& node : nodes_) {
+    out->Put<std::int32_t>(node.level);
+    out->Put<std::uint8_t>(node.deleted ? 1 : 0);
+    for (int l = 0; l <= node.level; ++l) out->PutVector(node.adjacency[l]);
+  }
+}
+
+Result<HnswIndex> HnswIndex::Deserialize(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != 0x484E5357) return Status::IOError("HNSW: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("HNSW: unsupported version");
+
+  std::uint64_t dim = 0;
+  HnswParams params;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  std::uint64_t m = 0, efc = 0, seed = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&m));
+  PPANNS_RETURN_IF_ERROR(in->Get(&efc));
+  PPANNS_RETURN_IF_ERROR(in->Get(&seed));
+  params.m = m;
+  params.ef_construction = efc;
+  params.seed = seed;
+
+  HnswIndex index(dim, params);
+  std::uint32_t entry = kInvalidVectorId;
+  PPANNS_RETURN_IF_ERROR(in->Get(&entry));
+  PPANNS_RETURN_IF_ERROR(in->Get(&index.max_level_));
+  std::uint64_t num_deleted = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_deleted));
+  index.num_deleted_ = num_deleted;
+  index.entry_point_ = entry;
+
+  std::vector<float> raw;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&raw));
+  if (raw.size() % dim != 0) return Status::IOError("HNSW: bad data size");
+  const std::size_t n = raw.size() / dim;
+  index.data_ = FloatMatrix(n, dim);
+  index.data_.data() = std::move(raw);
+
+  std::uint64_t num_nodes = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_nodes));
+  if (num_nodes != n) return Status::IOError("HNSW: node/data mismatch");
+  index.nodes_.resize(num_nodes);
+  for (auto& node : index.nodes_) {
+    PPANNS_RETURN_IF_ERROR(in->Get(&node.level));
+    std::uint8_t deleted = 0;
+    PPANNS_RETURN_IF_ERROR(in->Get(&deleted));
+    node.deleted = deleted != 0;
+    if (node.level < 0 || node.level > 64) {
+      return Status::IOError("HNSW: bad level");
+    }
+    node.adjacency.resize(node.level + 1);
+    for (int l = 0; l <= node.level; ++l) {
+      PPANNS_RETURN_IF_ERROR(in->GetVector(&node.adjacency[l]));
+    }
+  }
+  return index;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,168 @@
+// Hierarchical Navigable Small World proximity graph (Malkov & Yashunin,
+// TPAMI 2020) — the k-ANNS substrate of the paper's privacy-preserving index
+// (Section V-A). Implemented from scratch.
+//
+// In the PP-ANNS scheme the HNSW graph is built over DCPE/SAP *ciphertexts*
+// (never plaintexts), so its edges encode only approximate neighborhoods;
+// the index itself is agnostic to what the float vectors are.
+//
+// Supported operations:
+//  * Add            — incremental insertion (Algorithm 1 of the HNSW paper,
+//                     with the diversifying neighbor-selection heuristic),
+//  * Search         — ef-bounded best-first search (Algorithms 2 & 5),
+//  * Remove         — deletion with in-neighbor repair, the maintenance
+//                     strategy of Section V-D of the PP-ANNS paper,
+//  * Serialize/Deserialize — byte-exact persistence.
+
+#ifndef PPANNS_INDEX_HNSW_H_
+#define PPANNS_INDEX_HNSW_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppanns {
+
+/// HNSW construction parameters (paper defaults in parentheses follow the
+/// evaluation setup of Section VII-A: m=40, ef_construction=600; the library
+/// defaults are the common general-purpose values).
+struct HnswParams {
+  std::size_t m = 16;                ///< max out-degree on levels > 0
+  std::size_t ef_construction = 200; ///< beam width during insertion
+  std::uint64_t seed = 0x5eed;       ///< level-assignment randomness
+
+  /// Max out-degree at level 0 (2*m per the HNSW paper).
+  std::size_t max_m0() const { return 2 * m; }
+};
+
+/// Aggregate graph statistics (used by tests and DESIGN.md ablations).
+struct HnswStats {
+  std::size_t num_nodes = 0;       ///< live (non-deleted) nodes
+  std::size_t num_deleted = 0;
+  int max_level = -1;
+  std::size_t total_edges_level0 = 0;
+  double avg_out_degree_level0 = 0.0;
+};
+
+/// The HNSW index. Owns a copy of the inserted vectors.
+class HnswIndex {
+ public:
+  HnswIndex(std::size_t dim, HnswParams params);
+
+  /// Inserts a vector, returning its id (dense, monotonically increasing;
+  /// ids of removed vectors are not reused).
+  VectorId Add(const float* v);
+
+  /// Inserts all rows of `data` in order.
+  void AddBatch(const FloatMatrix& data);
+
+  /// Returns up to k (id, distance) pairs ascending by squared L2 distance.
+  /// `ef_search` is the result-set beam width (clamped to >= k). If
+  /// `visited_out` is non-null it receives the number of distance
+  /// computations performed (used by interactive-baseline cost models).
+  std::vector<Neighbor> Search(const float* query, std::size_t k,
+                               std::size_t ef_search,
+                               std::size_t* visited_out = nullptr) const;
+
+  /// Removes a vector and repairs the graph: every in-neighbor of `id` gets
+  /// its edge dropped and is re-linked by a fresh neighbor search, per the
+  /// deletion strategy of Section V-D (server-only, no data-owner help).
+  Status Remove(VectorId id);
+
+  bool IsDeleted(VectorId id) const;
+  std::size_t size() const { return data_.size() - num_deleted_; }
+  std::size_t capacity() const { return data_.size(); }
+  std::size_t dim() const { return dim_; }
+  const HnswParams& params() const { return params_; }
+  const FloatMatrix& data() const { return data_; }
+
+  /// Out-neighbors of `id` at `level` (for tests / graph analyses).
+  const std::vector<VectorId>& NeighborsAt(VectorId id, std::size_t level) const;
+  int LevelOf(VectorId id) const;
+
+  HnswStats ComputeStats() const;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<HnswIndex> Deserialize(BinaryReader* in);
+
+ private:
+  struct Node {
+    int level = 0;
+    bool deleted = false;
+    /// adjacency[l] = out-neighbors at level l, 0 <= l <= level.
+    std::vector<std::vector<VectorId>> adjacency;
+  };
+
+  /// Epoch-tagged visited set; one borrowed per search via a free-list so
+  /// concurrent const searches are safe.
+  struct VisitedList {
+    std::vector<std::uint32_t> tags;
+    std::uint32_t epoch = 0;
+  };
+  class VisitedPool {
+   public:
+    std::unique_ptr<VisitedList> Acquire(std::size_t n);
+    void Release(std::unique_ptr<VisitedList> vl);
+
+   private:
+    std::mutex mu_;
+    std::vector<std::unique_ptr<VisitedList>> free_;
+  };
+
+  float Distance(const float* a, VectorId b) const {
+    return SquaredL2(a, data_.row(b), dim_);
+  }
+
+  /// Draws the level for a new node: floor(-ln(U) * (1/ln m)).
+  int RandomLevel();
+
+  /// Greedy descent at one level: repeatedly move to the closest neighbor.
+  /// `dist_count` accumulates distance computations when non-null.
+  VectorId GreedyClosest(const float* query, VectorId start, int level,
+                         std::size_t* dist_count = nullptr) const;
+
+  /// Best-first beam search at one level (Algorithm 2). Returns up to `ef`
+  /// nearest candidates sorted ascending. Deleted nodes stay traversable but
+  /// are not returned. `dist_count` accumulates distance computations.
+  std::vector<Neighbor> SearchLayer(const float* query, VectorId entry,
+                                    std::size_t ef, int level,
+                                    VisitedList* visited,
+                                    std::size_t* dist_count = nullptr) const;
+
+  /// The diversifying heuristic (Algorithm 4): selects up to `m` neighbors
+  /// such that each kept candidate is closer to the base vector than to any
+  /// already-kept neighbor.
+  std::vector<VectorId> SelectNeighbors(const float* base,
+                                        std::vector<Neighbor> candidates,
+                                        std::size_t m) const;
+
+  /// Links `id` at `level` to `neighbors` and back, shrinking overflowing
+  /// adjacency lists with the heuristic.
+  void Connect(VectorId id, int level, const std::vector<VectorId>& neighbors);
+
+  /// Re-links node `v` at `level` after one of its out-edges was removed.
+  void RepairNode(VectorId v, int level);
+
+  std::size_t dim_;
+  HnswParams params_;
+  double level_mult_;
+  Rng level_rng_;
+  FloatMatrix data_;
+  std::vector<Node> nodes_;
+  VectorId entry_point_ = kInvalidVectorId;
+  int max_level_ = -1;
+  std::size_t num_deleted_ = 0;
+  // Behind unique_ptr: the pool's mutex would otherwise make the index
+  // non-movable.
+  mutable std::unique_ptr<VisitedPool> visited_pool_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_HNSW_H_

@@ -1,0 +1,134 @@
+#include "index/ivf.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ppanns {
+
+IvfIndex::IvfIndex(std::size_t dim, IvfParams params)
+    : dim_(dim), params_(params), data_(0, dim) {
+  PPANNS_CHECK(dim > 0);
+  PPANNS_CHECK(params.num_lists > 0);
+}
+
+double IvfIndex::Train(const FloatMatrix& sample, Rng& rng) {
+  PPANNS_CHECK(sample.dim() == dim_);
+  PPANNS_CHECK(sample.size() >= params_.num_lists);
+  const std::size_t k = params_.num_lists;
+
+  // Init: k distinct random sample points.
+  centroids_ = FloatMatrix(k, dim_);
+  const auto seeds = rng.Sample(sample.size(), k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy(sample.row(seeds[c]), sample.row(seeds[c]) + dim_,
+              centroids_.row(c));
+  }
+
+  std::vector<std::size_t> assignment(sample.size());
+  std::vector<double> sums(k * dim_);
+  std::vector<std::size_t> counts(k);
+  double mean_err = 0.0;
+  for (std::size_t iter = 0; iter < params_.train_iters; ++iter) {
+    // Assign.
+    double err = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::size_t best = 0;
+      float best_dist = SquaredL2(sample.row(i), centroids_.row(0), dim_);
+      for (std::size_t c = 1; c < k; ++c) {
+        const float d = SquaredL2(sample.row(i), centroids_.row(c), dim_);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      assignment[i] = best;
+      err += best_dist;
+    }
+    mean_err = err / sample.size();
+
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const std::size_t c = assignment[i];
+      ++counts[c];
+      const float* row = sample.row(i);
+      for (std::size_t j = 0; j < dim_; ++j) sums[c * dim_ + j] += row[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at a random sample point.
+        const auto idx = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(sample.size()) - 1));
+        std::copy(sample.row(idx), sample.row(idx) + dim_, centroids_.row(c));
+        continue;
+      }
+      for (std::size_t j = 0; j < dim_; ++j) {
+        centroids_.at(c, j) =
+            static_cast<float>(sums[c * dim_ + j] / counts[c]);
+      }
+    }
+  }
+  lists_.assign(k, {});
+  return mean_err;
+}
+
+std::size_t IvfIndex::NearestCentroid(const float* v) const {
+  std::size_t best = 0;
+  float best_dist = SquaredL2(v, centroids_.row(0), dim_);
+  for (std::size_t c = 1; c < centroids_.size(); ++c) {
+    const float d = SquaredL2(v, centroids_.row(c), dim_);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+VectorId IvfIndex::Add(const float* v) {
+  PPANNS_CHECK(trained());
+  const VectorId id = data_.Append(v);
+  lists_[NearestCentroid(v)].push_back(id);
+  return id;
+}
+
+void IvfIndex::AddBatch(const FloatMatrix& batch) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
+}
+
+std::vector<Neighbor> IvfIndex::Search(const float* query, std::size_t k,
+                                       std::size_t nprobe) const {
+  PPANNS_CHECK(trained());
+  nprobe = std::min(nprobe, centroids_.size());
+
+  // Rank centroids by distance, take the closest nprobe.
+  std::vector<Neighbor> cents(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    cents[c] = Neighbor{static_cast<VectorId>(c),
+                        SquaredL2(query, centroids_.row(c), dim_)};
+  }
+  std::partial_sort(cents.begin(), cents.begin() + nprobe, cents.end());
+
+  std::priority_queue<Neighbor> heap;  // bounded max-heap of the best k
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    for (VectorId id : lists_[cents[p].id]) {
+      const float dist = SquaredL2(query, data_.row(id), dim_);
+      if (heap.size() < k) {
+        heap.push(Neighbor{id, dist});
+      } else if (dist < heap.top().distance) {
+        heap.pop();
+        heap.push(Neighbor{id, dist});
+      }
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (std::size_t i = heap.size(); i > 0; --i) {
+    out[i - 1] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace ppanns

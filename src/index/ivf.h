@@ -1,0 +1,62 @@
+// IVF (inverted file) index with from-scratch Lloyd k-means — the third
+// index family the paper names alongside LSH and proximity graphs
+// (Section I: "index structures like locality-sensitive hashing, inverted
+// files, and proximity graphs"). Used by bench/ablation_graphs to show how
+// the filter-phase substrate choice affects the encrypted search, and as a
+// plaintext comparison point.
+//
+// Train: k-means over a sample; Add: route each vector to its nearest
+// centroid's posting list; Search: scan the `nprobe` nearest lists.
+
+#ifndef PPANNS_INDEX_IVF_H_
+#define PPANNS_INDEX_IVF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppanns {
+
+struct IvfParams {
+  std::size_t num_lists = 64;   ///< k-means cluster count
+  std::size_t train_iters = 10; ///< Lloyd iterations
+};
+
+class IvfIndex {
+ public:
+  IvfIndex(std::size_t dim, IvfParams params);
+
+  /// Runs k-means on `sample` to position the centroids. Must be called
+  /// before Add. Returns the final mean quantization error.
+  double Train(const FloatMatrix& sample, Rng& rng);
+
+  VectorId Add(const float* v);
+  void AddBatch(const FloatMatrix& data);
+
+  /// Scans the `nprobe` closest posting lists; exact ranking within them.
+  std::vector<Neighbor> Search(const float* query, std::size_t k,
+                               std::size_t nprobe) const;
+
+  bool trained() const { return !centroids_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim() const { return dim_; }
+  const FloatMatrix& centroids() const { return centroids_; }
+  /// Occupancy of list `i` (balance diagnostics).
+  std::size_t ListSize(std::size_t i) const { return lists_[i].size(); }
+
+ private:
+  std::size_t NearestCentroid(const float* v) const;
+
+  std::size_t dim_;
+  IvfParams params_;
+  FloatMatrix centroids_;
+  FloatMatrix data_;
+  std::vector<std::vector<VectorId>> lists_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_IVF_H_

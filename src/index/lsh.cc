@@ -1,0 +1,131 @@
+#include "index/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace ppanns {
+
+LshIndex::LshIndex(std::size_t dim, LshParams params, Rng& rng)
+    : dim_(dim), params_(params), data_(0, dim) {
+  PPANNS_CHECK(dim > 0);
+  PPANNS_CHECK(params.num_tables > 0 && params.num_hashes > 0);
+  PPANNS_CHECK(params.bucket_width > 0.0);
+  projections_.resize(params.num_tables);
+  offsets_.resize(params.num_tables);
+  tables_.resize(params.num_tables);
+  for (std::size_t t = 0; t < params.num_tables; ++t) {
+    projections_[t].resize(params.num_hashes * dim);
+    offsets_[t].resize(params.num_hashes);
+    for (auto& v : projections_[t]) v = static_cast<float>(rng.Gaussian());
+    for (auto& b : offsets_[t]) {
+      b = static_cast<float>(rng.Uniform(0.0, params.bucket_width));
+    }
+  }
+}
+
+void LshIndex::RawHashes(const float* v, std::size_t table,
+                         std::vector<std::int64_t>* out) const {
+  out->resize(params_.num_hashes);
+  for (std::size_t h = 0; h < params_.num_hashes; ++h) {
+    const float* a = projections_[table].data() + h * dim_;
+    const double proj = InnerProduct(a, v, dim_) + offsets_[table][h];
+    (*out)[h] = static_cast<std::int64_t>(std::floor(proj / params_.bucket_width));
+  }
+}
+
+std::uint64_t LshIndex::MixKey(const std::vector<std::int64_t>& hashes) {
+  // FNV-1a over the raw hash integers.
+  std::uint64_t key = 0xcbf29ce484222325ull;
+  for (std::int64_t h : hashes) {
+    for (int b = 0; b < 8; ++b) {
+      key ^= static_cast<std::uint64_t>((h >> (8 * b)) & 0xff);
+      key *= 0x100000001b3ull;
+    }
+  }
+  return key;
+}
+
+std::uint64_t LshIndex::HashKey(const float* v, std::size_t table) const {
+  std::vector<std::int64_t> hashes;
+  RawHashes(v, table, &hashes);
+  return MixKey(hashes);
+}
+
+VectorId LshIndex::Add(const float* v) {
+  const VectorId id = data_.Append(v);
+  for (std::size_t t = 0; t < params_.num_tables; ++t) {
+    tables_[t][HashKey(v, t)].push_back(id);
+  }
+  return id;
+}
+
+void LshIndex::AddBatch(const FloatMatrix& batch) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
+}
+
+std::vector<VectorId> LshIndex::Candidates(const float* query,
+                                           std::size_t probes_per_table) const {
+  std::unordered_set<VectorId> seen;
+  std::vector<VectorId> out;
+  std::vector<std::int64_t> hashes;
+
+  auto collect = [&](std::size_t table, const std::vector<std::int64_t>& h) {
+    const auto it = tables_[table].find(MixKey(h));
+    if (it == tables_[table].end()) return;
+    for (VectorId id : it->second) {
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  };
+
+  for (std::size_t t = 0; t < params_.num_tables; ++t) {
+    RawHashes(query, t, &hashes);
+    collect(t, hashes);
+    // Multi-probe: perturb single coordinates by +-1, round-robin until the
+    // probe budget is spent.
+    std::size_t probes = 0;
+    for (std::size_t h = 0; h < params_.num_hashes && probes < probes_per_table;
+         ++h) {
+      for (int delta : {+1, -1}) {
+        if (probes >= probes_per_table) break;
+        hashes[h] += delta;
+        collect(t, hashes);
+        hashes[h] -= delta;
+        ++probes;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Neighbor> LshIndex::Search(const float* query, std::size_t k,
+                                       std::size_t probes_per_table) const {
+  const std::vector<VectorId> cands = Candidates(query, probes_per_table);
+  std::priority_queue<Neighbor> heap;  // bounded max-heap
+  for (VectorId id : cands) {
+    const float dist = SquaredL2(data_.row(id), query, dim_);
+    if (heap.size() < k) {
+      heap.push(Neighbor{id, dist});
+    } else if (dist < heap.top().distance) {
+      heap.pop();
+      heap.push(Neighbor{id, dist});
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (std::size_t i = heap.size(); i > 0; --i) {
+    out[i - 1] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+double LshIndex::AvgBucketSize() const {
+  if (tables_.empty() || tables_[0].empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : tables_[0]) total += bucket.size();
+  return static_cast<double>(total) / tables_[0].size();
+}
+
+}  // namespace ppanns

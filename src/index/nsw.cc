@@ -1,0 +1,149 @@
+#include "index/nsw.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ppanns {
+
+namespace {
+
+struct FartherFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.distance > b.distance || (a.distance == b.distance && a.id > b.id);
+  }
+};
+
+}  // namespace
+
+NswGraph::NswGraph(std::size_t dim, NswParams params)
+    : dim_(dim), params_(params), data_(0, dim) {
+  PPANNS_CHECK(dim > 0);
+  PPANNS_CHECK(params.m >= 2);
+}
+
+std::vector<Neighbor> NswGraph::BeamSearch(const float* query,
+                                           std::size_t ef) const {
+  std::vector<std::uint8_t> visited(data_.size(), 0);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FartherFirst> frontier;
+  std::priority_queue<Neighbor> results;
+
+  const float entry_dist = Distance(query, entry_point_);
+  frontier.push(Neighbor{entry_point_, entry_dist});
+  results.push(Neighbor{entry_point_, entry_dist});
+  visited[entry_point_] = 1;
+
+  while (!frontier.empty()) {
+    const Neighbor cand = frontier.top();
+    if (results.size() >= ef && cand.distance > results.top().distance) break;
+    frontier.pop();
+    for (VectorId nb : adjacency_[cand.id]) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float d = Distance(query, nb);
+      if (results.size() < ef || d < results.top().distance) {
+        frontier.push(Neighbor{nb, d});
+        results.push(Neighbor{nb, d});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+  std::vector<Neighbor> out(results.size());
+  for (std::size_t i = results.size(); i > 0; --i) {
+    out[i - 1] = results.top();
+    results.pop();
+  }
+  return out;
+}
+
+std::vector<VectorId> NswGraph::SelectDiverse(const float* base,
+                                              std::vector<Neighbor> candidates,
+                                              std::size_t m) const {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<VectorId> selected;
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= m) break;
+    bool diverse = true;
+    for (VectorId s : selected) {
+      if (SquaredL2(data_.row(c.id), data_.row(s), dim_) < c.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) selected.push_back(c.id);
+  }
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= m) break;
+    if (std::find(selected.begin(), selected.end(), c.id) == selected.end()) {
+      selected.push_back(c.id);
+    }
+  }
+  return selected;
+}
+
+VectorId NswGraph::Add(const float* v) {
+  const VectorId id = data_.Append(v);
+  adjacency_.emplace_back();
+  if (entry_point_ == kInvalidVectorId) {
+    entry_point_ = id;
+    return id;
+  }
+
+  std::vector<Neighbor> cands = BeamSearch(v, params_.ef_construction);
+  cands.erase(std::remove_if(cands.begin(), cands.end(),
+                             [&](const Neighbor& c) { return c.id == id; }),
+              cands.end());
+  const std::vector<VectorId> neighbors = SelectDiverse(v, cands, params_.m);
+  adjacency_[id] = neighbors;
+  for (VectorId nb : neighbors) {
+    auto& back = adjacency_[nb];
+    if (std::find(back.begin(), back.end(), id) != back.end()) continue;
+    if (back.size() < params_.m) {
+      back.push_back(id);
+    } else {
+      std::vector<Neighbor> refresh;
+      const float* nb_vec = data_.row(nb);
+      refresh.reserve(back.size() + 1);
+      for (VectorId existing : back) {
+        refresh.push_back(
+            Neighbor{existing, SquaredL2(nb_vec, data_.row(existing), dim_)});
+      }
+      refresh.push_back(Neighbor{id, SquaredL2(nb_vec, data_.row(id), dim_)});
+      back = SelectDiverse(nb_vec, std::move(refresh), params_.m);
+    }
+  }
+  return id;
+}
+
+void NswGraph::AddBatch(const FloatMatrix& batch) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
+}
+
+void NswGraph::ReseatEntryPoint(Rng& rng, std::size_t samples) {
+  if (data_.size() < 2) return;
+  // Approximate medoid: among `samples` random nodes, pick the one with the
+  // smallest mean distance to another sampled set.
+  const auto probes = rng.Sample(data_.size(), std::min(samples, data_.size()));
+  const auto refs = rng.Sample(data_.size(), std::min(samples, data_.size()));
+  double best = -1.0;
+  for (VectorId cand : probes) {
+    double sum = 0.0;
+    for (VectorId ref : refs) {
+      sum += SquaredL2(data_.row(cand), data_.row(ref), dim_);
+    }
+    if (best < 0.0 || sum < best) {
+      best = sum;
+      entry_point_ = cand;
+    }
+  }
+}
+
+std::vector<Neighbor> NswGraph::Search(const float* query, std::size_t k,
+                                       std::size_t ef_search) const {
+  if (entry_point_ == kInvalidVectorId) return {};
+  std::vector<Neighbor> results = BeamSearch(query, std::max(ef_search, k));
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace ppanns

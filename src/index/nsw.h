@@ -1,0 +1,69 @@
+// Single-layer navigable small world graph (Malkov et al., 2014) — an
+// alternative proximity-graph substrate for the privacy-preserving index.
+// Section V-A of the paper notes the scheme can swap HNSW for other
+// proximity graphs (NSG, tau-MNG); this flat graph demonstrates that
+// substitutability (see bench/ablation_graphs).
+//
+// Construction is incremental like HNSW's level 0: beam search for
+// candidates, diversify with the pruning heuristic, connect bidirectionally
+// with bounded degree. Search is best-first beam from a fixed entry point
+// (the first inserted vector, with an optional medoid reseat).
+
+#ifndef PPANNS_INDEX_NSW_H_
+#define PPANNS_INDEX_NSW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppanns {
+
+struct NswParams {
+  std::size_t m = 24;                ///< max out-degree
+  std::size_t ef_construction = 200; ///< construction beam width
+};
+
+/// Flat navigable small world index. Owns a copy of the inserted vectors.
+class NswGraph {
+ public:
+  NswGraph(std::size_t dim, NswParams params);
+
+  VectorId Add(const float* v);
+  void AddBatch(const FloatMatrix& data);
+
+  /// Re-seats the entry point at the (approximate, sampled) medoid —
+  /// improves routing like NSG's navigating node. Call after bulk load.
+  void ReseatEntryPoint(Rng& rng, std::size_t samples = 64);
+
+  std::vector<Neighbor> Search(const float* query, std::size_t k,
+                               std::size_t ef_search) const;
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim() const { return dim_; }
+  const std::vector<VectorId>& NeighborsOf(VectorId id) const {
+    return adjacency_[id];
+  }
+
+ private:
+  float Distance(const float* a, VectorId b) const {
+    return SquaredL2(a, data_.row(b), dim_);
+  }
+
+  std::vector<Neighbor> BeamSearch(const float* query, std::size_t ef) const;
+  std::vector<VectorId> SelectDiverse(const float* base,
+                                      std::vector<Neighbor> candidates,
+                                      std::size_t m) const;
+
+  std::size_t dim_;
+  NswParams params_;
+  FloatMatrix data_;
+  std::vector<std::vector<VectorId>> adjacency_;
+  VectorId entry_point_ = kInvalidVectorId;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_NSW_H_

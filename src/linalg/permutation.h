@@ -1,0 +1,56 @@
+// Random coordinate permutations (the π1, π2 of the DCE key).
+
+#ifndef PPANNS_LINALG_PERMUTATION_H_
+#define PPANNS_LINALG_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ppanns {
+
+/// A permutation of {0..n-1} applied to vector coordinates:
+/// Apply(x)[i] = x[perm[i]].
+class Permutation {
+ public:
+  Permutation() = default;
+  explicit Permutation(std::vector<std::uint32_t> perm) : perm_(std::move(perm)) {}
+
+  /// Uniformly random permutation on n elements.
+  static Permutation Random(std::size_t n, Rng& rng) {
+    return Permutation(rng.Permutation(n));
+  }
+
+  std::size_t size() const { return perm_.size(); }
+  const std::vector<std::uint32_t>& indices() const { return perm_; }
+
+  /// out[i] = in[perm[i]] (out must not alias in).
+  template <typename T>
+  void Apply(const T* in, T* out) const {
+    for (std::size_t i = 0; i < perm_.size(); ++i) out[i] = in[perm_[i]];
+  }
+
+  template <typename T>
+  std::vector<T> Apply(const std::vector<T>& in) const {
+    PPANNS_CHECK(in.size() == perm_.size());
+    std::vector<T> out(in.size());
+    Apply(in.data(), out.data());
+    return out;
+  }
+
+  /// The inverse permutation: Inverse().Apply(Apply(x)) == x.
+  Permutation Inverse() const {
+    std::vector<std::uint32_t> inv(perm_.size());
+    for (std::size_t i = 0; i < perm_.size(); ++i) inv[perm_[i]] = static_cast<std::uint32_t>(i);
+    return Permutation(std::move(inv));
+  }
+
+ private:
+  std::vector<std::uint32_t> perm_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_LINALG_PERMUTATION_H_

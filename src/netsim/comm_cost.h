@@ -1,0 +1,77 @@
+// Communication and cost accounting for client/server protocols.
+//
+// The paper's Fig. 7 / Fig. 9 compare where each PP-ANNS system spends its
+// time: server compute, user compute, and client<->server communication.
+// Our baselines run their real compute on this machine and account
+// communication through this simulator: every message adds bytes, every
+// synchronous exchange adds a round trip. Simulated wall-clock =
+// rounds * RTT + bytes / bandwidth, with a configurable link (defaults:
+// 1 Gbps, 1 ms RTT — a same-region cloud link).
+
+#ifndef PPANNS_NETSIM_COMM_COST_H_
+#define PPANNS_NETSIM_COMM_COST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppanns {
+
+/// Link model used to convert traffic into simulated seconds.
+struct NetworkModel {
+  double bandwidth_bytes_per_sec = 125e6;  ///< 1 Gbps
+  double rtt_seconds = 1e-3;               ///< 1 ms round trip
+};
+
+/// Accumulates the traffic of one protocol run.
+class CommLedger {
+ public:
+  /// Records a message of `bytes` in either direction.
+  void AddMessage(std::size_t bytes) { total_bytes_ += bytes; }
+  /// Records one synchronous round trip.
+  void AddRound() { ++rounds_; }
+
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::size_t rounds() const { return rounds_; }
+
+  double SimulatedSeconds(const NetworkModel& model) const {
+    return static_cast<double>(rounds_) * model.rtt_seconds +
+           static_cast<double>(total_bytes_) / model.bandwidth_bytes_per_sec;
+  }
+
+  void Reset() {
+    total_bytes_ = 0;
+    rounds_ = 0;
+  }
+
+ private:
+  std::size_t total_bytes_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+/// One query's cost breakdown, reported by every end-to-end system so the
+/// Fig. 9 bars can be regenerated uniformly.
+struct CostBreakdown {
+  double server_seconds = 0.0;  ///< measured server-side compute
+  double user_seconds = 0.0;    ///< measured user-side compute
+  std::size_t comm_bytes = 0;
+  std::size_t comm_rounds = 0;
+
+  double TotalSeconds(const NetworkModel& model) const {
+    CommLedger ledger;
+    ledger.AddMessage(comm_bytes);
+    for (std::size_t i = 0; i < comm_rounds; ++i) ledger.AddRound();
+    return server_seconds + user_seconds + ledger.SimulatedSeconds(model);
+  }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    server_seconds += other.server_seconds;
+    user_seconds += other.user_seconds;
+    comm_bytes += other.comm_bytes;
+    comm_rounds += other.comm_rounds;
+    return *this;
+  }
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NETSIM_COMM_COST_H_

@@ -1,0 +1,208 @@
+// Tests for the baseline systems (Section VII-B): HNSW-AME, RS-SANN,
+// PRI-ANN, PACM-ANN — result sanity, cost-breakdown structure, and the
+// relative-cost relationships the paper's figures depend on.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/hnsw_ame.h"
+#include "common/timer.h"
+#include "baselines/pacm_ann.h"
+#include "baselines/pri_ann.h"
+#include "baselines/rs_sann.h"
+#include "core/data_owner.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+
+namespace ppanns {
+namespace {
+
+Dataset SmallDataset(std::uint64_t seed) {
+  return MakeDataset(SyntheticKind::kGloveLike, 1200, 15, 10, seed, 16);
+}
+
+TEST(HnswAmeTest, MatchesSchemeAccuracy) {
+  Dataset ds = SmallDataset(1);
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 3.0;
+  params.hnsw = HnswParams{.m = 10, .ef_construction = 100, .seed = 5};
+  params.seed = 5;
+
+  auto ame_sys = HnswAmeSystem::Build(ds.base, params);
+  ASSERT_TRUE(ame_sys.ok());
+
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    AmeQueryToken token = ame_sys->EncryptQuery(ds.queries.row(i));
+    SearchResult r = ame_sys->Search(
+        token, 10, SearchSettings{.k_prime = 60, .ef_search = 150});
+    EXPECT_GT(r.counters.dce_comparisons, 0u);
+    results.push_back(std::move(r.ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, ds.ground_truth, 10), 0.85);
+}
+
+TEST(HnswAmeTest, RefineSlowerThanDce) {
+  // The whole point of Fig. 6: AME refine >> DCE refine per query.
+  Dataset ds = SmallDataset(2);
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 3.0;
+  params.hnsw = HnswParams{.m = 10, .ef_construction = 100, .seed = 6};
+  params.seed = 6;
+
+  auto ame_sys = HnswAmeSystem::Build(ds.base, params);
+  ASSERT_TRUE(ame_sys.ok());
+  auto owner = DataOwner::Create(ds.base.dim(), params);
+  ASSERT_TRUE(owner.ok());
+  CloudServer dce_server(owner->EncryptAndIndex(ds.base));
+  QueryClient client(owner->ShareKeys(), 7);
+
+  const SearchSettings settings{.k_prime = 80, .ef_search = 150};
+  double ame_refine = 0, dce_refine = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    AmeQueryToken at = ame_sys->EncryptQuery(ds.queries.row(i));
+    QueryToken dt = client.EncryptQuery(ds.queries.row(i));
+    ame_refine += ame_sys->Search(at, 10, settings).counters.refine_seconds;
+    dce_refine += dce_server.Search(dt, 10, settings).counters.refine_seconds;
+  }
+  EXPECT_GT(ame_refine, 5.0 * dce_refine)
+      << "AME refine should be orders of magnitude slower than DCE";
+}
+
+TEST(RsSannTest, ReturnsAccurateResultsWithUserCost) {
+  Dataset ds = SmallDataset(3);
+  RsSannParams params;
+  params.lsh = LshParams{.num_tables = 10, .num_hashes = 4, .bucket_width = 6.0};
+  params.probes_per_table = 8;
+
+  auto sys = RsSannSystem::Build(ds.base, params);
+  ASSERT_TRUE(sys.ok());
+
+  std::vector<std::vector<VectorId>> results;
+  CostBreakdown total;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    auto out = sys->Search(ds.queries.row(i), 10);
+    results.push_back(out.ids);
+    total += out.cost;
+  }
+  // LSH-quality recall (bounded below loosely; exactness comes from the
+  // user-side refine over whatever candidates LSH surfaced).
+  EXPECT_GT(MeanRecallAtK(results, ds.ground_truth, 10), 0.4);
+  // Structural cost claims: one round per query, user does real work, and
+  // candidates flow over the wire.
+  EXPECT_EQ(total.comm_rounds, ds.queries.size());
+  EXPECT_GT(total.user_seconds, 0.0);
+  EXPECT_GT(total.comm_bytes, ds.queries.size() * 100);
+}
+
+TEST(PriAnnTest, SingleRoundAndServerHeavy) {
+  Dataset ds = SmallDataset(4);
+  PriAnnParams params;
+  params.lsh = LshParams{.num_tables = 8, .num_hashes = 4, .bucket_width = 6.0};
+
+  auto sys = PriAnnSystem::Build(ds.base, params);
+  ASSERT_TRUE(sys.ok());
+
+  auto out = sys->Search(ds.queries.row(0), 10);
+  EXPECT_EQ(out.cost.comm_rounds, 1u);
+  EXPECT_GT(out.cost.server_seconds, 0.0);
+  EXPECT_FALSE(out.ids.empty());
+  // PIR expansion inflates the response beyond plaintext candidate bytes.
+  EXPECT_GT(out.cost.comm_bytes, 1024u);
+}
+
+TEST(PacmAnnTest, InteractiveRoundsScaleWithWork) {
+  Dataset ds = SmallDataset(5);
+  PacmAnnParams params;
+  params.hnsw = HnswParams{.m = 10, .ef_construction = 100, .seed = 8};
+  params.ef_search = 80;
+
+  auto sys = PacmAnnSystem::Build(ds.base, params);
+  ASSERT_TRUE(sys.ok());
+
+  std::vector<std::vector<VectorId>> results;
+  CostBreakdown total;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    auto out = sys->Search(ds.queries.row(i), 10);
+    results.push_back(out.ids);
+    total += out.cost;
+  }
+  // Graph-quality recall.
+  EXPECT_GT(MeanRecallAtK(results, ds.ground_truth, 10), 0.85);
+  // Many interactive rounds per query — the defining cost of PACM-ANN.
+  EXPECT_GT(total.comm_rounds, ds.queries.size() * 5);
+  EXPECT_GT(total.user_seconds, 0.0);
+  EXPECT_GT(total.server_seconds, 0.0);
+}
+
+TEST(CostModelTest, SimulatedLatencyComposition) {
+  NetworkModel net;  // 1 Gbps, 1 ms RTT
+  CostBreakdown cost;
+  cost.server_seconds = 0.001;
+  cost.user_seconds = 0.002;
+  cost.comm_bytes = 125'000;  // 1 ms at 1 Gbps
+  cost.comm_rounds = 3;       // 3 ms RTT
+  EXPECT_NEAR(cost.TotalSeconds(net), 0.001 + 0.002 + 0.001 + 0.003, 1e-9);
+}
+
+TEST(CostModelTest, LedgerAccumulates) {
+  CommLedger ledger;
+  ledger.AddMessage(1000);
+  ledger.AddMessage(500);
+  ledger.AddRound();
+  EXPECT_EQ(ledger.total_bytes(), 1500u);
+  EXPECT_EQ(ledger.rounds(), 1u);
+  NetworkModel slow{.bandwidth_bytes_per_sec = 1500.0, .rtt_seconds = 0.5};
+  EXPECT_NEAR(ledger.SimulatedSeconds(slow), 0.5 + 1.0, 1e-12);
+  ledger.Reset();
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+}
+
+// The headline Fig. 7 relationship, in miniature: our scheme's end-to-end
+// per-query cost must beat every baseline's at comparable recall.
+TEST(BaselineComparisonTest, PpannsFasterThanBaselines) {
+  Dataset ds = SmallDataset(6);
+  NetworkModel net;
+
+  // Our scheme.
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 3.0;
+  params.hnsw = HnswParams{.m = 10, .ef_construction = 100, .seed = 9};
+  params.seed = 9;
+  auto owner = DataOwner::Create(ds.base.dim(), params);
+  ASSERT_TRUE(owner.ok());
+  CloudServer server(owner->EncryptAndIndex(ds.base));
+  QueryClient client(owner->ShareKeys(), 10);
+
+  double ours = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    QueryToken token = client.EncryptQuery(ds.queries.row(i));
+    Timer t;
+    server.Search(token, 10, SearchSettings{.k_prime = 60, .ef_search = 150});
+    CostBreakdown cost;
+    cost.server_seconds = t.ElapsedSeconds();
+    cost.comm_bytes = token.ByteSize() + 10 * sizeof(VectorId);
+    cost.comm_rounds = 1;
+    ours += cost.TotalSeconds(net);
+  }
+
+  // PACM-ANN (the most interactive baseline).
+  PacmAnnParams pacm_params;
+  pacm_params.hnsw = HnswParams{.m = 10, .ef_construction = 100, .seed = 11};
+  auto pacm = PacmAnnSystem::Build(ds.base, pacm_params);
+  ASSERT_TRUE(pacm.ok());
+  double pacm_total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    pacm_total += pacm->Search(ds.queries.row(i), 10).cost.TotalSeconds(net);
+  }
+  EXPECT_LT(ours, pacm_total)
+      << "single-round server-side search must beat interactive PIR walks";
+}
+
+}  // namespace
+}  // namespace ppanns

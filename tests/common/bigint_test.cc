@@ -1,0 +1,171 @@
+// Tests for the arbitrary-precision integer substrate: known-answer values,
+// properties cross-checked against native 128-bit arithmetic, and the
+// number-theoretic routines behind Paillier key generation.
+
+#include "common/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace ppanns {
+namespace {
+
+using u128 = unsigned __int128;
+
+BigUint FromU128(u128 v) {
+  BigUint out(static_cast<std::uint64_t>(v >> 64));
+  return out.ShiftLeft(64).Add(BigUint(static_cast<std::uint64_t>(v)));
+}
+
+u128 ToU128(const BigUint& v) {
+  PPANNS_CHECK(v.BitLength() <= 128);
+  const auto& limbs = v.limbs();
+  u128 out = 0;
+  if (limbs.size() > 1) out = u128(limbs[1]) << 64;
+  if (!limbs.empty()) out |= limbs[0];
+  return out;
+}
+
+TEST(BigUintTest, BasicConstructionAndCompare) {
+  EXPECT_TRUE(BigUint().IsZero());
+  EXPECT_TRUE(BigUint(0).IsZero());
+  EXPECT_FALSE(BigUint(1).IsZero());
+  EXPECT_LT(BigUint(3).Compare(BigUint(7)), 0);
+  EXPECT_GT(BigUint(7).Compare(BigUint(3)), 0);
+  EXPECT_EQ(BigUint(5), BigUint(5));
+  EXPECT_EQ(BigUint(255).BitLength(), 8u);
+  EXPECT_EQ(BigUint(256).BitLength(), 9u);
+}
+
+TEST(BigUintTest, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef55";
+  BigUint v = BigUint::FromHex(hex);
+  EXPECT_EQ(v.ToHex(), hex);
+  EXPECT_EQ(BigUint(0x1234).ToHex(), "1234");
+  EXPECT_EQ(BigUint().ToHex(), "0");
+}
+
+TEST(BigUintTest, AddSubPropertyAgainstNative) {
+  Rng rng(1);
+  for (int t = 0; t < 500; ++t) {
+    const u128 a = (u128(rng.NextUint64()) << 32) | rng.NextUint64();
+    const u128 b = (u128(rng.NextUint64()) << 32) | rng.NextUint64();
+    EXPECT_EQ(ToU128(FromU128(a).Add(FromU128(b))), a + b);
+    if (a >= b) EXPECT_EQ(ToU128(FromU128(a).Sub(FromU128(b))), a - b);
+  }
+}
+
+TEST(BigUintTest, MulPropertyAgainstNative) {
+  Rng rng(2);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.NextUint64();
+    const std::uint64_t b = rng.NextUint64();
+    EXPECT_EQ(ToU128(BigUint(a).Mul(BigUint(b))), u128(a) * b);
+  }
+}
+
+TEST(BigUintTest, DivModPropertyAgainstNative) {
+  Rng rng(3);
+  for (int t = 0; t < 500; ++t) {
+    const u128 a = (u128(rng.NextUint64()) << 64) | rng.NextUint64();
+    u128 b = rng.NextUint64();
+    if (t % 3 == 0) b = (b << 32) | rng.NextUint64();  // wider divisors
+    if (b == 0) continue;
+    BigUint quot, rem;
+    FromU128(a).Divide(FromU128(b), &quot, &rem);
+    EXPECT_EQ(ToU128(quot), a / b) << "t=" << t;
+    EXPECT_EQ(ToU128(rem), a % b) << "t=" << t;
+  }
+}
+
+TEST(BigUintTest, DivModInvariantLargeOperands) {
+  // a = q*b + r with r < b, for random multi-limb operands.
+  Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    const BigUint a = BigUint::Random(512, rng);
+    BigUint b = BigUint::Random(200 + (t % 200), rng);
+    if (b.IsZero()) continue;
+    BigUint quot, rem;
+    a.Divide(b, &quot, &rem);
+    EXPECT_TRUE(rem < b);
+    EXPECT_EQ(quot.Mul(b).Add(rem), a) << "t=" << t;
+  }
+}
+
+TEST(BigUintTest, ShiftRoundTrip) {
+  Rng rng(5);
+  for (std::size_t shift : {1u, 63u, 64u, 65u, 127u, 200u}) {
+    const BigUint a = BigUint::Random(256, rng);
+    EXPECT_EQ(a.ShiftLeft(shift).ShiftRight(shift), a) << "shift=" << shift;
+  }
+}
+
+TEST(BigUintTest, PowModKnownAnswers) {
+  // 2^10 mod 1000 = 24; 3^0 mod 7 = 1; fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(BigUint::PowMod(BigUint(2), BigUint(10), BigUint(1000)),
+            BigUint(24));
+  EXPECT_EQ(BigUint::PowMod(BigUint(3), BigUint(0), BigUint(7)), BigUint(1));
+  const BigUint p(1000000007ull);
+  Rng rng(6);
+  for (int t = 0; t < 20; ++t) {
+    const BigUint a(1 + rng.NextUint64() % 1000000006ull);
+    EXPECT_EQ(BigUint::PowMod(a, p.Sub(BigUint(1)), p), BigUint(1));
+  }
+}
+
+TEST(BigUintTest, GcdAndInverse) {
+  EXPECT_EQ(BigUint::Gcd(BigUint(48), BigUint(36)), BigUint(12));
+  EXPECT_EQ(BigUint::Gcd(BigUint(17), BigUint(13)), BigUint(1));
+
+  Rng rng(7);
+  const BigUint m(1000000007ull);  // prime modulus
+  for (int t = 0; t < 50; ++t) {
+    const BigUint a(1 + rng.NextUint64() % 1000000006ull);
+    const BigUint inv = BigUint::InverseMod(a, m);
+    ASSERT_FALSE(inv.IsZero());
+    EXPECT_EQ(BigUint::MulMod(a, inv, m), BigUint(1));
+  }
+  // Non-invertible case.
+  EXPECT_TRUE(BigUint::InverseMod(BigUint(6), BigUint(9)).IsZero());
+}
+
+TEST(BigUintTest, InverseModLargeModulus) {
+  Rng rng(8);
+  const BigUint m = BigUint::RandomPrime(128, rng);
+  for (int t = 0; t < 10; ++t) {
+    const BigUint a = BigUint::RandomBelow(m, rng);
+    if (a.IsZero()) continue;
+    const BigUint inv = BigUint::InverseMod(a, m);
+    ASSERT_FALSE(inv.IsZero());
+    EXPECT_EQ(BigUint::MulMod(a, inv, m), BigUint(1));
+  }
+}
+
+TEST(BigUintTest, PrimalityKnownValues) {
+  Rng rng(9);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 97ull, 65537ull, 1000000007ull}) {
+    EXPECT_TRUE(BigUint::IsProbablePrime(BigUint(p), rng)) << p;
+  }
+  for (std::uint64_t c : {1ull, 4ull, 100ull, 65536ull, 1000000008ull,
+                          3215031751ull /* strong pseudoprime to few bases */}) {
+    EXPECT_FALSE(BigUint::IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(BigUintTest, RandomPrimeHasRequestedSize) {
+  Rng rng(10);
+  const BigUint p = BigUint::RandomPrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(BigUint::IsProbablePrime(p, rng));
+}
+
+TEST(BigUintTest, RandomBelowInRange) {
+  Rng rng(11);
+  const BigUint bound = BigUint::FromHex("ffff00000000000000000001");
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_TRUE(BigUint::RandomBelow(bound, rng) < bound);
+  }
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,260 @@
+// Tests for common substrate: Status/Result, Rng, serialization, IO,
+// thread pool, and the core vector types.
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace ppanns {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad dim");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    PPANNS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad(Status::Internal("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInternal);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, SignedUniformBoundedAwayFromZero) {
+  Rng rng(8);
+  int positives = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.SignedUniform(0.5, 2.0);
+    EXPECT_GE(std::abs(v), 0.5);
+    EXPECT_LT(std::abs(v), 2.0);
+    if (v > 0) ++positives;
+  }
+  // Both signs occur with roughly equal frequency.
+  EXPECT_GT(positives, 400);
+  EXPECT_LT(positives, 600);
+}
+
+TEST(RngTest, PermutationIsBijective) {
+  Rng rng(9);
+  for (std::size_t n : {1u, 2u, 17u, 100u}) {
+    auto perm = rng.Permutation(n);
+    std::set<std::uint32_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), n);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+TEST(RngTest, SampleDistinct) {
+  Rng rng(10);
+  auto s = rng.Sample(1000, 50);
+  std::set<std::uint32_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 50u);
+  for (auto v : seen) EXPECT_LT(v, 1000u);
+  // Dense case path.
+  auto s2 = rng.Sample(10, 9);
+  std::set<std::uint32_t> seen2(s2.begin(), s2.end());
+  EXPECT_EQ(seen2.size(), 9u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // Child stream differs from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.NextUint64() != a.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.Put<std::uint32_t>(0xDEADBEEF);
+  w.Put<double>(3.25);
+  w.Put<std::int8_t>(-5);
+
+  BinaryReader r(w.buffer());
+  std::uint32_t a = 0;
+  double b = 0;
+  std::int8_t c = 0;
+  ASSERT_TRUE(r.Get(&a).ok());
+  ASSERT_TRUE(r.Get(&b).ok());
+  ASSERT_TRUE(r.Get(&c).ok());
+  EXPECT_EQ(a, 0xDEADBEEF);
+  EXPECT_EQ(b, 3.25);
+  EXPECT_EQ(c, -5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VectorAndStringRoundTrip) {
+  BinaryWriter w;
+  std::vector<float> v = {1.5f, -2.5f, 0.0f};
+  w.PutVector(v);
+  w.PutString("ppanns");
+
+  BinaryReader r(w.buffer());
+  std::vector<float> v2;
+  std::string s;
+  ASSERT_TRUE(r.GetVector(&v2).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(v2, v);
+  EXPECT_EQ(s, "ppanns");
+}
+
+TEST(SerializeTest, TruncatedInputDetected) {
+  BinaryWriter w;
+  w.Put<std::uint64_t>(1234567);
+  BinaryReader r(w.buffer().data(), 3);  // cut short
+  std::uint64_t x = 0;
+  EXPECT_EQ(r.Get(&x).code(), Status::Code::kOutOfRange);
+
+  // Vector whose declared length exceeds remaining bytes.
+  BinaryWriter w2;
+  w2.Put<std::uint64_t>(1000);  // claims 1000 floats follow
+  BinaryReader r2(w2.buffer());
+  std::vector<float> v;
+  EXPECT_EQ(r2.GetVector(&v).code(), Status::Code::kOutOfRange);
+}
+
+TEST(IoTest, FvecsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ppanns_io_test.fvecs";
+  FloatMatrix m(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      m.at(i, j) = static_cast<float>(i * 10 + j);
+    }
+  }
+  ASSERT_TRUE(WriteFvecs(path, m).ok());
+  ASSERT_TRUE(FileExists(path));
+
+  auto loaded = ReadFvecs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->dim(), 4u);
+  EXPECT_EQ(loaded->data(), m.data());
+
+  auto limited = ReadFvecs(path, 2);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadFvecs("/nonexistent/nope.fvecs").ok());
+  EXPECT_FALSE(FileExists("/nonexistent/nope.fvecs"));
+}
+
+TEST(IoTest, RawFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ppanns_blob_test.bin";
+  std::vector<std::uint8_t> blob = {0, 255, 3, 7, 9};
+  ASSERT_TRUE(WriteFile(path, blob).ok());
+  auto back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+  std::remove(path.c_str());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TypesTest, SquaredL2MatchesManual) {
+  const float a[] = {1, 2, 3, 4, 5};
+  const float b[] = {2, 2, 1, 4, 7};
+  EXPECT_FLOAT_EQ(SquaredL2(a, b, 5), 1 + 0 + 4 + 0 + 4);
+  EXPECT_FLOAT_EQ(InnerProduct(a, b, 5), 2 + 4 + 3 + 16 + 35);
+}
+
+TEST(TypesTest, FloatMatrixAppend) {
+  FloatMatrix m(0, 3);
+  const float r0[] = {1, 2, 3};
+  const float r1[] = {4, 5, 6};
+  EXPECT_EQ(m.Append(r0), 0u);
+  EXPECT_EQ(m.Append(r1), 1u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(TypesTest, NeighborOrdering) {
+  Neighbor a{1, 2.0f}, b{2, 1.0f}, c{0, 2.0f};
+  EXPECT_LT(b, a);
+  EXPECT_LT(c, a);  // distance tie -> id order
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,100 @@
+// Tests for the comparison-only bounded max-heap of the refine phase.
+
+#include "core/comparison_heap.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppanns {
+namespace {
+
+// Oracle comparator over a plain score array: a closer than b <=>
+// score[a] < score[b].
+struct Oracle {
+  std::vector<double> scores;
+  std::size_t calls = 0;
+  bool Closer(VectorId a, VectorId b) {
+    ++calls;
+    return scores[a] < scores[b];
+  }
+};
+
+TEST(ComparisonHeapTest, KeepsKClosest) {
+  Oracle oracle;
+  Rng rng(1);
+  const std::size_t n = 200, k = 10;
+  for (std::size_t i = 0; i < n; ++i) oracle.scores.push_back(rng.Uniform(0, 1));
+
+  ComparisonHeap heap(k, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  for (VectorId id = 0; id < n; ++id) heap.Offer(id);
+  ASSERT_EQ(heap.size(), k);
+
+  const std::vector<VectorId> got = heap.ExtractSorted();
+
+  // Oracle's true top-k.
+  std::vector<VectorId> want(n);
+  for (std::size_t i = 0; i < n; ++i) want[i] = static_cast<VectorId>(i);
+  std::sort(want.begin(), want.end(), [&](VectorId a, VectorId b) {
+    return oracle.scores[a] < oracle.scores[b];
+  });
+  want.resize(k);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ComparisonHeapTest, ExtractSortedAscending) {
+  Oracle oracle;
+  oracle.scores = {5, 1, 4, 2, 3};
+  ComparisonHeap heap(5, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  for (VectorId id = 0; id < 5; ++id) heap.Offer(id);
+  const std::vector<VectorId> got = heap.ExtractSorted();
+  EXPECT_EQ(got, (std::vector<VectorId>{1, 3, 4, 2, 0}));
+}
+
+TEST(ComparisonHeapTest, UnderfilledHeap) {
+  Oracle oracle;
+  oracle.scores = {3, 1, 2};
+  ComparisonHeap heap(10, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  heap.Offer(0);
+  heap.Offer(1);
+  heap.Offer(2);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.ExtractSorted(), (std::vector<VectorId>{1, 2, 0}));
+}
+
+TEST(ComparisonHeapTest, RejectsFartherWhenFull) {
+  Oracle oracle;
+  oracle.scores = {1, 2, 3, 100};
+  ComparisonHeap heap(3, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  for (VectorId id = 0; id < 3; ++id) heap.Offer(id);
+  EXPECT_FALSE(heap.Offer(3));  // 100 is farther than the worst kept (3)
+  EXPECT_EQ(heap.Top(), 2u);
+}
+
+TEST(ComparisonHeapTest, LogarithmicComparisonCount) {
+  // Algorithm 2 cost claim: each insertion costs O(log k) comparisons. For
+  // n offers into a k-heap, total comparisons should be well below n*k.
+  Oracle oracle;
+  Rng rng(2);
+  const std::size_t n = 4096, k = 64;
+  for (std::size_t i = 0; i < n; ++i) oracle.scores.push_back(rng.Uniform(0, 1));
+
+  ComparisonHeap heap(k, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  for (VectorId id = 0; id < n; ++id) heap.Offer(id);
+  // log2(64) = 6; allow generous constants: 4 * 6 * n.
+  EXPECT_LT(oracle.calls, 4 * 6 * n);
+}
+
+TEST(ComparisonHeapTest, DuplicateScoresHandled) {
+  Oracle oracle;
+  oracle.scores = {1, 1, 1, 1, 1, 1};
+  ComparisonHeap heap(3, [&](VectorId a, VectorId b) { return oracle.Closer(a, b); });
+  for (VectorId id = 0; id < 6; ++id) heap.Offer(id);
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ppanns

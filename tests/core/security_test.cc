@@ -1,0 +1,202 @@
+// Security-property tests mapped from Section VI: what the server-side data
+// may and may not reveal. These are statistical/structural checks of the
+// implementation, complementing the paper's proofs.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/cloud_server.h"
+#include "core/data_owner.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+
+namespace ppanns {
+namespace {
+
+PpannsParams TestParams(std::uint64_t seed, double beta = 1.0,
+                        double scale = 3.0) {
+  PpannsParams params;
+  params.dcpe_beta = beta;
+  params.dce_scale_hint = scale;
+  params.hnsw = HnswParams{.m = 8, .ef_construction = 60, .seed = seed};
+  params.seed = seed;
+  return params;
+}
+
+// The SAP layer must not store plaintexts: every stored vector differs from
+// the plaintext (scaling + noise).
+TEST(SecurityTest, ServerSapLayerIsNotPlaintext) {
+  Dataset ds = MakeDataset(SyntheticKind::kGloveLike, 200, 1, 0, 1, 16);
+  auto owner = DataOwner::Create(16, TestParams(1));
+  ASSERT_TRUE(owner.ok());
+  CloudServer server(owner->EncryptAndIndex(ds.base));
+
+  const FloatMatrix& stored = server.index().data();
+  ASSERT_EQ(stored.size(), ds.base.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    // s = 1024: the stored vector is far from the plaintext in every
+    // coordinate that is non-zero.
+    double max_plain = 0, max_stored = 0;
+    for (std::size_t j = 0; j < stored.dim(); ++j) {
+      max_plain = std::max(max_plain, std::fabs(double(ds.base.at(i, j))));
+      max_stored = std::max(max_stored, std::fabs(double(stored.at(i, j))));
+    }
+    if (max_plain > 0.01) {
+      EXPECT_GT(max_stored, 100.0 * max_plain)
+          << "row " << i << " looks unscaled";
+    }
+  }
+}
+
+// Trapdoor unlinkability: two tokens for the same query must differ in both
+// layers (randomized encryption), yet produce the same search results.
+TEST(SecurityTest, QueryTokensUnlinkableButConsistent) {
+  Dataset ds = MakeDataset(SyntheticKind::kGloveLike, 500, 5, 10, 2, 16);
+  auto owner = DataOwner::Create(16, TestParams(2));
+  ASSERT_TRUE(owner.ok());
+  CloudServer server(owner->EncryptAndIndex(ds.base));
+  QueryClient client(owner->ShareKeys(), 77);
+
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    QueryToken t1 = client.EncryptQuery(ds.queries.row(i));
+    QueryToken t2 = client.EncryptQuery(ds.queries.row(i));
+    EXPECT_NE(t1.trapdoor.data, t2.trapdoor.data);
+    EXPECT_NE(t1.sap, t2.sap);
+
+    SearchResult r1 =
+        server.Search(t1, 10, SearchSettings{.k_prime = 50, .ef_search = 120});
+    SearchResult r2 =
+        server.Search(t2, 10, SearchSettings{.k_prime = 50, .ef_search = 120});
+    // DCE comparisons are exact, so both tokens must rank the same
+    // candidates identically. (SAP noise can change the candidate pool edge,
+    // so compare the top halves which are stable.)
+    ASSERT_FALSE(r1.ids.empty());
+    EXPECT_EQ(r1.ids[0], r2.ids[0]);
+  }
+}
+
+// DCE ciphertext indistinguishability smoke test: the ciphertexts of two
+// very close plaintexts and two far plaintexts must not reveal their
+// distance structure through simple statistics (Section VI, Case 1).
+TEST(SecurityTest, DceCiphertextsHideDistanceStructure) {
+  Rng rng(3);
+  const std::size_t d = 16;
+  auto dce = DceScheme::KeyGen(d, rng, 1.0);
+  ASSERT_TRUE(dce.ok());
+
+  std::vector<double> a(d), b(d), c(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i] = rng.Uniform(-1, 1);
+    b[i] = a[i] + 1e-6;          // b ~ a
+    c[i] = rng.Uniform(-1, 1);   // c unrelated
+  }
+  const DceCiphertext ca = dce->Encrypt(a.data(), rng);
+  const DceCiphertext cb = dce->Encrypt(b.data(), rng);
+  const DceCiphertext cc = dce->Encrypt(c.data(), rng);
+
+  // Euclidean distance between raw ciphertext blobs must NOT mirror
+  // plaintext proximity: the near pair should not be notably closer in
+  // ciphertext space than the far pair.
+  auto blob_dist = [](const DceCiphertext& x, const DceCiphertext& y) {
+    double s = 0;
+    for (std::size_t i = 0; i < x.data.size(); ++i) {
+      const double diff = x.data[i] - y.data[i];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+  const double near_pair = blob_dist(ca, cb);
+  const double far_pair = blob_dist(ca, cc);
+  // Randomizers r_p in (0.5,2) rescale each ciphertext: the near-plaintext
+  // pair's ciphertext distance is dominated by that blinding, not by the
+  // 1e-6 plaintext offset.
+  EXPECT_GT(near_pair, 0.05 * far_pair);
+}
+
+// The server's view carries no DCE plaintext: re-encrypting the same vector
+// under a different key produces an unrelated ciphertext, so ciphertexts
+// carry no key-independent trace of p (Section VI, simulator argument).
+TEST(SecurityTest, CiphertextsKeyDependent) {
+  const std::size_t d = 12;
+  Rng data_rng(4);
+  std::vector<double> p(d);
+  for (auto& v : p) v = data_rng.Uniform(-1, 1);
+
+  Rng k1(5), k2(6), e1(7), e2(7);  // same encryption randomness stream
+  auto s1 = DceScheme::KeyGen(d, k1, 1.0);
+  auto s2 = DceScheme::KeyGen(d, k2, 1.0);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  const DceCiphertext c1 = s1->Encrypt(p.data(), e1);
+  const DceCiphertext c2 = s2->Encrypt(p.data(), e2);
+
+  // Normalized correlation between the two ciphertext blobs should be weak.
+  double dot = 0, n1 = 0, n2 = 0;
+  for (std::size_t i = 0; i < c1.data.size(); ++i) {
+    dot += c1.data[i] * c2.data[i];
+    n1 += c1.data[i] * c1.data[i];
+    n2 += c2.data[i] * c2.data[i];
+  }
+  const double corr = std::fabs(dot) / std::sqrt(n1 * n2);
+  EXPECT_LT(corr, 0.5);
+}
+
+// Leakage accounting: the only DCE output the server computes is the
+// comparison sign; verify Z's magnitude is blinded (not a deterministic
+// function of the distance gap) across repeated encryptions.
+TEST(SecurityTest, ComparisonMagnitudeIsBlinded) {
+  Rng rng(8);
+  const std::size_t d = 8;
+  auto dce = DceScheme::KeyGen(d, rng, 1.0);
+  ASSERT_TRUE(dce.ok());
+  std::vector<double> o(d), p(d), q(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    o[i] = rng.Uniform(-1, 1);
+    p[i] = rng.Uniform(-1, 1);
+    q[i] = rng.Uniform(-1, 1);
+  }
+  std::set<long long> magnitudes;
+  for (int t = 0; t < 10; ++t) {
+    const DceCiphertext co = dce->Encrypt(o.data(), rng);
+    const DceCiphertext cp = dce->Encrypt(p.data(), rng);
+    const DceTrapdoor tq = dce->GenTrapdoor(q.data(), rng);
+    const double z = DceScheme::DistanceComp(co, cp, tq);
+    magnitudes.insert(llround(std::fabs(z) * 1e6));
+  }
+  // All ten runs have the same sign but (virtually surely) distinct blinded
+  // magnitudes.
+  EXPECT_GE(magnitudes.size(), 9u);
+}
+
+// The HNSW graph is built over SAP ciphertexts: with substantial beta its
+// edge set must differ from the plaintext-graph edge set (the Section V-A
+// privacy argument for not indexing plaintexts).
+TEST(SecurityTest, GraphEdgesDifferFromPlaintextGraph) {
+  Dataset ds = MakeDataset(SyntheticKind::kGloveLike, 600, 1, 0, 9, 16);
+  const HnswParams hnsw{.m = 8, .ef_construction = 80, .seed = 42};
+
+  // Plaintext graph.
+  HnswIndex plain(16, hnsw);
+  plain.AddBatch(ds.base);
+
+  // Encrypted graph (beta high enough to perturb neighborhoods).
+  auto owner = DataOwner::Create(16, TestParams(9, /*beta=*/4.0));
+  ASSERT_TRUE(owner.ok());
+  CloudServer server(owner->EncryptAndIndex(ds.base));
+
+  std::size_t common = 0, total = 0;
+  for (VectorId id = 0; id < 600; ++id) {
+    const auto& pe = plain.NeighborsAt(id, 0);
+    const auto& ee = server.index().NeighborsAt(id, 0);
+    const std::set<VectorId> ps(pe.begin(), pe.end());
+    for (VectorId nb : ee) common += ps.count(nb);
+    total += ee.size();
+  }
+  ASSERT_GT(total, 0u);
+  const double overlap = static_cast<double>(common) / total;
+  EXPECT_LT(overlap, 0.95) << "encrypted graph mirrors plaintext graph too closely";
+}
+
+}  // namespace
+}  // namespace ppanns

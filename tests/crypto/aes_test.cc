@@ -1,0 +1,104 @@
+// AES-128 tests: FIPS-197 known-answer vectors and CTR-mode round trips.
+
+#include "crypto/aes.h"
+
+#include <array>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppanns {
+namespace {
+
+TEST(AesTest, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: key 2b7e1516..., plaintext 3243f6a8...
+  const std::array<std::uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                            0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                            0x09, 0xcf, 0x4f, 0x3c};
+  const std::uint8_t plain[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                                  0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                                  0x07, 0x34};
+  const std::uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                     0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                     0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.EncryptBlock(plain, out);
+  EXPECT_EQ(std::memcmp(out, expected, 16), 0);
+}
+
+TEST(AesTest, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  std::array<std::uint8_t, 16> key{};
+  for (int i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t plain[16];
+  for (int i = 0; i < 16; ++i) plain[i] = static_cast<std::uint8_t>(i * 0x11);
+  const std::uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                     0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                     0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.EncryptBlock(plain, out);
+  EXPECT_EQ(std::memcmp(out, expected, 16), 0);
+}
+
+TEST(AesTest, CtrRoundTrip) {
+  std::array<std::uint8_t, 16> key{};
+  Rng rng(1);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  Aes128 aes(key);
+
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    std::vector<std::uint8_t> data(len), original;
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    original = data;
+    aes.CtrXor(/*nonce=*/7, data.data(), data.size());
+    if (len > 8) EXPECT_NE(data, original);  // actually encrypted
+    aes.CtrXor(/*nonce=*/7, data.data(), data.size());
+    EXPECT_EQ(data, original) << "len=" << len;
+  }
+}
+
+TEST(AesTest, DifferentNoncesDifferentKeystreams) {
+  std::array<std::uint8_t, 16> key{};
+  key[0] = 1;
+  Aes128 aes(key);
+  std::vector<std::uint8_t> a(32, 0), b(32, 0);
+  aes.CtrXor(1, a.data(), a.size());
+  aes.CtrXor(2, b.data(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(AesTest, FloatVectorRoundTrip) {
+  std::array<std::uint8_t, 16> key{};
+  key[5] = 0xAB;
+  Aes128 aes(key);
+  std::vector<float> v = {1.5f, -2.25f, 3.0e7f, -0.0f, 1e-20f};
+  const auto blob = aes.EncryptFloats(42, v.data(), v.size());
+  EXPECT_EQ(blob.size(), v.size() * sizeof(float));
+
+  std::vector<float> out(v.size());
+  aes.DecryptFloats(42, blob, out.data(), out.size());
+  EXPECT_EQ(std::memcmp(out.data(), v.data(), blob.size()), 0);
+}
+
+TEST(AesTest, CiphertextLooksUniform) {
+  // Weak randomness sanity: byte histogram of a long keystream is flat-ish.
+  std::array<std::uint8_t, 16> key{};
+  key[3] = 9;
+  Aes128 aes(key);
+  std::vector<std::uint8_t> zeros(1 << 16, 0);
+  aes.CtrXor(0, zeros.data(), zeros.size());
+  std::array<std::size_t, 256> hist{};
+  for (auto b : zeros) ++hist[b];
+  const double expected = zeros.size() / 256.0;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_GT(hist[i], expected * 0.7) << "byte " << i;
+    EXPECT_LT(hist[i], expected * 1.3) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,282 @@
+// Tests for Section III-A: the ASPE variants leak (a transformation of)
+// distances, and the known-plaintext attacks of Theorem 1, Corollaries 1-2
+// and Theorem 2 recover queries and then database vectors from that leakage.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/aspe.h"
+#include "crypto/kpa_attack.h"
+#include "linalg/matrix.h"
+
+namespace ppanns {
+namespace {
+
+std::vector<double> RandomVector(std::size_t d, Rng& rng, double scale = 1.0) {
+  std::vector<double> v(d);
+  for (auto& x : v) x = rng.Uniform(-scale, scale);
+  return v;
+}
+
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+// The leakage must be monotone in the true distance for a fixed query —
+// that is what makes ASPE variants usable for ranking (and attackable).
+TEST(AspeTest, LeakageMonotoneInDistance) {
+  const std::size_t d = 8;
+  Rng rng(1);
+  for (AspeVariant variant :
+       {AspeVariant::kLinear, AspeVariant::kExponential,
+        AspeVariant::kLogarithmic, AspeVariant::kSquare}) {
+    auto scheme = AspeScheme::KeyGen(d, variant, rng, 1.0);
+    ASSERT_TRUE(scheme.ok());
+    const std::vector<double> q = RandomVector(d, rng);
+    const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+
+    // Build points at increasing distance from q along a ray.
+    std::vector<double> dir = RandomVector(d, rng);
+    double prev_leak = 0.0;
+    bool first = true;
+    bool monotone_up = true, monotone_down = true;
+    for (double t : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      std::vector<double> p(d);
+      for (std::size_t i = 0; i < d; ++i) p[i] = q[i] + t * dir[i];
+      const AspeCiphertext cp = scheme->Encrypt(p.data());
+      const double leak = scheme->Leakage(cp, tq);
+      if (!first) {
+        monotone_up &= (leak > prev_leak);
+        monotone_down &= (leak < prev_leak);
+      }
+      prev_leak = leak;
+      first = false;
+    }
+    // The square variant folds the distance through (v0+r2)^2, which is
+    // monotone only beyond the vertex; all others must be strictly monotone
+    // increasing (positive r1).
+    if (variant != AspeVariant::kSquare) {
+      EXPECT_TRUE(monotone_up) << "variant " << static_cast<int>(variant);
+    }
+  }
+}
+
+TEST(AspeTest, BaseSchemePreservesLiftedInnerProduct) {
+  const std::size_t d = 6;
+  Rng rng(2);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kLinear, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  const std::vector<double> p = RandomVector(d, rng);
+  const std::vector<double> q = RandomVector(d, rng);
+  const AspeCiphertext cp = scheme->Encrypt(p.data());
+  const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+
+  double norm2 = 0.0, dot = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    norm2 += p[i] * p[i];
+    dot += p[i] * q[i];
+  }
+  const double expected = tq.r1 * (norm2 - 2.0 * dot) + tq.r2;
+  EXPECT_NEAR(scheme->Leakage(cp, tq), expected, 1e-9);
+}
+
+// Stage-1 attack parameterized over the linear/exp/log variants
+// (Theorem 1, Corollaries 1 and 2).
+class AspeKpaRecoverQueryTest : public ::testing::TestWithParam<AspeVariant> {};
+
+TEST_P(AspeKpaRecoverQueryTest, RecoversQueryExactly) {
+  const std::size_t d = 12;
+  Rng rng(3);
+  auto scheme = AspeScheme::KeyGen(d, GetParam(), rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  const std::size_t m = attack.RequiredLeaks();
+  ASSERT_EQ(m, d + 2);
+
+  // Leaked plaintexts + their observed leakage for one target query.
+  Matrix leaked(m, d);
+  const std::vector<double> q = RandomVector(d, rng);
+  const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+  std::vector<double> leakage(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> p = RandomVector(d, rng);
+    std::copy(p.begin(), p.end(), leaked.row(i));
+    leakage[i] = scheme->Leakage(scheme->Encrypt(p.data()), tq);
+  }
+
+  auto recovered = attack.RecoverQuery(leaked, leakage);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_LT(MaxAbsError(recovered->q, q), 1e-6);
+  EXPECT_NEAR(recovered->r1, tq.r1, 1e-6);
+  EXPECT_NEAR(recovered->r2, tq.r2, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AspeKpaRecoverQueryTest,
+    ::testing::Values(AspeVariant::kLinear, AspeVariant::kExponential,
+                      AspeVariant::kLogarithmic),
+    [](const ::testing::TestParamInfo<AspeVariant>& info) {
+      switch (info.param) {
+        case AspeVariant::kLinear: return std::string("linear");
+        case AspeVariant::kExponential: return std::string("exponential");
+        case AspeVariant::kLogarithmic: return std::string("logarithmic");
+        case AspeVariant::kSquare: return std::string("square");
+      }
+      return std::string("unknown");
+    });
+
+// Theorem 2: the square variant falls to the lifted attack. (The lift is
+// the paper's minus the redundant ||p||^2 coordinate; see kpa_attack.h.)
+TEST(AspeKpaTest, SquareVariantRecoversQuery) {
+  const std::size_t d = 6;  // lift dimension (d+2)(d+3)/2 - 1 = 35
+  Rng rng(4);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kSquare, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  const std::size_t m = attack.RequiredLeaks();
+  ASSERT_EQ(m, (d + 2) * (d + 3) / 2 - 1);
+
+  Matrix leaked(m, d);
+  const std::vector<double> q = RandomVector(d, rng);
+  const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+  std::vector<double> leakage(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> p = RandomVector(d, rng);
+    std::copy(p.begin(), p.end(), leaked.row(i));
+    leakage[i] = scheme->Leakage(scheme->Encrypt(p.data()), tq);
+  }
+
+  auto recovered = attack.RecoverQuery(leaked, leakage);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_LT(MaxAbsError(recovered->q, q), 1e-5);
+  EXPECT_NEAR(recovered->r1, tq.r1, 1e-5);
+  EXPECT_NEAR(recovered->r2, tq.r2, 1e-4);
+  EXPECT_NEAR(recovered->r3, tq.r3, 1e-4);
+}
+
+// Stage 2 of Theorem 1: with d+2 recovered queries, any database vector
+// outside the leaked set is recovered from its leakage values.
+TEST(AspeKpaTest, FullDatabaseRecoveryLinear) {
+  const std::size_t d = 10;
+  Rng rng(5);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kLinear, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  const std::size_t m = attack.RequiredLeaks();
+
+  // Leaked plaintexts.
+  Matrix leaked(m, d);
+  std::vector<std::vector<double>> leaked_rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto p = RandomVector(d, rng);
+    std::copy(p.begin(), p.end(), leaked.row(i));
+    leaked_rows.push_back(p);
+  }
+
+  // Stage 1 for m distinct queries.
+  std::vector<RecoveredQuery> queries;
+  std::vector<AspeTrapdoor> trapdoors;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::vector<double> q = RandomVector(d, rng);
+    const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+    std::vector<double> leakage(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      leakage[i] = scheme->Leakage(scheme->Encrypt(leaked_rows[i].data()), tq);
+    }
+    auto rec = attack.RecoverQuery(leaked, leakage);
+    ASSERT_TRUE(rec.ok());
+    queries.push_back(std::move(*rec));
+    trapdoors.push_back(tq);
+  }
+
+  // Stage 2: recover a fresh database vector never in the leaked set.
+  const std::vector<double> target = RandomVector(d, rng);
+  const AspeCiphertext ct = scheme->Encrypt(target.data());
+  std::vector<double> target_leakage(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    target_leakage[j] = scheme->Leakage(ct, trapdoors[j]);
+  }
+  auto recovered = attack.RecoverDataVector(queries, target_leakage);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_LT(MaxAbsError(*recovered, target), 1e-6)
+      << "ASPE-linear failed to resist KPA as Theorem 1 predicts";
+}
+
+// Stage 2 for the square variant (Theorem 2's dual system).
+TEST(AspeKpaTest, FullDatabaseRecoverySquare) {
+  const std::size_t d = 4;  // lift dim = 21, keeps the test fast
+  Rng rng(6);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kSquare, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  const std::size_t m = attack.RequiredLeaks();
+
+  Matrix leaked(m, d);
+  std::vector<std::vector<double>> leaked_rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto p = RandomVector(d, rng);
+    std::copy(p.begin(), p.end(), leaked.row(i));
+    leaked_rows.push_back(p);
+  }
+
+  std::vector<RecoveredQuery> queries;
+  std::vector<AspeTrapdoor> trapdoors;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::vector<double> q = RandomVector(d, rng);
+    const AspeTrapdoor tq = scheme->GenTrapdoor(q.data(), rng);
+    std::vector<double> leakage(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      leakage[i] = scheme->Leakage(scheme->Encrypt(leaked_rows[i].data()), tq);
+    }
+    auto rec = attack.RecoverQuery(leaked, leakage);
+    ASSERT_TRUE(rec.ok());
+    queries.push_back(std::move(*rec));
+    trapdoors.push_back(tq);
+  }
+
+  const std::vector<double> target = RandomVector(d, rng);
+  const AspeCiphertext ct = scheme->Encrypt(target.data());
+  std::vector<double> target_leakage(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    target_leakage[j] = scheme->Leakage(ct, trapdoors[j]);
+  }
+  auto recovered = attack.RecoverDataVector(queries, target_leakage);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_LT(MaxAbsError(*recovered, target), 1e-4);
+}
+
+TEST(AspeKpaTest, InsufficientLeaksRejected) {
+  const std::size_t d = 8;
+  Rng rng(7);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kLinear, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  Matrix leaked(d, d);  // one row short of d+2
+  std::vector<double> leakage(d, 0.0);
+  EXPECT_FALSE(attack.RecoverQuery(leaked, leakage).ok());
+}
+
+TEST(AspeKpaTest, DegenerateLeaksDetectedAsSingular) {
+  const std::size_t d = 4;
+  Rng rng(8);
+  auto scheme = AspeScheme::KeyGen(d, AspeVariant::kLinear, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  AspeKpaAttack attack(*scheme);
+  const std::size_t m = attack.RequiredLeaks();
+  // All leaked points identical -> rank-1 system -> attack must fail cleanly.
+  Matrix leaked(m, d);
+  const auto p = RandomVector(d, rng);
+  for (std::size_t i = 0; i < m; ++i) std::copy(p.begin(), p.end(), leaked.row(i));
+  std::vector<double> leakage(m, 1.0);
+  EXPECT_FALSE(attack.RecoverQuery(leaked, leakage).ok());
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,207 @@
+// Tests for the DCPE/SAP scheme: Algorithm 1 mechanics, noise bounds, the
+// beta-DCP property (Definition 3), and the accuracy degradation that
+// motivates the paper's refine phase.
+
+#include "crypto/dcpe.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ppanns {
+namespace {
+
+double DistL2(const float* a, const float* b, std::size_t d) {
+  return std::sqrt(static_cast<double>(SquaredL2(a, b, d)));
+}
+
+TEST(DcpeTest, CreateValidatesArguments) {
+  EXPECT_FALSE(DcpeScheme::Create(0, 1024.0, 1.0).ok());
+  EXPECT_FALSE(DcpeScheme::Create(8, 0.0, 1.0).ok());
+  EXPECT_FALSE(DcpeScheme::Create(8, -3.0, 1.0).ok());
+  EXPECT_FALSE(DcpeScheme::Create(8, 1024.0, -1.0).ok());
+  EXPECT_TRUE(DcpeScheme::Create(8, 1024.0, 0.0).ok());
+}
+
+TEST(DcpeTest, BetaRangeEndpoints) {
+  // [sqrt(M), 2 M sqrt(d)] for M = 255, d = 128 (SIFT regime).
+  EXPECT_NEAR(DcpeScheme::MinBeta(255.0), std::sqrt(255.0), 1e-12);
+  EXPECT_NEAR(DcpeScheme::MaxBeta(255.0, 128), 2.0 * 255.0 * std::sqrt(128.0),
+              1e-9);
+}
+
+TEST(DcpeTest, ZeroBetaIsPureScaling) {
+  auto scheme = DcpeScheme::Create(6, 1024.0, 0.0);
+  ASSERT_TRUE(scheme.ok());
+  Rng rng(1);
+  const float p[] = {1.0f, -2.0f, 0.5f, 3.0f, 0.0f, -0.25f};
+  float c[6];
+  scheme->Encrypt(p, c, rng);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(c[i], 1024.0f * p[i]);
+}
+
+TEST(DcpeTest, NoiseNormWithinRadius) {
+  const std::size_t d = 32;
+  const double s = 1024.0, beta = 2.0;
+  auto scheme = DcpeScheme::Create(d, s, beta);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_DOUBLE_EQ(scheme->NoiseRadius(), s * beta / 4.0);
+
+  Rng rng(2);
+  std::vector<float> p(d, 0.0f);  // zero vector isolates the noise term
+  std::vector<float> c(d);
+  for (int trial = 0; trial < 200; ++trial) {
+    scheme->Encrypt(p.data(), c.data(), rng);
+    double norm2 = 0.0;
+    for (float v : c) norm2 += static_cast<double>(v) * v;
+    EXPECT_LE(std::sqrt(norm2), scheme->NoiseRadius() * (1.0 + 1e-5))
+        << "trial " << trial;
+  }
+}
+
+TEST(DcpeTest, NoiseFillsTheBall) {
+  // x'^(1/d) radial correction => noise is uniform in the ball, so large
+  // radii dominate: the mean norm should exceed half the radius.
+  const std::size_t d = 16;
+  auto scheme = DcpeScheme::Create(d, 4.0, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  Rng rng(3);
+  std::vector<float> p(d, 0.0f), c(d);
+  double mean_norm = 0.0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    scheme->Encrypt(p.data(), c.data(), rng);
+    double norm2 = 0.0;
+    for (float v : c) norm2 += static_cast<double>(v) * v;
+    mean_norm += std::sqrt(norm2);
+  }
+  mean_norm /= trials;
+  // E[r] for uniform in a d-ball of radius R is R*d/(d+1) ~ 0.94 R at d=16.
+  EXPECT_GT(mean_norm, 0.85 * scheme->NoiseRadius());
+}
+
+TEST(DcpeTest, EncryptionIsRandomized) {
+  auto scheme = DcpeScheme::Create(8, 1024.0, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  Rng rng(4);
+  const float p[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  float c1[8], c2[8];
+  scheme->Encrypt(p, c1, rng);
+  scheme->Encrypt(p, c2, rng);
+  bool differ = false;
+  for (int i = 0; i < 8; ++i) differ |= (c1[i] != c2[i]);
+  EXPECT_TRUE(differ);
+}
+
+// Definition 3 (beta-DCP): if dist(o,q) < dist(p,q) - beta then the
+// encrypted comparison agrees. Property-tested across dimensions and betas.
+struct DcpParam {
+  std::size_t dim;
+  double beta;
+};
+
+class DcpePropertyTest : public ::testing::TestWithParam<DcpParam> {};
+
+TEST_P(DcpePropertyTest, BetaDcpProperty) {
+  const auto [d, beta] = GetParam();
+  const double s = 1024.0;
+  auto scheme = DcpeScheme::Create(d, s, beta);
+  ASSERT_TRUE(scheme.ok());
+  Rng rng(100 + d);
+
+  std::vector<float> o(d), p(d), q(d), co(d), cp(d), cq(d);
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    for (std::size_t i = 0; i < d; ++i) {
+      o[i] = static_cast<float>(rng.Uniform(-10, 10));
+      p[i] = static_cast<float>(rng.Uniform(-10, 10));
+      q[i] = static_cast<float>(rng.Uniform(-10, 10));
+    }
+    const double do_q = DistL2(o.data(), q.data(), d);
+    const double dp_q = DistL2(p.data(), q.data(), d);
+    if (!(do_q < dp_q - beta)) continue;  // premise not met
+    ++checked;
+    scheme->Encrypt(o.data(), co.data(), rng);
+    scheme->Encrypt(p.data(), cp.data(), rng);
+    scheme->Encrypt(q.data(), cq.data(), rng);
+    EXPECT_LT(DistL2(co.data(), cq.data(), d), DistL2(cp.data(), cq.data(), d))
+        << "beta-DCP violated at trial " << trial;
+  }
+  EXPECT_GT(checked, 20) << "premise rarely satisfied; widen the generator";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndBetas, DcpePropertyTest,
+    ::testing::Values(DcpParam{4, 0.5}, DcpParam{8, 1.0}, DcpParam{16, 2.0},
+                      DcpParam{32, 1.0}, DcpParam{64, 4.0}, DcpParam{128, 8.0}),
+    [](const ::testing::TestParamInfo<DcpParam>& info) {
+      return "d" + std::to_string(info.param.dim) + "_b" +
+             std::to_string(static_cast<int>(info.param.beta * 10));
+    });
+
+// Larger beta must produce larger ranking distortion — the Fig. 4 trade-off.
+TEST(DcpeTest, LargerBetaDistortsRankingMore) {
+  const std::size_t d = 16, n = 200;
+  Rng data_rng(5);
+  std::vector<std::vector<float>> points(n, std::vector<float>(d));
+  std::vector<float> q(d);
+  for (auto& pt : points) {
+    for (auto& v : pt) v = static_cast<float>(data_rng.Uniform(-1, 1));
+  }
+  for (auto& v : q) v = static_cast<float>(data_rng.Uniform(-1, 1));
+
+  auto inversions = [&](double beta) {
+    auto scheme = DcpeScheme::Create(d, 1024.0, beta);
+    PPANNS_CHECK(scheme.ok());
+    Rng rng(6);
+    std::vector<std::vector<float>> cts(n, std::vector<float>(d));
+    std::vector<float> cq(d);
+    for (std::size_t i = 0; i < n; ++i) {
+      scheme->Encrypt(points[i].data(), cts[i].data(), rng);
+    }
+    scheme->Encrypt(q.data(), cq.data(), rng);
+    // Count pairwise order disagreements between plaintext and encrypted
+    // distances.
+    std::size_t inv = 0, total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const bool plain = SquaredL2(points[i].data(), q.data(), d) <
+                           SquaredL2(points[j].data(), q.data(), d);
+        const bool enc = SquaredL2(cts[i].data(), cq.data(), d) <
+                         SquaredL2(cts[j].data(), cq.data(), d);
+        inv += (plain != enc);
+        ++total;
+      }
+    }
+    return static_cast<double>(inv) / total;
+  };
+
+  const double none = inversions(0.0);
+  const double small = inversions(0.5);
+  const double large = inversions(4.0);
+  EXPECT_EQ(none, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(DcpeTest, EncryptMatrixMatchesRowEncryption) {
+  auto scheme = DcpeScheme::Create(4, 2.0, 0.0);  // deterministic at beta=0
+  ASSERT_TRUE(scheme.ok());
+  FloatMatrix data(2, 4);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) data.at(i, j) = i + 0.5f * j;
+  }
+  Rng rng(7);
+  FloatMatrix enc = scheme->EncryptMatrix(data, rng);
+  ASSERT_EQ(enc.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(enc.at(i, j), 2.0f * data.at(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,171 @@
+// Key serialization tests: round trips must reproduce bit-identical
+// cryptographic behaviour; corrupted keys must be rejected, never used.
+
+#include "crypto/key_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/keys.h"
+
+namespace ppanns {
+namespace {
+
+TEST(KeyIoTest, MatrixRoundTrip) {
+  Rng rng(1);
+  Matrix m = Matrix::Gaussian(5, 7, rng);
+  BinaryWriter w;
+  SerializeMatrix(m, &w);
+  BinaryReader r(w.buffer());
+  auto back = DeserializeMatrix(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(KeyIoTest, MatrixSizeMismatchRejected) {
+  BinaryWriter w;
+  w.Put<std::uint64_t>(3);
+  w.Put<std::uint64_t>(3);
+  w.PutVector(std::vector<double>{1.0, 2.0});  // 2 != 9
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(DeserializeMatrix(&r).ok());
+}
+
+TEST(KeyIoTest, DceKeyRoundTripPreservesBehaviour) {
+  Rng rng(2);
+  const std::size_t d = 11;  // odd: exercises padding fields
+  auto scheme = DceScheme::KeyGen(d, rng, 2.5);
+  ASSERT_TRUE(scheme.ok());
+
+  BinaryWriter w;
+  SerializeDceKey(scheme->key(), &w);
+  BinaryReader r(w.buffer());
+  auto key = DeserializeDceKey(&r);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  DceScheme restored = DceScheme::FromKey(std::move(*key));
+
+  // Identical encryption randomness -> bit-identical ciphertexts.
+  std::vector<double> p(d), q(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    p[i] = 0.1 * static_cast<double>(i) - 0.4;
+    q[i] = 0.25 - 0.05 * static_cast<double>(i);
+  }
+  Rng e1(99), e2(99);
+  const DceCiphertext c1 = scheme->Encrypt(p.data(), e1);
+  const DceCiphertext c2 = restored.Encrypt(p.data(), e2);
+  EXPECT_EQ(c1.data, c2.data);
+
+  Rng t1(123), t2(123);
+  const DceTrapdoor td1 = scheme->GenTrapdoor(q.data(), t1);
+  const DceTrapdoor td2 = restored.GenTrapdoor(q.data(), t2);
+  EXPECT_EQ(td1.data, td2.data);
+}
+
+TEST(KeyIoTest, CrossKeyInteroperability) {
+  // Ciphertexts made under the original key must compare correctly against
+  // trapdoors made under the restored key (the owner/user split).
+  Rng rng(3);
+  const std::size_t d = 16;
+  auto owner_scheme = DceScheme::KeyGen(d, rng, 1.0);
+  ASSERT_TRUE(owner_scheme.ok());
+
+  BinaryWriter w;
+  SerializeDceKey(owner_scheme->key(), &w);
+  BinaryReader r(w.buffer());
+  auto key = DeserializeDceKey(&r);
+  ASSERT_TRUE(key.ok());
+  DceScheme user_scheme = DceScheme::FromKey(std::move(*key));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> o(d), p(d), q(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      o[i] = rng.Uniform(-1, 1);
+      p[i] = rng.Uniform(-1, 1);
+      q[i] = rng.Uniform(-1, 1);
+    }
+    const DceCiphertext co = owner_scheme->Encrypt(o.data(), rng);
+    const DceCiphertext cp = owner_scheme->Encrypt(p.data(), rng);
+    const DceTrapdoor tq = user_scheme.GenTrapdoor(q.data(), rng);
+    double dist_o = 0, dist_p = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      dist_o += (o[i] - q[i]) * (o[i] - q[i]);
+      dist_p += (p[i] - q[i]) * (p[i] - q[i]);
+    }
+    EXPECT_EQ(DceScheme::DistanceComp(co, cp, tq) < 0, dist_o < dist_p);
+  }
+}
+
+TEST(KeyIoTest, DcpeKeyRoundTrip) {
+  DcpeSecretKey key{.dim = 32, .s = 1024.0, .beta = 3.5};
+  BinaryWriter w;
+  SerializeDcpeKey(key, &w);
+  BinaryReader r(w.buffer());
+  auto back = DeserializeDcpeKey(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dim, 32u);
+  EXPECT_EQ(back->s, 1024.0);
+  EXPECT_EQ(back->beta, 3.5);
+}
+
+TEST(KeyIoTest, CorruptedKeysRejected) {
+  Rng rng(4);
+  auto scheme = DceScheme::KeyGen(8, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  BinaryWriter w;
+  SerializeDceKey(scheme->key(), &w);
+
+  // Truncation at several prefixes.
+  for (std::size_t cut : {4u, 20u, 100u}) {
+    BinaryReader r(w.buffer().data(), std::min<std::size_t>(cut, w.buffer().size()));
+    EXPECT_FALSE(DeserializeDceKey(&r).ok()) << "cut=" << cut;
+  }
+  // Bad magic.
+  std::vector<std::uint8_t> bad = w.buffer();
+  bad[0] ^= 0xFF;
+  BinaryReader r(bad);
+  EXPECT_FALSE(DeserializeDceKey(&r).ok());
+}
+
+TEST(KeyIoTest, CorruptedPermutationRejected) {
+  Rng rng(5);
+  auto scheme = DceScheme::KeyGen(8, rng, 1.0);
+  ASSERT_TRUE(scheme.ok());
+  BinaryWriter w;
+  SerializeDceKey(scheme->key(), &w);
+
+  // Locate pi1's bytes is brittle; instead corrupt a mid-buffer region
+  // repeatedly and require either clean failure or a structurally valid key
+  // (never a crash).
+  for (std::size_t offset = 64; offset + 8 < w.buffer().size();
+       offset += w.buffer().size() / 7) {
+    std::vector<std::uint8_t> bad = w.buffer();
+    for (int i = 0; i < 8; ++i) bad[offset + i] = 0xEE;
+    BinaryReader r(bad);
+    auto key = DeserializeDceKey(&r);  // must not crash
+    (void)key;
+  }
+  SUCCEED();
+}
+
+TEST(KeyIoTest, SecretKeysBundleRoundTrip) {
+  PpannsParams params;
+  params.dcpe_beta = 1.5;
+  params.dce_scale_hint = 2.0;
+  params.seed = 6;
+  Rng key_rng(params.seed);
+  auto dce = DceScheme::KeyGen(12, key_rng, params.dce_scale_hint);
+  auto dcpe = DcpeScheme::Create(12, params.dcpe_s, params.dcpe_beta);
+  ASSERT_TRUE(dce.ok() && dcpe.ok());
+  SecretKeys keys(std::move(*dce), std::move(*dcpe));
+
+  BinaryWriter w;
+  SerializeSecretKeys(keys, &w);
+  BinaryReader r(w.buffer());
+  auto restored = DeserializeSecretKeys(&r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->dce.dim(), 12u);
+  EXPECT_EQ((*restored)->dcpe.key().beta, 1.5);
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,143 @@
+// Paillier tests: encryption round trips, the homomorphic laws, signed
+// encoding, and the HE distance protocol's exactness.
+
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace ppanns {
+namespace {
+
+// Small keys keep test runtime down; cost benchmarking uses larger ones.
+constexpr std::size_t kTestBits = 256;
+
+TEST(PaillierTest, KeyGenValidates) {
+  Rng rng(1);
+  EXPECT_FALSE(Paillier::KeyGen(32, rng).ok());
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  EXPECT_GE(he->n().BitLength(), kTestBits - 2);
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  Rng rng(2);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  for (std::uint64_t m : {0ull, 1ull, 42ull, 123456789ull, 0xFFFFFFFFull}) {
+    const PaillierCiphertext c = he->Encrypt(m, rng);
+    EXPECT_EQ(he->Decrypt(c), BigUint(m)) << m;
+  }
+}
+
+TEST(PaillierTest, EncryptionIsRandomized) {
+  Rng rng(3);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  const PaillierCiphertext c1 = he->Encrypt(7, rng);
+  const PaillierCiphertext c2 = he->Encrypt(7, rng);
+  EXPECT_FALSE(c1.value == c2.value);
+  EXPECT_EQ(he->Decrypt(c1), he->Decrypt(c2));
+}
+
+TEST(PaillierTest, HomomorphicAddition) {
+  Rng rng(4);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  for (int t = 0; t < 20; ++t) {
+    const std::uint64_t a = rng.NextUint64() % 1000000;
+    const std::uint64_t b = rng.NextUint64() % 1000000;
+    const PaillierCiphertext sum = he->Add(he->Encrypt(a, rng), he->Encrypt(b, rng));
+    EXPECT_EQ(he->Decrypt(sum), BigUint(a + b));
+  }
+}
+
+TEST(PaillierTest, HomomorphicScalarMultiplication) {
+  Rng rng(5);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  for (int t = 0; t < 10; ++t) {
+    const std::uint64_t m = rng.NextUint64() % 10000;
+    const std::uint64_t k = rng.NextUint64() % 1000;
+    const PaillierCiphertext c = he->ScalarMul(he->Encrypt(m, rng), BigUint(k));
+    EXPECT_EQ(he->Decrypt(c), BigUint(m * k));
+  }
+}
+
+TEST(PaillierTest, SignedEncoding) {
+  Rng rng(6);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  for (std::int64_t v : {0ll, 5ll, -5ll, 1000000ll, -123456789ll}) {
+    EXPECT_EQ(he->DecodeSigned(he->EncodeSigned(v)), v) << v;
+    // Through encryption.
+    const PaillierCiphertext c = he->Encrypt(he->EncodeSigned(v), rng);
+    EXPECT_EQ(he->DecodeSigned(he->Decrypt(c)), v) << v;
+  }
+}
+
+TEST(PaillierTest, SignedArithmeticUnderHomomorphism) {
+  Rng rng(7);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  // Enc(10) * Enc(-3 encoded)  => 7; Enc(4)^{-2 encoded} => -8.
+  const PaillierCiphertext sum =
+      he->Add(he->Encrypt(he->EncodeSigned(10), rng),
+              he->Encrypt(he->EncodeSigned(-3), rng));
+  EXPECT_EQ(he->DecodeSigned(he->Decrypt(sum)), 7);
+  const PaillierCiphertext prod =
+      he->ScalarMul(he->Encrypt(he->EncodeSigned(4), rng), he->EncodeSigned(-2));
+  EXPECT_EQ(he->DecodeSigned(he->Decrypt(prod)), -8);
+}
+
+TEST(HeDistanceTest, ExactSquaredDistances) {
+  Rng rng(8);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  HeDistanceProtocol protocol(*he);
+
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t d = 8;
+    std::vector<std::int64_t> p(d), q(d);
+    std::int64_t want = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      p[i] = rng.UniformInt(-100, 100);
+      q[i] = rng.UniformInt(-100, 100);
+      want += (p[i] - q[i]) * (p[i] - q[i]);
+    }
+    const auto ev = protocol.EncryptVector(p, rng);
+    const PaillierCiphertext dist = protocol.DistanceCiphertext(ev, q, rng);
+    EXPECT_EQ(protocol.DecryptDistance(dist), want) << "t=" << t;
+  }
+}
+
+TEST(HeDistanceTest, ComparisonViaDecryptionMatchesPlaintext) {
+  // The full HE-based SDC flow the paper's Section III excludes on cost
+  // grounds: compute two encrypted distances, decrypt, compare.
+  Rng rng(9);
+  auto he = Paillier::KeyGen(kTestBits, rng);
+  ASSERT_TRUE(he.ok());
+  HeDistanceProtocol protocol(*he);
+
+  const std::size_t d = 6;
+  for (int t = 0; t < 5; ++t) {
+    std::vector<std::int64_t> o(d), p(d), q(d);
+    std::int64_t dist_o = 0, dist_p = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      o[i] = rng.UniformInt(-50, 50);
+      p[i] = rng.UniformInt(-50, 50);
+      q[i] = rng.UniformInt(-50, 50);
+      dist_o += (o[i] - q[i]) * (o[i] - q[i]);
+      dist_p += (p[i] - q[i]) * (p[i] - q[i]);
+    }
+    const auto eo = protocol.EncryptVector(o, rng);
+    const auto ep = protocol.EncryptVector(p, rng);
+    const std::int64_t got_o =
+        protocol.DecryptDistance(protocol.DistanceCiphertext(eo, q, rng));
+    const std::int64_t got_p =
+        protocol.DecryptDistance(protocol.DistanceCiphertext(ep, q, rng));
+    EXPECT_EQ(got_o < got_p, dist_o < dist_p);
+  }
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,57 @@
+// Tests for the evaluation metrics.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ppanns {
+namespace {
+
+std::vector<Neighbor> Gt(std::initializer_list<VectorId> ids) {
+  std::vector<Neighbor> gt;
+  float d = 0.0f;
+  for (VectorId id : ids) gt.push_back(Neighbor{id, d += 1.0f});
+  return gt;
+}
+
+TEST(MetricsTest, PerfectRecall) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3}, Gt({1, 2, 3}), 3), 1.0);
+}
+
+TEST(MetricsTest, PartialRecall) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 3}, Gt({1, 2, 3}), 3), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, OrderIrrelevant) {
+  EXPECT_DOUBLE_EQ(RecallAtK({3, 1, 2}, Gt({1, 2, 3}), 3), 1.0);
+}
+
+TEST(MetricsTest, ShortResultPenalized) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1}, Gt({1, 2, 3}), 3), 1.0 / 3.0);
+}
+
+TEST(MetricsTest, OnlyTopKOfResultCounts) {
+  // Result position k and beyond must not contribute.
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 8, 1}, Gt({1, 2, 3}), 2), 0.0);
+}
+
+TEST(MetricsTest, ZeroKIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1}, Gt({1}), 0), 0.0);
+}
+
+TEST(MetricsTest, MeanRecall) {
+  std::vector<std::vector<VectorId>> results = {{1, 2}, {9, 9}};
+  std::vector<std::vector<Neighbor>> gt = {Gt({1, 2}), Gt({1, 2})};
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(results, gt, 2), 0.5);
+}
+
+TEST(MetricsTest, PercentileInterpolates) {
+  std::vector<double> lat = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(lat, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(lat, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(lat, 50), 5.5);
+  EXPECT_TRUE(Percentile({}, 50) == 0.0);
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,63 @@
+// Tests for the measurement runner's output formatting and query encryption
+// batch helper.
+
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/data_owner.h"
+#include "datagen/synthetic.h"
+
+namespace ppanns {
+namespace {
+
+TEST(RunnerTest, FormatHeaderAndRowAlign) {
+  const std::string header = FormatHeader();
+  OperatingPoint p;
+  p.recall = 0.9123;
+  p.qps = 1234.5;
+  p.mean_latency_ms = 0.42;
+  const std::string row = FormatRow("series-x", "ef=40", p);
+  EXPECT_NE(header.find("recall"), std::string::npos);
+  EXPECT_NE(header.find("QPS"), std::string::npos);
+  EXPECT_NE(row.find("series-x"), std::string::npos);
+  EXPECT_NE(row.find("ef=40"), std::string::npos);
+  EXPECT_NE(row.find("0.9123"), std::string::npos);
+  EXPECT_NE(row.find("1234.5"), std::string::npos);
+}
+
+TEST(RunnerTest, EncryptQueriesBatch) {
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 2.0;
+  params.seed = 3;
+  auto owner = DataOwner::Create(8, params);
+  ASSERT_TRUE(owner.ok());
+  QueryClient client(owner->ShareKeys(), 4);
+
+  Dataset ds = MakeDataset(SyntheticKind::kGloveLike, 10, 7, 0, 5, 8);
+  const std::vector<QueryToken> tokens = EncryptQueries(client, ds.queries);
+  ASSERT_EQ(tokens.size(), 7u);
+  for (const QueryToken& t : tokens) {
+    EXPECT_EQ(t.sap.size(), 8u);
+    EXPECT_EQ(t.trapdoor.data.size(), 2 * 8 + 16);
+  }
+  // Distinct tokens (randomized encryption).
+  EXPECT_NE(tokens[0].trapdoor.data, tokens[1].trapdoor.data);
+}
+
+TEST(RunnerTest, MeasureServerEmptyTokens) {
+  PpannsParams params;
+  params.dcpe_beta = 0.5;
+  params.seed = 6;
+  auto owner = DataOwner::Create(4, params);
+  ASSERT_TRUE(owner.ok());
+  FloatMatrix db(4, 4);
+  CloudServer server(owner->EncryptAndIndex(db));
+  const OperatingPoint p = MeasureServer(server, {}, {}, 5, SearchSettings{});
+  EXPECT_EQ(p.qps, 0.0);
+  EXPECT_EQ(p.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,344 @@
+// HNSW tests: recall against brute force, graph structure invariants,
+// incremental insertion, deletion with repair (Section V-D), serialization.
+
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "index/brute_force.h"
+#include "eval/metrics.h"
+
+namespace ppanns {
+namespace {
+
+FloatMatrix RandomData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix m(n, d);
+  for (auto& v : m.data()) v = static_cast<float>(rng.Uniform(-1, 1));
+  return m;
+}
+
+TEST(HnswTest, EmptyIndexReturnsNothing) {
+  HnswIndex index(8, HnswParams{});
+  const float q[8] = {0};
+  EXPECT_TRUE(index.Search(q, 5, 50).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(HnswTest, SingleElement) {
+  HnswIndex index(4, HnswParams{});
+  const float v[] = {1, 2, 3, 4};
+  const VectorId id = index.Add(v);
+  EXPECT_EQ(id, 0u);
+  const float q[] = {1, 2, 3, 5};
+  auto res = index.Search(q, 3, 10);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, 0u);
+  EXPECT_FLOAT_EQ(res[0].distance, 1.0f);
+}
+
+TEST(HnswTest, ExactOnTinyData) {
+  // With ef >= n the search must be exact.
+  const std::size_t n = 200, d = 8, k = 10;
+  FloatMatrix data = RandomData(n, d, 1);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 100});
+  index.AddBatch(data);
+
+  FloatMatrix queries = RandomData(20, d, 2);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto got = index.Search(queries.row(i), k, n);
+    auto want = BruteForceKnn(data, queries.row(i), k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].id, want[j].id) << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(HnswTest, HighRecallOnClusteredData) {
+  const std::size_t n = 4000, d = 16, k = 10;
+  Rng rng(3);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, n, d, rng, 32);
+  HnswIndex index(d, HnswParams{.m = 16, .ef_construction = 200});
+  index.AddBatch(data);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 50, d, rng, 32);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto res = index.Search(queries.row(i), k, 128);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.9);
+}
+
+TEST(HnswTest, RecallImprovesWithEf) {
+  const std::size_t n = 3000, d = 24, k = 10;
+  FloatMatrix data = RandomData(n, d, 4);
+  HnswIndex index(d, HnswParams{.m = 12, .ef_construction = 120});
+  index.AddBatch(data);
+
+  FloatMatrix queries = RandomData(30, d, 5);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+
+  auto recall_at_ef = [&](std::size_t ef) {
+    std::vector<std::vector<VectorId>> results;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto res = index.Search(queries.row(i), k, ef);
+      std::vector<VectorId> ids;
+      for (const auto& r : res) ids.push_back(r.id);
+      results.push_back(std::move(ids));
+    }
+    return MeanRecallAtK(results, gt, k);
+  };
+
+  const double lo = recall_at_ef(10);
+  const double hi = recall_at_ef(400);
+  EXPECT_GE(hi, lo);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(HnswTest, DegreeBoundsRespected) {
+  const std::size_t n = 1500, d = 8;
+  FloatMatrix data = RandomData(n, d, 6);
+  HnswParams params{.m = 6, .ef_construction = 60};
+  HnswIndex index(d, params);
+  index.AddBatch(data);
+
+  for (VectorId id = 0; id < n; ++id) {
+    const int level = index.LevelOf(id);
+    for (int l = 0; l <= level; ++l) {
+      const auto& adj = index.NeighborsAt(id, l);
+      const std::size_t bound = (l == 0) ? params.max_m0() : params.m;
+      EXPECT_LE(adj.size(), bound) << "node " << id << " level " << l;
+      // No self-loops or duplicate edges.
+      std::set<VectorId> uniq(adj.begin(), adj.end());
+      EXPECT_EQ(uniq.size(), adj.size());
+      EXPECT_EQ(uniq.count(id), 0u);
+    }
+  }
+}
+
+TEST(HnswTest, LevelDistributionGeometric) {
+  const std::size_t n = 5000, d = 4;
+  FloatMatrix data = RandomData(n, d, 7);
+  HnswIndex index(d, HnswParams{.m = 16, .ef_construction = 40});
+  index.AddBatch(data);
+
+  std::size_t level0_only = 0;
+  for (VectorId id = 0; id < n; ++id) {
+    if (index.LevelOf(id) == 0) ++level0_only;
+  }
+  // With mult = 1/ln(16), P(level=0) = 1 - 1/16 ~ 0.9375.
+  EXPECT_GT(level0_only, n * 0.90);
+  EXPECT_LT(level0_only, n * 0.97);
+  EXPECT_GE(index.ComputeStats().max_level, 1);
+}
+
+TEST(HnswTest, StatsAreConsistent) {
+  const std::size_t n = 500, d = 8;
+  FloatMatrix data = RandomData(n, d, 8);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 80});
+  index.AddBatch(data);
+  const HnswStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, n);
+  EXPECT_EQ(stats.num_deleted, 0u);
+  EXPECT_GT(stats.avg_out_degree_level0, 1.0);
+  EXPECT_LE(stats.avg_out_degree_level0, 16.0);
+}
+
+TEST(HnswTest, VisitedCounterPopulated) {
+  const std::size_t n = 1000, d = 8;
+  FloatMatrix data = RandomData(n, d, 9);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 80});
+  index.AddBatch(data);
+  std::size_t visited = 0;
+  index.Search(data.row(0), 5, 50, &visited);
+  EXPECT_GT(visited, 5u);
+  EXPECT_LT(visited, n);
+}
+
+TEST(HnswTest, RemoveExcludesFromResults) {
+  const std::size_t n = 800, d = 8, k = 5;
+  FloatMatrix data = RandomData(n, d, 10);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 80});
+  index.AddBatch(data);
+
+  // Query at an existing point: it must be its own nearest neighbor...
+  auto before = index.Search(data.row(17), k, 100);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(before[0].id, 17u);
+
+  // ...until it is deleted.
+  ASSERT_TRUE(index.Remove(17).ok());
+  EXPECT_TRUE(index.IsDeleted(17));
+  EXPECT_EQ(index.size(), n - 1);
+  auto after = index.Search(data.row(17), k, 100);
+  for (const auto& r : after) EXPECT_NE(r.id, 17u);
+}
+
+TEST(HnswTest, RemoveErrorsAreClean) {
+  HnswIndex index(4, HnswParams{});
+  const float v[] = {0, 0, 0, 0};
+  index.Add(v);
+  EXPECT_EQ(index.Remove(5).code(), Status::Code::kInvalidArgument);
+  ASSERT_TRUE(index.Remove(0).ok());
+  EXPECT_EQ(index.Remove(0).code(), Status::Code::kNotFound);
+}
+
+TEST(HnswTest, RecallSurvivesManyDeletions) {
+  const std::size_t n = 2000, d = 12, k = 10;
+  FloatMatrix data = RandomData(n, d, 11);
+  HnswIndex index(d, HnswParams{.m = 12, .ef_construction = 120});
+  index.AddBatch(data);
+
+  // Delete 25% of the points (every 4th), then verify recall against
+  // brute force over the survivors.
+  Rng rng(12);
+  std::set<VectorId> deleted;
+  for (VectorId id = 0; id < n; id += 4) {
+    ASSERT_TRUE(index.Remove(id).ok());
+    deleted.insert(id);
+  }
+
+  FloatMatrix survivors(0, d);
+  std::vector<VectorId> survivor_ids;
+  for (VectorId id = 0; id < n; ++id) {
+    if (deleted.count(id) == 0) {
+      survivors.Append(data.row(id));
+      survivor_ids.push_back(id);
+    }
+  }
+
+  FloatMatrix queries = RandomData(25, d, 13);
+  double recall_sum = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto got = index.Search(queries.row(i), k, 200);
+    auto want = BruteForceKnn(survivors, queries.row(i), k);
+    std::set<VectorId> want_ids;
+    for (const auto& w : want) want_ids.insert(survivor_ids[w.id]);
+    std::size_t hits = 0;
+    for (const auto& g : got) {
+      EXPECT_EQ(deleted.count(g.id), 0u) << "deleted id returned";
+      if (want_ids.count(g.id) > 0) ++hits;
+    }
+    recall_sum += static_cast<double>(hits) / k;
+  }
+  EXPECT_GT(recall_sum / queries.size(), 0.85);
+}
+
+TEST(HnswTest, EntryPointSurvivesDeletion) {
+  const std::size_t n = 300, d = 6;
+  FloatMatrix data = RandomData(n, d, 14);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 60});
+  index.AddBatch(data);
+  // Delete many nodes including (statistically) high-level ones; the index
+  // must remain searchable throughout.
+  for (VectorId id = 0; id < 150; ++id) {
+    ASSERT_TRUE(index.Remove(id).ok());
+    auto res = index.Search(data.row(200), 3, 30);
+    EXPECT_FALSE(res.empty()) << "after deleting " << id;
+  }
+}
+
+TEST(HnswTest, IncrementalInsertMatchesBatchRecall) {
+  const std::size_t n = 1500, d = 10, k = 10;
+  FloatMatrix data = RandomData(n, d, 15);
+
+  HnswIndex index(d, HnswParams{.m = 10, .ef_construction = 100});
+  // Insert half, search, insert rest, verify the new points are findable.
+  for (std::size_t i = 0; i < n / 2; ++i) index.Add(data.row(i));
+  for (std::size_t i = n / 2; i < n; ++i) index.Add(data.row(i));
+
+  FloatMatrix queries = RandomData(20, d, 16);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto res = index.Search(queries.row(i), k, 150);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.9);
+}
+
+TEST(HnswTest, SerializeRoundTrip) {
+  const std::size_t n = 400, d = 8, k = 5;
+  FloatMatrix data = RandomData(n, d, 17);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 60, .seed = 99});
+  index.AddBatch(data);
+  ASSERT_TRUE(index.Remove(3).ok());
+
+  BinaryWriter w;
+  index.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = HnswIndex::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->size(), index.size());
+  EXPECT_EQ(loaded->dim(), index.dim());
+  EXPECT_TRUE(loaded->IsDeleted(3));
+
+  // Same graph -> identical search results.
+  FloatMatrix queries = RandomData(10, d, 18);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto a = index.Search(queries.row(i), k, 60);
+    auto b = loaded->Search(queries.row(i), k, 60);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j].id, b[j].id);
+  }
+}
+
+TEST(HnswTest, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+  BinaryReader r(garbage);
+  EXPECT_FALSE(HnswIndex::Deserialize(&r).ok());
+}
+
+// Parameter sweep: recall must stay high across m / efc combinations.
+struct HnswSweepParam {
+  std::size_t m;
+  std::size_t efc;
+};
+
+class HnswParamSweep : public ::testing::TestWithParam<HnswSweepParam> {};
+
+TEST_P(HnswParamSweep, ReasonableRecall) {
+  const auto [m, efc] = GetParam();
+  const std::size_t n = 2000, d = 16, k = 10;
+  FloatMatrix data = RandomData(n, d, 19);
+  HnswIndex index(d, HnswParams{.m = m, .ef_construction = efc});
+  index.AddBatch(data);
+
+  FloatMatrix queries = RandomData(20, d, 20);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto res = index.Search(queries.row(i), k, 200);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.8)
+      << "m=" << m << " efc=" << efc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, HnswParamSweep,
+    ::testing::Values(HnswSweepParam{4, 40}, HnswSweepParam{8, 80},
+                      HnswSweepParam{16, 100}, HnswSweepParam{32, 200}),
+    [](const ::testing::TestParamInfo<HnswSweepParam>& info) {
+      return "m" + std::to_string(info.param.m) + "_efc" +
+             std::to_string(info.param.efc);
+    });
+
+}  // namespace
+}  // namespace ppanns

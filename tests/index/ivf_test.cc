@@ -1,0 +1,130 @@
+// Tests for the IVF index and its k-means trainer.
+
+#include "index/ivf.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/dcpe.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+#include "index/brute_force.h"
+
+namespace ppanns {
+namespace {
+
+TEST(IvfTest, KmeansReducesQuantizationError) {
+  Rng rng(1);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, 2000, 16,
+                                       rng, 8);
+  IvfIndex one_iter(16, IvfParams{.num_lists = 8, .train_iters = 1});
+  IvfIndex ten_iter(16, IvfParams{.num_lists = 8, .train_iters = 10});
+  Rng r1(2), r2(2);
+  const double err1 = one_iter.Train(data, r1);
+  const double err10 = ten_iter.Train(data, r2);
+  EXPECT_LE(err10, err1);
+  EXPECT_GT(err10, 0.0);
+}
+
+TEST(IvfTest, AllListsCoverAllVectors) {
+  Rng rng(3);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, 1000, 8,
+                                       rng, 8);
+  IvfIndex index(8, IvfParams{.num_lists = 16});
+  index.Train(data, rng);
+  index.AddBatch(data);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 16; ++i) total += index.ListSize(i);
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(IvfTest, FullProbeIsExact) {
+  Rng rng(4);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, 500, 8,
+                                       rng, 8);
+  IvfIndex index(8, IvfParams{.num_lists = 8});
+  index.Train(data, rng);
+  index.AddBatch(data);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 10, 8,
+                                          rng, 8);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto got = index.Search(queries.row(i), 5, /*nprobe=*/8);  // all lists
+    auto want = BruteForceKnn(data, queries.row(i), 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].id, want[j].id) << "query " << i;
+    }
+  }
+}
+
+TEST(IvfTest, RecallImprovesWithNprobe) {
+  Rng rng(5);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, 3000, 16,
+                                       rng, 32);
+  IvfIndex index(16, IvfParams{.num_lists = 32});
+  index.Train(data, rng);
+  index.AddBatch(data);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 25, 16,
+                                          rng, 32);
+  auto gt = BruteForceKnnBatch(data, queries, 10);
+  auto recall_at = [&](std::size_t nprobe) {
+    std::vector<std::vector<VectorId>> results;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto res = index.Search(queries.row(i), 10, nprobe);
+      std::vector<VectorId> ids;
+      for (const auto& r : res) ids.push_back(r.id);
+      results.push_back(std::move(ids));
+    }
+    return MeanRecallAtK(results, gt, 10);
+  };
+  const double r1 = recall_at(1);
+  const double r8 = recall_at(8);
+  const double r32 = recall_at(32);
+  EXPECT_LE(r1, r8);
+  EXPECT_LE(r8, r32);
+  EXPECT_DOUBLE_EQ(r32, 1.0);  // probing everything is exact
+  EXPECT_GT(r8, 0.5);
+}
+
+TEST(IvfTest, WorksOverSapCiphertexts) {
+  // IVF as a filter substrate over the encrypted layer, like the graphs.
+  Rng rng(6);
+  const std::size_t d = 16, n = 1500, k = 10;
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, n, d, rng, 16);
+  auto dcpe = DcpeScheme::Create(d, 1024.0, 1.0);
+  ASSERT_TRUE(dcpe.ok());
+  FloatMatrix encrypted = dcpe->EncryptMatrix(data, rng);
+
+  IvfIndex index(d, IvfParams{.num_lists = 24});
+  index.Train(encrypted, rng);
+  index.AddBatch(encrypted);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 15, d, rng, 16);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  std::vector<float> cq(d);
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    dcpe->Encrypt(queries.row(i), cq.data(), rng);
+    auto res = index.Search(cq.data(), k, 8);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.5);
+}
+
+TEST(IvfTest, RequiresTraining) {
+  IvfIndex index(4, IvfParams{.num_lists = 2});
+  EXPECT_FALSE(index.trained());
+  FloatMatrix tiny(4, 4);
+  Rng rng(7);
+  index.Train(tiny, rng);
+  EXPECT_TRUE(index.trained());
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,173 @@
+// Tests for the LSH index and the brute-force oracle.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "index/brute_force.h"
+#include "index/lsh.h"
+
+namespace ppanns {
+namespace {
+
+FloatMatrix RandomData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix m(n, d);
+  for (auto& v : m.data()) v = static_cast<float>(rng.Uniform(-1, 1));
+  return m;
+}
+
+TEST(BruteForceTest, ExactOrderAndTies) {
+  FloatMatrix data(4, 2);
+  // Points at distances 0, 1, 1, 4 from the origin query.
+  const float rows[4][2] = {{0, 0}, {1, 0}, {0, 1}, {2, 0}};
+  for (int i = 0; i < 4; ++i) {
+    data.at(i, 0) = rows[i][0];
+    data.at(i, 1) = rows[i][1];
+  }
+  const float q[2] = {0, 0};
+  auto res = BruteForceKnn(data, q, 3);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].id, 0u);
+  EXPECT_EQ(res[1].id, 1u);  // tie broken by id
+  EXPECT_EQ(res[2].id, 2u);
+}
+
+TEST(BruteForceTest, KLargerThanN) {
+  FloatMatrix data = RandomData(5, 4, 1);
+  const float q[4] = {0, 0, 0, 0};
+  auto res = BruteForceKnn(data, q, 10);
+  EXPECT_EQ(res.size(), 5u);
+  // Sorted ascending.
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LE(res[i - 1].distance, res[i].distance);
+  }
+}
+
+TEST(BruteForceTest, BatchMatchesSingle) {
+  FloatMatrix data = RandomData(300, 8, 2);
+  FloatMatrix queries = RandomData(10, 8, 3);
+  auto batch = BruteForceKnnBatch(data, queries, 5, /*parallel=*/true);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto single = BruteForceKnn(data, queries.row(i), 5);
+    ASSERT_EQ(batch[i].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, single[j].id);
+    }
+  }
+}
+
+TEST(LshTest, NearDuplicatesCollide) {
+  const std::size_t d = 16;
+  Rng rng(4);
+  LshParams params{.num_tables = 6, .num_hashes = 4, .bucket_width = 8.0};
+  LshIndex index(d, params, rng);
+
+  FloatMatrix data = RandomData(500, d, 5);
+  index.AddBatch(data);
+
+  // A point very close to a stored one should surface it as a candidate.
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::vector<float> probe(data.row(i), data.row(i) + d);
+    probe[0] += 0.001f;
+    auto cands = index.Candidates(probe.data(), /*probes=*/2);
+    if (std::find(cands.begin(), cands.end(), static_cast<VectorId>(i)) !=
+        cands.end()) {
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 40u);
+}
+
+TEST(LshTest, CandidatesAreDeduplicated) {
+  const std::size_t d = 8;
+  Rng rng(6);
+  LshParams params{.num_tables = 10, .num_hashes = 2, .bucket_width = 50.0};
+  LshIndex index(d, params, rng);
+  FloatMatrix data = RandomData(100, d, 7);
+  index.AddBatch(data);
+
+  auto cands = index.Candidates(data.row(0), 2);
+  std::set<VectorId> uniq(cands.begin(), cands.end());
+  EXPECT_EQ(uniq.size(), cands.size());
+}
+
+TEST(LshTest, MultiProbeFindsMore) {
+  const std::size_t d = 16, n = 2000;
+  Rng rng(8);
+  LshParams params{.num_tables = 4, .num_hashes = 8, .bucket_width = 2.0};
+  LshIndex index(d, params, rng);
+  FloatMatrix data = RandomData(n, d, 9);
+  index.AddBatch(data);
+
+  FloatMatrix queries = RandomData(20, d, 10);
+  std::size_t plain_total = 0, probed_total = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    plain_total += index.Candidates(queries.row(i), 0).size();
+    probed_total += index.Candidates(queries.row(i), 8).size();
+  }
+  EXPECT_GE(probed_total, plain_total);
+  EXPECT_GT(probed_total, 0u);
+}
+
+TEST(LshTest, SearchRanksCandidatesExactly) {
+  const std::size_t d = 12, n = 1000, k = 5;
+  Rng rng(11);
+  LshParams params{.num_tables = 8, .num_hashes = 4, .bucket_width = 6.0};
+  LshIndex index(d, params, rng);
+  FloatMatrix data = RandomData(n, d, 12);
+  index.AddBatch(data);
+
+  const float* q = data.row(123);
+  auto res = index.Search(q, k, 4);
+  ASSERT_FALSE(res.empty());
+  // The query point itself is in the database: must be rank 0.
+  EXPECT_EQ(res[0].id, 123u);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LE(res[i - 1].distance, res[i].distance);
+  }
+}
+
+TEST(LshTest, RecallReasonableOnClusteredData) {
+  const std::size_t d = 32, n = 3000, k = 10;
+  Rng rng(13);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, n, d, rng, 16);
+  // Bucket width must exceed the typical projected NN gap (~|N(0,1)| * NN
+  // distance ~ 6 for this generator) for collisions to happen at all.
+  LshParams params{.num_tables = 12, .num_hashes = 3, .bucket_width = 20.0};
+  LshIndex index(d, params, rng);
+  index.AddBatch(data);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 25, d, rng, 16);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  double recall = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto res = index.Search(queries.row(i), k, 8);
+    std::set<VectorId> got;
+    for (const auto& r : res) got.insert(r.id);
+    std::size_t hits = 0;
+    for (std::size_t j = 0; j < k; ++j) hits += got.count(gt[i][j].id);
+    recall += static_cast<double>(hits) / k;
+  }
+  recall /= queries.size();
+  EXPECT_GT(recall, 0.3);  // LSH trades recall for speed; just sanity
+}
+
+TEST(LshTest, BucketOccupancyPositive) {
+  const std::size_t d = 8;
+  Rng rng(14);
+  LshParams params{.num_tables = 4, .num_hashes = 4, .bucket_width = 4.0};
+  LshIndex index(d, params, rng);
+  FloatMatrix data = RandomData(500, d, 15);
+  index.AddBatch(data);
+  EXPECT_GT(index.AvgBucketSize(), 0.0);
+  EXPECT_EQ(index.size(), 500u);
+}
+
+}  // namespace
+}  // namespace ppanns

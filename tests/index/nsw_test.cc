@@ -1,0 +1,118 @@
+// Tests for the flat NSW graph (the alternative index substrate).
+
+#include "index/nsw.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/dcpe.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+#include "index/brute_force.h"
+
+namespace ppanns {
+namespace {
+
+FloatMatrix RandomData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix m(n, d);
+  for (auto& v : m.data()) v = static_cast<float>(rng.Uniform(-1, 1));
+  return m;
+}
+
+TEST(NswTest, EmptyAndSingle) {
+  NswGraph g(4, NswParams{});
+  const float q[4] = {0, 0, 0, 0};
+  EXPECT_TRUE(g.Search(q, 3, 10).empty());
+  const float v[4] = {1, 1, 1, 1};
+  g.Add(v);
+  auto res = g.Search(q, 3, 10);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, 0u);
+}
+
+TEST(NswTest, ExactWithLargeEf) {
+  const std::size_t n = 300, d = 8, k = 10;
+  FloatMatrix data = RandomData(n, d, 1);
+  NswGraph g(d, NswParams{.m = 12, .ef_construction = 100});
+  g.AddBatch(data);
+
+  FloatMatrix queries = RandomData(10, d, 2);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto got = g.Search(queries.row(i), k, n);
+    auto want = BruteForceKnn(data, queries.row(i), k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].id, want[j].id) << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(NswTest, HighRecall) {
+  const std::size_t n = 3000, d = 16, k = 10;
+  Rng rng(3);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, n, d, rng, 32);
+  NswGraph g(d, NswParams{.m = 16, .ef_construction = 150});
+  g.AddBatch(data);
+  Rng reseat_rng(4);
+  g.ReseatEntryPoint(reseat_rng);
+
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 30, d, rng, 32);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto res = g.Search(queries.row(i), k, 128);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.9);
+}
+
+TEST(NswTest, DegreeBounded) {
+  const std::size_t n = 800, d = 8;
+  FloatMatrix data = RandomData(n, d, 5);
+  NswParams params{.m = 8, .ef_construction = 60};
+  NswGraph g(d, params);
+  g.AddBatch(data);
+  for (VectorId id = 0; id < n; ++id) {
+    const auto& adj = g.NeighborsOf(id);
+    EXPECT_LE(adj.size(), params.m);
+    std::set<VectorId> uniq(adj.begin(), adj.end());
+    EXPECT_EQ(uniq.size(), adj.size());
+    EXPECT_EQ(uniq.count(id), 0u);
+  }
+}
+
+TEST(NswTest, WorksOverSapCiphertexts) {
+  // The substitutability claim of Section V-A: graph over encrypted vectors.
+  const std::size_t n = 1500, d = 16, k = 10;
+  Rng rng(6);
+  FloatMatrix data = GenerateSynthetic(SyntheticKind::kGloveLike, n, d, rng, 16);
+  auto dcpe = DcpeScheme::Create(d, 1024.0, 1.0);
+  ASSERT_TRUE(dcpe.ok());
+  FloatMatrix encrypted = dcpe->EncryptMatrix(data, rng);
+
+  NswGraph g(d, NswParams{.m = 16, .ef_construction = 120});
+  g.AddBatch(encrypted);
+
+  // Search with an encrypted query; compare against plaintext ground truth.
+  FloatMatrix queries = GenerateSynthetic(SyntheticKind::kGloveLike, 20, d, rng, 16);
+  auto gt = BruteForceKnnBatch(data, queries, k);
+  std::vector<float> cq(d);
+  std::vector<std::vector<VectorId>> results;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    dcpe->Encrypt(queries.row(i), cq.data(), rng);
+    auto res = g.Search(cq.data(), k, 128);
+    std::vector<VectorId> ids;
+    for (const auto& r : res) ids.push_back(r.id);
+    results.push_back(std::move(ids));
+  }
+  // Moderate noise: recall degrades but stays well above chance.
+  EXPECT_GT(MeanRecallAtK(results, gt, k), 0.6);
+}
+
+}  // namespace
+}  // namespace ppanns

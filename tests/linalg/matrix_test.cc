@@ -1,0 +1,214 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppanns {
+namespace {
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Rng rng(1);
+  Matrix a = Matrix::Gaussian(5, 5, rng);
+  Matrix i = Matrix::Identity(5);
+  Matrix ai = a.Multiply(i);
+  EXPECT_EQ(ai, a);
+  Matrix ia = i.Multiply(a);
+  EXPECT_EQ(ia, a);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(4, 7, rng);
+  Matrix att = a.Transpose().Transpose();
+  EXPECT_EQ(att, a);
+}
+
+TEST(MatrixTest, MultiplyMatchesManual) {
+  Matrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(av), std::end(av), a.data().begin());
+  std::copy(std::begin(bv), std::end(bv), b.data().begin());
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(MatrixTest, SliceRows) {
+  Rng rng(3);
+  Matrix a = Matrix::Gaussian(6, 4, rng);
+  Matrix top = a.SliceRows(0, 2);
+  Matrix bottom = a.SliceRows(2, 6);
+  ASSERT_EQ(top.rows(), 2u);
+  ASSERT_EQ(bottom.rows(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(top.at(1, j), a.at(1, j));
+    EXPECT_EQ(bottom.at(0, j), a.at(2, j));
+  }
+}
+
+TEST(MatrixTest, RandomOrthogonalIsOrthogonal) {
+  Rng rng(4);
+  for (std::size_t n : {2u, 5u, 16u, 33u}) {
+    Matrix q = Matrix::RandomOrthogonal(n, rng);
+    Matrix qtq = q.Transpose().Multiply(q);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(qtq.at(i, j), i == j ? 1.0 : 0.0, 1e-10)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, RandomOrthogonalVariesWithSeed) {
+  Rng rng1(5), rng2(6);
+  Matrix a = Matrix::RandomOrthogonal(8, rng1);
+  Matrix b = Matrix::RandomOrthogonal(8, rng2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatVecTest, MatchesManual) {
+  Matrix a(2, 3);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  std::copy(std::begin(av), std::end(av), a.data().begin());
+  double x[] = {1.0, 0.5, -1.0};
+  double y[2];
+  MatVec(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1 + 1 - 3);
+  EXPECT_DOUBLE_EQ(y[1], 4 + 2.5 - 6);
+
+  double z[3];
+  double w[] = {2.0, -1.0};
+  VecMat(w, a, z);
+  EXPECT_DOUBLE_EQ(z[0], 2 - 4);
+  EXPECT_DOUBLE_EQ(z[1], 4 - 5);
+  EXPECT_DOUBLE_EQ(z[2], 6 - 6);
+}
+
+TEST(LuTest, SolveRandomSystem) {
+  Rng rng(7);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 40u}) {
+    Matrix a = Matrix::Gaussian(n, n, rng);
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.Uniform(-5, 5);
+    std::vector<double> b(n);
+    MatVec(a, x_true.data(), b.data());
+
+    std::vector<double> x;
+    ASSERT_TRUE(SolveLinearSystem(a, b, &x).ok()) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(LuTest, SingularMatrixDetected) {
+  Matrix a(3, 3);
+  // Rank-2: row 2 = row 0 + row 1.
+  double av[] = {1, 2, 3, 4, 5, 6, 5, 7, 9};
+  std::copy(std::begin(av), std::end(av), a.data().begin());
+  LuDecomposition lu(a);
+  EXPECT_FALSE(lu.ok());
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2, 3}, &x).ok());
+}
+
+TEST(LuTest, InverseRoundTrip) {
+  Rng rng(8);
+  Matrix a = Matrix::Gaussian(12, 12, rng);
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  Result<Matrix> inv = lu.Inverse();
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(*inv);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      EXPECT_NEAR(prod.at(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(LuTest, DeterminantOfDiagonal) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = -3.0;
+  a.at(2, 2) = 4.0;
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), -24.0, 1e-12);
+}
+
+TEST(InvertibleMatrixTest, InverseIsExact) {
+  Rng rng(9);
+  for (std::size_t n : {2u, 8u, 24u, 72u}) {
+    InvertibleMatrix im = InvertibleMatrix::Random(n, rng);
+    Matrix prod = im.m.Multiply(im.m_inv);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(prod.at(i, j), i == j ? 1.0 : 0.0, 1e-10)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(InvertibleMatrixTest, FastVariantInverseIsExact) {
+  Rng rng(19);
+  for (std::size_t n : {4u, 16u, 64u, 200u}) {
+    InvertibleMatrix im = InvertibleMatrix::RandomFast(n, rng);
+    Matrix prod = im.m.Multiply(im.m_inv);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(prod.at(i, j), i == j ? 1.0 : 0.0, 1e-10)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(InvertibleMatrixTest, FastVariantIsDense) {
+  // The reflections must mix every coordinate: no near-zero rows/columns
+  // off the diagonal structure.
+  Rng rng(20);
+  InvertibleMatrix im = InvertibleMatrix::RandomFast(32, rng);
+  std::size_t nonzero = 0;
+  for (double v : im.m.data()) nonzero += std::fabs(v) > 1e-9;
+  EXPECT_GT(nonzero, 32u * 32u * 9 / 10);
+}
+
+TEST(InvertibleMatrixTest, WellConditioned) {
+  // The D1*Q*D2 construction bounds entries of both M and M^{-1}; check the
+  // Frobenius norms are moderate (condition control for the DCE sign math).
+  Rng rng(10);
+  InvertibleMatrix im = InvertibleMatrix::Random(64, rng);
+  EXPECT_LT(im.m.FrobeniusNorm(), 64.0);
+  EXPECT_LT(im.m_inv.FrobeniusNorm(), 64.0);
+}
+
+TEST(PermutationSanity, DotProductsInvariantUnderSharedPermutation) {
+  Rng rng(11);
+  const std::size_t n = 20;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1, 1);
+    b[i] = rng.Uniform(-1, 1);
+  }
+  const double dot_before = Dot(a.data(), b.data(), n);
+  auto perm = rng.Permutation(n);
+  std::vector<double> pa(n), pb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pa[i] = a[perm[i]];
+    pb[i] = b[perm[i]];
+  }
+  EXPECT_NEAR(Dot(pa.data(), pb.data(), n), dot_before, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,286 @@
+// ppanns_cli — command-line front end for the PP-ANNS library.
+//
+// Typical flow (mirrors Fig. 1 of the paper):
+//   ppanns_cli synth   --kind sift --n 20000 --out base.fvecs
+//   ppanns_cli keygen  --dim 128 --beta 120 --scale 1600 --out keys.bin
+//   ppanns_cli encrypt --keys keys.bin --input base.fvecs --out db.ppanns
+//   ppanns_cli search  --keys keys.bin --db db.ppanns --queries q.fvecs \
+//                      --k 10 --kprime 80 --ef 160
+//   ppanns_cli info    --db db.ppanns
+//
+// keys.bin is the owner/user secret (never give it to the cloud);
+// db.ppanns is the outsourced package (safe to hand to the cloud).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/io.h"
+#include "common/timer.h"
+#include "core/cloud_server.h"
+#include "core/data_owner.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+
+namespace {
+
+using namespace ppanns;
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Require(const std::string& key) const {
+    if (values_.count(key) > 0) return true;
+    std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+    return false;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ppanns_cli <command> [flags]\n"
+               "  synth   --kind sift|gist|glove|deep --n N --out F.fvecs "
+               "[--queries Q --qout FQ.fvecs] [--seed S]\n"
+               "  keygen  --dim D --out keys.bin [--beta B] [--s S] "
+               "[--scale NORM] [--seed S]\n"
+               "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
+               "[--m M] [--efc E]\n"
+               "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
+               "[--k K] [--kprime KP] [--ef EF] [--out results.txt]\n"
+               "  info    --db db.ppanns\n");
+  return 2;
+}
+
+int CmdSynth(const Args& args) {
+  if (!args.Require("kind") || !args.Require("n") || !args.Require("out")) return 2;
+  const std::string kind_name = args.GetString("kind");
+  SyntheticKind kind;
+  if (kind_name == "sift") {
+    kind = SyntheticKind::kSiftLike;
+  } else if (kind_name == "gist") {
+    kind = SyntheticKind::kGistLike;
+  } else if (kind_name == "glove") {
+    kind = SyntheticKind::kGloveLike;
+  } else if (kind_name == "deep") {
+    kind = SyntheticKind::kDeepLike;
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind_name.c_str());
+    return 2;
+  }
+  const std::size_t n = args.GetSize("n", 1000);
+  const std::size_t nq = args.GetSize("queries", 0);
+  Dataset ds = MakeDataset(kind, n, nq, 0, args.GetSize("seed", 42));
+  Status st = WriteFvecs(args.GetString("out"), ds.base);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu base vectors to %s\n", ds.base.size(),
+              ds.base.dim(), args.GetString("out").c_str());
+  if (nq > 0) {
+    const std::string qout = args.GetString("qout", "queries.fvecs");
+    st = WriteFvecs(qout, ds.queries);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu query vectors to %s\n", ds.queries.size(), qout.c_str());
+  }
+  return 0;
+}
+
+int CmdKeygen(const Args& args) {
+  if (!args.Require("dim") || !args.Require("out")) return 2;
+  const std::size_t dim = args.GetSize("dim", 0);
+  Rng rng(args.GetSize("seed", 0xC0FFEE));
+  auto dce = DceScheme::KeyGen(dim, rng, args.GetDouble("scale", 1.0));
+  auto dcpe = DcpeScheme::Create(dim, args.GetDouble("s", 1024.0),
+                                 args.GetDouble("beta", 0.0));
+  if (!dce.ok() || !dcpe.ok()) {
+    std::fprintf(stderr, "keygen failed: %s\n",
+                 (!dce.ok() ? dce.status() : dcpe.status()).ToString().c_str());
+    return 1;
+  }
+  SecretKeys keys(std::move(*dce), std::move(*dcpe));
+  BinaryWriter w;
+  SerializeSecretKeys(keys, &w);
+  Status st = WriteFile(args.GetString("out"), w.buffer());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote secret keys (dim=%zu, beta=%.3f) to %s — keep off the "
+              "cloud\n", dim, args.GetDouble("beta", 0.0),
+              args.GetString("out").c_str());
+  return 0;
+}
+
+Result<SecretKeysPtr> LoadKeys(const std::string& path) {
+  auto blob = ReadFile(path);
+  if (!blob.ok()) return blob.status();
+  BinaryReader r(*blob);
+  return DeserializeSecretKeys(&r);
+}
+
+int CmdEncrypt(const Args& args) {
+  if (!args.Require("keys") || !args.Require("input") || !args.Require("out")) return 2;
+  auto keys = LoadKeys(args.GetString("keys"));
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  auto data = ReadFvecs(args.GetString("input"));
+  if (!data.ok()) {
+    std::fprintf(stderr, "input: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  if (data->dim() != (*keys)->dce.dim()) {
+    std::fprintf(stderr, "dimension mismatch: keys=%zu data=%zu\n",
+                 (*keys)->dce.dim(), data->dim());
+    return 1;
+  }
+
+  // Build the outsourced package: DCPE+DCE layers + HNSW over the SAP side.
+  HnswParams hnsw{.m = args.GetSize("m", 16),
+                  .ef_construction = args.GetSize("efc", 200),
+                  .seed = args.GetSize("seed", 7)};
+  Rng rng(hnsw.seed ^ 0xD07A0A37);
+  EncryptedDatabase db{HnswIndex(data->dim(), hnsw), {}};
+  std::vector<float> sap(data->dim());
+  Timer t;
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    (*keys)->dcpe.Encrypt(data->row(i), sap.data(), rng);
+    db.index.Add(sap.data());
+    db.dce.push_back((*keys)->dce.Encrypt(data->row(i), rng));
+  }
+  BinaryWriter w;
+  db.Serialize(&w);
+  Status st = WriteFile(args.GetString("out"), w.buffer());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("encrypted + indexed %zu vectors in %.1fs -> %s (%.1f MB)\n",
+              data->size(), t.ElapsedSeconds(), args.GetString("out").c_str(),
+              w.buffer().size() / 1e6);
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  if (!args.Require("keys") || !args.Require("db") || !args.Require("queries")) return 2;
+  auto keys = LoadKeys(args.GetString("keys"));
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  auto blob = ReadFile(args.GetString("db"));
+  if (!blob.ok()) {
+    std::fprintf(stderr, "db: %s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  BinaryReader r(*blob);
+  auto db = EncryptedDatabase::Deserialize(&r);
+  if (!db.ok()) {
+    std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = ReadFvecs(args.GetString("queries"));
+  if (!queries.ok()) {
+    std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  CloudServer server(std::move(*db));
+  QueryClient client(*keys, args.GetSize("seed", 99));
+  const std::size_t k = args.GetSize("k", 10);
+  SearchSettings settings{.k_prime = args.GetSize("kprime", 4 * k),
+                          .ef_search = args.GetSize("ef", 0)};
+
+  std::FILE* out = stdout;
+  const std::string out_path = args.GetString("out");
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  Timer t;
+  for (std::size_t i = 0; i < queries->size(); ++i) {
+    QueryToken token = client.EncryptQuery(queries->row(i));
+    SearchResult result = server.Search(token, k, settings);
+    std::fprintf(out, "query %zu:", i);
+    for (VectorId id : result.ids) std::fprintf(out, " %u", id);
+    std::fprintf(out, "\n");
+  }
+  const double secs = t.ElapsedSeconds();
+  std::fprintf(stderr, "%zu queries in %.3fs (%.1f QPS incl. client-side "
+               "encryption)\n", queries->size(), secs, queries->size() / secs);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (!args.Require("db")) return 2;
+  auto blob = ReadFile(args.GetString("db"));
+  if (!blob.ok()) {
+    std::fprintf(stderr, "db: %s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  BinaryReader r(*blob);
+  auto db = EncryptedDatabase::Deserialize(&r);
+  if (!db.ok()) {
+    std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const HnswStats stats = db->index.ComputeStats();
+  std::printf("encrypted database: %s\n", args.GetString("db").c_str());
+  std::printf("  vectors:        %zu live (%zu deleted)\n", stats.num_nodes,
+              stats.num_deleted);
+  std::printf("  dimension:      %zu\n", db->index.dim());
+  std::printf("  graph:          m=%zu efc=%zu, max level %d, avg degree "
+              "%.1f\n", db->index.params().m, db->index.params().ef_construction,
+              stats.max_level, stats.avg_out_degree_level0);
+  std::printf("  SAP layer:      %.1f MB\n",
+              db->index.data().data().size() * sizeof(float) / 1e6);
+  std::printf("  DCE layer:      %.1f MB\n", db->DceBytes() / 1e6);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "synth") return CmdSynth(args);
+  if (cmd == "keygen") return CmdKeygen(args);
+  if (cmd == "encrypt") return CmdEncrypt(args);
+  if (cmd == "search") return CmdSearch(args);
+  if (cmd == "info") return CmdInfo(args);
+  return Usage();
+}
