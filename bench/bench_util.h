@@ -82,10 +82,12 @@ struct BenchSystem {
 };
 
 /// Builds the full PP-ANNS stack over one dataset kind. `beta_fraction` = 0
-/// picks the default 0.5 * d(k-NN).
+/// picks the default 0.5 * d(k-NN). `index_kind` selects the filter-phase
+/// substrate (Algorithm 2 line 1); all backends share the same ciphertexts.
 inline BenchSystem BuildSystem(SyntheticKind kind, std::size_t n,
                                std::size_t nq, std::size_t gt_k,
-                               std::uint64_t seed, double beta_fraction = 0.5) {
+                               std::uint64_t seed, double beta_fraction = 0.5,
+                               IndexKind index_kind = IndexKind::kHnsw) {
   BenchSystem sys;
   sys.dataset = MakeOrLoadDataset(kind, n, nq, gt_k, seed);
   Rng stat_rng(seed + 17);
@@ -95,7 +97,12 @@ inline BenchSystem BuildSystem(SyntheticKind kind, std::size_t n,
   PpannsParams params;
   params.dcpe_beta = sys.beta;
   params.dce_scale_hint = std::max(sys.stats.mean_norm, 1e-3);
+  params.index_kind = index_kind;
   params.hnsw = DefaultHnsw(seed);
+  params.ivf.num_lists = FullScale() ? 1024 : 64;
+  // Plaintext units (FilterOptions rescales into SAP ciphertext space): wide
+  // enough that true neighbors usually share buckets.
+  params.lsh.bucket_width = std::max(1e-3, MeanKnnDistance(sys.dataset, gt_k) * 3.0);
   params.seed = seed;
 
   auto owner = DataOwner::Create(sys.dataset.base.dim(), params);

@@ -66,6 +66,30 @@ int main() {
              sys.tokens.size() / total});
     }
 
+    // ---- Ours, alternative filter substrates (the pluggable
+    // SecureFilterIndex slot): same ciphertexts, different k'-ANNS backend.
+    for (IndexKind alt : {IndexKind::kIvf, IndexKind::kLsh}) {
+      BenchSystem alt_sys = BuildSystem(kind, n, nq, k, /*seed=*/404,
+                                        /*beta_fraction=*/0.5, alt);
+      SearchSettings settings{.k_prime = 16 * k};
+      std::vector<std::vector<VectorId>> results;
+      double total = 0.0;
+      for (std::size_t i = 0; i < alt_sys.tokens.size(); ++i) {
+        Timer t;
+        SearchResult r = alt_sys.server->Search(alt_sys.tokens[i], k, settings);
+        CostBreakdown cost;
+        cost.server_seconds = t.ElapsedSeconds();
+        cost.comm_bytes = alt_sys.tokens[i].ByteSize() + k * sizeof(VectorId);
+        cost.comm_rounds = 1;
+        total += cost.TotalSeconds(net);
+        results.push_back(std::move(r.ids));
+      }
+      Print(ds.name, std::string("PP-ANNS(") + IndexKindName(alt) + ")",
+            "Ratio_k=16",
+            {MeanRecallAtK(results, ds.ground_truth, k),
+             alt_sys.tokens.size() / total});
+    }
+
     // ---- RS-SANN: sweep the multiprobe budget.
     {
       RsSannParams params;

@@ -5,16 +5,17 @@
 //      HNSW index over the SAP ciphertexts.
 //   2. The package is serialized to disk — this is what gets outsourced.
 //   3. The cloud server loads the package. It never sees plaintexts.
-//   4. A query user encrypts a query into (C_q^SAP, T_q) and the server
-//      answers k-ANNS with the filter-and-refine search of Algorithm 2.
+//   4. A query user encrypts queries into (C_q^SAP, T_q) tokens and the
+//      PpannsService facade answers k-ANNS with the filter-and-refine search
+//      of Algorithm 2 — one batched call fanned across the thread pool.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
 #include "common/io.h"
-#include "core/cloud_server.h"
 #include "core/data_owner.h"
+#include "core/ppanns_service.h"
 #include "core/query_client.h"
 #include "datagen/synthetic.h"
 #include "eval/metrics.h"
@@ -34,6 +35,7 @@ int main() {
   PpannsParams params;
   params.dcpe_beta = 2.0;                    // privacy/accuracy dial (Fig. 4)
   params.dce_scale_hint = stats.mean_norm;   // sizes DCE blinding scalars
+  params.index_kind = IndexKind::kHnsw;      // or kIvf / kLsh / kBruteForce
   params.hnsw = HnswParams{.m = 16, .ef_construction = 200, .seed = 42};
   params.seed = 42;
 
@@ -44,9 +46,9 @@ int main() {
     return 1;
   }
   EncryptedDatabase package = owner->EncryptAndIndex(ds.base);
-  std::printf("encrypted package: %.1f MB (SAP + graph + DCE layers)\n",
-              (package.index.data().data().size() * sizeof(float) +
-               package.DceBytes()) / 1e6);
+  std::printf("encrypted package: %.1f MB (%s index over SAP + DCE layers)\n",
+              (package.index->StorageBytes() + package.DceBytes()) / 1e6,
+              IndexKindName(package.index->kind()));
 
   // ---- Outsource: serialize to disk, reload as "the cloud server".
   BinaryWriter writer;
@@ -60,23 +62,35 @@ int main() {
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  CloudServer server(std::move(*loaded));
-  std::printf("server loaded %zu encrypted vectors from %s\n", server.size(),
+  PpannsService service{CloudServer(std::move(*loaded))};
+  std::printf("service loaded %zu encrypted vectors from %s\n", service.size(),
               path.c_str());
 
-  // ---- Query user: encrypt queries, ask the server (Fig. 1, steps 2-3).
+  // ---- Query user: encrypt queries, ask the service in one batched call
+  // (Fig. 1, steps 2-3).
   QueryClient client(owner->ShareKeys(), /*seed=*/7);
+  std::vector<QueryToken> tokens;
   for (std::size_t i = 0; i < num_queries; ++i) {
-    QueryToken token = client.EncryptQuery(ds.queries.row(i));
-    SearchResult result = server.Search(
-        token, k, SearchSettings{.k_prime = 8 * k, .ef_search = 128});
-
+    tokens.push_back(client.EncryptQuery(ds.queries.row(i)));
+  }
+  auto batch = service.SearchBatch(
+      tokens, k, SearchSettings{.k_prime = 8 * k, .ef_search = 128});
+  if (!batch.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < batch->results.size(); ++i) {
+    const SearchResult& result = batch->results[i];
     const double recall = RecallAtK(result.ids, ds.ground_truth[i], k);
     std::printf("query %zu: recall@%zu = %.2f, %zu DCE comparisons, ids:", i,
                 k, recall, result.counters.dce_comparisons);
     for (VectorId id : result.ids) std::printf(" %u", id);
     std::printf("\n");
   }
+  std::printf("batch: %zu queries in %.1f ms wall, %zu DCE comparisons "
+              "total\n", batch->counters.num_queries,
+              batch->counters.wall_seconds * 1e3,
+              batch->counters.total_dce_comparisons);
 
   std::printf("\nNote: the server handled only ciphertexts and comparison "
               "signs;\nplaintext vectors and distances never left the owner "

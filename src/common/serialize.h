@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/types.h"
 
 namespace ppanns {
 
@@ -98,6 +99,34 @@ class BinaryReader {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+/// Writes a FloatMatrix as [n][dim][n*dim floats].
+inline void PutMatrix(const FloatMatrix& m, BinaryWriter* out) {
+  out->Put<std::uint64_t>(m.size());
+  out->Put<std::uint64_t>(m.dim());
+  out->PutVector(m.data());
+}
+
+/// Reads a FloatMatrix written by PutMatrix, with shape validation. The
+/// shape is cross-checked against the (bounds-checked) payload length by
+/// division, so crafted n/dim headers cannot pass via n*dim overflow.
+inline Status GetMatrix(BinaryReader* in, FloatMatrix* out) {
+  std::uint64_t n = 0, dim = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&n));
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  std::vector<float> data;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&data));
+  const bool shape_ok =
+      dim == 0 ? (n == 0 && data.empty())
+               : (data.size() % dim == 0 && data.size() / dim == n);
+  if (!shape_ok) {
+    return Status::IOError("FloatMatrix: shape/payload mismatch");
+  }
+  FloatMatrix m(n, dim);
+  m.data() = std::move(data);
+  *out = std::move(m);
+  return Status::OK();
+}
 
 }  // namespace ppanns
 

@@ -12,6 +12,19 @@ namespace ppanns {
 /// Identifier of a database vector. Dense in [0, n).
 using VectorId = std::uint32_t;
 
+/// Which k'-ANNS substrate backs the filter phase (Algorithm 2, line 1).
+/// The paper fixes only the filter contract — k'-ANNS over SAP ciphertexts —
+/// so any of the index families it names (proximity graphs, inverted files,
+/// locality-sensitive hashing) can fill the slot; brute force is the exact
+/// reference point. Serialized with the encrypted database, so keep values
+/// stable.
+enum class IndexKind : std::uint8_t {
+  kHnsw = 0,
+  kIvf = 1,
+  kLsh = 2,
+  kBruteForce = 3,
+};
+
 /// Sentinel for "no vector".
 inline constexpr VectorId kInvalidVectorId = 0xFFFFFFFFu;
 

@@ -10,19 +10,17 @@ namespace ppanns {
 SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
                                  const SearchSettings& settings) const {
   SearchResult result;
-  if (k == 0 || db_.index.size() == 0) return result;
+  if (k == 0 || db_.index->size() == 0) return result;
 
   const std::size_t k_prime =
       settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
-  const std::size_t ef =
-      settings.ef_search > 0 ? settings.ef_search : std::max<std::size_t>(k_prime, 64);
 
-  // ---- Filter phase (Algorithm 2, line 1): k'-ANNS on the HNSW graph over
-  // SAP ciphertexts; distances are computed on the encrypted vectors at
-  // plaintext cost.
+  // ---- Filter phase (Algorithm 2, line 1): k'-ANNS over SAP ciphertexts on
+  // the configured backend; distances are computed on the encrypted vectors
+  // at plaintext cost.
   Timer filter_timer;
   const std::vector<Neighbor> candidates =
-      db_.index.Search(token.sap.data(), k_prime, ef);
+      db_.index->Search(token.sap.data(), k_prime, settings.ef_search);
   result.counters.filter_seconds = filter_timer.ElapsedSeconds();
   result.counters.filter_candidates = candidates.size();
 
@@ -50,15 +48,15 @@ SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
 }
 
 VectorId CloudServer::Insert(const EncryptedVector& v) {
-  PPANNS_CHECK(v.sap.size() == db_.index.dim());
-  const VectorId id = db_.index.Add(v.sap.data());
+  PPANNS_CHECK(v.sap.size() == db_.index->dim());
+  const VectorId id = db_.index->Add(v.sap.data());
   PPANNS_CHECK(id == db_.dce.size());
   db_.dce.push_back(v.dce);
   return id;
 }
 
 Status CloudServer::Delete(VectorId id) {
-  PPANNS_RETURN_IF_ERROR(db_.index.Remove(id));
+  PPANNS_RETURN_IF_ERROR(db_.index->Remove(id));
   // Blank the DCE ciphertext: the server drops the deleted payload while
   // keeping ids stable.
   db_.dce[id].data.clear();
@@ -67,12 +65,8 @@ Status CloudServer::Delete(VectorId id) {
 }
 
 std::size_t CloudServer::StorageBytes() const {
-  // SAP layer + graph edges + DCE layer.
-  std::size_t bytes = db_.index.data().data().size() * sizeof(float);
-  const HnswStats stats = db_.index.ComputeStats();
-  bytes += stats.total_edges_level0 * sizeof(VectorId);
-  bytes += db_.DceBytes();
-  return bytes;
+  // SAP layer + index structure + DCE layer.
+  return db_.index->StorageBytes() + db_.DceBytes();
 }
 
 }  // namespace ppanns

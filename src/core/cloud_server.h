@@ -20,7 +20,9 @@ namespace ppanns {
 /// Per-query search knobs (Section V-B).
 struct SearchSettings {
   std::size_t k_prime = 0;    ///< filter-phase candidate count; 0 => 4*k
-  std::size_t ef_search = 0;  ///< HNSW beam width; 0 => max(k', 64)
+  /// Filter-phase search breadth: HNSW ef_search, IVF nprobe, LSH probes per
+  /// table (the exact backend ignores it). 0 => backend default.
+  std::size_t ef_search = 0;
   bool refine = true;         ///< false = filter-only (the Fig. 4/6 baseline)
 };
 
@@ -41,24 +43,32 @@ struct SearchResult {
 
 class CloudServer {
  public:
-  explicit CloudServer(EncryptedDatabase db) : db_(std::move(db)) {}
+  explicit CloudServer(EncryptedDatabase db) : db_(std::move(db)) {
+    PPANNS_CHECK(db_.index != nullptr);
+  }
 
-  /// Algorithm 2: filter (k'-ANNS over SAP ciphertexts on HNSW) + refine
-  /// (exact DCE comparisons through a comparison-only max-heap).
+  /// Algorithm 2: filter (k'-ANNS over SAP ciphertexts on the configured
+  /// SecureFilterIndex backend) + refine (exact DCE comparisons through a
+  /// comparison-only max-heap). Thread-safe: concurrent const searches are
+  /// allowed (PpannsService::SearchBatch relies on this).
   SearchResult Search(const QueryToken& token, std::size_t k,
                       const SearchSettings& settings = {}) const;
 
   /// Maintenance (Section V-D): link a freshly encrypted vector into the
-  /// graph / remove one and repair affected in-neighbors.
+  /// index / remove one and repair the affected structure.
   VectorId Insert(const EncryptedVector& v);
   Status Delete(VectorId id);
 
-  std::size_t size() const { return db_.index.size(); }
-  const HnswIndex& index() const { return db_.index; }
+  std::size_t size() const { return db_.index->size(); }
+  const SecureFilterIndex& index() const { return *db_.index; }
   const std::vector<DceCiphertext>& dce_ciphertexts() const { return db_.dce; }
 
   /// Total resident bytes of the outsourced package (space accounting).
   std::size_t StorageBytes() const;
+
+  /// Snapshots the current package (including maintenance mutations) in the
+  /// same format EncryptedDatabase::Serialize writes.
+  void SerializeDatabase(BinaryWriter* out) const { db_.Serialize(out); }
 
  private:
   EncryptedDatabase db_;

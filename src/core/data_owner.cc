@@ -21,15 +21,15 @@ Result<DataOwner> DataOwner::Create(std::size_t dim,
 EncryptedDatabase DataOwner::EncryptAndIndex(const FloatMatrix& data) {
   PPANNS_CHECK(data.dim() == dim_);
 
-  EncryptedDatabase db{HnswIndex(dim_, params_.hnsw), {}};
+  EncryptedDatabase db{MakeFilterIndex(), {}};
   db.dce.reserve(data.size());
 
   std::vector<float> sap(dim_);
   for (std::size_t i = 0; i < data.size(); ++i) {
     keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
-    // The graph is built over SAP ciphertexts: its edges reflect only
+    // The index is built over SAP ciphertexts: its structure reflects only
     // approximate neighborhoods (privacy argument of Section V-A).
-    const VectorId id = db.index.Add(sap.data());
+    const VectorId id = db.index->Add(sap.data());
     PPANNS_CHECK(id == db.dce.size());
     db.dce.push_back(keys_->dce.Encrypt(data.row(i), rng_));
   }
@@ -39,14 +39,14 @@ EncryptedDatabase DataOwner::EncryptAndIndex(const FloatMatrix& data) {
 EncryptedDatabase DataOwner::EncryptAndIndexParallel(const FloatMatrix& data) {
   PPANNS_CHECK(data.dim() == dim_);
 
-  EncryptedDatabase db{HnswIndex(dim_, params_.hnsw), {}};
+  EncryptedDatabase db{MakeFilterIndex(), {}};
   db.dce.resize(data.size());
 
-  // Sequential pass: SAP layer + graph (insertion order matters).
+  // Sequential pass: SAP layer + index (insertion order matters).
   std::vector<float> sap(dim_);
   for (std::size_t i = 0; i < data.size(); ++i) {
     keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
-    db.index.Add(sap.data());
+    db.index->Add(sap.data());
   }
 
   // Parallel pass: the DCE layer, with per-row derived randomness so the
@@ -60,6 +60,13 @@ EncryptedDatabase DataOwner::EncryptAndIndexParallel(const FloatMatrix& data) {
         }
       });
   return db;
+}
+
+std::unique_ptr<SecureFilterIndex> DataOwner::MakeFilterIndex() const {
+  auto index =
+      MakeSecureFilterIndex(params_.index_kind, dim_, params_.FilterOptions());
+  PPANNS_CHECK(index.ok());  // dim_ was validated at Create
+  return std::move(*index);
 }
 
 EncryptedVector DataOwner::EncryptOne(const float* v) {

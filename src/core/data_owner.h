@@ -20,9 +20,9 @@ class DataOwner {
   /// Generates fresh keys for d-dimensional data.
   static Result<DataOwner> Create(std::size_t dim, const PpannsParams& params);
 
-  /// Encrypts every row of `data` (DCPE + DCE) and builds the HNSW graph
-  /// over the SAP ciphertexts (never the plaintexts — Section V-A). The
-  /// result is everything the cloud server receives.
+  /// Encrypts every row of `data` (DCPE + DCE) and builds the filter index
+  /// (params.index_kind) over the SAP ciphertexts (never the plaintexts —
+  /// Section V-A). The result is everything the cloud server receives.
   EncryptedDatabase EncryptAndIndex(const FloatMatrix& data);
 
   /// Same output contract, but computes the DCE layer (the expensive part:
@@ -47,6 +47,9 @@ class DataOwner {
   DataOwner(std::size_t dim, PpannsParams params, SecretKeysPtr keys)
       : dim_(dim), params_(std::move(params)), keys_(std::move(keys)),
         rng_(params_.seed ^ 0xD07A0A37) {}
+
+  /// Constructs the empty filter index configured by params_.index_kind.
+  std::unique_ptr<SecureFilterIndex> MakeFilterIndex() const;
 
   std::size_t dim_;
   PpannsParams params_;

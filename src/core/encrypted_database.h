@@ -1,16 +1,17 @@
-// The server-side encrypted database: SAP ciphertexts (inside the HNSW
+// The server-side encrypted database: SAP ciphertexts (inside the filter
 // index), DCE ciphertexts, and nothing else. Produced by the data owner,
 // consumed by the cloud server (Fig. 3, B1/B2).
 
 #ifndef PPANNS_CORE_ENCRYPTED_DATABASE_H_
 #define PPANNS_CORE_ENCRYPTED_DATABASE_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/serialize.h"
 #include "common/status.h"
 #include "crypto/dce.h"
-#include "index/hnsw.h"
+#include "index/secure_filter_index.h"
 
 namespace ppanns {
 
@@ -20,11 +21,12 @@ struct EncryptedVector {
   DceCiphertext dce;       ///< DCE ciphertext, 4 x (2 d_pad + 16)
 };
 
-/// The complete outsourced package. The HNSW index is built over the SAP
-/// ciphertexts (it owns them; `index.data()` is C_P^SAP), `dce` holds
-/// C_P^DCE aligned by VectorId.
+/// The complete outsourced package. The filter index is built over the SAP
+/// ciphertexts (it owns them; `index->data()` is C_P^SAP), `dce` holds
+/// C_P^DCE aligned by VectorId. The backend kind travels inside the index's
+/// serialized envelope, so Deserialize reconstructs the right substrate.
 struct EncryptedDatabase {
-  HnswIndex index;
+  std::unique_ptr<SecureFilterIndex> index;
   std::vector<DceCiphertext> dce;
 
   /// Bytes of the DCE layer (space accounting, Section V-C).

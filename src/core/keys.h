@@ -17,7 +17,7 @@
 #include "crypto/dce.h"
 #include "crypto/dcpe.h"
 #include "crypto/key_io.h"
-#include "index/hnsw.h"
+#include "index/secure_filter_index.h"
 
 namespace ppanns {
 
@@ -26,8 +26,27 @@ struct PpannsParams {
   double dcpe_s = 1024.0;  ///< SAP scaling factor (paper recommendation)
   double dcpe_beta = 0.0;  ///< SAP noise bound; tuned per dataset (Fig. 4)
   double dce_scale_hint = 1.0;  ///< typical vector norm, for DCE blinding
-  HnswParams hnsw;         ///< index construction parameters
+  /// Filter-phase substrate (Algorithm 2, line 1) and its per-backend knobs.
+  /// The kind is serialized with the encrypted database, so a loaded package
+  /// reconstructs the same backend. `lsh.bucket_width` is in *plaintext*
+  /// units; FilterOptions scales it by dcpe_s to match the SAP ciphertexts
+  /// the index actually stores.
+  IndexKind index_kind = IndexKind::kHnsw;
+  HnswParams hnsw;         ///< graph construction parameters
+  IvfParams ivf;           ///< inverted-file parameters
+  LshParams lsh;           ///< hashing parameters
   std::uint64_t seed = 0xC0FFEE;
+
+  /// Resolves the per-backend options for index construction: LSH widths are
+  /// rescaled into ciphertext space, and backend seeds are mixed with the
+  /// deployment seed so two deployments never share projections.
+  SecureFilterIndexOptions FilterOptions() const {
+    SecureFilterIndexOptions options{hnsw, ivf, lsh};
+    options.lsh.bucket_width = lsh.bucket_width * dcpe_s;
+    options.ivf.seed = ivf.seed ^ seed;
+    options.lsh.seed = lsh.seed ^ seed;
+    return options;
+  }
 };
 
 /// The owner/user side key bundle.

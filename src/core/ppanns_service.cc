@@ -1,0 +1,113 @@
+#include "core/ppanns_service.h"
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace ppanns {
+namespace {
+
+/// Prefixes a validation error's message while keeping its code, so callers
+/// can branch on the code identically for Search and SearchBatch.
+Status Annotate(const Status& st, const std::string& prefix) {
+  switch (st.code()) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(prefix + st.message());
+    case Status::Code::kFailedPrecondition:
+      return Status::FailedPrecondition(prefix + st.message());
+    default:
+      return st;
+  }
+}
+
+}  // namespace
+
+Status PpannsService::ValidateQuery(const QueryToken& token, std::size_t k,
+                                    const SearchSettings& settings) const {
+  if (k == 0) return Status::InvalidArgument("Search: k must be positive");
+  if (token.sap.size() != server_.index().dim()) {
+    return Status::InvalidArgument(
+        "Search: SAP ciphertext dimension " + std::to_string(token.sap.size()) +
+        " does not match database dimension " +
+        std::to_string(server_.index().dim()));
+  }
+  if (server_.size() == 0) {
+    return Status::FailedPrecondition("Search: database is empty");
+  }
+  if (settings.refine) {
+    // The refine phase multiplies the trapdoor against every candidate's DCE
+    // blocks; a short trapdoor would read out of bounds.
+    const std::size_t block = server_.dce_ciphertexts().front().block;
+    if (token.trapdoor.data.size() != block) {
+      return Status::InvalidArgument(
+          "Search: trapdoor length " +
+          std::to_string(token.trapdoor.data.size()) +
+          " does not match DCE block length " + std::to_string(block));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SearchResult> PpannsService::Search(const QueryToken& token,
+                                           std::size_t k,
+                                           const SearchSettings& settings) const {
+  PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
+  return server_.Search(token, k, settings);
+}
+
+Result<BatchSearchResult> PpannsService::SearchBatch(
+    std::span<const QueryToken> tokens, std::size_t k,
+    const SearchSettings& settings) const {
+  // Validate everything up front: a batch either runs in full or not at all,
+  // so callers never get partially filled results.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    Status st = ValidateQuery(tokens[i], k, settings);
+    if (!st.ok()) {
+      return Annotate(st, "SearchBatch: token " + std::to_string(i) + ": ");
+    }
+  }
+
+  BatchSearchResult batch;
+  batch.results.resize(tokens.size());
+  Timer wall;
+  ThreadPool::Global().ParallelFor(
+      tokens.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          batch.results[i] = server_.Search(tokens[i], k, settings);
+        }
+      });
+  batch.counters.wall_seconds = wall.ElapsedSeconds();
+
+  batch.counters.num_queries = tokens.size();
+  for (const SearchResult& r : batch.results) {
+    batch.counters.total_filter_candidates += r.counters.filter_candidates;
+    batch.counters.total_dce_comparisons += r.counters.dce_comparisons;
+    batch.counters.total_filter_seconds += r.counters.filter_seconds;
+    batch.counters.total_refine_seconds += r.counters.refine_seconds;
+  }
+  return batch;
+}
+
+Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
+  if (v.sap.size() != server_.index().dim()) {
+    return Status::InvalidArgument(
+        "Insert: SAP ciphertext dimension " + std::to_string(v.sap.size()) +
+        " does not match database dimension " +
+        std::to_string(server_.index().dim()));
+  }
+  if (!server_.dce_ciphertexts().empty()) {
+    const std::size_t block = server_.dce_ciphertexts().front().block;
+    if (v.dce.block != block || v.dce.data.size() != 4 * block) {
+      return Status::InvalidArgument(
+          "Insert: DCE ciphertext shape does not match the database");
+    }
+  } else if (v.dce.data.size() != 4 * v.dce.block) {
+    return Status::InvalidArgument("Insert: malformed DCE ciphertext");
+  }
+  return server_.Insert(v);
+}
+
+Status PpannsService::Delete(VectorId id) { return server_.Delete(id); }
+
+}  // namespace ppanns

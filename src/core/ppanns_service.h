@@ -1,0 +1,84 @@
+// PpannsService — the serving facade over a CloudServer.
+//
+// CloudServer is the paper-faithful core: it trusts its inputs (malformed
+// tokens are programmer errors) and answers one query at a time. The service
+// wraps it with what production serving needs:
+//  * input validation — dimension mismatches, k = 0, an empty database, or a
+//    malformed trapdoor come back as Status instead of undefined behavior;
+//  * batched execution — SearchBatch fans a token batch across the global
+//    ThreadPool and aggregates per-query counters into a BatchCounters
+//    summary, returning results bitwise identical to a sequential loop.
+//
+// Every future scaling layer (sharding, caching, async) composes on this
+// seam rather than on CloudServer directly.
+
+#ifndef PPANNS_CORE_PPANNS_SERVICE_H_
+#define PPANNS_CORE_PPANNS_SERVICE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cloud_server.h"
+
+namespace ppanns {
+
+/// Aggregated instrumentation for one SearchBatch call.
+struct BatchCounters {
+  std::size_t num_queries = 0;
+  std::size_t total_filter_candidates = 0;
+  std::size_t total_dce_comparisons = 0;
+  /// Per-query seconds summed across the batch (CPU view; exceeds wall time
+  /// under parallel execution).
+  double total_filter_seconds = 0.0;
+  double total_refine_seconds = 0.0;
+  /// End-to-end wall seconds of the batch, including fan-out overhead.
+  double wall_seconds = 0.0;
+};
+
+/// Results for one token batch, aligned with the input order.
+struct BatchSearchResult {
+  std::vector<SearchResult> results;
+  BatchCounters counters;
+};
+
+class PpannsService {
+ public:
+  explicit PpannsService(CloudServer server) : server_(std::move(server)) {}
+
+  /// Validated single-query search (Algorithm 2 through CloudServer).
+  ///   InvalidArgument  — k = 0, SAP/trapdoor dimension mismatch
+  ///   FailedPrecondition — empty database
+  Result<SearchResult> Search(const QueryToken& token, std::size_t k,
+                              const SearchSettings& settings = {}) const;
+
+  /// Runs every token through Search semantics, fanned across the global
+  /// ThreadPool. All tokens are validated before any work starts; the result
+  /// vector is aligned with `tokens` and bitwise identical to a sequential
+  /// Search loop (each query is independent and deterministic).
+  Result<BatchSearchResult> SearchBatch(std::span<const QueryToken> tokens,
+                                        std::size_t k,
+                                        const SearchSettings& settings = {}) const;
+
+  /// Validated maintenance (Section V-D).
+  Result<VectorId> Insert(const EncryptedVector& v);
+  Status Delete(VectorId id);
+
+  std::size_t size() const { return server_.size(); }
+  std::size_t dim() const { return server_.index().dim(); }
+  IndexKind index_kind() const { return server_.index().kind(); }
+  std::size_t StorageBytes() const { return server_.StorageBytes(); }
+  const CloudServer& server() const { return server_; }
+
+ private:
+  /// Shared validation for Search/SearchBatch.
+  Status ValidateQuery(const QueryToken& token, std::size_t k,
+                       const SearchSettings& settings) const;
+
+  CloudServer server_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_PPANNS_SERVICE_H_

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "core/keys.h"
 
 namespace ppanns {
@@ -20,10 +21,29 @@ struct QueryToken {
   std::vector<float> sap;  ///< C_q^SAP, length d
   DceTrapdoor trapdoor;    ///< T_q, length 2 d_pad + 16
 
-  /// Upload size in bytes (communication accounting, Section V-C).
+  /// Wire format: the two length-prefixed payload vectors, nothing else
+  /// (k and the search settings travel in the request envelope, not the
+  /// cryptographic token).
+  void Serialize(BinaryWriter* out) const {
+    out->PutVector(sap);
+    out->PutVector(trapdoor.data);
+  }
+
+  static Result<QueryToken> Deserialize(BinaryReader* in) {
+    QueryToken token;
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&token.sap));
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&token.trapdoor.data));
+    if (token.sap.empty() || token.trapdoor.data.empty()) {
+      return Status::IOError("QueryToken: empty payload");
+    }
+    return token;
+  }
+
+  /// Upload size in bytes (communication accounting, Section V-C): exactly
+  /// what Serialize writes — two uint64 length prefixes plus the payloads.
   std::size_t ByteSize() const {
-    return sap.size() * sizeof(float) +
-           trapdoor.data.size() * sizeof(double) + sizeof(std::uint32_t) /*k*/;
+    return 2 * sizeof(std::uint64_t) + sap.size() * sizeof(float) +
+           trapdoor.data.size() * sizeof(double);
   }
 };
 

@@ -1,31 +1,20 @@
 #include "index/brute_force.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/thread_pool.h"
+#include "index/top_k.h"
 
 namespace ppanns {
 
 std::vector<Neighbor> BruteForceKnn(const FloatMatrix& data, const float* query,
                                     std::size_t k) {
-  // Bounded max-heap of the current best k.
-  std::priority_queue<Neighbor> heap;
+  TopK top(k);
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const float dist = SquaredL2(data.row(i), query, data.dim());
-    if (heap.size() < k) {
-      heap.push(Neighbor{static_cast<VectorId>(i), dist});
-    } else if (!heap.empty() && dist < heap.top().distance) {
-      heap.pop();
-      heap.push(Neighbor{static_cast<VectorId>(i), dist});
-    }
+    top.Offer(Neighbor{static_cast<VectorId>(i),
+                       SquaredL2(data.row(i), query, data.dim())});
   }
-  std::vector<Neighbor> out(heap.size());
-  for (std::size_t i = heap.size(); i > 0; --i) {
-    out[i - 1] = heap.top();
-    heap.pop();
-  }
-  return out;
+  return top.ExtractSorted();
 }
 
 std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
@@ -44,6 +33,71 @@ std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
     work(0, queries.size());
   }
   return out;
+}
+
+BruteForceIndex::BruteForceIndex(std::size_t dim) : dim_(dim), data_(0, dim) {
+  PPANNS_CHECK(dim > 0);
+}
+
+VectorId BruteForceIndex::Add(const float* v) {
+  deleted_.push_back(0);
+  return data_.Append(v);
+}
+
+void BruteForceIndex::AddBatch(const FloatMatrix& batch) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
+}
+
+Status BruteForceIndex::Remove(VectorId id) {
+  if (id >= data_.size()) return Status::InvalidArgument("BruteForce: bad id");
+  if (deleted_[id]) return Status::NotFound("BruteForce: already deleted");
+  deleted_[id] = 1;
+  ++num_deleted_;
+  return Status::OK();
+}
+
+std::vector<Neighbor> BruteForceIndex::Search(const float* query,
+                                              std::size_t k) const {
+  TopK top(k);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (deleted_[i]) continue;
+    top.Offer(Neighbor{static_cast<VectorId>(i),
+                       SquaredL2(data_.row(i), query, dim_)});
+  }
+  return top.ExtractSorted();
+}
+
+std::size_t BruteForceIndex::StorageBytes() const {
+  return data_.data().size() * sizeof(float) + deleted_.size();
+}
+
+void BruteForceIndex::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(0x50424649);  // "PBFI"
+  out->Put<std::uint32_t>(1);
+  out->Put<std::uint64_t>(dim_);
+  PutMatrix(data_, out);
+  out->PutVector(deleted_);
+}
+
+Result<BruteForceIndex> BruteForceIndex::Deserialize(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != 0x50424649) return Status::IOError("BruteForce: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("BruteForce: unsupported version");
+  std::uint64_t dim = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  if (dim == 0) return Status::IOError("BruteForce: zero dimension");
+
+  BruteForceIndex index(dim);
+  PPANNS_RETURN_IF_ERROR(GetMatrix(in, &index.data_));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&index.deleted_));
+  if (index.data_.dim() != dim || index.deleted_.size() != index.data_.size()) {
+    return Status::IOError("BruteForce: inconsistent payload");
+  }
+  for (std::uint8_t d : index.deleted_) index.num_deleted_ += (d != 0);
+  return index;
 }
 
 }  // namespace ppanns

@@ -1,12 +1,17 @@
 // Exact k-nearest-neighbor search by linear scan — the ground-truth oracle
 // for recall measurement, optionally multi-threaded over the database.
+// BruteForceIndex wraps the scan as a maintainable index (tombstone deletes,
+// persistence) so it can back the filter phase as the exact reference point.
 
 #ifndef PPANNS_INDEX_BRUTE_FORCE_H_
 #define PPANNS_INDEX_BRUTE_FORCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace ppanns {
@@ -22,6 +27,41 @@ std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
                                                       const FloatMatrix& queries,
                                                       std::size_t k,
                                                       bool parallel = true);
+
+/// Linear-scan index with stable dense ids and tombstone deletion. Removed
+/// rows keep their slot (ids are never reused) but are skipped by Search.
+class BruteForceIndex {
+ public:
+  explicit BruteForceIndex(std::size_t dim);
+
+  VectorId Add(const float* v);
+  void AddBatch(const FloatMatrix& data);
+
+  /// Tombstones `id`. InvalidArgument if out of range, NotFound if already
+  /// deleted (matching HnswIndex::Remove).
+  Status Remove(VectorId id);
+
+  /// Exact top-k over the live rows, ascending by (distance, id).
+  std::vector<Neighbor> Search(const float* query, std::size_t k) const;
+
+  bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }
+  std::size_t size() const { return data_.size() - num_deleted_; }
+  std::size_t capacity() const { return data_.size(); }
+  std::size_t dim() const { return dim_; }
+  const FloatMatrix& data() const { return data_; }
+
+  /// Resident bytes: the row storage plus the tombstone bitmap.
+  std::size_t StorageBytes() const;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<BruteForceIndex> Deserialize(BinaryReader* in);
+
+ private:
+  std::size_t dim_;
+  FloatMatrix data_;
+  std::vector<std::uint8_t> deleted_;
+  std::size_t num_deleted_ = 0;
+};
 
 }  // namespace ppanns
 

@@ -1,7 +1,8 @@
 #include "index/ivf.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "index/top_k.h"
 
 namespace ppanns {
 
@@ -11,7 +12,7 @@ IvfIndex::IvfIndex(std::size_t dim, IvfParams params)
   PPANNS_CHECK(params.num_lists > 0);
 }
 
-double IvfIndex::Train(const FloatMatrix& sample, Rng& rng) {
+double IvfIndex::RunKmeans(const FloatMatrix& sample, Rng& rng) {
   PPANNS_CHECK(sample.dim() == dim_);
   PPANNS_CHECK(sample.size() >= params_.num_lists);
   const std::size_t k = params_.num_lists;
@@ -69,8 +70,21 @@ double IvfIndex::Train(const FloatMatrix& sample, Rng& rng) {
       }
     }
   }
-  lists_.assign(k, {});
   return mean_err;
+}
+
+void IvfIndex::RouteAll() {
+  lists_.assign(params_.num_lists, {});
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (deleted_[i]) continue;
+    lists_[NearestCentroid(data_.row(i))].push_back(static_cast<VectorId>(i));
+  }
+}
+
+double IvfIndex::Train(const FloatMatrix& sample, Rng& rng) {
+  const double err = RunKmeans(sample, rng);
+  RouteAll();
+  return err;
 }
 
 std::size_t IvfIndex::NearestCentroid(const float* v) const {
@@ -87,9 +101,21 @@ std::size_t IvfIndex::NearestCentroid(const float* v) const {
 }
 
 VectorId IvfIndex::Add(const float* v) {
-  PPANNS_CHECK(trained());
   const VectorId id = data_.Append(v);
-  lists_[NearestCentroid(v)].push_back(id);
+  deleted_.push_back(0);
+  if (trained()) {
+    lists_[NearestCentroid(v)].push_back(id);
+    return id;
+  }
+  const std::size_t train_min = params_.auto_train_min > 0
+                                    ? std::max(params_.auto_train_min,
+                                               params_.num_lists)
+                                    : 4 * params_.num_lists;
+  if (data_.size() >= train_min) {
+    Rng rng(params_.seed);
+    RunKmeans(data_, rng);
+    RouteAll();
+  }
   return id;
 }
 
@@ -98,37 +124,111 @@ void IvfIndex::AddBatch(const FloatMatrix& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
 }
 
+Status IvfIndex::Remove(VectorId id) {
+  if (id >= data_.size()) return Status::InvalidArgument("IVF: bad id");
+  if (deleted_[id]) return Status::NotFound("IVF: already deleted");
+  deleted_[id] = 1;
+  ++num_deleted_;
+  if (trained()) {
+    auto& list = lists_[NearestCentroid(data_.row(id))];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  return Status::OK();
+}
+
 std::vector<Neighbor> IvfIndex::Search(const float* query, std::size_t k,
                                        std::size_t nprobe) const {
-  PPANNS_CHECK(trained());
-  nprobe = std::min(nprobe, centroids_.size());
+  TopK top(k);
+  auto offer = [&](VectorId id) {
+    top.Offer(Neighbor{id, SquaredL2(query, data_.row(id), dim_)});
+  };
 
-  // Rank centroids by distance, take the closest nprobe.
-  std::vector<Neighbor> cents(centroids_.size());
-  for (std::size_t c = 0; c < centroids_.size(); ++c) {
-    cents[c] = Neighbor{static_cast<VectorId>(c),
-                        SquaredL2(query, centroids_.row(c), dim_)};
-  }
-  std::partial_sort(cents.begin(), cents.begin() + nprobe, cents.end());
+  if (!trained()) {
+    // Not enough vectors to have auto-trained yet: exact scan of live rows.
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (!deleted_[i]) offer(static_cast<VectorId>(i));
+    }
+  } else {
+    nprobe = std::min(nprobe, centroids_.size());
 
-  std::priority_queue<Neighbor> heap;  // bounded max-heap of the best k
-  for (std::size_t p = 0; p < nprobe; ++p) {
-    for (VectorId id : lists_[cents[p].id]) {
-      const float dist = SquaredL2(query, data_.row(id), dim_);
-      if (heap.size() < k) {
-        heap.push(Neighbor{id, dist});
-      } else if (dist < heap.top().distance) {
-        heap.pop();
-        heap.push(Neighbor{id, dist});
-      }
+    // Rank centroids by distance, take the closest nprobe.
+    std::vector<Neighbor> cents(centroids_.size());
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      cents[c] = Neighbor{static_cast<VectorId>(c),
+                          SquaredL2(query, centroids_.row(c), dim_)};
+    }
+    std::partial_sort(cents.begin(), cents.begin() + nprobe, cents.end());
+
+    for (std::size_t p = 0; p < nprobe; ++p) {
+      for (VectorId id : lists_[cents[p].id]) offer(id);
     }
   }
-  std::vector<Neighbor> out(heap.size());
-  for (std::size_t i = heap.size(); i > 0; --i) {
-    out[i - 1] = heap.top();
-    heap.pop();
+  return top.ExtractSorted();
+}
+
+std::size_t IvfIndex::StorageBytes() const {
+  std::size_t bytes = data_.data().size() * sizeof(float) +
+                      centroids_.data().size() * sizeof(float) +
+                      deleted_.size();
+  for (const auto& list : lists_) bytes += list.size() * sizeof(VectorId);
+  return bytes;
+}
+
+void IvfIndex::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(0x50495646);  // "PIVF"
+  out->Put<std::uint32_t>(1);
+  out->Put<std::uint64_t>(dim_);
+  out->Put<std::uint64_t>(params_.num_lists);
+  out->Put<std::uint64_t>(params_.train_iters);
+  out->Put<std::uint64_t>(params_.seed);
+  out->Put<std::uint64_t>(params_.auto_train_min);
+  out->Put<std::uint8_t>(trained() ? 1 : 0);
+  if (trained()) PutMatrix(centroids_, out);
+  PutMatrix(data_, out);
+  out->PutVector(deleted_);
+}
+
+Result<IvfIndex> IvfIndex::Deserialize(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != 0x50495646) return Status::IOError("IVF: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("IVF: unsupported version");
+
+  std::uint64_t dim = 0;
+  IvfParams params;
+  std::uint64_t num_lists = 0, train_iters = 0, auto_train_min = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_lists));
+  PPANNS_RETURN_IF_ERROR(in->Get(&train_iters));
+  PPANNS_RETURN_IF_ERROR(in->Get(&params.seed));
+  PPANNS_RETURN_IF_ERROR(in->Get(&auto_train_min));
+  if (dim == 0 || num_lists == 0) return Status::IOError("IVF: bad header");
+  params.num_lists = num_lists;
+  params.train_iters = train_iters;
+  params.auto_train_min = auto_train_min;
+
+  std::uint8_t trained = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&trained));
+
+  IvfIndex index(dim, params);
+  if (trained) {
+    PPANNS_RETURN_IF_ERROR(GetMatrix(in, &index.centroids_));
+    if (index.centroids_.size() != params.num_lists ||
+        index.centroids_.dim() != dim) {
+      return Status::IOError("IVF: bad centroid shape");
+    }
   }
-  return out;
+  PPANNS_RETURN_IF_ERROR(GetMatrix(in, &index.data_));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&index.deleted_));
+  if (index.data_.dim() != dim || index.deleted_.size() != index.data_.size()) {
+    return Status::IOError("IVF: inconsistent payload");
+  }
+  for (std::uint8_t d : index.deleted_) index.num_deleted_ += (d != 0);
+  // Posting lists are rebuilt, not persisted: routing is deterministic given
+  // the centroids.
+  if (trained) index.RouteAll();
+  return index;
 }
 
 }  // namespace ppanns

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <unordered_set>
+
+#include "index/top_k.h"
 
 namespace ppanns {
 
@@ -12,15 +13,28 @@ LshIndex::LshIndex(std::size_t dim, LshParams params, Rng& rng)
   PPANNS_CHECK(dim > 0);
   PPANNS_CHECK(params.num_tables > 0 && params.num_hashes > 0);
   PPANNS_CHECK(params.bucket_width > 0.0);
-  projections_.resize(params.num_tables);
-  offsets_.resize(params.num_tables);
-  tables_.resize(params.num_tables);
-  for (std::size_t t = 0; t < params.num_tables; ++t) {
-    projections_[t].resize(params.num_hashes * dim);
-    offsets_[t].resize(params.num_hashes);
+  InitProjections(rng);
+}
+
+LshIndex::LshIndex(std::size_t dim, LshParams params)
+    : dim_(dim), params_(params), data_(0, dim) {
+  PPANNS_CHECK(dim > 0);
+  PPANNS_CHECK(params.num_tables > 0 && params.num_hashes > 0);
+  PPANNS_CHECK(params.bucket_width > 0.0);
+  Rng rng(params.seed);
+  InitProjections(rng);
+}
+
+void LshIndex::InitProjections(Rng& rng) {
+  projections_.resize(params_.num_tables);
+  offsets_.resize(params_.num_tables);
+  tables_.resize(params_.num_tables);
+  for (std::size_t t = 0; t < params_.num_tables; ++t) {
+    projections_[t].resize(params_.num_hashes * dim_);
+    offsets_[t].resize(params_.num_hashes);
     for (auto& v : projections_[t]) v = static_cast<float>(rng.Gaussian());
     for (auto& b : offsets_[t]) {
-      b = static_cast<float>(rng.Uniform(0.0, params.bucket_width));
+      b = static_cast<float>(rng.Uniform(0.0, params_.bucket_width));
     }
   }
 }
@@ -55,10 +69,30 @@ std::uint64_t LshIndex::HashKey(const float* v, std::size_t table) const {
 
 VectorId LshIndex::Add(const float* v) {
   const VectorId id = data_.Append(v);
+  deleted_.push_back(0);
   for (std::size_t t = 0; t < params_.num_tables; ++t) {
     tables_[t][HashKey(v, t)].push_back(id);
   }
   return id;
+}
+
+Status LshIndex::Remove(VectorId id) {
+  if (id >= data_.size()) return Status::InvalidArgument("LSH: bad id");
+  if (deleted_[id]) return Status::NotFound("LSH: already deleted");
+  deleted_[id] = 1;
+  ++num_deleted_;
+  // The tombstoned row keeps its slot (ids stay dense), but its bucket
+  // entries are unhooked so it can never be a candidate again. Hashing is
+  // deterministic, so the keys are recoverable from the stored row.
+  for (std::size_t t = 0; t < params_.num_tables; ++t) {
+    const std::uint64_t key = HashKey(data_.row(id), t);
+    auto it = tables_[t].find(key);
+    if (it == tables_[t].end()) continue;
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (bucket.empty()) tables_[t].erase(it);
+  }
+  return Status::OK();
 }
 
 void LshIndex::AddBatch(const FloatMatrix& batch) {
@@ -102,23 +136,11 @@ std::vector<VectorId> LshIndex::Candidates(const float* query,
 
 std::vector<Neighbor> LshIndex::Search(const float* query, std::size_t k,
                                        std::size_t probes_per_table) const {
-  const std::vector<VectorId> cands = Candidates(query, probes_per_table);
-  std::priority_queue<Neighbor> heap;  // bounded max-heap
-  for (VectorId id : cands) {
-    const float dist = SquaredL2(data_.row(id), query, dim_);
-    if (heap.size() < k) {
-      heap.push(Neighbor{id, dist});
-    } else if (dist < heap.top().distance) {
-      heap.pop();
-      heap.push(Neighbor{id, dist});
-    }
+  TopK top(k);
+  for (VectorId id : Candidates(query, probes_per_table)) {
+    top.Offer(Neighbor{id, SquaredL2(data_.row(id), query, dim_)});
   }
-  std::vector<Neighbor> out(heap.size());
-  for (std::size_t i = heap.size(); i > 0; --i) {
-    out[i - 1] = heap.top();
-    heap.pop();
-  }
-  return out;
+  return top.ExtractSorted();
 }
 
 double LshIndex::AvgBucketSize() const {
@@ -126,6 +148,94 @@ double LshIndex::AvgBucketSize() const {
   std::size_t total = 0;
   for (const auto& [key, bucket] : tables_[0]) total += bucket.size();
   return static_cast<double>(total) / tables_[0].size();
+}
+
+std::size_t LshIndex::StorageBytes() const {
+  std::size_t bytes = data_.data().size() * sizeof(float) + deleted_.size();
+  for (const auto& proj : projections_) bytes += proj.size() * sizeof(float);
+  for (const auto& off : offsets_) bytes += off.size() * sizeof(float);
+  for (const auto& table : tables_) {
+    for (const auto& [key, bucket] : table) {
+      bytes += sizeof(key) + bucket.size() * sizeof(VectorId);
+    }
+  }
+  return bytes;
+}
+
+void LshIndex::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(0x504c5348);  // "PLSH"
+  out->Put<std::uint32_t>(1);
+  out->Put<std::uint64_t>(dim_);
+  out->Put<std::uint64_t>(params_.num_tables);
+  out->Put<std::uint64_t>(params_.num_hashes);
+  out->Put<double>(params_.bucket_width);
+  out->Put<std::uint64_t>(params_.seed);
+  // Projections are persisted (not re-derived from the seed): the index may
+  // have been constructed with an external Rng stream.
+  for (std::size_t t = 0; t < params_.num_tables; ++t) {
+    out->PutVector(projections_[t]);
+    out->PutVector(offsets_[t]);
+  }
+  PutMatrix(data_, out);
+  out->PutVector(deleted_);
+}
+
+Result<LshIndex> LshIndex::Deserialize(BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != 0x504c5348) return Status::IOError("LSH: bad magic");
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != 1) return Status::IOError("LSH: unsupported version");
+
+  std::uint64_t dim = 0, num_tables = 0, num_hashes = 0;
+  LshParams params;
+  PPANNS_RETURN_IF_ERROR(in->Get(&dim));
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_tables));
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_hashes));
+  PPANNS_RETURN_IF_ERROR(in->Get(&params.bucket_width));
+  PPANNS_RETURN_IF_ERROR(in->Get(&params.seed));
+  if (dim == 0 || num_tables == 0 || num_hashes == 0 ||
+      !(params.bucket_width > 0.0)) {
+    return Status::IOError("LSH: bad header");
+  }
+  // The serialized payload must actually hold num_tables x num_hashes x dim
+  // projection floats; a crafted header must not trigger a huge allocation
+  // in the constructor before the payload reads would catch it.
+  const std::uint64_t max_floats = in->remaining() / sizeof(float);
+  if (num_hashes > max_floats / dim ||                    // per-table block
+      num_tables > max_floats / (num_hashes * dim)) {     // all tables
+    return Status::IOError("LSH: header exceeds payload");
+  }
+  params.num_tables = num_tables;
+  params.num_hashes = num_hashes;
+
+  LshIndex index(dim, params);
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&index.projections_[t]));
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&index.offsets_[t]));
+    if (index.projections_[t].size() != num_hashes * dim ||
+        index.offsets_[t].size() != num_hashes) {
+      return Status::IOError("LSH: bad projection shape");
+    }
+  }
+  PPANNS_RETURN_IF_ERROR(GetMatrix(in, &index.data_));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&index.deleted_));
+  if (index.data_.dim() != dim || index.deleted_.size() != index.data_.size()) {
+    return Status::IOError("LSH: inconsistent payload");
+  }
+  // Buckets are rebuilt, not persisted: hashing is deterministic given the
+  // projections.
+  for (std::size_t i = 0; i < index.data_.size(); ++i) {
+    if (index.deleted_[i]) {
+      ++index.num_deleted_;
+      continue;
+    }
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      const auto id = static_cast<VectorId>(i);
+      index.tables_[t][index.HashKey(index.data_.row(i), t)].push_back(id);
+    }
+  }
+  return index;
 }
 
 }  // namespace ppanns

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -30,9 +31,17 @@ class LshIndex {
  public:
   LshIndex(std::size_t dim, LshParams params, Rng& rng);
 
+  /// Self-seeded variant: projections drawn from Rng(params.seed).
+  LshIndex(std::size_t dim, LshParams params);
+
   /// Inserts one vector; returns its id.
   VectorId Add(const float* v);
   void AddBatch(const FloatMatrix& data);
+
+  /// Tombstones `id` and unhooks it from every hash table, so it can never
+  /// surface as a candidate again. InvalidArgument if out of range, NotFound
+  /// if already deleted (matching HnswIndex::Remove).
+  Status Remove(VectorId id);
 
   /// Ids in buckets matching the query across all tables (deduplicated).
   /// `probes_per_table` > 0 additionally probes that many +-1 perturbations
@@ -45,14 +54,25 @@ class LshIndex {
   std::vector<Neighbor> Search(const float* query, std::size_t k,
                                std::size_t probes_per_table = 0) const;
 
-  std::size_t size() const { return data_.size(); }
+  bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }
+  std::size_t size() const { return data_.size() - num_deleted_; }
+  std::size_t capacity() const { return data_.size(); }
   std::size_t dim() const { return dim_; }
+  const LshParams& params() const { return params_; }
   const FloatMatrix& data() const { return data_; }
 
   /// Average bucket occupancy of table 0 (distribution sanity in tests).
   double AvgBucketSize() const;
 
+  /// Resident bytes: rows, projections/offsets, buckets, tombstone bitmap.
+  std::size_t StorageBytes() const;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<LshIndex> Deserialize(BinaryReader* in);
+
  private:
+  /// Draws the per-table projection vectors and offsets from `rng`.
+  void InitProjections(Rng& rng);
   /// Composite 64-bit key of `query` in `table`.
   std::uint64_t HashKey(const float* v, std::size_t table) const;
   /// Raw per-hash integer values (before mixing), for multi-probe.
@@ -68,6 +88,8 @@ class LshIndex {
   std::vector<std::vector<float>> projections_;
   std::vector<std::vector<float>> offsets_;
   std::vector<std::unordered_map<std::uint64_t, std::vector<VectorId>>> tables_;
+  std::vector<std::uint8_t> deleted_;
+  std::size_t num_deleted_ = 0;
 };
 
 }  // namespace ppanns

@@ -1,0 +1,115 @@
+// The pluggable filter-phase contract of the PP-ANNS scheme.
+//
+// Algorithm 2 fixes only what the filter phase must do — k'-ANNS over SAP
+// ciphertexts — not how. This interface abstracts the substrate so the
+// encrypted database can be backed by any of the index families the paper
+// names (proximity graphs, inverted files, locality-sensitive hashing) or by
+// an exact linear scan, chosen per deployment via PpannsParams::index_kind
+// and reconstructed transparently on load (the serialized envelope records
+// the backend).
+//
+// Contract highlights every adapter upholds:
+//  * Ids are dense, assigned in insertion order, and never reused; removed
+//    ids keep their slot (capacity() counts them, size() does not) so the
+//    DCE ciphertext array stays aligned by VectorId.
+//  * Search never returns a removed id.
+//  * Search is const and safe to call concurrently from many threads
+//    (the batched PpannsService facade relies on this).
+//  * Serialize/Deserialize round-trips to an identical index: the same
+//    queries return the same results before and after.
+
+#ifndef PPANNS_INDEX_SECURE_FILTER_INDEX_H_
+#define PPANNS_INDEX_SECURE_FILTER_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "index/brute_force.h"
+#include "index/hnsw.h"
+#include "index/ivf.h"
+#include "index/lsh.h"
+
+namespace ppanns {
+
+/// Per-backend construction knobs, bundled so call sites can configure every
+/// backend up front and switch kinds freely.
+struct SecureFilterIndexOptions {
+  HnswParams hnsw;
+  IvfParams ivf;
+  LshParams lsh;
+};
+
+/// Abstract k'-ANNS index over SAP ciphertexts (the filter phase substrate).
+class SecureFilterIndex {
+ public:
+  virtual ~SecureFilterIndex() = default;
+
+  virtual IndexKind kind() const = 0;
+
+  /// Inserts a vector (length dim()), returning its dense id.
+  virtual VectorId Add(const float* v) = 0;
+
+  /// Inserts all rows of `data` in order.
+  void AddBatch(const FloatMatrix& data) {
+    for (std::size_t i = 0; i < data.size(); ++i) Add(data.row(i));
+  }
+
+  /// Removes a vector. The id keeps its slot; it never appears in Search
+  /// results again. InvalidArgument if out of range, NotFound if already
+  /// removed.
+  virtual Status Remove(VectorId id) = 0;
+
+  /// Up to k (id, distance) pairs ascending by squared L2 distance over the
+  /// stored (ciphertext) vectors. `breadth` is the backend's search-width
+  /// knob — HNSW ef_search, IVF nprobe, LSH probes per table; the exact scan
+  /// ignores it. 0 picks a backend default scaled to k.
+  virtual std::vector<Neighbor> Search(const float* query, std::size_t k,
+                                       std::size_t breadth) const = 0;
+
+  virtual std::size_t size() const = 0;      ///< live vectors
+  virtual std::size_t capacity() const = 0;  ///< live + removed (= next id)
+  virtual std::size_t dim() const = 0;
+  virtual bool IsDeleted(VectorId id) const = 0;
+
+  /// The stored SAP ciphertext rows, aligned by VectorId (removed rows keep
+  /// their slot).
+  virtual const FloatMatrix& data() const = 0;
+
+  /// Total resident bytes of the index (space accounting, Section V-C).
+  virtual std::size_t StorageBytes() const = 0;
+
+  /// Writes a self-describing envelope (backend kind + payload) that
+  /// DeserializeSecureFilterIndex can reconstruct without external context.
+  virtual void Serialize(BinaryWriter* out) const = 0;
+
+  /// Downcast hook for graph-specific diagnostics (edge inspection, HNSW
+  /// stats). Null for non-graph backends.
+  virtual const HnswIndex* AsHnsw() const { return nullptr; }
+};
+
+/// Creates an empty index of `kind` for d-dimensional vectors.
+Result<std::unique_ptr<SecureFilterIndex>> MakeSecureFilterIndex(
+    IndexKind kind, std::size_t dim, const SecureFilterIndexOptions& options = {});
+
+/// Wraps an already-built HNSW index (legacy v1 packages, graph tooling).
+std::unique_ptr<SecureFilterIndex> WrapHnswIndex(HnswIndex index);
+
+/// Reads the envelope written by SecureFilterIndex::Serialize and
+/// reconstructs the matching backend.
+Result<std::unique_ptr<SecureFilterIndex>> DeserializeSecureFilterIndex(
+    BinaryReader* in);
+
+/// "hnsw" | "ivf" | "lsh" | "brute".
+const char* IndexKindName(IndexKind kind);
+
+/// Inverse of IndexKindName; InvalidArgument on unknown names.
+Result<IndexKind> ParseIndexKind(const std::string& name);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_SECURE_FILTER_INDEX_H_

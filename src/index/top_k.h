@@ -1,0 +1,47 @@
+// Bounded top-k accumulator shared by the scan-style indexes: keeps the k
+// closest (id, distance) pairs seen so far in a max-heap and extracts them
+// ascending. Ties at the boundary keep the first-seen entry (strict `<` on
+// distance), matching the historical behavior of every call site.
+
+#ifndef PPANNS_INDEX_TOP_K_H_
+#define PPANNS_INDEX_TOP_K_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ppanns {
+
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) {}
+
+  void Offer(Neighbor n) {
+    if (heap_.size() < k_) {
+      heap_.push(n);
+    } else if (!heap_.empty() && n.distance < heap_.top().distance) {
+      heap_.pop();
+      heap_.push(n);
+    }
+  }
+
+  /// Drains the heap, ascending by (distance, id).
+  std::vector<Neighbor> ExtractSorted() {
+    std::vector<Neighbor> out(heap_.size());
+    for (std::size_t i = heap_.size(); i > 0; --i) {
+      out[i - 1] = heap_.top();
+      heap_.pop();
+    }
+    return out;
+  }
+
+ private:
+  std::size_t k_;
+  std::priority_queue<Neighbor> heap_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_INDEX_TOP_K_H_

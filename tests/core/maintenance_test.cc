@@ -1,0 +1,159 @@
+// Maintenance tests (Section V-D) across every SecureFilterIndex backend:
+// insert-then-search finds the new vector, delete-then-search never returns
+// the tombstoned id, and the post-maintenance package survives a
+// serialization round trip — identically on hnsw, ivf, lsh, and brute.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/cloud_server.h"
+#include "core/data_owner.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+
+namespace ppanns {
+namespace {
+
+struct BackendSystem {
+  Dataset dataset;
+  std::unique_ptr<DataOwner> owner;
+  std::unique_ptr<CloudServer> server;
+  std::unique_ptr<QueryClient> client;
+};
+
+// beta = 0 (pure scaling, no SAP noise) makes re-encryptions of the same
+// plaintext land on identical SAP ciphertexts, so an inserted duplicate of
+// the query is guaranteed to be a filter candidate on every backend —
+// including LSH, where it shares all hash buckets with the query.
+BackendSystem BuildBackend(IndexKind kind, std::size_t n, std::uint64_t seed) {
+  const std::size_t dim = 16;
+  BackendSystem sys;
+  sys.dataset = MakeDataset(SyntheticKind::kGloveLike, n, 4, 0, seed, dim);
+
+  PpannsParams params;
+  params.dcpe_beta = 0.0;
+  params.dce_scale_hint = 4.0;
+  params.index_kind = kind;
+  params.hnsw = HnswParams{.m = 8, .ef_construction = 80, .seed = seed};
+  params.ivf = IvfParams{.num_lists = 8, .train_iters = 5, .seed = seed};
+  params.lsh = LshParams{.num_tables = 8, .num_hashes = 4, .bucket_width = 8.0,
+                         .seed = seed};
+  params.seed = seed;
+
+  auto owner = DataOwner::Create(dim, params);
+  PPANNS_CHECK(owner.ok());
+  sys.owner = std::make_unique<DataOwner>(std::move(*owner));
+  sys.server =
+      std::make_unique<CloudServer>(sys.owner->EncryptAndIndex(sys.dataset.base));
+  sys.client = std::make_unique<QueryClient>(sys.owner->ShareKeys(), seed + 1);
+  return sys;
+}
+
+constexpr IndexKind kAllKinds[] = {IndexKind::kHnsw, IndexKind::kIvf,
+                                   IndexKind::kLsh, IndexKind::kBruteForce};
+
+class BackendMaintenanceTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(BackendMaintenanceTest, InsertedVectorIsFoundAsNearestNeighbor) {
+  BackendSystem sys = BuildBackend(GetParam(), 300, /*seed=*/21);
+  const std::size_t dim = sys.dataset.base.dim();
+
+  // Insert an exact duplicate of query 0: its plaintext distance is zero, so
+  // the refine phase must rank it first once the filter surfaces it.
+  const float* q = sys.dataset.queries.row(0);
+  EncryptedVector ev = sys.owner->EncryptOne(q);
+  ASSERT_EQ(ev.sap.size(), dim);
+  const VectorId new_id = sys.server->Insert(ev);
+  EXPECT_EQ(new_id, 300u);
+  EXPECT_EQ(sys.server->size(), 301u);
+
+  QueryToken token = sys.client->EncryptQuery(q);
+  SearchResult r = sys.server->Search(
+      token, 5, SearchSettings{.k_prime = 40});
+  ASSERT_FALSE(r.ids.empty()) << IndexKindName(GetParam());
+  EXPECT_EQ(r.ids[0], new_id)
+      << "inserted vector not found as own NN on "
+      << IndexKindName(GetParam());
+}
+
+TEST_P(BackendMaintenanceTest, DeletedVectorNeverReturnsInResults) {
+  BackendSystem sys = BuildBackend(GetParam(), 300, /*seed=*/22);
+
+  for (std::size_t qi = 0; qi < sys.dataset.queries.size(); ++qi) {
+    const float* q = sys.dataset.queries.row(qi);
+    QueryToken token = sys.client->EncryptQuery(q);
+    SearchResult before = sys.server->Search(
+        token, 5, SearchSettings{.k_prime = 40});
+    ASSERT_FALSE(before.ids.empty()) << IndexKindName(GetParam());
+    const VectorId victim = before.ids[0];
+
+    ASSERT_TRUE(sys.server->Delete(victim).ok());
+    QueryToken token2 = sys.client->EncryptQuery(q);
+    SearchResult after = sys.server->Search(
+        token2, 5, SearchSettings{.k_prime = 40});
+    for (VectorId id : after.ids) {
+      EXPECT_NE(id, victim) << "tombstoned id returned on "
+                            << IndexKindName(GetParam());
+    }
+  }
+}
+
+TEST_P(BackendMaintenanceTest, DeleteErrorsMatchAcrossBackends) {
+  BackendSystem sys = BuildBackend(GetParam(), 300, /*seed=*/23);
+  ASSERT_TRUE(sys.server->Delete(3).ok());
+  EXPECT_EQ(sys.server->Delete(3).code(), Status::Code::kNotFound);
+  EXPECT_EQ(sys.server->Delete(9999).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_P(BackendMaintenanceTest, PostMaintenancePackageRoundTrips) {
+  BackendSystem sys = BuildBackend(GetParam(), 300, /*seed=*/24);
+
+  // Mutate: one insert, one delete.
+  EncryptedVector ev = sys.owner->EncryptOne(sys.dataset.queries.row(0));
+  sys.server->Insert(ev);
+  ASSERT_TRUE(sys.server->Delete(7).ok());
+
+  BinaryWriter w;
+  sys.server->SerializeDatabase(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = EncryptedDatabase::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->index->kind(), GetParam());
+  EXPECT_EQ(loaded->index->capacity(), 301u);
+  EXPECT_EQ(loaded->index->size(), 300u);
+  EXPECT_TRUE(loaded->index->IsDeleted(7));
+
+  CloudServer reloaded(std::move(*loaded));
+  for (std::size_t qi = 0; qi < sys.dataset.queries.size(); ++qi) {
+    QueryToken token = sys.client->EncryptQuery(sys.dataset.queries.row(qi));
+    SearchResult a = sys.server->Search(token, 10, SearchSettings{.k_prime = 40});
+    SearchResult b = reloaded.Search(token, 10, SearchSettings{.k_prime = 40});
+    EXPECT_EQ(a.ids, b.ids) << "query " << qi << " diverged after reload on "
+                            << IndexKindName(GetParam());
+  }
+}
+
+TEST(PackageIntegrityTest, BlankCiphertextForLiveVectorRejected) {
+  // A tombstoned (empty) DCE payload is only legal when the index agrees the
+  // id is deleted — otherwise the refine phase would read out of bounds.
+  BackendSystem sys = BuildBackend(IndexKind::kHnsw, 50, /*seed=*/25);
+  EncryptedDatabase db = sys.owner->EncryptAndIndex(sys.dataset.base);
+  db.dce[5].data.clear();  // blank a live vector's ciphertext
+
+  BinaryWriter w;
+  db.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = EncryptedDatabase::Deserialize(&r);
+  EXPECT_FALSE(loaded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendMaintenanceTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           return IndexKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace ppanns

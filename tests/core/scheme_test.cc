@@ -238,10 +238,24 @@ TEST(SchemeTest, EncryptedDatabaseSerializationRoundTrip) {
 
 TEST(SchemeTest, TokenByteSizeMatchesCostModel) {
   // Communication accounting (Section V-C): the upload is one SAP vector +
-  // one DCE trapdoor + k. For d = 24 (padded to 24): 24*4 + (2*24+16)*8 + 4.
+  // one DCE trapdoor, each with a uint64 length prefix. For d = 24 (padded
+  // to 24): 8 + 24*4 + 8 + (2*24+16)*8.
   TestSystem sys = BuildSystem(100, 1, /*beta=*/1.0, /*seed=*/10);
   QueryToken token = sys.client->EncryptQuery(sys.dataset.queries.row(0));
-  EXPECT_EQ(token.ByteSize(), 24 * 4 + (2 * 24 + 16) * 8 + 4);
+  EXPECT_EQ(token.ByteSize(), 16u + 24 * 4 + (2 * 24 + 16) * 8);
+
+  // ByteSize must equal what actually crosses the wire.
+  BinaryWriter w;
+  token.Serialize(&w);
+  EXPECT_EQ(w.buffer().size(), token.ByteSize());
+
+  // And the wire round trip must reconstruct the token exactly.
+  BinaryReader r(w.buffer());
+  auto loaded = QueryToken::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sap, token.sap);
+  EXPECT_EQ(loaded->trapdoor.data, token.trapdoor.data);
+  EXPECT_TRUE(r.AtEnd());
 }
 
 TEST(SchemeTest, ParallelEncryptionEquivalentAndDeterministic) {

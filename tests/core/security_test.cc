@@ -185,10 +185,12 @@ TEST(SecurityTest, GraphEdgesDifferFromPlaintextGraph) {
   ASSERT_TRUE(owner.ok());
   CloudServer server(owner->EncryptAndIndex(ds.base));
 
+  const HnswIndex* encrypted = server.index().AsHnsw();
+  ASSERT_NE(encrypted, nullptr);
   std::size_t common = 0, total = 0;
   for (VectorId id = 0; id < 600; ++id) {
     const auto& pe = plain.NeighborsAt(id, 0);
-    const auto& ee = server.index().NeighborsAt(id, 0);
+    const auto& ee = encrypted->NeighborsAt(id, 0);
     const std::set<VectorId> ps(pe.begin(), pe.end());
     for (VectorId nb : ee) common += ps.count(nb);
     total += ee.size();

@@ -3,37 +3,52 @@
 // Typical flow (mirrors Fig. 1 of the paper):
 //   ppanns_cli synth   --kind sift --n 20000 --out base.fvecs
 //   ppanns_cli keygen  --dim 128 --beta 120 --scale 1600 --out keys.bin
-//   ppanns_cli encrypt --keys keys.bin --input base.fvecs --out db.ppanns
+//   ppanns_cli encrypt --keys keys.bin --input base.fvecs --out db.ppanns \
+//                      --index hnsw
 //   ppanns_cli search  --keys keys.bin --db db.ppanns --queries q.fvecs \
-//                      --k 10 --kprime 80 --ef 160
+//                      --k 10 --kprime 80 --ef 160 --batch
 //   ppanns_cli info    --db db.ppanns
 //
 // keys.bin is the owner/user secret (never give it to the cloud);
 // db.ppanns is the outsourced package (safe to hand to the cloud).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "common/io.h"
 #include "common/timer.h"
-#include "core/cloud_server.h"
 #include "core/data_owner.h"
+#include "core/ppanns_service.h"
 #include "core/query_client.h"
 #include "datagen/synthetic.h"
+#include "index/secure_filter_index.h"
 
 namespace {
 
 using namespace ppanns;
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Minimal --flag parser; flags may appear in any order. `--key value` binds
+/// the value; a `--key` followed by another flag (or by nothing — trailing
+/// flags are kept, not dropped) is a boolean. Numeric accessors reject
+/// malformed input with exit(2) rather than silently reading 0.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "stray argument '%s' (flags are --key [value])\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      const char* key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
     }
   }
 
@@ -41,13 +56,34 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    return it->second.empty() || it->second == "1" || it->second == "true";
+  }
   std::size_t GetSize(const std::string& key, std::size_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (it->second.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "invalid numeric value for --%s: '%s'\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "invalid numeric value for --%s: '%s'\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   bool Require(const std::string& key) const {
     if (values_.count(key) > 0) return true;
@@ -67,9 +103,12 @@ int Usage() {
                "  keygen  --dim D --out keys.bin [--beta B] [--s S] "
                "[--scale NORM] [--seed S]\n"
                "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
-               "[--m M] [--efc E]\n"
+               "[--index hnsw|ivf|lsh|brute]\n"
+               "          [--m M] [--efc E] [--lists L] [--tables T] "
+               "[--hashes H] [--width W]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
-               "[--k K] [--kprime KP] [--ef EF] [--out results.txt]\n"
+               "[--k K] [--kprime KP] [--ef EF]\n"
+               "          [--batch] [--index KIND] [--out results.txt]\n"
                "  info    --db db.ppanns\n");
   return 2;
 }
@@ -163,17 +202,39 @@ int CmdEncrypt(const Args& args) {
     return 1;
   }
 
-  // Build the outsourced package: DCPE+DCE layers + HNSW over the SAP side.
-  HnswParams hnsw{.m = args.GetSize("m", 16),
-                  .ef_construction = args.GetSize("efc", 200),
-                  .seed = args.GetSize("seed", 7)};
-  Rng rng(hnsw.seed ^ 0xD07A0A37);
-  EncryptedDatabase db{HnswIndex(data->dim(), hnsw), {}};
+  // Build the outsourced package: DCPE+DCE layers + the chosen filter index
+  // over the SAP side. The backend kind is serialized with the database.
+  auto kind = ParseIndexKind(args.GetString("index", "hnsw"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  const std::uint64_t seed = args.GetSize("seed", 7);
+  PpannsParams params;
+  params.dcpe_s = (*keys)->dcpe.key().s;
+  params.index_kind = *kind;
+  params.hnsw = HnswParams{.m = args.GetSize("m", 16),
+                           .ef_construction = args.GetSize("efc", 200),
+                           .seed = seed};
+  params.ivf.num_lists = args.GetSize("lists", 64);
+  params.lsh.num_tables = args.GetSize("tables", 8);
+  params.lsh.num_hashes = args.GetSize("hashes", 8);
+  params.lsh.bucket_width = args.GetDouble("width", 4.0);  // plaintext units
+  params.seed = seed;
+
+  auto index =
+      MakeSecureFilterIndex(*kind, data->dim(), params.FilterOptions());
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(seed ^ 0xD07A0A37);
+  EncryptedDatabase db{std::move(*index), {}};
   std::vector<float> sap(data->dim());
   Timer t;
   for (std::size_t i = 0; i < data->size(); ++i) {
     (*keys)->dcpe.Encrypt(data->row(i), sap.data(), rng);
-    db.index.Add(sap.data());
+    db.index->Add(sap.data());
     db.dce.push_back((*keys)->dce.Encrypt(data->row(i), rng));
   }
   BinaryWriter w;
@@ -183,9 +244,9 @@ int CmdEncrypt(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("encrypted + indexed %zu vectors in %.1fs -> %s (%.1f MB)\n",
-              data->size(), t.ElapsedSeconds(), args.GetString("out").c_str(),
-              w.buffer().size() / 1e6);
+  std::printf("encrypted + indexed %zu vectors (%s) in %.1fs -> %s (%.1f MB)\n",
+              data->size(), IndexKindName(*kind), t.ElapsedSeconds(),
+              args.GetString("out").c_str(), w.buffer().size() / 1e6);
   return 0;
 }
 
@@ -212,8 +273,30 @@ int CmdSearch(const Args& args) {
     std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
     return 1;
   }
+  // Validate before encrypting: QueryClient reads keys->dim() floats per row.
+  if (queries->dim() != (*keys)->dce.dim()) {
+    std::fprintf(stderr, "dimension mismatch: keys=%zu queries=%zu\n",
+                 (*keys)->dce.dim(), queries->dim());
+    return 1;
+  }
 
-  CloudServer server(std::move(*db));
+  PpannsService service{CloudServer(std::move(*db))};
+  // --index on search is an assertion: fail fast if the package was built
+  // with a different backend than the caller expects.
+  const std::string want_kind = args.GetString("index");
+  if (!want_kind.empty()) {
+    auto kind = ParseIndexKind(want_kind);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      return 2;
+    }
+    if (*kind != service.index_kind()) {
+      std::fprintf(stderr, "database is backed by '%s', not '%s'\n",
+                   IndexKindName(service.index_kind()), want_kind.c_str());
+      return 1;
+    }
+  }
+
   QueryClient client(*keys, args.GetSize("seed", 99));
   const std::size_t k = args.GetSize("k", 10);
   SearchSettings settings{.k_prime = args.GetSize("kprime", 4 * k),
@@ -229,19 +312,57 @@ int CmdSearch(const Args& args) {
     }
   }
 
-  Timer t;
-  for (std::size_t i = 0; i < queries->size(); ++i) {
-    QueryToken token = client.EncryptQuery(queries->row(i));
-    SearchResult result = server.Search(token, k, settings);
+  auto print_result = [out](std::size_t i, const SearchResult& result) {
     std::fprintf(out, "query %zu:", i);
     for (VectorId id : result.ids) std::fprintf(out, " %u", id);
     std::fprintf(out, "\n");
+  };
+
+  int exit_code = 0;
+  Timer t;
+  if (args.GetBool("batch")) {
+    // One validated batch call, fanned across the thread pool.
+    std::vector<QueryToken> tokens;
+    tokens.reserve(queries->size());
+    for (std::size_t i = 0; i < queries->size(); ++i) {
+      tokens.push_back(client.EncryptQuery(queries->row(i)));
+    }
+    auto batch = service.SearchBatch(tokens, k, settings);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "search: %s\n", batch.status().ToString().c_str());
+      exit_code = 1;
+    } else {
+      for (std::size_t i = 0; i < batch->results.size(); ++i) {
+        print_result(i, batch->results[i]);
+      }
+      std::fprintf(stderr,
+                   "batch: %zu queries, %.3fs wall (%.1f QPS), %zu filter "
+                   "candidates, %zu DCE comparisons\n",
+                   batch->counters.num_queries, batch->counters.wall_seconds,
+                   batch->counters.num_queries / batch->counters.wall_seconds,
+                   batch->counters.total_filter_candidates,
+                   batch->counters.total_dce_comparisons);
+    }
+  } else {
+    for (std::size_t i = 0; i < queries->size(); ++i) {
+      QueryToken token = client.EncryptQuery(queries->row(i));
+      auto result = service.Search(token, k, settings);
+      if (!result.ok()) {
+        std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
+        exit_code = 1;
+        break;
+      }
+      print_result(i, *result);
+    }
+    const double secs = t.ElapsedSeconds();
+    if (exit_code == 0) {
+      std::fprintf(stderr, "%zu queries in %.3fs (%.1f QPS incl. client-side "
+                   "encryption)\n", queries->size(), secs,
+                   queries->size() / secs);
+    }
   }
-  const double secs = t.ElapsedSeconds();
-  std::fprintf(stderr, "%zu queries in %.3fs (%.1f QPS incl. client-side "
-               "encryption)\n", queries->size(), secs, queries->size() / secs);
   if (out != stdout) std::fclose(out);
-  return 0;
+  return exit_code;
 }
 
 int CmdInfo(const Args& args) {
@@ -257,16 +378,21 @@ int CmdInfo(const Args& args) {
     std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  const HnswStats stats = db->index.ComputeStats();
+  const SecureFilterIndex& index = *db->index;
   std::printf("encrypted database: %s\n", args.GetString("db").c_str());
-  std::printf("  vectors:        %zu live (%zu deleted)\n", stats.num_nodes,
-              stats.num_deleted);
-  std::printf("  dimension:      %zu\n", db->index.dim());
-  std::printf("  graph:          m=%zu efc=%zu, max level %d, avg degree "
-              "%.1f\n", db->index.params().m, db->index.params().ef_construction,
-              stats.max_level, stats.avg_out_degree_level0);
+  std::printf("  index backend:  %s\n", IndexKindName(index.kind()));
+  std::printf("  vectors:        %zu live (%zu deleted)\n", index.size(),
+              index.capacity() - index.size());
+  std::printf("  dimension:      %zu\n", index.dim());
+  if (const HnswIndex* hnsw = index.AsHnsw()) {
+    const HnswStats stats = hnsw->ComputeStats();
+    std::printf("  graph:          m=%zu efc=%zu, max level %d, avg degree "
+                "%.1f\n", hnsw->params().m, hnsw->params().ef_construction,
+                stats.max_level, stats.avg_out_degree_level0);
+  }
   std::printf("  SAP layer:      %.1f MB\n",
-              db->index.data().data().size() * sizeof(float) / 1e6);
+              index.data().data().size() * sizeof(float) / 1e6);
+  std::printf("  index total:    %.1f MB\n", index.StorageBytes() / 1e6);
   std::printf("  DCE layer:      %.1f MB\n", db->DceBytes() / 1e6);
   return 0;
 }
