@@ -122,6 +122,25 @@ inline const std::vector<SyntheticKind>& AllKinds() {
   return kinds;
 }
 
+/// Opens the machine-readable sidecar for a bench binary: one JSON object
+/// per line, so perf trajectories land in BENCH_<name>.json next to the
+/// human-readable stdout tables. PPANNS_BENCH_JSON overrides the path;
+/// PPANNS_BENCH_JSON=0 disables the sidecar. May return nullptr — callers
+/// must guard.
+inline std::FILE* OpenBenchJson(const char* bench_name) {
+  const char* env = std::getenv("PPANNS_BENCH_JSON");
+  if (env != nullptr && std::string(env) == "0") return nullptr;
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : std::string("BENCH_") + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for JSON output\n",
+                 path.c_str());
+  }
+  return f;
+}
+
 inline void PrintBanner(const char* title, const char* paper_ref) {
   std::printf("=================================================================\n");
   std::printf("%s\n", title);

@@ -35,19 +35,49 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+// The pool whose worker is executing on this thread (null outside workers),
+// so a nested ParallelFor can detect it must not block on the pool it is
+// running inside — fanning out to a *different* pool stays parallel.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 void ThreadPool::ParallelFor(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  if (t_worker_pool == this || n == 1) {
+    // Nested call (or nothing to split): run inline. Submitting and waiting
+    // from a worker deadlocks once every worker is the one waiting.
+    fn(0, n);
+    return;
+  }
+
   const std::size_t chunks = std::min(n, num_threads() * 4);
   const std::size_t step = (n + chunks - 1) / chunks;
+
+  // Per-call completion latch: Wait()-style global tracking would make two
+  // concurrent ParallelFor callers block on each other's unrelated tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } latch;
+  latch.remaining = (n + step - 1) / step;
+
   for (std::size_t begin = 0; begin < n; begin += step) {
     const std::size_t end = std::min(begin + step, n);
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit([&fn, &latch, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -31,7 +31,15 @@ class ThreadPool {
   void Wait();
 
   /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
-  /// pool, blocking until all chunks complete.
+  /// pool, blocking until all chunks complete. Hardened edge cases:
+  ///  * n == 0 returns immediately without invoking `fn`;
+  ///  * n < num_threads() produces exactly n single-element chunks (never an
+  ///    empty chunk);
+  ///  * completion is tracked per call, so concurrent ParallelFor calls from
+  ///    different threads do not wait on each other's work;
+  ///  * a call from inside a pool worker runs inline on the calling thread
+  ///    (nested fan-out would otherwise deadlock with every worker blocked
+  ///    in a wait).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
   std::size_t num_threads() const { return workers_.size(); }

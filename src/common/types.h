@@ -12,6 +12,21 @@ namespace ppanns {
 /// Identifier of a database vector. Dense in [0, n).
 using VectorId = std::uint32_t;
 
+/// Identifier of a shard in a sharded encrypted database. Dense in [0, S).
+using ShardId = std::uint32_t;
+
+/// Location of a global vector inside a sharded database: the shard that
+/// holds it and its dense local id within that shard. Trivially copyable so
+/// manifests serialize as flat arrays.
+struct ShardRef {
+  ShardId shard = 0;
+  VectorId local = 0;
+
+  friend bool operator==(const ShardRef& a, const ShardRef& b) {
+    return a.shard == b.shard && a.local == b.local;
+  }
+};
+
 /// Which k'-ANNS substrate backs the filter phase (Algorithm 2, line 1).
 /// The paper fixes only the filter contract — k'-ANNS over SAP ciphertexts —
 /// so any of the index families it names (proximity graphs, inverted files,

@@ -12,8 +12,7 @@ SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
   SearchResult result;
   if (k == 0 || db_.index->size() == 0) return result;
 
-  const std::size_t k_prime =
-      settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
 
   // ---- Filter phase (Algorithm 2, line 1): k'-ANNS over SAP ciphertexts on
   // the configured backend; distances are computed on the encrypted vectors

@@ -26,6 +26,13 @@ struct SearchSettings {
   bool refine = true;         ///< false = filter-only (the Fig. 4/6 baseline)
 };
 
+/// The filter-phase candidate budget rule (Section V-B): an explicit k' is
+/// clamped to at least k; unset defaults to 4k. Shared by CloudServer and
+/// ShardedCloudServer so both topologies spend the identical budget.
+inline std::size_t ResolveKPrime(const SearchSettings& settings, std::size_t k) {
+  return settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
+}
+
 /// Instrumentation for the cost analyses (Fig. 6 / Fig. 9).
 struct SearchCounters {
   std::size_t filter_candidates = 0;

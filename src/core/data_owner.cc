@@ -6,6 +6,9 @@ namespace ppanns {
 
 Result<DataOwner> DataOwner::Create(std::size_t dim,
                                     const PpannsParams& params) {
+  if (params.num_shards == 0) {
+    return Status::InvalidArgument("DataOwner: num_shards must be >= 1");
+  }
   Rng key_rng(params.seed);
   Result<DceScheme> dce = DceScheme::KeyGen(dim, key_rng, params.dce_scale_hint);
   if (!dce.ok()) return dce.status();
@@ -15,6 +18,23 @@ Result<DataOwner> DataOwner::Create(std::size_t dim,
 
   auto keys =
       std::make_shared<const SecretKeys>(std::move(*dce), std::move(*dcpe));
+  return DataOwner(dim, params, std::move(keys));
+}
+
+Result<DataOwner> DataOwner::FromKeys(SecretKeysPtr keys, std::size_t dim,
+                                      const PpannsParams& params) {
+  if (params.num_shards == 0) {
+    return Status::InvalidArgument("DataOwner: num_shards must be >= 1");
+  }
+  if (keys == nullptr) {
+    return Status::InvalidArgument("DataOwner: null key bundle");
+  }
+  if (keys->dce.dim() != dim || keys->dcpe.dim() != dim) {
+    return Status::InvalidArgument(
+        "DataOwner: key bundle (DCE dim " + std::to_string(keys->dce.dim()) +
+        ", DCPE dim " + std::to_string(keys->dcpe.dim()) +
+        ") does not match data dimension " + std::to_string(dim));
+  }
   return DataOwner(dim, params, std::move(keys));
 }
 
@@ -62,9 +82,69 @@ EncryptedDatabase DataOwner::EncryptAndIndexParallel(const FloatMatrix& data) {
   return db;
 }
 
-std::unique_ptr<SecureFilterIndex> DataOwner::MakeFilterIndex() const {
-  auto index =
-      MakeSecureFilterIndex(params_.index_kind, dim_, params_.FilterOptions());
+ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
+    const FloatMatrix& data) {
+  PPANNS_CHECK(data.dim() == dim_);
+  const std::size_t num_shards = params_.num_shards;
+
+  ShardedEncryptedDatabase db;
+  db.shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    db.shards.push_back(
+        EncryptedDatabase{MakeFilterIndex(static_cast<ShardId>(s)), {}});
+  }
+
+  // Sequential SAP pass in global row order: the rng consumption matches
+  // EncryptAndIndexParallel exactly (SAP-only pass, DCE randomness derived
+  // per row), so the same (seed, data) yields the same SAP ciphertext per
+  // row under any shard count. (EncryptAndIndex interleaves DCE draws into
+  // the shared stream and therefore produces different SAP noise.)
+  FloatMatrix sap(data.size(), dim_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    keys_->dcpe.Encrypt(data.row(i), sap.row(i), rng_);
+  }
+
+  // Round-robin partition: global id i lives at (i % S, i / S). Recorded in
+  // the manifest before the parallel passes so they can write into
+  // pre-sized per-shard slots.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    db.manifest.Append(static_cast<ShardId>(i % num_shards),
+                       static_cast<VectorId>(i / num_shards));
+    db.shards[i % num_shards].dce.emplace_back();
+  }
+
+  // Parallel per-shard graph build: each shard's insertions stay in local
+  // order (graph construction is order-dependent), but independent shards
+  // proceed concurrently.
+  ThreadPool::Global().ParallelFor(
+      num_shards, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          for (std::size_t i = s; i < data.size(); i += num_shards) {
+            const VectorId local = db.shards[s].index->Add(sap.row(i));
+            PPANNS_CHECK(local == i / num_shards);
+          }
+        }
+      });
+
+  // Parallel DCE pass with the same per-row derived randomness as
+  // EncryptAndIndexParallel: ciphertexts are identical across shard counts
+  // and independent of chunking.
+  const std::uint64_t base_seed = params_.seed ^ 0xDCE0DCE0DCE0ull;
+  ThreadPool::Global().ParallelFor(
+      data.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng row_rng(base_seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+          db.shards[i % num_shards].dce[i / num_shards] =
+              keys_->dce.Encrypt(data.row(i), row_rng);
+        }
+      });
+  return db;
+}
+
+std::unique_ptr<SecureFilterIndex> DataOwner::MakeFilterIndex(
+    ShardId shard) const {
+  auto index = MakeSecureFilterIndex(params_.index_kind, dim_,
+                                     params_.FilterOptions(shard));
   PPANNS_CHECK(index.ok());  // dim_ was validated at Create
   return std::move(*index);
 }

@@ -12,6 +12,7 @@
 #include "common/types.h"
 #include "core/encrypted_database.h"
 #include "core/keys.h"
+#include "core/sharded_database.h"
 
 namespace ppanns {
 
@@ -19,6 +20,11 @@ class DataOwner {
  public:
   /// Generates fresh keys for d-dimensional data.
   static Result<DataOwner> Create(std::size_t dim, const PpannsParams& params);
+
+  /// Wraps an existing key bundle (e.g. loaded from a keygen file) instead
+  /// of generating one; validates that the keys match `dim`.
+  static Result<DataOwner> FromKeys(SecretKeysPtr keys, std::size_t dim,
+                                    const PpannsParams& params);
 
   /// Encrypts every row of `data` (DCPE + DCE) and builds the filter index
   /// (params.index_kind) over the SAP ciphertexts (never the plaintexts —
@@ -32,6 +38,18 @@ class DataOwner {
   /// result is deterministic for a given (seed, data) regardless of thread
   /// scheduling.
   EncryptedDatabase EncryptAndIndexParallel(const FloatMatrix& data);
+
+  /// Partitions the dataset round-robin across params.num_shards shards and
+  /// produces the sharded outsourced package. Per-shard graph construction
+  /// runs in parallel on the global ThreadPool — the first build-time
+  /// speedup that scales with cores, since shards are independent (a single
+  /// graph's insertions are order-dependent and stay sequential). Consumes
+  /// owner randomness exactly like EncryptAndIndexParallel (sequential
+  /// SAP-only pass in global row order, per-row derived DCE randomness), so
+  /// for a given (seed, data) every row's SAP ciphertext is identical under
+  /// any shard count and the package is deterministic regardless of thread
+  /// scheduling.
+  ShardedEncryptedDatabase EncryptAndIndexSharded(const FloatMatrix& data);
 
   /// Encrypts a single new vector for insertion (Section V-D); the pair is
   /// sent to the server, which links it into the graph.
@@ -48,8 +66,9 @@ class DataOwner {
       : dim_(dim), params_(std::move(params)), keys_(std::move(keys)),
         rng_(params_.seed ^ 0xD07A0A37) {}
 
-  /// Constructs the empty filter index configured by params_.index_kind.
-  std::unique_ptr<SecureFilterIndex> MakeFilterIndex() const;
+  /// Constructs the empty filter index configured by params_.index_kind;
+  /// `shard` decorrelates the randomized structures across shards.
+  std::unique_ptr<SecureFilterIndex> MakeFilterIndex(ShardId shard = 0) const;
 
   std::size_t dim_;
   PpannsParams params_;

@@ -35,16 +35,27 @@ struct PpannsParams {
   HnswParams hnsw;         ///< graph construction parameters
   IvfParams ivf;           ///< inverted-file parameters
   LshParams lsh;           ///< hashing parameters
+  /// Number of database partitions (Section V north-star scaling). 1 keeps
+  /// the paper's single-index layout; > 1 makes DataOwner produce a
+  /// ShardedEncryptedDatabase whose per-shard indexes build in parallel and
+  /// are searched scatter-gather by ShardedCloudServer.
+  std::uint32_t num_shards = 1;
   std::uint64_t seed = 0xC0FFEE;
 
   /// Resolves the per-backend options for index construction: LSH widths are
   /// rescaled into ciphertext space, and backend seeds are mixed with the
-  /// deployment seed so two deployments never share projections.
-  SecureFilterIndexOptions FilterOptions() const {
+  /// deployment seed so two deployments never share projections. `shard`
+  /// additionally decorrelates the randomized structures (HNSW levels, IVF
+  /// centroids, LSH projections) across shards of one deployment.
+  SecureFilterIndexOptions FilterOptions(ShardId shard = 0) const {
     SecureFilterIndexOptions options{hnsw, ivf, lsh};
+    // shard 0 reproduces the historical single-index options bit-for-bit.
+    const std::uint64_t shard_mix =
+        shard == 0 ? 0 : 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(shard);
+    options.hnsw.seed = hnsw.seed ^ shard_mix;
     options.lsh.bucket_width = lsh.bucket_width * dcpe_s;
-    options.ivf.seed = ivf.seed ^ seed;
-    options.lsh.seed = lsh.seed ^ seed;
+    options.ivf.seed = ivf.seed ^ seed ^ shard_mix;
+    options.lsh.seed = lsh.seed ^ seed ^ shard_mix;
     return options;
   }
 };

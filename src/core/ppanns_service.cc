@@ -23,22 +23,68 @@ Status Annotate(const Status& st, const std::string& prefix) {
 
 }  // namespace
 
+std::size_t PpannsService::size() const {
+  return std::visit([](const auto& s) { return s.size(); }, server_);
+}
+
+std::size_t PpannsService::dim() const {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    return s->dim();
+  }
+  return std::get<CloudServer>(server_).index().dim();
+}
+
+IndexKind PpannsService::index_kind() const {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    return s->index_kind();
+  }
+  return std::get<CloudServer>(server_).index().kind();
+}
+
+std::size_t PpannsService::StorageBytes() const {
+  return std::visit([](const auto& s) { return s.StorageBytes(); }, server_);
+}
+
+std::size_t PpannsService::num_shards() const {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    return s->num_shards();
+  }
+  return 1;
+}
+
+const CloudServer& PpannsService::server() const {
+  PPANNS_CHECK(!sharded());
+  return std::get<CloudServer>(server_);
+}
+
+const ShardedCloudServer& PpannsService::sharded_server() const {
+  PPANNS_CHECK(sharded());
+  return std::get<ShardedCloudServer>(server_);
+}
+
+void PpannsService::SerializeDatabase(BinaryWriter* out) const {
+  std::visit([out](const auto& s) { s.SerializeDatabase(out); }, server_);
+}
+
+std::size_t PpannsService::ExpectedDceBlock() const {
+  return DceScheme::TransformedDim(dim());
+}
+
 Status PpannsService::ValidateQuery(const QueryToken& token, std::size_t k,
                                     const SearchSettings& settings) const {
   if (k == 0) return Status::InvalidArgument("Search: k must be positive");
-  if (token.sap.size() != server_.index().dim()) {
+  if (token.sap.size() != dim()) {
     return Status::InvalidArgument(
         "Search: SAP ciphertext dimension " + std::to_string(token.sap.size()) +
-        " does not match database dimension " +
-        std::to_string(server_.index().dim()));
+        " does not match database dimension " + std::to_string(dim()));
   }
-  if (server_.size() == 0) {
+  if (size() == 0) {
     return Status::FailedPrecondition("Search: database is empty");
   }
   if (settings.refine) {
     // The refine phase multiplies the trapdoor against every candidate's DCE
     // blocks; a short trapdoor would read out of bounds.
-    const std::size_t block = server_.dce_ciphertexts().front().block;
+    const std::size_t block = ExpectedDceBlock();
     if (token.trapdoor.data.size() != block) {
       return Status::InvalidArgument(
           "Search: trapdoor length " +
@@ -53,7 +99,8 @@ Result<SearchResult> PpannsService::Search(const QueryToken& token,
                                            std::size_t k,
                                            const SearchSettings& settings) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
-  return server_.Search(token, k, settings);
+  return std::visit(
+      [&](const auto& s) { return s.Search(token, k, settings); }, server_);
 }
 
 Result<BatchSearchResult> PpannsService::SearchBatch(
@@ -74,7 +121,9 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
   ThreadPool::Global().ParallelFor(
       tokens.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          batch.results[i] = server_.Search(tokens[i], k, settings);
+          batch.results[i] = std::visit(
+              [&](const auto& s) { return s.Search(tokens[i], k, settings); },
+              server_);
         }
       });
   batch.counters.wall_seconds = wall.ElapsedSeconds();
@@ -90,24 +139,27 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
 }
 
 Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
-  if (v.sap.size() != server_.index().dim()) {
+  if (v.sap.size() != dim()) {
     return Status::InvalidArgument(
         "Insert: SAP ciphertext dimension " + std::to_string(v.sap.size()) +
-        " does not match database dimension " +
-        std::to_string(server_.index().dim()));
+        " does not match database dimension " + std::to_string(dim()));
   }
-  if (!server_.dce_ciphertexts().empty()) {
-    const std::size_t block = server_.dce_ciphertexts().front().block;
-    if (v.dce.block != block || v.dce.data.size() != 4 * block) {
-      return Status::InvalidArgument(
-          "Insert: DCE ciphertext shape does not match the database");
-    }
-  } else if (v.dce.data.size() != 4 * v.dce.block) {
-    return Status::InvalidArgument("Insert: malformed DCE ciphertext");
+  // The DCE shape is fully determined by the database dimension: four
+  // contiguous blocks of 2*d_pad+16 doubles. Anything else would read or
+  // compare out of bounds during refinement.
+  const std::size_t block = ExpectedDceBlock();
+  if (v.dce.block != block || v.dce.data.size() != 4 * block) {
+    return Status::InvalidArgument(
+        "Insert: DCE ciphertext shape (" + std::to_string(v.dce.data.size()) +
+        " doubles, block " + std::to_string(v.dce.block) +
+        ") does not match the database (4 blocks of " + std::to_string(block) +
+        ")");
   }
-  return server_.Insert(v);
+  return std::visit([&](auto& s) { return s.Insert(v); }, server_);
 }
 
-Status PpannsService::Delete(VectorId id) { return server_.Delete(id); }
+Status PpannsService::Delete(VectorId id) {
+  return std::visit([id](auto& s) { return s.Delete(id); }, server_);
+}
 
 }  // namespace ppanns

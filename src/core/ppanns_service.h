@@ -1,26 +1,31 @@
-// PpannsService — the serving facade over a CloudServer.
+// PpannsService — the serving facade over a CloudServer or a
+// ShardedCloudServer.
 //
-// CloudServer is the paper-faithful core: it trusts its inputs (malformed
-// tokens are programmer errors) and answers one query at a time. The service
-// wraps it with what production serving needs:
-//  * input validation — dimension mismatches, k = 0, an empty database, or a
-//    malformed trapdoor come back as Status instead of undefined behavior;
+// The server cores are paper-faithful: they trust their inputs (malformed
+// tokens are programmer errors) and answer one query at a time. The service
+// wraps either topology behind one validated API:
+//  * input validation — dimension mismatches, k = 0, an empty database, a
+//    malformed trapdoor, or a mis-shaped insert come back as Status instead
+//    of undefined behavior;
 //  * batched execution — SearchBatch fans a token batch across the global
 //    ThreadPool and aggregates per-query counters into a BatchCounters
-//    summary, returning results bitwise identical to a sequential loop.
-//
-// Every future scaling layer (sharding, caching, async) composes on this
-// seam rather than on CloudServer directly.
+//    summary, returning results bitwise identical to a sequential loop;
+//  * topology transparency — Search/SearchBatch/Insert/Delete behave
+//    identically over one index or over S shards (inserts route to the
+//    least-loaded shard, deletes resolve through the manifest), so scaling
+//    out is a deployment decision, not an API change.
 
 #ifndef PPANNS_CORE_PPANNS_SERVICE_H_
 #define PPANNS_CORE_PPANNS_SERVICE_H_
 
 #include <cstddef>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "common/status.h"
 #include "core/cloud_server.h"
+#include "core/sharded_cloud_server.h"
 
 namespace ppanns {
 
@@ -46,8 +51,10 @@ struct BatchSearchResult {
 class PpannsService {
  public:
   explicit PpannsService(CloudServer server) : server_(std::move(server)) {}
+  explicit PpannsService(ShardedCloudServer server)
+      : server_(std::move(server)) {}
 
-  /// Validated single-query search (Algorithm 2 through CloudServer).
+  /// Validated single-query search (Algorithm 2 through the server core).
   ///   InvalidArgument  — k = 0, SAP/trapdoor dimension mismatch
   ///   FailedPrecondition — empty database
   Result<SearchResult> Search(const QueryToken& token, std::size_t k,
@@ -61,22 +68,43 @@ class PpannsService {
                                         std::size_t k,
                                         const SearchSettings& settings = {}) const;
 
-  /// Validated maintenance (Section V-D).
+  /// Validated maintenance (Section V-D). Insert rejects an EncryptedVector
+  /// whose SAP length differs from dim() or whose DCE payload is not the
+  /// four blocks of 2*d_pad+16 doubles the dimension dictates; on a sharded
+  /// server the accepted vector routes to the least-loaded shard and the
+  /// returned id is global.
   Result<VectorId> Insert(const EncryptedVector& v);
   Status Delete(VectorId id);
 
-  std::size_t size() const { return server_.size(); }
-  std::size_t dim() const { return server_.index().dim(); }
-  IndexKind index_kind() const { return server_.index().kind(); }
-  std::size_t StorageBytes() const { return server_.StorageBytes(); }
-  const CloudServer& server() const { return server_; }
+  std::size_t size() const;
+  std::size_t dim() const;
+  IndexKind index_kind() const;
+  std::size_t StorageBytes() const;
+
+  /// Number of shards behind the facade (1 for the single-index topology).
+  std::size_t num_shards() const;
+  bool sharded() const {
+    return std::holds_alternative<ShardedCloudServer>(server_);
+  }
+
+  /// Topology-specific accessors; calling the wrong one is a programmer
+  /// error (PPANNS_CHECK).
+  const CloudServer& server() const;
+  const ShardedCloudServer& sharded_server() const;
+
+  /// Snapshots the current package (including maintenance mutations) in the
+  /// matching on-disk format: the single-shard envelope or the sharded one.
+  void SerializeDatabase(BinaryWriter* out) const;
 
  private:
   /// Shared validation for Search/SearchBatch.
   Status ValidateQuery(const QueryToken& token, std::size_t k,
                        const SearchSettings& settings) const;
 
-  CloudServer server_;
+  /// The DCE block length dim() dictates: 2 * (dim rounded up to even) + 16.
+  std::size_t ExpectedDceBlock() const;
+
+  std::variant<CloudServer, ShardedCloudServer> server_;
 };
 
 }  // namespace ppanns

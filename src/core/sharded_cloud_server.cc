@@ -1,0 +1,156 @@
+#include "core/sharded_cloud_server.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/comparison_heap.h"
+
+namespace ppanns {
+
+ShardedCloudServer::ShardedCloudServer(ShardedEncryptedDatabase db)
+    : manifest_(std::move(db.manifest)) {
+  PPANNS_CHECK(!db.shards.empty());
+  shards_.reserve(db.shards.size());
+  std::vector<std::size_t> capacities;
+  capacities.reserve(db.shards.size());
+  for (EncryptedDatabase& shard : db.shards) {
+    capacities.push_back(shard.index->capacity());
+    shards_.emplace_back(std::move(shard));
+  }
+  // Owner-built packages are consistent by construction and Deserialize
+  // revalidates on load; an inconsistent manifest here is a programmer error.
+  PPANNS_CHECK(manifest_.Validate(capacities).ok());
+
+  local_to_global_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    local_to_global_[s].resize(capacities[s], kInvalidVectorId);
+  }
+  for (std::size_t g = 0; g < manifest_.size(); ++g) {
+    const ShardRef& ref = manifest_.at(static_cast<VectorId>(g));
+    local_to_global_[ref.shard][ref.local] = static_cast<VectorId>(g);
+  }
+}
+
+SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
+                                        const SearchSettings& settings) const {
+  SearchResult result;
+  if (k == 0 || size() == 0) return result;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
+
+  // ---- Scatter (filter phase): every shard answers the full k'-ANNS over
+  // its own index. Inside a batch worker the fan-out runs inline; standalone
+  // calls parallelize across shards.
+  Timer filter_timer;
+  std::vector<std::vector<Neighbor>> per_shard(shards_.size());
+  ThreadPool::Global().ParallelFor(
+      shards_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          if (shards_[s].index().size() == 0) continue;
+          per_shard[s] = shards_[s].index().Search(token.sap.data(), k_prime,
+                                                   settings.ef_search);
+        }
+      });
+
+  // ---- Gather: merge to the global SAP-top-k' under the same
+  // (distance, global id) order an unsharded filter phase produces. Each
+  // shard's top-k' is complete for that shard, so the merged prefix equals
+  // the unsharded candidate list whenever the backends are exact.
+  std::vector<Neighbor> merged;
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    for (const Neighbor& nb : per_shard[s]) {
+      merged.push_back(Neighbor{local_to_global_[s][nb.id], nb.distance});
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > k_prime) merged.resize(k_prime);
+  result.counters.filter_seconds = filter_timer.ElapsedSeconds();
+  result.counters.filter_candidates = merged.size();
+
+  if (!settings.refine) {
+    const std::size_t out_k = std::min(k, merged.size());
+    result.ids.reserve(out_k);
+    for (std::size_t i = 0; i < out_k; ++i) result.ids.push_back(merged[i].id);
+    return result;
+  }
+
+  // ---- Refine: one DCE ComparisonHeap over the merged budget, resolving
+  // each global id to its shard's ciphertext through the manifest.
+  Timer refine_timer;
+  std::size_t* comparisons = &result.counters.dce_comparisons;
+  ComparisonHeap heap(k, [this, &token, comparisons](VectorId a, VectorId b) {
+    ++*comparisons;
+    const ShardRef& ra = manifest_.at(a);
+    const ShardRef& rb = manifest_.at(b);
+    return DceScheme::Closer(shards_[ra.shard].dce_ciphertexts()[ra.local],
+                             shards_[rb.shard].dce_ciphertexts()[rb.local],
+                             token.trapdoor);
+  });
+  for (const Neighbor& cand : merged) {
+    heap.Offer(cand.id);
+  }
+  result.ids = heap.ExtractSorted();
+  result.counters.refine_seconds = refine_timer.ElapsedSeconds();
+  return result;
+}
+
+VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
+  // Least-loaded routing by live count; ties go to the lowest shard id so
+  // routing is deterministic.
+  std::size_t target = 0;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    if (shards_[s].size() < shards_[target].size()) target = s;
+  }
+  const VectorId local = shards_[target].Insert(v);
+  const VectorId global_id =
+      manifest_.Append(static_cast<ShardId>(target), local);
+  PPANNS_CHECK(local == local_to_global_[target].size());
+  local_to_global_[target].push_back(global_id);
+  return global_id;
+}
+
+Status ShardedCloudServer::Delete(VectorId global_id) {
+  if (global_id >= manifest_.size()) {
+    return Status::InvalidArgument("Delete: global id " +
+                                   std::to_string(global_id) +
+                                   " was never assigned");
+  }
+  const ShardRef& ref = manifest_.at(global_id);
+  Status st = shards_[ref.shard].Delete(ref.local);
+  if (st.ok()) return st;
+  // The per-shard status names the local id, which the caller never saw;
+  // restate it in global terms.
+  const std::string where = "Delete: global id " + std::to_string(global_id) +
+                            " (shard " + std::to_string(ref.shard) +
+                            ", local " + std::to_string(ref.local) + "): ";
+  switch (st.code()) {
+    case Status::Code::kNotFound:
+      return Status::NotFound(where + st.message());
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(where + st.message());
+    default:
+      return st;
+  }
+}
+
+std::size_t ShardedCloudServer::size() const {
+  std::size_t total = 0;
+  for (const CloudServer& shard : shards_) total += shard.size();
+  return total;
+}
+
+std::size_t ShardedCloudServer::StorageBytes() const {
+  std::size_t total = manifest_.size() * sizeof(ShardRef);
+  for (const CloudServer& shard : shards_) total += shard.StorageBytes();
+  return total;
+}
+
+void ShardedCloudServer::SerializeDatabase(BinaryWriter* out) const {
+  ShardedEncryptedDatabase::WriteEnvelopeHeader(
+      out, static_cast<std::uint32_t>(shards_.size()));
+  for (const CloudServer& shard : shards_) shard.SerializeDatabase(out);
+  manifest_.Serialize(out);
+}
+
+}  // namespace ppanns

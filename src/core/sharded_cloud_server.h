@@ -1,0 +1,77 @@
+// The sharded cloud server: S per-shard CloudServers behind the single-shard
+// result contract.
+//
+// Search is scatter-gather. Every shard answers the full k'-ANNS filter
+// phase over its own SecureFilterIndex (the scatter fans across the global
+// ThreadPool), the per-shard candidates merge into the global SAP-top-k'
+// (the same ciphertext-distance ranking the filter phase already exposes to
+// the server, so no new leakage class), and exactly those k' candidates
+// stream through a single DCE ComparisonHeap. The refine phase therefore
+// spends the identical candidate budget as an unsharded server — with the
+// exact (brute-force) filter backend and the same SAP layer (a sharded
+// build's SAP ciphertexts match EncryptAndIndexParallel's row for row) the
+// merged candidate set equals the unsharded one and the returned ids are
+// identical.
+//
+// Maintenance keeps the manifest authoritative: Insert routes to the
+// least-loaded shard and appends the new (shard, local) location under the
+// next dense global id; Delete resolves the global id through the manifest.
+
+#ifndef PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
+#define PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cloud_server.h"
+#include "core/sharded_database.h"
+
+namespace ppanns {
+
+class ShardedCloudServer {
+ public:
+  /// Takes ownership of a validated package (Deserialize has already checked
+  /// the manifest; owner-built packages are consistent by construction).
+  explicit ShardedCloudServer(ShardedEncryptedDatabase db);
+
+  /// Algorithm 2 over every shard, merged through one DCE heap. Thread-safe
+  /// for concurrent const calls, like CloudServer::Search.
+  SearchResult Search(const QueryToken& token, std::size_t k,
+                      const SearchSettings& settings = {}) const;
+
+  /// Links a freshly encrypted vector into the least-loaded shard and
+  /// returns its dense *global* id.
+  VectorId Insert(const EncryptedVector& v);
+
+  /// Removes the vector behind a global id (manifest lookup + per-shard
+  /// delete). InvalidArgument if the id was never assigned.
+  Status Delete(VectorId global_id);
+
+  std::size_t size() const;           ///< live vectors across all shards
+  std::size_t capacity() const { return manifest_.size(); }  ///< next global id
+  std::size_t dim() const { return shards_.front().index().dim(); }
+  IndexKind index_kind() const { return shards_.front().index().kind(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  const CloudServer& shard(std::size_t s) const { return shards_[s]; }
+  const ShardManifest& manifest() const { return manifest_; }
+
+  std::size_t StorageBytes() const;
+
+  /// Snapshots the whole package (including maintenance mutations) in the
+  /// sharded envelope format.
+  void SerializeDatabase(BinaryWriter* out) const;
+
+ private:
+  std::vector<CloudServer> shards_;
+  ShardManifest manifest_;
+  /// Reverse of the manifest, per shard: local_to_global_[s][local] is the
+  /// global id of shard s's local vector. Rebuilt at construction, extended
+  /// by Insert.
+  std::vector<std::vector<VectorId>> local_to_global_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_SHARDED_CLOUD_SERVER_H_

@@ -1,0 +1,120 @@
+#include "core/sharded_database.h"
+
+#include <cstring>
+#include <string>
+
+namespace ppanns {
+namespace {
+
+constexpr std::uint32_t kShardedMagic = 0x50505348;  // "PPSH"
+constexpr std::uint32_t kShardedVersion = 1;
+
+// An upper bound no legitimate deployment approaches; rejects fuzzed shard
+// counts before they turn into giant allocations.
+constexpr std::uint32_t kMaxShards = 1u << 16;
+
+}  // namespace
+
+Status ShardManifest::Validate(
+    const std::vector<std::size_t>& shard_capacities) const {
+  std::size_t total_capacity = 0;
+  for (std::size_t cap : shard_capacities) total_capacity += cap;
+  if (entries.size() != total_capacity) {
+    return Status::IOError(
+        "ShardManifest: " + std::to_string(entries.size()) +
+        " entries cannot cover " + std::to_string(total_capacity) +
+        " vectors across " + std::to_string(shard_capacities.size()) +
+        " shards");
+  }
+
+  // One flag per (shard, local) slot; an entry hitting a set flag means two
+  // global ids overlap on the same stored vector.
+  std::vector<std::vector<bool>> seen(shard_capacities.size());
+  for (std::size_t s = 0; s < shard_capacities.size(); ++s) {
+    seen[s].assign(shard_capacities[s], false);
+  }
+  for (std::size_t g = 0; g < entries.size(); ++g) {
+    const ShardRef& ref = entries[g];
+    if (ref.shard >= shard_capacities.size()) {
+      return Status::IOError("ShardManifest: global id " + std::to_string(g) +
+                             " references shard " + std::to_string(ref.shard) +
+                             " but the envelope has " +
+                             std::to_string(shard_capacities.size()));
+    }
+    if (ref.local >= shard_capacities[ref.shard]) {
+      return Status::IOError("ShardManifest: global id " + std::to_string(g) +
+                             " references local id " +
+                             std::to_string(ref.local) + " beyond shard " +
+                             std::to_string(ref.shard) + " capacity " +
+                             std::to_string(shard_capacities[ref.shard]));
+    }
+    if (seen[ref.shard][ref.local]) {
+      return Status::IOError(
+          "ShardManifest: overlapping entries — (shard " +
+          std::to_string(ref.shard) + ", local " + std::to_string(ref.local) +
+          ") is claimed by two global ids");
+    }
+    seen[ref.shard][ref.local] = true;
+  }
+  // entries.size() == total_capacity and no slot was hit twice, so every
+  // slot is covered exactly once.
+  return Status::OK();
+}
+
+void ShardedEncryptedDatabase::WriteEnvelopeHeader(BinaryWriter* out,
+                                                   std::uint32_t num_shards) {
+  out->Put<std::uint32_t>(kShardedMagic);
+  out->Put<std::uint32_t>(kShardedVersion);
+  out->Put<std::uint32_t>(num_shards);
+}
+
+void ShardedEncryptedDatabase::Serialize(BinaryWriter* out) const {
+  WriteEnvelopeHeader(out, static_cast<std::uint32_t>(shards.size()));
+  for (const EncryptedDatabase& shard : shards) shard.Serialize(out);
+  manifest.Serialize(out);
+}
+
+Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
+    BinaryReader* in) {
+  std::uint32_t magic = 0, version = 0, num_shards = 0;
+  PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  if (magic != kShardedMagic) {
+    return Status::IOError("ShardedEncryptedDatabase: bad magic");
+  }
+  PPANNS_RETURN_IF_ERROR(in->Get(&version));
+  if (version != kShardedVersion) {
+    return Status::IOError("ShardedEncryptedDatabase: unsupported version");
+  }
+  PPANNS_RETURN_IF_ERROR(in->Get(&num_shards));
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Status::IOError("ShardedEncryptedDatabase: implausible shard count " +
+                           std::to_string(num_shards));
+  }
+
+  ShardedEncryptedDatabase db;
+  db.shards.reserve(num_shards);
+  std::vector<std::size_t> capacities;
+  capacities.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    Result<EncryptedDatabase> shard = EncryptedDatabase::Deserialize(in);
+    if (!shard.ok()) return shard.status();
+    capacities.push_back(shard->index->capacity());
+    db.shards.push_back(std::move(*shard));
+  }
+
+  Result<ShardManifest> manifest = ShardManifest::Deserialize(in);
+  if (!manifest.ok()) return manifest.status();
+  PPANNS_RETURN_IF_ERROR(manifest->Validate(capacities));
+  db.manifest = std::move(*manifest);
+  return db;
+}
+
+bool ShardedEncryptedDatabase::LooksSharded(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == kShardedMagic;
+}
+
+}  // namespace ppanns

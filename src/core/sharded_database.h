@@ -1,0 +1,86 @@
+// The sharded outsourced package: S per-shard EncryptedDatabases plus the
+// manifest that locates every global VectorId as a (shard, local id) pair.
+//
+// Sharding is the scaling seam of the serving stack (ROADMAP north-star):
+// the data owner partitions the corpus at encryption time, per-shard filter
+// indexes build independently (and therefore in parallel), and the
+// ShardedCloudServer answers queries scatter-gather. The wire format is a
+// versioned envelope that wraps the existing single-shard format unchanged,
+// so every shard payload is itself a loadable EncryptedDatabase.
+
+#ifndef PPANNS_CORE_SHARDED_DATABASE_H_
+#define PPANNS_CORE_SHARDED_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/encrypted_database.h"
+
+namespace ppanns {
+
+/// Maps global vector ids to their (shard, local id) location. Global ids
+/// are dense in insertion order, exactly like single-shard VectorIds, so
+/// callers never see the partitioning in the result contract.
+struct ShardManifest {
+  /// entries[g] locates global id g. Exposed directly so tests can craft
+  /// malformed manifests; every load path revalidates via Validate().
+  std::vector<ShardRef> entries;
+
+  /// Records the next global id as living at (shard, local); returns it.
+  VectorId Append(ShardId shard, VectorId local) {
+    entries.push_back(ShardRef{shard, local});
+    return static_cast<VectorId>(entries.size() - 1);
+  }
+
+  std::size_t size() const { return entries.size(); }
+
+  const ShardRef& at(VectorId global_id) const { return entries[global_id]; }
+
+  /// Checks the manifest against the shards it claims to describe:
+  /// every entry's shard must exist, every local id must be in range, no two
+  /// global ids may share a (shard, local) slot, and each shard's local id
+  /// space [0, capacity) must be covered exactly — together these reject
+  /// overlapping id ranges and shard-count mismatches.
+  Status Validate(const std::vector<std::size_t>& shard_capacities) const;
+
+  void Serialize(BinaryWriter* out) const { out->PutVector(entries); }
+
+  static Result<ShardManifest> Deserialize(BinaryReader* in) {
+    ShardManifest m;
+    PPANNS_RETURN_IF_ERROR(in->GetVector(&m.entries));
+    return m;
+  }
+};
+
+/// The complete sharded outsourced package.
+struct ShardedEncryptedDatabase {
+  std::vector<EncryptedDatabase> shards;
+  ShardManifest manifest;
+
+  std::size_t num_shards() const { return shards.size(); }
+
+  /// Envelope: magic "PPSH", version, shard count, the per-shard
+  /// EncryptedDatabase payloads (each self-describing), then the manifest.
+  void Serialize(BinaryWriter* out) const;
+
+  /// Writes the envelope prefix (magic, version, shard count) — shared with
+  /// ShardedCloudServer::SerializeDatabase, which streams live shards
+  /// instead of owning a ShardedEncryptedDatabase value.
+  static void WriteEnvelopeHeader(BinaryWriter* out, std::uint32_t num_shards);
+
+  /// Reads the envelope, loading each shard through the existing
+  /// EncryptedDatabase path, and rejects inconsistent manifests
+  /// (overlapping ids, out-of-range shards, coverage mismatches).
+  static Result<ShardedEncryptedDatabase> Deserialize(BinaryReader* in);
+
+  /// True if `bytes` starts with the sharded envelope magic — the cheap
+  /// topology probe used by load paths that accept either format.
+  static bool LooksSharded(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_SHARDED_DATABASE_H_

@@ -118,8 +118,16 @@ class DceScheme {
 
   const DceSecretKey& key() const { return key_; }
   std::size_t dim() const { return key_.dim; }
+  /// The block/trapdoor length `dim` dictates, without a key: keyless
+  /// validators (e.g. the serving facade checking an EncryptedVector's
+  /// shape) must agree with KeyGen on the padding rule, so it is defined
+  /// here once.
+  static std::size_t TransformedDim(std::size_t dim) {
+    const std::size_t dim_pad = (dim % 2 == 0) ? dim : dim + 1;
+    return 2 * dim_pad + 16;
+  }
   /// Length of each ciphertext block / the trapdoor: 2*d_pad + 16.
-  std::size_t transformed_dim() const { return 2 * key_.dim_pad + 16; }
+  std::size_t transformed_dim() const { return TransformedDim(key_.dim); }
   /// Total doubles per database ciphertext: 8*d_pad + 64.
   std::size_t ciphertext_size() const { return 4 * transformed_dim(); }
 

@@ -1,0 +1,87 @@
+// ParallelFor hardening: edge cases (n = 0, n < num_threads, uneven
+// chunking), per-call completion isolation, and nested fan-out — the
+// combinations the sharded build and scatter-gather serving paths exercise.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace ppanns {
+namespace {
+
+TEST(ParallelForTest, ZeroElementsNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, FewerElementsThanThreadsCoversEachIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);  // no empty chunks
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, UnevenChunkingCoversEachIndexOnce) {
+  // 3 threads -> at most 12 chunks over 100 elements: step 9 leaves a final
+  // chunk of 1, the uneven tail case.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NestedCallDoesNotDeadlock) {
+  // Outer fan-out saturates the pool; each task fans out again. The nested
+  // calls must run inline instead of waiting on workers that are all busy
+  // waiting themselves.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(10, [&](std::size_t b, std::size_t e) {
+        inner_total += static_cast<int>(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ParallelForTest, ConcurrentCallersDoNotCrossWait) {
+  // Two external threads drive independent ParallelFor calls on one pool;
+  // each must see exactly its own range completed.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(64), b(64);
+  std::thread ta([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(a.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++a[i];
+      });
+    }
+  });
+  std::thread tb([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(b.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++b[i];
+      });
+    }
+  });
+  ta.join();
+  tb.join();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 20);
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -106,6 +106,15 @@ TEST(ServiceValidationTest, RejectsMalformedInsert) {
   EXPECT_EQ(sys.service->Insert(ev2).status().code(),
             Status::Code::kInvalidArgument);
 
+  // A DCE payload that is internally consistent (data = 4 * block) but sized
+  // for the wrong dimension must also be rejected: the block length is fully
+  // determined by dim().
+  EncryptedVector ev3 = sys.owner->EncryptOne(sys.dataset.queries.row(0));
+  ev3.dce.block += 2;
+  ev3.dce.data.resize(4 * ev3.dce.block, 0.0);
+  EXPECT_EQ(sys.service->Insert(ev3).status().code(),
+            Status::Code::kInvalidArgument);
+
   // A well-formed pair passes and is searchable.
   EncryptedVector ok = sys.owner->EncryptOne(sys.dataset.queries.row(0));
   auto id = sys.service->Insert(ok);
@@ -125,6 +134,49 @@ TEST(ServiceValidationTest, BatchReportsOffendingToken) {
   EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
   EXPECT_NE(r.status().message().find("token 2"), std::string::npos)
       << r.status().message();
+}
+
+// The same validated facade must front the sharded topology: malformed
+// requests come back as the identical Status codes, well-formed ones serve.
+TEST(ServiceValidationTest, ValidatesShardedTopology) {
+  const std::size_t dim = 16, n = 120;
+  Dataset ds = MakeDataset(SyntheticKind::kGloveLike, n, 2, 0, 9, dim);
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 4.0;
+  params.hnsw = HnswParams{.m = 8, .ef_construction = 80, .seed = 9};
+  params.num_shards = 3;
+  params.seed = 9;
+  auto owner = DataOwner::Create(dim, params);
+  ASSERT_TRUE(owner.ok());
+  PpannsService service{
+      ShardedCloudServer(owner->EncryptAndIndexSharded(ds.base))};
+  ASSERT_TRUE(service.sharded());
+  ASSERT_EQ(service.num_shards(), 3u);
+  QueryClient client(owner->ShareKeys(), 10);
+
+  QueryToken token = client.EncryptQuery(ds.queries.row(0));
+  EXPECT_EQ(service.Search(token, 0).status().code(),
+            Status::Code::kInvalidArgument);
+
+  QueryToken short_sap = token;
+  short_sap.sap.resize(dim - 1);
+  EXPECT_EQ(service.Search(short_sap, 5).status().code(),
+            Status::Code::kInvalidArgument);
+
+  QueryToken short_trapdoor = token;
+  short_trapdoor.trapdoor.data.pop_back();
+  EXPECT_EQ(service.Search(short_trapdoor, 5).status().code(),
+            Status::Code::kInvalidArgument);
+
+  auto ok = service.Search(token, 5);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->ids.size(), 5u);
+
+  EncryptedVector bad = owner->EncryptOne(ds.queries.row(1));
+  bad.dce.data.pop_back();
+  EXPECT_EQ(service.Insert(bad).status().code(),
+            Status::Code::kInvalidArgument);
 }
 
 TEST(ServiceBatchTest, EmptyBatchIsOk) {

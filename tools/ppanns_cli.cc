@@ -23,6 +23,7 @@
 #include "core/data_owner.h"
 #include "core/ppanns_service.h"
 #include "core/query_client.h"
+#include "core/sharded_database.h"
 #include "datagen/synthetic.h"
 #include "index/secure_filter_index.h"
 
@@ -103,7 +104,7 @@ int Usage() {
                "  keygen  --dim D --out keys.bin [--beta B] [--s S] "
                "[--scale NORM] [--seed S]\n"
                "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
-               "[--index hnsw|ivf|lsh|brute]\n"
+               "[--index hnsw|ivf|lsh|brute] [--shards S]\n"
                "          [--m M] [--efc E] [--lists L] [--tables T] "
                "[--hashes H] [--width W]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
@@ -210,6 +211,7 @@ int CmdEncrypt(const Args& args) {
     return 2;
   }
   const std::uint64_t seed = args.GetSize("seed", 7);
+  const std::size_t num_shards = args.GetSize("shards", 1);
   PpannsParams params;
   params.dcpe_s = (*keys)->dcpe.key().s;
   params.index_kind = *kind;
@@ -220,34 +222,52 @@ int CmdEncrypt(const Args& args) {
   params.lsh.num_tables = args.GetSize("tables", 8);
   params.lsh.num_hashes = args.GetSize("hashes", 8);
   params.lsh.bucket_width = args.GetDouble("width", 4.0);  // plaintext units
+  params.num_shards = static_cast<std::uint32_t>(num_shards);
   params.seed = seed;
 
-  auto index =
-      MakeSecureFilterIndex(*kind, data->dim(), params.FilterOptions());
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+  auto owner = DataOwner::FromKeys(*keys, data->dim(), params);
+  if (!owner.ok()) {
+    std::fprintf(stderr, "%s\n", owner.status().ToString().c_str());
     return 1;
   }
-  Rng rng(seed ^ 0xD07A0A37);
-  EncryptedDatabase db{std::move(*index), {}};
-  std::vector<float> sap(data->dim());
-  Timer t;
-  for (std::size_t i = 0; i < data->size(); ++i) {
-    (*keys)->dcpe.Encrypt(data->row(i), sap.data(), rng);
-    db.index->Add(sap.data());
-    db.dce.push_back((*keys)->dce.Encrypt(data->row(i), rng));
-  }
+
   BinaryWriter w;
-  db.Serialize(&w);
+  Timer t;
+  if (num_shards > 1) {
+    // Sharded package: per-shard graphs build in parallel on the pool.
+    ShardedEncryptedDatabase db = owner->EncryptAndIndexSharded(*data);
+    db.Serialize(&w);
+  } else {
+    EncryptedDatabase db = owner->EncryptAndIndex(*data);
+    db.Serialize(&w);
+  }
+  const double secs = t.ElapsedSeconds();
   Status st = WriteFile(args.GetString("out"), w.buffer());
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("encrypted + indexed %zu vectors (%s) in %.1fs -> %s (%.1f MB)\n",
-              data->size(), IndexKindName(*kind), t.ElapsedSeconds(),
+  std::printf("encrypted + indexed %zu vectors (%s, %zu shard%s) in %.1fs -> "
+              "%s (%.1f MB)\n",
+              data->size(), IndexKindName(*kind), num_shards,
+              num_shards == 1 ? "" : "s", secs,
               args.GetString("out").c_str(), w.buffer().size() / 1e6);
   return 0;
+}
+
+/// Loads either on-disk format behind the serving facade: the sharded
+/// envelope reconstructs a scatter-gather server, the single-shard format
+/// the classic one.
+Result<PpannsService> LoadService(const std::vector<std::uint8_t>& blob) {
+  BinaryReader r(blob);
+  if (ShardedEncryptedDatabase::LooksSharded(blob)) {
+    auto db = ShardedEncryptedDatabase::Deserialize(&r);
+    if (!db.ok()) return db.status();
+    return PpannsService{ShardedCloudServer(std::move(*db))};
+  }
+  auto db = EncryptedDatabase::Deserialize(&r);
+  if (!db.ok()) return db.status();
+  return PpannsService{CloudServer(std::move(*db))};
 }
 
 int CmdSearch(const Args& args) {
@@ -262,12 +282,12 @@ int CmdSearch(const Args& args) {
     std::fprintf(stderr, "db: %s\n", blob.status().ToString().c_str());
     return 1;
   }
-  BinaryReader r(*blob);
-  auto db = EncryptedDatabase::Deserialize(&r);
-  if (!db.ok()) {
-    std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
+  auto service_or = LoadService(*blob);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "db: %s\n", service_or.status().ToString().c_str());
     return 1;
   }
+  PpannsService service = std::move(*service_or);
   auto queries = ReadFvecs(args.GetString("queries"));
   if (!queries.ok()) {
     std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
@@ -280,7 +300,6 @@ int CmdSearch(const Args& args) {
     return 1;
   }
 
-  PpannsService service{CloudServer(std::move(*db))};
   // --index on search is an assertion: fail fast if the package was built
   // with a different backend than the caller expects.
   const std::string want_kind = args.GetString("index");
@@ -336,9 +355,10 @@ int CmdSearch(const Args& args) {
         print_result(i, batch->results[i]);
       }
       std::fprintf(stderr,
-                   "batch: %zu queries, %.3fs wall (%.1f QPS), %zu filter "
-                   "candidates, %zu DCE comparisons\n",
-                   batch->counters.num_queries, batch->counters.wall_seconds,
+                   "batch: %zu queries over %zu shard(s), %.3fs wall "
+                   "(%.1f QPS), %zu filter candidates, %zu DCE comparisons\n",
+                   batch->counters.num_queries, service.num_shards(),
+                   batch->counters.wall_seconds,
                    batch->counters.num_queries / batch->counters.wall_seconds,
                    batch->counters.total_filter_candidates,
                    batch->counters.total_dce_comparisons);
@@ -365,6 +385,24 @@ int CmdSearch(const Args& args) {
   return exit_code;
 }
 
+void PrintIndexInfo(const SecureFilterIndex& index, double dce_mb,
+                    const char* pad) {
+  std::printf("%sindex backend:  %s\n", pad, IndexKindName(index.kind()));
+  std::printf("%svectors:        %zu live (%zu deleted)\n", pad, index.size(),
+              index.capacity() - index.size());
+  std::printf("%sdimension:      %zu\n", pad, index.dim());
+  if (const HnswIndex* hnsw = index.AsHnsw()) {
+    const HnswStats stats = hnsw->ComputeStats();
+    std::printf("%sgraph:          m=%zu efc=%zu, max level %d, avg degree "
+                "%.1f\n", pad, hnsw->params().m, hnsw->params().ef_construction,
+                stats.max_level, stats.avg_out_degree_level0);
+  }
+  std::printf("%sSAP layer:      %.1f MB\n", pad,
+              index.data().data().size() * sizeof(float) / 1e6);
+  std::printf("%sindex total:    %.1f MB\n", pad, index.StorageBytes() / 1e6);
+  std::printf("%sDCE layer:      %.1f MB\n", pad, dce_mb);
+}
+
 int CmdInfo(const Args& args) {
   if (!args.Require("db")) return 2;
   auto blob = ReadFile(args.GetString("db"));
@@ -373,27 +411,36 @@ int CmdInfo(const Args& args) {
     return 1;
   }
   BinaryReader r(*blob);
+  if (ShardedEncryptedDatabase::LooksSharded(*blob)) {
+    auto db = ShardedEncryptedDatabase::Deserialize(&r);
+    if (!db.ok()) {
+      std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    std::size_t live = 0, total = 0;
+    for (const EncryptedDatabase& shard : db->shards) {
+      live += shard.index->size();
+      total += shard.index->capacity();
+    }
+    std::printf("encrypted database: %s (sharded)\n",
+                args.GetString("db").c_str());
+    std::printf("  shards:         %zu\n", db->num_shards());
+    std::printf("  vectors:        %zu live (%zu deleted)\n", live,
+                total - live);
+    for (std::size_t s = 0; s < db->shards.size(); ++s) {
+      std::printf("  shard %zu:\n", s);
+      PrintIndexInfo(*db->shards[s].index, db->shards[s].DceBytes() / 1e6,
+                     "    ");
+    }
+    return 0;
+  }
   auto db = EncryptedDatabase::Deserialize(&r);
   if (!db.ok()) {
     std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  const SecureFilterIndex& index = *db->index;
   std::printf("encrypted database: %s\n", args.GetString("db").c_str());
-  std::printf("  index backend:  %s\n", IndexKindName(index.kind()));
-  std::printf("  vectors:        %zu live (%zu deleted)\n", index.size(),
-              index.capacity() - index.size());
-  std::printf("  dimension:      %zu\n", index.dim());
-  if (const HnswIndex* hnsw = index.AsHnsw()) {
-    const HnswStats stats = hnsw->ComputeStats();
-    std::printf("  graph:          m=%zu efc=%zu, max level %d, avg degree "
-                "%.1f\n", hnsw->params().m, hnsw->params().ef_construction,
-                stats.max_level, stats.avg_out_degree_level0);
-  }
-  std::printf("  SAP layer:      %.1f MB\n",
-              index.data().data().size() * sizeof(float) / 1e6);
-  std::printf("  index total:    %.1f MB\n", index.StorageBytes() / 1e6);
-  std::printf("  DCE layer:      %.1f MB\n", db->DceBytes() / 1e6);
+  PrintIndexInfo(*db->index, db->DceBytes() / 1e6, "  ");
   return 0;
 }
 
