@@ -3,17 +3,19 @@
 // embeddings; user prompts are embedded client-side and matched in the
 // cloud without revealing either the corpus or the queries.
 //
-// Demonstrates: tuning the accuracy/efficiency trade-off (Ratio_k sweep à
-// la Fig. 5) for a latency budget, and the non-interactive protocol cost
-// accounting of Section V-C.
+// Demonstrates: serving through the validated PpannsService facade, tuning
+// the accuracy/efficiency trade-off (Ratio_k sweep à la Fig. 5) for a
+// recall SLO with batched measurement, and the non-interactive protocol
+// cost accounting of Section V-C.
 //
 // Build & run:  ./build/examples/secure_embedding_rag
 
 #include <cstdio>
+#include <vector>
 
 #include "common/timer.h"
-#include "core/cloud_server.h"
 #include "core/data_owner.h"
+#include "core/ppanns_service.h"
 #include "core/query_client.h"
 #include "datagen/synthetic.h"
 #include "eval/metrics.h"
@@ -38,12 +40,15 @@ int main() {
 
   auto owner = DataOwner::Create(dim, params);
   if (!owner.ok()) return 1;
-  CloudServer server(owner->EncryptAndIndex(ds.base));
+  // The validated serving facade — malformed tokens come back as Status,
+  // batches fan across the thread pool.
+  PpannsService service{CloudServer(owner->EncryptAndIndex(ds.base))};
   QueryClient client(owner->ShareKeys(), /*seed=*/21);
   std::vector<QueryToken> tokens = EncryptQueries(client, ds.queries);
 
   // ---- Pick the cheapest Ratio_k meeting a recall SLO (grid search, as
-  // the paper recommends in Section V-B).
+  // the paper recommends in Section V-B), measured through one batched
+  // service call per operating point.
   const double recall_slo = 0.95;
   std::printf("tuning Ratio_k for recall@%zu >= %.2f:\n", k, recall_slo);
   std::printf("%s\n", FormatHeader().c_str());
@@ -53,8 +58,25 @@ int main() {
     SearchSettings settings{
         .k_prime = ratio * k,
         .ef_search = std::max<std::size_t>(ratio * k, 64)};
-    OperatingPoint p =
-        MeasureServer(server, tokens, ds.ground_truth, k, settings);
+    auto batch = service.SearchBatch(tokens, k, settings);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<VectorId>> ids;
+    ids.reserve(batch->results.size());
+    for (const SearchResult& r : batch->results) ids.push_back(r.ids);
+    const double queries = static_cast<double>(batch->counters.num_queries);
+    OperatingPoint p;
+    p.recall = MeanRecallAtK(ids, ds.ground_truth, k);
+    p.qps = queries / batch->counters.wall_seconds;
+    p.mean_latency_ms = batch->counters.wall_seconds * 1e3 / queries;
+    p.mean_filter_ms = batch->counters.total_filter_seconds * 1e3 / queries;
+    p.mean_refine_ms = batch->counters.total_refine_seconds * 1e3 / queries;
+    p.mean_dce_comparisons = batch->counters.total_dce_comparisons / queries;
+    p.mean_filter_candidates =
+        batch->counters.total_filter_candidates / queries;
     std::printf("%s\n",
                 FormatRow("rag-corpus", "Ratio_k=" + std::to_string(ratio), p)
                     .c_str());
@@ -70,14 +92,19 @@ int main() {
   const double user_ms = user_timer.ElapsedMillis();
 
   Timer server_timer;
-  SearchResult result = server.Search(
+  auto result = service.Search(
       token, k,
       SearchSettings{.k_prime = chosen_ratio * k,
                      .ef_search = std::max<std::size_t>(chosen_ratio * k, 64)});
   const double server_ms = server_timer.ElapsedMillis();
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("retrieved document ids:");
-  for (VectorId id : result.ids) std::printf(" %u", id);
+  for (VectorId id : result->ids) std::printf(" %u", id);
   std::printf("\nprotocol costs: user encrypt %.3f ms | upload %zu B | "
               "server %.3f ms | download %zu B | 1 round\n",
               user_ms, token.ByteSize(), server_ms, k * sizeof(VectorId));

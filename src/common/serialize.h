@@ -31,6 +31,7 @@ class BinaryWriter {
   void PutVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Put<std::uint64_t>(v.size());
+    if (v.empty()) return;  // data() may be null for an empty vector
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
@@ -71,11 +72,15 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     std::uint64_t n = 0;
     PPANNS_RETURN_IF_ERROR(Get(&n));
-    if (pos_ + n * sizeof(T) > size_) {
+    // Divide instead of multiplying: n * sizeof(T) can wrap for a crafted
+    // length, which would pass the bounds check and abort in resize().
+    if (n > (size_ - pos_) / sizeof(T)) {
       return Status::OutOfRange("BinaryReader: truncated vector");
     }
     out->resize(n);
-    std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    if (n > 0) {  // an empty vector's data() may be null: skip the memcpy
+      std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return Status::OK();
   }

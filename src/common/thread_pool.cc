@@ -42,6 +42,8 @@ namespace {
 thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
+bool ThreadPool::InWorker() const { return t_worker_pool == this; }
+
 void ThreadPool::ParallelFor(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;

@@ -8,9 +8,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ppanns {
@@ -27,8 +31,29 @@ class ThreadPool {
   /// Enqueues a task. Thread-safe.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a value-returning task and hands back its future — the
+  /// building block of the async scatter-gather serving path, where the
+  /// gather waits on per-(shard, replica) work items with a hedging
+  /// deadline instead of a barrier. The callable runs exactly once on a
+  /// worker; exceptions propagate through the future.
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task]() { (*task)(); });
+    return future;
+  }
+
   /// Blocks until every submitted task has finished.
   void Wait();
+
+  /// True when the calling thread is one of *this* pool's workers. Blocking
+  /// waits (future.wait, ParallelFor) from inside a worker can deadlock once
+  /// every worker is the one waiting; callers use this to fall back to
+  /// inline execution (ParallelFor does so automatically).
+  bool InWorker() const;
 
   /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
   /// pool, blocking until all chunks complete. Hardened edge cases:

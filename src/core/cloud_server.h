@@ -33,10 +33,16 @@ inline std::size_t ResolveKPrime(const SearchSettings& settings, std::size_t k) 
   return settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
 }
 
-/// Instrumentation for the cost analyses (Fig. 6 / Fig. 9).
+/// Instrumentation for the cost analyses (Fig. 6 / Fig. 9) and the async
+/// serving path (Fig. 11).
 struct SearchCounters {
   std::size_t filter_candidates = 0;
   std::size_t dce_comparisons = 0;
+  /// Hedge dispatches issued by the async scatter (a replica missed its
+  /// deadline and the next one was tried). Always 0 on the sync path.
+  std::size_t hedged_requests = 0;
+  /// Replicas that were skipped because they were marked down.
+  std::size_t replicas_skipped = 0;
   double filter_seconds = 0.0;
   double refine_seconds = 0.0;
 };
@@ -45,9 +51,18 @@ struct SearchCounters {
 /// by true distance values, and the user needs no more).
 struct SearchResult {
   std::vector<VectorId> ids;
+  /// True when at least one shard had no live replica and was excluded from
+  /// the scatter: the ids cover only the shards that answered. Never set by
+  /// a healthy cluster or a single-index server.
+  bool partial = false;
   SearchCounters counters;
 };
 
+/// The paper-faithful cloud-server core: one encrypted database, one query
+/// at a time, trusting its inputs (PpannsService adds validation and
+/// batching; ShardedCloudServer scales it out). Holds only ciphertexts and
+/// the filter index — its entire observable input is
+/// (EncryptedDatabase, QueryToken, k).
 class CloudServer {
  public:
   explicit CloudServer(EncryptedDatabase db) : db_(std::move(db)) {

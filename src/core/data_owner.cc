@@ -9,6 +9,9 @@ Result<DataOwner> DataOwner::Create(std::size_t dim,
   if (params.num_shards == 0) {
     return Status::InvalidArgument("DataOwner: num_shards must be >= 1");
   }
+  if (params.num_replicas == 0) {
+    return Status::InvalidArgument("DataOwner: num_replicas must be >= 1");
+  }
   Rng key_rng(params.seed);
   Result<DceScheme> dce = DceScheme::KeyGen(dim, key_rng, params.dce_scale_hint);
   if (!dce.ok()) return dce.status();
@@ -25,6 +28,9 @@ Result<DataOwner> DataOwner::FromKeys(SecretKeysPtr keys, std::size_t dim,
                                       const PpannsParams& params) {
   if (params.num_shards == 0) {
     return Status::InvalidArgument("DataOwner: num_shards must be >= 1");
+  }
+  if (params.num_replicas == 0) {
+    return Status::InvalidArgument("DataOwner: num_replicas must be >= 1");
   }
   if (keys == nullptr) {
     return Status::InvalidArgument("DataOwner: null key bundle");
@@ -87,12 +93,15 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
   PPANNS_CHECK(data.dim() == dim_);
   const std::size_t num_shards = params_.num_shards;
 
-  ShardedEncryptedDatabase db;
-  db.shards.reserve(num_shards);
+  // Primaries first; replicas are stamped out of the finished primaries at
+  // the end (they must be byte-identical, so copying beats rebuilding).
+  std::vector<EncryptedDatabase> primaries;
+  primaries.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    db.shards.push_back(
+    primaries.push_back(
         EncryptedDatabase{MakeFilterIndex(static_cast<ShardId>(s)), {}});
   }
+  ShardedEncryptedDatabase db;
 
   // Sequential SAP pass in global row order: the rng consumption matches
   // EncryptAndIndexParallel exactly (SAP-only pass, DCE randomness derived
@@ -110,7 +119,7 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
   for (std::size_t i = 0; i < data.size(); ++i) {
     db.manifest.Append(static_cast<ShardId>(i % num_shards),
                        static_cast<VectorId>(i / num_shards));
-    db.shards[i % num_shards].dce.emplace_back();
+    primaries[i % num_shards].dce.emplace_back();
   }
 
   // Parallel per-shard graph build: each shard's insertions stay in local
@@ -120,7 +129,7 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
       num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
           for (std::size_t i = s; i < data.size(); i += num_shards) {
-            const VectorId local = db.shards[s].index->Add(sap.row(i));
+            const VectorId local = primaries[s].index->Add(sap.row(i));
             PPANNS_CHECK(local == i / num_shards);
           }
         }
@@ -134,10 +143,37 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
       data.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           Rng row_rng(base_seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
-          db.shards[i % num_shards].dce[i / num_shards] =
+          primaries[i % num_shards].dce[i / num_shards] =
               keys_->dce.Encrypt(data.row(i), row_rng);
         }
       });
+
+  // Replicate: R - 1 byte-identical copies per shard, produced by a
+  // serialize/deserialize round-trip of the finished primary (the only deep
+  // copy the package format guarantees is exact). Independent shards copy in
+  // parallel.
+  const std::size_t num_replicas = params_.num_replicas;
+  db.shards.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    db.shards[s].reserve(num_replicas);
+    db.shards[s].push_back(std::move(primaries[s]));
+  }
+  if (num_replicas > 1) {
+    ThreadPool::Global().ParallelFor(
+        num_shards, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            BinaryWriter snapshot;
+            db.shards[s].front().Serialize(&snapshot);
+            for (std::size_t r = 1; r < num_replicas; ++r) {
+              BinaryReader reader(snapshot.buffer());
+              Result<EncryptedDatabase> copy =
+                  EncryptedDatabase::Deserialize(&reader);
+              PPANNS_CHECK(copy.ok());  // round-trip of our own bytes
+              db.shards[s].push_back(std::move(*copy));
+            }
+          }
+        });
+  }
   return db;
 }
 

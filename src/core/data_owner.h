@@ -16,6 +16,14 @@
 
 namespace ppanns {
 
+/// The data-owner role (Fig. 1, steps 0-1): generates or wraps the secret
+/// key bundle, encrypts a plaintext corpus under both layers (DCPE/SAP for
+/// the filter index, DCE for exact refinement), builds the
+/// privacy-preserving filter index over the SAP ciphertexts only, and
+/// produces the package outsourced to the cloud — flat
+/// (EncryptedDatabase) or sharded/replicated (ShardedEncryptedDatabase).
+/// Owns the randomness: for a fixed (seed, data, params) every build is
+/// byte-deterministic regardless of thread scheduling.
 class DataOwner {
  public:
   /// Generates fresh keys for d-dimensional data.
@@ -49,6 +57,11 @@ class DataOwner {
   /// for a given (seed, data) every row's SAP ciphertext is identical under
   /// any shard count and the package is deterministic regardless of thread
   /// scheduling.
+  ///
+  /// When params.num_replicas is R > 1, each shard is emitted R times as
+  /// byte-identical replicas (copies of the finished primary), so the
+  /// serving tier can fail over on replica loss and hedge slow replicas
+  /// with provably identical results.
   ShardedEncryptedDatabase EncryptAndIndexSharded(const FloatMatrix& data);
 
   /// Encrypts a single new vector for insertion (Section V-D); the pair is

@@ -52,12 +52,24 @@ std::size_t PpannsService::num_shards() const {
   return 1;
 }
 
+std::size_t PpannsService::num_replicas() const {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    return s->replication_factor();
+  }
+  return 1;
+}
+
 const CloudServer& PpannsService::server() const {
   PPANNS_CHECK(!sharded());
   return std::get<CloudServer>(server_);
 }
 
 const ShardedCloudServer& PpannsService::sharded_server() const {
+  PPANNS_CHECK(sharded());
+  return std::get<ShardedCloudServer>(server_);
+}
+
+ShardedCloudServer& PpannsService::sharded_server_mutable() {
   PPANNS_CHECK(sharded());
   return std::get<ShardedCloudServer>(server_);
 }
@@ -103,6 +115,18 @@ Result<SearchResult> PpannsService::Search(const QueryToken& token,
       [&](const auto& s) { return s.Search(token, k, settings); }, server_);
 }
 
+Result<SearchResult> PpannsService::SearchAsync(const QueryToken& token,
+                                                std::size_t k,
+                                                const SearchSettings& settings,
+                                                const AsyncOptions& async) const {
+  PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    return s->SearchAsync(token, k, settings, async);
+  }
+  // One index, one "replica": nothing to hedge or fail over to.
+  return std::get<CloudServer>(server_).Search(token, k, settings);
+}
+
 Result<BatchSearchResult> PpannsService::SearchBatch(
     std::span<const QueryToken> tokens, std::size_t k,
     const SearchSettings& settings) const {
@@ -116,16 +140,22 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
   }
 
   BatchSearchResult batch;
-  batch.results.resize(tokens.size());
   Timer wall;
-  ThreadPool::Global().ParallelFor(
-      tokens.size(), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          batch.results[i] = std::visit(
-              [&](const auto& s) { return s.Search(tokens[i], k, settings); },
-              server_);
-        }
-      });
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+    // Batch-level scatter: all Q*S (query, shard) filter items as one flat
+    // fan-out, then per-query merge/refine — same ids as a sequential loop,
+    // lower tail latency for small batches.
+    batch.results = s->SearchBatchScattered(tokens, k, settings);
+  } else {
+    batch.results.resize(tokens.size());
+    ThreadPool::Global().ParallelFor(
+        tokens.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            batch.results[i] =
+                std::get<CloudServer>(server_).Search(tokens[i], k, settings);
+          }
+        });
+  }
   batch.counters.wall_seconds = wall.ElapsedSeconds();
 
   batch.counters.num_queries = tokens.size();

@@ -48,6 +48,12 @@ struct BatchSearchResult {
   BatchCounters counters;
 };
 
+/// The validated, batched serving facade over either server topology (one
+/// CloudServer or a ShardedCloudServer). Turns malformed input into Status
+/// instead of undefined behavior, fans batches across the global
+/// ThreadPool, exposes the async hedged path on sharded deployments, and
+/// keeps Search/SearchBatch/Insert/Delete semantics identical across
+/// topologies — scaling out is a deployment decision, not an API change.
 class PpannsService {
  public:
   explicit PpannsService(CloudServer server) : server_(std::move(server)) {}
@@ -60,10 +66,27 @@ class PpannsService {
   Result<SearchResult> Search(const QueryToken& token, std::size_t k,
                               const SearchSettings& settings = {}) const;
 
+  /// Validated asynchronous search. On a sharded topology this is the
+  /// latency-hiding path: (query, shard-replica) work items fan across the
+  /// ThreadPool, shards that miss `async.hedge_ms` are hedged onto their
+  /// next live replica (first answer wins), and a shard with no live
+  /// replica degrades per AsyncOptions (partial flag or Status). On the
+  /// single-index topology it behaves exactly like Search (there is nothing
+  /// to hedge). Result ids are identical to Search on a healthy cluster.
+  Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
+                                   const SearchSettings& settings = {},
+                                   const AsyncOptions& async = {}) const;
+
   /// Runs every token through Search semantics, fanned across the global
   /// ThreadPool. All tokens are validated before any work starts; the result
   /// vector is aligned with `tokens` and bitwise identical to a sequential
   /// Search loop (each query is independent and deterministic).
+  ///
+  /// On a sharded topology the fan-out is batch-level: all Q*S
+  /// (query, shard) filter work items spread across the pool as one flat
+  /// list, so a batch smaller than the core count still fills the machine
+  /// and one slow shard only stalls its own work items, not a whole worker's
+  /// query queue.
   Result<BatchSearchResult> SearchBatch(std::span<const QueryToken> tokens,
                                         std::size_t k,
                                         const SearchSettings& settings = {}) const;
@@ -83,6 +106,8 @@ class PpannsService {
 
   /// Number of shards behind the facade (1 for the single-index topology).
   std::size_t num_shards() const;
+  /// Replicas per shard (1 for the single-index topology).
+  std::size_t num_replicas() const;
   bool sharded() const {
     return std::holds_alternative<ShardedCloudServer>(server_);
   }
@@ -91,6 +116,9 @@ class PpannsService {
   /// error (PPANNS_CHECK).
   const CloudServer& server() const;
   const ShardedCloudServer& sharded_server() const;
+  /// Mutable sharded accessor for the replica health / fault-injection
+  /// surface (SetReplicaDown, SetReplicaDelayMs).
+  ShardedCloudServer& sharded_server_mutable();
 
   /// Snapshots the current package (including maintenance mutations) in the
   /// matching on-disk format: the single-shard envelope or the sharded one.

@@ -1,71 +1,187 @@
 #include "core/sharded_cloud_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/comparison_heap.h"
+#include "core/query_client.h"
 
 namespace ppanns {
+
+// Health flags, fault injection and the in-flight task count live behind a
+// stable heap address: async work items outlive SearchAsync (hedge losers
+// keep running after the winner returned) and may even outlive a move of the
+// server object, so they capture Runtime* and CloudServer* — both stable —
+// never `this`.
+struct ShardedCloudServer::Runtime {
+  Runtime(std::size_t num_shards, std::size_t num_replicas)
+      : shards(num_shards),
+        replicas(num_replicas),
+        down(std::make_unique<std::atomic<bool>[]>(num_shards * num_replicas)),
+        delay_ms(
+            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)) {
+    for (std::size_t i = 0; i < num_shards * num_replicas; ++i) {
+      down[i].store(false, std::memory_order_relaxed);
+      delay_ms[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t slot(std::size_t s, std::size_t r) const {
+    return s * replicas + r;
+  }
+
+  std::size_t shards;
+  std::size_t replicas;
+  std::unique_ptr<std::atomic<bool>[]> down;
+  std::unique_ptr<std::atomic<int>[]> delay_ms;
+  /// Async work items still on the pool (including abandoned hedge losers);
+  /// the destructor drains this before the shards are released.
+  std::atomic<std::size_t> inflight{0};
+};
+
+namespace {
+
+/// Simulated straggler: the injected latency of the filter work item.
+void ApplyInjectedDelay(int delay_ms) {
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
+}  // namespace
 
 ShardedCloudServer::ShardedCloudServer(ShardedEncryptedDatabase db)
     : manifest_(std::move(db.manifest)) {
   PPANNS_CHECK(!db.shards.empty());
-  shards_.reserve(db.shards.size());
+  const std::size_t num_replicas = db.shards.front().size();
+  PPANNS_CHECK(num_replicas >= 1);
+  replicas_.resize(db.shards.size());
   std::vector<std::size_t> capacities;
   capacities.reserve(db.shards.size());
-  for (EncryptedDatabase& shard : db.shards) {
-    capacities.push_back(shard.index->capacity());
-    shards_.emplace_back(std::move(shard));
+  for (std::size_t s = 0; s < db.shards.size(); ++s) {
+    // Uniform replica groups whose members agree on the local id space —
+    // Deserialize enforces this on load, owner builds satisfy it by
+    // construction.
+    PPANNS_CHECK(db.shards[s].size() == num_replicas);
+    replicas_[s].reserve(num_replicas);
+    for (EncryptedDatabase& replica : db.shards[s]) {
+      if (!replicas_[s].empty()) {
+        PPANNS_CHECK(replica.index->capacity() ==
+                     replicas_[s].front().index().capacity());
+      }
+      replicas_[s].emplace_back(std::move(replica));
+    }
+    capacities.push_back(replicas_[s].front().index().capacity());
   }
   // Owner-built packages are consistent by construction and Deserialize
   // revalidates on load; an inconsistent manifest here is a programmer error.
   PPANNS_CHECK(manifest_.Validate(capacities).ok());
 
-  local_to_global_.resize(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  local_to_global_.resize(replicas_.size());
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
     local_to_global_[s].resize(capacities[s], kInvalidVectorId);
   }
   for (std::size_t g = 0; g < manifest_.size(); ++g) {
     const ShardRef& ref = manifest_.at(static_cast<VectorId>(g));
     local_to_global_[ref.shard][ref.local] = static_cast<VectorId>(g);
   }
+
+  runtime_ = std::make_unique<Runtime>(replicas_.size(), num_replicas);
 }
 
-SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
-                                        const SearchSettings& settings) const {
-  SearchResult result;
-  if (k == 0 || size() == 0) return result;
-  const std::size_t k_prime = ResolveKPrime(settings, k);
+// Out of line: Runtime is incomplete in the header.
+ShardedCloudServer::ShardedCloudServer(ShardedCloudServer&&) noexcept = default;
 
-  // ---- Scatter (filter phase): every shard answers the full k'-ANNS over
-  // its own index. Inside a batch worker the fan-out runs inline; standalone
-  // calls parallelize across shards.
-  Timer filter_timer;
-  std::vector<std::vector<Neighbor>> per_shard(shards_.size());
-  ThreadPool::Global().ParallelFor(
-      shards_.size(), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t s = begin; s < end; ++s) {
-          if (shards_[s].index().size() == 0) continue;
-          per_shard[s] = shards_[s].index().Search(token.sap.data(), k_prime,
-                                                   settings.ef_search);
-        }
-      });
+ShardedCloudServer& ShardedCloudServer::operator=(
+    ShardedCloudServer&& other) noexcept {
+  if (this != &other) {
+    // The shards and runtime about to be released may still be read by
+    // abandoned async work items; wait them out like the destructor does.
+    DrainAsyncWork();
+    replicas_ = std::move(other.replicas_);
+    manifest_ = std::move(other.manifest_);
+    local_to_global_ = std::move(other.local_to_global_);
+    runtime_ = std::move(other.runtime_);
+  }
+  return *this;
+}
+
+ShardedCloudServer::~ShardedCloudServer() { DrainAsyncWork(); }
+
+void ShardedCloudServer::DrainAsyncWork() const {
+  if (runtime_ == nullptr) return;  // moved-from
+  while (runtime_->inflight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void ShardedCloudServer::SetReplicaDown(std::size_t s, std::size_t r,
+                                        bool down) {
+  runtime_->down[runtime_->slot(s, r)].store(down, std::memory_order_release);
+}
+
+bool ShardedCloudServer::replica_down(std::size_t s, std::size_t r) const {
+  return runtime_->down[runtime_->slot(s, r)].load(std::memory_order_acquire);
+}
+
+void ShardedCloudServer::SetReplicaDelayMs(std::size_t s, std::size_t r,
+                                           int delay_ms) {
+  runtime_->delay_ms[runtime_->slot(s, r)].store(delay_ms,
+                                                 std::memory_order_release);
+}
+
+std::size_t ShardedCloudServer::live_replicas(std::size_t s) const {
+  std::size_t live = 0;
+  for (std::size_t r = 0; r < replication_factor(); ++r) {
+    if (!replica_down(s, r)) ++live;
+  }
+  return live;
+}
+
+int ShardedCloudServer::FirstLiveReplica(std::size_t s,
+                                         std::size_t* skipped) const {
+  for (std::size_t r = 0; r < replication_factor(); ++r) {
+    if (!replica_down(s, r)) return static_cast<int>(r);
+    if (skipped != nullptr) ++*skipped;
+  }
+  return -1;
+}
+
+std::vector<Neighbor> ShardedCloudServer::FilterOnReplica(
+    std::size_t s, std::size_t r, const QueryToken& token, std::size_t k_prime,
+    std::size_t ef_search) const {
+  ApplyInjectedDelay(
+      runtime_->delay_ms[runtime_->slot(s, r)].load(std::memory_order_acquire));
+  const CloudServer& replica = replicas_[s][r];
+  if (replica.index().size() == 0) return {};
+  std::vector<Neighbor> local =
+      replica.index().Search(token.sap.data(), k_prime, ef_search);
+  for (Neighbor& nb : local) nb.id = local_to_global_[s][nb.id];
+  return local;
+}
+
+SearchResult ShardedCloudServer::MergeAndRefine(
+    const QueryToken& token, std::size_t k, const SearchSettings& settings,
+    std::size_t k_prime, std::vector<std::vector<Neighbor>> per_shard) const {
+  SearchResult result;
 
   // ---- Gather: merge to the global SAP-top-k' under the same
   // (distance, global id) order an unsharded filter phase produces. Each
   // shard's top-k' is complete for that shard, so the merged prefix equals
   // the unsharded candidate list whenever the backends are exact.
   std::vector<Neighbor> merged;
-  for (std::size_t s = 0; s < per_shard.size(); ++s) {
-    for (const Neighbor& nb : per_shard[s]) {
-      merged.push_back(Neighbor{local_to_global_[s][nb.id], nb.distance});
-    }
+  for (const std::vector<Neighbor>& shard_candidates : per_shard) {
+    merged.insert(merged.end(), shard_candidates.begin(),
+                  shard_candidates.end());
   }
   std::sort(merged.begin(), merged.end());
   if (merged.size() > k_prime) merged.resize(k_prime);
-  result.counters.filter_seconds = filter_timer.ElapsedSeconds();
   result.counters.filter_candidates = merged.size();
 
   if (!settings.refine) {
@@ -76,17 +192,27 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   }
 
   // ---- Refine: one DCE ComparisonHeap over the merged budget, resolving
-  // each global id to its shard's ciphertext through the manifest.
+  // each global id to its shard's ciphertext through the manifest. Any live
+  // replica serves the lookup (ciphertexts are identical across replicas);
+  // the choice is pinned per shard up front so the comparison hot loop does
+  // no health checks.
+  std::vector<const CloudServer*> dce_source(replicas_.size());
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
+    const int r = FirstLiveReplica(s);
+    dce_source[s] = r >= 0 ? &replicas_[s][r] : &replicas_[s].front();
+  }
+
   Timer refine_timer;
   std::size_t* comparisons = &result.counters.dce_comparisons;
-  ComparisonHeap heap(k, [this, &token, comparisons](VectorId a, VectorId b) {
-    ++*comparisons;
-    const ShardRef& ra = manifest_.at(a);
-    const ShardRef& rb = manifest_.at(b);
-    return DceScheme::Closer(shards_[ra.shard].dce_ciphertexts()[ra.local],
-                             shards_[rb.shard].dce_ciphertexts()[rb.local],
-                             token.trapdoor);
-  });
+  ComparisonHeap heap(
+      k, [this, &token, &dce_source, comparisons](VectorId a, VectorId b) {
+        ++*comparisons;
+        const ShardRef& ra = manifest_.at(a);
+        const ShardRef& rb = manifest_.at(b);
+        return DceScheme::Closer(
+            dce_source[ra.shard]->dce_ciphertexts()[ra.local],
+            dce_source[rb.shard]->dce_ciphertexts()[rb.local], token.trapdoor);
+      });
   for (const Neighbor& cand : merged) {
     heap.Offer(cand.id);
   }
@@ -95,14 +221,330 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   return result;
 }
 
+SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
+                                        const SearchSettings& settings) const {
+  SearchResult result;
+  if (k == 0 || size() == 0) return result;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
+
+  // ---- Scatter (filter phase): every shard answers the full k'-ANNS over
+  // its first live replica. Inside a batch worker the fan-out runs inline;
+  // standalone calls parallelize across shards. The gather below is a
+  // barrier — the synchronous path's tail latency is the slowest replica.
+  Timer filter_timer;
+  const std::size_t num_shards = replicas_.size();
+  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  std::vector<std::size_t> skipped(num_shards, 0);
+  std::vector<char> shard_down(num_shards, 0);
+  ThreadPool::Global().ParallelFor(
+      num_shards, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const int r = FirstLiveReplica(s, &skipped[s]);
+          if (r < 0) {
+            shard_down[s] = 1;
+            continue;
+          }
+          per_shard[s] = FilterOnReplica(s, static_cast<std::size_t>(r), token,
+                                         k_prime, settings.ef_search);
+        }
+      });
+  const double filter_seconds = filter_timer.ElapsedSeconds();
+
+  result = MergeAndRefine(token, k, settings, k_prime, std::move(per_shard));
+  result.counters.filter_seconds = filter_seconds;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    result.counters.replicas_skipped += skipped[s];
+    if (shard_down[s]) result.partial = true;
+  }
+  return result;
+}
+
+Result<SearchResult> ShardedCloudServer::SearchAsync(
+    const QueryToken& token, std::size_t k, const SearchSettings& settings,
+    const AsyncOptions& async) const {
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.InWorker()) {
+    // Hedging needs free workers to run the hedge on; inside a pool worker
+    // the scatter runs inline (ParallelFor's nested rule), which already
+    // avoids the straggler wait across *queries* at the batch level.
+    SearchResult result = Search(token, k, settings);
+    if (result.partial && !async.allow_partial) {
+      return Status::FailedPrecondition(
+          "SearchAsync: a shard has no live replica and partial results are "
+          "disabled");
+    }
+    return result;
+  }
+
+  SearchResult empty;
+  if (k == 0 || size() == 0) return empty;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
+  const std::size_t num_shards = replicas_.size();
+  const std::size_t num_replicas = replication_factor();
+  Runtime* const rt = runtime_.get();
+
+  // Everything an abandoned work item may touch after this call returns
+  // lives here, behind a shared_ptr: the token copy, the claim flags and the
+  // answer slots. Work items additionally touch the CloudServers and the
+  // local_to_global rows through stable heap pointers, guarded against
+  // destruction by Runtime::inflight.
+  struct ShardSlot {
+    std::atomic<bool> claimed{false};
+    std::vector<Neighbor> answer;  // written once by the claiming task
+  };
+  struct Coordinator {
+    QueryToken token;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;  // shards dispatched but not yet answered
+    std::unique_ptr<ShardSlot[]> shards;
+  };
+  auto co = std::make_shared<Coordinator>();
+  co->token = token;
+  co->shards = std::make_unique<ShardSlot[]>(num_shards);
+
+  SearchResult result;
+  Timer filter_timer;
+
+  // One (query, shard-replica) work item. An injected straggler delay is
+  // served in 1 ms slices that *requeue the item* between slices instead of
+  // blocking a worker: the pool stays responsive (healthy items and hedges
+  // interleave even on a single-core pool), and a lost hedge race cancels
+  // cleanly — a requeued loser observes the claim flag and exits without
+  // searching. The item carries everything it touches by stable pointer or
+  // shared_ptr, never `this`, because a loser can outlive SearchAsync (its
+  // in-flight count is what the server destructor drains).
+  struct WorkItem {
+    std::shared_ptr<Coordinator> co;
+    const CloudServer* replica;
+    const std::vector<VectorId>* l2g;
+    Runtime* rt;
+    std::size_t s;
+    int delay_remaining_ms;
+    std::size_t k_prime;
+    std::size_t ef_search;
+
+    void operator()() {
+      ShardSlot& slot = co->shards[s];
+      if (slot.claimed.load(std::memory_order_acquire)) {
+        rt->inflight.fetch_sub(1, std::memory_order_acq_rel);  // lost: cancel
+        return;
+      }
+      if (delay_remaining_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        WorkItem next = *this;
+        --next.delay_remaining_ms;
+        // The in-flight count transfers to the continuation.
+        ThreadPool::Global().Submit(std::move(next));
+        return;
+      }
+      std::vector<Neighbor> local;
+      if (replica->index().size() > 0) {
+        local =
+            replica->index().Search(co->token.sap.data(), k_prime, ef_search);
+        for (Neighbor& nb : local) nb.id = (*l2g)[nb.id];
+      }
+      if (!slot.claimed.exchange(true, std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(co->mu);
+        slot.answer = std::move(local);
+        --co->pending;
+        co->cv.notify_all();
+      }
+      rt->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  const auto dispatch = [&pool, co, rt, this, k_prime,
+                         &settings](std::size_t s, std::size_t r) {
+    rt->inflight.fetch_add(1, std::memory_order_acq_rel);
+    pool.Submit(WorkItem{
+        co, &replicas_[s][r], &local_to_global_[s], rt, s,
+        rt->delay_ms[rt->slot(s, r)].load(std::memory_order_acquire), k_prime,
+        settings.ef_search});
+  };
+
+  // ---- Initial scatter: one work item per shard on its first live replica.
+  std::vector<std::size_t> next_replica(num_shards, 0);
+  std::vector<char> shard_failed(num_shards, 0);
+  std::vector<char> shard_pending(num_shards, 0);
+  std::size_t live_shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(co->mu);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      std::size_t skipped = 0;
+      const int r = FirstLiveReplica(s, &skipped);
+      result.counters.replicas_skipped += skipped;
+      if (r < 0) {
+        shard_failed[s] = 1;
+        continue;
+      }
+      ++live_shards;
+      ++co->pending;
+      shard_pending[s] = 1;
+      next_replica[s] = static_cast<std::size_t>(r) + 1;
+    }
+  }
+  if (live_shards == 0) {
+    return Status::FailedPrecondition(
+        "SearchAsync: every replica of every shard is down");
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (shard_pending[s]) dispatch(s, next_replica[s] - 1);
+  }
+
+  // ---- Gather with hedging: wait in hedge_ms steps; at each missed
+  // deadline, fan the unanswered shards out to their next live replica.
+  {
+    std::unique_lock<std::mutex> lock(co->mu);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t level = 1;
+    const bool hedging = async.hedge_ms > 0.0;
+    for (;;) {
+      if (!hedging) {
+        co->cv.wait(lock, [&co] { return co->pending == 0; });
+        break;
+      }
+      const auto deadline =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          async.hedge_ms * static_cast<double>(level)));
+      if (co->cv.wait_until(lock, deadline,
+                            [&co] { return co->pending == 0; })) {
+        break;
+      }
+      bool any_replica_left = false;
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (!shard_pending[s] ||
+            co->shards[s].claimed.load(std::memory_order_acquire)) {
+          continue;
+        }
+        // Next live replica for this shard, if any remains to hedge onto.
+        while (next_replica[s] < num_replicas &&
+               replica_down(s, next_replica[s])) {
+          ++next_replica[s];
+          ++result.counters.replicas_skipped;
+        }
+        if (next_replica[s] >= num_replicas) continue;
+        const std::size_t r = next_replica[s]++;
+        ++result.counters.hedged_requests;
+        any_replica_left = next_replica[s] < num_replicas || any_replica_left;
+        dispatch(s, r);
+      }
+      ++level;
+      if (!any_replica_left) {
+        // Every remaining replica has been dispatched; nothing more to
+        // escalate to — wait for the first of them to answer each shard.
+        co->cv.wait(lock, [&co] { return co->pending == 0; });
+        break;
+      }
+    }
+  }
+  const double filter_seconds = filter_timer.ElapsedSeconds();
+
+  // ---- Collect. Loser tasks may still be running; they can no longer win
+  // the claim, so the answers are stable (the claiming writes happened
+  // before the final --pending we just observed under co->mu).
+  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  bool partial = false;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (shard_failed[s]) {
+      partial = true;
+      continue;
+    }
+    per_shard[s] = std::move(co->shards[s].answer);
+  }
+  if (partial && !async.allow_partial) {
+    return Status::FailedPrecondition(
+        "SearchAsync: a shard has no live replica and partial results are "
+        "disabled");
+  }
+
+  const std::size_t hedges = result.counters.hedged_requests;
+  const std::size_t skipped = result.counters.replicas_skipped;
+  result = MergeAndRefine(token, k, settings, k_prime, std::move(per_shard));
+  result.counters.filter_seconds = filter_seconds;
+  result.counters.hedged_requests = hedges;
+  result.counters.replicas_skipped = skipped;
+  result.partial = partial;
+  return result;
+}
+
+std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
+    std::span<const QueryToken> tokens, std::size_t k,
+    const SearchSettings& settings) const {
+  const std::size_t num_queries = tokens.size();
+  const std::size_t num_shards = replicas_.size();
+  std::vector<SearchResult> results(num_queries);
+  if (num_queries == 0 || k == 0 || size() == 0) return results;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
+
+  // Resolve the serving replica of every shard once per batch.
+  std::vector<int> serving(num_shards, -1);
+  std::size_t skipped = 0;
+  bool partial = false;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    serving[s] = FirstLiveReplica(s, &skipped);
+    if (serving[s] < 0) partial = true;
+  }
+
+  // ---- Phase 1: one flat fan-out over all Q*S (query, shard) work items.
+  // Work item (q, s) is independent of every other, so a small batch still
+  // spreads across every core instead of leaving (cores - Q) idle.
+  std::vector<std::vector<std::vector<Neighbor>>> candidates(num_queries);
+  for (auto& per_query : candidates) per_query.resize(num_shards);
+  std::vector<double> item_seconds(num_queries * num_shards, 0.0);
+  ThreadPool::Global().ParallelFor(
+      num_queries * num_shards, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t item = begin; item < end; ++item) {
+          const std::size_t q = item / num_shards;
+          const std::size_t s = item % num_shards;
+          if (serving[s] < 0) continue;
+          Timer item_timer;
+          candidates[q][s] =
+              FilterOnReplica(s, static_cast<std::size_t>(serving[s]),
+                              tokens[q], k_prime, settings.ef_search);
+          item_seconds[item] = item_timer.ElapsedSeconds();
+        }
+      });
+
+  // ---- Phase 2: per-query merge + refine, fanned across queries.
+  ThreadPool::Global().ParallelFor(
+      num_queries, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          results[q] = MergeAndRefine(tokens[q], k, settings, k_prime,
+                                      std::move(candidates[q]));
+          double filter_seconds = 0.0;
+          for (std::size_t s = 0; s < num_shards; ++s) {
+            filter_seconds += item_seconds[q * num_shards + s];
+          }
+          results[q].counters.filter_seconds = filter_seconds;
+          results[q].counters.replicas_skipped = skipped;
+          results[q].partial = partial;
+        }
+      });
+  return results;
+}
+
 VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
+  // Abandoned hedge losers may still be reading the indexes and the
+  // local-to-global rows this mutation is about to touch; they cancel fast
+  // (claim flag), so wait them out before mutating.
+  DrainAsyncWork();
   // Least-loaded routing by live count; ties go to the lowest shard id so
   // routing is deterministic.
   std::size_t target = 0;
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    if (shards_[s].size() < shards_[target].size()) target = s;
+  for (std::size_t s = 1; s < replicas_.size(); ++s) {
+    if (replicas_[s].front().size() < replicas_[target].front().size()) {
+      target = s;
+    }
   }
-  const VectorId local = shards_[target].Insert(v);
+  // Every replica of the target shard applies the insert, so replicas stay
+  // identical and any of them can serve or fail over afterwards.
+  const VectorId local = replicas_[target].front().Insert(v);
+  for (std::size_t r = 1; r < replicas_[target].size(); ++r) {
+    const VectorId replica_local = replicas_[target][r].Insert(v);
+    PPANNS_CHECK(replica_local == local);
+  }
   const VectorId global_id =
       manifest_.Append(static_cast<ShardId>(target), local);
   PPANNS_CHECK(local == local_to_global_[target].size());
@@ -111,14 +553,22 @@ VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
 }
 
 Status ShardedCloudServer::Delete(VectorId global_id) {
+  DrainAsyncWork();  // see Insert
   if (global_id >= manifest_.size()) {
     return Status::InvalidArgument("Delete: global id " +
                                    std::to_string(global_id) +
                                    " was never assigned");
   }
   const ShardRef& ref = manifest_.at(global_id);
-  Status st = shards_[ref.shard].Delete(ref.local);
-  if (st.ok()) return st;
+  Status st = replicas_[ref.shard].front().Delete(ref.local);
+  if (st.ok()) {
+    // Replicas mirror the primary exactly, so the tombstone must land on
+    // every one of them.
+    for (std::size_t r = 1; r < replicas_[ref.shard].size(); ++r) {
+      PPANNS_CHECK(replicas_[ref.shard][r].Delete(ref.local).ok());
+    }
+    return st;
+  }
   // The per-shard status names the local id, which the caller never saw;
   // restate it in global terms.
   const std::string where = "Delete: global id " + std::to_string(global_id) +
@@ -136,20 +586,27 @@ Status ShardedCloudServer::Delete(VectorId global_id) {
 
 std::size_t ShardedCloudServer::size() const {
   std::size_t total = 0;
-  for (const CloudServer& shard : shards_) total += shard.size();
+  for (const std::vector<CloudServer>& group : replicas_) {
+    total += group.front().size();
+  }
   return total;
 }
 
 std::size_t ShardedCloudServer::StorageBytes() const {
   std::size_t total = manifest_.size() * sizeof(ShardRef);
-  for (const CloudServer& shard : shards_) total += shard.StorageBytes();
+  for (const std::vector<CloudServer>& group : replicas_) {
+    for (const CloudServer& replica : group) total += replica.StorageBytes();
+  }
   return total;
 }
 
 void ShardedCloudServer::SerializeDatabase(BinaryWriter* out) const {
   ShardedEncryptedDatabase::WriteEnvelopeHeader(
-      out, static_cast<std::uint32_t>(shards_.size()));
-  for (const CloudServer& shard : shards_) shard.SerializeDatabase(out);
+      out, static_cast<std::uint32_t>(replicas_.size()),
+      static_cast<std::uint32_t>(replication_factor()));
+  for (const std::vector<CloudServer>& group : replicas_) {
+    for (const CloudServer& replica : group) replica.SerializeDatabase(out);
+  }
   manifest_.Serialize(out);
 }
 

@@ -1,5 +1,5 @@
-// The sharded cloud server: S per-shard CloudServers behind the single-shard
-// result contract.
+// The sharded, replicated cloud server: S replica groups of per-shard
+// CloudServers behind the single-shard result contract.
 //
 // Search is scatter-gather. Every shard answers the full k'-ANNS filter
 // phase over its own SecureFilterIndex (the scatter fans across the global
@@ -13,14 +13,31 @@
 // merged candidate set equals the unsharded one and the returned ids are
 // identical.
 //
-// Maintenance keeps the manifest authoritative: Insert routes to the
-// least-loaded shard and appends the new (shard, local) location under the
-// next dense global id; Delete resolves the global id through the manifest.
+// Replication makes the tier latency-hiding and loss-tolerant. Every shard
+// may carry R byte-identical replicas; any replica answers for the shard
+// with identical results, so
+//  * replica loss fails over to the next live replica without changing a
+//    single result id;
+//  * SearchAsync fans (query, shard-replica) work items through ThreadPool
+//    futures-style tasks and, when a shard misses the hedging deadline,
+//    dispatches the same work to the next replica — first answer wins, the
+//    loser is discarded (it checks the claim flag and skips the search if it
+//    lost before starting);
+//  * a shard whose every replica is down degrades to a partial result (flag
+//    on SearchResult) or a Status, per AsyncOptions.
+//
+// Maintenance keeps the manifest authoritative and the replicas identical:
+// Insert routes to the least-loaded shard and applies to every replica of
+// it; Delete resolves the global id through the manifest and tombstones all
+// replicas.
 
 #ifndef PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
 #define PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -30,46 +47,157 @@
 
 namespace ppanns {
 
+/// Knobs of the asynchronous scatter-gather path (SearchAsync).
+struct AsyncOptions {
+  /// Hedging deadline in milliseconds. When a shard has not answered this
+  /// long after the scatter, the same (query, shard) work item is dispatched
+  /// to the shard's next live replica and the first answer wins; every
+  /// further multiple of the deadline escalates to the replica after that.
+  /// <= 0 disables hedging (the gather waits on the initial dispatch only).
+  double hedge_ms = 5.0;
+  /// What to do when every replica of a shard is down: true serves the
+  /// remaining shards and sets SearchResult::partial; false fails the whole
+  /// query with FailedPrecondition. A query is always failed when *no* shard
+  /// has a live replica.
+  bool allow_partial = true;
+};
+
+/// The sharded, replicated serving tier: scatter-gathers Algorithm 2 across
+/// S shards of R byte-identical replicas each, behind the single-shard
+/// result contract. Offers a synchronous barrier gather (Search), an async
+/// hedged gather that hides stragglers (SearchAsync), and a batch-level
+/// (query, shard) fan-out (SearchBatchScattered); fails over on replica
+/// loss with identical result ids.
 class ShardedCloudServer {
  public:
   /// Takes ownership of a validated package (Deserialize has already checked
-  /// the manifest; owner-built packages are consistent by construction).
+  /// the manifest and replica-group consistency; owner-built packages are
+  /// consistent by construction).
   explicit ShardedCloudServer(ShardedEncryptedDatabase db);
 
-  /// Algorithm 2 over every shard, merged through one DCE heap. Thread-safe
-  /// for concurrent const calls, like CloudServer::Search.
+  /// Waits for any abandoned async work items (hedge losers still running on
+  /// the pool) before releasing the shards they read.
+  ~ShardedCloudServer();
+
+  ShardedCloudServer(ShardedCloudServer&&) noexcept;
+  ShardedCloudServer& operator=(ShardedCloudServer&&) noexcept;
+
+  /// Algorithm 2 over every shard, merged through one DCE heap. Synchronous:
+  /// the scatter still fans across the pool (inline inside a batch worker)
+  /// but the gather is a barrier — one slow replica stalls the query, which
+  /// is exactly what SearchAsync exists to avoid. Skips down replicas (fails
+  /// over in shard order); a shard with no live replica is excluded and the
+  /// result is marked partial. Thread-safe for concurrent const calls, like
+  /// CloudServer::Search.
   SearchResult Search(const QueryToken& token, std::size_t k,
                       const SearchSettings& settings = {}) const;
 
-  /// Links a freshly encrypted vector into the least-loaded shard and
-  /// returns its dense *global* id.
+  /// The asynchronous serving path: fans (query, shard-replica) work items
+  /// across the global ThreadPool, hedges shards that miss
+  /// `async.hedge_ms` onto their next live replica (first answer wins), and
+  /// merges through the same DCE heap as Search. Results are identical to
+  /// Search on a healthy cluster — replicas are byte-identical, so *which*
+  /// replica answers never changes the ids. Degrades per AsyncOptions when
+  /// every replica of a shard is down; fails with FailedPrecondition when no
+  /// shard is serveable. Falls back to the inline synchronous scatter when
+  /// called from a pool worker (hedging needs free workers).
+  Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
+                                   const SearchSettings& settings = {},
+                                   const AsyncOptions& async = {}) const;
+
+  /// Batch-level scatter: fans Q*S (query, shard) filter work items across
+  /// the pool in one flat ParallelFor, then merges/refines per query — for
+  /// small batches on many-core hosts this keeps every core busy where the
+  /// per-query fan-out would leave (cores - S) idle. Results are identical
+  /// to a sequential Search loop over the tokens (same candidates, same
+  /// merge order); per-query filter_seconds is attributed from the
+  /// (query, shard) items of that query.
+  std::vector<SearchResult> SearchBatchScattered(
+      std::span<const QueryToken> tokens, std::size_t k,
+      const SearchSettings& settings = {}) const;
+
+  /// Links a freshly encrypted vector into every replica of the least-loaded
+  /// shard and returns its dense *global* id.
   VectorId Insert(const EncryptedVector& v);
 
-  /// Removes the vector behind a global id (manifest lookup + per-shard
-  /// delete). InvalidArgument if the id was never assigned.
+  /// Removes the vector behind a global id (manifest lookup + per-replica
+  /// delete on its shard). InvalidArgument if the id was never assigned.
   Status Delete(VectorId global_id);
 
   std::size_t size() const;           ///< live vectors across all shards
   std::size_t capacity() const { return manifest_.size(); }  ///< next global id
-  std::size_t dim() const { return shards_.front().index().dim(); }
-  IndexKind index_kind() const { return shards_.front().index().kind(); }
-  std::size_t num_shards() const { return shards_.size(); }
-  const CloudServer& shard(std::size_t s) const { return shards_[s]; }
+  std::size_t dim() const { return shard(0).index().dim(); }
+  IndexKind index_kind() const { return shard(0).index().kind(); }
+  std::size_t num_shards() const { return replicas_.size(); }
+  /// Replicas per shard (uniform; 1 for an unreplicated package).
+  std::size_t replication_factor() const { return replicas_.front().size(); }
+  /// The primary replica of shard s (the PR-2 accessor).
+  const CloudServer& shard(std::size_t s) const { return replicas_[s].front(); }
+  const CloudServer& replica(std::size_t s, std::size_t r) const {
+    return replicas_[s][r];
+  }
   const ShardManifest& manifest() const { return manifest_; }
+
+  // ---- Replica health & fault injection (admin / test / bench surface).
+  // In a multi-process deployment these flags would be driven by health
+  // checks; in-process they simulate loss and stragglers deterministically.
+
+  /// Marks a replica up/down. Down replicas are skipped at dispatch time by
+  /// every search path and by hedging.
+  void SetReplicaDown(std::size_t s, std::size_t r, bool down);
+  bool replica_down(std::size_t s, std::size_t r) const;
+  /// Injects a fixed artificial latency into every filter-phase execution on
+  /// replica (s, r) — the straggler knob behind bench/fig11_tail_latency.
+  void SetReplicaDelayMs(std::size_t s, std::size_t r, int delay_ms);
+  /// Live replicas of shard s (R minus the ones marked down).
+  std::size_t live_replicas(std::size_t s) const;
 
   std::size_t StorageBytes() const;
 
   /// Snapshots the whole package (including maintenance mutations) in the
-  /// sharded envelope format.
+  /// sharded envelope format (v1 when unreplicated, v2 otherwise).
   void SerializeDatabase(BinaryWriter* out) const;
 
  private:
-  std::vector<CloudServer> shards_;
+  /// Mutable serving-tier state that must survive moves at a stable address:
+  /// async work items capture a raw pointer to it (and to the CloudServers,
+  /// whose heap slots are stable under vector move).
+  struct Runtime;
+
+  /// Waits until no abandoned async work item (hedge loser) is still
+  /// touching the shards — losers cancel at their next claim-flag check, so
+  /// this is short. Called before anything that mutates or releases shard
+  /// state: Insert, Delete, move-assignment, destruction.
+  void DrainAsyncWork() const;
+
+  /// First live replica of shard s in replica order, or -1 if all are down.
+  /// `skipped`, when non-null, accumulates how many down replicas were
+  /// passed over.
+  int FirstLiveReplica(std::size_t s, std::size_t* skipped = nullptr) const;
+
+  /// One (query, shard) filter work item on a chosen replica: applies the
+  /// injected delay, runs the k'-ANNS, and translates local ids to global.
+  std::vector<Neighbor> FilterOnReplica(std::size_t s, std::size_t r,
+                                        const QueryToken& token,
+                                        std::size_t k_prime,
+                                        std::size_t ef_search) const;
+
+  /// The gather + refine shared by every search path: merges per-shard
+  /// global-id candidates to the SAP-top-k', then (unless settings.refine is
+  /// off) streams them through one DCE ComparisonHeap. Fills ids,
+  /// filter_candidates, dce_comparisons, refine_seconds.
+  SearchResult MergeAndRefine(const QueryToken& token, std::size_t k,
+                              const SearchSettings& settings,
+                              std::size_t k_prime,
+                              std::vector<std::vector<Neighbor>> per_shard) const;
+
+  std::vector<std::vector<CloudServer>> replicas_;  ///< [shard][replica]
   ShardManifest manifest_;
   /// Reverse of the manifest, per shard: local_to_global_[s][local] is the
   /// global id of shard s's local vector. Rebuilt at construction, extended
-  /// by Insert.
+  /// by Insert. Shared by all replicas of a shard (identical id spaces).
   std::vector<std::vector<VectorId>> local_to_global_;
+  std::unique_ptr<Runtime> runtime_;
 };
 
 }  // namespace ppanns

@@ -7,11 +7,17 @@ namespace ppanns {
 namespace {
 
 constexpr std::uint32_t kShardedMagic = 0x50505348;  // "PPSH"
-constexpr std::uint32_t kShardedVersion = 1;
+// v1: no replication — one payload per shard. v2 inserts a replica count
+// after the shard count and stores replication_factor payloads per shard,
+// replicas of one shard adjacent. Both load; v1 is still written whenever
+// the factor is 1 so unreplicated packages stay bit-compatible with PR 2.
+constexpr std::uint32_t kShardedVersionV1 = 1;
+constexpr std::uint32_t kShardedVersionV2 = 2;
 
-// An upper bound no legitimate deployment approaches; rejects fuzzed shard
-// counts before they turn into giant allocations.
+// Upper bounds no legitimate deployment approaches; reject fuzzed counts
+// before they turn into giant allocations.
 constexpr std::uint32_t kMaxShards = 1u << 16;
+constexpr std::uint32_t kMaxReplicas = 64;
 
 }  // namespace
 
@@ -61,28 +67,38 @@ Status ShardManifest::Validate(
   return Status::OK();
 }
 
-void ShardedEncryptedDatabase::WriteEnvelopeHeader(BinaryWriter* out,
-                                                   std::uint32_t num_shards) {
+void ShardedEncryptedDatabase::WriteEnvelopeHeader(
+    BinaryWriter* out, std::uint32_t num_shards, std::uint32_t num_replicas) {
   out->Put<std::uint32_t>(kShardedMagic);
-  out->Put<std::uint32_t>(kShardedVersion);
+  if (num_replicas <= 1) {
+    // Unreplicated packages keep the PR-2 wire bytes.
+    out->Put<std::uint32_t>(kShardedVersionV1);
+    out->Put<std::uint32_t>(num_shards);
+    return;
+  }
+  out->Put<std::uint32_t>(kShardedVersionV2);
   out->Put<std::uint32_t>(num_shards);
+  out->Put<std::uint32_t>(num_replicas);
 }
 
 void ShardedEncryptedDatabase::Serialize(BinaryWriter* out) const {
-  WriteEnvelopeHeader(out, static_cast<std::uint32_t>(shards.size()));
-  for (const EncryptedDatabase& shard : shards) shard.Serialize(out);
+  WriteEnvelopeHeader(out, static_cast<std::uint32_t>(shards.size()),
+                      static_cast<std::uint32_t>(replication_factor()));
+  for (const std::vector<EncryptedDatabase>& group : shards) {
+    for (const EncryptedDatabase& replica : group) replica.Serialize(out);
+  }
   manifest.Serialize(out);
 }
 
 Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
     BinaryReader* in) {
-  std::uint32_t magic = 0, version = 0, num_shards = 0;
+  std::uint32_t magic = 0, version = 0, num_shards = 0, num_replicas = 1;
   PPANNS_RETURN_IF_ERROR(in->Get(&magic));
   if (magic != kShardedMagic) {
     return Status::IOError("ShardedEncryptedDatabase: bad magic");
   }
   PPANNS_RETURN_IF_ERROR(in->Get(&version));
-  if (version != kShardedVersion) {
+  if (version != kShardedVersionV1 && version != kShardedVersionV2) {
     return Status::IOError("ShardedEncryptedDatabase: unsupported version");
   }
   PPANNS_RETURN_IF_ERROR(in->Get(&num_shards));
@@ -90,16 +106,38 @@ Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
     return Status::IOError("ShardedEncryptedDatabase: implausible shard count " +
                            std::to_string(num_shards));
   }
+  if (version == kShardedVersionV2) {
+    PPANNS_RETURN_IF_ERROR(in->Get(&num_replicas));
+    if (num_replicas == 0 || num_replicas > kMaxReplicas) {
+      return Status::IOError(
+          "ShardedEncryptedDatabase: implausible replica count " +
+          std::to_string(num_replicas));
+    }
+  }
 
   ShardedEncryptedDatabase db;
-  db.shards.reserve(num_shards);
+  db.shards.resize(num_shards);
   std::vector<std::size_t> capacities;
   capacities.reserve(num_shards);
   for (std::uint32_t s = 0; s < num_shards; ++s) {
-    Result<EncryptedDatabase> shard = EncryptedDatabase::Deserialize(in);
-    if (!shard.ok()) return shard.status();
-    capacities.push_back(shard->index->capacity());
-    db.shards.push_back(std::move(*shard));
+    db.shards[s].reserve(num_replicas);
+    for (std::uint32_t r = 0; r < num_replicas; ++r) {
+      Result<EncryptedDatabase> replica = EncryptedDatabase::Deserialize(in);
+      if (!replica.ok()) return replica.status();
+      // Replicas of one shard must agree on the local id space, or the
+      // manifest (validated against replica 0) would mislocate vectors on
+      // failover.
+      if (r > 0 && replica->index->capacity() != capacities[s]) {
+        return Status::IOError(
+            "ShardedEncryptedDatabase: shard " + std::to_string(s) +
+            " replica " + std::to_string(r) + " capacity " +
+            std::to_string(replica->index->capacity()) +
+            " disagrees with replica 0 capacity " +
+            std::to_string(capacities[s]));
+      }
+      if (r == 0) capacities.push_back(replica->index->capacity());
+      db.shards[s].push_back(std::move(*replica));
+    }
   }
 
   Result<ShardManifest> manifest = ShardManifest::Deserialize(in);

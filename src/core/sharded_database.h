@@ -1,12 +1,16 @@
-// The sharded outsourced package: S per-shard EncryptedDatabases plus the
-// manifest that locates every global VectorId as a (shard, local id) pair.
+// The sharded outsourced package: S replica groups of per-shard
+// EncryptedDatabases plus the manifest that locates every global VectorId as
+// a (shard, local id) pair.
 //
 // Sharding is the scaling seam of the serving stack (ROADMAP north-star):
 // the data owner partitions the corpus at encryption time, per-shard filter
 // indexes build independently (and therefore in parallel), and the
-// ShardedCloudServer answers queries scatter-gather. The wire format is a
-// versioned envelope that wraps the existing single-shard format unchanged,
-// so every shard payload is itself a loadable EncryptedDatabase.
+// ShardedCloudServer answers queries scatter-gather. Replication is the
+// availability seam on top: every shard may carry R byte-identical replicas,
+// so the serving tier can fail over on replica loss and hedge slow replicas
+// without changing a single result id. The wire format is a versioned
+// envelope that wraps the existing single-shard format unchanged, so every
+// replica payload is itself a loadable EncryptedDatabase.
 
 #ifndef PPANNS_CORE_SHARDED_DATABASE_H_
 #define PPANNS_CORE_SHARDED_DATABASE_H_
@@ -23,7 +27,8 @@ namespace ppanns {
 
 /// Maps global vector ids to their (shard, local id) location. Global ids
 /// are dense in insertion order, exactly like single-shard VectorIds, so
-/// callers never see the partitioning in the result contract.
+/// callers never see the partitioning in the result contract. Replication is
+/// invisible here: all replicas of a shard store the same local id space.
 struct ShardManifest {
   /// entries[g] locates global id g. Exposed directly so tests can craft
   /// malformed manifests; every load path revalidates via Validate().
@@ -55,25 +60,40 @@ struct ShardManifest {
   }
 };
 
-/// The complete sharded outsourced package.
+/// The complete sharded (and possibly replicated) outsourced package.
 struct ShardedEncryptedDatabase {
-  std::vector<EncryptedDatabase> shards;
+  /// shards[s][r] is replica r of shard s. Replica 0 is the primary; an
+  /// owner-built package stores R byte-identical replicas per shard (the
+  /// whole point — any replica can answer for the shard with identical
+  /// results). Every shard carries the same replica count.
+  std::vector<std::vector<EncryptedDatabase>> shards;
   ShardManifest manifest;
 
   std::size_t num_shards() const { return shards.size(); }
 
-  /// Envelope: magic "PPSH", version, shard count, the per-shard
-  /// EncryptedDatabase payloads (each self-describing), then the manifest.
+  /// Replicas per shard (uniform across shards; 1 for a PR-2 style package).
+  std::size_t replication_factor() const {
+    return shards.empty() ? 1 : shards.front().size();
+  }
+
+  /// Envelope: magic "PPSH", version, shard count, [v2: replica count], the
+  /// per-(shard, replica) EncryptedDatabase payloads (each self-describing,
+  /// replicas of one shard adjacent), then the manifest. A replication
+  /// factor of 1 writes the version-1 envelope byte-for-byte, so unreplicated
+  /// packages stay readable by older loaders.
   void Serialize(BinaryWriter* out) const;
 
-  /// Writes the envelope prefix (magic, version, shard count) — shared with
+  /// Writes the envelope prefix (magic, version, shard count and — when
+  /// num_replicas > 1 — the replica count) — shared with
   /// ShardedCloudServer::SerializeDatabase, which streams live shards
   /// instead of owning a ShardedEncryptedDatabase value.
-  static void WriteEnvelopeHeader(BinaryWriter* out, std::uint32_t num_shards);
+  static void WriteEnvelopeHeader(BinaryWriter* out, std::uint32_t num_shards,
+                                  std::uint32_t num_replicas);
 
-  /// Reads the envelope, loading each shard through the existing
-  /// EncryptedDatabase path, and rejects inconsistent manifests
-  /// (overlapping ids, out-of-range shards, coverage mismatches).
+  /// Reads either envelope version, loading each replica through the
+  /// existing EncryptedDatabase path, and rejects inconsistent packages:
+  /// manifests with overlapping ids, out-of-range shards or coverage
+  /// mismatches, and replica groups whose members disagree on capacity.
   static Result<ShardedEncryptedDatabase> Deserialize(BinaryReader* in);
 
   /// True if `bytes` starts with the sharded envelope magic — the cheap

@@ -176,6 +176,27 @@ TEST(SerializeTest, TruncatedInputDetected) {
   EXPECT_EQ(r2.GetVector(&v).code(), Status::Code::kOutOfRange);
 }
 
+TEST(SerializeTest, HugeVectorLengthDoesNotOverflowBoundsCheck) {
+  // A crafted length whose n * sizeof(T) wraps past 2^64 must be rejected
+  // as OutOfRange, not slip past the bounds check into a giant resize.
+  BinaryWriter w;
+  w.Put<std::uint64_t>(std::uint64_t{1} << 61);  // * sizeof(double) == 2^64
+  w.Put<std::uint64_t>(0);                       // a few real bytes follow
+  BinaryReader r(w.buffer());
+  std::vector<double> v;
+  EXPECT_EQ(r.GetVector(&v).code(), Status::Code::kOutOfRange);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrips) {
+  BinaryWriter w;
+  w.PutVector(std::vector<float>{});
+  BinaryReader r(w.buffer());
+  std::vector<float> v{1.0f};  // must be cleared by the read
+  ASSERT_TRUE(r.GetVector(&v).ok());
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
 TEST(IoTest, FvecsRoundTrip) {
   const std::string path = ::testing::TempDir() + "/ppanns_io_test.fvecs";
   FloatMatrix m(3, 4);

@@ -1,0 +1,433 @@
+// The async scatter-gather serving tier and per-shard replication: replica
+// emission and envelope round-trips (v2 with replicas, v1 compat at R = 1),
+// async/sync/batch result equivalence, replica-loss failover with identical
+// ids, all-replicas-down degradation (partial flag / Status — never UB),
+// hedged stragglers finishing early with identical ids, clean hedge
+// cancellation, and maintenance keeping replicas in lockstep.
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/data_owner.h"
+#include "core/ppanns_service.h"
+#include "core/query_client.h"
+#include "datagen/synthetic.h"
+
+namespace ppanns {
+namespace {
+
+constexpr std::size_t kDim = 16;
+
+PpannsParams BaseParams(IndexKind kind, std::uint32_t num_shards,
+                        std::uint32_t num_replicas, std::uint64_t seed) {
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 4.0;
+  params.index_kind = kind;
+  params.hnsw = HnswParams{.m = 8, .ef_construction = 80, .seed = seed};
+  params.num_shards = num_shards;
+  params.num_replicas = num_replicas;
+  params.seed = seed;
+  return params;
+}
+
+DataOwner MakeOwner(const PpannsParams& params) {
+  auto owner = DataOwner::Create(kDim, params);
+  PPANNS_CHECK(owner.ok());
+  return std::move(*owner);
+}
+
+Dataset MakeData(std::size_t n, std::size_t nq, std::uint64_t seed) {
+  return MakeDataset(SyntheticKind::kGloveLike, n, nq, 0, seed, kDim);
+}
+
+std::vector<QueryToken> MakeTokens(const DataOwner& owner, const Dataset& ds,
+                                   std::uint64_t seed) {
+  QueryClient client(owner.ShareKeys(), seed);
+  std::vector<QueryToken> tokens;
+  tokens.reserve(ds.queries.size());
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    tokens.push_back(client.EncryptQuery(ds.queries.row(i)));
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Replica emission + envelope
+
+TEST(ReplicatedBuildTest, OwnerEmitsByteIdenticalReplicas) {
+  const Dataset ds = MakeData(120, 0, /*seed=*/3);
+  DataOwner owner = MakeOwner(BaseParams(IndexKind::kHnsw, 3, 3, 3));
+  ShardedEncryptedDatabase db = owner.EncryptAndIndexSharded(ds.base);
+  ASSERT_EQ(db.num_shards(), 3u);
+  ASSERT_EQ(db.replication_factor(), 3u);
+
+  for (std::size_t s = 0; s < db.num_shards(); ++s) {
+    BinaryWriter primary;
+    db.shards[s][0].Serialize(&primary);
+    for (std::size_t r = 1; r < db.shards[s].size(); ++r) {
+      BinaryWriter replica;
+      db.shards[s][r].Serialize(&replica);
+      EXPECT_EQ(replica.buffer(), primary.buffer())
+          << "shard " << s << " replica " << r << " diverged from primary";
+    }
+  }
+}
+
+TEST(ReplicatedBuildTest, V2EnvelopeRoundTripsAndServesIdentically) {
+  const Dataset ds = MakeData(150, 8, /*seed=*/5);
+  DataOwner owner = MakeOwner(BaseParams(IndexKind::kHnsw, 3, 2, 5));
+  ShardedEncryptedDatabase db = owner.EncryptAndIndexSharded(ds.base);
+
+  BinaryWriter w;
+  db.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = ShardedEncryptedDatabase::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->replication_factor(), 2u);
+
+  PpannsService before{ShardedCloudServer(std::move(db))};
+  PpannsService after{ShardedCloudServer(std::move(*loaded))};
+  const std::vector<QueryToken> tokens = MakeTokens(owner, ds, 7);
+  for (const QueryToken& token : tokens) {
+    auto a = before.Search(token, 5);
+    auto b = after.Search(token, 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b->ids, a->ids);
+  }
+
+  // The loaded snapshot reserializes to the identical bytes.
+  BinaryWriter w2;
+  after.SerializeDatabase(&w2);
+  EXPECT_EQ(w2.buffer(), w.buffer());
+}
+
+TEST(ReplicatedBuildTest, UnreplicatedPackageKeepsV1Wire) {
+  // R = 1 must stay bit-compatible with the PR-2 envelope: building the same
+  // data with the replication field defaulted or explicit yields the same
+  // bytes (the v1 header carries no replica count).
+  const Dataset ds = MakeData(90, 0, /*seed=*/9);
+  DataOwner owner_a = MakeOwner(BaseParams(IndexKind::kHnsw, 3, 1, 9));
+  BinaryWriter wa;
+  owner_a.EncryptAndIndexSharded(ds.base).Serialize(&wa);
+
+  // A v1 reader sees: magic, version 1, shard count — no replica count.
+  BinaryReader r(wa.buffer());
+  std::uint32_t magic = 0, version = 0, shards = 0;
+  ASSERT_TRUE(r.Get(&magic).ok());
+  ASSERT_TRUE(r.Get(&version).ok());
+  ASSERT_TRUE(r.Get(&shards).ok());
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(shards, 3u);
+
+  BinaryReader full(wa.buffer());
+  auto loaded = ShardedEncryptedDatabase::Deserialize(&full);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->replication_factor(), 1u);
+}
+
+TEST(ReplicatedBuildTest, RejectsReplicaCapacityMismatch) {
+  // Hand-craft a v2 envelope whose two "replicas" of one shard disagree on
+  // capacity: load must fail with IOError, not serve a broken group.
+  const Dataset small = MakeData(10, 0, /*seed=*/11);
+  const Dataset large = MakeData(14, 0, /*seed=*/11);
+  DataOwner owner = MakeOwner(BaseParams(IndexKind::kBruteForce, 1, 1, 11));
+  EncryptedDatabase a = owner.EncryptAndIndex(small.base);
+  EncryptedDatabase b = owner.EncryptAndIndex(large.base);
+
+  BinaryWriter w;
+  ShardedEncryptedDatabase::WriteEnvelopeHeader(&w, /*num_shards=*/1,
+                                                /*num_replicas=*/2);
+  a.Serialize(&w);
+  b.Serialize(&w);
+  ShardManifest manifest;
+  for (VectorId i = 0; i < 10; ++i) manifest.Append(0, i);
+  manifest.Serialize(&w);
+
+  BinaryReader r(w.buffer());
+  auto loaded = ShardedEncryptedDatabase::Deserialize(&r);
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+TEST(ReplicatedBuildTest, ZeroReplicasIsRejected) {
+  auto owner =
+      DataOwner::Create(kDim, BaseParams(IndexKind::kHnsw, 2, 0, 13));
+  EXPECT_EQ(owner.status().code(), Status::Code::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Async equivalence + failure paths
+
+class AsyncServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = MakeData(240, 12, /*seed=*/21);
+    owner_ = std::make_unique<DataOwner>(
+        MakeOwner(BaseParams(IndexKind::kBruteForce, 4, 2, 21)));
+    service_ = std::make_unique<PpannsService>(
+        ShardedCloudServer(owner_->EncryptAndIndexSharded(ds_.base)));
+    tokens_ = MakeTokens(*owner_, ds_, 23);
+  }
+
+  /// Healthy-cluster sync baseline for every token.
+  std::vector<std::vector<VectorId>> HealthyIds(std::size_t k) {
+    std::vector<std::vector<VectorId>> ids;
+    for (const QueryToken& token : tokens_) {
+      auto r = service_->Search(token, k);
+      PPANNS_CHECK(r.ok());
+      ids.push_back(r->ids);
+    }
+    return ids;
+  }
+
+  Dataset ds_;
+  std::unique_ptr<DataOwner> owner_;
+  std::unique_ptr<PpannsService> service_;
+  std::vector<QueryToken> tokens_;
+};
+
+TEST_F(AsyncServingTest, AsyncMatchesSyncOnHealthyCluster) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+  // A generous deadline makes "no hedge fired" deterministic: the cluster
+  // answers in well under a second.
+  const AsyncOptions async{.hedge_ms = 1000.0};
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    auto r = service_->SearchAsync(tokens_[i], k, {}, async);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, healthy[i]) << "query " << i;
+    EXPECT_FALSE(r->partial);
+    EXPECT_EQ(r->counters.hedged_requests, 0u);
+    EXPECT_EQ(r->counters.replicas_skipped, 0u);
+  }
+}
+
+TEST_F(AsyncServingTest, ReplicaLossFailsOverWithIdenticalIds) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+
+  // Kill the primary replica of two shards: every path must serve the exact
+  // healthy-cluster ids from the surviving replicas.
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDown(0, 0, true);
+  cluster.SetReplicaDown(2, 0, true);
+  EXPECT_EQ(cluster.live_replicas(0), 1u);
+
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    auto sync = service_->Search(tokens_[i], k);
+    auto async = service_->SearchAsync(tokens_[i], k, {},
+                                       AsyncOptions{.hedge_ms = 1000.0});
+    ASSERT_TRUE(sync.ok());
+    ASSERT_TRUE(async.ok()) << async.status().ToString();
+    EXPECT_EQ(sync->ids, healthy[i]) << "sync failover diverged, query " << i;
+    EXPECT_EQ(async->ids, healthy[i]) << "async failover diverged, query " << i;
+    EXPECT_FALSE(sync->partial);
+    EXPECT_EQ(sync->counters.replicas_skipped, 2u);
+  }
+
+  // Batch fan-out fails over identically.
+  auto batch = service_->SearchBatch(tokens_, k);
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    EXPECT_EQ(batch->results[i].ids, healthy[i]) << "batch query " << i;
+  }
+}
+
+TEST_F(AsyncServingTest, AllReplicasDownDegradesGracefully) {
+  const std::size_t k = 8;
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDown(1, 0, true);
+  cluster.SetReplicaDown(1, 1, true);
+  ASSERT_EQ(cluster.live_replicas(1), 0u);
+
+  // Partial results allowed: the other shards answer, the flag is set, and
+  // no returned id lives on the dead shard.
+  const ShardManifest& manifest = cluster.manifest();
+  for (const QueryToken& token : tokens_) {
+    auto r = service_->SearchAsync(token, k, {},
+                                   AsyncOptions{.hedge_ms = 1000.0});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->partial);
+    EXPECT_FALSE(r->ids.empty());
+    for (VectorId id : r->ids) {
+      EXPECT_NE(manifest.at(id).shard, 1u) << "id from a dead shard";
+    }
+  }
+  // The sync path degrades the same way (flag, no Status surface).
+  auto sync = service_->Search(tokens_[0], k);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_TRUE(sync->partial);
+
+  // Partial results forbidden: a Status, not UB and not silent truncation.
+  auto strict = service_->SearchAsync(
+      tokens_[0], k, {},
+      AsyncOptions{.hedge_ms = 1000.0, .allow_partial = false});
+  EXPECT_EQ(strict.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(AsyncServingTest, EveryShardDownIsAStatus) {
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+    for (std::size_t r = 0; r < cluster.replication_factor(); ++r) {
+      cluster.SetReplicaDown(s, r, true);
+    }
+  }
+  auto r = service_->SearchAsync(tokens_[0], 5);
+  EXPECT_EQ(r.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(AsyncServingTest, HedgedStragglerFinishesEarlyWithIdenticalIds) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+
+  // One replica of shard 0 answers 400 ms late. The sync path eats the full
+  // delay; the hedged async path re-dispatches to the healthy replica after
+  // 10 ms and must return the identical ids in well under the delay.
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDelayMs(0, 0, 400);
+
+  Timer sync_timer;
+  auto sync = service_->Search(tokens_[0], k);
+  const double sync_seconds = sync_timer.ElapsedSeconds();
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(sync->ids, healthy[0]);
+  EXPECT_GE(sync_seconds, 0.4) << "the straggler should stall the barrier";
+
+  const AsyncOptions async{.hedge_ms = 10.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    Timer async_timer;
+    auto r = service_->SearchAsync(tokens_[i], k, {}, async);
+    const double async_seconds = async_timer.ElapsedSeconds();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, healthy[i]) << "hedged result diverged, query " << i;
+    EXPECT_GE(r->counters.hedged_requests, 1u);
+    EXPECT_LT(async_seconds, 0.35)
+        << "hedging should beat the 400 ms straggler";
+  }
+}
+
+TEST_F(AsyncServingTest, MutationAfterHedgedSearchWaitsForLosers) {
+  // A hedge loser can still be reading the indexes when SearchAsync
+  // returns; Insert/Delete must drain it before mutating (under sanitizers
+  // this is the use-after-free / data-race regression).
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDelayMs(0, 0, 100);
+  auto r = service_->SearchAsync(tokens_[0], 5, {},
+                                 AsyncOptions{.hedge_ms = 5.0});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto id = service_->Insert(owner_->EncryptOne(ds_.queries.row(0)));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(service_->Delete(*id).ok());
+}
+
+TEST_F(AsyncServingTest, FastPrimaryNeverHedges) {
+  // The inverse of the straggler case: with a healthy cluster and a generous
+  // deadline the hedge must never fire — a hedged request that was never
+  // needed is wasted work the claim flag exists to avoid.
+  const AsyncOptions async{.hedge_ms = 500.0};
+  for (const QueryToken& token : tokens_) {
+    auto r = service_->SearchAsync(token, 5, {}, async);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->counters.hedged_requests, 0u);
+  }
+}
+
+TEST_F(AsyncServingTest, AsyncInsidePoolWorkerFallsBackInline) {
+  // SearchAsync from a pool worker (e.g. user code batching its own calls)
+  // must not deadlock waiting for workers: it runs the inline scatter and
+  // still returns the same ids.
+  const std::size_t k = 6;
+  auto direct = service_->SearchAsync(tokens_[0], k);
+  ASSERT_TRUE(direct.ok());
+  std::future<Result<SearchResult>> from_worker =
+      ThreadPool::Global().Async([this, k] {
+        return service_->SearchAsync(tokens_[0], k);
+      });
+  auto nested = from_worker.get();
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(nested->ids, direct->ids);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance on a replicated cluster
+
+TEST(ReplicatedMaintenanceTest, InsertAndDeleteKeepReplicasInLockstep) {
+  const Dataset ds = MakeData(90, 6, /*seed=*/31);
+  DataOwner owner = MakeOwner(BaseParams(IndexKind::kHnsw, 3, 2, 31));
+  PpannsService service{
+      ShardedCloudServer(owner.EncryptAndIndexSharded(ds.base))};
+
+  ASSERT_TRUE(service.Delete(4).ok());
+  auto inserted = service.Insert(owner.EncryptOne(ds.queries.row(0)));
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  // After mutations, every replica still serializes to its primary's bytes.
+  const ShardedCloudServer& cluster = service.sharded_server();
+  for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+    BinaryWriter primary;
+    cluster.replica(s, 0).SerializeDatabase(&primary);
+    for (std::size_t r = 1; r < cluster.replication_factor(); ++r) {
+      BinaryWriter replica;
+      cluster.replica(s, r).SerializeDatabase(&replica);
+      EXPECT_EQ(replica.buffer(), primary.buffer())
+          << "shard " << s << " replica " << r << " diverged after mutation";
+    }
+  }
+
+  // Failover sees the mutations: with every primary down, the inserted
+  // vector is found and the deleted id never resurfaces.
+  ShardedCloudServer& mutable_cluster = service.sharded_server_mutable();
+  for (std::size_t s = 0; s < mutable_cluster.num_shards(); ++s) {
+    mutable_cluster.SetReplicaDown(s, 0, true);
+  }
+  QueryClient client(owner.ShareKeys(), 37);
+  auto r = service.Search(client.EncryptQuery(ds.queries.row(0)), 90,
+                          SearchSettings{.k_prime = 120});
+  ASSERT_TRUE(r.ok());
+  bool found_inserted = false;
+  for (VectorId id : r->ids) {
+    EXPECT_NE(id, 4u) << "deleted id resurfaced on a replica";
+    found_inserted |= id == *inserted;
+  }
+  EXPECT_TRUE(found_inserted);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool futures
+
+TEST(ThreadPoolAsyncTest, FutureDeliversValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Async([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolAsyncTest, ManyFuturesAllComplete) {
+  ThreadPool pool(3);
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.Async([i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolAsyncTest, InWorkerDistinguishesPools) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.InWorker());
+  std::future<bool> own = pool.Async([&pool] { return pool.InWorker(); });
+  EXPECT_TRUE(own.get());
+  ThreadPool other(1);
+  std::future<bool> foreign = pool.Async([&other] { return other.InWorker(); });
+  EXPECT_FALSE(foreign.get());
+}
+
+}  // namespace
+}  // namespace ppanns

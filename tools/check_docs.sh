@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Docs health check, run by the CI docs job (and locally: tools/check_docs.sh).
+#
+#  1. Every relative markdown link in README.md and docs/*.md must resolve
+#     to an existing file or directory.
+#  2. The CLI surface and its documentation must stay in sync, both ways:
+#     every flag tools/ppanns_cli.cc parses appears in README.md, and every
+#     --flag README.md documents is parsed by the CLI (so the quickstart
+#     can never drift from the binary).
+#
+# Plain grep/sed on purpose: no dependencies beyond coreutils.
+
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# ---- 1. relative links resolve ---------------------------------------------
+for md in README.md docs/*.md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed 's/^](//; s/)$//')
+done
+
+# ---- 2. CLI flags <-> README sync ------------------------------------------
+cli=tools/ppanns_cli.cc
+cli_flags=$(grep -oE '(GetString|GetSize|GetDouble|GetBool|Require)\("[a-z][a-z-]*"' "$cli" |
+  sed 's/.*("//; s/"//' | sort -u)
+
+for flag in $cli_flags; do
+  if ! grep -q -- "--$flag" README.md; then
+    echo "UNDOCUMENTED CLI FLAG: --$flag (parsed by $cli, absent from README.md)"
+    fail=1
+  fi
+done
+
+readme_flags=$(grep -oE '(^|[^-])--[a-z][a-z-]*' README.md |
+  sed 's/.*--//' | sort -u)
+for flag in $readme_flags; do
+  case "$flag" in
+    # cmake/ctest flags quoted in the build instructions, not CLI flags
+    build | target | output-on-failure) continue ;;
+  esac
+  if ! printf '%s\n' "$cli_flags" | grep -qx "$flag"; then
+    echo "STALE README FLAG: --$flag (documented but not parsed by $cli)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK: links resolve, CLI flags in sync"
+fi
+exit "$fail"

@@ -104,12 +104,13 @@ int Usage() {
                "  keygen  --dim D --out keys.bin [--beta B] [--s S] "
                "[--scale NORM] [--seed S]\n"
                "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
-               "[--index hnsw|ivf|lsh|brute] [--shards S]\n"
+               "[--index hnsw|ivf|lsh|brute] [--shards S] [--replicas R]\n"
                "          [--m M] [--efc E] [--lists L] [--tables T] "
                "[--hashes H] [--width W]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
                "[--k K] [--kprime KP] [--ef EF]\n"
-               "          [--batch] [--index KIND] [--out results.txt]\n"
+               "          [--batch | --hedge-ms MS] [--index KIND] "
+               "[--out results.txt]\n"
                "  info    --db db.ppanns\n");
   return 2;
 }
@@ -212,6 +213,7 @@ int CmdEncrypt(const Args& args) {
   }
   const std::uint64_t seed = args.GetSize("seed", 7);
   const std::size_t num_shards = args.GetSize("shards", 1);
+  const std::size_t num_replicas = args.GetSize("replicas", 1);
   PpannsParams params;
   params.dcpe_s = (*keys)->dcpe.key().s;
   params.index_kind = *kind;
@@ -223,6 +225,7 @@ int CmdEncrypt(const Args& args) {
   params.lsh.num_hashes = args.GetSize("hashes", 8);
   params.lsh.bucket_width = args.GetDouble("width", 4.0);  // plaintext units
   params.num_shards = static_cast<std::uint32_t>(num_shards);
+  params.num_replicas = static_cast<std::uint32_t>(num_replicas);
   params.seed = seed;
 
   auto owner = DataOwner::FromKeys(*keys, data->dim(), params);
@@ -233,8 +236,9 @@ int CmdEncrypt(const Args& args) {
 
   BinaryWriter w;
   Timer t;
-  if (num_shards > 1) {
-    // Sharded package: per-shard graphs build in parallel on the pool.
+  if (num_shards > 1 || num_replicas > 1) {
+    // Sharded package: per-shard graphs build in parallel on the pool;
+    // replication needs the sharded envelope even at one shard.
     ShardedEncryptedDatabase db = owner->EncryptAndIndexSharded(*data);
     db.Serialize(&w);
   } else {
@@ -247,10 +251,11 @@ int CmdEncrypt(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("encrypted + indexed %zu vectors (%s, %zu shard%s) in %.1fs -> "
-              "%s (%.1f MB)\n",
+  std::printf("encrypted + indexed %zu vectors (%s, %zu shard%s x %zu "
+              "replica%s) in %.1fs -> %s (%.1f MB)\n",
               data->size(), IndexKindName(*kind), num_shards,
-              num_shards == 1 ? "" : "s", secs,
+              num_shards == 1 ? "" : "s", num_replicas,
+              num_replicas == 1 ? "" : "s", secs,
               args.GetString("out").c_str(), w.buffer().size() / 1e6);
   return 0;
 }
@@ -320,6 +325,10 @@ int CmdSearch(const Args& args) {
   const std::size_t k = args.GetSize("k", 10);
   SearchSettings settings{.k_prime = args.GetSize("kprime", 4 * k),
                           .ef_search = args.GetSize("ef", 0)};
+  // --hedge-ms switches single-query serving to the async scatter-gather
+  // path: shards missing the deadline are hedged onto their next replica.
+  const double hedge_ms = args.GetDouble("hedge-ms", 0.0);
+  AsyncOptions async{.hedge_ms = hedge_ms};
 
   std::FILE* out = stdout;
   const std::string out_path = args.GetString("out");
@@ -340,6 +349,12 @@ int CmdSearch(const Args& args) {
   int exit_code = 0;
   Timer t;
   if (args.GetBool("batch")) {
+    if (hedge_ms > 0.0) {
+      std::fprintf(stderr,
+                   "note: --hedge-ms only applies to per-query serving; "
+                   "--batch uses the (query, shard) fan-out without "
+                   "hedging\n");
+    }
     // One validated batch call, fanned across the thread pool.
     std::vector<QueryToken> tokens;
     tokens.reserve(queries->size());
@@ -355,22 +370,31 @@ int CmdSearch(const Args& args) {
         print_result(i, batch->results[i]);
       }
       std::fprintf(stderr,
-                   "batch: %zu queries over %zu shard(s), %.3fs wall "
+                   "batch: %zu queries over %zu shard(s) x %zu replica(s), "
+                   "%.3fs wall "
                    "(%.1f QPS), %zu filter candidates, %zu DCE comparisons\n",
                    batch->counters.num_queries, service.num_shards(),
+                   service.num_replicas(),
                    batch->counters.wall_seconds,
                    batch->counters.num_queries / batch->counters.wall_seconds,
                    batch->counters.total_filter_candidates,
                    batch->counters.total_dce_comparisons);
     }
   } else {
+    std::size_t hedged = 0;
     for (std::size_t i = 0; i < queries->size(); ++i) {
       QueryToken token = client.EncryptQuery(queries->row(i));
-      auto result = service.Search(token, k, settings);
+      auto result = hedge_ms > 0.0 ? service.SearchAsync(token, k, settings, async)
+                                   : service.Search(token, k, settings);
       if (!result.ok()) {
         std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
         exit_code = 1;
         break;
+      }
+      hedged += result->counters.hedged_requests;
+      if (result->partial) {
+        std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no live "
+                     "replica)\n", i);
       }
       print_result(i, *result);
     }
@@ -379,6 +403,10 @@ int CmdSearch(const Args& args) {
       std::fprintf(stderr, "%zu queries in %.3fs (%.1f QPS incl. client-side "
                    "encryption)\n", queries->size(), secs,
                    queries->size() / secs);
+      if (hedge_ms > 0.0) {
+        std::fprintf(stderr, "async: hedge deadline %.1f ms, %zu hedged "
+                     "request(s)\n", hedge_ms, hedged);
+      }
     }
   }
   if (out != stdout) std::fclose(out);
@@ -418,19 +446,20 @@ int CmdInfo(const Args& args) {
       return 1;
     }
     std::size_t live = 0, total = 0;
-    for (const EncryptedDatabase& shard : db->shards) {
-      live += shard.index->size();
-      total += shard.index->capacity();
+    for (const auto& group : db->shards) {
+      live += group.front().index->size();
+      total += group.front().index->capacity();
     }
     std::printf("encrypted database: %s (sharded)\n",
                 args.GetString("db").c_str());
     std::printf("  shards:         %zu\n", db->num_shards());
+    std::printf("  replicas/shard: %zu\n", db->replication_factor());
     std::printf("  vectors:        %zu live (%zu deleted)\n", live,
                 total - live);
     for (std::size_t s = 0; s < db->shards.size(); ++s) {
+      const EncryptedDatabase& primary = db->shards[s].front();
       std::printf("  shard %zu:\n", s);
-      PrintIndexInfo(*db->shards[s].index, db->shards[s].DceBytes() / 1e6,
-                     "    ");
+      PrintIndexInfo(*primary.index, primary.DceBytes() / 1e6, "    ");
     }
     return 0;
   }
