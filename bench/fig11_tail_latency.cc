@@ -10,9 +10,17 @@
 //                   delay.
 //   async-hedged  — SearchAsync with a hedging deadline: the straggling
 //                   shard misses the deadline, the work is re-dispatched to
-//                   its healthy replica, the first answer wins. p99 should
-//                   sit near hedge_ms + healthy latency, far below the
-//                   injected delay.
+//                   its healthy replica, the first answer wins and the loser
+//                   aborts mid-scan through the cancellation token in its
+//                   SearchContext. p99 should sit near hedge_ms + healthy
+//                   latency, far below the injected delay.
+//   async-prescan — the same hedged run with mid-scan cancellation disabled
+//                   (AsyncOptions::mid_scan_cancel = false): a loser checks
+//                   the claim only when its work item starts, like a remote
+//                   server that cannot be recalled, and then runs its full
+//                   delay + scan. Identical winner ids and recall; the
+//                   wasted_nodes / wasted_scans delta against async-hedged
+//                   is what mid-scan abort buys back in pool capacity.
 //   failover      — the slow replica is marked down instead of slow: the
 //                   scatter never touches it. The floor the hedge aims for,
 //                   and a check that failover ids match the healthy run.
@@ -24,7 +32,11 @@
 //
 // Every measured point is emitted as one JSON line into
 // BENCH_fig11_tail_latency.json (override with PPANNS_BENCH_JSON) so the
-// tail-latency trajectory is machine-readable across PRs.
+// tail-latency trajectory is machine-readable across PRs. The wasted-work
+// fields (wasted_nodes, wasted_scans: loser work observed by the cluster's
+// cumulative cancellation counters across the mode's run, plus
+// nodes_visited: winner work summed over queries) make the mid-scan-abort
+// win part of the BENCH_* trajectory.
 //
 // Knobs: PPANNS_BENCH_N / PPANNS_BENCH_Q (bench_util), PPANNS_BENCH_DELAY_MS
 // (injected straggler delay), PPANNS_BENCH_HEDGE_MS (hedging deadline).
@@ -53,10 +65,17 @@ struct TailPoint {
   double recall = 0.0;
   std::size_t hedged = 0;
   std::size_t partial = 0;
+  std::size_t nodes_visited = 0;  ///< winner scans, summed over queries
+  std::size_t wasted_nodes = 0;   ///< loser scans (cumulative-counter delta)
+  std::size_t wasted_scans = 0;
+  std::vector<std::vector<VectorId>> ids;  ///< for winner-id equality checks
 };
 
 /// Runs the query stream one-at-a-time (per-query latency is the object of
 /// study; batching would hide the straggler behind other queries' work).
+/// Wasted loser work is attributed by deltas of the cluster's cumulative
+/// cancellation counters (which drain in-flight losers before reading, so a
+/// mode never bleeds into the next).
 TailPoint MeasureMode(const std::string& mode, const PpannsService& service,
                       const std::vector<QueryToken>& tokens,
                       const Dataset& ds, std::size_t k,
@@ -64,10 +83,12 @@ TailPoint MeasureMode(const std::string& mode, const PpannsService& service,
                       const AsyncOptions& async) {
   TailPoint point;
   point.mode = mode;
+  const ShardedCloudServer& cluster = service.sharded_server();
+  const std::size_t nodes_before = cluster.CancelledWorkNodes();
+  const std::size_t scans_before = cluster.CancelledScans();
   std::vector<double> latencies_ms;
   latencies_ms.reserve(tokens.size());
-  std::vector<std::vector<VectorId>> ids;
-  ids.reserve(tokens.size());
+  point.ids.reserve(tokens.size());
   double total_ms = 0.0;
   for (const QueryToken& token : tokens) {
     Timer t;
@@ -80,12 +101,15 @@ TailPoint MeasureMode(const std::string& mode, const PpannsService& service,
     total_ms += ms;
     point.hedged += r->counters.hedged_requests;
     point.partial += r->partial ? 1 : 0;
-    ids.push_back(r->ids);
+    point.nodes_visited += r->counters.nodes_visited;
+    point.ids.push_back(r->ids);
   }
+  point.wasted_nodes = cluster.CancelledWorkNodes() - nodes_before;
+  point.wasted_scans = cluster.CancelledScans() - scans_before;
   point.p50_ms = Percentile(latencies_ms, 50.0);
   point.p99_ms = Percentile(latencies_ms, 99.0);
   point.mean_ms = total_ms / static_cast<double>(tokens.size());
-  point.recall = MeanRecallAtK(ids, ds.ground_truth, k);
+  point.recall = MeanRecallAtK(point.ids, ds.ground_truth, k);
   return point;
 }
 
@@ -99,10 +123,11 @@ void EmitJson(std::FILE* json, const TailPoint& p, std::size_t n,
                "\"delay_ms\":%.1f,\"hedge_ms\":%.1f,\"k\":%zu,"
                "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"mean_ms\":%.3f,"
                "\"recall_at_k\":%.4f,\"hedged_requests\":%zu,"
-               "\"partial_results\":%zu}\n",
+               "\"partial_results\":%zu,\"nodes_visited\":%zu,"
+               "\"wasted_nodes\":%zu,\"wasted_scans\":%zu}\n",
                p.mode.c_str(), n, num_shards, num_replicas, delay_ms, hedge_ms,
                k, p.p50_ms, p.p99_ms, p.mean_ms, p.recall, p.hedged,
-               p.partial);
+               p.partial, p.nodes_visited, p.wasted_nodes, p.wasted_scans);
   std::fflush(json);
 }
 
@@ -150,39 +175,53 @@ int main() {
   std::printf("cluster: %zu shards x %zu replicas, n=%zu, %zu queries; "
               "straggler: shard 0 replica 0 +%.0f ms; hedge %.1f ms\n\n",
               num_shards, num_replicas, n, tokens.size(), delay_ms, hedge_ms);
-  std::printf("%-16s %10s %10s %10s %8s %8s %8s\n", "mode", "p50(ms)",
-              "p99(ms)", "mean(ms)", "recall", "hedged", "partial");
+  std::printf("%-22s %9s %9s %9s %7s %7s %8s %10s %8s\n", "mode", "p50(ms)",
+              "p99(ms)", "mean(ms)", "recall", "hedged", "partial",
+              "wasted-nd", "w-scans");
 
-  auto run = [&](const std::string& mode, bool use_async) {
-    TailPoint p =
-        MeasureMode(mode, service, tokens, dataset, k, settings, use_async, async);
-    std::printf("%-16s %10.2f %10.2f %10.2f %8.3f %8zu %8zu\n", p.mode.c_str(),
-                p.p50_ms, p.p99_ms, p.mean_ms, p.recall, p.hedged, p.partial);
+  auto run = [&](const std::string& mode, bool use_async,
+                 const AsyncOptions& opts) {
+    TailPoint p = MeasureMode(mode, service, tokens, dataset, k, settings,
+                              use_async, opts);
+    std::printf("%-22s %9.2f %9.2f %9.2f %7.3f %7zu %8zu %10zu %8zu\n",
+                p.mode.c_str(), p.p50_ms, p.p99_ms, p.mean_ms, p.recall,
+                p.hedged, p.partial, p.wasted_nodes, p.wasted_scans);
     EmitJson(json, p, n, num_shards, num_replicas, delay_ms, hedge_ms, k);
+    return p;
   };
 
   // Healthy cluster: both paths at their floor.
-  run("healthy-sync", false);
-  run("healthy-async", true);
+  run("healthy-sync", false, async);
+  run("healthy-async", true, async);
 
-  // Inject the straggler: one replica of shard 0 answers late.
+  // Inject the straggler: one replica of shard 0 answers late. Mid-scan
+  // cancellation (the default) against the pre-scan-only baseline: same
+  // winner ids, same recall — the delta is the losers' wasted work.
   cluster.SetReplicaDelayMs(0, 0, static_cast<int>(delay_ms));
-  run("straggler-sync", false);
-  run("straggler-async", true);
+  run("straggler-sync", false, async);
+  const TailPoint midscan = run("straggler-async", true, async);
+  AsyncOptions prescan = async;
+  prescan.mid_scan_cancel = false;
+  const TailPoint prescan_point =
+      run("straggler-async-prescan", true, prescan);
+  PPANNS_CHECK(midscan.ids == prescan_point.ids);  // identical winner ids
 
   // Replica loss instead of slowness: the scatter never touches the dead
   // replica, so this is the latency floor hedging converges to.
   cluster.SetReplicaDelayMs(0, 0, 0);
   cluster.SetReplicaDown(0, 0, true);
-  run("failover", false);
+  run("failover", false, async);
   cluster.SetReplicaDown(0, 0, false);
 
   std::printf(
       "\nexpected shape: straggler-sync p50/p99 ~= %.0f ms (every query waits "
       "for the slow replica); straggler-async p99 well below it (the hedge "
-      "re-dispatches after %.1f ms and the healthy replica wins); failover "
-      "matches the healthy floor; recall identical everywhere (replicas are "
-      "byte-identical, the merge budget is unchanged).\n",
+      "re-dispatches after %.1f ms and the healthy replica wins); "
+      "straggler-async wasted_nodes well below straggler-async-prescan at "
+      "identical winner ids (the loser aborts mid-scan instead of finishing "
+      "a scan nobody reads); failover matches the healthy floor; recall "
+      "identical everywhere (replicas are byte-identical, the merge budget "
+      "is unchanged).\n",
       delay_ms, hedge_ms);
   if (json != nullptr) std::fclose(json);
   return 0;

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "IO_ERROR";
     case Status::Code::kNotSupported:
       return "NOT_SUPPORTED";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

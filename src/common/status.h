@@ -27,6 +27,7 @@ class Status {
     kInternal,
     kIOError,
     kNotSupported,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +53,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

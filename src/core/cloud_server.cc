@@ -8,18 +8,25 @@
 namespace ppanns {
 
 SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
-                                 const SearchSettings& settings) const {
+                                 const SearchSettings& settings,
+                                 SearchContext* ctx) const {
   SearchResult result;
   if (k == 0 || db_.index->size() == 0) return result;
+
+  // Run with a local context when the caller passed none, so the result
+  // counters always report what the query cost.
+  SearchContext local;
+  if (ctx == nullptr) ctx = &local;
+  ApplyContextSettings(ctx, settings);
 
   const std::size_t k_prime = ResolveKPrime(settings, k);
 
   // ---- Filter phase (Algorithm 2, line 1): k'-ANNS over SAP ciphertexts on
   // the configured backend; distances are computed on the encrypted vectors
-  // at plaintext cost.
+  // at plaintext cost. The backend probes `ctx` from its hot loop.
   Timer filter_timer;
   const std::vector<Neighbor> candidates =
-      db_.index->Search(token.sap.data(), k_prime, settings.ef_search);
+      db_.index->Search(token.sap.data(), k_prime, settings.ef_search, ctx);
   result.counters.filter_seconds = filter_timer.ElapsedSeconds();
   result.counters.filter_candidates = candidates.size();
 
@@ -28,10 +35,13 @@ SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
     const std::size_t out_k = std::min(k, candidates.size());
     result.ids.reserve(out_k);
     for (std::size_t i = 0; i < out_k; ++i) result.ids.push_back(candidates[i].id);
+    FillCounters(&result.counters, *ctx);
     return result;
   }
 
-  // ---- Refine phase (Algorithm 2, lines 2-9): exact DCE comparisons.
+  // ---- Refine phase (Algorithm 2, lines 2-9): exact DCE comparisons. The
+  // context is probed between heap offers (candidate granularity — DCE
+  // comparisons are orders of magnitude costlier than a row scan).
   Timer refine_timer;
   std::size_t* comparisons = &result.counters.dce_comparisons;
   ComparisonHeap heap(k, [this, &token, comparisons](VectorId a, VectorId b) {
@@ -39,10 +49,13 @@ SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
     return DceScheme::Closer(db_.dce[a], db_.dce[b], token.trapdoor);
   });
   for (const Neighbor& cand : candidates) {
+    if (ctx->ShouldAbandon()) break;
     heap.Offer(cand.id);
   }
   result.ids = heap.ExtractSorted();
   result.counters.refine_seconds = refine_timer.ElapsedSeconds();
+  ctx->stats.dce_comparisons += result.counters.dce_comparisons;
+  FillCounters(&result.counters, *ctx);
   return result;
 }
 

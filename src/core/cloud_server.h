@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/search_context.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/encrypted_database.h"
@@ -24,6 +25,16 @@ struct SearchSettings {
   /// table (the exact backend ignores it). 0 => backend default.
   std::size_t ef_search = 0;
   bool refine = true;         ///< false = filter-only (the Fig. 4/6 baseline)
+  /// Per-query wall-clock deadline in milliseconds; <= 0 disables. The
+  /// server resolves it into the query's SearchContext at entry, every hot
+  /// loop it crosses stops cooperatively when it expires, and PpannsService
+  /// turns the expiry into a DeadlineExceeded Status.
+  double deadline_ms = 0.0;
+  /// Per-query filter-phase node budget (rows scored per index scan;
+  /// 0 = unlimited). An exhausted budget truncates the scan — the Riazi-style
+  /// explicit bound on per-query server work — and is reported via
+  /// SearchCounters::early_exit, not an error.
+  std::size_t node_budget = 0;
 };
 
 /// The filter-phase candidate budget rule (Section V-B): an explicit k' is
@@ -31,6 +42,23 @@ struct SearchSettings {
 /// ShardedCloudServer so both topologies spend the identical budget.
 inline std::size_t ResolveKPrime(const SearchSettings& settings, std::size_t k) {
   return settings.k_prime > 0 ? std::max(settings.k_prime, k) : 4 * k;
+}
+
+/// Resolves the settings' deadline/budget knobs into the query's context at
+/// server entry. Knobs the caller already set on the context win, so a
+/// facade-created deadline is never overwritten. Shared by CloudServer and
+/// ShardedCloudServer so every serving path bounds work identically.
+inline void ApplyContextSettings(SearchContext* ctx,
+                                 const SearchSettings& settings) {
+  if (settings.deadline_ms > 0.0 && !ctx->has_deadline()) {
+    ctx->set_deadline(SearchContext::Clock::now() +
+                      std::chrono::duration_cast<SearchContext::Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              settings.deadline_ms)));
+  }
+  if (settings.node_budget > 0 && ctx->node_budget() == 0) {
+    ctx->set_node_budget(settings.node_budget);
+  }
 }
 
 /// Instrumentation for the cost analyses (Fig. 6 / Fig. 9) and the async
@@ -43,9 +71,30 @@ struct SearchCounters {
   std::size_t hedged_requests = 0;
   /// Replicas that were skipped because they were marked down.
   std::size_t replicas_skipped = 0;
+  /// Database rows scored by the winning filter scans of this query, summed
+  /// across shards (SearchStats::nodes_visited).
+  std::size_t nodes_visited = 0;
+  /// All vector-distance evaluations behind this query (superset of
+  /// nodes_visited; includes IVF centroid ranking).
+  std::size_t distance_computations = 0;
+  /// Nodes scored by hedge work items that lost the claim race — wasted
+  /// work, observed at gather time (losers still running when the gather
+  /// completed land only in ShardedCloudServer::CancelledWorkNodes()).
+  std::size_t hedge_wasted_nodes = 0;
+  /// Why the query stopped early, if it did (cancellation, deadline, node
+  /// budget); kNone for a query that ran to completion.
+  EarlyExit early_exit = EarlyExit::kNone;
   double filter_seconds = 0.0;
   double refine_seconds = 0.0;
 };
+
+/// Copies a finished context's SearchStats and early-exit reason into the
+/// result counters — the last step of every serving path.
+inline void FillCounters(SearchCounters* counters, const SearchContext& ctx) {
+  counters->nodes_visited = ctx.stats.nodes_visited;
+  counters->distance_computations = ctx.stats.distance_computations;
+  counters->early_exit = ctx.early_exit();
+}
 
 /// Result returned to the user: ids only (4k bytes — the server cannot rank
 /// by true distance values, and the user needs no more).
@@ -73,8 +122,20 @@ class CloudServer {
   /// SecureFilterIndex backend) + refine (exact DCE comparisons through a
   /// comparison-only max-heap). Thread-safe: concurrent const searches are
   /// allowed (PpannsService::SearchBatch relies on this).
+  ///
+  /// The `ctx` overload is the cancellable execution path: the context
+  /// (caller-owned, e.g. created by PpannsService) is threaded into the
+  /// filter hot loop and probed between refine comparisons, the settings'
+  /// deadline_ms / node_budget are resolved into it at entry, and the
+  /// result's counters report its SearchStats and early-exit reason. A null
+  /// context runs with a local one, so counters are always filled; ids are
+  /// identical either way unless the context trips.
   SearchResult Search(const QueryToken& token, std::size_t k,
-                      const SearchSettings& settings = {}) const;
+                      const SearchSettings& settings = {}) const {
+    return Search(token, k, settings, nullptr);
+  }
+  SearchResult Search(const QueryToken& token, std::size_t k,
+                      const SearchSettings& settings, SearchContext* ctx) const;
 
   /// Maintenance (Section V-D): link a freshly encrypted vector into the
   /// index / remove one and repair the affected structure.

@@ -107,29 +107,70 @@ Status PpannsService::ValidateQuery(const QueryToken& token, std::size_t k,
   return Status::OK();
 }
 
+namespace {
+
+/// The facade's deadline contract: a query whose context tripped the
+/// deadline comes back as a Status, not a silently truncated result. (A
+/// cancellation or an exhausted node budget stays a result — the caller
+/// asked for both and reads the reason off counters.early_exit.)
+bool DeadlineTripped(const SearchResult& result) {
+  return result.counters.early_exit == EarlyExit::kDeadlineExpired;
+}
+
+Status DeadlineStatus(const SearchSettings& settings) {
+  return Status::DeadlineExceeded(
+      "Search: query deadline" +
+      (settings.deadline_ms > 0.0
+           ? " of " + std::to_string(settings.deadline_ms) + " ms"
+           : std::string()) +
+      " expired mid-execution");
+}
+
+}  // namespace
+
 Result<SearchResult> PpannsService::Search(const QueryToken& token,
                                            std::size_t k,
-                                           const SearchSettings& settings) const {
+                                           const SearchSettings& settings,
+                                           SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
-  return std::visit(
-      [&](const auto& s) { return s.Search(token, k, settings); }, server_);
+  SearchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  SearchResult result = std::visit(
+      [&](const auto& s) { return s.Search(token, k, settings, ctx); },
+      server_);
+  if (DeadlineTripped(result)) return DeadlineStatus(settings);
+  return result;
 }
 
 Result<SearchResult> PpannsService::SearchAsync(const QueryToken& token,
                                                 std::size_t k,
                                                 const SearchSettings& settings,
-                                                const AsyncOptions& async) const {
+                                                const AsyncOptions& async,
+                                                SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
-  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
-    return s->SearchAsync(token, k, settings, async);
-  }
-  // One index, one "replica": nothing to hedge or fail over to.
-  return std::get<CloudServer>(server_).Search(token, k, settings);
+  SearchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  Result<SearchResult> result = [&]() -> Result<SearchResult> {
+    if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+      return s->SearchAsync(token, k, settings, async, ctx);
+    }
+    // One index, one "replica": nothing to hedge or fail over to.
+    return std::get<CloudServer>(server_).Search(token, k, settings, ctx);
+  }();
+  if (result.ok() && DeadlineTripped(*result)) return DeadlineStatus(settings);
+  return result;
 }
 
 Result<BatchSearchResult> PpannsService::SearchBatch(
     std::span<const QueryToken> tokens, std::size_t k,
     const SearchSettings& settings) const {
+  // Hedging off: the flat (query, shard) fan-out serves the whole batch.
+  return SearchBatch(tokens, k, settings, AsyncOptions{.hedge_ms = 0.0});
+}
+
+Result<BatchSearchResult> PpannsService::SearchBatch(
+    std::span<const QueryToken> tokens, std::size_t k,
+    const SearchSettings& settings, const AsyncOptions& async) const {
   // Validate everything up front: a batch either runs in full or not at all,
   // so callers never get partially filled results.
   for (std::size_t i = 0; i < tokens.size(); ++i) {
@@ -143,9 +184,12 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
   Timer wall;
   if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
     // Batch-level scatter: all Q*S (query, shard) filter items as one flat
-    // fan-out, then per-query merge/refine — same ids as a sequential loop,
-    // lower tail latency for small batches.
-    batch.results = s->SearchBatchScattered(tokens, k, settings);
+    // fan-out — hedged through the claim-flag machinery when asked — then
+    // per-query merge/refine. Same ids as a sequential loop, lower tail
+    // latency for small batches.
+    batch.results = async.hedge_ms > 0.0
+                        ? s->SearchBatchScattered(tokens, k, settings, async)
+                        : s->SearchBatchScattered(tokens, k, settings);
   } else {
     batch.results.resize(tokens.size());
     ThreadPool::Global().ParallelFor(
@@ -160,8 +204,16 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
 
   batch.counters.num_queries = tokens.size();
   for (const SearchResult& r : batch.results) {
+    // All-or-nothing deadline contract, batch edition: one expired query
+    // fails the batch (its siblings shared the same per-query deadline and
+    // were truncated the same way).
+    if (DeadlineTripped(r)) return DeadlineStatus(settings);
     batch.counters.total_filter_candidates += r.counters.filter_candidates;
     batch.counters.total_dce_comparisons += r.counters.dce_comparisons;
+    batch.counters.total_nodes_visited += r.counters.nodes_visited;
+    batch.counters.total_distance_computations +=
+        r.counters.distance_computations;
+    batch.counters.total_hedged_requests += r.counters.hedged_requests;
     batch.counters.total_filter_seconds += r.counters.filter_seconds;
     batch.counters.total_refine_seconds += r.counters.refine_seconds;
   }

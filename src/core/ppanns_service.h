@@ -23,6 +23,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/search_context.h"
 #include "common/status.h"
 #include "core/cloud_server.h"
 #include "core/sharded_cloud_server.h"
@@ -34,6 +35,12 @@ struct BatchCounters {
   std::size_t num_queries = 0;
   std::size_t total_filter_candidates = 0;
   std::size_t total_dce_comparisons = 0;
+  /// SearchStats totals across the batch: rows scored and distance
+  /// computations spent by the winning scans.
+  std::size_t total_nodes_visited = 0;
+  std::size_t total_distance_computations = 0;
+  /// Hedge dispatches issued by the hedged batch scatter (0 without one).
+  std::size_t total_hedged_requests = 0;
   /// Per-query seconds summed across the batch (CPU view; exceeds wall time
   /// under parallel execution).
   double total_filter_seconds = 0.0;
@@ -63,8 +70,22 @@ class PpannsService {
   /// Validated single-query search (Algorithm 2 through the server core).
   ///   InvalidArgument  — k = 0, SAP/trapdoor dimension mismatch
   ///   FailedPrecondition — empty database
+  ///   DeadlineExceeded — settings.deadline_ms (or a caller-context
+  ///       deadline) expired before the query finished; every layer stopped
+  ///       cooperatively mid-scan
+  /// Every result's counters carry the query's SearchStats (nodes visited,
+  /// distance computations, DCE comparisons, early-exit reason). The `ctx`
+  /// overload lets the caller own the context — register a cancellation
+  /// flag, set a deadline or node budget up front, read the stats back; a
+  /// caller-cancelled query returns its partial result with
+  /// counters.early_exit == kCancelled rather than a Status.
   Result<SearchResult> Search(const QueryToken& token, std::size_t k,
-                              const SearchSettings& settings = {}) const;
+                              const SearchSettings& settings = {}) const {
+    return Search(token, k, settings, nullptr);
+  }
+  Result<SearchResult> Search(const QueryToken& token, std::size_t k,
+                              const SearchSettings& settings,
+                              SearchContext* ctx) const;
 
   /// Validated asynchronous search. On a sharded topology this is the
   /// latency-hiding path: (query, shard-replica) work items fan across the
@@ -75,7 +96,13 @@ class PpannsService {
   /// to hedge). Result ids are identical to Search on a healthy cluster.
   Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
                                    const SearchSettings& settings = {},
-                                   const AsyncOptions& async = {}) const;
+                                   const AsyncOptions& async = {}) const {
+    return SearchAsync(token, k, settings, async, nullptr);
+  }
+  Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
+                                   const SearchSettings& settings,
+                                   const AsyncOptions& async,
+                                   SearchContext* ctx) const;
 
   /// Runs every token through Search semantics, fanned across the global
   /// ThreadPool. All tokens are validated before any work starts; the result
@@ -90,6 +117,17 @@ class PpannsService {
   Result<BatchSearchResult> SearchBatch(std::span<const QueryToken> tokens,
                                         std::size_t k,
                                         const SearchSettings& settings = {}) const;
+
+  /// SearchBatch with hedging: on a sharded topology the Q*S (query, shard)
+  /// work items run through the same hedged claim-flag scatter SearchAsync
+  /// uses — items missing `async.hedge_ms` re-dispatch to the shard's
+  /// next-best live replica, first answer wins, losers abort mid-scan. Ids
+  /// are identical to the unhedged SearchBatch. On the single-index
+  /// topology (nothing to hedge) it behaves exactly like SearchBatch.
+  Result<BatchSearchResult> SearchBatch(std::span<const QueryToken> tokens,
+                                        std::size_t k,
+                                        const SearchSettings& settings,
+                                        const AsyncOptions& async) const;
 
   /// Validated maintenance (Section V-D). Insert rejects an EncryptedVector
   /// whose SAP length differs from dim() or whose DCE payload is not the

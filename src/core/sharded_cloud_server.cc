@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -14,21 +16,27 @@
 
 namespace ppanns {
 
-// Health flags, fault injection and the in-flight task count live behind a
-// stable heap address: async work items outlive SearchAsync (hedge losers
-// keep running after the winner returned) and may even outlive a move of the
-// server object, so they capture Runtime* and CloudServer* — both stable —
-// never `this`.
+// Health flags, fault injection, load counters and the in-flight task count
+// live behind a stable heap address: async work items outlive SearchAsync
+// (hedge losers may still be draining when the winner returned) and may even
+// outlive a move of the server object, so they capture Runtime* and
+// CloudServer* — both stable — never `this`.
 struct ShardedCloudServer::Runtime {
   Runtime(std::size_t num_shards, std::size_t num_replicas)
       : shards(num_shards),
         replicas(num_replicas),
         down(std::make_unique<std::atomic<bool>[]>(num_shards * num_replicas)),
         delay_ms(
-            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)) {
+            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)),
+        inflight_replica(
+            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)),
+        requests(std::make_unique<std::atomic<std::size_t>[]>(num_shards *
+                                                              num_replicas)) {
     for (std::size_t i = 0; i < num_shards * num_replicas; ++i) {
       down[i].store(false, std::memory_order_relaxed);
       delay_ms[i].store(0, std::memory_order_relaxed);
+      inflight_replica[i].store(0, std::memory_order_relaxed);
+      requests[i].store(0, std::memory_order_relaxed);
     }
   }
 
@@ -40,17 +48,30 @@ struct ShardedCloudServer::Runtime {
   std::size_t replicas;
   std::unique_ptr<std::atomic<bool>[]> down;
   std::unique_ptr<std::atomic<int>[]> delay_ms;
+  /// Outstanding filter dispatches per replica (queued + executing, plus any
+  /// AddReplicaLoad bias) — what the load-aware dispatcher minimizes.
+  std::unique_ptr<std::atomic<int>[]> inflight_replica;
+  /// Filter scans actually started per replica (observability).
+  std::unique_ptr<std::atomic<std::size_t>[]> requests;
   /// Async work items still on the pool (including abandoned hedge losers);
   /// the destructor drains this before the shards are released.
   std::atomic<std::size_t> inflight{0};
+  /// Lifetime totals of hedge work that lost the claim race: nodes the
+  /// losers scored before aborting, and how many losing scans there were.
+  /// The mid-scan-abort win is this counter staying near zero.
+  std::atomic<std::size_t> cancelled_nodes{0};
+  std::atomic<std::size_t> cancelled_scans{0};
 };
 
 namespace {
 
-/// Simulated straggler: the injected latency of the filter work item.
-void ApplyInjectedDelay(int delay_ms) {
-  if (delay_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+/// Simulated straggler: the injected latency of a filter work item, served
+/// in 1 ms slices so a cancelled item (lost hedge, expired deadline) wakes
+/// out of it at the next slice instead of sleeping uselessly to the end.
+void InterruptibleDelay(int delay_ms, SearchContext* ctx) {
+  for (int slice = 0; slice < delay_ms; ++slice) {
+    if (ctx != nullptr && ctx->ShouldStop(ctx->stats.nodes_visited)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
@@ -136,6 +157,33 @@ void ShardedCloudServer::SetReplicaDelayMs(std::size_t s, std::size_t r,
                                                  std::memory_order_release);
 }
 
+void ShardedCloudServer::AddReplicaLoad(std::size_t s, std::size_t r,
+                                        int delta) {
+  runtime_->inflight_replica[runtime_->slot(s, r)].fetch_add(
+      delta, std::memory_order_acq_rel);
+}
+
+int ShardedCloudServer::replica_inflight(std::size_t s, std::size_t r) const {
+  return runtime_->inflight_replica[runtime_->slot(s, r)].load(
+      std::memory_order_acquire);
+}
+
+std::size_t ShardedCloudServer::replica_requests(std::size_t s,
+                                                 std::size_t r) const {
+  return runtime_->requests[runtime_->slot(s, r)].load(
+      std::memory_order_acquire);
+}
+
+std::size_t ShardedCloudServer::CancelledWorkNodes() const {
+  DrainAsyncWork();
+  return runtime_->cancelled_nodes.load(std::memory_order_acquire);
+}
+
+std::size_t ShardedCloudServer::CancelledScans() const {
+  DrainAsyncWork();
+  return runtime_->cancelled_scans.load(std::memory_order_acquire);
+}
+
 std::size_t ShardedCloudServer::live_replicas(std::size_t s) const {
   std::size_t live = 0;
   for (std::size_t r = 0; r < replication_factor(); ++r) {
@@ -153,22 +201,52 @@ int ShardedCloudServer::FirstLiveReplica(std::size_t s,
   return -1;
 }
 
+int ShardedCloudServer::PickReplica(std::size_t s,
+                                    std::size_t* skipped) const {
+  int best = -1;
+  int best_load = std::numeric_limits<int>::max();
+  bool seen_live = false;
+  for (std::size_t r = 0; r < replication_factor(); ++r) {
+    if (replica_down(s, r)) {
+      // Down replicas ahead of the first live one count as skipped, matching
+      // the first-live accounting the counters have always reported.
+      if (!seen_live && skipped != nullptr) ++*skipped;
+      continue;
+    }
+    seen_live = true;
+    const int load = runtime_->inflight_replica[runtime_->slot(s, r)].load(
+        std::memory_order_acquire);
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<int>(r);
+    }
+  }
+  return best;
+}
+
 std::vector<Neighbor> ShardedCloudServer::FilterOnReplica(
     std::size_t s, std::size_t r, const QueryToken& token, std::size_t k_prime,
-    std::size_t ef_search) const {
-  ApplyInjectedDelay(
-      runtime_->delay_ms[runtime_->slot(s, r)].load(std::memory_order_acquire));
+    std::size_t ef_search, SearchContext* ctx) const {
+  Runtime* const rt = runtime_.get();
+  const std::size_t slot = rt->slot(s, r);
+  rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
+  InterruptibleDelay(rt->delay_ms[slot].load(std::memory_order_acquire), ctx);
+  std::vector<Neighbor> local;
   const CloudServer& replica = replicas_[s][r];
-  if (replica.index().size() == 0) return {};
-  std::vector<Neighbor> local =
-      replica.index().Search(token.sap.data(), k_prime, ef_search);
-  for (Neighbor& nb : local) nb.id = local_to_global_[s][nb.id];
+  if (replica.index().size() > 0 &&
+      (ctx == nullptr || !ctx->ShouldStop(ctx->stats.nodes_visited))) {
+    rt->requests[slot].fetch_add(1, std::memory_order_acq_rel);
+    local = replica.index().Search(token.sap.data(), k_prime, ef_search, ctx);
+    for (Neighbor& nb : local) nb.id = local_to_global_[s][nb.id];
+  }
+  rt->inflight_replica[slot].fetch_sub(1, std::memory_order_acq_rel);
   return local;
 }
 
 SearchResult ShardedCloudServer::MergeAndRefine(
     const QueryToken& token, std::size_t k, const SearchSettings& settings,
-    std::size_t k_prime, std::vector<std::vector<Neighbor>> per_shard) const {
+    std::size_t k_prime, std::vector<std::vector<Neighbor>> per_shard,
+    SearchContext* ctx) const {
   SearchResult result;
 
   // ---- Gather: merge to the global SAP-top-k' under the same
@@ -188,6 +266,7 @@ SearchResult ShardedCloudServer::MergeAndRefine(
     const std::size_t out_k = std::min(k, merged.size());
     result.ids.reserve(out_k);
     for (std::size_t i = 0; i < out_k; ++i) result.ids.push_back(merged[i].id);
+    if (ctx != nullptr) FillCounters(&result.counters, *ctx);
     return result;
   }
 
@@ -214,43 +293,63 @@ SearchResult ShardedCloudServer::MergeAndRefine(
             dce_source[rb.shard]->dce_ciphertexts()[rb.local], token.trapdoor);
       });
   for (const Neighbor& cand : merged) {
+    // Candidate-granularity probe: DCE comparisons dwarf a row scan. A
+    // spent filter budget does not abandon refinement — only cancellation
+    // or the deadline does.
+    if (ctx != nullptr && ctx->ShouldAbandon()) break;
     heap.Offer(cand.id);
   }
   result.ids = heap.ExtractSorted();
   result.counters.refine_seconds = refine_timer.ElapsedSeconds();
+  if (ctx != nullptr) {
+    ctx->stats.dce_comparisons += result.counters.dce_comparisons;
+    FillCounters(&result.counters, *ctx);
+  }
   return result;
 }
 
 SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
-                                        const SearchSettings& settings) const {
+                                        const SearchSettings& settings,
+                                        SearchContext* ctx) const {
   SearchResult result;
   if (k == 0 || size() == 0) return result;
+  SearchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  ApplyContextSettings(ctx, settings);
   const std::size_t k_prime = ResolveKPrime(settings, k);
 
   // ---- Scatter (filter phase): every shard answers the full k'-ANNS over
-  // its first live replica. Inside a batch worker the fan-out runs inline;
-  // standalone calls parallelize across shards. The gather below is a
-  // barrier — the synchronous path's tail latency is the slowest replica.
+  // its least-loaded live replica. Inside a batch worker the fan-out runs
+  // inline; standalone calls parallelize across shards. The gather below is
+  // a barrier — the synchronous path's tail latency is the slowest replica.
+  // Each shard scans under its own Child context (contexts are single-
+  // threaded by design); the parent merges them after the barrier.
   Timer filter_timer;
   const std::size_t num_shards = replicas_.size();
   std::vector<std::vector<Neighbor>> per_shard(num_shards);
   std::vector<std::size_t> skipped(num_shards, 0);
   std::vector<char> shard_down(num_shards, 0);
+  std::vector<SearchContext> children;
+  children.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) children.push_back(ctx->Child());
   ThreadPool::Global().ParallelFor(
       num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          const int r = FirstLiveReplica(s, &skipped[s]);
+          const int r = PickReplica(s, &skipped[s]);
           if (r < 0) {
             shard_down[s] = 1;
             continue;
           }
           per_shard[s] = FilterOnReplica(s, static_cast<std::size_t>(r), token,
-                                         k_prime, settings.ef_search);
+                                         k_prime, settings.ef_search,
+                                         &children[s]);
         }
       });
+  for (const SearchContext& child : children) ctx->MergeChild(child);
   const double filter_seconds = filter_timer.ElapsedSeconds();
 
-  result = MergeAndRefine(token, k, settings, k_prime, std::move(per_shard));
+  result =
+      MergeAndRefine(token, k, settings, k_prime, std::move(per_shard), ctx);
   result.counters.filter_seconds = filter_seconds;
   for (std::size_t s = 0; s < num_shards; ++s) {
     result.counters.replicas_skipped += skipped[s];
@@ -259,15 +358,282 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   return result;
 }
 
+ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
+    std::span<const QueryToken> tokens, std::span<const ScatterItem> items,
+    std::size_t k_prime, std::size_t ef_search, const AsyncOptions& async,
+    SearchContext* parent_ctx) const {
+  ThreadPool& pool = ThreadPool::Global();
+  const std::size_t num_items = items.size();
+  const std::size_t num_replicas = replication_factor();
+  Runtime* const rt = runtime_.get();
+
+  ScatterOutcome outcome;
+  outcome.answers.resize(num_items);
+  outcome.stats.resize(num_items);
+  outcome.exits.assign(num_items, EarlyExit::kNone);
+  outcome.item_seconds.assign(num_items, 0.0);
+  outcome.hedges.assign(num_items, 0);
+
+  // Everything an abandoned work item may touch after this call returns
+  // lives here, behind a shared_ptr: the token copies, the claim flags and
+  // the answer slots. Work items additionally touch the CloudServers and the
+  // local_to_global rows through stable heap pointers, guarded against
+  // destruction by Runtime::inflight.
+  struct ItemSlot {
+    /// Raised by the first dispatch to finish — and, with mid_scan_cancel,
+    /// registered as a cancellation source in every later dispatch's
+    /// context, so losers abort mid-scan at their next probe.
+    std::atomic<bool> claimed{false};
+    bool answered = false;         // guarded by Coordinator::mu
+    std::vector<Neighbor> answer;  // guarded by mu
+    SearchStats stats;             // winner's scan stats, guarded by mu
+    EarlyExit exit = EarlyExit::kNone;  // winner's reason, guarded by mu
+    double seconds = 0.0;          // winner's delay + scan time, guarded by mu
+  };
+  struct Coordinator {
+    std::vector<QueryToken> tokens;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;  // items dispatched but not yet answered
+    std::unique_ptr<ItemSlot[]> slots;
+    /// Wasted work of losers that had already finished when the gather
+    /// completed; the Runtime counters additionally catch late losers.
+    std::atomic<std::size_t> wasted_nodes{0};
+  };
+  auto co = std::make_shared<Coordinator>();
+  co->tokens.assign(tokens.begin(), tokens.end());
+  co->slots = std::make_unique<ItemSlot[]>(num_items);
+  co->pending = num_items;
+
+  // One dispatch of one (query, shard) item on a chosen replica. The
+  // context is assembled at dispatch time: the caller's deadline and
+  // cancellation flags (Child), plus — when mid-scan cancellation is on —
+  // the item's claim flag. The item carries everything it touches by stable
+  // pointer or shared_ptr, never `this`, because a loser can outlive the
+  // calling search (its in-flight count is what the destructor drains).
+  struct Dispatch {
+    std::shared_ptr<Coordinator> co;
+    const CloudServer* replica;
+    const std::vector<VectorId>* l2g;
+    Runtime* rt;
+    std::size_t item;
+    std::size_t token_index;
+    std::size_t replica_slot;  // rt->slot(s, r), for the load counters
+    int delay_ms;
+    std::size_t k_prime;
+    std::size_t ef_search;
+    SearchContext ctx;  // pre-assembled; stats stay local to this dispatch
+
+    void operator()() {
+      ItemSlot& slot = co->slots[item];
+      if (slot.claimed.load(std::memory_order_acquire)) {
+        // Lost before starting: nothing was wasted, nothing to record.
+        Finish();
+        return;
+      }
+      Timer item_timer;
+      // Injected straggler. With mid-scan cancellation the sleep is
+      // interruptible through the claim flag in `ctx`; without it this
+      // models a remote server that cannot be recalled once contacted.
+      InterruptibleDelay(delay_ms, &ctx);
+      std::vector<Neighbor> local;
+      bool scanned = false;
+      if (!ctx.ShouldStop(ctx.stats.nodes_visited) &&
+          replica->index().size() > 0) {
+        scanned = true;
+        rt->requests[replica_slot].fetch_add(1, std::memory_order_acq_rel);
+        local = replica->index().Search(co->tokens[token_index].sap.data(),
+                                        k_prime, ef_search, &ctx);
+      }
+      // A kCancelled exit means we lost only if the *claim* flag is up
+      // (another dispatch won). A caller-raised flag with no claim yet
+      // must still publish its partial answer — otherwise every dispatch
+      // of the item would walk away and the gather would wait on
+      // `pending` forever.
+      const bool lost_race =
+          ctx.early_exit() == EarlyExit::kCancelled &&
+          slot.claimed.load(std::memory_order_acquire);
+      if (!lost_race &&
+          !slot.claimed.exchange(true, std::memory_order_acq_rel)) {
+        for (Neighbor& nb : local) nb.id = (*l2g)[nb.id];
+        std::lock_guard<std::mutex> lock(co->mu);
+        slot.answered = true;
+        slot.answer = std::move(local);
+        slot.stats = ctx.stats;
+        slot.exit = ctx.early_exit();
+        slot.seconds = item_timer.ElapsedSeconds();
+        --co->pending;
+        co->cv.notify_all();
+      } else if (scanned) {
+        // Lost the race after burning real work: account it. This counter
+        // staying near zero is what mid-scan cancellation buys.
+        rt->cancelled_nodes.fetch_add(ctx.stats.nodes_visited,
+                                      std::memory_order_acq_rel);
+        rt->cancelled_scans.fetch_add(1, std::memory_order_acq_rel);
+        co->wasted_nodes.fetch_add(ctx.stats.nodes_visited,
+                                   std::memory_order_acq_rel);
+        Finish();
+        return;
+      }
+      Finish();
+    }
+
+    void Finish() {
+      rt->inflight_replica[replica_slot].fetch_sub(1,
+                                                   std::memory_order_acq_rel);
+      rt->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  const auto make_dispatch = [&](std::size_t item, std::size_t s,
+                                 std::size_t r) {
+    SearchContext ctx =
+        parent_ctx != nullptr ? parent_ctx->Child() : SearchContext{};
+    if (async.mid_scan_cancel) ctx.AddCancelFlag(&co->slots[item].claimed);
+    const std::size_t slot = rt->slot(s, r);
+    rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
+    rt->inflight.fetch_add(1, std::memory_order_acq_rel);
+    return Dispatch{co,
+                    &replicas_[s][r],
+                    &local_to_global_[s],
+                    rt,
+                    item,
+                    items[item].token_index,
+                    slot,
+                    rt->delay_ms[slot].load(std::memory_order_acquire),
+                    k_prime,
+                    ef_search,
+                    std::move(ctx)};
+  };
+
+  // ---- Initial scatter: every item to the least-loaded live replica of
+  // its shard, on the pool.
+  std::vector<std::vector<std::uint8_t>> dispatched(
+      num_items, std::vector<std::uint8_t>(num_replicas, 0));
+  for (std::size_t i = 0; i < num_items; ++i) {
+    const int r = PickReplica(items[i].shard, &outcome.replicas_skipped);
+    if (r < 0) {
+      // Callers exclude shards with no live replica, but SetReplicaDown is
+      // an admin knob usable concurrently with serving: the shard's last
+      // replica may have died between the caller's liveness scan and this
+      // dispatch. Degrade like a dead shard — an empty answer — instead of
+      // crashing the server.
+      std::lock_guard<std::mutex> lock(co->mu);
+      co->slots[i].answered = true;
+      --co->pending;
+      continue;
+    }
+    dispatched[i][static_cast<std::size_t>(r)] = 1;
+    pool.Submit(make_dispatch(i, items[i].shard, static_cast<std::size_t>(r)));
+  }
+
+  // ---- Gather with hedging: wait in hedge_ms steps; at each missed
+  // deadline, run the unanswered items on their shard's next-best live
+  // replica INLINE on this thread. The gather thread is otherwise idle, so
+  // a hedge makes progress even when every pool worker is stuck behind a
+  // straggler (including on a single-worker pool); the loser aborts at its
+  // next cancellation probe once the inline run claims the slot.
+  const bool hedging = async.hedge_ms > 0.0;
+  const bool has_deadline =
+      parent_ctx != nullptr && parent_ctx->has_deadline();
+  const auto query_deadline = has_deadline
+                                  ? parent_ctx->deadline()
+                                  : SearchContext::Clock::time_point::max();
+  {
+    std::unique_lock<std::mutex> lock(co->mu);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t level = 1;
+    bool escalation_left = true;
+    for (;;) {
+      auto wake = query_deadline;
+      if (hedging && escalation_left) {
+        const auto hedge_deadline =
+            start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    async.hedge_ms * static_cast<double>(level)));
+        wake = std::min(wake, hedge_deadline);
+      }
+      bool done;
+      if (wake == SearchContext::Clock::time_point::max()) {
+        co->cv.wait(lock, [&co] { return co->pending == 0; });
+        done = true;
+      } else {
+        done = co->cv.wait_until(lock, wake,
+                                 [&co] { return co->pending == 0; });
+      }
+      if (done) break;
+      if (has_deadline && SearchContext::Clock::now() >= query_deadline) {
+        // Query deadline: abandon the gather. In-flight dispatches observe
+        // the same deadline through their contexts and stop on their own.
+        parent_ctx->ShouldStop();
+        break;
+      }
+      if (!hedging || !escalation_left) continue;
+
+      // Escalate every unanswered item to its shard's next-best live
+      // replica, inline. The lock is dropped while scanning so finishing
+      // pool items can deliver their answers meanwhile.
+      std::vector<std::pair<std::size_t, std::size_t>> to_run;  // (item, r)
+      escalation_left = false;
+      for (std::size_t i = 0; i < num_items; ++i) {
+        if (co->slots[i].answered) continue;
+        int best = -1;
+        int best_load = std::numeric_limits<int>::max();
+        std::size_t undispatched_live = 0;
+        for (std::size_t r = 0; r < num_replicas; ++r) {
+          if (dispatched[i][r] || replica_down(items[i].shard, r)) continue;
+          ++undispatched_live;
+          const int load =
+              rt->inflight_replica[rt->slot(items[i].shard, r)].load(
+                  std::memory_order_acquire);
+          if (load < best_load) {
+            best_load = load;
+            best = static_cast<int>(r);
+          }
+        }
+        if (best < 0) continue;
+        dispatched[i][static_cast<std::size_t>(best)] = 1;
+        ++outcome.hedges[i];
+        ++outcome.hedged_requests;
+        if (undispatched_live > 1) escalation_left = true;
+        to_run.emplace_back(i, static_cast<std::size_t>(best));
+      }
+      ++level;
+      if (to_run.empty()) continue;
+      lock.unlock();
+      for (const auto& [item, r] : to_run) {
+        Dispatch hedge = make_dispatch(item, items[item].shard, r);
+        hedge();
+      }
+      lock.lock();
+    }
+
+    // ---- Collect under the same lock that guards the answer slots. Losers
+    // may still be running; they can no longer win the claim, so answered
+    // slots are stable.
+    for (std::size_t i = 0; i < num_items; ++i) {
+      if (!co->slots[i].answered) continue;
+      outcome.answers[i] = std::move(co->slots[i].answer);
+      outcome.stats[i] = co->slots[i].stats;
+      outcome.exits[i] = co->slots[i].exit;
+      outcome.item_seconds[i] = co->slots[i].seconds;
+    }
+  }
+  outcome.wasted_nodes = co->wasted_nodes.load(std::memory_order_acquire);
+  return outcome;
+}
+
 Result<SearchResult> ShardedCloudServer::SearchAsync(
     const QueryToken& token, std::size_t k, const SearchSettings& settings,
-    const AsyncOptions& async) const {
+    const AsyncOptions& async, SearchContext* ctx) const {
   ThreadPool& pool = ThreadPool::Global();
   if (pool.InWorker()) {
-    // Hedging needs free workers to run the hedge on; inside a pool worker
-    // the scatter runs inline (ParallelFor's nested rule), which already
-    // avoids the straggler wait across *queries* at the batch level.
-    SearchResult result = Search(token, k, settings);
+    // The gather thread doubles as the inline hedge executor; a pool worker
+    // cannot play that role for itself, so fall back to the inline
+    // synchronous scatter (ParallelFor's nested rule), which already avoids
+    // the straggler wait across *queries* at the batch level.
+    SearchResult result = Search(token, k, settings, ctx);
     if (result.partial && !async.allow_partial) {
       return Status::FailedPrecondition(
           "SearchAsync: a shard has no live replica and partial results are "
@@ -276,182 +642,30 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
     return result;
   }
 
-  SearchResult empty;
-  if (k == 0 || size() == 0) return empty;
+  SearchResult result;
+  if (k == 0 || size() == 0) return result;
+  SearchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  ApplyContextSettings(ctx, settings);
   const std::size_t k_prime = ResolveKPrime(settings, k);
   const std::size_t num_shards = replicas_.size();
-  const std::size_t num_replicas = replication_factor();
-  Runtime* const rt = runtime_.get();
 
-  // Everything an abandoned work item may touch after this call returns
-  // lives here, behind a shared_ptr: the token copy, the claim flags and the
-  // answer slots. Work items additionally touch the CloudServers and the
-  // local_to_global rows through stable heap pointers, guarded against
-  // destruction by Runtime::inflight.
-  struct ShardSlot {
-    std::atomic<bool> claimed{false};
-    std::vector<Neighbor> answer;  // written once by the claiming task
-  };
-  struct Coordinator {
-    QueryToken token;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t pending = 0;  // shards dispatched but not yet answered
-    std::unique_ptr<ShardSlot[]> shards;
-  };
-  auto co = std::make_shared<Coordinator>();
-  co->token = token;
-  co->shards = std::make_unique<ShardSlot[]>(num_shards);
-
-  SearchResult result;
-  Timer filter_timer;
-
-  // One (query, shard-replica) work item. An injected straggler delay is
-  // served in 1 ms slices that *requeue the item* between slices instead of
-  // blocking a worker: the pool stays responsive (healthy items and hedges
-  // interleave even on a single-core pool), and a lost hedge race cancels
-  // cleanly — a requeued loser observes the claim flag and exits without
-  // searching. The item carries everything it touches by stable pointer or
-  // shared_ptr, never `this`, because a loser can outlive SearchAsync (its
-  // in-flight count is what the server destructor drains).
-  struct WorkItem {
-    std::shared_ptr<Coordinator> co;
-    const CloudServer* replica;
-    const std::vector<VectorId>* l2g;
-    Runtime* rt;
-    std::size_t s;
-    int delay_remaining_ms;
-    std::size_t k_prime;
-    std::size_t ef_search;
-
-    void operator()() {
-      ShardSlot& slot = co->shards[s];
-      if (slot.claimed.load(std::memory_order_acquire)) {
-        rt->inflight.fetch_sub(1, std::memory_order_acq_rel);  // lost: cancel
-        return;
-      }
-      if (delay_remaining_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        WorkItem next = *this;
-        --next.delay_remaining_ms;
-        // The in-flight count transfers to the continuation.
-        ThreadPool::Global().Submit(std::move(next));
-        return;
-      }
-      std::vector<Neighbor> local;
-      if (replica->index().size() > 0) {
-        local =
-            replica->index().Search(co->token.sap.data(), k_prime, ef_search);
-        for (Neighbor& nb : local) nb.id = (*l2g)[nb.id];
-      }
-      if (!slot.claimed.exchange(true, std::memory_order_acq_rel)) {
-        std::lock_guard<std::mutex> lock(co->mu);
-        slot.answer = std::move(local);
-        --co->pending;
-        co->cv.notify_all();
-      }
-      rt->inflight.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  };
-
-  const auto dispatch = [&pool, co, rt, this, k_prime,
-                         &settings](std::size_t s, std::size_t r) {
-    rt->inflight.fetch_add(1, std::memory_order_acq_rel);
-    pool.Submit(WorkItem{
-        co, &replicas_[s][r], &local_to_global_[s], rt, s,
-        rt->delay_ms[rt->slot(s, r)].load(std::memory_order_acquire), k_prime,
-        settings.ef_search});
-  };
-
-  // ---- Initial scatter: one work item per shard on its first live replica.
-  std::vector<std::size_t> next_replica(num_shards, 0);
-  std::vector<char> shard_failed(num_shards, 0);
-  std::vector<char> shard_pending(num_shards, 0);
-  std::size_t live_shards = 0;
-  {
-    std::lock_guard<std::mutex> lock(co->mu);
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      std::size_t skipped = 0;
-      const int r = FirstLiveReplica(s, &skipped);
-      result.counters.replicas_skipped += skipped;
-      if (r < 0) {
-        shard_failed[s] = 1;
-        continue;
-      }
-      ++live_shards;
-      ++co->pending;
-      shard_pending[s] = 1;
-      next_replica[s] = static_cast<std::size_t>(r) + 1;
-    }
-  }
-  if (live_shards == 0) {
-    return Status::FailedPrecondition(
-        "SearchAsync: every replica of every shard is down");
-  }
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    if (shard_pending[s]) dispatch(s, next_replica[s] - 1);
-  }
-
-  // ---- Gather with hedging: wait in hedge_ms steps; at each missed
-  // deadline, fan the unanswered shards out to their next live replica.
-  {
-    std::unique_lock<std::mutex> lock(co->mu);
-    const auto start = std::chrono::steady_clock::now();
-    std::size_t level = 1;
-    const bool hedging = async.hedge_ms > 0.0;
-    for (;;) {
-      if (!hedging) {
-        co->cv.wait(lock, [&co] { return co->pending == 0; });
-        break;
-      }
-      const auto deadline =
-          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double, std::milli>(
-                          async.hedge_ms * static_cast<double>(level)));
-      if (co->cv.wait_until(lock, deadline,
-                            [&co] { return co->pending == 0; })) {
-        break;
-      }
-      bool any_replica_left = false;
-      for (std::size_t s = 0; s < num_shards; ++s) {
-        if (!shard_pending[s] ||
-            co->shards[s].claimed.load(std::memory_order_acquire)) {
-          continue;
-        }
-        // Next live replica for this shard, if any remains to hedge onto.
-        while (next_replica[s] < num_replicas &&
-               replica_down(s, next_replica[s])) {
-          ++next_replica[s];
-          ++result.counters.replicas_skipped;
-        }
-        if (next_replica[s] >= num_replicas) continue;
-        const std::size_t r = next_replica[s]++;
-        ++result.counters.hedged_requests;
-        any_replica_left = next_replica[s] < num_replicas || any_replica_left;
-        dispatch(s, r);
-      }
-      ++level;
-      if (!any_replica_left) {
-        // Every remaining replica has been dispatched; nothing more to
-        // escalate to — wait for the first of them to answer each shard.
-        co->cv.wait(lock, [&co] { return co->pending == 0; });
-        break;
-      }
-    }
-  }
-  const double filter_seconds = filter_timer.ElapsedSeconds();
-
-  // ---- Collect. Loser tasks may still be running; they can no longer win
-  // the claim, so the answers are stable (the claiming writes happened
-  // before the final --pending we just observed under co->mu).
-  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  // Resolve serveable shards; dead shards are excluded from the scatter.
+  std::vector<ScatterItem> items;
+  std::vector<int> item_of_shard(num_shards, -1);
+  items.reserve(num_shards);
   bool partial = false;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    if (shard_failed[s]) {
+    if (live_replicas(s) == 0) {
       partial = true;
       continue;
     }
-    per_shard[s] = std::move(co->shards[s].answer);
+    item_of_shard[s] = static_cast<int>(items.size());
+    items.push_back(ScatterItem{0, s});
+  }
+  if (items.empty()) {
+    return Status::FailedPrecondition(
+        "SearchAsync: every replica of every shard is down");
   }
   if (partial && !async.allow_partial) {
     return Status::FailedPrecondition(
@@ -459,12 +673,27 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
         "disabled");
   }
 
-  const std::size_t hedges = result.counters.hedged_requests;
-  const std::size_t skipped = result.counters.replicas_skipped;
-  result = MergeAndRefine(token, k, settings, k_prime, std::move(per_shard));
+  Timer filter_timer;
+  ScatterOutcome outcome = RunHedgedScatter(std::span(&token, 1), items,
+                                            k_prime, settings.ef_search,
+                                            async, ctx);
+  const double filter_seconds = filter_timer.ElapsedSeconds();
+
+  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (item_of_shard[s] < 0) continue;
+    const std::size_t i = static_cast<std::size_t>(item_of_shard[s]);
+    per_shard[s] = std::move(outcome.answers[i]);
+    ctx->stats.Merge(outcome.stats[i]);
+    ctx->AdoptEarlyExit(outcome.exits[i]);
+  }
+
+  result =
+      MergeAndRefine(token, k, settings, k_prime, std::move(per_shard), ctx);
   result.counters.filter_seconds = filter_seconds;
-  result.counters.hedged_requests = hedges;
-  result.counters.replicas_skipped = skipped;
+  result.counters.hedged_requests = outcome.hedged_requests;
+  result.counters.replicas_skipped = outcome.replicas_skipped;
+  result.counters.hedge_wasted_nodes = outcome.wasted_nodes;
   result.partial = partial;
   return result;
 }
@@ -478,21 +707,35 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   if (num_queries == 0 || k == 0 || size() == 0) return results;
   const std::size_t k_prime = ResolveKPrime(settings, k);
 
-  // Resolve the serving replica of every shard once per batch.
+  // Per-query contexts: the deadline/budget knobs bound every query of the
+  // batch independently; stats land in that query's counters.
+  std::vector<SearchContext> query_ctx(num_queries);
+  for (SearchContext& ctx : query_ctx) ApplyContextSettings(&ctx, settings);
+
+  // Resolve the serving replica of every shard once per batch (load-aware;
+  // on an idle cluster this is the first live replica, as before).
   std::vector<int> serving(num_shards, -1);
   std::size_t skipped = 0;
   bool partial = false;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    serving[s] = FirstLiveReplica(s, &skipped);
+    serving[s] = PickReplica(s, &skipped);
     if (serving[s] < 0) partial = true;
   }
 
   // ---- Phase 1: one flat fan-out over all Q*S (query, shard) work items.
   // Work item (q, s) is independent of every other, so a small batch still
-  // spreads across every core instead of leaving (cores - Q) idle.
+  // spreads across every core instead of leaving (cores - Q) idle. Each
+  // item scans under a Child of its query's context.
   std::vector<std::vector<std::vector<Neighbor>>> candidates(num_queries);
   for (auto& per_query : candidates) per_query.resize(num_shards);
   std::vector<double> item_seconds(num_queries * num_shards, 0.0);
+  std::vector<SearchContext> item_ctx;
+  item_ctx.reserve(num_queries * num_shards);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      item_ctx.push_back(query_ctx[q].Child());
+    }
+  }
   ThreadPool::Global().ParallelFor(
       num_queries * num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t item = begin; item < end; ++item) {
@@ -502,17 +745,23 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
           Timer item_timer;
           candidates[q][s] =
               FilterOnReplica(s, static_cast<std::size_t>(serving[s]),
-                              tokens[q], k_prime, settings.ef_search);
+                              tokens[q], k_prime, settings.ef_search,
+                              &item_ctx[item]);
           item_seconds[item] = item_timer.ElapsedSeconds();
         }
       });
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      query_ctx[q].MergeChild(item_ctx[q * num_shards + s]);
+    }
+  }
 
   // ---- Phase 2: per-query merge + refine, fanned across queries.
   ThreadPool::Global().ParallelFor(
       num_queries, [&](std::size_t begin, std::size_t end) {
         for (std::size_t q = begin; q < end; ++q) {
           results[q] = MergeAndRefine(tokens[q], k, settings, k_prime,
-                                      std::move(candidates[q]));
+                                      std::move(candidates[q]), &query_ctx[q]);
           double filter_seconds = 0.0;
           for (std::size_t s = 0; s < num_shards; ++s) {
             filter_seconds += item_seconds[q * num_shards + s];
@@ -525,10 +774,90 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   return results;
 }
 
+std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
+    std::span<const QueryToken> tokens, std::size_t k,
+    const SearchSettings& settings, const AsyncOptions& async) const {
+  // Hedging needs this thread as the gather/inline-hedge executor; from a
+  // pool worker (or with hedging off) the flat ParallelFor path serves.
+  if (async.hedge_ms <= 0.0 || ThreadPool::Global().InWorker()) {
+    return SearchBatchScattered(tokens, k, settings);
+  }
+  const std::size_t num_queries = tokens.size();
+  const std::size_t num_shards = replicas_.size();
+  std::vector<SearchResult> results(num_queries);
+  if (num_queries == 0 || k == 0 || size() == 0) return results;
+  const std::size_t k_prime = ResolveKPrime(settings, k);
+
+  std::vector<SearchContext> query_ctx(num_queries);
+  for (SearchContext& ctx : query_ctx) ApplyContextSettings(&ctx, settings);
+
+  // Dead shards are excluded once for the whole batch.
+  bool partial = false;
+  std::vector<char> shard_live(num_shards, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (live_replicas(s) > 0) {
+      shard_live[s] = 1;
+    } else {
+      partial = true;
+    }
+  }
+
+  // All Q*S (query, live shard) work items through the same hedged
+  // claim-flag scatter SearchAsync uses — one coordinator, one gather.
+  std::vector<ScatterItem> items;
+  items.reserve(num_queries * num_shards);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (shard_live[s]) items.push_back(ScatterItem{q, s});
+    }
+  }
+  if (items.empty()) return results;
+
+  // The batch shares one deadline context source: every query's context
+  // carries the same settings-derived deadline, so the first query's stands
+  // in for the gather bound.
+  ScatterOutcome outcome =
+      RunHedgedScatter(tokens, items, k_prime, settings.ef_search, async,
+                       &query_ctx.front());
+
+  std::vector<std::vector<std::vector<Neighbor>>> candidates(num_queries);
+  for (auto& per_query : candidates) per_query.resize(num_shards);
+  std::vector<std::size_t> hedges_per_query(num_queries, 0);
+  std::vector<double> seconds_per_query(num_queries, 0.0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    candidates[items[i].token_index][items[i].shard] =
+        std::move(outcome.answers[i]);
+    query_ctx[items[i].token_index].stats.Merge(outcome.stats[i]);
+    query_ctx[items[i].token_index].AdoptEarlyExit(outcome.exits[i]);
+    hedges_per_query[items[i].token_index] += outcome.hedges[i];
+    // Per-query attribution from the winning dispatches, matching the
+    // unhedged path's item_seconds accounting (not the batch wall time,
+    // which would inflate BatchCounters totals Q-fold).
+    seconds_per_query[items[i].token_index] += outcome.item_seconds[i];
+  }
+
+  ThreadPool::Global().ParallelFor(
+      num_queries, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          results[q] = MergeAndRefine(tokens[q], k, settings, k_prime,
+                                      std::move(candidates[q]), &query_ctx[q]);
+          results[q].counters.filter_seconds = seconds_per_query[q];
+          results[q].counters.replicas_skipped = outcome.replicas_skipped;
+          results[q].counters.hedged_requests = hedges_per_query[q];
+          // Wasted loser work is a batch-wide observation; attribute it to
+          // the batch's first result rather than replicating it Q times.
+          results[q].counters.hedge_wasted_nodes =
+              q == 0 ? outcome.wasted_nodes : 0;
+          results[q].partial = partial;
+        }
+      });
+  return results;
+}
+
 VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
   // Abandoned hedge losers may still be reading the indexes and the
   // local-to-global rows this mutation is about to touch; they cancel fast
-  // (claim flag), so wait them out before mutating.
+  // (claim flag / context probe), so wait them out before mutating.
   DrainAsyncWork();
   // Least-loaded routing by live count; ties go to the lowest shard id so
   // routing is deterministic.

@@ -19,10 +19,12 @@
 //  * replica loss fails over to the next live replica without changing a
 //    single result id;
 //  * SearchAsync fans (query, shard-replica) work items through ThreadPool
-//    futures-style tasks and, when a shard misses the hedging deadline,
-//    dispatches the same work to the next replica — first answer wins, the
-//    loser is discarded (it checks the claim flag and skips the search if it
-//    lost before starting);
+//    tasks and, when a shard misses the hedging deadline, runs the same work
+//    on the shard's next-best live replica *inline on the gather thread* —
+//    first answer wins, and the loser aborts mid-scan: the winner's claim
+//    flag is registered as a cancellation source in the loser's
+//    SearchContext, so its index hot loop stops at the next probe instead
+//    of finishing a scan nobody will read;
 //  * a shard whose every replica is down degrades to a partial result (flag
 //    on SearchResult) or a Status, per AsyncOptions.
 //
@@ -47,11 +49,12 @@
 
 namespace ppanns {
 
-/// Knobs of the asynchronous scatter-gather path (SearchAsync).
+/// Knobs of the asynchronous scatter-gather path (SearchAsync and the
+/// hedged SearchBatchScattered overload).
 struct AsyncOptions {
-  /// Hedging deadline in milliseconds. When a shard has not answered this
-  /// long after the scatter, the same (query, shard) work item is dispatched
-  /// to the shard's next live replica and the first answer wins; every
+  /// Hedging deadline in milliseconds. When a work item has not answered
+  /// this long after the scatter, the same work is dispatched to the
+  /// shard's next-best live replica and the first answer wins; every
   /// further multiple of the deadline escalates to the replica after that.
   /// <= 0 disables hedging (the gather waits on the initial dispatch only).
   double hedge_ms = 5.0;
@@ -60,6 +63,14 @@ struct AsyncOptions {
   /// query with FailedPrecondition. A query is always failed when *no* shard
   /// has a live replica.
   bool allow_partial = true;
+  /// Thread the hedge claim flag into every work item's SearchContext so a
+  /// lost hedge aborts *mid-scan* (and mid-injected-delay) at its next
+  /// cancellation probe. False restores pre-scan-only cancellation — the
+  /// loser checks the claim once when its work item starts and then runs to
+  /// completion, like a remote server that cannot be recalled — kept as the
+  /// measurable baseline for bench/fig11's wasted-work comparison. Winner
+  /// ids are identical either way; only the losers' wasted work differs.
+  bool mid_scan_cancel = true;
 };
 
 /// The sharded, replicated serving tier: scatter-gathers Algorithm 2 across
@@ -85,25 +96,44 @@ class ShardedCloudServer {
   /// Algorithm 2 over every shard, merged through one DCE heap. Synchronous:
   /// the scatter still fans across the pool (inline inside a batch worker)
   /// but the gather is a barrier — one slow replica stalls the query, which
-  /// is exactly what SearchAsync exists to avoid. Skips down replicas (fails
-  /// over in shard order); a shard with no live replica is excluded and the
-  /// result is marked partial. Thread-safe for concurrent const calls, like
-  /// CloudServer::Search.
+  /// is exactly what SearchAsync exists to avoid. Dispatch is load-aware:
+  /// each shard serves from its least-inflight live replica (ties go to the
+  /// lowest replica id, so an idle cluster behaves like the old
+  /// first-live-in-order rule); a shard with no live replica is excluded and
+  /// the result is marked partial. Thread-safe for concurrent const calls,
+  /// like CloudServer::Search. The `ctx` overload threads the caller's
+  /// SearchContext into every per-shard scan (each shard runs a Child
+  /// context; stats merge back), making the whole query cancellable and
+  /// deadline-bounded.
   SearchResult Search(const QueryToken& token, std::size_t k,
-                      const SearchSettings& settings = {}) const;
+                      const SearchSettings& settings = {}) const {
+    return Search(token, k, settings, nullptr);
+  }
+  SearchResult Search(const QueryToken& token, std::size_t k,
+                      const SearchSettings& settings, SearchContext* ctx) const;
 
   /// The asynchronous serving path: fans (query, shard-replica) work items
   /// across the global ThreadPool, hedges shards that miss
-  /// `async.hedge_ms` onto their next live replica (first answer wins), and
-  /// merges through the same DCE heap as Search. Results are identical to
-  /// Search on a healthy cluster — replicas are byte-identical, so *which*
-  /// replica answers never changes the ids. Degrades per AsyncOptions when
-  /// every replica of a shard is down; fails with FailedPrecondition when no
-  /// shard is serveable. Falls back to the inline synchronous scatter when
-  /// called from a pool worker (hedging needs free workers).
+  /// `async.hedge_ms` onto their next-best live replica (first answer
+  /// wins), and merges through the same DCE heap as Search. Hedge
+  /// dispatches run inline on the gather thread — which was otherwise
+  /// idle-waiting — so a hedge makes progress even when every pool worker
+  /// is stuck behind a straggler. A lost hedge aborts mid-scan through the
+  /// claim flag in its SearchContext (AsyncOptions::mid_scan_cancel).
+  /// Results are identical to Search on a healthy cluster — replicas are
+  /// byte-identical, so *which* replica answers never changes the ids.
+  /// Degrades per AsyncOptions when every replica of a shard is down; fails
+  /// with FailedPrecondition when no shard is serveable. Falls back to the
+  /// inline synchronous scatter when called from a pool worker.
   Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
                                    const SearchSettings& settings = {},
-                                   const AsyncOptions& async = {}) const;
+                                   const AsyncOptions& async = {}) const {
+    return SearchAsync(token, k, settings, async, nullptr);
+  }
+  Result<SearchResult> SearchAsync(const QueryToken& token, std::size_t k,
+                                   const SearchSettings& settings,
+                                   const AsyncOptions& async,
+                                   SearchContext* ctx) const;
 
   /// Batch-level scatter: fans Q*S (query, shard) filter work items across
   /// the pool in one flat ParallelFor, then merges/refines per query — for
@@ -111,10 +141,22 @@ class ShardedCloudServer {
   /// per-query fan-out would leave (cores - S) idle. Results are identical
   /// to a sequential Search loop over the tokens (same candidates, same
   /// merge order); per-query filter_seconds is attributed from the
-  /// (query, shard) items of that query.
+  /// (query, shard) items of that query. Honors the settings' deadline/node
+  /// budget per query through per-item contexts.
   std::vector<SearchResult> SearchBatchScattered(
       std::span<const QueryToken> tokens, std::size_t k,
       const SearchSettings& settings = {}) const;
+
+  /// Hedged batch scatter: the same Q*S fan-out, but every (query, shard)
+  /// work item goes through the hedged claim-flag machinery SearchAsync
+  /// uses — items that miss `async.hedge_ms` are re-dispatched to the
+  /// shard's next-best live replica, first answer wins, losers abort
+  /// mid-scan. Ids are identical to the unhedged overload. Falls back to
+  /// the unhedged path when hedging is disabled or when called from a pool
+  /// worker.
+  std::vector<SearchResult> SearchBatchScattered(
+      std::span<const QueryToken> tokens, std::size_t k,
+      const SearchSettings& settings, const AsyncOptions& async) const;
 
   /// Links a freshly encrypted vector into every replica of the least-loaded
   /// shard and returns its dense *global* id.
@@ -148,9 +190,34 @@ class ShardedCloudServer {
   bool replica_down(std::size_t s, std::size_t r) const;
   /// Injects a fixed artificial latency into every filter-phase execution on
   /// replica (s, r) — the straggler knob behind bench/fig11_tail_latency.
+  /// The delay is served in interruptible slices: a cancelled work item
+  /// (lost hedge, expired deadline) wakes out of it within ~1 ms.
   void SetReplicaDelayMs(std::size_t s, std::size_t r, int delay_ms);
   /// Live replicas of shard s (R minus the ones marked down).
   std::size_t live_replicas(std::size_t s) const;
+
+  // ---- Load-aware dispatch observability (admin / test / bench surface).
+
+  /// Biases the load-aware dispatcher by `delta` outstanding requests on
+  /// replica (s, r) — an external load hint. In a multi-process deployment
+  /// this would be fed by the dispatcher's own outstanding-request counts;
+  /// in-process it makes load-aware routing deterministic to test.
+  void AddReplicaLoad(std::size_t s, std::size_t r, int delta);
+  /// Filter scans currently in flight (plus any AddReplicaLoad bias) on
+  /// replica (s, r) — the quantity the dispatcher minimizes.
+  int replica_inflight(std::size_t s, std::size_t r) const;
+  /// Filter scans that actually started on replica (s, r) since
+  /// construction (cancelled-before-scan work items do not count).
+  std::size_t replica_requests(std::size_t s, std::size_t r) const;
+
+  // ---- Wasted-work accounting (the mid-scan-abort win, bench/fig11).
+
+  /// Cumulative nodes scored by hedge work items that lost the claim race,
+  /// across the server's lifetime. Drains in-flight async work first so
+  /// late losers are counted; read deltas around a workload to attribute.
+  std::size_t CancelledWorkNodes() const;
+  /// Cumulative count of lost hedge work items (same draining rule).
+  std::size_t CancelledScans() const;
 
   std::size_t StorageBytes() const;
 
@@ -175,21 +242,66 @@ class ShardedCloudServer {
   /// passed over.
   int FirstLiveReplica(std::size_t s, std::size_t* skipped = nullptr) const;
 
+  /// Load-aware dispatch: the least-inflight live replica of shard s (ties
+  /// to the lowest replica id), or -1 if all are down. `skipped` accumulates
+  /// the down replicas ahead of the first live one, preserving the
+  /// first-live accounting of SearchCounters::replicas_skipped.
+  int PickReplica(std::size_t s, std::size_t* skipped = nullptr) const;
+
   /// One (query, shard) filter work item on a chosen replica: applies the
-  /// injected delay, runs the k'-ANNS, and translates local ids to global.
+  /// injected delay (interruptibly, against `ctx`), runs the k'-ANNS with
+  /// the context threaded into the backend hot loop, translates local ids
+  /// to global, and maintains the replica's inflight/request counters.
   std::vector<Neighbor> FilterOnReplica(std::size_t s, std::size_t r,
                                         const QueryToken& token,
                                         std::size_t k_prime,
-                                        std::size_t ef_search) const;
+                                        std::size_t ef_search,
+                                        SearchContext* ctx = nullptr) const;
 
   /// The gather + refine shared by every search path: merges per-shard
   /// global-id candidates to the SAP-top-k', then (unless settings.refine is
-  /// off) streams them through one DCE ComparisonHeap. Fills ids,
-  /// filter_candidates, dce_comparisons, refine_seconds.
+  /// off) streams them through one DCE ComparisonHeap, probing `ctx`
+  /// between comparisons. Fills ids, filter_candidates, dce_comparisons,
+  /// refine_seconds, and the context-derived counters.
   SearchResult MergeAndRefine(const QueryToken& token, std::size_t k,
                               const SearchSettings& settings,
                               std::size_t k_prime,
-                              std::vector<std::vector<Neighbor>> per_shard) const;
+                              std::vector<std::vector<Neighbor>> per_shard,
+                              SearchContext* ctx) const;
+
+  /// One hedged work item: tokens[token_index] scattered to `shard`.
+  struct ScatterItem {
+    std::size_t token_index = 0;
+    std::size_t shard = 0;
+  };
+  /// What a hedged scatter produced, indexed like `items`.
+  struct ScatterOutcome {
+    std::vector<std::vector<Neighbor>> answers;  ///< global-id candidates
+    std::vector<SearchStats> stats;              ///< the winning scan's stats
+    std::vector<EarlyExit> exits;                ///< the winning scan's reason
+    std::vector<double> item_seconds;            ///< winning dispatch's time
+    std::vector<std::size_t> hedges;             ///< hedge dispatches per item
+    std::size_t hedged_requests = 0;             ///< sum of `hedges`
+    std::size_t replicas_skipped = 0;
+    /// Loser nodes observed by the time the gather finished (late losers
+    /// land only in the Runtime-wide cumulative counters).
+    std::size_t wasted_nodes = 0;
+  };
+
+  /// The hedged claim-flag scatter shared by SearchAsync (one item per
+  /// shard) and the hedged SearchBatchScattered (one item per query-shard
+  /// pair). Dispatches every item to its load-aware replica on the pool,
+  /// escalates items that miss async.hedge_ms to the shard's next-best live
+  /// replica *inline on the gather thread*, and aborts losers mid-scan via
+  /// the claim flag when async.mid_scan_cancel is set. `parent_ctx`
+  /// contributes the deadline and external cancellation flags every work
+  /// item inherits (Child contexts); its own stats are not written. Items
+  /// must target shards with at least one live replica.
+  ScatterOutcome RunHedgedScatter(std::span<const QueryToken> tokens,
+                                  std::span<const ScatterItem> items,
+                                  std::size_t k_prime, std::size_t ef_search,
+                                  const AsyncOptions& async,
+                                  SearchContext* parent_ctx) const;
 
   std::vector<std::vector<CloudServer>> replicas_;  ///< [shard][replica]
   ShardManifest manifest_;

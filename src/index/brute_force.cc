@@ -57,13 +57,21 @@ Status BruteForceIndex::Remove(VectorId id) {
   return Status::OK();
 }
 
-std::vector<Neighbor> BruteForceIndex::Search(const float* query,
-                                              std::size_t k) const {
+std::vector<Neighbor> BruteForceIndex::Search(const float* query, std::size_t k,
+                                              SearchContext* ctx) const {
   TopK top(k);
+  CancelProbe probe(ctx);
+  std::size_t scanned = 0;
   for (std::size_t i = 0; i < data_.size(); ++i) {
     if (deleted_[i]) continue;
+    if (probe.ShouldStop(scanned)) break;
+    ++scanned;
     top.Offer(Neighbor{static_cast<VectorId>(i),
                        SquaredL2(data_.row(i), query, dim_)});
+  }
+  if (ctx != nullptr) {
+    ctx->stats.nodes_visited += scanned;
+    ctx->stats.distance_computations += scanned;
   }
   return top.ExtractSorted();
 }

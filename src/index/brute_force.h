@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/search_context.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -41,8 +42,13 @@ class BruteForceIndex {
   /// deleted (matching HnswIndex::Remove).
   Status Remove(VectorId id);
 
-  /// Exact top-k over the live rows, ascending by (distance, id).
-  std::vector<Neighbor> Search(const float* query, std::size_t k) const;
+  /// Exact top-k over the live rows, ascending by (distance, id). `ctx`,
+  /// when non-null, is probed every few rows: the scan stops early on
+  /// cancellation / deadline / node budget (returning the best-so-far
+  /// prefix) and nodes_visited / distance_computations accumulate into its
+  /// stats. A null context is the zero-overhead legacy path.
+  std::vector<Neighbor> Search(const float* query, std::size_t k,
+                               SearchContext* ctx = nullptr) const;
 
   bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }
   std::size_t size() const { return data_.size() - num_deleted_; }

@@ -82,7 +82,8 @@ VectorId HnswIndex::GreedyClosest(const float* query, VectorId start,
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
                                              std::size_t ef, int level,
                                              VisitedList* visited,
-                                             std::size_t* dist_count) const {
+                                             std::size_t* dist_count,
+                                             SearchContext* ctx) const {
   const std::uint32_t epoch = visited->epoch;
   auto& tags = visited->tags;
 
@@ -93,20 +94,33 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
 
   const float entry_dist = Distance(query, entry);
   if (dist_count != nullptr) ++*dist_count;
+  std::size_t scored = 1;  // nodes whose distance this scan computed
+  // Nodes scored before this scan started (greedy descent / upper layers)
+  // count against the query-wide node budget.
+  const std::size_t prior = ctx != nullptr ? ctx->stats.nodes_visited : 0;
+  CancelProbe probe(ctx);
   candidates.push(Neighbor{entry, entry_dist});
   tags[entry] = epoch;
   if (!nodes_[entry].deleted) results.push(Neighbor{entry, entry_dist});
 
-  while (!candidates.empty()) {
+  bool stopped = false;
+  while (!candidates.empty() && !stopped) {
     const Neighbor cand = candidates.top();
     if (results.size() >= ef && cand.distance > results.top().distance) break;
     candidates.pop();
 
     for (VectorId nb : nodes_[cand.id].adjacency[level]) {
       if (tags[nb] == epoch) continue;
+      // Node granularity, not pop granularity: a pop can score up to 2m
+      // neighbors, which would stretch the stride by that factor.
+      if (probe.ShouldStop(prior + scored)) {
+        stopped = true;
+        break;
+      }
       tags[nb] = epoch;
       const float d = Distance(query, nb);
       if (dist_count != nullptr) ++*dist_count;
+      ++scored;
       if (results.size() < ef || d < results.top().distance) {
         candidates.push(Neighbor{nb, d});
         // Deleted nodes stay traversable (their edges hold the graph
@@ -119,6 +133,10 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
     }
   }
 
+  if (ctx != nullptr) {
+    ctx->stats.nodes_visited += scored;
+    ctx->stats.distance_computations += scored;
+  }
   std::vector<Neighbor> out(results.size());
   for (std::size_t i = results.size(); i > 0; --i) {
     out[i - 1] = results.top();
@@ -236,18 +254,27 @@ void HnswIndex::AddBatch(const FloatMatrix& batch) {
 
 std::vector<Neighbor> HnswIndex::Search(const float* query, std::size_t k,
                                         std::size_t ef_search,
-                                        std::size_t* visited_out) const {
+                                        std::size_t* visited_out,
+                                        SearchContext* ctx) const {
   if (visited_out != nullptr) *visited_out = 0;
   if (entry_point_ == kInvalidVectorId) return {};
   const std::size_t ef = std::max(ef_search, k);
 
+  // Greedy descent through the upper layers. Its hops are few (O(log n)),
+  // so the context is only charged for them, not probed.
+  std::size_t descent = 0;
   VectorId cur = entry_point_;
   for (int l = max_level_; l > 0; --l) {
-    cur = GreedyClosest(query, cur, l, visited_out);
+    cur = GreedyClosest(query, cur, l, &descent);
+  }
+  if (visited_out != nullptr) *visited_out += descent;
+  if (ctx != nullptr) {
+    ctx->stats.nodes_visited += descent;
+    ctx->stats.distance_computations += descent;
   }
   auto visited = visited_pool_->Acquire(nodes_.size());
   std::vector<Neighbor> results =
-      SearchLayer(query, cur, ef, 0, visited.get(), visited_out);
+      SearchLayer(query, cur, ef, 0, visited.get(), visited_out, ctx);
   visited_pool_->Release(std::move(visited));
   if (results.size() > k) results.resize(k);
   return results;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/search_context.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -66,9 +67,16 @@ class HnswIndex {
   /// `ef_search` is the result-set beam width (clamped to >= k). If
   /// `visited_out` is non-null it receives the number of distance
   /// computations performed (used by interactive-baseline cost models).
+  /// `ctx`, when non-null, is probed as the beam expands: the search stops
+  /// early on cancellation / deadline / node budget (returning the
+  /// best-so-far beam) and its stats accumulate nodes visited and distance
+  /// computations. A null context is the zero-overhead legacy path and the
+  /// returned ids are bit-for-bit identical either way unless the context
+  /// trips.
   std::vector<Neighbor> Search(const float* query, std::size_t k,
                                std::size_t ef_search,
-                               std::size_t* visited_out = nullptr) const;
+                               std::size_t* visited_out = nullptr,
+                               SearchContext* ctx = nullptr) const;
 
   /// Removes a vector and repairs the graph: every in-neighbor of `id` gets
   /// its edge dropped and is re-linked by a fresh neighbor search, per the
@@ -129,11 +137,13 @@ class HnswIndex {
 
   /// Best-first beam search at one level (Algorithm 2). Returns up to `ef`
   /// nearest candidates sorted ascending. Deleted nodes stay traversable but
-  /// are not returned. `dist_count` accumulates distance computations.
+  /// are not returned. `dist_count` accumulates distance computations;
+  /// `ctx` (nullable) makes the expansion loop cancellable.
   std::vector<Neighbor> SearchLayer(const float* query, VectorId entry,
                                     std::size_t ef, int level,
                                     VisitedList* visited,
-                                    std::size_t* dist_count = nullptr) const;
+                                    std::size_t* dist_count = nullptr,
+                                    SearchContext* ctx = nullptr) const;
 
   /// The diversifying heuristic (Algorithm 4): selects up to `m` neighbors
   /// such that each kept candidate is closer to the base vector than to any

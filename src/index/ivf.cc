@@ -137,15 +137,21 @@ Status IvfIndex::Remove(VectorId id) {
 }
 
 std::vector<Neighbor> IvfIndex::Search(const float* query, std::size_t k,
-                                       std::size_t nprobe) const {
+                                       std::size_t nprobe,
+                                       SearchContext* ctx) const {
   TopK top(k);
+  CancelProbe probe(ctx);
+  std::size_t scored = 0;  // rows scored by this scan
   auto offer = [&](VectorId id) {
+    ++scored;
     top.Offer(Neighbor{id, SquaredL2(query, data_.row(id), dim_)});
   };
 
+  std::size_t centroid_dists = 0;
   if (!trained()) {
     // Not enough vectors to have auto-trained yet: exact scan of live rows.
     for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (probe.ShouldStop(scored)) break;
       if (!deleted_[i]) offer(static_cast<VectorId>(i));
     }
   } else {
@@ -157,11 +163,19 @@ std::vector<Neighbor> IvfIndex::Search(const float* query, std::size_t k,
       cents[c] = Neighbor{static_cast<VectorId>(c),
                           SquaredL2(query, centroids_.row(c), dim_)};
     }
+    centroid_dists = centroids_.size();
     std::partial_sort(cents.begin(), cents.begin() + nprobe, cents.end());
 
-    for (std::size_t p = 0; p < nprobe; ++p) {
-      for (VectorId id : lists_[cents[p].id]) offer(id);
+    for (std::size_t p = 0; p < nprobe && !probe.ShouldStop(scored); ++p) {
+      for (VectorId id : lists_[cents[p].id]) {
+        if (probe.ShouldStop(scored)) break;
+        offer(id);
+      }
     }
+  }
+  if (ctx != nullptr) {
+    ctx->stats.nodes_visited += scored;
+    ctx->stats.distance_computations += scored + centroid_dists;
   }
   return top.ExtractSorted();
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/search_context.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -53,9 +54,13 @@ class IvfIndex {
   Status Remove(VectorId id);
 
   /// Scans the `nprobe` closest posting lists; exact ranking within them.
-  /// Untrained indexes fall back to an exact scan of the live rows.
+  /// Untrained indexes fall back to an exact scan of the live rows. `ctx`
+  /// (nullable) makes the posting-list scan cancellable and accumulates
+  /// nodes_visited (rows scored) and distance_computations (rows scored +
+  /// centroid ranking) into its stats.
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t nprobe) const;
+                               std::size_t nprobe,
+                               SearchContext* ctx = nullptr) const;
 
   bool trained() const { return !centroids_.empty(); }
   bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }

@@ -135,10 +135,19 @@ std::vector<VectorId> LshIndex::Candidates(const float* query,
 }
 
 std::vector<Neighbor> LshIndex::Search(const float* query, std::size_t k,
-                                       std::size_t probes_per_table) const {
+                                       std::size_t probes_per_table,
+                                       SearchContext* ctx) const {
   TopK top(k);
+  CancelProbe probe(ctx);
+  std::size_t scored = 0;
   for (VectorId id : Candidates(query, probes_per_table)) {
+    if (probe.ShouldStop(scored)) break;
+    ++scored;
     top.Offer(Neighbor{id, SquaredL2(data_.row(id), query, dim_)});
+  }
+  if (ctx != nullptr) {
+    ctx->stats.nodes_visited += scored;
+    ctx->stats.distance_computations += scored;
   }
   return top.ExtractSorted();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/search_context.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -51,8 +52,12 @@ class LshIndex {
 
   /// Full search: rank candidates by exact distance over the stored vectors
   /// and return the top k. (Baselines instead ship candidates to the user.)
+  /// `ctx` (nullable) makes the candidate-scoring loop cancellable and
+  /// accumulates nodes_visited / distance_computations (rows scored; hash
+  /// projections are not counted) into its stats.
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t probes_per_table = 0) const;
+                               std::size_t probes_per_table = 0,
+                               SearchContext* ctx = nullptr) const;
 
   bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }
   std::size_t size() const { return data_.size() - num_deleted_; }

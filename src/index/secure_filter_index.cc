@@ -25,9 +25,10 @@ class HnswFilterIndex final : public SecureFilterIndex {
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t breadth) const override {
+                               std::size_t breadth,
+                               SearchContext* ctx) const override {
     const std::size_t ef = breadth > 0 ? breadth : std::max<std::size_t>(k, 64);
-    return index_.Search(query, k, ef);
+    return index_.Search(query, k, ef, nullptr, ctx);
   }
 
   std::size_t size() const override { return index_.size(); }
@@ -63,13 +64,14 @@ class IvfFilterIndex final : public SecureFilterIndex {
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t breadth) const override {
+                               std::size_t breadth,
+                               SearchContext* ctx) const override {
     // `breadth` maps onto nprobe; the default probes a quarter of the lists,
     // floored so small k still sees several clusters.
     const std::size_t nprobe =
         breadth > 0 ? breadth
                     : std::max<std::size_t>(index_.params().num_lists / 4, 4);
-    return index_.Search(query, k, nprobe);
+    return index_.Search(query, k, nprobe, ctx);
   }
 
   std::size_t size() const override { return index_.size(); }
@@ -98,12 +100,13 @@ class LshFilterIndex final : public SecureFilterIndex {
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t breadth) const override {
+                               std::size_t breadth,
+                               SearchContext* ctx) const override {
     // `breadth` maps onto multi-probe perturbations per table; the default
     // probes every +-1 single-hash perturbation.
     const std::size_t probes =
         breadth > 0 ? breadth : 2 * index_.params().num_hashes;
-    return index_.Search(query, k, probes);
+    return index_.Search(query, k, probes, ctx);
   }
 
   std::size_t size() const override { return index_.size(); }
@@ -133,9 +136,10 @@ class BruteForceFilterIndex final : public SecureFilterIndex {
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
   std::vector<Neighbor> Search(const float* query, std::size_t k,
-                               std::size_t breadth) const override {
+                               std::size_t breadth,
+                               SearchContext* ctx) const override {
     (void)breadth;  // the scan is always exhaustive
-    return index_.Search(query, k);
+    return index_.Search(query, k, ctx);
   }
 
   std::size_t size() const override { return index_.size(); }

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/search_context.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -68,8 +69,21 @@ class SecureFilterIndex {
   /// stored (ciphertext) vectors. `breadth` is the backend's search-width
   /// knob — HNSW ef_search, IVF nprobe, LSH probes per table; the exact scan
   /// ignores it. 0 picks a backend default scaled to k.
+  ///
+  /// The context-free overload is the legacy API: it forwards a null
+  /// context, costs nothing extra, and returns ids bit-for-bit identical to
+  /// pre-context builds. The `ctx` overload is the cancellable pipeline:
+  /// every backend probes the context from inside its hot loop (every
+  /// kCancelCheckStride steps at most), stops early on cancellation /
+  /// deadline / node budget with the best-so-far prefix, and accumulates
+  /// SearchStats into ctx->stats.
+  std::vector<Neighbor> Search(const float* query, std::size_t k,
+                               std::size_t breadth) const {
+    return Search(query, k, breadth, nullptr);
+  }
   virtual std::vector<Neighbor> Search(const float* query, std::size_t k,
-                                       std::size_t breadth) const = 0;
+                                       std::size_t breadth,
+                                       SearchContext* ctx) const = 0;
 
   virtual std::size_t size() const = 0;      ///< live vectors
   virtual std::size_t capacity() const = 0;  ///< live + removed (= next id)

@@ -300,16 +300,23 @@ TEST_F(AsyncServingTest, HedgedStragglerFinishesEarlyWithIdenticalIds) {
   EXPECT_GE(sync_seconds, 0.4) << "the straggler should stall the barrier";
 
   const AsyncOptions async{.hedge_ms = 10.0};
+  std::size_t total_hedged = 0;
   for (std::size_t i = 0; i < 3; ++i) {
     Timer async_timer;
     auto r = service_->SearchAsync(tokens_[i], k, {}, async);
     const double async_seconds = async_timer.ElapsedSeconds();
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ(r->ids, healthy[i]) << "hedged result diverged, query " << i;
-    EXPECT_GE(r->counters.hedged_requests, 1u);
+    // The first query must hedge off the straggler. Later queries may not
+    // need to: load-aware dispatch sees the loser still occupying the slow
+    // replica and routes straight to the idle one — either way every query
+    // must beat the 400 ms barrier.
+    if (i == 0) EXPECT_GE(r->counters.hedged_requests, 1u);
+    total_hedged += r->counters.hedged_requests;
     EXPECT_LT(async_seconds, 0.35)
         << "hedging should beat the 400 ms straggler";
   }
+  EXPECT_GE(total_hedged, 1u);
 }
 
 TEST_F(AsyncServingTest, MutationAfterHedgedSearchWaitsForLosers) {
@@ -352,6 +359,171 @@ TEST_F(AsyncServingTest, AsyncInsidePoolWorkerFallsBackInline) {
   auto nested = from_worker.get();
   ASSERT_TRUE(nested.ok()) << nested.status().ToString();
   EXPECT_EQ(nested->ids, direct->ids);
+}
+
+// ---------------------------------------------------------------------------
+// The cancellable pipeline at the serving tier: deadlines, load-aware
+// dispatch, mid-scan loser abort, hedged batch scatter.
+
+TEST_F(AsyncServingTest, DeadlineExpiredReturnsDeadlineExceeded) {
+  // A deadline that is already unmeetable when the query starts must come
+  // back as a Status on every serving path — never as truncated ids.
+  const SearchSettings expired{.deadline_ms = 1e-6};
+  auto sync = service_->Search(tokens_[0], 8, expired);
+  EXPECT_EQ(sync.status().code(), Status::Code::kDeadlineExceeded);
+
+  auto async = service_->SearchAsync(tokens_[0], 8, expired,
+                                     AsyncOptions{.hedge_ms = 1000.0});
+  EXPECT_EQ(async.status().code(), Status::Code::kDeadlineExceeded);
+
+  auto batch = service_->SearchBatch(tokens_, 8, expired);
+  EXPECT_EQ(batch.status().code(), Status::Code::kDeadlineExceeded);
+
+  // A generous deadline changes nothing: same ids, no early exit.
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+  const SearchSettings generous{.deadline_ms = 60'000.0};
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    auto r = service_->Search(tokens_[i], k, generous);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, healthy[i]);
+    EXPECT_EQ(r->counters.early_exit, EarlyExit::kNone);
+  }
+}
+
+TEST_F(AsyncServingTest, CountersReportSearchStats) {
+  // Every result carries the query's work: rows scored (the exact backend
+  // scans every live row of every shard once) and the DCE comparisons the
+  // refine loop already counted.
+  auto r = service_->Search(tokens_[0], 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counters.nodes_visited, ds_.base.size());
+  EXPECT_EQ(r->counters.distance_computations, ds_.base.size());
+  EXPECT_GT(r->counters.dce_comparisons, 0u);
+  EXPECT_EQ(r->counters.early_exit, EarlyExit::kNone);
+
+  auto a = service_->SearchAsync(tokens_[0], 8, {},
+                                 AsyncOptions{.hedge_ms = 1000.0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->counters.nodes_visited, ds_.base.size());
+}
+
+TEST_F(AsyncServingTest, LoadAwareDispatchPrefersIdleReplica) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+
+  // Bias shard 0's replica 0 with an external load hint: every dispatch
+  // must now pick the idle replica 1 — deterministically, no timing.
+  cluster.AddReplicaLoad(0, 0, 5);
+  const std::size_t req00 = cluster.replica_requests(0, 0);
+  const std::size_t req01 = cluster.replica_requests(0, 1);
+
+  auto async = service_->SearchAsync(tokens_[0], k, {},
+                                     AsyncOptions{.hedge_ms = 1000.0});
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(async->ids, healthy[0]) << "replica choice must not change ids";
+  EXPECT_EQ(cluster.replica_requests(0, 0), req00);
+  EXPECT_EQ(cluster.replica_requests(0, 1), req01 + 1);
+
+  auto sync = service_->Search(tokens_[1], k);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(sync->ids, healthy[1]);
+  EXPECT_EQ(cluster.replica_requests(0, 0), req00);
+  EXPECT_EQ(cluster.replica_requests(0, 1), req01 + 2);
+
+  // Hint removed: ties resume the deterministic first-replica order.
+  cluster.AddReplicaLoad(0, 0, -5);
+  auto tie = service_->Search(tokens_[2], k);
+  ASSERT_TRUE(tie.ok());
+  EXPECT_EQ(cluster.replica_requests(0, 0), req00 + 1);
+}
+
+TEST_F(AsyncServingTest, LosingHedgeAbortsMidScanAndIdsMatch) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDelayMs(0, 0, 200);
+
+  // Mid-scan cancellation (default): the loser wakes out of its injected
+  // delay at the next probe after the winner claims, so it never scans —
+  // zero wasted nodes, identical winner ids.
+  const std::size_t wasted_before = cluster.CancelledWorkNodes();
+  auto mid = service_->SearchAsync(tokens_[0], k, {},
+                                   AsyncOptions{.hedge_ms = 5.0});
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+  EXPECT_EQ(mid->ids, healthy[0]);
+  EXPECT_GE(mid->counters.hedged_requests, 1u);
+  const std::size_t wasted_mid =
+      cluster.CancelledWorkNodes() - wasted_before;
+  EXPECT_EQ(wasted_mid, 0u)
+      << "a mid-scan-cancelled loser must not burn scan work";
+
+  // Pre-scan-only cancellation (the PR-3 baseline, kept for comparison):
+  // the loser checked the claim before its delay and cannot be recalled —
+  // it runs the full scan and loses, wasting a whole shard's worth of rows.
+  const std::size_t scans_before = cluster.CancelledScans();
+  auto pre = service_->SearchAsync(
+      tokens_[1], k, {},
+      AsyncOptions{.hedge_ms = 5.0, .mid_scan_cancel = false});
+  ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+  EXPECT_EQ(pre->ids, healthy[1]) << "winner ids must not depend on the "
+                                     "cancellation mode";
+  EXPECT_GE(pre->counters.hedged_requests, 1u);
+  const std::size_t wasted_pre =
+      cluster.CancelledWorkNodes() - wasted_before - wasted_mid;
+  EXPECT_GT(wasted_pre, 0u) << "the pre-scan-only loser scans to completion";
+  EXPECT_GE(cluster.CancelledScans(), scans_before + 1);
+  EXPECT_GT(wasted_pre, wasted_mid);
+
+  cluster.SetReplicaDelayMs(0, 0, 0);
+}
+
+TEST_F(AsyncServingTest, CallerCancellationReturnsPartialNotHang) {
+  // A caller-registered cancellation flag (no deadline) must come back as
+  // a result with early_exit == kCancelled on both paths — in particular
+  // the async gather must not wait forever on work items that walked away
+  // cancelled.
+  std::atomic<bool> cancel{true};  // raised before the query even starts
+  SearchContext sync_ctx;
+  sync_ctx.AddCancelFlag(&cancel);
+  auto sync = service_->Search(tokens_[0], 8, {}, &sync_ctx);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  EXPECT_EQ(sync->counters.early_exit, EarlyExit::kCancelled);
+
+  SearchContext async_ctx;
+  async_ctx.AddCancelFlag(&cancel);
+  auto async = service_->SearchAsync(tokens_[0], 8, {},
+                                     AsyncOptions{.hedge_ms = 1000.0},
+                                     &async_ctx);
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_EQ(async->counters.early_exit, EarlyExit::kCancelled);
+}
+
+TEST_F(AsyncServingTest, HedgedBatchMatchesSequentialIds) {
+  const std::size_t k = 8;
+  const std::vector<std::vector<VectorId>> healthy = HealthyIds(k);
+  ShardedCloudServer& cluster = service_->sharded_server_mutable();
+  cluster.SetReplicaDelayMs(0, 0, 50);
+
+  auto batch = service_->SearchBatch(tokens_, k, {},
+                                     AsyncOptions{.hedge_ms = 5.0});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    EXPECT_EQ(batch->results[i].ids, healthy[i]) << "hedged batch query " << i;
+  }
+  EXPECT_GE(batch->counters.total_hedged_requests, 1u);
+  cluster.SetReplicaDelayMs(0, 0, 0);
+
+  // A healthy cluster: the hedged batch still matches, without hedges.
+  auto calm = service_->SearchBatch(tokens_, k, {},
+                                    AsyncOptions{.hedge_ms = 1000.0});
+  ASSERT_TRUE(calm.ok());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    EXPECT_EQ(calm->results[i].ids, healthy[i]);
+  }
+  EXPECT_EQ(calm->counters.total_hedged_requests, 0u);
 }
 
 // ---------------------------------------------------------------------------

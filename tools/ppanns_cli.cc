@@ -109,8 +109,8 @@ int Usage() {
                "[--hashes H] [--width W]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
                "[--k K] [--kprime KP] [--ef EF]\n"
-               "          [--batch | --hedge-ms MS] [--index KIND] "
-               "[--out results.txt]\n"
+               "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
+               "[--index KIND] [--out results.txt]\n"
                "  info    --db db.ppanns\n");
   return 2;
 }
@@ -324,9 +324,14 @@ int CmdSearch(const Args& args) {
   QueryClient client(*keys, args.GetSize("seed", 99));
   const std::size_t k = args.GetSize("k", 10);
   SearchSettings settings{.k_prime = args.GetSize("kprime", 4 * k),
-                          .ef_search = args.GetSize("ef", 0)};
-  // --hedge-ms switches single-query serving to the async scatter-gather
-  // path: shards missing the deadline are hedged onto their next replica.
+                          .ef_search = args.GetSize("ef", 0),
+                          // --deadline-ms bounds every query's wall time;
+                          // an expired deadline comes back as a
+                          // DEADLINE_EXCEEDED error, not truncated ids.
+                          .deadline_ms = args.GetDouble("deadline-ms", 0.0)};
+  // --hedge-ms switches serving to the hedged path: work items missing the
+  // deadline are re-dispatched onto the shard's next-best replica. Applies
+  // to per-query serving and, since the hedged batch scatter, to --batch.
   const double hedge_ms = args.GetDouble("hedge-ms", 0.0);
   AsyncOptions async{.hedge_ms = hedge_ms};
 
@@ -349,19 +354,16 @@ int CmdSearch(const Args& args) {
   int exit_code = 0;
   Timer t;
   if (args.GetBool("batch")) {
-    if (hedge_ms > 0.0) {
-      std::fprintf(stderr,
-                   "note: --hedge-ms only applies to per-query serving; "
-                   "--batch uses the (query, shard) fan-out without "
-                   "hedging\n");
-    }
-    // One validated batch call, fanned across the thread pool.
+    // One validated batch call, fanned across the thread pool; with
+    // --hedge-ms the (query, shard) work items go through the hedged
+    // claim-flag scatter (identical ids, lower tail latency).
     std::vector<QueryToken> tokens;
     tokens.reserve(queries->size());
     for (std::size_t i = 0; i < queries->size(); ++i) {
       tokens.push_back(client.EncryptQuery(queries->row(i)));
     }
-    auto batch = service.SearchBatch(tokens, k, settings);
+    auto batch = hedge_ms > 0.0 ? service.SearchBatch(tokens, k, settings, async)
+                                : service.SearchBatch(tokens, k, settings);
     if (!batch.ok()) {
       std::fprintf(stderr, "search: %s\n", batch.status().ToString().c_str());
       exit_code = 1;
@@ -372,13 +374,18 @@ int CmdSearch(const Args& args) {
       std::fprintf(stderr,
                    "batch: %zu queries over %zu shard(s) x %zu replica(s), "
                    "%.3fs wall "
-                   "(%.1f QPS), %zu filter candidates, %zu DCE comparisons\n",
+                   "(%.1f QPS), %zu filter candidates, %zu DCE comparisons, "
+                   "%zu nodes visited, %zu distance computations, %zu "
+                   "hedged\n",
                    batch->counters.num_queries, service.num_shards(),
                    service.num_replicas(),
                    batch->counters.wall_seconds,
                    batch->counters.num_queries / batch->counters.wall_seconds,
                    batch->counters.total_filter_candidates,
-                   batch->counters.total_dce_comparisons);
+                   batch->counters.total_dce_comparisons,
+                   batch->counters.total_nodes_visited,
+                   batch->counters.total_distance_computations,
+                   batch->counters.total_hedged_requests);
     }
   } else {
     std::size_t hedged = 0;
@@ -396,6 +403,13 @@ int CmdSearch(const Args& args) {
         std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no live "
                      "replica)\n", i);
       }
+      // The per-query SearchStats line: what the query actually cost.
+      const SearchCounters& c = result->counters;
+      std::fprintf(stderr,
+                   "query %zu stats: %zu nodes visited, %zu distance "
+                   "computations, %zu DCE comparisons, exit=%s\n",
+                   i, c.nodes_visited, c.distance_computations,
+                   c.dce_comparisons, EarlyExitName(c.early_exit));
       print_result(i, *result);
     }
     const double secs = t.ElapsedSeconds();
