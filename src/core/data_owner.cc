@@ -46,6 +46,12 @@ Result<DataOwner> DataOwner::FromKeys(SecretKeysPtr keys, std::size_t dim,
 
 EncryptedDatabase DataOwner::EncryptAndIndex(const FloatMatrix& data) {
   PPANNS_CHECK(data.dim() == dim_);
+  // The parallel intra-shard builder needs every SAP row before the graph
+  // fan-out starts, which is exactly the SAP-first randomness stream of
+  // EncryptAndIndexParallel — delegate instead of duplicating it. The
+  // historical row-interleaved stream below is preserved at the default
+  // build_threads == 1.
+  if (params_.build_threads > 1) return EncryptAndIndexParallel(data);
 
   EncryptedDatabase db{MakeFilterIndex(), {}};
   db.dce.reserve(data.size());
@@ -68,11 +74,21 @@ EncryptedDatabase DataOwner::EncryptAndIndexParallel(const FloatMatrix& data) {
   EncryptedDatabase db{MakeFilterIndex(), {}};
   db.dce.resize(data.size());
 
-  // Sequential pass: SAP layer + index (insertion order matters).
-  std::vector<float> sap(dim_);
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
-    db.index->Add(sap.data());
+  // Sequential SAP pass (the rng stream must stay in row order), then the
+  // index build: sequential inserts at build_threads == 1, the fine-grained
+  // locking bulk builder across build_threads stripes otherwise.
+  if (params_.build_threads > 1) {
+    FloatMatrix sap(data.size(), dim_);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      keys_->dcpe.Encrypt(data.row(i), sap.row(i), rng_);
+    }
+    db.index->BuildParallel(sap, &ThreadPool::Global(), params_.build_threads);
+  } else {
+    std::vector<float> sap(dim_);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      keys_->dcpe.Encrypt(data.row(i), sap.data(), rng_);
+      db.index->Add(sap.data());
+    }
   }
 
   // Parallel pass: the DCE layer, with per-row derived randomness so the
@@ -123,14 +139,30 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
   }
 
   // Parallel per-shard graph build: each shard's insertions stay in local
-  // order (graph construction is order-dependent), but independent shards
-  // proceed concurrently.
+  // order (ids are assigned in order either way), and independent shards
+  // proceed concurrently. With build_threads > 1 each shard additionally
+  // fans its own graph construction across that many stripes (BuildParallel
+  // detects it is running inside a pool worker and uses dedicated threads),
+  // so a sharded build uses up to num_shards x build_threads cores.
+  const std::size_t build_threads = params_.build_threads;
   ThreadPool::Global().ParallelFor(
       num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          for (std::size_t i = s; i < data.size(); i += num_shards) {
-            const VectorId local = primaries[s].index->Add(sap.row(i));
-            PPANNS_CHECK(local == i / num_shards);
+          if (build_threads > 1) {
+            FloatMatrix shard_sap(0, dim_);
+            shard_sap.data().reserve(
+                ((data.size() - s + num_shards - 1) / num_shards) * dim_);
+            for (std::size_t i = s; i < data.size(); i += num_shards) {
+              shard_sap.Append(sap.row(i));
+            }
+            primaries[s].index->BuildParallel(shard_sap, &ThreadPool::Global(),
+                                              build_threads);
+            PPANNS_CHECK(primaries[s].index->capacity() == shard_sap.size());
+          } else {
+            for (std::size_t i = s; i < data.size(); i += num_shards) {
+              const VectorId local = primaries[s].index->Add(sap.row(i));
+              PPANNS_CHECK(local == i / num_shards);
+            }
           }
         }
       });

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <queue>
+#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace ppanns {
 
@@ -29,10 +33,9 @@ std::unique_ptr<HnswIndex::VisitedList> HnswIndex::VisitedPool::Acquire(
   }
   if (!vl) vl = std::make_unique<VisitedList>();
   if (vl->tags.size() < n) vl->tags.resize(n, 0);
-  if (++vl->epoch == 0) {  // epoch wrap: clear tags once every 2^32 uses
-    std::fill(vl->tags.begin(), vl->tags.end(), 0);
-    vl->epoch = 1;
-  }
+  // The epoch is NOT advanced here: every scan calls VisitedList::NextEpoch
+  // at its own start, so the wrap-clearing reset always precedes the first
+  // tag write of the epoch that uses it.
   return vl;
 }
 
@@ -47,15 +50,54 @@ HnswIndex::HnswIndex(std::size_t dim, HnswParams params)
       level_mult_(1.0 / std::log(static_cast<double>(std::max<std::size_t>(params.m, 2)))),
       level_rng_(params.seed),
       data_(0, dim),
-      visited_pool_(std::make_unique<VisitedPool>()) {
+      entry_state_(PackEntry(EntryState{})),
+      visited_pool_(std::make_unique<VisitedPool>()),
+      build_locks_(std::make_unique<BuildLocks>()) {
   PPANNS_CHECK(dim > 0);
   PPANNS_CHECK(params.m >= 2);
 }
 
-int HnswIndex::RandomLevel() {
-  const double u = level_rng_.Uniform(0.0, 1.0);
+HnswIndex::HnswIndex(HnswIndex&& other) noexcept
+    : dim_(other.dim_),
+      params_(other.params_),
+      level_mult_(other.level_mult_),
+      level_rng_(std::move(other.level_rng_)),
+      data_(std::move(other.data_)),
+      nodes_(std::move(other.nodes_)),
+      entry_state_(other.entry_state_.load(std::memory_order_relaxed)),
+      num_deleted_(other.num_deleted_),
+      level_counts_(std::move(other.level_counts_)),
+      visited_pool_(std::move(other.visited_pool_)),
+      build_locks_(std::move(other.build_locks_)) {}
+
+HnswIndex& HnswIndex::operator=(HnswIndex&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  params_ = other.params_;
+  level_mult_ = other.level_mult_;
+  level_rng_ = std::move(other.level_rng_);
+  data_ = std::move(other.data_);
+  nodes_ = std::move(other.nodes_);
+  entry_state_.store(other.entry_state_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  num_deleted_ = other.num_deleted_;
+  level_counts_ = std::move(other.level_counts_);
+  visited_pool_ = std::move(other.visited_pool_);
+  build_locks_ = std::move(other.build_locks_);
+  return *this;
+}
+
+int HnswIndex::LevelFromRng(Rng& rng) const {
+  const double u = rng.Uniform(0.0, 1.0);
   const double r = -std::log(std::max(u, 1e-300)) * level_mult_;
   return static_cast<int>(r);
+}
+
+void HnswIndex::CountLevel(int level) {
+  if (static_cast<std::size_t>(level) >= level_counts_.size()) {
+    level_counts_.resize(level + 1, 0);
+  }
+  ++level_counts_[level];
 }
 
 VectorId HnswIndex::GreedyClosest(const float* query, VectorId start,
@@ -84,7 +126,9 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
                                              VisitedList* visited,
                                              std::size_t* dist_count,
                                              SearchContext* ctx) const {
-  const std::uint32_t epoch = visited->epoch;
+  // Fresh epoch first, tags second: the wrap reset can therefore never alias
+  // a mark made earlier in the same insert or search.
+  const std::uint32_t epoch = visited->NextEpoch();
   auto& tags = visited->tags;
 
   // candidates: min-heap by distance (expansion frontier);
@@ -208,30 +252,28 @@ VectorId HnswIndex::Add(const float* v) {
   node.level = level;
   node.adjacency.resize(level + 1);
   nodes_.push_back(std::move(node));
+  CountLevel(level);
 
-  if (entry_point_ == kInvalidVectorId) {
-    entry_point_ = id;
-    max_level_ = level;
+  const EntryState state = LoadEntry();
+  if (state.entry == kInvalidVectorId) {
+    StoreEntry(EntryState{id, level});
     return id;
   }
 
   const float* query = data_.row(id);
-  VectorId cur = entry_point_;
+  VectorId cur = state.entry;
 
   // Greedy descent through layers above the new node's level.
-  for (int l = max_level_; l > level; --l) {
+  for (int l = state.level; l > level; --l) {
     cur = GreedyClosest(query, cur, l);
   }
 
-  // Beam search + heuristic linking at each level the node occupies.
+  // Beam search + heuristic linking at each level the node occupies. Each
+  // SearchLayer call advances the visited list to its own fresh epoch.
   auto visited = visited_pool_->Acquire(nodes_.size());
-  for (int l = std::min(level, max_level_); l >= 0; --l) {
+  for (int l = std::min(level, state.level); l >= 0; --l) {
     std::vector<Neighbor> cands =
         SearchLayer(query, cur, params_.ef_construction, l, visited.get());
-    if (++visited->epoch == 0) {
-      std::fill(visited->tags.begin(), visited->tags.end(), 0);
-      visited->epoch = 1;
-    }
     if (cands.empty()) continue;
     cur = cands.front().id;  // closest found feeds the next level down
     const std::size_t max_degree = (l == 0) ? params_.max_m0() : params_.m;
@@ -240,9 +282,8 @@ VectorId HnswIndex::Add(const float* v) {
   }
   visited_pool_->Release(std::move(visited));
 
-  if (level > max_level_) {
-    max_level_ = level;
-    entry_point_ = id;
+  if (level > state.level) {
+    StoreEntry(EntryState{id, level});
   }
   return id;
 }
@@ -252,19 +293,268 @@ void HnswIndex::AddBatch(const FloatMatrix& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
 }
 
+void HnswIndex::AddBatchParallel(const FloatMatrix& batch, ThreadPool* pool,
+                                 std::size_t num_threads) {
+  PPANNS_CHECK(batch.dim() == dim_);
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  std::size_t threads = num_threads;
+  if (threads == 0) {
+    threads = pool != nullptr ? std::max<std::size_t>(pool->num_threads(), 1) : 1;
+  }
+  threads = std::min(threads, n);
+
+  // Pre-phase (sequential): reserve every slot up front so the concurrent
+  // inserts never resize data_/nodes_ (the rows and the level/deleted fields
+  // are immutable while stripes run; only adjacency mutates, under locks).
+  // Stripe t draws the levels of items {t, t+T, t+2T, ...} from its own rng
+  // seeded params.seed ^ t, making the skeleton reproducible at a fixed
+  // thread count; the interleaved striping also load-balances the later
+  // (costlier) inserts across stripes.
+  const VectorId base = static_cast<VectorId>(nodes_.size());
+  std::vector<int> levels(n);
+  // `base` is mixed in so successive batches draw fresh level sequences
+  // instead of replaying the first batch's skeleton; on an empty index the
+  // mix is zero and stripe 0 reproduces the sequential stream exactly.
+  const std::uint64_t batch_mix =
+      0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(base);
+  for (std::size_t t = 0; t < threads; ++t) {
+    Rng stripe_rng(params_.seed ^ batch_mix ^ static_cast<std::uint64_t>(t));
+    for (std::size_t i = t; i < n; i += threads) {
+      levels[i] = LevelFromRng(stripe_rng);
+    }
+  }
+  // Advance the sequential level stream too: a later incremental Add must
+  // draw fresh levels, not replay stripe 0's sequence.
+  level_rng_ = Rng(level_rng_.NextUint64() ^ batch_mix ^ n);
+  nodes_.reserve(nodes_.size() + n);
+  data_.data().reserve((static_cast<std::size_t>(base) + n) * dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    data_.Append(batch.row(i));
+    Node node;
+    node.level = levels[i];
+    node.adjacency.resize(levels[i] + 1);
+    nodes_.push_back(std::move(node));
+    CountLevel(levels[i]);
+  }
+
+  // An empty index takes its first element as the seed entry point; it is
+  // then fully inserted (there are no peers to link it to yet).
+  VectorId first = base;
+  if (LoadEntry().entry == kInvalidVectorId) {
+    StoreEntry(EntryState{base, levels[0]});
+    ++first;
+  }
+
+  auto run_stripe = [this, base, n, threads, first](std::size_t t) {
+    for (std::size_t i = t; i < n; i += threads) {
+      const VectorId id = base + static_cast<VectorId>(i);
+      if (id < first) continue;  // the seed element
+      InsertConcurrent(id);
+    }
+  };
+
+  if (threads <= 1) {
+    run_stripe(0);
+    return;
+  }
+  if (pool != nullptr && !pool->InWorker() && pool->num_threads() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      futures.push_back(pool->Async([&run_stripe, t] { run_stripe(t); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    // Inside a pool worker (the sharded build) or without a usable pool:
+    // dedicated threads keep shards x build_threads stripes genuinely
+    // concurrent and can never deadlock behind blocked shard tasks.
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (std::size_t t = 1; t < threads; ++t) workers.emplace_back(run_stripe, t);
+    run_stripe(0);
+    for (auto& w : workers) w.join();
+  }
+}
+
+void HnswIndex::InsertConcurrent(VectorId id) {
+  const int level = nodes_[id].level;
+  const float* query = data_.row(id);
+  const EntryState state = LoadEntry();
+  PPANNS_CHECK(state.entry != kInvalidVectorId);
+
+  std::vector<VectorId> scratch;  // adjacency snapshots, reused across levels
+  VectorId cur = state.entry;
+  for (int l = state.level; l > level; --l) {
+    cur = GreedyClosestBuild(query, cur, l, &scratch);
+  }
+
+  auto visited = visited_pool_->Acquire(nodes_.size());
+  for (int l = std::min(level, state.level); l >= 0; --l) {
+    std::vector<Neighbor> cands = SearchLayerBuild(
+        query, cur, params_.ef_construction, l, id, visited.get(), &scratch);
+    if (cands.empty()) continue;
+    cur = cands.front().id;
+    const std::size_t max_degree = (l == 0) ? params_.max_m0() : params_.m;
+    ConnectBuild(id, l, SelectNeighbors(query, std::move(cands),
+                                        std::min(params_.m, max_degree)));
+  }
+  visited_pool_->Release(std::move(visited));
+
+  // Level promotion is the only globally-serialized step: re-check under the
+  // small lock so racing promotions keep the highest node.
+  if (level > state.level) {
+    std::lock_guard<std::mutex> lock(build_locks_->promote_mu);
+    if (level > LoadEntry().level) StoreEntry(EntryState{id, level});
+  }
+}
+
+VectorId HnswIndex::GreedyClosestBuild(const float* query, VectorId start,
+                                       int level,
+                                       std::vector<VectorId>* scratch) {
+  VectorId cur = start;
+  float cur_dist = Distance(query, cur);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    {
+      std::lock_guard<std::mutex> lock(build_locks_->ForNode(cur));
+      *scratch = nodes_[cur].adjacency[level];
+    }
+    for (VectorId nb : *scratch) {
+      const float d = Distance(query, nb);
+      if (d < cur_dist) {
+        cur_dist = d;
+        cur = nb;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayerBuild(
+    const float* query, VectorId entry, std::size_t ef, int level,
+    VectorId self, VisitedList* visited, std::vector<VectorId>* scratch) {
+  const std::uint32_t epoch = visited->NextEpoch();
+  auto& tags = visited->tags;
+
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FartherFirst> candidates;
+  std::priority_queue<Neighbor> results;
+
+  // `self` is the node being inserted. Unlike the sequential build it can
+  // already be reachable here (a concurrent insert that saw its wired upper
+  // levels may have linked to it), so it is kept traversable but excluded
+  // from results — otherwise SelectNeighbors would pick the distance-0 self
+  // match and create a permanent self-loop.
+  const float entry_dist = Distance(query, entry);
+  candidates.push(Neighbor{entry, entry_dist});
+  tags[entry] = epoch;
+  if (entry != self && !nodes_[entry].deleted) {
+    results.push(Neighbor{entry, entry_dist});
+  }
+
+  while (!candidates.empty()) {
+    const Neighbor cand = candidates.top();
+    if (results.size() >= ef && cand.distance > results.top().distance) break;
+    candidates.pop();
+
+    // Snapshot under the stripe lock, score outside it: distance work never
+    // serializes other inserts touching the same stripe.
+    {
+      std::lock_guard<std::mutex> lock(build_locks_->ForNode(cand.id));
+      *scratch = nodes_[cand.id].adjacency[level];
+    }
+    for (VectorId nb : *scratch) {
+      if (tags[nb] == epoch) continue;
+      tags[nb] = epoch;
+      const float d = Distance(query, nb);
+      if (results.size() < ef || d < results.top().distance) {
+        candidates.push(Neighbor{nb, d});
+        if (nb != self && !nodes_[nb].deleted) {
+          results.push(Neighbor{nb, d});
+          if (results.size() > ef) results.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(results.size());
+  for (std::size_t i = results.size(); i > 0; --i) {
+    out[i - 1] = results.top();
+    results.pop();
+  }
+  return out;
+}
+
+void HnswIndex::ConnectBuild(VectorId id, int level,
+                             const std::vector<VectorId>& neighbors) {
+  const std::size_t max_degree = (level == 0) ? params_.max_m0() : params_.m;
+  {
+    // Once `id`'s upper levels are wired, a concurrent insert can reach it
+    // as its next-level search entry and back-link into this (still empty)
+    // lower level before we get here — merge rather than assign wholesale so
+    // those edges survive. (Sequential/T=1 builds always hit the empty
+    // fast path, preserving bit-equality with AddBatch.)
+    std::lock_guard<std::mutex> lock(build_locks_->ForNode(id));
+    auto& own = nodes_[id].adjacency[level];
+    if (own.empty()) {
+      own = neighbors;
+    } else {
+      for (VectorId nb : neighbors) {
+        if (std::find(own.begin(), own.end(), nb) == own.end()) {
+          own.push_back(nb);
+        }
+      }
+      if (own.size() > max_degree) {
+        std::vector<Neighbor> cands;
+        cands.reserve(own.size());
+        const float* vec = data_.row(id);
+        for (VectorId existing : own) {
+          cands.push_back(
+              Neighbor{existing, SquaredL2(vec, data_.row(existing), dim_)});
+        }
+        own = SelectNeighbors(vec, std::move(cands), max_degree);
+      }
+    }
+  }
+
+  for (VectorId nb : neighbors) {
+    std::lock_guard<std::mutex> lock(build_locks_->ForNode(nb));
+    auto& back = nodes_[nb].adjacency[level];
+    if (std::find(back.begin(), back.end(), id) != back.end()) continue;
+    if (back.size() < max_degree) {
+      back.push_back(id);
+      continue;
+    }
+    // Overflow re-selection runs under nb's stripe lock (it reads only
+    // immutable vector rows besides `back`, and takes no other lock, so the
+    // single-lock-at-a-time rule holds).
+    std::vector<Neighbor> cands;
+    cands.reserve(back.size() + 1);
+    const float* nb_vec = data_.row(nb);
+    for (VectorId existing : back) {
+      cands.push_back(Neighbor{existing, SquaredL2(nb_vec, data_.row(existing), dim_)});
+    }
+    cands.push_back(Neighbor{id, SquaredL2(nb_vec, data_.row(id), dim_)});
+    back = SelectNeighbors(nb_vec, std::move(cands), max_degree);
+  }
+}
+
 std::vector<Neighbor> HnswIndex::Search(const float* query, std::size_t k,
                                         std::size_t ef_search,
                                         std::size_t* visited_out,
                                         SearchContext* ctx) const {
   if (visited_out != nullptr) *visited_out = 0;
-  if (entry_point_ == kInvalidVectorId) return {};
+  const EntryState state = LoadEntry();
+  if (state.entry == kInvalidVectorId) return {};
   const std::size_t ef = std::max(ef_search, k);
 
   // Greedy descent through the upper layers. Its hops are few (O(log n)),
   // so the context is only charged for them, not probed.
   std::size_t descent = 0;
-  VectorId cur = entry_point_;
-  for (int l = max_level_; l > 0; --l) {
+  VectorId cur = state.entry;
+  for (int l = state.level; l > 0; --l) {
     cur = GreedyClosest(query, cur, l, &descent);
   }
   if (visited_out != nullptr) *visited_out += descent;
@@ -286,6 +576,9 @@ Status HnswIndex::Remove(VectorId id) {
 
   nodes_[id].deleted = true;
   ++num_deleted_;
+  PPANNS_CHECK(static_cast<std::size_t>(nodes_[id].level) < level_counts_.size() &&
+               level_counts_[nodes_[id].level] > 0);
+  --level_counts_[nodes_[id].level];
 
   // Collect in-neighbors per level, drop their edge to `id`, then re-link
   // them (Section V-D: deletion is repaired server-side by reinserting the
@@ -303,17 +596,28 @@ Status HnswIndex::Remove(VectorId id) {
   }
   nodes_[id].adjacency.assign(nodes_[id].adjacency.size(), {});
 
-  // Re-seat the entry point if it was deleted.
-  if (entry_point_ == id) {
-    entry_point_ = kInvalidVectorId;
-    max_level_ = -1;
-    for (std::size_t v = 0; v < nodes_.size(); ++v) {
-      if (nodes_[v].deleted) continue;
-      if (nodes_[v].level > max_level_) {
-        max_level_ = nodes_[v].level;
-        entry_point_ = static_cast<VectorId>(v);
+  // Re-seat the entry point if it was deleted: the per-level live counts
+  // give the new max level in O(levels) (no full rescan per tombstone), and
+  // the scan for a representative stops at the first live node on it.
+  if (LoadEntry().entry == id) {
+    int new_max = -1;
+    for (int l = static_cast<int>(level_counts_.size()) - 1; l >= 0; --l) {
+      if (level_counts_[l] > 0) {
+        new_max = l;
+        break;
       }
     }
+    VectorId new_entry = kInvalidVectorId;
+    if (new_max >= 0) {
+      for (std::size_t v = 0; v < nodes_.size(); ++v) {
+        if (!nodes_[v].deleted && nodes_[v].level == new_max) {
+          new_entry = static_cast<VectorId>(v);
+          break;
+        }
+      }
+      PPANNS_CHECK(new_entry != kInvalidVectorId);
+    }
+    StoreEntry(EntryState{new_entry, new_max});
   }
   return Status::OK();
 }
@@ -321,10 +625,11 @@ Status HnswIndex::Remove(VectorId id) {
 void HnswIndex::RepairNode(VectorId v, int level) {
   // Re-run a neighborhood search from v and refill its adjacency at `level`
   // with the selection heuristic (skipping v itself and deleted nodes).
-  if (entry_point_ == kInvalidVectorId || entry_point_ == v) return;
+  const EntryState state = LoadEntry();
+  if (state.entry == kInvalidVectorId || state.entry == v) return;
   const float* vec = data_.row(v);
-  VectorId cur = entry_point_;
-  for (int l = max_level_; l > level; --l) cur = GreedyClosest(vec, cur, l);
+  VectorId cur = state.entry;
+  for (int l = state.level; l > level; --l) cur = GreedyClosest(vec, cur, l);
 
   auto visited = visited_pool_->Acquire(nodes_.size());
   std::vector<Neighbor> cands =
@@ -370,7 +675,7 @@ int HnswIndex::LevelOf(VectorId id) const {
 HnswStats HnswIndex::ComputeStats() const {
   HnswStats s;
   s.num_deleted = num_deleted_;
-  s.max_level = max_level_;
+  s.max_level = LoadEntry().level;
   for (const Node& node : nodes_) {
     if (node.deleted) continue;
     ++s.num_nodes;
@@ -383,15 +688,22 @@ HnswStats HnswIndex::ComputeStats() const {
   return s;
 }
 
+void HnswIndex::PrimeVisitedEpochForTest(std::uint32_t epoch) {
+  auto vl = visited_pool_->Acquire(nodes_.size());
+  vl->epoch = epoch;  // stale tags are left in place on purpose
+  visited_pool_->Release(std::move(vl));
+}
+
 void HnswIndex::Serialize(BinaryWriter* out) const {
+  const EntryState state = LoadEntry();
   out->Put<std::uint32_t>(0x484E5357);  // "HNSW"
   out->Put<std::uint32_t>(1);           // version
   out->Put<std::uint64_t>(dim_);
   out->Put<std::uint64_t>(params_.m);
   out->Put<std::uint64_t>(params_.ef_construction);
   out->Put<std::uint64_t>(params_.seed);
-  out->Put<std::uint32_t>(entry_point_);
-  out->Put<std::int32_t>(max_level_);
+  out->Put<std::uint32_t>(state.entry);
+  out->Put<std::int32_t>(state.level);
   out->Put<std::uint64_t>(num_deleted_);
   out->PutVector(data_.data());
   out->Put<std::uint64_t>(nodes_.size());
@@ -423,11 +735,12 @@ Result<HnswIndex> HnswIndex::Deserialize(BinaryReader* in) {
   HnswIndex index(dim, params);
   std::uint32_t entry = kInvalidVectorId;
   PPANNS_RETURN_IF_ERROR(in->Get(&entry));
-  PPANNS_RETURN_IF_ERROR(in->Get(&index.max_level_));
+  std::int32_t max_level = -1;
+  PPANNS_RETURN_IF_ERROR(in->Get(&max_level));
   std::uint64_t num_deleted = 0;
   PPANNS_RETURN_IF_ERROR(in->Get(&num_deleted));
   index.num_deleted_ = num_deleted;
-  index.entry_point_ = entry;
+  index.StoreEntry(EntryState{entry, max_level});
 
   std::vector<float> raw;
   PPANNS_RETURN_IF_ERROR(in->GetVector(&raw));
@@ -452,6 +765,7 @@ Result<HnswIndex> HnswIndex::Deserialize(BinaryReader* in) {
     for (int l = 0; l <= node.level; ++l) {
       PPANNS_RETURN_IF_ERROR(in->GetVector(&node.adjacency[l]));
     }
+    if (!node.deleted) index.CountLevel(node.level);
   }
   return index;
 }

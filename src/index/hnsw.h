@@ -9,6 +9,10 @@
 // Supported operations:
 //  * Add            — incremental insertion (Algorithm 1 of the HNSW paper,
 //                     with the diversifying neighbor-selection heuristic),
+//  * AddBatchParallel — bulk insertion fanned across build threads with
+//                     fine-grained (striped per-node) locking; one graph's
+//                     construction scales with cores, compounding with the
+//                     cross-shard parallelism of the sharded builder,
 //  * Search         — ef-bounded best-first search (Algorithms 2 & 5),
 //  * Remove         — deletion with in-neighbor repair, the maintenance
 //                     strategy of Section V-D of the PP-ANNS paper,
@@ -17,6 +21,7 @@
 #ifndef PPANNS_INDEX_HNSW_H_
 #define PPANNS_INDEX_HNSW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +34,8 @@
 #include "common/types.h"
 
 namespace ppanns {
+
+class ThreadPool;
 
 /// HNSW construction parameters (paper defaults in parentheses follow the
 /// evaluation setup of Section VII-A: m=40, ef_construction=600; the library
@@ -52,9 +59,23 @@ struct HnswStats {
 };
 
 /// The HNSW index. Owns a copy of the inserted vectors.
+///
+/// Thread-safety contract: `Search` is const and safe to call concurrently
+/// with other `Search` calls. `AddBatchParallel` synchronizes its own build
+/// stripes internally (striped per-node adjacency locks, atomic entry
+/// state) but is exclusive against everything else: no Search (its
+/// adjacency reads are lock-free), no other mutation (Add/Remove/another
+/// batch), and no move of the index object may overlap it.
 class HnswIndex {
  public:
   HnswIndex(std::size_t dim, HnswParams params);
+
+  // The entry state is an atomic member, so the compiler-generated moves are
+  // deleted; these move the packed value. Never move mid-build.
+  HnswIndex(HnswIndex&& other) noexcept;
+  HnswIndex& operator=(HnswIndex&& other) noexcept;
+  HnswIndex(const HnswIndex&) = delete;
+  HnswIndex& operator=(const HnswIndex&) = delete;
 
   /// Inserts a vector, returning its id (dense, monotonically increasing;
   /// ids of removed vectors are not reused).
@@ -62,6 +83,31 @@ class HnswIndex {
 
   /// Inserts all rows of `data` in order.
   void AddBatch(const FloatMatrix& data);
+
+  /// Inserts all rows of `data` with the construction fanned across
+  /// `num_threads` logical stripes (0 picks the pool's width, or 1 without a
+  /// pool). Replaces the one-global-mutex build: adjacency lists are guarded
+  /// by a striped per-node mutex pool and the (entry point, max level) pair
+  /// is one atomic word updated under a small lock only on level promotion.
+  ///
+  /// Stripe t draws node levels from its own Rng seeded
+  /// `params.seed ^ t` (mixed with the batch's base id so successive
+  /// batches get fresh streams), so the graph's random skeleton (every
+  /// node's level) is reproducible at a fixed thread count; edge sets can
+  /// vary across runs
+  /// only through insertion interleaving, which moves recall by well under a
+  /// point (pinned by tests/index/hnsw_parallel_build_test.cc). At
+  /// num_threads == 1 on an empty index the result is bit-identical to
+  /// AddBatch.
+  ///
+  /// `pool` is used for the stripes when calling from outside it; from
+  /// inside one of its workers (the per-shard sharded build) or with a
+  /// single-worker pool, dedicated threads are spawned instead so
+  /// shards x build_threads stripes genuinely overlap and queued stripes can
+  /// never deadlock behind blocked shard tasks. A null pool always uses
+  /// dedicated threads.
+  void AddBatchParallel(const FloatMatrix& data, ThreadPool* pool,
+                        std::size_t num_threads = 0);
 
   /// Returns up to k (id, distance) pairs ascending by squared L2 distance.
   /// `ef_search` is the result-set beam width (clamped to >= k). If
@@ -99,11 +145,19 @@ class HnswIndex {
   void Serialize(BinaryWriter* out) const;
   static Result<HnswIndex> Deserialize(BinaryReader* in);
 
+  /// Test hook: plants `epoch` in a pooled visited list so the next scans
+  /// cross the uint32 epoch wrap. Regression surface for the wrap-aliasing
+  /// reorder (the wrap-safe advance now happens before a scan tags anything,
+  /// never after).
+  void PrimeVisitedEpochForTest(std::uint32_t epoch);
+
  private:
   struct Node {
     int level = 0;
     bool deleted = false;
-    /// adjacency[l] = out-neighbors at level l, 0 <= l <= level.
+    /// adjacency[l] = out-neighbors at level l, 0 <= l <= level. During a
+    /// parallel build every access goes through the node's stripe lock;
+    /// `level` and `deleted` are immutable while a build runs.
     std::vector<std::vector<VectorId>> adjacency;
   };
 
@@ -112,6 +166,17 @@ class HnswIndex {
   struct VisitedList {
     std::vector<std::uint32_t> tags;
     std::uint32_t epoch = 0;
+
+    /// Advances to a fresh epoch *before* a scan uses it. On wrap the tags
+    /// are cleared first, so a recycled tag value can never alias a visited
+    /// mark within the scan (or within one multi-level insert).
+    std::uint32_t NextEpoch() {
+      if (++epoch == 0) {
+        std::fill(tags.begin(), tags.end(), 0u);
+        epoch = 1;
+      }
+      return epoch;
+    }
   };
   class VisitedPool {
    public:
@@ -123,12 +188,51 @@ class HnswIndex {
     std::vector<std::unique_ptr<VisitedList>> free_;
   };
 
+  /// Fine-grained build synchronization: adjacency mutations and snapshots
+  /// take the owning node's stripe; `promote_mu` serializes entry-point
+  /// promotions (the only global lock left in the build, taken once per
+  /// level-exceeding insert).
+  struct BuildLocks {
+    static constexpr std::size_t kStripes = 1024;
+    std::mutex stripes[kStripes];
+    std::mutex promote_mu;
+
+    std::mutex& ForNode(VectorId id) { return stripes[id % kStripes]; }
+  };
+
+  /// (entry point, max level) packed into one word so concurrent readers can
+  /// never observe a torn pair (e.g. a promoted level with the old entry,
+  /// whose adjacency would be too shallow for the descent).
+  struct EntryState {
+    VectorId entry = kInvalidVectorId;
+    int level = -1;
+  };
+  static std::uint64_t PackEntry(EntryState s) {
+    return (static_cast<std::uint64_t>(s.entry) << 32) |
+           static_cast<std::uint32_t>(s.level);
+  }
+  EntryState LoadEntry() const {
+    const std::uint64_t packed = entry_state_.load(std::memory_order_acquire);
+    return EntryState{static_cast<VectorId>(packed >> 32),
+                      static_cast<std::int32_t>(packed & 0xFFFFFFFFull)};
+  }
+  void StoreEntry(EntryState s) {
+    entry_state_.store(PackEntry(s), std::memory_order_release);
+  }
+
   float Distance(const float* a, VectorId b) const {
     return SquaredL2(a, data_.row(b), dim_);
   }
 
-  /// Draws the level for a new node: floor(-ln(U) * (1/ln m)).
-  int RandomLevel();
+  /// Draws the level for a new node: floor(-ln(U) * (1/ln m)). The stream
+  /// comes from `rng` so per-stripe generators reproduce the sequential
+  /// distribution.
+  int LevelFromRng(Rng& rng) const;
+  int RandomLevel() { return LevelFromRng(level_rng_); }
+
+  /// Registers a live node at `level` in the per-level population counts
+  /// (what lets Remove recompute the max level in O(levels), not O(n)).
+  void CountLevel(int level);
 
   /// Greedy descent at one level: repeatedly move to the closest neighbor.
   /// `dist_count` accumulates distance computations when non-null.
@@ -138,7 +242,8 @@ class HnswIndex {
   /// Best-first beam search at one level (Algorithm 2). Returns up to `ef`
   /// nearest candidates sorted ascending. Deleted nodes stay traversable but
   /// are not returned. `dist_count` accumulates distance computations;
-  /// `ctx` (nullable) makes the expansion loop cancellable.
+  /// `ctx` (nullable) makes the expansion loop cancellable. Advances the
+  /// visited list to a fresh epoch itself (wrap-safe, before any tagging).
   std::vector<Neighbor> SearchLayer(const float* query, VectorId entry,
                                     std::size_t ef, int level,
                                     VisitedList* visited,
@@ -159,18 +264,43 @@ class HnswIndex {
   /// Re-links node `v` at `level` after one of its out-edges was removed.
   void RepairNode(VectorId v, int level);
 
+  // ---- Concurrent-build variants (AddBatchParallel only). -------------------
+  // Same algorithms as the sequential functions above, with every adjacency
+  // read snapshotted (and every write made) under the owning node's stripe
+  // lock. At most one stripe lock is ever held at a time, so lock order can
+  // never deadlock. `scratch` is the caller's reusable snapshot buffer.
+
+  /// Inserts pre-registered node `id` (slot, level, and vector row already
+  /// exist) into the graph concurrently with other inserts.
+  void InsertConcurrent(VectorId id);
+  VectorId GreedyClosestBuild(const float* query, VectorId start, int level,
+                              std::vector<VectorId>* scratch);
+  /// `self` = the node being inserted: concurrently-wired back-links can
+  /// make it reachable mid-insert, so it stays traversable but is never
+  /// returned (a distance-0 self match would otherwise become a self-loop).
+  std::vector<Neighbor> SearchLayerBuild(const float* query, VectorId entry,
+                                         std::size_t ef, int level,
+                                         VectorId self, VisitedList* visited,
+                                         std::vector<VectorId>* scratch);
+  void ConnectBuild(VectorId id, int level,
+                    const std::vector<VectorId>& neighbors);
+
   std::size_t dim_;
   HnswParams params_;
   double level_mult_;
   Rng level_rng_;
   FloatMatrix data_;
   std::vector<Node> nodes_;
-  VectorId entry_point_ = kInvalidVectorId;
-  int max_level_ = -1;
+  /// Packed EntryState. Single source of truth for (entry point, max level).
+  std::atomic<std::uint64_t> entry_state_;
   std::size_t num_deleted_ = 0;
+  /// level_counts_[l] = live nodes whose top level is l. Lets Remove find
+  /// the new max level without rescanning every node per tombstone.
+  std::vector<std::size_t> level_counts_;
   // Behind unique_ptr: the pool's mutex would otherwise make the index
   // non-movable.
   mutable std::unique_ptr<VisitedPool> visited_pool_;
+  std::unique_ptr<BuildLocks> build_locks_;
 };
 
 }  // namespace ppanns

@@ -24,6 +24,11 @@ class HnswFilterIndex final : public SecureFilterIndex {
   VectorId Add(const float* v) override { return index_.Add(v); }
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
+  void BuildParallel(const FloatMatrix& data, ThreadPool* pool,
+                     std::size_t build_threads) override {
+    index_.AddBatchParallel(data, pool, build_threads);
+  }
+
   std::vector<Neighbor> Search(const float* query, std::size_t k,
                                std::size_t breadth,
                                SearchContext* ctx) const override {

@@ -37,6 +37,8 @@
 
 namespace ppanns {
 
+class ThreadPool;
+
 /// Per-backend construction knobs, bundled so call sites can configure every
 /// backend up front and switch kinds freely.
 struct SecureFilterIndexOptions {
@@ -58,6 +60,20 @@ class SecureFilterIndex {
   /// Inserts all rows of `data` in order.
   void AddBatch(const FloatMatrix& data) {
     for (std::size_t i = 0; i < data.size(); ++i) Add(data.row(i));
+  }
+
+  /// Bulk-builds over all rows of `data` (ids assigned in row order, exactly
+  /// like AddBatch). Backends with an internally-synchronized builder (HNSW)
+  /// fan the construction across `build_threads` logical stripes —
+  /// see HnswIndex::AddBatchParallel for the locking and reproducibility
+  /// contract; ivf/lsh/brute fall back to the sequential AddBatch (their
+  /// insert is already cheap, so parallel build is a no-op there). `pool`
+  /// may be null or busy; backends then use dedicated threads.
+  virtual void BuildParallel(const FloatMatrix& data, ThreadPool* pool,
+                             std::size_t build_threads) {
+    (void)pool;
+    (void)build_threads;
+    AddBatch(data);
   }
 
   /// Removes a vector. The id keeps its slot; it never appears in Search

@@ -270,6 +270,96 @@ TEST(HnswTest, IncrementalInsertMatchesBatchRecall) {
   EXPECT_GT(MeanRecallAtK(results, gt, k), 0.9);
 }
 
+// Regression: the visited-epoch advance (and its wrap reset) must happen
+// before a scan tags anything, so a wrapped epoch can never alias marks made
+// earlier in the same insert. Two identical indexes — one primed to cross
+// the uint32 epoch wrap mid-stream — must stay structurally identical
+// through further inserts and return identical search results.
+TEST(HnswTest, EpochWrapCannotAliasWithinInsert) {
+  const std::size_t n = 1200, d = 8;
+  FloatMatrix data = RandomData(n, d, 21);
+  const HnswParams params{.m = 8, .ef_construction = 80, .seed = 55};
+  HnswIndex control(d, params);
+  control.AddBatch(data);
+  HnswIndex wrapped(d, params);
+  wrapped.AddBatch(data);
+
+  // Stale tags are deliberately kept: under a buggy wrap they would alias a
+  // post-wrap epoch and poison the insert beams.
+  wrapped.PrimeVisitedEpochForTest(0xFFFFFFF0u);
+
+  FloatMatrix extra = RandomData(80, d, 22);
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    control.Add(extra.row(i));
+    wrapped.Add(extra.row(i));  // epoch wraps during these inserts
+  }
+  for (VectorId id = n; id < n + extra.size(); ++id) {
+    ASSERT_EQ(control.LevelOf(id), wrapped.LevelOf(id));
+    for (int l = 0; l <= control.LevelOf(id); ++l) {
+      EXPECT_EQ(control.NeighborsAt(id, l), wrapped.NeighborsAt(id, l))
+          << "node " << id << " level " << l;
+    }
+  }
+
+  wrapped.PrimeVisitedEpochForTest(0xFFFFFFFFu);
+  FloatMatrix queries = RandomData(15, d, 23);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto a = control.Search(queries.row(i), 10, 100);
+    const auto b = wrapped.Search(queries.row(i), 10, 100);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j].id, b[j].id);
+  }
+}
+
+// Remove keeps a per-level live-node count, so recomputing the max level
+// after deleting the entry point no longer rescans every node. Pin the
+// observable contract: the reported max level always equals the true max
+// over live nodes, down to the empty index and back up again.
+TEST(HnswTest, RemoveMaintainsMaxLevelThroughEntryDeletions) {
+  const std::size_t n = 400, d = 6;
+  FloatMatrix data = RandomData(n, d, 24);
+  HnswIndex index(d, HnswParams{.m = 8, .ef_construction = 60});
+  index.AddBatch(data);
+
+  auto true_max_level = [&] {
+    int max_level = -1;
+    for (VectorId id = 0; id < n; ++id) {
+      if (!index.IsDeleted(id)) max_level = std::max(max_level, index.LevelOf(id));
+    }
+    return max_level;
+  };
+
+  // Repeatedly delete a node at the current top level (the entry point's
+  // level), forcing the re-seat path every round.
+  for (int round = 0; round < 60; ++round) {
+    const int top = index.ComputeStats().max_level;
+    ASSERT_EQ(top, true_max_level()) << "round " << round;
+    VectorId victim = kInvalidVectorId;
+    for (VectorId id = 0; id < n; ++id) {
+      if (!index.IsDeleted(id) && index.LevelOf(id) == top) {
+        victim = id;
+        break;
+      }
+    }
+    if (victim == kInvalidVectorId) break;
+    ASSERT_TRUE(index.Remove(victim).ok());
+  }
+  EXPECT_EQ(index.ComputeStats().max_level, true_max_level());
+
+  // Drain completely: the empty index reports level -1 and serves nothing,
+  // and a fresh insert re-seats the entry point.
+  for (VectorId id = 0; id < n; ++id) {
+    if (!index.IsDeleted(id)) ASSERT_TRUE(index.Remove(id).ok());
+  }
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.ComputeStats().max_level, -1);
+  EXPECT_TRUE(index.Search(data.row(0), 5, 50).empty());
+  index.Add(data.row(0));
+  const auto res = index.Search(data.row(0), 1, 10);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, n);
+}
+
 TEST(HnswTest, SerializeRoundTrip) {
   const std::size_t n = 400, d = 8, k = 5;
   FloatMatrix data = RandomData(n, d, 17);

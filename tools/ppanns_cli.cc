@@ -105,8 +105,8 @@ int Usage() {
                "[--scale NORM] [--seed S]\n"
                "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
                "[--index hnsw|ivf|lsh|brute] [--shards S] [--replicas R]\n"
-               "          [--m M] [--efc E] [--lists L] [--tables T] "
-               "[--hashes H] [--width W]\n"
+               "          [--build-threads B] [--m M] [--efc E] [--lists L] "
+               "[--tables T] [--hashes H] [--width W]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
                "[--k K] [--kprime KP] [--ef EF]\n"
                "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
@@ -226,6 +226,11 @@ int CmdEncrypt(const Args& args) {
   params.lsh.bucket_width = args.GetDouble("width", 4.0);  // plaintext units
   params.num_shards = static_cast<std::uint32_t>(num_shards);
   params.num_replicas = static_cast<std::uint32_t>(num_replicas);
+  // Intra-shard parallel HNSW build: a sharded encrypt uses up to
+  // shards x build-threads cores. 1 (default) keeps the byte-deterministic
+  // sequential graph build.
+  const std::size_t build_threads = args.GetSize("build-threads", 1);
+  params.build_threads = static_cast<std::uint32_t>(build_threads > 0 ? build_threads : 1);
   params.seed = seed;
 
   auto owner = DataOwner::FromKeys(*keys, data->dim(), params);
