@@ -41,6 +41,13 @@ class BinaryWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Appends `n` raw bytes with no length prefix — for payloads that are
+  /// already encoded (e.g. a framed RPC message body).
+  void PutBytes(const std::uint8_t* data, std::size_t n) {
+    if (n == 0) return;  // data may be null for an empty payload
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
   const std::vector<std::uint8_t>& buffer() const { return buf_; }
   std::vector<std::uint8_t> TakeBuffer() { return std::move(buf_); }
 

@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "NOT_SUPPORTED";
     case Status::Code::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case Status::Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ class Status {
     kIOError,
     kNotSupported,
     kDeadlineExceeded,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -56,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -35,6 +35,12 @@ struct SearchSettings {
   /// explicit bound on per-query server work — and is reported via
   /// SearchCounters::early_exit, not an error.
   std::size_t node_budget = 0;
+  /// Admission floor in milliseconds; <= 0 disables (default). When set and
+  /// the query carries a deadline, a query whose remaining budget is already
+  /// below the floor is shed with kResourceExhausted *before* dispatch —
+  /// load shedding at the gather node — and a remote shard server applies
+  /// the same floor to the budget that survived the wire.
+  double admission_ms = 0.0;
 };
 
 /// The filter-phase candidate budget rule (Section V-B): an explicit k' is

@@ -1,5 +1,6 @@
 #include "core/ppanns_service.h"
 
+#include <chrono>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -126,6 +127,34 @@ Status DeadlineStatus(const SearchSettings& settings) {
       " expired mid-execution");
 }
 
+/// Gather-side admission control, opt-in via settings.admission_ms: a query
+/// whose remaining deadline budget is already below the floor is shed before
+/// any dispatch — kResourceExhausted instead of burning shard work on a
+/// query that would only come back kDeadlineExceeded. With admission off
+/// (the default) the deadline contract is untouched: the query runs and
+/// trips the deadline cooperatively.
+Status CheckAdmission(const SearchSettings& settings,
+                      const SearchContext* ctx) {
+  if (settings.admission_ms <= 0.0) return Status::OK();
+  double remaining_ms;
+  if (ctx != nullptr && ctx->has_deadline()) {
+    remaining_ms = std::chrono::duration<double, std::milli>(
+                       ctx->deadline() - SearchContext::Clock::now())
+                       .count();
+  } else if (settings.deadline_ms > 0.0) {
+    remaining_ms = settings.deadline_ms;
+  } else {
+    return Status::OK();  // no deadline: nothing to measure the floor against
+  }
+  if (remaining_ms < settings.admission_ms) {
+    return Status::ResourceExhausted(
+        "admission: remaining deadline budget " +
+        std::to_string(remaining_ms) + " ms is below the admission floor " +
+        std::to_string(settings.admission_ms) + " ms");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<SearchResult> PpannsService::Search(const QueryToken& token,
@@ -133,6 +162,7 @@ Result<SearchResult> PpannsService::Search(const QueryToken& token,
                                            const SearchSettings& settings,
                                            SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
+  PPANNS_RETURN_IF_ERROR(CheckAdmission(settings, ctx));
   SearchContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   SearchResult result = std::visit(
@@ -148,6 +178,7 @@ Result<SearchResult> PpannsService::SearchAsync(const QueryToken& token,
                                                 const AsyncOptions& async,
                                                 SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
+  PPANNS_RETURN_IF_ERROR(CheckAdmission(settings, ctx));
   SearchContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   Result<SearchResult> result = [&]() -> Result<SearchResult> {
@@ -179,6 +210,10 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
       return Annotate(st, "SearchBatch: token " + std::to_string(i) + ": ");
     }
   }
+  // All-or-nothing, admission edition: every query of the batch shares the
+  // same settings-derived budget, so one shed sheds them all — before any
+  // shard work starts.
+  PPANNS_RETURN_IF_ERROR(CheckAdmission(settings, nullptr));
 
   BatchSearchResult batch;
   Timer wall;
@@ -221,6 +256,12 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
 }
 
 Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
+      s != nullptr && s->remote()) {
+    return Status::NotSupported(
+        "Insert: this gather node serves remote shards; apply maintenance on "
+        "the shard servers' own database");
+  }
   if (v.sap.size() != dim()) {
     return Status::InvalidArgument(
         "Insert: SAP ciphertext dimension " + std::to_string(v.sap.size()) +
@@ -241,6 +282,12 @@ Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
 }
 
 Status PpannsService::Delete(VectorId id) {
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
+      s != nullptr && s->remote()) {
+    return Status::NotSupported(
+        "Delete: this gather node serves remote shards; apply maintenance on "
+        "the shard servers' own database");
+  }
   return std::visit([id](auto& s) { return s.Delete(id); }, server_);
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -75,6 +76,45 @@ void InterruptibleDelay(int delay_ms, SearchContext* ctx) {
   }
 }
 
+/// The in-process ShardTransport: one replica behind a function call. Holds
+/// stable pointers only (CloudServer heap slot, the shard's local-to-global
+/// row, the Runtime delay cell) — a dispatch can outlive a move of the
+/// server object, exactly like the hedged work items always have.
+class LocalShardTransport final : public ShardTransport {
+ public:
+  LocalShardTransport(const CloudServer* replica,
+                      const std::vector<VectorId>* local_to_global,
+                      const std::atomic<int>* delay_ms)
+      : replica_(replica),
+        local_to_global_(local_to_global),
+        delay_ms_(delay_ms) {}
+
+  Status Filter(const QueryToken& token, const ShardFilterOptions& options,
+                SearchContext* ctx, ShardFilterResult* out) const override {
+    InterruptibleDelay(delay_ms_->load(std::memory_order_acquire), ctx);
+    if (replica_->index().size() == 0 ||
+        (ctx != nullptr && ctx->ShouldStop(ctx->stats.nodes_visited))) {
+      return Status::OK();  // cancelled/empty before any scan work
+    }
+    out->scanned = true;
+    out->candidates = replica_->index().Search(
+        token.sap.data(), options.k_prime, options.ef_search, ctx);
+    for (Neighbor& nb : out->candidates) {
+      nb.id = (*local_to_global_)[nb.id];
+    }
+    // want_dce is ignored: a local gather reads ciphertexts in place
+    // (FilterShard attaches them for the RPC server path).
+    return Status::OK();
+  }
+
+  bool remote() const override { return false; }
+
+ private:
+  const CloudServer* replica_;
+  const std::vector<VectorId>* local_to_global_;
+  const std::atomic<int>* delay_ms_;
+};
+
 }  // namespace
 
 ShardedCloudServer::ShardedCloudServer(ShardedEncryptedDatabase db)
@@ -114,6 +154,32 @@ ShardedCloudServer::ShardedCloudServer(ShardedEncryptedDatabase db)
   }
 
   runtime_ = std::make_unique<Runtime>(replicas_.size(), num_replicas);
+
+  // Every replica gets its in-process transport; search paths dispatch only
+  // through this seam, so remote stubs drop in without touching them.
+  transports_.resize(replicas_.size());
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
+    transports_[s].reserve(num_replicas);
+    for (std::size_t r = 0; r < num_replicas; ++r) {
+      transports_[s].push_back(std::make_unique<LocalShardTransport>(
+          &replicas_[s][r], &local_to_global_[s],
+          &runtime_->delay_ms[runtime_->slot(s, r)]));
+    }
+  }
+}
+
+ShardedCloudServer::ShardedCloudServer(
+    const RemoteTopology& topology,
+    std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports)
+    : transports_(std::move(transports)), topology_(topology), remote_(true) {
+  PPANNS_CHECK(!transports_.empty());
+  PPANNS_CHECK(transports_.size() == topology.num_shards);
+  for (const auto& group : transports_) {
+    PPANNS_CHECK(group.size() == topology.num_replicas);
+    for (const auto& transport : group) PPANNS_CHECK(transport != nullptr);
+  }
+  runtime_ =
+      std::make_unique<Runtime>(topology.num_shards, topology.num_replicas);
 }
 
 // Out of line: Runtime is incomplete in the header.
@@ -128,6 +194,9 @@ ShardedCloudServer& ShardedCloudServer::operator=(
     replicas_ = std::move(other.replicas_);
     manifest_ = std::move(other.manifest_);
     local_to_global_ = std::move(other.local_to_global_);
+    transports_ = std::move(other.transports_);
+    topology_ = other.topology_;
+    remote_ = other.remote_;
     runtime_ = std::move(other.runtime_);
   }
   return *this;
@@ -148,7 +217,12 @@ void ShardedCloudServer::SetReplicaDown(std::size_t s, std::size_t r,
 }
 
 bool ShardedCloudServer::replica_down(std::size_t s, std::size_t r) const {
-  return runtime_->down[runtime_->slot(s, r)].load(std::memory_order_acquire);
+  // A replica is unserveable when the admin flagged it down OR its transport
+  // can no longer reach it (a remote stub whose connection died) — failover
+  // treats both identically.
+  return runtime_->down[runtime_->slot(s, r)].load(
+             std::memory_order_acquire) ||
+         !transports_[s][r]->Healthy();
 }
 
 void ShardedCloudServer::SetReplicaDelayMs(std::size_t s, std::size_t r,
@@ -224,39 +298,90 @@ int ShardedCloudServer::PickReplica(std::size_t s,
   return best;
 }
 
-std::vector<Neighbor> ShardedCloudServer::FilterOnReplica(
-    std::size_t s, std::size_t r, const QueryToken& token, std::size_t k_prime,
-    std::size_t ef_search, SearchContext* ctx) const {
+ShardFilterOptions ShardedCloudServer::MakeFilterOptions(
+    std::size_t k_prime, const SearchSettings& settings) const {
+  ShardFilterOptions options;
+  options.k_prime = k_prime;
+  options.ef_search = settings.ef_search;
+  options.want_dce = remote_ && settings.refine;
+  options.admission_ms = settings.admission_ms;
+  return options;
+}
+
+Status ShardedCloudServer::FilterVia(std::size_t s, std::size_t r,
+                                     const QueryToken& token,
+                                     const ShardFilterOptions& options,
+                                     SearchContext* ctx,
+                                     ShardFilterResult* out) const {
   Runtime* const rt = runtime_.get();
   const std::size_t slot = rt->slot(s, r);
   rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
-  InterruptibleDelay(rt->delay_ms[slot].load(std::memory_order_acquire), ctx);
-  std::vector<Neighbor> local;
-  const CloudServer& replica = replicas_[s][r];
-  if (replica.index().size() > 0 &&
-      (ctx == nullptr || !ctx->ShouldStop(ctx->stats.nodes_visited))) {
-    rt->requests[slot].fetch_add(1, std::memory_order_acq_rel);
-    local = replica.index().Search(token.sap.data(), k_prime, ef_search, ctx);
-    for (Neighbor& nb : local) nb.id = local_to_global_[s][nb.id];
-  }
+  const Status st = transports_[s][r]->Filter(token, options, ctx, out);
+  if (out->scanned) rt->requests[slot].fetch_add(1, std::memory_order_acq_rel);
   rt->inflight_replica[slot].fetch_sub(1, std::memory_order_acq_rel);
-  return local;
+  return st;
+}
+
+Status ShardedCloudServer::FilterShard(std::size_t s, std::size_t r,
+                                       const QueryToken& token,
+                                       const ShardFilterOptions& options,
+                                       SearchContext* ctx,
+                                       ShardFilterResult* out) const {
+  PPANNS_CHECK(!remote_);
+  if (s >= num_shards() || r >= replication_factor()) {
+    return Status::InvalidArgument(
+        "FilterShard: replica (" + std::to_string(s) + ", " +
+        std::to_string(r) + ") is outside the " +
+        std::to_string(num_shards()) + "x" +
+        std::to_string(replication_factor()) + " topology");
+  }
+  if (options.k_prime == 0) {
+    return Status::InvalidArgument("FilterShard: k' must be positive");
+  }
+  PPANNS_RETURN_IF_ERROR(FilterVia(s, r, token, options, ctx, out));
+  if (options.want_dce) {
+    // Ship the candidates' ciphertexts for the remote refine phase. Any
+    // replica of the shard serves (ciphertexts are byte-identical); use the
+    // one that answered.
+    const CloudServer& source = replicas_[s][r];
+    out->dce.reserve(out->candidates.size());
+    for (const Neighbor& nb : out->candidates) {
+      const ShardRef& ref = manifest_.at(nb.id);
+      out->dce.push_back(source.dce_ciphertexts()[ref.local]);
+    }
+  }
+  return Status::OK();
 }
 
 SearchResult ShardedCloudServer::MergeAndRefine(
     const QueryToken& token, std::size_t k, const SearchSettings& settings,
-    std::size_t k_prime, std::vector<std::vector<Neighbor>> per_shard,
+    std::size_t k_prime, std::vector<ShardFilterResult> per_shard,
     SearchContext* ctx) const {
   SearchResult result;
+
+  // A remote gather refines over ciphertexts shipped in the answers; index
+  // them by global id up front. (The map points into per_shard, which stays
+  // alive through the refine below.)
+  std::unordered_map<VectorId, const DceCiphertext*> shipped_dce;
+  if (remote_ && settings.refine) {
+    for (const ShardFilterResult& shard_result : per_shard) {
+      const std::size_t n = std::min(shard_result.candidates.size(),
+                                     shard_result.dce.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        shipped_dce.emplace(shard_result.candidates[i].id,
+                            &shard_result.dce[i]);
+      }
+    }
+  }
 
   // ---- Gather: merge to the global SAP-top-k' under the same
   // (distance, global id) order an unsharded filter phase produces. Each
   // shard's top-k' is complete for that shard, so the merged prefix equals
   // the unsharded candidate list whenever the backends are exact.
   std::vector<Neighbor> merged;
-  for (const std::vector<Neighbor>& shard_candidates : per_shard) {
-    merged.insert(merged.end(), shard_candidates.begin(),
-                  shard_candidates.end());
+  for (const ShardFilterResult& shard_result : per_shard) {
+    merged.insert(merged.end(), shard_result.candidates.begin(),
+                  shard_result.candidates.end());
   }
   std::sort(merged.begin(), merged.end());
   if (merged.size() > k_prime) merged.resize(k_prime);
@@ -270,11 +395,12 @@ SearchResult ShardedCloudServer::MergeAndRefine(
     return result;
   }
 
-  // ---- Refine: one DCE ComparisonHeap over the merged budget, resolving
-  // each global id to its shard's ciphertext through the manifest. Any live
-  // replica serves the lookup (ciphertexts are identical across replicas);
-  // the choice is pinned per shard up front so the comparison hot loop does
-  // no health checks.
+  // ---- Refine: one DCE ComparisonHeap over the merged budget. A local
+  // server resolves each global id to its shard's ciphertext through the
+  // manifest (any live replica serves the lookup — ciphertexts are identical
+  // across replicas; the choice is pinned per shard up front so the
+  // comparison hot loop does no health checks). A remote gather looks up the
+  // shipped ciphertexts instead — same comparisons, same ids.
   std::vector<const CloudServer*> dce_source(replicas_.size());
   for (std::size_t s = 0; s < replicas_.size(); ++s) {
     const int r = FirstLiveReplica(s);
@@ -284,8 +410,13 @@ SearchResult ShardedCloudServer::MergeAndRefine(
   Timer refine_timer;
   std::size_t* comparisons = &result.counters.dce_comparisons;
   ComparisonHeap heap(
-      k, [this, &token, &dce_source, comparisons](VectorId a, VectorId b) {
+      k, [this, &token, &dce_source, &shipped_dce,
+          comparisons](VectorId a, VectorId b) {
         ++*comparisons;
+        if (remote_) {
+          return DceScheme::Closer(*shipped_dce.at(a), *shipped_dce.at(b),
+                                   token.trapdoor);
+        }
         const ShardRef& ra = manifest_.at(a);
         const ShardRef& rb = manifest_.at(b);
         return DceScheme::Closer(
@@ -297,6 +428,9 @@ SearchResult ShardedCloudServer::MergeAndRefine(
     // spent filter budget does not abandon refinement — only cancellation
     // or the deadline does.
     if (ctx != nullptr && ctx->ShouldAbandon()) break;
+    // Defensive: never offer a candidate whose ciphertext did not ship (a
+    // malformed remote answer) — the comparator must not throw.
+    if (remote_ && shipped_dce.find(cand.id) == shipped_dce.end()) continue;
     heap.Offer(cand.id);
   }
   result.ids = heap.ExtractSorted();
@@ -325,8 +459,9 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   // Each shard scans under its own Child context (contexts are single-
   // threaded by design); the parent merges them after the barrier.
   Timer filter_timer;
-  const std::size_t num_shards = replicas_.size();
-  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  const std::size_t num_shards = transports_.size();
+  const ShardFilterOptions options = MakeFilterOptions(k_prime, settings);
+  std::vector<ShardFilterResult> per_shard(num_shards);
   std::vector<std::size_t> skipped(num_shards, 0);
   std::vector<char> shard_down(num_shards, 0);
   std::vector<SearchContext> children;
@@ -340,9 +475,13 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
             shard_down[s] = 1;
             continue;
           }
-          per_shard[s] = FilterOnReplica(s, static_cast<std::size_t>(r), token,
-                                         k_prime, settings.ef_search,
-                                         &children[s]);
+          // A failed dispatch (dead remote connection, server-side shed)
+          // degrades like a dead shard: partial result, not a crash.
+          if (!FilterVia(s, static_cast<std::size_t>(r), token, options,
+                         &children[s], &per_shard[s])
+                   .ok()) {
+            shard_down[s] = 1;
+          }
         }
       });
   for (const SearchContext& child : children) ctx->MergeChild(child);
@@ -360,7 +499,7 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
 
 ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     std::span<const QueryToken> tokens, std::span<const ScatterItem> items,
-    std::size_t k_prime, std::size_t ef_search, const AsyncOptions& async,
+    const ShardFilterOptions& options, const AsyncOptions& async,
     SearchContext* parent_ctx) const {
   ThreadPool& pool = ThreadPool::Global();
   const std::size_t num_items = items.size();
@@ -382,10 +521,12 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
   struct ItemSlot {
     /// Raised by the first dispatch to finish — and, with mid_scan_cancel,
     /// registered as a cancellation source in every later dispatch's
-    /// context, so losers abort mid-scan at their next probe.
+    /// context, so losers abort mid-scan at their next probe. A remote
+    /// loser's probe fires inside the RPC wait, turning into one CANCEL
+    /// frame on the wire.
     std::atomic<bool> claimed{false};
     bool answered = false;         // guarded by Coordinator::mu
-    std::vector<Neighbor> answer;  // guarded by mu
+    ShardFilterResult answer;      // guarded by mu
     SearchStats stats;             // winner's scan stats, guarded by mu
     EarlyExit exit = EarlyExit::kNone;  // winner's reason, guarded by mu
     double seconds = 0.0;          // winner's delay + scan time, guarded by mu
@@ -405,23 +546,21 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
   co->slots = std::make_unique<ItemSlot[]>(num_items);
   co->pending = num_items;
 
-  // One dispatch of one (query, shard) item on a chosen replica. The
-  // context is assembled at dispatch time: the caller's deadline and
-  // cancellation flags (Child), plus — when mid-scan cancellation is on —
-  // the item's claim flag. The item carries everything it touches by stable
-  // pointer or shared_ptr, never `this`, because a loser can outlive the
-  // calling search (its in-flight count is what the destructor drains).
+  // One dispatch of one (query, shard) item on a chosen replica, through its
+  // transport — in-process scan or remote RPC, the hedging machinery cannot
+  // tell. The context is assembled at dispatch time: the caller's deadline
+  // and cancellation flags (Child), plus — when mid-scan cancellation is on
+  // — the item's claim flag. The item carries everything it touches by
+  // stable pointer or shared_ptr, never `this`, because a loser can outlive
+  // the calling search (its in-flight count is what the destructor drains).
   struct Dispatch {
     std::shared_ptr<Coordinator> co;
-    const CloudServer* replica;
-    const std::vector<VectorId>* l2g;
+    const ShardTransport* transport;
     Runtime* rt;
     std::size_t item;
     std::size_t token_index;
     std::size_t replica_slot;  // rt->slot(s, r), for the load counters
-    int delay_ms;
-    std::size_t k_prime;
-    std::size_t ef_search;
+    ShardFilterOptions options;
     SearchContext ctx;  // pre-assembled; stats stay local to this dispatch
 
     void operator()() {
@@ -432,18 +571,11 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
         return;
       }
       Timer item_timer;
-      // Injected straggler. With mid-scan cancellation the sleep is
-      // interruptible through the claim flag in `ctx`; without it this
-      // models a remote server that cannot be recalled once contacted.
-      InterruptibleDelay(delay_ms, &ctx);
-      std::vector<Neighbor> local;
-      bool scanned = false;
-      if (!ctx.ShouldStop(ctx.stats.nodes_visited) &&
-          replica->index().size() > 0) {
-        scanned = true;
+      ShardFilterResult answer;
+      const Status st = transport->Filter(co->tokens[token_index], options,
+                                          &ctx, &answer);
+      if (answer.scanned) {
         rt->requests[replica_slot].fetch_add(1, std::memory_order_acq_rel);
-        local = replica->index().Search(co->tokens[token_index].sap.data(),
-                                        k_prime, ef_search, &ctx);
       }
       // A kCancelled exit means we lost only if the *claim* flag is up
       // (another dispatch won). A caller-raised flag with no claim yet
@@ -453,27 +585,41 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
       const bool lost_race =
           ctx.early_exit() == EarlyExit::kCancelled &&
           slot.claimed.load(std::memory_order_acquire);
-      if (!lost_race &&
-          !slot.claimed.exchange(true, std::memory_order_acq_rel)) {
-        for (Neighbor& nb : local) nb.id = (*l2g)[nb.id];
+      if (lost_race) {
+        if (answer.scanned) {
+          // Lost the race after burning real work: account it. This counter
+          // staying near zero is what mid-scan cancellation buys — locally
+          // through the claim-flag probe, remotely through the CANCEL frame
+          // (the response's partial stats land in `ctx`).
+          rt->cancelled_nodes.fetch_add(ctx.stats.nodes_visited,
+                                        std::memory_order_acq_rel);
+          rt->cancelled_scans.fetch_add(1, std::memory_order_acq_rel);
+          co->wasted_nodes.fetch_add(ctx.stats.nodes_visited,
+                                     std::memory_order_acq_rel);
+        }
+        Finish();
+        return;
+      }
+      if (!slot.claimed.exchange(true, std::memory_order_acq_rel)) {
+        // First finisher wins — including a failed dispatch (dead remote
+        // connection), which publishes its empty answer so the gather never
+        // hangs; the transport's health flag steers future dispatches away.
+        if (!st.ok()) answer = ShardFilterResult{};
         std::lock_guard<std::mutex> lock(co->mu);
         slot.answered = true;
-        slot.answer = std::move(local);
+        slot.answer = std::move(answer);
         slot.stats = ctx.stats;
         slot.exit = ctx.early_exit();
         slot.seconds = item_timer.ElapsedSeconds();
         --co->pending;
         co->cv.notify_all();
-      } else if (scanned) {
-        // Lost the race after burning real work: account it. This counter
-        // staying near zero is what mid-scan cancellation buys.
+      } else if (answer.scanned) {
+        // Claimed between our probe and the exchange: a straggler loss.
         rt->cancelled_nodes.fetch_add(ctx.stats.nodes_visited,
                                       std::memory_order_acq_rel);
         rt->cancelled_scans.fetch_add(1, std::memory_order_acq_rel);
         co->wasted_nodes.fetch_add(ctx.stats.nodes_visited,
                                    std::memory_order_acq_rel);
-        Finish();
-        return;
       }
       Finish();
     }
@@ -494,15 +640,12 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
     rt->inflight.fetch_add(1, std::memory_order_acq_rel);
     return Dispatch{co,
-                    &replicas_[s][r],
-                    &local_to_global_[s],
+                    transports_[s][r].get(),
                     rt,
                     item,
                     items[item].token_index,
                     slot,
-                    rt->delay_ms[slot].load(std::memory_order_acquire),
-                    k_prime,
-                    ef_search,
+                    options,
                     std::move(ctx)};
   };
 
@@ -648,7 +791,7 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
   if (ctx == nullptr) ctx = &local_ctx;
   ApplyContextSettings(ctx, settings);
   const std::size_t k_prime = ResolveKPrime(settings, k);
-  const std::size_t num_shards = replicas_.size();
+  const std::size_t num_shards = transports_.size();
 
   // Resolve serveable shards; dead shards are excluded from the scatter.
   std::vector<ScatterItem> items;
@@ -674,12 +817,12 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
   }
 
   Timer filter_timer;
-  ScatterOutcome outcome = RunHedgedScatter(std::span(&token, 1), items,
-                                            k_prime, settings.ef_search,
-                                            async, ctx);
+  ScatterOutcome outcome =
+      RunHedgedScatter(std::span(&token, 1), items,
+                       MakeFilterOptions(k_prime, settings), async, ctx);
   const double filter_seconds = filter_timer.ElapsedSeconds();
 
-  std::vector<std::vector<Neighbor>> per_shard(num_shards);
+  std::vector<ShardFilterResult> per_shard(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     if (item_of_shard[s] < 0) continue;
     const std::size_t i = static_cast<std::size_t>(item_of_shard[s]);
@@ -702,10 +845,11 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
     std::span<const QueryToken> tokens, std::size_t k,
     const SearchSettings& settings) const {
   const std::size_t num_queries = tokens.size();
-  const std::size_t num_shards = replicas_.size();
+  const std::size_t num_shards = transports_.size();
   std::vector<SearchResult> results(num_queries);
   if (num_queries == 0 || k == 0 || size() == 0) return results;
   const std::size_t k_prime = ResolveKPrime(settings, k);
+  const ShardFilterOptions options = MakeFilterOptions(k_prime, settings);
 
   // Per-query contexts: the deadline/budget knobs bound every query of the
   // batch independently; stats land in that query's counters.
@@ -726,7 +870,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   // Work item (q, s) is independent of every other, so a small batch still
   // spreads across every core instead of leaving (cores - Q) idle. Each
   // item scans under a Child of its query's context.
-  std::vector<std::vector<std::vector<Neighbor>>> candidates(num_queries);
+  std::vector<std::vector<ShardFilterResult>> candidates(num_queries);
   for (auto& per_query : candidates) per_query.resize(num_shards);
   std::vector<double> item_seconds(num_queries * num_shards, 0.0);
   std::vector<SearchContext> item_ctx;
@@ -743,10 +887,11 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
           const std::size_t s = item % num_shards;
           if (serving[s] < 0) continue;
           Timer item_timer;
-          candidates[q][s] =
-              FilterOnReplica(s, static_cast<std::size_t>(serving[s]),
-                              tokens[q], k_prime, settings.ef_search,
-                              &item_ctx[item]);
+          // A failed dispatch leaves this (query, shard) answer empty — the
+          // merge degrades like a dead shard.
+          static_cast<void>(FilterVia(s, static_cast<std::size_t>(serving[s]),
+                                      tokens[q], options, &item_ctx[item],
+                                      &candidates[q][s]));
           item_seconds[item] = item_timer.ElapsedSeconds();
         }
       });
@@ -783,7 +928,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
     return SearchBatchScattered(tokens, k, settings);
   }
   const std::size_t num_queries = tokens.size();
-  const std::size_t num_shards = replicas_.size();
+  const std::size_t num_shards = transports_.size();
   std::vector<SearchResult> results(num_queries);
   if (num_queries == 0 || k == 0 || size() == 0) return results;
   const std::size_t k_prime = ResolveKPrime(settings, k);
@@ -817,10 +962,10 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   // carries the same settings-derived deadline, so the first query's stands
   // in for the gather bound.
   ScatterOutcome outcome =
-      RunHedgedScatter(tokens, items, k_prime, settings.ef_search, async,
-                       &query_ctx.front());
+      RunHedgedScatter(tokens, items, MakeFilterOptions(k_prime, settings),
+                       async, &query_ctx.front());
 
-  std::vector<std::vector<std::vector<Neighbor>>> candidates(num_queries);
+  std::vector<std::vector<ShardFilterResult>> candidates(num_queries);
   for (auto& per_query : candidates) per_query.resize(num_shards);
   std::vector<std::size_t> hedges_per_query(num_queries, 0);
   std::vector<double> seconds_per_query(num_queries, 0.0);
@@ -855,6 +1000,9 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
 }
 
 VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
+  // The facade gates remote maintenance with a Status; reaching here on a
+  // stub-backed server is a programmer error.
+  PPANNS_CHECK(!remote_);
   // Abandoned hedge losers may still be reading the indexes and the
   // local-to-global rows this mutation is about to touch; they cancel fast
   // (claim flag / context probe), so wait them out before mutating.
@@ -882,7 +1030,8 @@ VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
 }
 
 Status ShardedCloudServer::Delete(VectorId global_id) {
-  DrainAsyncWork();  // see Insert
+  PPANNS_CHECK(!remote_);  // see Insert
+  DrainAsyncWork();
   if (global_id >= manifest_.size()) {
     return Status::InvalidArgument("Delete: global id " +
                                    std::to_string(global_id) +
@@ -914,6 +1063,7 @@ Status ShardedCloudServer::Delete(VectorId global_id) {
 }
 
 std::size_t ShardedCloudServer::size() const {
+  if (remote_) return topology_.size;
   std::size_t total = 0;
   for (const std::vector<CloudServer>& group : replicas_) {
     total += group.front().size();
@@ -922,6 +1072,7 @@ std::size_t ShardedCloudServer::size() const {
 }
 
 std::size_t ShardedCloudServer::StorageBytes() const {
+  if (remote_) return topology_.storage_bytes;
   std::size_t total = manifest_.size() * sizeof(ShardRef);
   for (const std::vector<CloudServer>& group : replicas_) {
     for (const CloudServer& replica : group) total += replica.StorageBytes();
@@ -930,6 +1081,7 @@ std::size_t ShardedCloudServer::StorageBytes() const {
 }
 
 void ShardedCloudServer::SerializeDatabase(BinaryWriter* out) const {
+  PPANNS_CHECK(!remote_);  // see Insert
   ShardedEncryptedDatabase::WriteEnvelopeHeader(
       out, static_cast<std::uint32_t>(replicas_.size()),
       static_cast<std::uint32_t>(replication_factor()));

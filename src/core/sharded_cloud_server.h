@@ -46,6 +46,7 @@
 #include "common/types.h"
 #include "core/cloud_server.h"
 #include "core/sharded_database.h"
+#include "net/shard_transport.h"
 
 namespace ppanns {
 
@@ -85,6 +86,30 @@ class ShardedCloudServer {
   /// the manifest and replica-group consistency; owner-built packages are
   /// consistent by construction).
   explicit ShardedCloudServer(ShardedEncryptedDatabase db);
+
+  /// Topology of a package whose shards live behind remote transports — what
+  /// a ShardServer advertises in its handshake. A remote gather node holds no
+  /// shard data, so these figures are the handshake-time snapshot.
+  struct RemoteTopology {
+    std::size_t num_shards = 0;
+    std::size_t num_replicas = 0;
+    std::size_t dim = 0;
+    IndexKind index_kind = IndexKind::kHnsw;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::size_t storage_bytes = 0;
+  };
+
+  /// A gather node over remote shards: every (shard, replica) dispatches
+  /// through the given transport (e.g. a RemoteShardClient) instead of an
+  /// in-process CloudServer. All search paths — hedging, failover,
+  /// load-aware dispatch, deadlines, cancellation — behave identically;
+  /// maintenance (Insert/Delete/SerializeDatabase) is unavailable, and the
+  /// refine phase runs over DCE ciphertexts shipped in the responses.
+  /// `transports` must be a full num_shards x num_replicas grid.
+  ShardedCloudServer(
+      const RemoteTopology& topology,
+      std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports);
 
   /// Waits for any abandoned async work items (hedge losers still running on
   /// the pool) before releasing the shards they read.
@@ -166,19 +191,41 @@ class ShardedCloudServer {
   /// delete on its shard). InvalidArgument if the id was never assigned.
   Status Delete(VectorId global_id);
 
-  std::size_t size() const;           ///< live vectors across all shards
-  std::size_t capacity() const { return manifest_.size(); }  ///< next global id
-  std::size_t dim() const { return shard(0).index().dim(); }
-  IndexKind index_kind() const { return shard(0).index().kind(); }
-  std::size_t num_shards() const { return replicas_.size(); }
+  /// Live vectors across all shards (handshake-time snapshot when remote).
+  std::size_t size() const;
+  /// Next global id.
+  std::size_t capacity() const {
+    return remote_ ? topology_.capacity : manifest_.size();
+  }
+  std::size_t dim() const { return remote_ ? topology_.dim : shard(0).index().dim(); }
+  IndexKind index_kind() const {
+    return remote_ ? topology_.index_kind : shard(0).index().kind();
+  }
+  std::size_t num_shards() const { return transports_.size(); }
   /// Replicas per shard (uniform; 1 for an unreplicated package).
-  std::size_t replication_factor() const { return replicas_.front().size(); }
-  /// The primary replica of shard s (the PR-2 accessor).
-  const CloudServer& shard(std::size_t s) const { return replicas_[s].front(); }
+  std::size_t replication_factor() const { return transports_.front().size(); }
+  /// True when the shards live behind remote transports — no local replicas,
+  /// no manifest, no maintenance.
+  bool remote() const { return remote_; }
+  /// The primary replica of shard s (the PR-2 accessor). Local servers only.
+  const CloudServer& shard(std::size_t s) const {
+    PPANNS_CHECK(!remote_);
+    return replicas_[s].front();
+  }
   const CloudServer& replica(std::size_t s, std::size_t r) const {
+    PPANNS_CHECK(!remote_);
     return replicas_[s][r];
   }
   const ShardManifest& manifest() const { return manifest_; }
+
+  /// The server-side entry of the RPC boundary: one filter scan on replica
+  /// (s, r), exactly as a gather-side transport dispatches it — injected
+  /// delay, context-bounded scan, global-id translation — plus the
+  /// candidates' DCE ciphertexts when options.want_dce is set (the remote
+  /// gather holds no shard data to refine against). Local servers only.
+  Status FilterShard(std::size_t s, std::size_t r, const QueryToken& token,
+                     const ShardFilterOptions& options, SearchContext* ctx,
+                     ShardFilterResult* out) const;
 
   // ---- Replica health & fault injection (admin / test / bench surface).
   // In a multi-process deployment these flags would be driven by health
@@ -248,25 +295,32 @@ class ShardedCloudServer {
   /// first-live accounting of SearchCounters::replicas_skipped.
   int PickReplica(std::size_t s, std::size_t* skipped = nullptr) const;
 
-  /// One (query, shard) filter work item on a chosen replica: applies the
-  /// injected delay (interruptibly, against `ctx`), runs the k'-ANNS with
-  /// the context threaded into the backend hot loop, translates local ids
-  /// to global, and maintains the replica's inflight/request counters.
-  std::vector<Neighbor> FilterOnReplica(std::size_t s, std::size_t r,
-                                        const QueryToken& token,
-                                        std::size_t k_prime,
-                                        std::size_t ef_search,
-                                        SearchContext* ctx = nullptr) const;
+  /// One (query, shard) filter work item through the replica's transport —
+  /// in-process scan or remote RPC, interchangeably — maintaining the
+  /// replica's inflight/request counters around the dispatch. A non-OK
+  /// Status means the scan could not run (dead connection, server shed);
+  /// `out` is then empty.
+  Status FilterVia(std::size_t s, std::size_t r, const QueryToken& token,
+                   const ShardFilterOptions& options, SearchContext* ctx,
+                   ShardFilterResult* out) const;
+
+  /// The per-scan knobs every dispatch of a query shares. want_dce is set
+  /// only on remote servers with refinement on — a local gather reads
+  /// ciphertexts in place.
+  ShardFilterOptions MakeFilterOptions(std::size_t k_prime,
+                                       const SearchSettings& settings) const;
 
   /// The gather + refine shared by every search path: merges per-shard
   /// global-id candidates to the SAP-top-k', then (unless settings.refine is
   /// off) streams them through one DCE ComparisonHeap, probing `ctx`
-  /// between comparisons. Fills ids, filter_candidates, dce_comparisons,
+  /// between comparisons. A local server resolves ciphertexts through the
+  /// manifest; a remote one refines over the ciphertexts shipped in the
+  /// per-shard answers. Fills ids, filter_candidates, dce_comparisons,
   /// refine_seconds, and the context-derived counters.
   SearchResult MergeAndRefine(const QueryToken& token, std::size_t k,
                               const SearchSettings& settings,
                               std::size_t k_prime,
-                              std::vector<std::vector<Neighbor>> per_shard,
+                              std::vector<ShardFilterResult> per_shard,
                               SearchContext* ctx) const;
 
   /// One hedged work item: tokens[token_index] scattered to `shard`.
@@ -276,8 +330,8 @@ class ShardedCloudServer {
   };
   /// What a hedged scatter produced, indexed like `items`.
   struct ScatterOutcome {
-    std::vector<std::vector<Neighbor>> answers;  ///< global-id candidates
-    std::vector<SearchStats> stats;              ///< the winning scan's stats
+    std::vector<ShardFilterResult> answers;  ///< global-id candidates (+ DCE)
+    std::vector<SearchStats> stats;          ///< the winning scan's stats
     std::vector<EarlyExit> exits;                ///< the winning scan's reason
     std::vector<double> item_seconds;            ///< winning dispatch's time
     std::vector<std::size_t> hedges;             ///< hedge dispatches per item
@@ -299,7 +353,7 @@ class ShardedCloudServer {
   /// must target shards with at least one live replica.
   ScatterOutcome RunHedgedScatter(std::span<const QueryToken> tokens,
                                   std::span<const ScatterItem> items,
-                                  std::size_t k_prime, std::size_t ef_search,
+                                  const ShardFilterOptions& options,
                                   const AsyncOptions& async,
                                   SearchContext* parent_ctx) const;
 
@@ -309,6 +363,12 @@ class ShardedCloudServer {
   /// global id of shard s's local vector. Rebuilt at construction, extended
   /// by Insert. Shared by all replicas of a shard (identical id spaces).
   std::vector<std::vector<VectorId>> local_to_global_;
+  /// The dispatch seam: transports_[s][r] fronts replica (s, r), in-process
+  /// (wrapping replicas_[s][r]) or remote (an RPC stub). Every search path
+  /// dispatches through here and nowhere else.
+  std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports_;
+  RemoteTopology topology_{};  ///< meaningful only when remote_
+  bool remote_ = false;
   std::unique_ptr<Runtime> runtime_;
 };
 

@@ -580,20 +580,52 @@ Status HnswIndex::Remove(VectorId id) {
                level_counts_[nodes_[id].level] > 0);
   --level_counts_[nodes_[id].level];
 
-  // Collect in-neighbors per level, drop their edge to `id`, then re-link
-  // them (Section V-D: deletion is repaired server-side by reinserting the
-  // affected in-neighbors' edge sets).
-  for (std::size_t v = 0; v < nodes_.size(); ++v) {
-    if (v == id || nodes_[v].deleted) continue;
-    Node& node = nodes_[v];
-    for (int l = 0; l <= node.level; ++l) {
-      auto& adj = node.adjacency[l];
-      auto it = std::find(adj.begin(), adj.end(), id);
-      if (it == adj.end()) continue;
-      adj.erase(it);
-      RepairNode(static_cast<VectorId>(v), l);
-    }
-  }
+  // Collect in-neighbors per level and drop their edge to `id` (Section V-D:
+  // deletion is repaired server-side by reinserting the affected
+  // in-neighbors' edge sets). The unlink scan partitions the nodes across
+  // the pool — each node is touched by exactly one chunk and nothing else
+  // mutates yet, so this phase needs no locks. Repairs are deferred so the
+  // next phase can run them concurrently.
+  struct RepairItem {
+    VectorId v;
+    int level;
+  };
+  std::vector<RepairItem> repairs;
+  std::mutex repairs_mu;
+  ThreadPool::Global().ParallelFor(
+      nodes_.size(), [&](std::size_t begin, std::size_t end) {
+        std::vector<RepairItem> local;
+        for (std::size_t v = begin; v < end; ++v) {
+          if (v == id || nodes_[v].deleted) continue;
+          Node& node = nodes_[v];
+          for (int l = 0; l <= node.level; ++l) {
+            auto& adj = node.adjacency[l];
+            auto it = std::find(adj.begin(), adj.end(), id);
+            if (it == adj.end()) continue;
+            adj.erase(it);
+            local.push_back(RepairItem{static_cast<VectorId>(v), l});
+          }
+        }
+        if (!local.empty()) {
+          std::lock_guard<std::mutex> lock(repairs_mu);
+          repairs.insert(repairs.end(), local.begin(), local.end());
+        }
+      });
+
+  // Re-link the orphaned in-neighbors concurrently through the striped build
+  // locks. `id`'s own out-edges stay intact until every repair is done: if it
+  // was the entry point, repair descents still route through it (deleted
+  // nodes are traversable, never returned).
+  ThreadPool::Global().ParallelFor(
+      repairs.size(), [&](std::size_t begin, std::size_t end) {
+        std::vector<VectorId> scratch;
+        auto visited = visited_pool_->Acquire(nodes_.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          RepairNodeConcurrent(repairs[i].v, repairs[i].level, visited.get(),
+                               &scratch);
+        }
+        visited_pool_->Release(std::move(visited));
+      });
   nodes_[id].adjacency.assign(nodes_[id].adjacency.size(), {});
 
   // Re-seat the entry point if it was deleted: the per-level live counts
@@ -622,29 +654,32 @@ Status HnswIndex::Remove(VectorId id) {
   return Status::OK();
 }
 
-void HnswIndex::RepairNode(VectorId v, int level) {
+void HnswIndex::RepairNodeConcurrent(VectorId v, int level,
+                                     VisitedList* visited,
+                                     std::vector<VectorId>* scratch) {
   // Re-run a neighborhood search from v and refill its adjacency at `level`
-  // with the selection heuristic (skipping v itself and deleted nodes).
+  // with the selection heuristic (skipping v itself and deleted nodes; the
+  // build-path search excludes `self` from results already).
   const EntryState state = LoadEntry();
   if (state.entry == kInvalidVectorId || state.entry == v) return;
   const float* vec = data_.row(v);
   VectorId cur = state.entry;
-  for (int l = state.level; l > level; --l) cur = GreedyClosest(vec, cur, l);
+  for (int l = state.level; l > level; --l) {
+    cur = GreedyClosestBuild(vec, cur, l, scratch);
+  }
 
-  auto visited = visited_pool_->Acquire(nodes_.size());
-  std::vector<Neighbor> cands =
-      SearchLayer(vec, cur, params_.ef_construction, level, visited.get());
-  visited_pool_->Release(std::move(visited));
-
-  cands.erase(std::remove_if(cands.begin(), cands.end(),
-                             [&](const Neighbor& c) { return c.id == v; }),
-              cands.end());
+  std::vector<Neighbor> cands = SearchLayerBuild(
+      vec, cur, params_.ef_construction, level, v, visited, scratch);
   if (cands.empty()) return;
 
   const std::size_t max_degree = (level == 0) ? params_.max_m0() : params_.m;
   // Merge with surviving adjacency so repair never loses good edges.
-  for (VectorId existing : nodes_[v].adjacency[level]) {
-    cands.push_back(Neighbor{existing, SquaredL2(vec, data_.row(existing), dim_)});
+  {
+    std::lock_guard<std::mutex> lock(build_locks_->ForNode(v));
+    for (VectorId existing : nodes_[v].adjacency[level]) {
+      cands.push_back(
+          Neighbor{existing, SquaredL2(vec, data_.row(existing), dim_)});
+    }
   }
   std::sort(cands.begin(), cands.end());
   cands.erase(std::unique(cands.begin(), cands.end(),
@@ -652,7 +687,7 @@ void HnswIndex::RepairNode(VectorId v, int level) {
                             return a.id == b.id;
                           }),
               cands.end());
-  Connect(v, level, SelectNeighbors(vec, std::move(cands), max_degree));
+  ConnectBuild(v, level, SelectNeighbors(vec, std::move(cands), max_degree));
 }
 
 bool HnswIndex::IsDeleted(VectorId id) const {

@@ -127,6 +127,13 @@ class HnswIndex {
   /// Removes a vector and repairs the graph: every in-neighbor of `id` gets
   /// its edge dropped and is re-linked by a fresh neighbor search, per the
   /// deletion strategy of Section V-D (server-only, no data-owner help).
+  ///
+  /// The in-neighbor sweep — the O(n) part — fans across the global pool:
+  /// unlinking partitions the nodes (no locks needed), then the repairs run
+  /// concurrently through the same striped per-node locks as
+  /// AddBatchParallel. Like the parallel build, Remove is exclusive against
+  /// Search and all other mutation; repaired edge sets can vary with thread
+  /// interleaving (the tests pin recall and reachability, not exact edges).
   Status Remove(VectorId id);
 
   bool IsDeleted(VectorId id) const;
@@ -261,8 +268,13 @@ class HnswIndex {
   /// adjacency lists with the heuristic.
   void Connect(VectorId id, int level, const std::vector<VectorId>& neighbors);
 
-  /// Re-links node `v` at `level` after one of its out-edges was removed.
-  void RepairNode(VectorId v, int level);
+  /// Re-links node `v` at `level` after one of its out-edges was removed
+  /// (Remove's parallel sweep): a fresh neighborhood search merged with the
+  /// surviving adjacency, re-selected by the heuristic. Every adjacency read
+  /// is snapshotted and every write made through the striped build locks, so
+  /// many repairs run concurrently.
+  void RepairNodeConcurrent(VectorId v, int level, VisitedList* visited,
+                            std::vector<VectorId>* scratch);
 
   // ---- Concurrent-build variants (AddBatchParallel only). -------------------
   // Same algorithms as the sequential functions above, with every adjacency

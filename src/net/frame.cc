@@ -1,0 +1,99 @@
+#include "net/frame.h"
+
+#include <cstring>
+#include <string>
+
+#include "net/socket.h"
+
+namespace ppanns {
+
+bool KnownFrameType(std::uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kHello:
+    case FrameType::kHelloOk:
+    case FrameType::kFilterRequest:
+    case FrameType::kFilterResponse:
+    case FrameType::kCancel:
+      return true;
+  }
+  return false;
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloOk:
+      return "hello_ok";
+    case FrameType::kFilterRequest:
+      return "filter_request";
+    case FrameType::kFilterResponse:
+      return "filter_response";
+    case FrameType::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const Frame& frame, BinaryWriter* out) {
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(kFrameFixedBytes + frame.payload.size());
+  out->Put<std::uint32_t>(length);
+  out->Put<std::uint8_t>(static_cast<std::uint8_t>(frame.type));
+  out->Put<std::uint64_t>(frame.request_id);
+  out->PutBytes(frame.payload.data(), frame.payload.size());
+}
+
+Status DecodeFrame(const std::uint8_t* data, std::size_t size, Frame* out,
+                   std::size_t* consumed) {
+  if (size < kFrameLengthBytes) {
+    return Status::OutOfRange("frame: truncated length prefix");
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, data, sizeof(length));
+  if (length < kFrameFixedBytes) {
+    return Status::IOError("frame: declared length " + std::to_string(length) +
+                           " is below the fixed header size");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::IOError("frame: declared length " + std::to_string(length) +
+                           " exceeds the " + std::to_string(kMaxFrameBytes) +
+                           "-byte frame cap");
+  }
+  if (size - kFrameLengthBytes < length) {
+    return Status::OutOfRange("frame: truncated body (declared " +
+                              std::to_string(length) + " bytes, have " +
+                              std::to_string(size - kFrameLengthBytes) + ")");
+  }
+  const std::uint8_t* body = data + kFrameLengthBytes;
+  const std::uint8_t raw_type = body[0];
+  if (!KnownFrameType(raw_type)) {
+    return Status::IOError("frame: unknown frame type " +
+                           std::to_string(raw_type));
+  }
+  out->type = static_cast<FrameType>(raw_type);
+  std::memcpy(&out->request_id, body + 1, sizeof(out->request_id));
+  const std::size_t payload_size = length - kFrameFixedBytes;
+  out->payload.assign(body + kFrameFixedBytes,
+                      body + kFrameFixedBytes + payload_size);
+  if (consumed != nullptr) *consumed = kFrameLengthBytes + length;
+  return Status::OK();
+}
+
+Status ReadFrame(Socket* socket, Frame* out) {
+  std::uint8_t len_bytes[kFrameLengthBytes];
+  PPANNS_RETURN_IF_ERROR(socket->ReadExact(len_bytes, sizeof(len_bytes)));
+  std::uint32_t length = 0;
+  std::memcpy(&length, len_bytes, sizeof(length));
+  if (length < kFrameFixedBytes || length > kMaxFrameBytes) {
+    return Status::IOError("frame: declared length " + std::to_string(length) +
+                           " outside protocol bounds");
+  }
+  std::vector<std::uint8_t> buf(kFrameLengthBytes + length);
+  std::memcpy(buf.data(), len_bytes, kFrameLengthBytes);
+  PPANNS_RETURN_IF_ERROR(
+      socket->ReadExact(buf.data() + kFrameLengthBytes, length));
+  return DecodeFrame(buf.data(), buf.size(), out);
+}
+
+}  // namespace ppanns

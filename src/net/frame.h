@@ -1,0 +1,82 @@
+// Length-prefixed binary framing for the shard RPC protocol.
+//
+// Every message on a connection travels as one frame:
+//
+//   [u32 length][u8 type][u64 request_id][payload ...]
+//
+// `length` counts everything after itself (type + request id + payload),
+// little-endian like the rest of the serialization layer. The decoder is the
+// trust boundary of the distributed tier: frames arrive from the network, so
+// every field is range-checked and a malformed, truncated, or oversized frame
+// comes back as a clean Status — never a crash, an over-read, or an
+// unbounded allocation (kMaxFrameBytes caps what a single length prefix can
+// demand before any buffer is sized).
+
+#ifndef PPANNS_NET_FRAME_H_
+#define PPANNS_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ppanns {
+
+/// Frame discriminator. Serialized on the wire — keep values stable.
+enum class FrameType : std::uint8_t {
+  kHello = 1,           ///< client -> server: version handshake
+  kHelloOk = 2,         ///< server -> client: chosen version + topology
+  kFilterRequest = 3,   ///< client -> server: one (shard, replica) scan
+  kFilterResponse = 4,  ///< server -> client: candidates + stats (or Status)
+  kCancel = 5,          ///< client -> server: abort the named request
+};
+
+/// True when `raw` names a FrameType this protocol version understands.
+bool KnownFrameType(std::uint8_t raw);
+
+/// "hello" | "hello_ok" | "filter_request" | "filter_response" | "cancel".
+const char* FrameTypeName(FrameType type);
+
+/// Bytes of the length prefix itself (not counted by `length`).
+inline constexpr std::size_t kFrameLengthBytes = sizeof(std::uint32_t);
+/// Fixed bytes inside `length`: the type byte and the request id.
+inline constexpr std::size_t kFrameFixedBytes =
+    sizeof(std::uint8_t) + sizeof(std::uint64_t);
+/// Upper bound on `length`: caps the allocation a single crafted prefix can
+/// demand and bounds every read loop. 64 MiB fits any realistic k' response
+/// (candidates + DCE ciphertexts) with two orders of magnitude to spare.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// One decoded frame: the envelope fields plus the raw message payload.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends the complete wire encoding of `frame` to `out`.
+void EncodeFrame(const Frame& frame, BinaryWriter* out);
+
+/// Decodes one complete frame from the front of [data, data + size).
+/// `consumed`, when non-null, receives the total frame size on success.
+/// Errors (all without reading past `size` or allocating beyond the
+/// declared payload):
+///   OutOfRange — input shorter than the declared frame
+///   IOError    — length below the fixed minimum, length above
+///                kMaxFrameBytes, or an unknown frame type
+Status DecodeFrame(const std::uint8_t* data, std::size_t size, Frame* out,
+                   std::size_t* consumed = nullptr);
+
+class Socket;
+
+/// Reads exactly one frame off a blocking socket: the length prefix first,
+/// then the declared body (bounds-checked before any allocation). IOError on
+/// transport failure or a framing violation — the caller tears the
+/// connection down either way.
+Status ReadFrame(Socket* socket, Frame* out);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_FRAME_H_

@@ -1,0 +1,143 @@
+#include "net/remote_shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/types.h"
+
+namespace ppanns {
+
+Status RemoteShardClient::Filter(const QueryToken& token,
+                                 const ShardFilterOptions& options,
+                                 SearchContext* ctx,
+                                 ShardFilterResult* out) const {
+  // A dispatch that is already cancelled (or past its deadline) never goes on
+  // the wire — same shape as the in-process pre-scan check.
+  if (ctx != nullptr && ctx->ShouldStop(ctx->stats.nodes_visited)) {
+    return Status::OK();
+  }
+
+  FilterRequestMessage request;
+  request.shard = shard_;
+  request.replica = replica_;
+  request.token = token;
+  request.k_prime = options.k_prime;
+  request.ef_search = options.ef_search;
+  request.want_dce = options.want_dce ? 1 : 0;
+  request.admission_floor_us = static_cast<std::int64_t>(
+      std::llround(std::max(0.0, options.admission_ms) * 1000.0));
+  if (ctx != nullptr) {
+    request.node_budget = ctx->node_budget();
+    if (ctx->has_deadline()) {
+      // Rebase the absolute deadline to a relative budget: clocks on two
+      // hosts share no epoch. An already-expired deadline ships as 0 so the
+      // server sheds immediately instead of scanning.
+      const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+          ctx->deadline() - SearchContext::Clock::now());
+      request.deadline_budget_us = std::max<std::int64_t>(0, remaining.count());
+    }
+  }
+
+  FilterResponseMessage response;
+  PPANNS_RETURN_IF_ERROR(channel_->CallFilter(request, ctx, &response));
+
+  // The response's stats and early-exit reason fold into the caller's context
+  // whatever the outcome — a shed or cancelled remote scan's partial work is
+  // accounted exactly like an in-process one.
+  if (ctx != nullptr) {
+    SearchStats remote;
+    remote.nodes_visited = response.nodes_visited;
+    remote.distance_computations = response.distance_computations;
+    remote.dce_comparisons = response.dce_comparisons;
+    ctx->stats.Merge(remote);
+    ctx->AdoptEarlyExit(static_cast<EarlyExit>(response.early_exit));
+  }
+  PPANNS_RETURN_IF_ERROR(response.ToStatus());
+
+  out->scanned = response.scanned != 0;
+  out->candidates = std::move(response.candidates);
+  if (response.dce_block > 0 && !response.dce_data.empty()) {
+    const std::size_t per = 4 * static_cast<std::size_t>(response.dce_block);
+    out->dce.reserve(out->candidates.size());
+    for (std::size_t i = 0; i < out->candidates.size(); ++i) {
+      DceCiphertext ct;
+      ct.block = static_cast<std::size_t>(response.dce_block);
+      ct.data.assign(response.dce_data.begin() + i * per,
+                     response.dce_data.begin() + (i + 1) * per);
+      out->dce.push_back(std::move(ct));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ShardedCloudServer> ConnectShardedService(
+    const std::vector<std::string>& endpoints) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("connect: no endpoints given");
+  }
+
+  std::vector<std::shared_ptr<RpcChannel>> channels;
+  channels.reserve(endpoints.size());
+  for (const std::string& endpoint : endpoints) {
+    auto channel = RpcChannel::Connect(endpoint);
+    if (!channel.ok()) return channel.status();
+    channels.push_back(std::move(*channel));
+  }
+
+  const HelloOkMessage& first = channels.front()->server_info();
+  for (const auto& channel : channels) {
+    const HelloOkMessage& info = channel->server_info();
+    if (info.num_shards != first.num_shards ||
+        info.num_replicas != first.num_replicas || info.dim != first.dim ||
+        info.index_kind != first.index_kind ||
+        info.capacity != first.capacity) {
+      return Status::InvalidArgument(
+          "connect: endpoint " + channel->endpoint() +
+          " advertises a different topology than " +
+          channels.front()->endpoint());
+    }
+  }
+  if (first.num_shards == 0 || first.num_replicas == 0) {
+    return Status::InvalidArgument("connect: server advertises empty topology");
+  }
+
+  ShardedCloudServer::RemoteTopology topology;
+  topology.num_shards = first.num_shards;
+  topology.num_replicas = first.num_replicas;
+  topology.dim = static_cast<std::size_t>(first.dim);
+  topology.index_kind = static_cast<IndexKind>(first.index_kind);
+  topology.size = static_cast<std::size_t>(first.size);
+  topology.capacity = static_cast<std::size_t>(first.capacity);
+  topology.storage_bytes = static_cast<std::size_t>(first.storage_bytes);
+
+  // Route every shard to the first endpoint that serves it; each replica rank
+  // of that shard gets its own stub over the shared channel.
+  std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports(
+      first.num_shards);
+  for (std::uint32_t s = 0; s < first.num_shards; ++s) {
+    std::shared_ptr<RpcChannel> owner;
+    for (const auto& channel : channels) {
+      const auto& served = channel->server_info().served_shards;
+      if (std::find(served.begin(), served.end(), s) != served.end()) {
+        owner = channel;
+        break;
+      }
+    }
+    if (owner == nullptr) {
+      return Status::FailedPrecondition(
+          "connect: shard " + std::to_string(s) +
+          " is served by none of the given endpoints");
+    }
+    transports[s].reserve(first.num_replicas);
+    for (std::uint32_t r = 0; r < first.num_replicas; ++r) {
+      transports[s].push_back(
+          std::make_unique<RemoteShardClient>(owner, s, r));
+    }
+  }
+
+  return ShardedCloudServer(topology, std::move(transports));
+}
+
+}  // namespace ppanns

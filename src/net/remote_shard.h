@@ -1,0 +1,64 @@
+// RemoteShardClient — the ShardTransport stub that speaks the net/wire.h
+// protocol to a ShardServer — plus the topology assembly that turns a list
+// of endpoints into a remote ShardedCloudServer.
+//
+// The gather node built this way holds *no* shard data: no SAP vectors, no
+// DCE ciphertexts, no index. Candidates come back as global ids and the
+// refine phase runs over ciphertexts shipped per response — the same
+// information the in-process gather reads in place, so result ids are
+// identical across the process boundary (pinned by tests/net).
+
+#ifndef PPANNS_NET_REMOTE_SHARD_H_
+#define PPANNS_NET_REMOTE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_cloud_server.h"
+#include "net/rpc_channel.h"
+#include "net/shard_transport.h"
+
+namespace ppanns {
+
+/// Dispatches filter scans for one (shard, replica) to a remote ShardServer
+/// over a shared RpcChannel. Thread-safe (the channel demultiplexes).
+class RemoteShardClient final : public ShardTransport {
+ public:
+  RemoteShardClient(std::shared_ptr<RpcChannel> channel, std::uint32_t shard,
+                    std::uint32_t replica)
+      : channel_(std::move(channel)), shard_(shard), replica_(replica) {}
+
+  /// Rebases the context's absolute deadline to a relative per-RPC budget,
+  /// sends the scan, and folds the response's SearchStats and early-exit
+  /// reason back into `ctx` — remote work is accounted exactly like local
+  /// work, including a cancelled loser's partial progress.
+  Status Filter(const QueryToken& token, const ShardFilterOptions& options,
+                SearchContext* ctx, ShardFilterResult* out) const override;
+
+  bool Healthy() const override { return channel_->healthy(); }
+  bool remote() const override { return true; }
+
+  std::uint32_t shard() const { return shard_; }
+  std::uint32_t replica() const { return replica_; }
+
+ private:
+  std::shared_ptr<RpcChannel> channel_;
+  std::uint32_t shard_;
+  std::uint32_t replica_;
+};
+
+/// Connects to every endpoint ("host:port"), validates that the advertised
+/// topologies agree, that together they cover every shard, and assembles a
+/// remote ShardedCloudServer: transports_[s][r] routes to the first endpoint
+/// that serves shard s (later duplicates are ignored). Errors:
+///   InvalidArgument    — no endpoints, or endpoints disagree on topology
+///   FailedPrecondition — some shard is served by no endpoint
+///   IOError            — connect/handshake failure
+Result<ShardedCloudServer> ConnectShardedService(
+    const std::vector<std::string>& endpoints);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_REMOTE_SHARD_H_

@@ -1,0 +1,186 @@
+#include "net/rpc_channel.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/serialize.h"
+#include "net/frame.h"
+
+namespace ppanns {
+
+namespace {
+
+/// How long a cancelled call keeps waiting for the response the server still
+/// owes. Generous against scheduling noise; the server's cancellation probe
+/// fires within kCancelCheckStride scan steps (or the next 1 ms delay
+/// slice), so a healthy server answers orders of magnitude sooner.
+constexpr auto kCancelGrace = std::chrono::seconds(5);
+/// Cadence of the context poll while parked in Call().
+constexpr auto kPollInterval = std::chrono::milliseconds(1);
+
+}  // namespace
+
+Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
+    const std::string& endpoint) {
+  auto socket = ConnectTcp(endpoint);
+  if (!socket.ok()) return socket.status();
+
+  // Handshake runs synchronously before the reader thread exists: Hello out,
+  // exactly one HelloOk back.
+  BinaryWriter hello_writer;
+  HelloMessage{}.Serialize(&hello_writer);
+  Frame hello_frame{FrameType::kHello, 0, hello_writer.TakeBuffer()};
+  BinaryWriter frame_writer;
+  EncodeFrame(hello_frame, &frame_writer);
+  PPANNS_RETURN_IF_ERROR(socket->WriteAll(frame_writer.buffer().data(),
+                                          frame_writer.buffer().size()));
+
+  Frame reply;
+  PPANNS_RETURN_IF_ERROR(ReadFrame(&*socket, &reply));
+  if (reply.type != FrameType::kHelloOk) {
+    return Status::IOError("handshake: expected hello_ok, got " +
+                           std::string(FrameTypeName(reply.type)));
+  }
+  BinaryReader reader(reply.payload.data(), reply.payload.size());
+  auto info = HelloOkMessage::Deserialize(&reader);
+  if (!info.ok()) return info.status();
+  if (info->version < kProtocolVersionMin ||
+      info->version > kProtocolVersionMax) {
+    return Status::FailedPrecondition(
+        "handshake: server chose protocol version " +
+        std::to_string(info->version) + ", this client speaks [" +
+        std::to_string(kProtocolVersionMin) + ", " +
+        std::to_string(kProtocolVersionMax) + "]");
+  }
+
+  return std::shared_ptr<RpcChannel>(
+      new RpcChannel(std::move(*socket), endpoint, std::move(*info)));
+}
+
+RpcChannel::RpcChannel(Socket socket, std::string endpoint, HelloOkMessage info)
+    : socket_(std::move(socket)),
+      endpoint_(std::move(endpoint)),
+      server_info_(std::move(info)) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+RpcChannel::~RpcChannel() {
+  FailAllPending(Status::IOError("channel destroyed"));
+  socket_.Shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+void RpcChannel::ReaderLoop() {
+  for (;;) {
+    Frame frame;
+    Status st = ReadFrame(&socket_, &frame);
+    if (!st.ok()) {
+      FailAllPending(st);
+      return;
+    }
+    if (frame.type != FrameType::kFilterResponse) {
+      FailAllPending(Status::IOError("protocol: unexpected " +
+                                     std::string(FrameTypeName(frame.type)) +
+                                     " frame from server"));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(frame.request_id);
+    if (it == pending_.end()) continue;  // caller gave up (grace expired)
+    it->second->payload = std::move(frame.payload);
+    it->second->done = true;
+    cv_.notify_all();
+  }
+}
+
+void RpcChannel::FailAllPending(const Status& reason) {
+  bool expected = true;
+  if (!healthy_.compare_exchange_strong(expected, false,
+                                        std::memory_order_acq_rel)) {
+    return;  // already dead; first reason wins
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  death_reason_ = reason;
+  for (auto& [id, call] : pending_) call->done = true;
+  cv_.notify_all();
+}
+
+Status RpcChannel::SendFrame(FrameType type, std::uint64_t request_id,
+                             const std::vector<std::uint8_t>& payload) {
+  BinaryWriter writer;
+  EncodeFrame(Frame{type, request_id, payload}, &writer);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return socket_.WriteAll(writer.buffer().data(), writer.buffer().size());
+}
+
+Status RpcChannel::CallFilter(const FilterRequestMessage& request,
+                              SearchContext* ctx,
+                              FilterResponseMessage* response) {
+  if (!healthy()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return death_reason_.ok() ? Status::IOError("channel is closed")
+                              : death_reason_;
+  }
+  const std::uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  BinaryWriter payload_writer;
+  request.Serialize(&payload_writer);
+
+  PendingCall call;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(id, &call);
+  }
+  Status sent = SendFrame(FrameType::kFilterRequest, id,
+                          payload_writer.buffer());
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(id);
+    return sent;
+  }
+
+  // Park until the response lands, polling the context so a tripped deadline
+  // or cancellation flag turns into one CANCEL frame. After cancelling we
+  // keep waiting a bounded grace for the response the server still owes —
+  // it carries the remote scan's partial stats.
+  bool cancel_sent = false;
+  std::chrono::steady_clock::time_point grace_deadline{};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, kPollInterval, [&call] { return call.done; });
+    if (call.done) break;
+    if (!healthy()) break;  // FailAllPending flips done, but don't rely on races
+    if (ctx != nullptr && !cancel_sent &&
+        ctx->ShouldStop(ctx->stats.nodes_visited)) {
+      cancel_sent = true;
+      grace_deadline = std::chrono::steady_clock::now() + kCancelGrace;
+      lock.unlock();
+      // Best-effort: a failed CANCEL write means the connection is dying and
+      // the reader will fail this call shortly.
+      SendFrame(FrameType::kCancel, id, {});
+      lock.lock();
+      continue;
+    }
+    if (cancel_sent && std::chrono::steady_clock::now() >= grace_deadline) {
+      pending_.erase(id);
+      return Status::IOError(
+          "rpc: cancelled call got no response within the grace window");
+    }
+  }
+  pending_.erase(id);
+  if (!healthy()) {
+    return death_reason_.ok() ? Status::IOError("channel died mid-call")
+                              : death_reason_;
+  }
+  lock.unlock();
+
+  BinaryReader reader(call.payload.data(), call.payload.size());
+  auto parsed = FilterResponseMessage::Deserialize(&reader);
+  if (!parsed.ok()) return parsed.status();
+  *response = std::move(*parsed);
+  return Status::OK();
+}
+
+}  // namespace ppanns

@@ -1,0 +1,101 @@
+// RpcChannel — one client connection to a ShardServer, shared by every
+// RemoteShardClient that dispatches to that endpoint.
+//
+// Concurrency model: callers (pool workers running hedged dispatches) write
+// requests under a mutex and park in Call(); a dedicated reader thread drains
+// response frames and routes each to its waiting caller by request id, so
+// many scans can be in flight on one connection and each response unblocks
+// its caller the moment it arrives — per-shard results stream back as they
+// complete instead of being serialized behind each other.
+//
+// Cancellation: Call() polls the caller's SearchContext (~1 ms cadence)
+// while parked. The first observed trip sends one CANCEL frame for the
+// request and keeps waiting (briefly) for the response the server still
+// owes — which carries the remote scan's partial SearchStats, so a hedge
+// loser's wasted remote work is accounted exactly like an in-process one.
+//
+// Failure: a dead connection fails every parked call with IOError, marks the
+// channel unhealthy (dispatchers then skip it like a down replica), and
+// stays dead — reconnection is a topology-assembly concern, not a
+// mid-query one.
+
+#ifndef PPANNS_NET_RPC_CHANNEL_H_
+#define PPANNS_NET_RPC_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/search_context.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace ppanns {
+
+class RpcChannel {
+ public:
+  /// Connects, performs the versioned Hello handshake, and starts the reader
+  /// thread. Fails on connect errors, a version-range mismatch, or a
+  /// malformed handshake reply.
+  static Result<std::shared_ptr<RpcChannel>> Connect(
+      const std::string& endpoint);
+
+  ~RpcChannel();
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  /// The topology the server advertised in its handshake.
+  const HelloOkMessage& server_info() const { return server_info_; }
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// False once the connection has died; calls fail fast with IOError.
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+
+  /// One filter RPC: sends the request, parks until its response arrives,
+  /// polling `ctx` and sending a CANCEL frame on the first observed trip.
+  /// IOError on a dead connection or a cancelled call whose response never
+  /// came within the grace window.
+  Status CallFilter(const FilterRequestMessage& request, SearchContext* ctx,
+                    FilterResponseMessage* response);
+
+ private:
+  RpcChannel(Socket socket, std::string endpoint, HelloOkMessage info);
+
+  struct PendingCall {
+    bool done = false;
+    std::vector<std::uint8_t> payload;  ///< raw FilterResponse message body
+  };
+
+  void ReaderLoop();
+  /// Marks the channel dead and fails every parked call. Idempotent.
+  void FailAllPending(const Status& reason);
+  Status SendFrame(FrameType type, std::uint64_t request_id,
+                   const std::vector<std::uint8_t>& payload);
+
+  Socket socket_;
+  const std::string endpoint_;
+  HelloOkMessage server_info_;
+  std::atomic<bool> healthy_{true};
+  Status death_reason_;  ///< guarded by mu_; set once when healthy_ drops
+
+  std::mutex write_mu_;  ///< serializes frame writes (frames must not interleave)
+
+  std::mutex mu_;  ///< guards pending_ and PendingCall bodies
+  std::condition_variable cv_;
+  std::map<std::uint64_t, PendingCall*> pending_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  std::thread reader_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_RPC_CHANNEL_H_

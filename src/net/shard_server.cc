@@ -1,0 +1,310 @@
+#include "net/shard_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/serialize.h"
+#include "net/frame.h"
+
+namespace ppanns {
+
+namespace {
+
+/// Injected straggler latency, served in 1 ms slices so a CANCEL frame (or
+/// the request's rebased deadline) wakes the scan out of it promptly — the
+/// same shape as the in-process delay knob.
+void InterruptibleDelay(int delay_ms, SearchContext* ctx) {
+  for (int slice = 0; slice < delay_ms; ++slice) {
+    if (ctx->ShouldStop(ctx->stats.nodes_visited)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+// One accepted connection. Pool tasks hold it by shared_ptr, so a scan that
+// finishes after Stop() still has a live socket (already shut down — its
+// write just fails) and live bookkeeping to decrement.
+struct ShardServer::Connection {
+  explicit Connection(Socket s) : socket(std::move(s)) {}
+
+  Socket socket;
+  std::thread reader;
+  std::mutex write_mu;  ///< response frames must not interleave
+
+  std::mutex mu;  ///< guards inflight
+  /// Cancel flag of every scan in flight on this connection, by request id —
+  /// where a kCancel frame is routed.
+  std::map<std::uint64_t, std::shared_ptr<std::atomic<bool>>> inflight;
+
+  std::atomic<int> pending{0};  ///< pool tasks not yet finished
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+ShardServer::ShardServer(const ShardedCloudServer* service,
+                         std::vector<std::uint32_t> served_shards)
+    : service_(service), served_shards_(std::move(served_shards)) {
+  // A server needs the actual replicas behind it; a remote (stub-backed)
+  // ShardedCloudServer has none to serve.
+  PPANNS_CHECK(!service_->remote());
+  if (served_shards_.empty()) {
+    for (std::size_t s = 0; s < service_->num_shards(); ++s) {
+      served_shards_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  for (std::uint32_t s : served_shards_) {
+    PPANNS_CHECK(s < service_->num_shards());
+  }
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+bool ShardServer::Serves(std::uint32_t shard) const {
+  return std::find(served_shards_.begin(), served_shards_.end(), shard) !=
+         served_shards_.end();
+}
+
+Status ShardServer::Start(std::uint16_t port) {
+  PPANNS_CHECK(!running_.load(std::memory_order_acquire));
+  auto listener = Listener::Bind(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    // Abort every in-flight scan, then unblock and join the reader.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      for (auto& [id, flag] : conn->inflight) {
+        flag->store(true, std::memory_order_release);
+      }
+    }
+    conn->socket.Shutdown();
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  // Readers are gone, so no new scans can be submitted; drain the ones still
+  // on the pool (they cancel at their next probe).
+  for (const auto& conn : conns) {
+    std::unique_lock<std::mutex> lock(conn->done_mu);
+    conn->done_cv.wait(lock, [&conn] {
+      return conn->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void ShardServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto sock = listener_.Accept();
+    if (!sock.ok()) return;  // Stop() shut the listener down
+    auto conn = std::make_shared<Connection>(std::move(*sock));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (!running_.load(std::memory_order_acquire)) return;  // racing Stop()
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] {
+      ServeConnection(conn);
+      // Reader is done — rejected handshake, protocol violation, or peer
+      // EOF. Hang up so the peer sees EOF instead of a silent stall (scans
+      // still in flight only Shutdown the socket; their writes fail clean).
+      conn->socket.Shutdown();
+    });
+  }
+}
+
+void ShardServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
+  // ---- Handshake: the first frame must be a well-formed Hello whose version
+  // range intersects ours. Anything else — wrong magic, disjoint versions, a
+  // stray frame — closes the connection before any state is built.
+  Frame hello;
+  if (!ReadFrame(&conn->socket, &hello).ok() ||
+      hello.type != FrameType::kHello) {
+    return;
+  }
+  BinaryReader hello_reader(hello.payload.data(), hello.payload.size());
+  auto client = HelloMessage::Deserialize(&hello_reader);
+  if (!client.ok()) return;
+  if (client->version_min > kProtocolVersionMax ||
+      client->version_max < kProtocolVersionMin) {
+    return;
+  }
+
+  HelloOkMessage ok;
+  ok.version = std::min(kProtocolVersionMax, client->version_max);
+  ok.num_shards = static_cast<std::uint32_t>(service_->num_shards());
+  ok.num_replicas = static_cast<std::uint32_t>(service_->replication_factor());
+  ok.dim = service_->dim();
+  ok.index_kind = static_cast<std::uint8_t>(service_->index_kind());
+  ok.size = service_->size();
+  ok.capacity = service_->capacity();
+  ok.storage_bytes = service_->StorageBytes();
+  ok.served_shards = served_shards_;
+  BinaryWriter ok_payload;
+  ok.Serialize(&ok_payload);
+  BinaryWriter ok_frame;
+  EncodeFrame(Frame{FrameType::kHelloOk, hello.request_id,
+                    ok_payload.TakeBuffer()},
+              &ok_frame);
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!conn->socket
+             .WriteAll(ok_frame.buffer().data(), ok_frame.buffer().size())
+             .ok()) {
+      return;
+    }
+  }
+
+  // ---- Frame loop. Scans go to the pool so a slow one never blocks the
+  // connection; responses stream back out of order as scans complete. A
+  // malformed request or an out-of-protocol frame tears the connection down
+  // (the client's channel reports IOError and marks itself unhealthy).
+  for (;;) {
+    Frame frame;
+    if (!ReadFrame(&conn->socket, &frame).ok()) return;
+    switch (frame.type) {
+      case FrameType::kFilterRequest: {
+        BinaryReader reader(frame.payload.data(), frame.payload.size());
+        auto parsed = FilterRequestMessage::Deserialize(&reader);
+        if (!parsed.ok()) return;
+        auto request =
+            std::make_shared<FilterRequestMessage>(std::move(*parsed));
+        auto flag = std::make_shared<std::atomic<bool>>(false);
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->inflight.emplace(frame.request_id, flag);
+        }
+        // Count before spawning: Stop() joins this reader first, then waits
+        // pending out, so `this` outlives every scan. Each scan gets a
+        // dedicated thread rather than a pooled worker — scans park in
+        // injected delays and slow index walks, and routing them through the
+        // process-wide pool would serialize concurrent requests behind a
+        // straggler on small machines (exactly the coupling a hedging gather
+        // node must not see).
+        conn->pending.fetch_add(1, std::memory_order_acq_rel);
+        const std::uint64_t id = frame.request_id;
+        std::thread([this, conn, id, request, flag] {
+          RunFilter(conn, id, request, flag);
+        }).detach();
+        break;
+      }
+      case FrameType::kCancel: {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        auto it = conn->inflight.find(frame.request_id);
+        if (it != conn->inflight.end()) {
+          it->second->store(true, std::memory_order_release);
+        }
+        break;  // unknown id: the scan already finished — nothing to abort
+      }
+      default:
+        return;  // clients never send hello_ok / filter_response
+    }
+  }
+}
+
+void ShardServer::RunFilter(const std::shared_ptr<Connection>& conn,
+                            std::uint64_t request_id,
+                            std::shared_ptr<FilterRequestMessage> request,
+                            std::shared_ptr<std::atomic<bool>> cancel_flag) {
+  FilterResponseMessage response;
+
+  // Re-anchor the relative deadline budget against this host's clock — the
+  // gather's absolute deadline means nothing here.
+  SearchContext ctx;
+  ctx.AddCancelFlag(cancel_flag.get());
+  if (request->deadline_budget_us >= 0) {
+    ctx.set_deadline(SearchContext::Clock::now() +
+                     std::chrono::microseconds(request->deadline_budget_us));
+  }
+  ctx.set_node_budget(static_cast<std::size_t>(request->node_budget));
+
+  if (!Serves(request->shard)) {
+    response.SetStatus(Status::InvalidArgument(
+        "shard " + std::to_string(request->shard) +
+        " is not served by this endpoint"));
+  } else if (request->admission_floor_us > 0 &&
+             request->deadline_budget_us >= 0 &&
+             request->deadline_budget_us < request->admission_floor_us) {
+    // Server-side admission: the budget that survived the wire cannot cover
+    // the floor, so shed before burning any scan work.
+    response.SetStatus(Status::ResourceExhausted(
+        "admission: deadline budget " +
+        std::to_string(request->deadline_budget_us) +
+        "us is below the admission floor " +
+        std::to_string(request->admission_floor_us) + "us"));
+  } else {
+    InterruptibleDelay(scan_delay_ms_.load(std::memory_order_relaxed), &ctx);
+    ShardFilterOptions options;
+    options.k_prime = static_cast<std::size_t>(request->k_prime);
+    options.ef_search = static_cast<std::size_t>(request->ef_search);
+    options.want_dce = request->want_dce != 0;
+    ShardFilterResult result;
+    const Status st =
+        service_->FilterShard(request->shard, request->replica, request->token,
+                              options, &ctx, &result);
+    if (!st.ok()) {
+      response.SetStatus(st);
+    } else {
+      response.scanned = result.scanned ? 1 : 0;
+      response.candidates = std::move(result.candidates);
+      if (!result.dce.empty()) {
+        response.dce_block = result.dce.front().block;
+        response.dce_data.reserve(result.dce.size() * 4 * result.dce.front().block);
+        for (const DceCiphertext& ct : result.dce) {
+          response.dce_data.insert(response.dce_data.end(), ct.data.begin(),
+                                   ct.data.end());
+        }
+      }
+    }
+  }
+
+  // Partial stats ride back on every outcome — cancelled, shed, or complete —
+  // so the gather accounts remote work exactly like in-process work.
+  response.early_exit = static_cast<std::uint8_t>(ctx.early_exit());
+  response.nodes_visited = ctx.stats.nodes_visited;
+  response.distance_computations = ctx.stats.distance_computations;
+  response.dce_comparisons = ctx.stats.dce_comparisons;
+
+  BinaryWriter payload;
+  response.Serialize(&payload);
+  BinaryWriter frame;
+  EncodeFrame(Frame{FrameType::kFilterResponse, request_id,
+                    payload.TakeBuffer()},
+              &frame);
+  {
+    // Best effort: a failed write means the connection is dying and the
+    // reader/Stop() path owns the teardown.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    conn->socket.WriteAll(frame.buffer().data(), frame.buffer().size());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight.erase(request_id);
+  }
+  if (conn->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(conn->done_mu);
+    conn->done_cv.notify_all();
+  }
+}
+
+}  // namespace ppanns

@@ -1,0 +1,98 @@
+// ShardServer — hosts one or more shard replicas of a ShardedCloudServer
+// behind a TCP listener, speaking the net/frame.h + net/wire.h protocol.
+//
+// Threading model: one accept thread; one reader thread per connection that
+// parses frames and dispatches filter scans onto the global ThreadPool, so a
+// slow scan never blocks the connection — responses are written out of order
+// as scans complete (that is the streaming: the gather's RpcChannel demuxes
+// them by request id). A per-connection write mutex keeps response frames
+// from interleaving.
+//
+// Cancellation: every in-flight scan registers a per-request atomic flag; a
+// kCancel frame naming the request id raises it and the scan's CancelProbe
+// aborts within a stride. The response is still sent — carrying the partial
+// SearchStats so the gather accounts the remote loser's wasted work.
+//
+// Admission: a request whose deadline_budget_us cannot cover its
+// admission_floor_us is shed with kResourceExhausted before any scan work.
+
+#ifndef PPANNS_NET_SHARD_SERVER_H_
+#define PPANNS_NET_SHARD_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sharded_cloud_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace ppanns {
+
+class ShardServer {
+ public:
+  /// Serves the given shard ids of `service` (which must be local — it holds
+  /// the actual replicas — and must outlive the server). An empty
+  /// `served_shards` serves every shard.
+  ShardServer(const ShardedCloudServer* service,
+              std::vector<std::uint32_t> served_shards);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port) and starts
+  /// accepting connections.
+  Status Start(std::uint16_t port);
+
+  /// The bound port (after a successful Start).
+  std::uint16_t port() const { return port_; }
+
+  /// Injects `ms` of delay before every scan this server runs — test hook
+  /// for deadline/cancellation/hedging suites, same knob as the in-process
+  /// SetReplicaDelay.
+  void set_scan_delay_ms(int ms) {
+    scan_delay_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, tears down every connection, and joins all threads.
+  /// In-flight scans are cancelled and drained. Idempotent.
+  void Stop();
+
+ private:
+  /// One accepted connection: its socket, its reader thread, and the scans
+  /// still in flight on the pool. Held by shared_ptr so a pool task finishing
+  /// after Stop() still has a live object to decrement.
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+  /// Runs one filter scan and writes its response frame. Pool-side.
+  void RunFilter(const std::shared_ptr<Connection>& conn,
+                 std::uint64_t request_id,
+                 std::shared_ptr<FilterRequestMessage> request,
+                 std::shared_ptr<std::atomic<bool>> cancel_flag);
+
+  bool Serves(std::uint32_t shard) const;
+
+  const ShardedCloudServer* service_;
+  std::vector<std::uint32_t> served_shards_;
+  std::atomic<int> scan_delay_ms_{0};
+
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_SHARD_SERVER_H_

@@ -1,0 +1,84 @@
+// ShardTransport — the dispatch seam between the gather node and one shard
+// replica.
+//
+// ShardedCloudServer scatter-gathers through this interface only, so a
+// replica can live in-process (a CloudServer behind a function call) or
+// across a socket (a RemoteShardClient speaking the net/wire.h protocol)
+// without the hedging, failover, load-aware dispatch, or deadline machinery
+// noticing. The contract mirrors the in-process filter work item:
+//  * Filter runs one k'-ANNS scan and returns the shard's top-k' candidates
+//    in *global* ids;
+//  * the SearchContext threads through — its cancellation flags and deadline
+//    bound the scan (locally via CancelProbe, remotely via the rebased
+//    budget and the CANCEL frame), and its SearchStats accumulate the work
+//    the scan actually did, local or remote;
+//  * when `want_dce` is set, the candidates' DCE ciphertexts come back
+//    alongside (a remote gather node holds no shard data, so the refine
+//    phase needs them shipped; local transports skip this — the gather reads
+//    the ciphertexts in place).
+
+#ifndef PPANNS_NET_SHARD_TRANSPORT_H_
+#define PPANNS_NET_SHARD_TRANSPORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/search_context.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query_client.h"
+#include "crypto/dce.h"
+
+namespace ppanns {
+
+/// Per-scan knobs a transport forwards to the replica.
+struct ShardFilterOptions {
+  std::size_t k_prime = 0;
+  std::size_t ef_search = 0;  ///< 0 = backend default
+  /// Ship the candidates' DCE ciphertexts back with the answer. Local
+  /// transports ignore this (the gather reads ciphertexts in place).
+  bool want_dce = false;
+  /// Admission floor in milliseconds, forwarded so a remote server can shed
+  /// a scan whose deadline budget cannot cover it (kResourceExhausted)
+  /// before burning any work. 0 disables.
+  double admission_ms = 0.0;
+};
+
+/// One shard replica's answer to a filter scan.
+struct ShardFilterResult {
+  /// The replica's top-k' in global ids, best first.
+  std::vector<Neighbor> candidates;
+  /// DCE ciphertexts aligned with `candidates` when want_dce was honored;
+  /// empty otherwise.
+  std::vector<DceCiphertext> dce;
+  /// True when a filter scan actually started (false: cancelled or shed
+  /// before any work — nothing to account as wasted).
+  bool scanned = false;
+};
+
+/// One dispatchable shard replica. Implementations must be safe for
+/// concurrent Filter calls (the batch scatter fans many queries at once).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Runs one filter scan. A non-OK Status means the scan could not run or
+  /// finish (dead connection, server-side shed); `out` is then empty and the
+  /// caller treats the dispatch like a cancelled one. Cooperative stops
+  /// (deadline, cancellation, budget) are NOT errors: the partial answer
+  /// returns OK and `ctx` carries the early-exit reason and stats.
+  virtual Status Filter(const QueryToken& token,
+                        const ShardFilterOptions& options, SearchContext* ctx,
+                        ShardFilterResult* out) const = 0;
+
+  /// False once the transport can no longer serve (e.g. its connection
+  /// died). The dispatcher skips unhealthy transports like down replicas.
+  virtual bool Healthy() const { return true; }
+
+  /// True for transports that cross a process boundary.
+  virtual bool remote() const = 0;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_SHARD_TRANSPORT_H_

@@ -1,0 +1,176 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ppanns {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::WriteAll(const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as a Status,
+    // not kill the process with SIGPIPE.
+    const ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket write");
+    }
+    if (w == 0) return Status::IOError("socket write: connection closed");
+    sent += static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadExact(std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket read");
+    }
+    if (r == 0) return Status::IOError("socket read: connection closed");
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+void Socket::SetNoDelay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' is not host:port");
+  }
+  std::string host = endpoint.substr(0, colon);
+  const std::string port_str = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' has an invalid port");
+  }
+  if (host == "localhost") host = "127.0.0.1";
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' is not an IPv4 address");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect to " + endpoint);
+  sock.SetNoDelay();
+  return sock;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Listener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind to 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) < 0) return Errno("listen");
+
+  // Report the kernel-chosen port when the caller asked for an ephemeral one.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      sock.SetNoDelay();
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ppanns

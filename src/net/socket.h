@@ -1,0 +1,96 @@
+// Thin RAII wrappers over blocking POSIX TCP sockets — everything the RPC
+// layer needs and nothing more: connect/listen/accept, exact-length reads,
+// full-length writes, and an unblockable shutdown for clean teardown.
+//
+// Blocking sockets on pool threads (not an event loop) keep the layer small
+// and debuggable; the serving tier's concurrency comes from the ThreadPool
+// and the per-request demultiplexing in RpcChannel, not from epoll.
+
+#ifndef PPANNS_NET_SOCKET_H_
+#define PPANNS_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+/// A connected TCP stream socket. Move-only; the destructor closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `n` bytes (looping over partial writes). IOError on a closed
+  /// or failed connection; SIGPIPE is suppressed.
+  Status WriteAll(const std::uint8_t* data, std::size_t n);
+
+  /// Reads exactly `n` bytes. IOError on EOF or failure (a clean peer close
+  /// mid-message is an error at this layer — frames are never split).
+  Status ReadExact(std::uint8_t* data, std::size_t n);
+
+  /// Disables Nagle's algorithm — RPC frames are latency-sensitive and
+  /// already batched by construction.
+  void SetNoDelay();
+
+  /// Unblocks any thread stuck in ReadExact/WriteAll on this socket (they
+  /// return IOError) without racing the destructor's close.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to IPv4 `host:port` ("127.0.0.1:9000"; "localhost" resolves).
+Result<Socket> ConnectTcp(const std::string& endpoint);
+
+/// A listening TCP socket bound to 127.0.0.1 (the serving tier has no
+/// authentication layer yet, so it never listens on a public interface).
+class Listener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port, readable via port().
+  static Result<Listener> Bind(std::uint16_t port);
+
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one connection. IOError after Shutdown/Close — the accept
+  /// loop's exit signal.
+  Result<Socket> Accept();
+
+  /// Unblocks a thread stuck in Accept without closing the fd under it.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_SOCKET_H_

@@ -1,0 +1,246 @@
+#include "net/wire.h"
+
+#include <string>
+
+#include "net/frame.h"
+
+namespace ppanns {
+
+namespace {
+
+/// The highest Status::Code value the protocol can carry; a response naming
+/// anything above this was corrupted (or written by a newer peer than the
+/// negotiated version allows).
+constexpr std::uint8_t kMaxStatusCode =
+    static_cast<std::uint8_t>(Status::Code::kResourceExhausted);
+constexpr std::uint8_t kMaxEarlyExit =
+    static_cast<std::uint8_t>(EarlyExit::kBudgetExhausted);
+
+Status FromWireCode(std::uint8_t code, const std::string& message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(message);
+    case Status::Code::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case Status::Code::kInternal:
+      return Status::Internal(message);
+    case Status::Code::kIOError:
+      return Status::IOError(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+  }
+  return Status::Internal("wire: unrepresentable status code " +
+                          std::to_string(code));
+}
+
+}  // namespace
+
+// ---- HelloMessage -----------------------------------------------------------
+
+void HelloMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(magic);
+  out->Put<std::uint32_t>(version_min);
+  out->Put<std::uint32_t>(version_max);
+}
+
+Result<HelloMessage> HelloMessage::Deserialize(BinaryReader* in) {
+  HelloMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.magic));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.version_min));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.version_max));
+  if (msg.magic != kProtocolMagic) {
+    return Status::IOError("hello: bad protocol magic");
+  }
+  if (msg.version_min > msg.version_max) {
+    return Status::IOError("hello: inverted version range");
+  }
+  return msg;
+}
+
+std::size_t HelloMessage::ByteSize() const { return 3 * sizeof(std::uint32_t); }
+
+// ---- HelloOkMessage ---------------------------------------------------------
+
+void HelloOkMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(version);
+  out->Put<std::uint32_t>(num_shards);
+  out->Put<std::uint32_t>(num_replicas);
+  out->Put<std::uint64_t>(dim);
+  out->Put<std::uint8_t>(index_kind);
+  out->Put<std::uint64_t>(size);
+  out->Put<std::uint64_t>(capacity);
+  out->Put<std::uint64_t>(storage_bytes);
+  out->PutVector(served_shards);
+}
+
+Result<HelloOkMessage> HelloOkMessage::Deserialize(BinaryReader* in) {
+  HelloOkMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.version));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.num_shards));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.num_replicas));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.dim));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.index_kind));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.size));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.capacity));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.storage_bytes));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.served_shards));
+  if (msg.num_shards == 0 || msg.num_replicas == 0) {
+    return Status::IOError("hello_ok: empty topology");
+  }
+  if (msg.index_kind > static_cast<std::uint8_t>(IndexKind::kBruteForce)) {
+    return Status::IOError("hello_ok: unknown index kind " +
+                           std::to_string(msg.index_kind));
+  }
+  for (std::uint32_t s : msg.served_shards) {
+    if (s >= msg.num_shards) {
+      return Status::IOError("hello_ok: served shard " + std::to_string(s) +
+                             " outside the advertised " +
+                             std::to_string(msg.num_shards) + "-shard topology");
+    }
+  }
+  return msg;
+}
+
+std::size_t HelloOkMessage::ByteSize() const {
+  return 3 * sizeof(std::uint32_t) + sizeof(std::uint8_t) +
+         4 * sizeof(std::uint64_t) +  // dim, size, capacity, storage_bytes
+         sizeof(std::uint64_t) +      // served_shards length prefix
+         served_shards.size() * sizeof(std::uint32_t);
+}
+
+// ---- FilterRequestMessage ---------------------------------------------------
+
+void FilterRequestMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint32_t>(shard);
+  out->Put<std::uint32_t>(replica);
+  token.Serialize(out);
+  out->Put<std::uint64_t>(k_prime);
+  out->Put<std::uint64_t>(ef_search);
+  out->Put<std::uint64_t>(node_budget);
+  out->Put<std::int64_t>(deadline_budget_us);
+  out->Put<std::int64_t>(admission_floor_us);
+  out->Put<std::uint8_t>(want_dce);
+}
+
+Result<FilterRequestMessage> FilterRequestMessage::Deserialize(
+    BinaryReader* in) {
+  FilterRequestMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.shard));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.replica));
+  auto token = QueryToken::Deserialize(in);
+  if (!token.ok()) return token.status();
+  msg.token = std::move(*token);
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.k_prime));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.ef_search));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.node_budget));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.deadline_budget_us));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.admission_floor_us));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.want_dce));
+  if (msg.k_prime == 0) {
+    return Status::IOError("filter_request: k_prime must be positive");
+  }
+  if (msg.deadline_budget_us < -1) {
+    return Status::IOError("filter_request: negative deadline budget");
+  }
+  if (msg.admission_floor_us < 0) {
+    return Status::IOError("filter_request: negative admission floor");
+  }
+  return msg;
+}
+
+std::size_t FilterRequestMessage::ByteSize() const {
+  return 2 * sizeof(std::uint32_t) + token.ByteSize() +
+         3 * sizeof(std::uint64_t) + 2 * sizeof(std::int64_t) +
+         sizeof(std::uint8_t);
+}
+
+// ---- FilterResponseMessage --------------------------------------------------
+
+void FilterResponseMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint8_t>(status_code);
+  out->PutString(status_message);
+  out->Put<std::uint8_t>(scanned);
+  out->Put<std::uint8_t>(early_exit);
+  out->Put<std::uint64_t>(nodes_visited);
+  out->Put<std::uint64_t>(distance_computations);
+  out->Put<std::uint64_t>(dce_comparisons);
+  out->PutVector(candidates);
+  out->Put<std::uint64_t>(dce_block);
+  out->PutVector(dce_data);
+}
+
+Result<FilterResponseMessage> FilterResponseMessage::Deserialize(
+    BinaryReader* in) {
+  FilterResponseMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.status_code));
+  PPANNS_RETURN_IF_ERROR(in->GetString(&msg.status_message));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.scanned));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.early_exit));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.nodes_visited));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.distance_computations));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.dce_comparisons));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.candidates));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.dce_block));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.dce_data));
+  if (msg.status_code > kMaxStatusCode) {
+    return Status::IOError("filter_response: unknown status code " +
+                           std::to_string(msg.status_code));
+  }
+  if (msg.early_exit > kMaxEarlyExit) {
+    return Status::IOError("filter_response: unknown early-exit reason " +
+                           std::to_string(msg.early_exit));
+  }
+  // The DCE payload must be exactly candidates * 4 blocks; checked by
+  // division so a crafted block length cannot pass via multiply overflow.
+  if (msg.dce_block == 0) {
+    if (!msg.dce_data.empty()) {
+      return Status::IOError("filter_response: DCE payload without a block "
+                             "length");
+    }
+  } else if (msg.dce_block > kMaxFrameBytes) {
+    // Also rules out 4 * block overflowing below.
+    return Status::IOError("filter_response: implausible DCE block length " +
+                           std::to_string(msg.dce_block));
+  } else {
+    const std::size_t per_candidate = 4 * static_cast<std::size_t>(msg.dce_block);
+    if (msg.dce_data.size() % per_candidate != 0 ||
+        msg.dce_data.size() / per_candidate != msg.candidates.size()) {
+      return Status::IOError(
+          "filter_response: DCE payload shape mismatch (" +
+          std::to_string(msg.dce_data.size()) + " doubles for " +
+          std::to_string(msg.candidates.size()) + " candidates of block " +
+          std::to_string(msg.dce_block) + ")");
+    }
+  }
+  return msg;
+}
+
+std::size_t FilterResponseMessage::ByteSize() const {
+  return 3 * sizeof(std::uint8_t) +                          // code, scanned, exit
+         sizeof(std::uint64_t) + status_message.size() +     // string
+         3 * sizeof(std::uint64_t) +                         // stats
+         sizeof(std::uint64_t) + candidates.size() * sizeof(Neighbor) +
+         sizeof(std::uint64_t) +                             // dce_block
+         sizeof(std::uint64_t) + dce_data.size() * sizeof(double);
+}
+
+Status FilterResponseMessage::ToStatus() const {
+  return FromWireCode(status_code, status_message);
+}
+
+void FilterResponseMessage::SetStatus(const Status& st) {
+  status_code = static_cast<std::uint8_t>(st.code());
+  status_message = st.message();
+}
+
+}  // namespace ppanns

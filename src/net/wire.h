@@ -1,0 +1,130 @@
+// Wire messages of the shard RPC protocol — the payloads carried inside
+// net/frame.h frames.
+//
+// Every message follows the repo's serialization contract: Serialize appends
+// the exact bytes ByteSize() predicts, Deserialize consumes them with full
+// bounds/shape validation (these bytes arrive from the network). The
+// cryptographic token reuses QueryToken's own wire format; everything the
+// serving tier adds — per-RPC deadline budget, node budget, admission floor,
+// the response's SearchStats — travels here, so SearchContext semantics
+// survive the process boundary:
+//  * the gather's *absolute* deadline is rebased to a *relative*
+//    `deadline_budget_us` (clocks on two hosts share no epoch); the server
+//    re-anchors it against its own steady clock;
+//  * cancellation is a kCancel frame naming the request id; the server routes
+//    it to the scan's cancellation flag, and the response still comes back —
+//    carrying the partial SearchStats, so the gather can account the remote
+//    loser's wasted work exactly like an in-process hedge loser.
+
+#ifndef PPANNS_NET_WIRE_H_
+#define PPANNS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/search_context.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query_client.h"
+#include "crypto/dce.h"
+
+namespace ppanns {
+
+/// First bytes of every Hello: rejects a stray client that dialed the wrong
+/// port before any length field is trusted. ASCII "PPRP" (PP-ANNS RPC).
+inline constexpr std::uint32_t kProtocolMagic = 0x50525050u;
+/// Protocol versions this build can speak. The handshake intersects the
+/// client's [min, max] with the server's; an empty intersection is a clean
+/// handshake failure, not a parse error mid-stream.
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
+inline constexpr std::uint32_t kProtocolVersionMax = 1;
+
+/// Client -> server, first frame on every connection.
+struct HelloMessage {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t version_min = kProtocolVersionMin;
+  std::uint32_t version_max = kProtocolVersionMax;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<HelloMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Server -> client: the negotiated version plus the topology of the package
+/// behind this endpoint — everything the gather node needs to assemble a
+/// remote ShardedCloudServer without ever seeing the ciphertext database.
+struct HelloOkMessage {
+  std::uint32_t version = kProtocolVersionMax;  ///< chosen protocol version
+  std::uint32_t num_shards = 0;                 ///< S of the whole package
+  std::uint32_t num_replicas = 0;               ///< R per shard
+  std::uint64_t dim = 0;
+  std::uint8_t index_kind = 0;                  ///< IndexKind
+  std::uint64_t size = 0;                       ///< live vectors, all shards
+  std::uint64_t capacity = 0;                   ///< next global id
+  std::uint64_t storage_bytes = 0;
+  /// Shard ids this endpoint actually serves (a server may host a subset).
+  std::vector<std::uint32_t> served_shards;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<HelloOkMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Client -> server: one (shard, replica) filter scan.
+struct FilterRequestMessage {
+  std::uint32_t shard = 0;
+  std::uint32_t replica = 0;
+  QueryToken token;
+  std::uint64_t k_prime = 0;
+  std::uint64_t ef_search = 0;
+  std::uint64_t node_budget = 0;  ///< 0 = unlimited
+  /// Remaining wall-clock budget in microseconds at send time; -1 = no
+  /// deadline. The server re-anchors: deadline = its now() + budget.
+  std::int64_t deadline_budget_us = -1;
+  /// Admission floor in microseconds; > 0 asks the server to shed the scan
+  /// with kResourceExhausted when the budget cannot cover the floor.
+  std::int64_t admission_floor_us = 0;
+  /// Ask for the candidates' DCE ciphertexts in the response (the gather
+  /// node holds no shard data, so the refine phase needs them shipped).
+  std::uint8_t want_dce = 0;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<FilterRequestMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Server -> client: the scan's outcome. Always sent, even for a cancelled
+/// or shed scan — the Status and the partial SearchStats ride back so the
+/// gather can account remote work exactly like in-process work.
+struct FilterResponseMessage {
+  std::uint8_t status_code = 0;  ///< Status::Code; 0 = OK
+  std::string status_message;
+  std::uint8_t scanned = 0;      ///< did a filter scan actually start?
+  std::uint8_t early_exit = 0;   ///< EarlyExit of the remote scan
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t distance_computations = 0;
+  std::uint64_t dce_comparisons = 0;
+  /// Per-shard top-k' in *global* ids (the server owns the manifest slice).
+  std::vector<Neighbor> candidates;
+  /// DCE ciphertexts aligned with `candidates`, flattened as
+  /// candidates.size() * 4 * dce_block doubles; empty when want_dce was 0.
+  std::uint64_t dce_block = 0;
+  std::vector<double> dce_data;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<FilterResponseMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+
+  Status ToStatus() const;                    ///< status_code + message
+  void SetStatus(const Status& st);
+};
+
+/// kCancel frames carry no payload — the request id in the frame header
+/// names the scan to abort.
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_WIRE_H_

@@ -1,0 +1,316 @@
+// The RPC trust boundary: the frame decoder and every wire message must
+// survive arbitrary bytes off the network — truncated prefixes, hostile
+// lengths, unknown types, garbage payloads — with a clean Status, never a
+// crash, an over-read, or an unbounded allocation. Plus exact round-trip +
+// ByteSize contracts for every message type.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace ppanns {
+namespace {
+
+std::vector<std::uint8_t> Encode(const Frame& frame) {
+  BinaryWriter w;
+  EncodeFrame(frame, &w);
+  return w.buffer();
+}
+
+TEST(FrameTest, RoundTripsEveryType) {
+  for (FrameType type :
+       {FrameType::kHello, FrameType::kHelloOk, FrameType::kFilterRequest,
+        FrameType::kFilterResponse, FrameType::kCancel}) {
+    Frame in;
+    in.type = type;
+    in.request_id = 0xDEADBEEF12345678ull;
+    in.payload = {1, 2, 3, 0, 255};
+    const std::vector<std::uint8_t> bytes = Encode(in);
+
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed).ok())
+        << FrameTypeName(type);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(out.type, in.type);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.payload, in.payload);
+  }
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  const std::vector<std::uint8_t> bytes =
+      Encode(Frame{FrameType::kCancel, 7, {}});
+  EXPECT_EQ(bytes.size(), kFrameLengthBytes + kFrameFixedBytes);
+  Frame out;
+  ASSERT_TRUE(DecodeFrame(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(FrameTest, DecodeConsumesOnlyOneFrame) {
+  std::vector<std::uint8_t> bytes = Encode(Frame{FrameType::kHello, 1, {9}});
+  const std::size_t first = bytes.size();
+  const std::vector<std::uint8_t> second =
+      Encode(Frame{FrameType::kCancel, 2, {}});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  Frame out;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed).ok());
+  EXPECT_EQ(consumed, first);
+  EXPECT_EQ(out.request_id, 1u);
+}
+
+// ---- Fuzz-style table: corrupt byte strings must fail cleanly. ------------
+
+struct CorruptCase {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  Status::Code want;
+};
+
+std::vector<std::uint8_t> WithLength(std::uint32_t length,
+                                     std::vector<std::uint8_t> rest) {
+  BinaryWriter w;
+  w.Put<std::uint32_t>(length);
+  std::vector<std::uint8_t> out = w.buffer();
+  out.insert(out.end(), rest.begin(), rest.end());
+  return out;
+}
+
+TEST(FrameTest, CorruptFramesFailCleanly) {
+  const std::vector<std::uint8_t> valid =
+      Encode(Frame{FrameType::kHello, 42, {1, 2, 3}});
+
+  std::vector<CorruptCase> cases = {
+      {"empty input", {}, Status::Code::kOutOfRange},
+      {"one byte", {0x01}, Status::Code::kOutOfRange},
+      {"truncated length prefix", {0x0c, 0x00, 0x00}, Status::Code::kOutOfRange},
+      // length below the fixed minimum (type + request id = 9 bytes)
+      {"length zero", WithLength(0, {}), Status::Code::kIOError},
+      {"length eight", WithLength(8, {1, 2, 3, 4, 5, 6, 7, 8}),
+       Status::Code::kIOError},
+      // hostile length: demands a 4 GiB-ish allocation
+      {"length 0xFFFFFFFF", WithLength(0xFFFFFFFFu, {1, 2, 3}),
+       Status::Code::kIOError},
+      {"length just above cap",
+       WithLength(kMaxFrameBytes + 1, {1, 2, 3}), Status::Code::kIOError},
+      // declared length exceeds what actually arrived
+      {"truncated body", WithLength(100, {3, 1, 0, 0, 0, 0, 0, 0, 0}),
+       Status::Code::kOutOfRange},
+      // unknown / reserved frame types
+      {"type zero", WithLength(9, {0, 1, 0, 0, 0, 0, 0, 0, 0}),
+       Status::Code::kIOError},
+      {"type 6", WithLength(9, {6, 1, 0, 0, 0, 0, 0, 0, 0}),
+       Status::Code::kIOError},
+      {"type 255", WithLength(9, {255, 1, 0, 0, 0, 0, 0, 0, 0}),
+       Status::Code::kIOError},
+  };
+  // Every truncation of a valid frame must fail (never over-read).
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    cases.push_back({"valid frame truncated",
+                     {valid.begin(), valid.begin() + cut},
+                     Status::Code::kOutOfRange});
+  }
+
+  for (const CorruptCase& c : cases) {
+    Frame out;
+    std::size_t consumed = 999;
+    const Status st =
+        DecodeFrame(c.bytes.data(), c.bytes.size(), &out, &consumed);
+    EXPECT_EQ(st.code(), c.want) << c.name << ": " << st.ToString();
+  }
+}
+
+TEST(FrameTest, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(0xF12A);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = rng.NextUint64() % 64;
+    std::vector<std::uint8_t> bytes(n);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextUint64());
+    Frame out;
+    // Random ≤64-byte strings essentially never form a valid frame (the
+    // type byte must be 1..5 and the length must match exactly); either way
+    // the decoder must return, not crash.
+    DecodeFrame(bytes.data(), bytes.size(), &out);
+  }
+}
+
+// ---- Wire messages: round-trip + exact ByteSize for every type. -----------
+
+template <typename M>
+void ExpectRoundTrip(const M& in, const std::function<void(const M&, const M&)>& check) {
+  BinaryWriter w;
+  in.Serialize(&w);
+  EXPECT_EQ(w.buffer().size(), in.ByteSize());
+  BinaryReader r(w.buffer());
+  auto out = M::Deserialize(&r);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  check(in, *out);
+}
+
+TEST(WireTest, HelloRoundTrip) {
+  HelloMessage in;
+  in.version_min = 1;
+  in.version_max = 9;
+  ExpectRoundTrip<HelloMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.magic, a.magic);
+    EXPECT_EQ(b.version_min, a.version_min);
+    EXPECT_EQ(b.version_max, a.version_max);
+  });
+}
+
+TEST(WireTest, HelloRejectsBadMagic) {
+  HelloMessage in;
+  in.magic = 0x12345678;
+  BinaryWriter w;
+  in.Serialize(&w);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(HelloMessage::Deserialize(&r).ok());
+}
+
+TEST(WireTest, HelloOkRoundTrip) {
+  HelloOkMessage in;
+  in.version = 1;
+  in.num_shards = 4;
+  in.num_replicas = 2;
+  in.dim = 128;
+  in.index_kind = 3;
+  in.size = 100000;
+  in.capacity = 100007;
+  in.storage_bytes = 1234567890;
+  in.served_shards = {0, 2};
+  ExpectRoundTrip<HelloOkMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.version, a.version);
+    EXPECT_EQ(b.num_shards, a.num_shards);
+    EXPECT_EQ(b.num_replicas, a.num_replicas);
+    EXPECT_EQ(b.dim, a.dim);
+    EXPECT_EQ(b.index_kind, a.index_kind);
+    EXPECT_EQ(b.size, a.size);
+    EXPECT_EQ(b.capacity, a.capacity);
+    EXPECT_EQ(b.storage_bytes, a.storage_bytes);
+    EXPECT_EQ(b.served_shards, a.served_shards);
+  });
+}
+
+TEST(WireTest, FilterRequestRoundTrip) {
+  FilterRequestMessage in;
+  in.shard = 3;
+  in.replica = 1;
+  in.token.sap = {1.5f, -2.25f, 0.0f, 42.0f};
+  in.token.trapdoor.data = {0.5, -0.125, 3.75};
+  in.k_prime = 40;
+  in.ef_search = 160;
+  in.node_budget = 5000;
+  in.deadline_budget_us = 250000;
+  in.admission_floor_us = 1000;
+  in.want_dce = 1;
+  ExpectRoundTrip<FilterRequestMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.shard, a.shard);
+    EXPECT_EQ(b.replica, a.replica);
+    EXPECT_EQ(b.token.sap, a.token.sap);
+    EXPECT_EQ(b.token.trapdoor.data, a.token.trapdoor.data);
+    EXPECT_EQ(b.k_prime, a.k_prime);
+    EXPECT_EQ(b.ef_search, a.ef_search);
+    EXPECT_EQ(b.node_budget, a.node_budget);
+    EXPECT_EQ(b.deadline_budget_us, a.deadline_budget_us);
+    EXPECT_EQ(b.admission_floor_us, a.admission_floor_us);
+    EXPECT_EQ(b.want_dce, a.want_dce);
+  });
+}
+
+TEST(WireTest, FilterRequestNoDeadlineRoundTrips) {
+  FilterRequestMessage in;  // deadline_budget_us defaults to -1
+  in.token.sap = {1.0f};
+  in.token.trapdoor.data = {2.0};
+  in.k_prime = 4;
+  ExpectRoundTrip<FilterRequestMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.deadline_budget_us, -1);
+    EXPECT_EQ(b.deadline_budget_us, a.deadline_budget_us);
+  });
+}
+
+TEST(WireTest, FilterResponseRoundTrip) {
+  FilterResponseMessage in;
+  in.SetStatus(Status::ResourceExhausted("shed"));
+  in.scanned = 1;
+  in.early_exit = 2;
+  in.nodes_visited = 777;
+  in.distance_computations = 888;
+  in.dce_comparisons = 99;
+  in.candidates = {{5, 1.25f}, {9, 2.5f}, {1, 3.0f}};
+  in.dce_block = 2;
+  in.dce_data = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0,
+                 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+                 17.0, 18.0, 19.0, 20.0, 21.0, 22.0, 23.0, 24.0};
+  ExpectRoundTrip<FilterResponseMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.status_code, a.status_code);
+    EXPECT_EQ(b.status_message, a.status_message);
+    EXPECT_EQ(b.ToStatus().code(), Status::Code::kResourceExhausted);
+    EXPECT_EQ(b.scanned, a.scanned);
+    EXPECT_EQ(b.early_exit, a.early_exit);
+    EXPECT_EQ(b.nodes_visited, a.nodes_visited);
+    EXPECT_EQ(b.distance_computations, a.distance_computations);
+    EXPECT_EQ(b.dce_comparisons, a.dce_comparisons);
+    EXPECT_EQ(b.candidates, a.candidates);
+    EXPECT_EQ(b.dce_block, a.dce_block);
+    EXPECT_EQ(b.dce_data, a.dce_data);
+  });
+}
+
+TEST(WireTest, TruncatedMessagesFailCleanly) {
+  FilterRequestMessage req;
+  req.token.sap = {1.0f, 2.0f};
+  req.token.trapdoor.data = {3.0};
+  BinaryWriter w;
+  req.Serialize(&w);
+  for (std::size_t cut = 0; cut < w.buffer().size(); ++cut) {
+    BinaryReader r(w.buffer().data(), cut);
+    EXPECT_FALSE(FilterRequestMessage::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+
+  FilterResponseMessage resp;
+  resp.candidates = {{1, 1.0f}};
+  BinaryWriter w2;
+  resp.Serialize(&w2);
+  for (std::size_t cut = 0; cut < w2.buffer().size(); ++cut) {
+    BinaryReader r(w2.buffer().data(), cut);
+    EXPECT_FALSE(FilterResponseMessage::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, RandomPayloadsNeverCrashMessageParsers) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = rng.NextUint64() % 128;
+    std::vector<std::uint8_t> bytes(n);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextUint64());
+    {
+      BinaryReader r(bytes);
+      HelloMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      HelloOkMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      FilterRequestMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      FilterResponseMessage::Deserialize(&r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -1,0 +1,367 @@
+// The distributed serving tier over a real loopback socket: a gather node
+// assembled from RemoteShardClient stubs must behave exactly like the
+// in-process ShardedCloudServer — identical result ids, the same deadline /
+// cancellation / admission / hedging semantics — with the process boundary
+// observable only as latency.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/search_context.h"
+#include "core/data_owner.h"
+#include "core/ppanns_service.h"
+#include "core/query_client.h"
+#include "core/sharded_cloud_server.h"
+#include "datagen/synthetic.h"
+#include "net/frame.h"
+#include "net/remote_shard.h"
+#include "net/shard_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace ppanns {
+namespace {
+
+constexpr std::size_t kDim = 16;
+
+PpannsParams BaseParams(IndexKind kind, std::uint32_t num_shards,
+                        std::uint32_t num_replicas, std::uint64_t seed) {
+  PpannsParams params;
+  params.dcpe_beta = 1.0;
+  params.dce_scale_hint = 4.0;
+  params.index_kind = kind;
+  params.hnsw = HnswParams{.m = 8, .ef_construction = 80, .seed = seed};
+  params.num_shards = num_shards;
+  params.num_replicas = num_replicas;
+  params.seed = seed;
+  return params;
+}
+
+DataOwner MakeOwner(const PpannsParams& params) {
+  auto owner = DataOwner::Create(kDim, params);
+  PPANNS_CHECK(owner.ok());
+  return std::move(*owner);
+}
+
+Dataset MakeData(std::size_t n, std::size_t nq, std::uint64_t seed) {
+  return MakeDataset(SyntheticKind::kGloveLike, n, nq, /*gt_k=*/0, seed, kDim);
+}
+
+std::vector<QueryToken> MakeTokens(const DataOwner& owner, const Dataset& ds,
+                                   std::uint64_t seed) {
+  QueryClient client(owner.ShareKeys(), seed);
+  std::vector<QueryToken> tokens;
+  tokens.reserve(ds.queries.size());
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    tokens.push_back(client.EncryptQuery(ds.queries.row(i)));
+  }
+  return tokens;
+}
+
+std::string Endpoint(const ShardServer& server) {
+  return "127.0.0.1:" + std::to_string(server.port());
+}
+
+/// One in-process gather and one socket-backed gather over byte-identical
+/// packages (same seed → bit-identical SAP streams, like the sharded suite's
+/// flat-vs-sharded equivalence): the remote side is a ShardServer hosting
+/// every shard, dialed through ConnectShardedService on loopback.
+struct Loopback {
+  Loopback(IndexKind kind, std::uint32_t num_shards, std::uint32_t num_replicas,
+           const Dataset& ds, std::uint64_t seed) {
+    DataOwner local_owner = MakeOwner(BaseParams(kind, num_shards,
+                                                 num_replicas, seed));
+    owner = std::make_unique<DataOwner>(
+        MakeOwner(BaseParams(kind, num_shards, num_replicas, seed)));
+    local = std::make_unique<PpannsService>(
+        ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base)));
+    backend = std::make_unique<ShardedCloudServer>(
+        owner->EncryptAndIndexSharded(ds.base));
+    server = std::make_unique<ShardServer>(backend.get(),
+                                           std::vector<std::uint32_t>{});
+    PPANNS_CHECK(server->Start(0).ok());
+    auto connected = ConnectShardedService({Endpoint(*server)});
+    PPANNS_CHECK(connected.ok());
+    remote = std::make_unique<PpannsService>(std::move(*connected));
+  }
+
+  std::unique_ptr<DataOwner> owner;  ///< key authority for the token stream
+  std::unique_ptr<PpannsService> local;
+  std::unique_ptr<ShardedCloudServer> backend;  ///< behind the socket
+  std::unique_ptr<ShardServer> server;
+  std::unique_ptr<PpannsService> remote;
+};
+
+class RemoteEquivalenceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+// The acceptance bar: with the exact filter backend the socket-backed gather
+// returns the identical ids as the in-process gather for every query — sync
+// and hedged-async both — and the handshake snapshot reproduces the package
+// topology.
+TEST_P(RemoteEquivalenceTest, RemoteGatherMatchesInProcessExactly) {
+  const std::uint32_t num_shards = GetParam();
+  const std::size_t n = 400, nq = 12, k = 8;
+  const Dataset ds = MakeData(n, nq, /*seed=*/21);
+  Loopback lb(IndexKind::kBruteForce, num_shards, /*num_replicas=*/2, ds, 21);
+
+  EXPECT_EQ(lb.remote->num_shards(), num_shards);
+  EXPECT_EQ(lb.remote->num_replicas(), 2u);
+  EXPECT_EQ(lb.remote->size(), n);
+  EXPECT_EQ(lb.remote->dim(), kDim);
+  EXPECT_EQ(lb.remote->index_kind(), IndexKind::kBruteForce);
+  EXPECT_TRUE(lb.remote->sharded());
+  EXPECT_TRUE(lb.remote->sharded_server().remote());
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 33);
+  const SearchSettings settings{.k_prime = 4 * k};
+  for (const QueryToken& token : tokens) {
+    auto l = lb.local->Search(token, k, settings);
+    auto r = lb.remote->Search(token, k, settings);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+    EXPECT_EQ(r->counters.filter_candidates, l->counters.filter_candidates);
+
+    auto h = lb.remote->SearchAsync(token, k, settings, AsyncOptions{});
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_EQ(h->ids, l->ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, RemoteEquivalenceTest,
+                         ::testing::Values(2u, 4u));
+
+// A topology split across two endpoints (one server per shard) assembles
+// into the same gather; an endpoint set that leaves a shard unserved is a
+// clean FailedPrecondition at connect time, not a runtime surprise.
+TEST(RemoteTopologyTest, TwoEndpointsAssembleAndGapsAreRejected) {
+  const std::size_t n = 300, nq = 8, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/23);
+  DataOwner local_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 23));
+  DataOwner remote_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 23));
+  PpannsService local{
+      ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base))};
+  ShardedCloudServer backend(remote_owner.EncryptAndIndexSharded(ds.base));
+
+  ShardServer server0(&backend, {0});
+  ShardServer server1(&backend, {1});
+  ASSERT_TRUE(server0.Start(0).ok());
+  ASSERT_TRUE(server1.Start(0).ok());
+
+  // Shard 1 has no endpoint: refused up front.
+  auto gap = ConnectShardedService({Endpoint(server0)});
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), Status::Code::kFailedPrecondition);
+
+  auto full = ConnectShardedService({Endpoint(server0), Endpoint(server1)});
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  PpannsService remote{std::move(*full)};
+
+  const std::vector<QueryToken> tokens = MakeTokens(local_owner, ds, 35);
+  for (const QueryToken& token : tokens) {
+    auto l = local.Search(token, k);
+    auto r = remote.Search(token, k);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+  }
+}
+
+// The gather's absolute deadline crosses the wire as a relative budget; a
+// server stuck in an injected delay overruns it and the facade reports
+// kDeadlineExceeded — same contract as the in-process path.
+TEST(RemoteDeadlineTest, InjectedDelayTripsTheDeadlineAtTheGather) {
+  const Dataset ds = MakeData(300, 2, /*seed=*/25);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 25);
+  lb.server->set_scan_delay_ms(2000);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 37);
+  const SearchSettings settings{.k_prime = 20, .deadline_ms = 50.0};
+  const auto start = std::chrono::steady_clock::now();
+  auto r = lb.remote->Search(tokens.front(), 5, settings);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kDeadlineExceeded)
+      << r.status().ToString();
+  // The remote scan parked in a 2 s delay; the deadline must cut through it
+  // (the budget is rebased server-side and probed inside the delay loop).
+  EXPECT_LT(elapsed_ms, 1500.0);
+}
+
+// A caller-raised cancellation flag propagates as a kCancel frame: the
+// remote scan aborts inside its injected delay with zero filter progress,
+// and the gather returns the partial result promptly.
+TEST(RemoteCancelTest, CancelAbortsTheRemoteScanWithZeroProgress) {
+  const Dataset ds = MakeData(300, 2, /*seed=*/27);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 27);
+  lb.server->set_scan_delay_ms(4000);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 39);
+  std::atomic<bool> cancel{false};
+  SearchContext ctx;
+  ctx.AddCancelFlag(&cancel);
+
+  Result<SearchResult> result = Status::Internal("not run");
+  const auto start = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    result = lb.remote->Search(tokens.front(), 5, SearchSettings{.k_prime = 20},
+                               &ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cancel.store(true, std::memory_order_release);
+  worker.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->counters.early_exit, EarlyExit::kCancelled);
+  // Zero progress after CANCEL: the scan died inside the delay, before
+  // scoring a single row — and the wire carried that zero back.
+  EXPECT_EQ(result->counters.nodes_visited, 0u);
+  EXPECT_LT(elapsed_ms, 3000.0);
+}
+
+// Load shedding: a query whose remaining deadline budget is below the
+// admission floor is refused with kResourceExhausted before any scan work,
+// identically over both topologies.
+TEST(RemoteAdmissionTest, BudgetBelowFloorIsShedOnBothTopologies) {
+  const Dataset ds = MakeData(300, 2, /*seed=*/29);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 29);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 41);
+  const SearchSettings shed{
+      .k_prime = 20, .deadline_ms = 5.0, .admission_ms = 50.0};
+  for (PpannsService* service : {lb.local.get(), lb.remote.get()}) {
+    auto r = service->Search(tokens.front(), 5, shed);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted)
+        << r.status().ToString();
+  }
+  // A comfortable budget passes the same floor.
+  const SearchSettings pass{
+      .k_prime = 20, .deadline_ms = 5000.0, .admission_ms = 50.0};
+  auto ok = lb.remote->Search(tokens.front(), 5, pass);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// Hedging across the socket: a delayed replica misses hedge_ms, the gather
+// escalates to the next replica of the same shard through its own channel,
+// and the winner's ids match the healthy in-process answer.
+TEST(RemoteHedgingTest, DelayedReplicaIsHedgedOverTheWire) {
+  const Dataset ds = MakeData(400, 6, /*seed=*/31);
+  Loopback lb(IndexKind::kBruteForce, 2, /*num_replicas=*/2, ds, 31);
+  // Replica (0,0) is a straggler on the server side; the gather only sees
+  // the latency.
+  lb.backend->SetReplicaDelayMs(0, 0, 500);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 43);
+  const SearchSettings settings{.k_prime = 20};
+  AsyncOptions async;
+  async.hedge_ms = 25.0;
+
+  std::size_t hedged = 0;
+  for (const QueryToken& token : tokens) {
+    auto l = lb.local->Search(token, 5, settings);
+    const auto start = std::chrono::steady_clock::now();
+    auto r = lb.remote->SearchAsync(token, 5, settings, async);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+    hedged += r->counters.hedged_requests;
+    // The hedge must hide the 500 ms straggler (generous bound — CI is slow).
+    EXPECT_LT(elapsed_ms, 450.0);
+  }
+  EXPECT_GT(hedged, 0u);
+}
+
+// Failover: marking a replica down at the gather reroutes its shard to the
+// next replica over the same connection — ids unchanged, skip accounted.
+TEST(RemoteFailoverTest, DownReplicaFailsOverWithIdenticalIds) {
+  const Dataset ds = MakeData(300, 6, /*seed=*/33);
+  Loopback lb(IndexKind::kBruteForce, 2, /*num_replicas=*/2, ds, 33);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 45);
+  std::vector<std::vector<VectorId>> healthy;
+  for (const QueryToken& token : tokens) {
+    auto r = lb.remote->Search(token, 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    healthy.push_back(r->ids);
+  }
+  lb.remote->sharded_server_mutable().SetReplicaDown(0, 0, true);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    auto r = lb.remote->Search(tokens[i], 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, healthy[i]);
+    EXPECT_FALSE(r->partial);
+    EXPECT_GE(r->counters.replicas_skipped, 1u);
+  }
+}
+
+// Maintenance does not cross the RPC boundary: the gather holds no shard
+// data, so Insert/Delete on a remote service are refused outright.
+TEST(RemoteMutationTest, InsertAndDeleteAreNotSupported) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/35);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 35);
+
+  auto ins = lb.remote->Insert(EncryptedVector{});
+  ASSERT_FALSE(ins.ok());
+  EXPECT_EQ(ins.status().code(), Status::Code::kNotSupported);
+  Status del = lb.remote->Delete(0);
+  EXPECT_EQ(del.code(), Status::Code::kNotSupported);
+}
+
+// A client whose version range does not intersect the server's is dropped at
+// the handshake — the connection closes instead of ever parsing requests.
+TEST(RemoteHandshakeTest, DisjointVersionRangeClosesTheConnection) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/37);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 37);
+
+  auto sock = ConnectTcp(Endpoint(*lb.server));
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  HelloMessage hello;
+  hello.version_min = kProtocolVersionMax + 1;
+  hello.version_max = kProtocolVersionMax + 7;
+  BinaryWriter payload;
+  hello.Serialize(&payload);
+  BinaryWriter frame;
+  EncodeFrame(Frame{FrameType::kHello, 1, payload.TakeBuffer()}, &frame);
+  ASSERT_TRUE(
+      sock->WriteAll(frame.buffer().data(), frame.buffer().size()).ok());
+  Frame reply;
+  EXPECT_FALSE(ReadFrame(&*sock, &reply).ok());  // server hung up, no HelloOk
+}
+
+// A first frame that is not a Hello is equally fatal.
+TEST(RemoteHandshakeTest, NonHelloFirstFrameClosesTheConnection) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/39);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 39);
+
+  auto sock = ConnectTcp(Endpoint(*lb.server));
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  BinaryWriter frame;
+  EncodeFrame(Frame{FrameType::kCancel, 1, {}}, &frame);
+  ASSERT_TRUE(
+      sock->WriteAll(frame.buffer().data(), frame.buffer().size()).ok());
+  Frame reply;
+  EXPECT_FALSE(ReadFrame(&*sock, &reply).ok());
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -4,9 +4,10 @@
 #  1. Every relative markdown link in README.md and docs/*.md must resolve
 #     to an existing file or directory.
 #  2. The CLI surface and its documentation must stay in sync, both ways:
-#     every flag tools/ppanns_cli.cc parses appears in README.md, and every
-#     --flag README.md documents is parsed by the CLI (so the quickstart
-#     can never drift from the binary).
+#     every flag the CLI binaries (tools/ppanns_cli.cc and
+#     tools/ppanns_shard_server.cc) parse appears in README.md, and every
+#     --flag README.md documents is parsed by one of them (so the
+#     quickstart can never drift from the binaries).
 #
 # Plain grep/sed on purpose: no dependencies beyond coreutils.
 
@@ -31,13 +32,13 @@ for md in README.md docs/*.md; do
 done
 
 # ---- 2. CLI flags <-> README sync ------------------------------------------
-cli=tools/ppanns_cli.cc
-cli_flags=$(grep -oE '(GetString|GetSize|GetDouble|GetBool|Require)\("[a-z][a-z-]*"' "$cli" |
+cli_binaries="tools/ppanns_cli.cc tools/ppanns_shard_server.cc"
+cli_flags=$(grep -hoE '(GetString|GetSize|GetDouble|GetBool|Require)\("[a-z][a-z-]*"' $cli_binaries |
   sed 's/.*("//; s/"//' | sort -u)
 
 for flag in $cli_flags; do
   if ! grep -q -- "--$flag" README.md; then
-    echo "UNDOCUMENTED CLI FLAG: --$flag (parsed by $cli, absent from README.md)"
+    echo "UNDOCUMENTED CLI FLAG: --$flag (parsed by a CLI binary, absent from README.md)"
     fail=1
   fi
 done
@@ -50,7 +51,7 @@ for flag in $readme_flags; do
     build | target | output-on-failure) continue ;;
   esac
   if ! printf '%s\n' "$cli_flags" | grep -qx "$flag"; then
-    echo "STALE README FLAG: --$flag (documented but not parsed by $cli)"
+    echo "STALE README FLAG: --$flag (documented but parsed by no CLI binary)"
     fail=1
   fi
 done

@@ -12,11 +12,13 @@
 // keys.bin is the owner/user secret (never give it to the cloud);
 // db.ppanns is the outsourced package (safe to hand to the cloud).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/io.h"
 #include "common/timer.h"
@@ -26,6 +28,7 @@
 #include "core/sharded_database.h"
 #include "datagen/synthetic.h"
 #include "index/secure_filter_index.h"
+#include "net/remote_shard.h"
 
 namespace {
 
@@ -110,8 +113,13 @@ int Usage() {
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
                "[--k K] [--kprime KP] [--ef EF]\n"
                "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
-               "[--index KIND] [--out results.txt]\n"
-               "  info    --db db.ppanns\n");
+               "[--admission-ms MS] [--index KIND] [--out results.txt]\n"
+               "          [--connect HOST:PORT,...] [--down S:R,...] "
+               "[--json F.json]\n"
+               "  info    --db db.ppanns\n"
+               "search serves from --db in-process, or — with --connect — "
+               "acts as the\ngather node over ppanns_shard_server endpoints "
+               "(--db is then unused).\n");
   return 2;
 }
 
@@ -280,24 +288,67 @@ Result<PpannsService> LoadService(const std::vector<std::uint8_t>& blob) {
   return PpannsService{CloudServer(std::move(*db))};
 }
 
+std::vector<std::string> SplitComma(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
 int CmdSearch(const Args& args) {
-  if (!args.Require("keys") || !args.Require("db") || !args.Require("queries")) return 2;
+  const std::string connect = args.GetString("connect");
+  if (!args.Require("keys") || !args.Require("queries")) return 2;
+  if (connect.empty() && !args.Require("db")) return 2;
   auto keys = LoadKeys(args.GetString("keys"));
   if (!keys.ok()) {
     std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
     return 1;
   }
-  auto blob = ReadFile(args.GetString("db"));
-  if (!blob.ok()) {
-    std::fprintf(stderr, "db: %s\n", blob.status().ToString().c_str());
-    return 1;
-  }
-  auto service_or = LoadService(*blob);
+  // --connect makes this process the gather node of a distributed topology:
+  // every endpoint is a ppanns_shard_server and the filter phase crosses the
+  // wire. Without it the package is loaded and served in-process.
+  auto service_or = [&]() -> Result<PpannsService> {
+    if (!connect.empty()) {
+      auto remote = ConnectShardedService(SplitComma(connect));
+      if (!remote.ok()) return remote.status();
+      return PpannsService{std::move(*remote)};
+    }
+    auto blob = ReadFile(args.GetString("db"));
+    if (!blob.ok()) return blob.status();
+    return LoadService(*blob);
+  }();
   if (!service_or.ok()) {
-    std::fprintf(stderr, "db: %s\n", service_or.status().ToString().c_str());
+    std::fprintf(stderr, "%s: %s\n", connect.empty() ? "db" : "connect",
+                 service_or.status().ToString().c_str());
     return 1;
   }
   PpannsService service = std::move(*service_or);
+
+  // --down S:R,... marks gather-side replicas down before any query runs —
+  // the failover/hedging machinery then routes around them, in-process and
+  // remote alike (failover is a gather-node decision).
+  const std::string down = args.GetString("down");
+  if (!down.empty()) {
+    if (!service.sharded()) {
+      std::fprintf(stderr, "--down requires a sharded database\n");
+      return 2;
+    }
+    for (const std::string& item : SplitComma(down)) {
+      std::size_t s = 0, r = 0;
+      if (std::sscanf(item.c_str(), "%zu:%zu", &s, &r) != 2 ||
+          s >= service.num_shards() || r >= service.num_replicas()) {
+        std::fprintf(stderr, "--down: bad replica '%s'\n", item.c_str());
+        return 2;
+      }
+      service.sharded_server_mutable().SetReplicaDown(s, r, true);
+    }
+  }
+
   auto queries = ReadFvecs(args.GetString("queries"));
   if (!queries.ok()) {
     std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
@@ -333,7 +384,11 @@ int CmdSearch(const Args& args) {
                           // --deadline-ms bounds every query's wall time;
                           // an expired deadline comes back as a
                           // DEADLINE_EXCEEDED error, not truncated ids.
-                          .deadline_ms = args.GetDouble("deadline-ms", 0.0)};
+                          .deadline_ms = args.GetDouble("deadline-ms", 0.0),
+                          // --admission-ms sheds queries whose remaining
+                          // deadline budget is below the floor with
+                          // RESOURCE_EXHAUSTED before any shard work starts.
+                          .admission_ms = args.GetDouble("admission-ms", 0.0)};
   // --hedge-ms switches serving to the hedged path: work items missing the
   // deadline are re-dispatched onto the shard's next-best replica. Applies
   // to per-query serving and, since the hedged batch scatter, to --batch.
@@ -394,16 +449,22 @@ int CmdSearch(const Args& args) {
     }
   } else {
     std::size_t hedged = 0;
+    std::size_t wasted_nodes = 0;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(queries->size());
     for (std::size_t i = 0; i < queries->size(); ++i) {
       QueryToken token = client.EncryptQuery(queries->row(i));
+      Timer per_query;
       auto result = hedge_ms > 0.0 ? service.SearchAsync(token, k, settings, async)
                                    : service.Search(token, k, settings);
+      latencies_ms.push_back(per_query.ElapsedSeconds() * 1e3);
       if (!result.ok()) {
         std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
         exit_code = 1;
         break;
       }
       hedged += result->counters.hedged_requests;
+      wasted_nodes += result->counters.hedge_wasted_nodes;
       if (result->partial) {
         std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no live "
                      "replica)\n", i);
@@ -425,6 +486,39 @@ int CmdSearch(const Args& args) {
       if (hedge_ms > 0.0) {
         std::fprintf(stderr, "async: hedge deadline %.1f ms, %zu hedged "
                      "request(s)\n", hedge_ms, hedged);
+      }
+    }
+    // --json: the fig11-style latency artifact (works identically in-process
+    // and over --connect, which is exactly what the multi-process smoke run
+    // diffs).
+    const std::string json_path = args.GetString("json");
+    if (exit_code == 0 && !json_path.empty()) {
+      std::vector<double> sorted = latencies_ms;
+      std::sort(sorted.begin(), sorted.end());
+      auto pct = [&sorted](double p) {
+        if (sorted.empty()) return 0.0;
+        const std::size_t idx = static_cast<std::size_t>(
+            p * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(idx, sorted.size() - 1)];
+      };
+      std::FILE* jf = std::fopen(json_path.c_str(), "w");
+      if (jf == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        exit_code = 1;
+      } else {
+        std::fprintf(jf,
+                     "{\n  \"mode\": \"%s\",\n  \"hedge_ms\": %.3f,\n"
+                     "  \"queries\": %zu,\n  \"p50_ms\": %.3f,\n"
+                     "  \"p99_ms\": %.3f,\n  \"hedged_requests\": %zu,\n"
+                     "  \"hedge_wasted_nodes\": %zu,\n  \"latencies_ms\": [",
+                     connect.empty() ? "local" : "remote", hedge_ms,
+                     latencies_ms.size(), pct(0.50), pct(0.99), hedged,
+                     wasted_nodes);
+        for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
+          std::fprintf(jf, "%s%.3f", i == 0 ? "" : ", ", latencies_ms[i]);
+        }
+        std::fprintf(jf, "]\n}\n");
+        std::fclose(jf);
       }
     }
   }

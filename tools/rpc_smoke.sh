@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Multi-process RPC smoke, run by the CI rpc-smoke job (and locally:
+# tools/rpc_smoke.sh [build-dir]).
+#
+# Splits a sharded+replicated package across two ppanns_shard_server
+# processes on loopback and asserts the distributed-tier acceptance bar:
+#
+#  1. `search --connect` returns byte-identical ids to serving the same
+#     package in-process (sync and hedged).
+#  2. With a 200 ms straggler injected on replica (1,0), the hedged run
+#     completes with hedges fired — the fig11-over-sockets shape — and its
+#     --json latency sidecar lands at $SMOKE_JSON for the CI artifact.
+
+set -eu
+BUILD=${1:-build}
+SMOKE_JSON=${SMOKE_JSON:-fig11_sockets.json}
+CLI=$BUILD/ppanns_cli
+SRV=$BUILD/ppanns_shard_server
+
+TMP=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046  # word-splitting the pid list is the point
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== dataset + keys + sharded package"
+"$CLI" synth --kind sift --n 3000 --queries 20 \
+  --out "$TMP/base.fvecs" --qout "$TMP/q.fvecs"
+"$CLI" keygen --dim 128 --beta 8 --scale 500 --out "$TMP/keys.bin"
+"$CLI" encrypt --keys "$TMP/keys.bin" --input "$TMP/base.fvecs" \
+  --out "$TMP/db.ppanns" --index hnsw --shards 2 --replicas 2
+
+echo "== in-process baseline"
+"$CLI" search --keys "$TMP/keys.bin" --db "$TMP/db.ppanns" \
+  --queries "$TMP/q.fvecs" --k 10 --out "$TMP/local.txt"
+
+# Ephemeral ports: each server prints "listening on port N" once bound.
+wait_port() {
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$1")
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "server never printed its port (log: $1)" >&2
+  return 1
+}
+
+echo "== two shard servers on loopback (straggler on replica (1,0))"
+"$SRV" --db "$TMP/db.ppanns" --port 0 --shards 0 >"$TMP/srv0.log" 2>&1 &
+"$SRV" --db "$TMP/db.ppanns" --port 0 --shards 1 --delay 1:0:200 \
+  >"$TMP/srv1.log" 2>&1 &
+PORT0=$(wait_port "$TMP/srv0.log")
+PORT1=$(wait_port "$TMP/srv1.log")
+CONNECT="127.0.0.1:$PORT0,127.0.0.1:$PORT1"
+echo "   endpoints: $CONNECT"
+
+echo "== id-equality: sync gather over sockets vs in-process"
+"$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
+  --connect "$CONNECT" --out "$TMP/remote.txt"
+diff "$TMP/local.txt" "$TMP/remote.txt"
+echo "   identical"
+
+echo "== fig11 over sockets: hedged gather hides the straggler"
+"$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
+  --connect "$CONNECT" --hedge-ms 20 \
+  --out "$TMP/hedged.txt" --json "$SMOKE_JSON"
+diff "$TMP/local.txt" "$TMP/hedged.txt"
+echo "   identical"
+
+grep -q '"mode": "remote"' "$SMOKE_JSON"
+# The delayed replica must have missed the 20 ms hedge deadline at least
+# once across 20 queries.
+if grep -q '"hedged_requests": 0,' "$SMOKE_JSON"; then
+  echo "FAIL: no hedges fired against a 200 ms straggler" >&2
+  cat "$SMOKE_JSON" >&2
+  exit 1
+fi
+echo "== rpc smoke OK ($SMOKE_JSON)"
