@@ -7,6 +7,11 @@
 #include <cstdint>
 #include <vector>
 
+// SquaredL2 / InnerProduct (float and double) are defined by the
+// runtime-dispatched distance-kernel layer; types.h re-exports them so every
+// existing call site keeps compiling against one header.
+#include "linalg/kernels.h"
+
 namespace ppanns {
 
 /// Identifier of a database vector. Dense in [0, n).
@@ -92,34 +97,36 @@ class FloatMatrix {
   std::vector<float> data_;
 };
 
-/// Squared Euclidean distance between two d-dimensional float vectors.
-inline float SquaredL2(const float* a, const float* b, std::size_t d) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  std::size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  float acc = acc0 + acc1 + acc2 + acc3;
-  for (; i < d; ++i) {
-    const float di = a[i] - b[i];
-    acc += di * di;
-  }
-  return acc;
-}
+/// Non-owning view of n d-dimensional float rows laid out `base + i*stride`.
+///
+/// Generalizes FloatMatrix for bulk-build consumers: a round-robin shard
+/// partition of a SAP matrix is just a RowView with `base = sap.row(s)` and
+/// `stride = num_shards * dim`, so the sharded parallel build reads shard
+/// rows in place instead of materializing a per-shard copy (~2x peak SAP
+/// memory). Implicitly constructible from FloatMatrix (stride == dim), so
+/// every existing dense call site keeps working unchanged.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const float* base, std::size_t n, std::size_t dim,
+          std::size_t stride)
+      : base_(base), n_(n), dim_(dim), stride_(stride) {}
+  /*implicit*/ RowView(const FloatMatrix& m)
+      : base_(m.data().data()), n_(m.size()), dim_(m.dim()), stride_(m.dim()) {}
 
-/// Inner product between two d-dimensional float vectors.
-inline float InnerProduct(const float* a, const float* b, std::size_t d) {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < d; ++i) acc += a[i] * b[i];
-  return acc;
-}
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return n_ == 0; }
+
+  const float* row(std::size_t i) const { return base_ + i * stride_; }
+
+ private:
+  const float* base_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t stride_ = 0;
+};
 
 }  // namespace ppanns
 

@@ -48,9 +48,26 @@ SearchResult CloudServer::Search(const QueryToken& token, std::size_t k,
     ++*comparisons;
     return DceScheme::Closer(db_.dce[a], db_.dce[b], token.trapdoor);
   });
-  for (const Neighbor& cand : candidates) {
-    if (ctx->ShouldAbandon()) break;
-    heap.Offer(cand.id);
+  // Blocked offers: gather a block of candidates and prefetch their DCE
+  // ciphertext payloads, then run the comparison-heavy offers over warm
+  // lines. Offers apply in candidate order, so ids match the unblocked loop;
+  // the abandon probe keeps candidate granularity (it runs as each candidate
+  // is gathered).
+  VectorId block[kKernelBlock];
+  std::size_t ci = 0;
+  bool abandoned = false;
+  while (ci < candidates.size() && !abandoned) {
+    std::size_t bn = 0;
+    for (; ci < candidates.size() && bn < kKernelBlock; ++ci) {
+      if (ctx->ShouldAbandon()) {
+        abandoned = true;
+        break;
+      }
+      const VectorId id = candidates[ci].id;
+      PrefetchRead(db_.dce[id].data.data());
+      block[bn++] = id;
+    }
+    heap.OfferBatch(block, bn);
   }
   result.ids = heap.ExtractSorted();
   result.counters.refine_seconds = refine_timer.ElapsedSeconds();

@@ -55,6 +55,19 @@ class ComparisonHeap {
     return false;
   }
 
+  /// Offers a block of candidates in order — the oracle sees exactly the
+  /// comparison sequence of `n` sequential Offer calls, so the contents are
+  /// identical; exists so callers can gather a block and prefetch the
+  /// ciphertexts it will compare before the comparison-heavy offers run.
+  /// Returns the number inserted.
+  std::size_t OfferBatch(const VectorId* ids, std::size_t n) {
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (Offer(ids[i])) ++inserted;
+    }
+    return inserted;
+  }
+
   /// Extracts all elements, closest first. Costs O(k log k) comparisons.
   std::vector<VectorId> ExtractSorted() {
     std::vector<VectorId> out(heap_.size());

@@ -149,12 +149,16 @@ ShardedEncryptedDatabase DataOwner::EncryptAndIndexSharded(
       num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
           if (build_threads > 1) {
-            FloatMatrix shard_sap(0, dim_);
-            shard_sap.data().reserve(
-                ((data.size() - s + num_shards - 1) / num_shards) * dim_);
-            for (std::size_t i = s; i < data.size(); i += num_shards) {
-              shard_sap.Append(sap.row(i));
-            }
+            // Round-robin shard s owns rows s, s+S, s+2S, ... — a strided
+            // view straight into the shared SAP matrix, so the parallel
+            // builder reads in place instead of materializing a per-shard
+            // copy of the ciphertexts.
+            const std::size_t shard_count =
+                s < data.size()
+                    ? (data.size() - s + num_shards - 1) / num_shards
+                    : 0;
+            const RowView shard_sap(shard_count > 0 ? sap.row(s) : nullptr,
+                                    shard_count, dim_, num_shards * dim_);
             primaries[s].index->BuildParallel(shard_sap, &ThreadPool::Global(),
                                               build_threads);
             PPANNS_CHECK(primaries[s].index->capacity() == shard_sap.size());

@@ -35,6 +35,11 @@ struct PpannsParams {
   HnswParams hnsw;         ///< graph construction parameters
   IvfParams ivf;           ///< inverted-file parameters
   LshParams lsh;           ///< hashing parameters
+  /// Int8 scalar-quantized filter tier for the flat backends (ivf, brute):
+  /// posting/linear scans run over a one-byte-per-dimension code mirror and
+  /// an oversampled shortlist is re-ranked exactly (see index/sq8.h). Off by
+  /// default — enabling it bumps the backend's serialized format version.
+  SqParams sq;
   /// Number of database partitions (Section V north-star scaling). 1 keeps
   /// the paper's single-index layout; > 1 makes DataOwner produce a
   /// ShardedEncryptedDatabase whose per-shard indexes build in parallel and
@@ -63,7 +68,7 @@ struct PpannsParams {
   /// additionally decorrelates the randomized structures (HNSW levels, IVF
   /// centroids, LSH projections) across shards of one deployment.
   SecureFilterIndexOptions FilterOptions(ShardId shard = 0) const {
-    SecureFilterIndexOptions options{hnsw, ivf, lsh};
+    SecureFilterIndexOptions options{hnsw, ivf, lsh, sq};
     // shard 0 reproduces the historical single-index options bit-for-bit.
     const std::uint64_t shard_mix =
         shard == 0 ? 0 : 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(shard);

@@ -423,15 +423,38 @@ SearchResult ShardedCloudServer::MergeAndRefine(
             dce_source[ra.shard]->dce_ciphertexts()[ra.local],
             dce_source[rb.shard]->dce_ciphertexts()[rb.local], token.trapdoor);
       });
-  for (const Neighbor& cand : merged) {
-    // Candidate-granularity probe: DCE comparisons dwarf a row scan. A
-    // spent filter budget does not abandon refinement — only cancellation
-    // or the deadline does.
-    if (ctx != nullptr && ctx->ShouldAbandon()) break;
-    // Defensive: never offer a candidate whose ciphertext did not ship (a
-    // malformed remote answer) — the comparator must not throw.
-    if (remote_ && shipped_dce.find(cand.id) == shipped_dce.end()) continue;
-    heap.Offer(cand.id);
+  // Blocked offers: gather a block of eligible candidates, prefetching each
+  // one's DCE ciphertext payload, then run the comparison-heavy offers over
+  // warm lines. Offers apply in candidate order, so ids match the unblocked
+  // loop.
+  VectorId block[kKernelBlock];
+  std::size_t ci = 0;
+  bool abandoned = false;
+  while (ci < merged.size() && !abandoned) {
+    std::size_t bn = 0;
+    for (; ci < merged.size() && bn < kKernelBlock; ++ci) {
+      // Candidate-granularity probe: DCE comparisons dwarf a row scan. A
+      // spent filter budget does not abandon refinement — only cancellation
+      // or the deadline does.
+      if (ctx != nullptr && ctx->ShouldAbandon()) {
+        abandoned = true;
+        break;
+      }
+      const VectorId id = merged[ci].id;
+      if (remote_) {
+        // Defensive: never offer a candidate whose ciphertext did not ship
+        // (a malformed remote answer) — the comparator must not throw.
+        const auto it = shipped_dce.find(id);
+        if (it == shipped_dce.end()) continue;
+        PrefetchRead(it->second->data.data());
+      } else {
+        const ShardRef& ref = manifest_.at(id);
+        PrefetchRead(
+            dce_source[ref.shard]->dce_ciphertexts()[ref.local].data.data());
+      }
+      block[bn++] = id;
+    }
+    heap.OfferBatch(block, bn);
   }
   result.ids = heap.ExtractSorted();
   result.counters.refine_seconds = refine_timer.ElapsedSeconds();

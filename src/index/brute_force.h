@@ -14,6 +14,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "index/sq8.h"
 
 namespace ppanns {
 
@@ -31,9 +32,16 @@ std::vector<std::vector<Neighbor>> BruteForceKnnBatch(const FloatMatrix& data,
 
 /// Linear-scan index with stable dense ids and tombstone deletion. Removed
 /// rows keep their slot (ids are never reused) but are skipped by Search.
+///
+/// With `sq.enabled`, an int8 scalar-quantized fast tier rides along: once
+/// `sq.train_min` rows have accumulated, a per-dimension minmax quantizer is
+/// fitted and every row is mirrored as one-byte codes. Search then scans the
+/// codes with the widened-accumulator int8 kernel, keeps an oversampled
+/// shortlist of `sq.refine_factor * k` candidates, and re-ranks it with exact
+/// float distances — returned ids and distances stay the exact-scan answers.
 class BruteForceIndex {
  public:
-  explicit BruteForceIndex(std::size_t dim);
+  explicit BruteForceIndex(std::size_t dim, SqParams sq = {});
 
   VectorId Add(const float* v);
   void AddBatch(const FloatMatrix& data);
@@ -55,18 +63,30 @@ class BruteForceIndex {
   std::size_t capacity() const { return data_.size(); }
   std::size_t dim() const { return dim_; }
   const FloatMatrix& data() const { return data_; }
+  const SqParams& sq_params() const { return sq_params_; }
+  /// True once the SQ tier is trained and answering searches.
+  bool sq_active() const { return sq_.trained(); }
 
-  /// Resident bytes: the row storage plus the tombstone bitmap.
+  /// Resident bytes: the row storage, the tombstone bitmap, and (when the SQ
+  /// tier is trained) the int8 code mirror.
   std::size_t StorageBytes() const;
 
   void Serialize(BinaryWriter* out) const;
   static Result<BruteForceIndex> Deserialize(BinaryReader* in);
 
  private:
+  /// Fits the quantizer over everything added so far and encodes all rows.
+  void TrainSq();
+  std::vector<Neighbor> SearchSq(const float* query, std::size_t k,
+                                 SearchContext* ctx) const;
+
   std::size_t dim_;
+  SqParams sq_params_;
   FloatMatrix data_;
   std::vector<std::uint8_t> deleted_;
   std::size_t num_deleted_ = 0;
+  Sq8Quantizer sq_;
+  std::vector<std::int8_t> codes_;  ///< capacity * dim, parallel to data_
 };
 
 }  // namespace ppanns

@@ -105,16 +105,25 @@ VectorId HnswIndex::GreedyClosest(const float* query, VectorId start,
   VectorId cur = start;
   float cur_dist = Distance(query, cur);
   if (dist_count != nullptr) ++*dist_count;
+  const float* rows[kKernelBlock];
+  float dists[kKernelBlock];
   bool improved = true;
   while (improved) {
     improved = false;
-    for (VectorId nb : nodes_[cur].adjacency[level]) {
-      const float d = Distance(query, nb);
-      if (dist_count != nullptr) ++*dist_count;
-      if (d < cur_dist) {
-        cur_dist = d;
-        cur = nb;
-        improved = true;
+    // Score the whole adjacency through the batched kernel, then apply the
+    // same sequential improve rule — identical hops, fewer pointer chases.
+    const auto& adj = nodes_[cur].adjacency[level];
+    for (std::size_t i = 0; i < adj.size(); i += kKernelBlock) {
+      const std::size_t bn = std::min(kKernelBlock, adj.size() - i);
+      for (std::size_t j = 0; j < bn; ++j) rows[j] = data_.row(adj[i + j]);
+      L2Batch(query, rows, bn, dim_, dists);
+      if (dist_count != nullptr) *dist_count += bn;
+      for (std::size_t j = 0; j < bn; ++j) {
+        if (dists[j] < cur_dist) {
+          cur_dist = dists[j];
+          cur = adj[i + j];
+          improved = true;
+        }
       }
     }
   }
@@ -153,25 +162,49 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, VectorId entry,
     if (results.size() >= ef && cand.distance > results.top().distance) break;
     candidates.pop();
 
-    for (VectorId nb : nodes_[cand.id].adjacency[level]) {
-      if (tags[nb] == epoch) continue;
-      // Node granularity, not pop granularity: a pop can score up to 2m
-      // neighbors, which would stretch the stride by that factor.
-      if (probe.ShouldStop(prior + scored)) {
-        stopped = true;
-        break;
+    // Blocked expansion: collect up to kKernelBlock unvisited neighbors
+    // (prefetching their rows), score them in one batched kernel call, then
+    // offer them to the heaps in the original adjacency order. The budget
+    // probe keeps node granularity — collection slot bn answers exactly the
+    // probe the unblocked loop would have asked for that node — so blocked
+    // and unblocked scans stop on the same node and return identical ids.
+    const auto& adj = nodes_[cand.id].adjacency[level];
+    VectorId block[kKernelBlock];
+    const float* rows[kKernelBlock];
+    float dists[kKernelBlock];
+    std::size_t ai = 0;
+    while (ai < adj.size() && !stopped) {
+      std::size_t bn = 0;
+      for (; ai < adj.size() && bn < kKernelBlock; ++ai) {
+        const VectorId nb = adj[ai];
+        if (tags[nb] == epoch) continue;
+        // Node granularity, not pop granularity: a pop can score up to 2m
+        // neighbors, which would stretch the stride by that factor.
+        if (probe.ShouldStop(prior + scored + bn)) {
+          stopped = true;
+          break;
+        }
+        tags[nb] = epoch;
+        block[bn] = nb;
+        rows[bn] = data_.row(nb);
+        PrefetchRead(rows[bn]);
+        ++bn;
       }
-      tags[nb] = epoch;
-      const float d = Distance(query, nb);
-      if (dist_count != nullptr) ++*dist_count;
-      ++scored;
-      if (results.size() < ef || d < results.top().distance) {
-        candidates.push(Neighbor{nb, d});
-        // Deleted nodes stay traversable (their edges hold the graph
-        // together mid-repair) but are not returned.
-        if (!nodes_[nb].deleted) {
-          results.push(Neighbor{nb, d});
-          if (results.size() > ef) results.pop();
+      if (bn == 0) continue;
+      L2Batch(query, rows, bn, dim_, dists);
+      if (dist_count != nullptr) *dist_count += bn;
+      scored += bn;
+      for (std::size_t j = 0; j < bn; ++j) {
+        const float d = dists[j];
+        const VectorId nb = block[j];
+        if (results.size() < ef || d < results.top().distance) {
+          candidates.push(Neighbor{nb, d});
+          // Deleted nodes stay traversable (their edges hold the graph
+          // together mid-repair) but are not returned.
+          if (!nodes_[nb].deleted) {
+            results.push(Neighbor{nb, d});
+            if (results.size() > ef) results.pop();
+          }
         }
       }
     }
@@ -293,7 +326,7 @@ void HnswIndex::AddBatch(const FloatMatrix& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) Add(batch.row(i));
 }
 
-void HnswIndex::AddBatchParallel(const FloatMatrix& batch, ThreadPool* pool,
+void HnswIndex::AddBatchParallel(RowView batch, ThreadPool* pool,
                                  std::size_t num_threads) {
   PPANNS_CHECK(batch.dim() == dim_);
   const std::size_t n = batch.size();
@@ -421,12 +454,20 @@ VectorId HnswIndex::GreedyClosestBuild(const float* query, VectorId start,
       std::lock_guard<std::mutex> lock(build_locks_->ForNode(cur));
       *scratch = nodes_[cur].adjacency[level];
     }
-    for (VectorId nb : *scratch) {
-      const float d = Distance(query, nb);
-      if (d < cur_dist) {
-        cur_dist = d;
-        cur = nb;
-        improved = true;
+    const float* rows[kKernelBlock];
+    float dists[kKernelBlock];
+    for (std::size_t i = 0; i < scratch->size(); i += kKernelBlock) {
+      const std::size_t bn = std::min(kKernelBlock, scratch->size() - i);
+      for (std::size_t j = 0; j < bn; ++j) {
+        rows[j] = data_.row((*scratch)[i + j]);
+      }
+      L2Batch(query, rows, bn, dim_, dists);
+      for (std::size_t j = 0; j < bn; ++j) {
+        if (dists[j] < cur_dist) {
+          cur_dist = dists[j];
+          cur = (*scratch)[i + j];
+          improved = true;
+        }
       }
     }
   }
@@ -465,15 +506,35 @@ std::vector<Neighbor> HnswIndex::SearchLayerBuild(
       std::lock_guard<std::mutex> lock(build_locks_->ForNode(cand.id));
       *scratch = nodes_[cand.id].adjacency[level];
     }
-    for (VectorId nb : *scratch) {
-      if (tags[nb] == epoch) continue;
-      tags[nb] = epoch;
-      const float d = Distance(query, nb);
-      if (results.size() < ef || d < results.top().distance) {
-        candidates.push(Neighbor{nb, d});
-        if (nb != self && !nodes_[nb].deleted) {
-          results.push(Neighbor{nb, d});
-          if (results.size() > ef) results.pop();
+    // Same blocked expansion as the query-path SearchLayer (no budget probe
+    // on the build path): batch-score unvisited snapshot entries, then offer
+    // in snapshot order.
+    VectorId block[kKernelBlock];
+    const float* rows[kKernelBlock];
+    float dists[kKernelBlock];
+    std::size_t si = 0;
+    while (si < scratch->size()) {
+      std::size_t bn = 0;
+      for (; si < scratch->size() && bn < kKernelBlock; ++si) {
+        const VectorId nb = (*scratch)[si];
+        if (tags[nb] == epoch) continue;
+        tags[nb] = epoch;
+        block[bn] = nb;
+        rows[bn] = data_.row(nb);
+        PrefetchRead(rows[bn]);
+        ++bn;
+      }
+      if (bn == 0) continue;
+      L2Batch(query, rows, bn, dim_, dists);
+      for (std::size_t j = 0; j < bn; ++j) {
+        const float d = dists[j];
+        const VectorId nb = block[j];
+        if (results.size() < ef || d < results.top().distance) {
+          candidates.push(Neighbor{nb, d});
+          if (nb != self && !nodes_[nb].deleted) {
+            results.push(Neighbor{nb, d});
+            if (results.size() > ef) results.pop();
+          }
         }
       }
     }

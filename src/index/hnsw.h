@@ -106,7 +106,11 @@ class HnswIndex {
   /// shards x build_threads stripes genuinely overlap and queued stripes can
   /// never deadlock behind blocked shard tasks. A null pool always uses
   /// dedicated threads.
-  void AddBatchParallel(const FloatMatrix& data, ThreadPool* pool,
+  ///
+  /// Takes a RowView so strided callers (the round-robin sharded build)
+  /// insert straight from the interleaved SAP matrix without materializing a
+  /// per-shard copy; a FloatMatrix converts implicitly.
+  void AddBatchParallel(RowView data, ThreadPool* pool,
                         std::size_t num_threads = 0);
 
   /// Returns up to k (id, distance) pairs ascending by squared L2 distance.

@@ -1,13 +1,15 @@
 #include "index/ivf.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "index/top_k.h"
 
 namespace ppanns {
 
-IvfIndex::IvfIndex(std::size_t dim, IvfParams params)
-    : dim_(dim), params_(params), data_(0, dim) {
+IvfIndex::IvfIndex(std::size_t dim, IvfParams params, SqParams sq)
+    : dim_(dim), params_(params), sq_params_(sq), data_(0, dim) {
   PPANNS_CHECK(dim > 0);
   PPANNS_CHECK(params.num_lists > 0);
 }
@@ -25,20 +27,27 @@ double IvfIndex::RunKmeans(const FloatMatrix& sample, Rng& rng) {
               centroids_.row(c));
   }
 
+  // Row pointers into centroids_ are stable across iterations (the storage
+  // never reallocates); only the values move.
+  std::vector<const float*> crows(k);
+  for (std::size_t c = 0; c < k; ++c) crows[c] = centroids_.row(c);
+  std::vector<float> cdists(k);
+
   std::vector<std::size_t> assignment(sample.size());
   std::vector<double> sums(k * dim_);
   std::vector<std::size_t> counts(k);
   double mean_err = 0.0;
   for (std::size_t iter = 0; iter < params_.train_iters; ++iter) {
-    // Assign.
+    // Assign: one-to-many kernel scores every centroid per sample point,
+    // then the same first-wins strict argmin as the scalar loop.
     double err = 0.0;
     for (std::size_t i = 0; i < sample.size(); ++i) {
+      L2Batch(sample.row(i), crows.data(), k, dim_, cdists.data());
       std::size_t best = 0;
-      float best_dist = SquaredL2(sample.row(i), centroids_.row(0), dim_);
+      float best_dist = cdists[0];
       for (std::size_t c = 1; c < k; ++c) {
-        const float d = SquaredL2(sample.row(i), centroids_.row(c), dim_);
-        if (d < best_dist) {
-          best_dist = d;
+        if (cdists[c] < best_dist) {
+          best_dist = cdists[c];
           best = c;
         }
       }
@@ -81,20 +90,36 @@ void IvfIndex::RouteAll() {
   }
 }
 
+void IvfIndex::TrainSq(const FloatMatrix& sample) {
+  if (!sq_params_.enabled || sq_.trained() || sample.empty()) return;
+  sq_.Train(sample);
+  codes_.resize(data_.size() * dim_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sq_.Encode(data_.row(i), codes_.data() + i * dim_);
+  }
+}
+
 double IvfIndex::Train(const FloatMatrix& sample, Rng& rng) {
   const double err = RunKmeans(sample, rng);
   RouteAll();
+  TrainSq(sample);
   return err;
 }
 
 std::size_t IvfIndex::NearestCentroid(const float* v) const {
+  const float* rows[kKernelBlock];
+  float dists[kKernelBlock];
   std::size_t best = 0;
-  float best_dist = SquaredL2(v, centroids_.row(0), dim_);
-  for (std::size_t c = 1; c < centroids_.size(); ++c) {
-    const float d = SquaredL2(v, centroids_.row(c), dim_);
-    if (d < best_dist) {
-      best_dist = d;
-      best = c;
+  float best_dist = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < centroids_.size(); c += kKernelBlock) {
+    const std::size_t bn = std::min(kKernelBlock, centroids_.size() - c);
+    for (std::size_t j = 0; j < bn; ++j) rows[j] = centroids_.row(c + j);
+    L2Batch(v, rows, bn, dim_, dists);
+    for (std::size_t j = 0; j < bn; ++j) {
+      if (dists[j] < best_dist) {
+        best_dist = dists[j];
+        best = c + j;
+      }
     }
   }
   return best;
@@ -103,6 +128,10 @@ std::size_t IvfIndex::NearestCentroid(const float* v) const {
 VectorId IvfIndex::Add(const float* v) {
   const VectorId id = data_.Append(v);
   deleted_.push_back(0);
+  if (sq_.trained()) {
+    codes_.resize(codes_.size() + dim_);
+    sq_.Encode(v, codes_.data() + static_cast<std::size_t>(id) * dim_);
+  }
   if (trained()) {
     lists_[NearestCentroid(v)].push_back(id);
     return id;
@@ -115,6 +144,7 @@ VectorId IvfIndex::Add(const float* v) {
     Rng rng(params_.seed);
     RunKmeans(data_, rng);
     RouteAll();
+    TrainSq(data_);
   }
   return id;
 }
@@ -139,58 +169,150 @@ Status IvfIndex::Remove(VectorId id) {
 std::vector<Neighbor> IvfIndex::Search(const float* query, std::size_t k,
                                        std::size_t nprobe,
                                        SearchContext* ctx) const {
-  TopK top(k);
+  const auto t0 = ctx != nullptr ? SearchContext::Clock::now()
+                                 : SearchContext::Clock::time_point{};
   CancelProbe probe(ctx);
   std::size_t scored = 0;  // rows scored by this scan
-  auto offer = [&](VectorId id) {
-    ++scored;
-    top.Offer(Neighbor{id, SquaredL2(query, data_.row(id), dim_)});
+  std::size_t refined = 0;
+  std::size_t centroid_dists = 0;
+  const bool use_sq = sq_.trained();
+
+  // The float top-k (exact path) and the oversampled int shortlist (SQ path);
+  // only one is used per search.
+  TopK top(k);
+  SqShortlist shortlist_top(use_sq ? SqShortlistSize(sq_params_, k) : k);
+  std::vector<std::int8_t> qcode;
+  if (use_sq) {
+    qcode.resize(dim_);
+    sq_.Encode(query, qcode.data());
+  }
+
+  // Blocked scan over one posting list (or the untrained full range): batch
+  // of kKernelBlock rows per kernel call, row-granular budget probes (slot bn
+  // answers the probe the unblocked loop would have asked for that row).
+  VectorId ids[kKernelBlock];
+  const float* rows[kKernelBlock];
+  float dists[kKernelBlock];
+  const std::int8_t* crows[kKernelBlock];
+  std::int32_t cdists[kKernelBlock];
+  bool stopped = false;
+  auto scan_block = [&](std::size_t bn) {
+    scored += bn;
+    if (use_sq) {
+      L2BatchInt8(qcode.data(), crows, bn, dim_, cdists);
+      const std::int32_t limit = shortlist_top.threshold();
+      for (std::size_t j = 0; j < bn; ++j) {
+        // int32 rank keys pick the shortlist; RefineExact restores exact
+        // float distances before anything is returned. The threshold
+        // pre-check skips only offers the selector would reject anyway.
+        if (cdists[j] < limit) shortlist_top.Offer(ids[j], cdists[j]);
+      }
+    } else {
+      L2Batch(query, rows, bn, dim_, dists);
+      for (std::size_t j = 0; j < bn; ++j) {
+        top.Offer(Neighbor{ids[j], dists[j]});
+      }
+    }
+  };
+  auto collect = [&](VectorId id, std::size_t bn) {
+    ids[bn] = id;
+    if (use_sq) {
+      crows[bn] = codes_.data() + static_cast<std::size_t>(id) * dim_;
+      PrefetchRead(crows[bn]);
+    } else {
+      rows[bn] = data_.row(id);
+      PrefetchRead(rows[bn]);
+    }
   };
 
-  std::size_t centroid_dists = 0;
   if (!trained()) {
     // Not enough vectors to have auto-trained yet: exact scan of live rows.
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      if (probe.ShouldStop(scored)) break;
-      if (!deleted_[i]) offer(static_cast<VectorId>(i));
+    std::size_t i = 0;
+    while (i < data_.size() && !stopped) {
+      std::size_t bn = 0;
+      for (; i < data_.size() && bn < kKernelBlock; ++i) {
+        if (deleted_[i]) continue;
+        if (probe.ShouldStop(scored + bn)) {
+          stopped = true;
+          break;
+        }
+        collect(static_cast<VectorId>(i), bn);
+        ++bn;
+      }
+      if (bn > 0) scan_block(bn);
     }
   } else {
     nprobe = std::min(nprobe, centroids_.size());
 
-    // Rank centroids by distance, take the closest nprobe.
+    // Rank centroids by distance through the batched kernel, take the
+    // closest nprobe.
     std::vector<Neighbor> cents(centroids_.size());
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      cents[c] = Neighbor{static_cast<VectorId>(c),
-                          SquaredL2(query, centroids_.row(c), dim_)};
+    for (std::size_t c = 0; c < centroids_.size(); c += kKernelBlock) {
+      const std::size_t bn = std::min(kKernelBlock, centroids_.size() - c);
+      for (std::size_t j = 0; j < bn; ++j) rows[j] = centroids_.row(c + j);
+      L2Batch(query, rows, bn, dim_, dists);
+      for (std::size_t j = 0; j < bn; ++j) {
+        cents[c + j] = Neighbor{static_cast<VectorId>(c + j), dists[j]};
+      }
     }
     centroid_dists = centroids_.size();
     std::partial_sort(cents.begin(), cents.begin() + nprobe, cents.end());
 
-    for (std::size_t p = 0; p < nprobe && !probe.ShouldStop(scored); ++p) {
-      for (VectorId id : lists_[cents[p].id]) {
-        if (probe.ShouldStop(scored)) break;
-        offer(id);
+    for (std::size_t p = 0;
+         p < nprobe && !stopped && !probe.ShouldStop(scored); ++p) {
+      const auto& list = lists_[cents[p].id];
+      std::size_t li = 0;
+      while (li < list.size() && !stopped) {
+        std::size_t bn = 0;
+        for (; li < list.size() && bn < kKernelBlock; ++li) {
+          if (probe.ShouldStop(scored + bn)) {
+            stopped = true;
+            break;
+          }
+          collect(list[li], bn);
+          ++bn;
+        }
+        if (bn > 0) scan_block(bn);
       }
     }
   }
+
+  std::vector<Neighbor> out;
+  const auto t1 = ctx != nullptr ? SearchContext::Clock::now()
+                                 : SearchContext::Clock::time_point{};
+  if (use_sq) {
+    const std::vector<VectorId> shortlist = shortlist_top.ExtractIds();
+    refined = shortlist.size();
+    out = RefineExact(data_, query, shortlist, k);
+  } else {
+    out = top.ExtractSorted();
+  }
   if (ctx != nullptr) {
     ctx->stats.nodes_visited += scored;
-    ctx->stats.distance_computations += scored + centroid_dists;
+    ctx->stats.distance_computations += scored + centroid_dists + refined;
+    ctx->stats.filter_seconds += std::chrono::duration<double>(t1 - t0).count();
+    if (use_sq) {
+      ctx->stats.refine_seconds +=
+          std::chrono::duration<double>(SearchContext::Clock::now() - t1)
+              .count();
+    }
   }
-  return top.ExtractSorted();
+  return out;
 }
 
 std::size_t IvfIndex::StorageBytes() const {
   std::size_t bytes = data_.data().size() * sizeof(float) +
                       centroids_.data().size() * sizeof(float) +
-                      deleted_.size();
+                      deleted_.size() + codes_.size();
   for (const auto& list : lists_) bytes += list.size() * sizeof(VectorId);
   return bytes;
 }
 
 void IvfIndex::Serialize(BinaryWriter* out) const {
+  // Version 1 stays byte-identical for non-SQ indexes; the SQ sidecar bumps
+  // to version 2 (params + quantizer + code mirror).
   out->Put<std::uint32_t>(0x50495646);  // "PIVF"
-  out->Put<std::uint32_t>(1);
+  out->Put<std::uint32_t>(sq_params_.enabled ? 2 : 1);
   out->Put<std::uint64_t>(dim_);
   out->Put<std::uint64_t>(params_.num_lists);
   out->Put<std::uint64_t>(params_.train_iters);
@@ -200,6 +322,15 @@ void IvfIndex::Serialize(BinaryWriter* out) const {
   if (trained()) PutMatrix(centroids_, out);
   PutMatrix(data_, out);
   out->PutVector(deleted_);
+  if (sq_params_.enabled) {
+    out->Put<std::uint64_t>(sq_params_.refine_factor);
+    out->Put<std::uint64_t>(sq_params_.train_min);
+    out->Put<std::uint8_t>(sq_.trained() ? 1 : 0);
+    if (sq_.trained()) {
+      sq_.Serialize(out);
+      out->PutVector(codes_);
+    }
+  }
 }
 
 Result<IvfIndex> IvfIndex::Deserialize(BinaryReader* in) {
@@ -207,7 +338,9 @@ Result<IvfIndex> IvfIndex::Deserialize(BinaryReader* in) {
   PPANNS_RETURN_IF_ERROR(in->Get(&magic));
   if (magic != 0x50495646) return Status::IOError("IVF: bad magic");
   PPANNS_RETURN_IF_ERROR(in->Get(&version));
-  if (version != 1) return Status::IOError("IVF: unsupported version");
+  if (version != 1 && version != 2) {
+    return Status::IOError("IVF: unsupported version");
+  }
 
   std::uint64_t dim = 0;
   IvfParams params;
@@ -239,6 +372,26 @@ Result<IvfIndex> IvfIndex::Deserialize(BinaryReader* in) {
     return Status::IOError("IVF: inconsistent payload");
   }
   for (std::uint8_t d : index.deleted_) index.num_deleted_ += (d != 0);
+  if (version == 2) {
+    index.sq_params_.enabled = true;
+    std::uint64_t refine_factor = 0, train_min = 0;
+    PPANNS_RETURN_IF_ERROR(in->Get(&refine_factor));
+    PPANNS_RETURN_IF_ERROR(in->Get(&train_min));
+    index.sq_params_.refine_factor = refine_factor;
+    index.sq_params_.train_min = train_min;
+    std::uint8_t sq_trained = 0;
+    PPANNS_RETURN_IF_ERROR(in->Get(&sq_trained));
+    if (sq_trained != 0) {
+      Result<Sq8Quantizer> q = Sq8Quantizer::Deserialize(in);
+      if (!q.ok()) return q.status();
+      index.sq_ = std::move(q).value();
+      PPANNS_RETURN_IF_ERROR(in->GetVector(&index.codes_));
+      if (index.sq_.dim() != dim ||
+          index.codes_.size() != index.data_.size() * dim) {
+        return Status::IOError("IVF: inconsistent SQ sidecar");
+      }
+    }
+  }
   // Posting lists are rebuilt, not persisted: routing is deterministic given
   // the centroids.
   if (trained) index.RouteAll();

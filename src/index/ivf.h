@@ -24,6 +24,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "index/sq8.h"
 
 namespace ppanns {
 
@@ -35,9 +36,12 @@ struct IvfParams {
   std::size_t auto_train_min = 0;
 };
 
+/// With `sq.enabled`, the posting-list scan runs over an int8 scalar-quantized
+/// code mirror (trained alongside k-means) and an oversampled shortlist is
+/// re-ranked with exact float distances — see index/sq8.h.
 class IvfIndex {
  public:
-  IvfIndex(std::size_t dim, IvfParams params);
+  IvfIndex(std::size_t dim, IvfParams params, SqParams sq = {});
 
   /// Runs k-means on `sample` to position the centroids, then routes any
   /// already-added vectors. Returns the final mean quantization error.
@@ -63,6 +67,9 @@ class IvfIndex {
                                SearchContext* ctx = nullptr) const;
 
   bool trained() const { return !centroids_.empty(); }
+  const SqParams& sq_params() const { return sq_params_; }
+  /// True once the SQ tier is trained and answering posting scans.
+  bool sq_active() const { return sq_.trained(); }
   bool IsDeleted(VectorId id) const { return deleted_[id] != 0; }
   std::size_t size() const { return data_.size() - num_deleted_; }
   std::size_t capacity() const { return data_.size(); }
@@ -85,14 +92,19 @@ class IvfIndex {
   void RouteAll();
   /// The Lloyd iterations shared by Train and auto-training.
   double RunKmeans(const FloatMatrix& sample, Rng& rng);
+  /// Fits the SQ quantizer on `sample` and encodes all stored rows.
+  void TrainSq(const FloatMatrix& sample);
 
   std::size_t dim_;
   IvfParams params_;
+  SqParams sq_params_;
   FloatMatrix centroids_;
   FloatMatrix data_;
   std::vector<std::vector<VectorId>> lists_;
   std::vector<std::uint8_t> deleted_;
   std::size_t num_deleted_ = 0;
+  Sq8Quantizer sq_;
+  std::vector<std::int8_t> codes_;  ///< capacity * dim, parallel to data_
 };
 
 }  // namespace ppanns

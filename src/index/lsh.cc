@@ -41,11 +41,23 @@ void LshIndex::InitProjections(Rng& rng) {
 
 void LshIndex::RawHashes(const float* v, std::size_t table,
                          std::vector<std::int64_t>* out) const {
-  out->resize(params_.num_hashes);
-  for (std::size_t h = 0; h < params_.num_hashes; ++h) {
-    const float* a = projections_[table].data() + h * dim_;
-    const double proj = InnerProduct(a, v, dim_) + offsets_[table][h];
-    (*out)[h] = static_cast<std::int64_t>(std::floor(proj / params_.bucket_width));
+  const std::size_t m = params_.num_hashes;
+  out->resize(m);
+  // All m projections of one table go through the one-to-many kernel: the
+  // projection block is row-major, so row h is a contiguous dim_ stripe.
+  const float* rows[kKernelBlock];
+  float projs[kKernelBlock];
+  const float* block = projections_[table].data();
+  for (std::size_t h = 0; h < m; h += kKernelBlock) {
+    const std::size_t bn = std::min(kKernelBlock, m - h);
+    for (std::size_t j = 0; j < bn; ++j) rows[j] = block + (h + j) * dim_;
+    IpBatch(v, rows, bn, dim_, projs);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const double proj =
+          static_cast<double>(projs[j]) + offsets_[table][h + j];
+      (*out)[h + j] =
+          static_cast<std::int64_t>(std::floor(proj / params_.bucket_width));
+    }
   }
 }
 
@@ -140,10 +152,31 @@ std::vector<Neighbor> LshIndex::Search(const float* query, std::size_t k,
   TopK top(k);
   CancelProbe probe(ctx);
   std::size_t scored = 0;
-  for (VectorId id : Candidates(query, probes_per_table)) {
-    if (probe.ShouldStop(scored)) break;
-    ++scored;
-    top.Offer(Neighbor{id, SquaredL2(data_.row(id), query, dim_)});
+  // Blocked candidate scoring: up to kKernelBlock bucket hits per batched
+  // kernel call, with row-granular budget probes (slot bn answers the probe
+  // the unblocked loop would have asked for that candidate).
+  const std::vector<VectorId> cands = Candidates(query, probes_per_table);
+  VectorId ids[kKernelBlock];
+  const float* rows[kKernelBlock];
+  float dists[kKernelBlock];
+  std::size_t i = 0;
+  bool stopped = false;
+  while (i < cands.size() && !stopped) {
+    std::size_t bn = 0;
+    for (; i < cands.size() && bn < kKernelBlock; ++i) {
+      if (probe.ShouldStop(scored + bn)) {
+        stopped = true;
+        break;
+      }
+      ids[bn] = cands[i];
+      rows[bn] = data_.row(cands[i]);
+      PrefetchRead(rows[bn]);
+      ++bn;
+    }
+    if (bn == 0) continue;
+    L2Batch(query, rows, bn, dim_, dists);
+    scored += bn;
+    for (std::size_t j = 0; j < bn; ++j) top.Offer(Neighbor{ids[j], dists[j]});
   }
   if (ctx != nullptr) {
     ctx->stats.nodes_visited += scored;

@@ -24,7 +24,7 @@ class HnswFilterIndex final : public SecureFilterIndex {
   VectorId Add(const float* v) override { return index_.Add(v); }
   Status Remove(VectorId id) override { return index_.Remove(id); }
 
-  void BuildParallel(const FloatMatrix& data, ThreadPool* pool,
+  void BuildParallel(RowView data, ThreadPool* pool,
                      std::size_t build_threads) override {
     index_.AddBatchParallel(data, pool, build_threads);
   }
@@ -176,13 +176,13 @@ Result<std::unique_ptr<SecureFilterIndex>> MakeSecureFilterIndex(
           new HnswFilterIndex(HnswIndex(dim, options.hnsw)));
     case IndexKind::kIvf:
       return std::unique_ptr<SecureFilterIndex>(
-          new IvfFilterIndex(IvfIndex(dim, options.ivf)));
+          new IvfFilterIndex(IvfIndex(dim, options.ivf, options.sq)));
     case IndexKind::kLsh:
       return std::unique_ptr<SecureFilterIndex>(
           new LshFilterIndex(LshIndex(dim, options.lsh)));
     case IndexKind::kBruteForce:
       return std::unique_ptr<SecureFilterIndex>(
-          new BruteForceFilterIndex(BruteForceIndex(dim)));
+          new BruteForceFilterIndex(BruteForceIndex(dim, options.sq)));
   }
   return Status::InvalidArgument("SecureFilterIndex: unknown kind");
 }

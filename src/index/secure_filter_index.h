@@ -45,6 +45,9 @@ struct SecureFilterIndexOptions {
   HnswParams hnsw;
   IvfParams ivf;
   LshParams lsh;
+  /// Int8 scalar-quantized filter tier for the flat backends (ivf, brute);
+  /// ignored by hnsw/lsh. See index/sq8.h.
+  SqParams sq;
 };
 
 /// Abstract k'-ANNS index over SAP ciphertexts (the filter phase substrate).
@@ -63,17 +66,19 @@ class SecureFilterIndex {
   }
 
   /// Bulk-builds over all rows of `data` (ids assigned in row order, exactly
-  /// like AddBatch). Backends with an internally-synchronized builder (HNSW)
-  /// fan the construction across `build_threads` logical stripes —
-  /// see HnswIndex::AddBatchParallel for the locking and reproducibility
-  /// contract; ivf/lsh/brute fall back to the sequential AddBatch (their
-  /// insert is already cheap, so parallel build is a no-op there). `pool`
-  /// may be null or busy; backends then use dedicated threads.
-  virtual void BuildParallel(const FloatMatrix& data, ThreadPool* pool,
+  /// like AddBatch). `data` is a RowView, so sharded callers can hand a
+  /// strided view straight into the shared SAP matrix instead of
+  /// materializing a per-shard copy. Backends with an internally-synchronized
+  /// builder (HNSW) fan the construction across `build_threads` logical
+  /// stripes — see HnswIndex::AddBatchParallel for the locking and
+  /// reproducibility contract; ivf/lsh/brute fall back to a sequential
+  /// Add loop (their insert is already cheap, so parallel build is a no-op
+  /// there). `pool` may be null or busy; backends then use dedicated threads.
+  virtual void BuildParallel(RowView data, ThreadPool* pool,
                              std::size_t build_threads) {
     (void)pool;
     (void)build_threads;
-    AddBatch(data);
+    for (std::size_t i = 0; i < data.size(); ++i) Add(data.row(i));
   }
 
   /// Removes a vector. The id keeps its slot; it never appears in Search

@@ -7,6 +7,7 @@
 #define PPANNS_INDEX_TOP_K_H_
 
 #include <cstddef>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -25,6 +26,15 @@ class TopK {
       heap_.pop();
       heap_.push(n);
     }
+  }
+
+  /// Current rejection threshold: an Offer with distance >= this is a no-op,
+  /// so hot loops can pre-check it and skip the call. +inf while the heap is
+  /// below capacity (every offer is accepted until then).
+  float Threshold() const {
+    return heap_.size() < k_ || heap_.empty()
+               ? std::numeric_limits<float>::infinity()
+               : heap_.top().distance;
   }
 
   /// Drains the heap, ascending by (distance, id).

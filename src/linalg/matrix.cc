@@ -117,26 +117,6 @@ void VecMat(const double* x, const Matrix& a, double* y) {
   }
 }
 
-double Dot(const double* a, const double* b, std::size_t n) {
-  double acc0 = 0.0, acc1 = 0.0;
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-  }
-  if (i < n) acc0 += a[i] * b[i];
-  return acc0 + acc1;
-}
-
-double SquaredL2(const double* a, const double* b, std::size_t n) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
-}
-
 LuDecomposition::LuDecomposition(const Matrix& a, double pivot_tol)
     : n_(a.rows()), lu_(a), perm_(a.rows()) {
   PPANNS_CHECK(a.rows() == a.cols());

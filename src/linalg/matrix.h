@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "linalg/kernels.h"
 
 namespace ppanns {
 
@@ -72,11 +73,9 @@ void MatVec(const Matrix& a, const double* x, double* y);
 /// y = x^T A (A: m x n, x: m, y: n).
 void VecMat(const double* x, const Matrix& a, double* y);
 
-/// Inner product of two length-n double vectors.
-double Dot(const double* a, const double* b, std::size_t n);
-
-/// Squared L2 distance between two length-n double vectors.
-double SquaredL2(const double* a, const double* b, std::size_t n);
+// Dot(double) and SquaredL2(double) live in linalg/kernels.h: all distance /
+// inner-product code — float filter-stage and double crypto alike — sits
+// behind the one runtime-dispatched kernel layer.
 
 /// LU decomposition with partial pivoting. Factorizes a copy of `a`;
 /// Solve() then answers A x = b in O(n^2) per right-hand side.

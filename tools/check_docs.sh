@@ -8,6 +8,9 @@
 #     tools/ppanns_shard_server.cc) parse appears in README.md, and every
 #     --flag README.md documents is parsed by one of them (so the
 #     quickstart can never drift from the binaries).
+#  3. Every PPANNS_* environment variable the sources read (kernel
+#     dispatch override, bench scaling knobs) is documented somewhere in
+#     README.md or docs/*.md.
 #
 # Plain grep/sed on purpose: no dependencies beyond coreutils.
 
@@ -56,7 +59,17 @@ for flag in $readme_flags; do
   fi
 done
 
+# ---- 3. PPANNS_* env vars are documented ------------------------------------
+env_vars=$(grep -rhoE 'getenv\("PPANNS_[A-Z_]+"\)|EnvSize\("PPANNS_[A-Z_]+"' \
+  src bench tools | grep -oE 'PPANNS_[A-Z_]+' | sort -u)
+for var in $env_vars; do
+  if ! grep -q "$var" README.md docs/*.md; then
+    echo "UNDOCUMENTED ENV VAR: $var (read by the sources, absent from README.md and docs/)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK: links resolve, CLI flags in sync"
+  echo "docs check OK: links resolve, CLI flags and env vars in sync"
 fi
 exit "$fail"

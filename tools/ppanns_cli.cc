@@ -109,7 +109,7 @@ int Usage() {
                "  encrypt --keys keys.bin --input base.fvecs --out db.ppanns "
                "[--index hnsw|ivf|lsh|brute] [--shards S] [--replicas R]\n"
                "          [--build-threads B] [--m M] [--efc E] [--lists L] "
-               "[--tables T] [--hashes H] [--width W]\n"
+               "[--tables T] [--hashes H] [--width W] [--sq] [--sq-refine F]\n"
                "  search  --keys keys.bin --db db.ppanns --queries q.fvecs "
                "[--k K] [--kprime KP] [--ef EF]\n"
                "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
@@ -232,6 +232,11 @@ int CmdEncrypt(const Args& args) {
   params.lsh.num_tables = args.GetSize("tables", 8);
   params.lsh.num_hashes = args.GetSize("hashes", 8);
   params.lsh.bucket_width = args.GetDouble("width", 4.0);  // plaintext units
+  // --sq enables the int8 scalar-quantized filter tier on the flat backends
+  // (ivf, brute): scans run over a one-byte code mirror and an oversampled
+  // shortlist is re-ranked exactly. Bumps the backend's serialized version.
+  params.sq.enabled = args.GetBool("sq");
+  params.sq.refine_factor = args.GetSize("sq-refine", params.sq.refine_factor);
   params.num_shards = static_cast<std::uint32_t>(num_shards);
   params.num_replicas = static_cast<std::uint32_t>(num_replicas);
   // Intra-shard parallel HNSW build: a sharded encrypt uses up to
