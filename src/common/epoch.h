@@ -1,0 +1,77 @@
+// EpochPtr — an epoch-counted RCU-style published pointer.
+//
+// The live-mutation path (tombstone compaction, shard split) rebuilds a
+// shard's index off-thread and swaps the whole serving snapshot in one
+// pointer store. Readers Pin() the current snapshot for the duration of a
+// query and never block: a reader that pinned the old snapshot keeps it
+// alive through its shared_ptr refcount, and the old epoch's memory is
+// reclaimed when the last pinned reference drops. Writers serialize among
+// themselves externally (the maintenance mutex in ShardedCloudServer); the
+// only contended state here is the brief lock protecting the refcount copy.
+//
+// Why a mutex and not a lock-free hazard scheme: Pin() holds the lock just
+// long enough to copy a shared_ptr (a refcount increment), which is
+// nanoseconds against a multi-millisecond encrypted search. Swap() is
+// equally brief. Compared to std::atomic<std::shared_ptr> this is portable
+// to every toolchain the repo builds on, and compared to raw epochs it
+// needs no quiescence tracking.
+
+#ifndef PPANNS_COMMON_EPOCH_H_
+#define PPANNS_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace ppanns {
+
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(std::shared_ptr<T> initial) : current_(std::move(initial)) {}
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// Read-side entry: a const view of the current snapshot, valid for as
+  /// long as the caller holds the returned pointer. Never blocks a writer
+  /// beyond the refcount copy.
+  std::shared_ptr<const T> Pin() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Write-side view of the current snapshot (for in-place mutation under
+  /// the caller's own writer exclusion — Insert/Delete mutate the current
+  /// set, only compaction/split publish a new one).
+  std::shared_ptr<T> Current() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Publishes `next` as the new snapshot, bumps the epoch, and returns the
+  /// displaced snapshot (which callers may drop — in-flight readers that
+  /// pinned it keep it alive until they finish).
+  std::shared_ptr<T> Swap(std::shared_ptr<T> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<T> old = std::move(current_);
+    current_ = std::move(next);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    return old;
+  }
+
+  /// Number of swaps since construction — the snapshot generation.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_EPOCH_H_

@@ -106,6 +106,11 @@ class BinaryReader {
   std::size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
+  /// Current read offset and the underlying bytes — for readers that must
+  /// checksum a region they just consumed (the v3 "PPSH" envelope CRC).
+  std::size_t position() const { return pos_; }
+  const std::uint8_t* bytes() const { return data_; }
+
  private:
   const std::uint8_t* data_;
   std::size_t size_;

@@ -1,0 +1,306 @@
+#include "common/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+
+#include "common/io.h"
+#include "common/serialize.h"
+
+namespace ppanns {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kWalMagic = 0x5050574C;  // "PPWL" little-endian
+constexpr std::uint32_t kWalVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 4 + 4 + 8;
+
+std::string SegmentName(std::uint64_t start_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", start_lsn);
+  return buf;
+}
+
+/// Segment files of `dir` sorted by name — which is lsn order, because the
+/// start lsn is zero-padded hex.
+Result<std::vector<std::string>> ListSegments(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return out;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 24 && name.rfind("wal-", 0) == 0 &&
+        name.compare(20, 4, ".log") == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::IOError("wal: cannot list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct SegmentScan {
+  std::vector<WalRecord> records;
+  bool clean_stop = false;  ///< hit a torn/corrupt record (replay must stop)
+};
+
+/// Decodes one segment's records, stopping cleanly at the first bad one.
+/// `expect_lsn` carries the cross-segment continuity check; nullptr skips it
+/// (first segment establishes the base).
+Result<SegmentScan> ScanSegment(const std::string& path,
+                                std::uint64_t* expect_lsn, bool first_segment) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  SegmentScan scan;
+  BinaryReader r(*bytes);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t start_lsn = 0;
+  if (!r.Get(&magic).ok() || !r.Get(&version).ok() || !r.Get(&start_lsn).ok() ||
+      magic != kWalMagic || version != kWalVersion) {
+    // A torn header on a later segment is tail corruption (clean stop); a
+    // broken first segment means the directory is not a WAL at all.
+    if (first_segment) {
+      return Status::IOError("wal: bad segment header in " + path);
+    }
+    scan.clean_stop = true;
+    return scan;
+  }
+  if (expect_lsn != nullptr && start_lsn != *expect_lsn) {
+    scan.clean_stop = true;  // gap: a segment between them was lost
+    return scan;
+  }
+  std::uint64_t lsn = start_lsn;
+  while (r.remaining() > 0) {
+    std::uint32_t len = 0, crc = 0;
+    if (!r.Get(&len).ok() || !r.Get(&crc).ok() || len < 1 + 8 ||
+        r.remaining() < len) {
+      scan.clean_stop = true;  // torn tail
+      break;
+    }
+    std::vector<std::uint8_t> body;
+    body.resize(len);
+    // remaining() was checked above; GetVector would add its own length
+    // prefix, so copy raw bytes through a fixed-size read loop instead.
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint8_t b = 0;
+      (void)r.Get(&b);
+      body[i] = b;
+    }
+    if (Crc32(body.data(), body.size()) != crc) {
+      scan.clean_stop = true;  // flipped bit
+      break;
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(body[0]);
+    std::uint64_t rec_lsn = 0;
+    std::memcpy(&rec_lsn, body.data() + 1, sizeof(rec_lsn));
+    if (rec_lsn != lsn) {
+      scan.clean_stop = true;  // discontinuity inside a segment
+      break;
+    }
+    rec.lsn = rec_lsn;
+    rec.payload.assign(body.begin() + 1 + 8, body.end());
+    scan.records.push_back(std::move(rec));
+    ++lsn;
+  }
+  if (expect_lsn != nullptr) *expect_lsn = lsn;
+  return scan;
+}
+
+Result<std::vector<WalRecord>> ReadWalImpl(const std::string& dir,
+                                           std::uint64_t* next_lsn_out) {
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  std::vector<WalRecord> records;
+  std::uint64_t expect_lsn = 0;
+  bool have_base = false;
+  for (std::size_t i = 0; i < segments->size(); ++i) {
+    auto scan = ScanSegment((*segments)[i], have_base ? &expect_lsn : nullptr,
+                            /*first_segment=*/i == 0);
+    if (!scan.ok()) return scan.status();
+    if (!have_base && !scan->records.empty()) {
+      expect_lsn = scan->records.back().lsn + 1;
+      have_base = true;
+    } else if (!have_base && !scan->clean_stop) {
+      // Empty but well-formed segment: its start lsn is the base. Re-derive
+      // it from the filename (the header was already validated).
+      const std::string name = fs::path((*segments)[i]).filename().string();
+      expect_lsn = std::strtoull(name.c_str() + 4, nullptr, 16);
+      have_base = true;
+    }
+    for (auto& rec : scan->records) records.push_back(std::move(rec));
+    if (scan->clean_stop) break;  // everything after the tear is unusable
+  }
+  if (next_lsn_out != nullptr) {
+    *next_lsn_out = records.empty() ? (have_base ? expect_lsn : 0)
+                                    : records.back().lsn + 1;
+  }
+  return records;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& dir, WalOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("wal: cannot create " + dir + ": " + ec.message());
+  std::uint64_t next_lsn = 0;
+  auto records = ReadWalImpl(dir, &next_lsn);
+  if (!records.ok()) return records.status();
+  WalWriter writer(dir, options, next_lsn);
+  PPANNS_RETURN_IF_ERROR(writer.OpenFreshSegment());
+  return writer;
+}
+
+WalWriter::WalWriter(std::string dir, WalOptions options, std::uint64_t next_lsn)
+    : dir_(std::move(dir)), options_(options), next_lsn_(next_lsn) {}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      options_(other.options_),
+      next_lsn_(other.next_lsn_),
+      segment_(other.segment_),
+      segment_path_(std::move(other.segment_path_)),
+      segment_size_(other.segment_size_) {
+  other.segment_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    CloseSegment();
+    dir_ = std::move(other.dir_);
+    options_ = other.options_;
+    next_lsn_ = other.next_lsn_;
+    segment_ = other.segment_;
+    segment_path_ = std::move(other.segment_path_);
+    segment_size_ = other.segment_size_;
+    other.segment_ = nullptr;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { CloseSegment(); }
+
+void WalWriter::CloseSegment() {
+  if (segment_ != nullptr) {
+    std::fclose(segment_);
+    segment_ = nullptr;
+  }
+}
+
+Status WalWriter::OpenFreshSegment() {
+  CloseSegment();
+  segment_path_ = (fs::path(dir_) / SegmentName(next_lsn_)).string();
+  segment_ = std::fopen(segment_path_.c_str(), "wb");
+  if (segment_ == nullptr) {
+    return Status::IOError("wal: cannot open segment " + segment_path_);
+  }
+  BinaryWriter header;
+  header.Put<std::uint32_t>(kWalMagic);
+  header.Put<std::uint32_t>(kWalVersion);
+  header.Put<std::uint64_t>(next_lsn_);
+  if (std::fwrite(header.buffer().data(), 1, header.buffer().size(),
+                  segment_) != header.buffer().size() ||
+      std::fflush(segment_) != 0) {
+    return Status::IOError("wal: cannot write segment header " + segment_path_);
+  }
+  segment_size_ = header.buffer().size();
+  return Status::OK();
+}
+
+Result<std::uint64_t> WalWriter::Append(WalRecordType type,
+                                        const std::vector<std::uint8_t>& payload) {
+  if (segment_ == nullptr) {
+    return Status::FailedPrecondition("wal: writer has no open segment");
+  }
+  const std::uint64_t lsn = next_lsn_;
+  BinaryWriter body;
+  body.Put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  body.Put<std::uint64_t>(lsn);
+  body.PutBytes(payload.data(), payload.size());
+  BinaryWriter frame;
+  frame.Put<std::uint32_t>(static_cast<std::uint32_t>(body.buffer().size()));
+  frame.Put<std::uint32_t>(Crc32(body.buffer().data(), body.buffer().size()));
+  frame.PutBytes(body.buffer().data(), body.buffer().size());
+  if (std::fwrite(frame.buffer().data(), 1, frame.buffer().size(), segment_) !=
+          frame.buffer().size() ||
+      std::fflush(segment_) != 0) {
+    return Status::IOError("wal: short write to " + segment_path_);
+  }
+  segment_size_ += frame.buffer().size();
+  ++next_lsn_;
+  if (segment_size_ >= options_.segment_bytes) {
+    PPANNS_RETURN_IF_ERROR(OpenFreshSegment());
+  }
+  return lsn;
+}
+
+Status WalWriter::Truncate() {
+  CloseSegment();
+  auto segments = ListSegments(dir_);
+  if (!segments.ok()) return segments.status();
+  for (const std::string& path : *segments) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec) return Status::IOError("wal: cannot delete " + path + ": " + ec.message());
+  }
+  return OpenFreshSegment();
+}
+
+WalStats WalWriter::Stats() const {
+  WalStats stats;
+  auto segments = ListSegments(dir_);
+  if (segments.ok()) {
+    stats.segments = segments->size();
+    for (const std::string& path : *segments) {
+      std::error_code ec;
+      const auto size = fs::file_size(path, ec);
+      if (!ec) stats.bytes += static_cast<std::size_t>(size);
+    }
+  }
+  stats.next_lsn = next_lsn_;
+  return stats;
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& dir) {
+  return ReadWalImpl(dir, nullptr);
+}
+
+Result<WalStats> ReadWalStats(const std::string& dir) {
+  WalStats stats;
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  stats.segments = segments->size();
+  for (const std::string& path : *segments) {
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (!ec) stats.bytes += static_cast<std::size_t>(size);
+  }
+  auto records = ReadWalImpl(dir, &stats.next_lsn);
+  if (!records.ok()) return records.status();
+  return stats;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,131 @@
+// Write-ahead log for the live-mutation path.
+//
+// Every Insert/Remove against a served package appends one checksummed,
+// length-prefixed record here *before* mutating in-memory state, so a
+// crashed owner/server replays the log against its last checkpoint instead
+// of re-encrypting the corpus. The log is a directory of bounded segments:
+//
+//   wal-<start_lsn as 16 hex digits>.log
+//     u32 magic   0x5050574C ("PPWL")
+//     u32 version 1
+//     u64 start_lsn            lsn of the first record in this segment
+//     record*                  until EOF
+//
+//   record:
+//     u32 len                  bytes that follow the crc field (1 + 8 + payload)
+//     u32 crc                  CRC-32 (IEEE) over those `len` bytes
+//     u8  type                 WalRecordType
+//     u64 lsn                  strictly sequential across segments
+//     payload                  type-specific bytes (src/core/wal_records.h)
+//
+// Recovery (`ReadWal`) replays segments in filename order and stops
+// *cleanly* at the first torn/corrupt record — a truncated tail, a flipped
+// bit, or an lsn discontinuity ends the replay with everything before it,
+// never with a crash or an error for the well-formed prefix. A writer
+// reopening a directory never appends to an existing segment (its tail may
+// be torn); it always starts a fresh segment at the recovered next lsn.
+// `Truncate` deletes all segments at a compaction/serialization checkpoint,
+// bounding log growth: durable state = last checkpoint + current log.
+
+#ifndef PPANNS_COMMON_WAL_H_
+#define PPANNS_COMMON_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the checksum of WAL
+/// records and of the v3 "PPSH" envelope footer.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n);
+
+enum class WalRecordType : std::uint8_t {
+  kInsert = 1,  ///< payload: an encoded EncryptedVector (core/wal_records.h)
+  kRemove = 2,  ///< payload: the u64 global id being tombstoned
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  std::uint64_t lsn = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// On-disk size of one record: the framing plus the payload.
+inline std::size_t WalRecordByteSize(std::size_t payload_size) {
+  return 4 + 4 + 1 + 8 + payload_size;  // len + crc + type + lsn + payload
+}
+
+struct WalOptions {
+  /// A segment rotates once its size reaches this many bytes (checked after
+  /// each append, so one oversized record never splits).
+  std::size_t segment_bytes = 1 << 20;
+};
+
+struct WalStats {
+  std::size_t segments = 0;   ///< live segment files in the directory
+  std::size_t bytes = 0;      ///< total bytes across them
+  std::uint64_t next_lsn = 0; ///< lsn the next append will be assigned
+};
+
+/// Appends records to bounded segments under one directory. Move-only; one
+/// writer per directory (single-writer ownership mirrors the maintenance
+/// contract of the serving tier).
+class WalWriter {
+ public:
+  /// Creates `dir` if needed, scans existing segments to recover the next
+  /// lsn (stopping at the first corrupt record, like replay does), and
+  /// opens a fresh segment at that lsn.
+  static Result<WalWriter> Open(const std::string& dir, WalOptions options = {});
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one record, assigns it the next lsn, and flushes it to the OS
+  /// before returning (append-before-apply: the caller mutates in-memory
+  /// state only after this succeeds). Returns the record's lsn.
+  Result<std::uint64_t> Append(WalRecordType type,
+                               const std::vector<std::uint8_t>& payload);
+
+  /// Checkpoint: deletes every segment and starts a fresh one at the
+  /// current lsn. Called after the serialized package has been persisted —
+  /// the log no longer needs to reconstruct anything before this point.
+  Status Truncate();
+
+  WalStats Stats() const;
+  const std::string& dir() const { return dir_; }
+  std::uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  WalWriter(std::string dir, WalOptions options, std::uint64_t next_lsn);
+  Status OpenFreshSegment();
+  void CloseSegment();
+
+  std::string dir_;
+  WalOptions options_;
+  std::uint64_t next_lsn_ = 0;
+  std::FILE* segment_ = nullptr;
+  std::string segment_path_;
+  std::size_t segment_size_ = 0;
+};
+
+/// Replays a WAL directory: all records, in lsn order, up to (not
+/// including) the first torn/corrupt/discontinuous record. A missing or
+/// empty directory replays to an empty vector. Only an unreadable file or
+/// a malformed *segment header* (wrong magic/version on the first segment)
+/// is an error — tail corruption is a clean stop by design.
+Result<std::vector<WalRecord>> ReadWal(const std::string& dir);
+
+/// Segment count / byte totals / recovered next lsn for a directory,
+/// without opening a writer — the `ppanns_cli info` observability surface.
+Result<WalStats> ReadWalStats(const std::string& dir);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_COMMON_WAL_H_

@@ -1,10 +1,14 @@
 #include "core/ppanns_service.h"
 
 #include <chrono>
+#include <filesystem>
 #include <string>
+#include <utility>
 
+#include "common/io.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/wal_records.h"
 
 namespace ppanns {
 namespace {
@@ -255,13 +259,18 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
   return batch;
 }
 
-Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
+Status PpannsService::CheckMutable(const char* op) const {
   if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
       s != nullptr && s->remote()) {
     return Status::NotSupported(
-        "Insert: this gather node serves remote shards; apply maintenance on "
+        std::string(op) +
+        ": this gather node serves remote shards; apply maintenance on "
         "the shard servers' own database");
   }
+  return Status::OK();
+}
+
+Status PpannsService::ValidateInsert(const EncryptedVector& v) const {
   if (v.sap.size() != dim()) {
     return Status::InvalidArgument(
         "Insert: SAP ciphertext dimension " + std::to_string(v.sap.size()) +
@@ -278,17 +287,108 @@ Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
         ") does not match the database (4 blocks of " + std::to_string(block) +
         ")");
   }
+  return Status::OK();
+}
+
+Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
+  PPANNS_RETURN_IF_ERROR(CheckMutable("Insert"));
+  PPANNS_RETURN_IF_ERROR(ValidateInsert(v));
+  if (wal_.has_value()) {
+    // Append-before-apply: the mutation is durable before any in-memory
+    // state changes, so a crash between the two replays it.
+    Result<std::uint64_t> lsn =
+        wal_->Append(WalRecordType::kInsert, EncodeWalInsert(v));
+    if (!lsn.ok()) return lsn.status();
+  }
   return std::visit([&](auto& s) { return s.Insert(v); }, server_);
 }
 
 Status PpannsService::Delete(VectorId id) {
-  if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
-      s != nullptr && s->remote()) {
-    return Status::NotSupported(
-        "Delete: this gather node serves remote shards; apply maintenance on "
-        "the shard servers' own database");
+  PPANNS_RETURN_IF_ERROR(CheckMutable("Delete"));
+  if (wal_.has_value()) {
+    // Logged before validity is known: a Delete the server rejects
+    // (NotFound, bad id) replays to the same rejection, which ReplayWal
+    // skips — cheaper than a validate-log-apply dance against the manifest.
+    Result<std::uint64_t> lsn =
+        wal_->Append(WalRecordType::kRemove, EncodeWalRemove(id));
+    if (!lsn.ok()) return lsn.status();
   }
   return std::visit([id](auto& s) { return s.Delete(id); }, server_);
+}
+
+Status PpannsService::AttachWal(const std::string& dir, WalOptions options) {
+  PPANNS_RETURN_IF_ERROR(CheckMutable("AttachWal"));
+  Result<WalWriter> writer = WalWriter::Open(dir, options);
+  if (!writer.ok()) return writer.status();
+  wal_.emplace(std::move(*writer));
+  return Status::OK();
+}
+
+Result<std::size_t> PpannsService::ReplayWal(const std::string& dir) {
+  PPANNS_RETURN_IF_ERROR(CheckMutable("ReplayWal"));
+  Result<std::vector<WalRecord>> records = ReadWal(dir);
+  if (!records.ok()) return records.status();
+  std::size_t applied = 0;
+  for (const WalRecord& record : *records) {
+    switch (record.type) {
+      case WalRecordType::kInsert: {
+        Result<EncryptedVector> ev = DecodeWalInsert(record.payload);
+        if (!ev.ok()) return ev.status();
+        // A record that framed correctly but does not fit the loaded
+        // package (wrong dimension) is a mismatched checkpoint/log pair —
+        // an error, not a skip.
+        PPANNS_RETURN_IF_ERROR(ValidateInsert(*ev));
+        // Apply directly, bypassing the attached WAL: these records are
+        // already in the log.
+        std::visit([&ev](auto& s) { (void)s.Insert(*ev); }, server_);
+        break;
+      }
+      case WalRecordType::kRemove: {
+        Result<VectorId> id = DecodeWalRemove(record.payload);
+        if (!id.ok()) return id.status();
+        const Status st =
+            std::visit([&id](auto& s) { return s.Delete(*id); }, server_);
+        // Append-before-apply: a logged Delete may have failed in the
+        // original run too (double delete, compacted-away id) — the replay
+        // reproduces the rejection, which is the correct final state.
+        if (!st.ok() && st.code() != Status::Code::kNotFound &&
+            st.code() != Status::Code::kInvalidArgument) {
+          return st;
+        }
+        break;
+      }
+      default:
+        return Status::IOError(
+            "ReplayWal: unknown record type " +
+            std::to_string(static_cast<int>(record.type)) + " at lsn " +
+            std::to_string(record.lsn));
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+Status PpannsService::Checkpoint(const std::string& path) {
+  PPANNS_RETURN_IF_ERROR(CheckMutable("Checkpoint"));
+  BinaryWriter out;
+  SerializeDatabase(&out);
+  // Write-temp-then-rename: the previous checkpoint survives a crash at any
+  // point, and the WAL is truncated only after the new one is durable.
+  const std::string tmp = path + ".tmp";
+  PPANNS_RETURN_IF_ERROR(WriteFile(tmp, out.buffer()));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("Checkpoint: rename " + tmp + " -> " + path +
+                           ": " + ec.message());
+  }
+  if (wal_.has_value()) return wal_->Truncate();
+  return Status::OK();
+}
+
+WalStats PpannsService::wal_stats() const {
+  PPANNS_CHECK(wal_.has_value());
+  return wal_->Stats();
 }
 
 }  // namespace ppanns

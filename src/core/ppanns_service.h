@@ -13,18 +13,25 @@
 //  * topology transparency — Search/SearchBatch/Insert/Delete behave
 //    identically over one index or over S shards (inserts route to the
 //    least-loaded shard, deletes resolve through the manifest), so scaling
-//    out is a deployment decision, not an API change.
+//    out is a deployment decision, not an API change;
+//  * durability — with a WAL attached (AttachWal), every accepted mutation
+//    is logged before it is applied, Checkpoint snapshots atomically and
+//    truncates the log, and ReplayWal reconstructs a crashed process's
+//    state from its last checkpoint plus the surviving log.
 
 #ifndef PPANNS_CORE_PPANNS_SERVICE_H_
 #define PPANNS_CORE_PPANNS_SERVICE_H_
 
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
 #include "common/search_context.h"
 #include "common/status.h"
+#include "common/wal.h"
 #include "core/cloud_server.h"
 #include "core/sharded_cloud_server.h"
 
@@ -137,6 +144,36 @@ class PpannsService {
   Result<VectorId> Insert(const EncryptedVector& v);
   Status Delete(VectorId id);
 
+  /// Attaches a write-ahead log under `dir`: from here on, every accepted
+  /// Insert/Delete appends a checksummed record *before* mutating in-memory
+  /// state, so durable state is always "last checkpoint + current log". The
+  /// directory is created if needed; existing segments are never appended to
+  /// (a fresh segment opens at the recovered lsn), so attaching to a
+  /// directory that still holds records is safe — but replay them FIRST
+  /// (ReplayWal), or the recovered mutations are lost from this process's
+  /// view. NotSupported on a remote gather node (mutations live on the shard
+  /// servers).
+  Status AttachWal(const std::string& dir, WalOptions options = {});
+
+  /// Crash recovery: re-applies every intact record in `dir` against the
+  /// currently loaded package, in lsn order, stopping cleanly at the first
+  /// torn record. Apply bypasses the attached WAL (no re-logging). A Delete
+  /// that fails with NotFound/InvalidArgument is skipped — append-before-
+  /// apply means a logged op may have failed identically in the original
+  /// run. Returns the number of records applied. Call before AttachWal when
+  /// reopening the same directory.
+  Result<std::size_t> ReplayWal(const std::string& dir);
+
+  /// Durably snapshots the package to `path` (write-temp-then-rename, so a
+  /// crash mid-checkpoint leaves the old file intact) and truncates the
+  /// attached WAL — the log only needs to reconstruct mutations after the
+  /// last checkpoint. Works without a WAL attached (plain atomic snapshot).
+  Status Checkpoint(const std::string& path);
+
+  bool wal_attached() const { return wal_.has_value(); }
+  /// Segment/byte/lsn stats of the attached WAL (PPANNS_CHECK if none).
+  WalStats wal_stats() const;
+
   std::size_t size() const;
   std::size_t dim() const;
   IndexKind index_kind() const;
@@ -167,10 +204,19 @@ class PpannsService {
   Status ValidateQuery(const QueryToken& token, std::size_t k,
                        const SearchSettings& settings) const;
 
+  /// Shared validation for Insert and WAL replay: SAP dimension and DCE
+  /// shape against the loaded package.
+  Status ValidateInsert(const EncryptedVector& v) const;
+
+  /// NotSupported when this facade fronts remote shards (mutations and WAL
+  /// state live on the shard servers).
+  Status CheckMutable(const char* op) const;
+
   /// The DCE block length dim() dictates: 2 * (dim rounded up to even) + 16.
   std::size_t ExpectedDceBlock() const;
 
   std::variant<CloudServer, ShardedCloudServer> server_;
+  std::optional<WalWriter> wal_;
 };
 
 }  // namespace ppanns

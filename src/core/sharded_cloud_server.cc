@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <limits>
 #include <mutex>
 #include <string>
@@ -17,43 +18,53 @@
 
 namespace ppanns {
 
-// Health flags, fault injection, load counters and the in-flight task count
-// live behind a stable heap address: async work items outlive SearchAsync
-// (hedge losers may still be draining when the winner returned) and may even
-// outlive a move of the server object, so they capture Runtime* and
-// CloudServer* — both stable — never `this`.
+// The epoch-swapped serving state. A ShardSet owns (through shared
+// ShardGroups) everything a query touches: replica CloudServers, the
+// local-to-global rows, the transports and the per-replica health/load
+// cells. Searches pin the set once and read only it; compaction/split build
+// a NEW set that shares every untouched group by shared_ptr and swap it in,
+// so an in-flight query — including an abandoned hedge loser — keeps its
+// graph alive through the pin until it finishes.
+struct ShardedCloudServer::ShardSet {
+  /// Per-replica health, fault-injection and load cells. Atomic so every
+  /// search path reads them lock-free; grouped per shard so a compaction
+  /// replaces exactly one shard's cells (down/delay/request values carry
+  /// over; in-flight resets — old dispatches drain against the old group).
+  struct ReplicaState {
+    std::atomic<bool> down{false};
+    std::atomic<int> delay_ms{0};
+    /// Outstanding filter dispatches (queued + executing, plus any
+    /// AddReplicaLoad bias) — what the load-aware dispatcher minimizes.
+    std::atomic<int> inflight{0};
+    /// Filter scans actually started (observability).
+    std::atomic<std::size_t> requests{0};
+  };
+
+  /// One shard: its replicas, its local-id translation row, its transports
+  /// and its per-replica state. Self-contained — the transports point only
+  /// at objects inside the same group — so sets can share groups and a
+  /// compaction allocates exactly one new group.
+  struct ShardGroup {
+    std::vector<CloudServer> replicas;      ///< empty when remote
+    std::vector<VectorId> local_to_global;  ///< empty when remote
+    std::unique_ptr<ReplicaState[]> state;  ///< [num_replicas]
+    std::vector<std::unique_ptr<ShardTransport>> transports;
+    /// Times this shard has been structurally rebuilt.
+    std::uint64_t compaction_epoch = 0;
+  };
+
+  std::vector<std::shared_ptr<ShardGroup>> groups;
+  ShardManifest manifest;
+  /// Monotonic count of structural maintenance ops; 0 = never compacted.
+  std::uint64_t state_version = 0;
+  std::size_t num_replicas = 1;
+};
+
+// Global counters that survive swaps at a stable heap address: async work
+// items outlive SearchAsync (hedge losers may still be draining when the
+// winner returned) and may even outlive a move of the server object, so
+// they capture Runtime* — stable — never `this`.
 struct ShardedCloudServer::Runtime {
-  Runtime(std::size_t num_shards, std::size_t num_replicas)
-      : shards(num_shards),
-        replicas(num_replicas),
-        down(std::make_unique<std::atomic<bool>[]>(num_shards * num_replicas)),
-        delay_ms(
-            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)),
-        inflight_replica(
-            std::make_unique<std::atomic<int>[]>(num_shards * num_replicas)),
-        requests(std::make_unique<std::atomic<std::size_t>[]>(num_shards *
-                                                              num_replicas)) {
-    for (std::size_t i = 0; i < num_shards * num_replicas; ++i) {
-      down[i].store(false, std::memory_order_relaxed);
-      delay_ms[i].store(0, std::memory_order_relaxed);
-      inflight_replica[i].store(0, std::memory_order_relaxed);
-      requests[i].store(0, std::memory_order_relaxed);
-    }
-  }
-
-  std::size_t slot(std::size_t s, std::size_t r) const {
-    return s * replicas + r;
-  }
-
-  std::size_t shards;
-  std::size_t replicas;
-  std::unique_ptr<std::atomic<bool>[]> down;
-  std::unique_ptr<std::atomic<int>[]> delay_ms;
-  /// Outstanding filter dispatches per replica (queued + executing, plus any
-  /// AddReplicaLoad bias) — what the load-aware dispatcher minimizes.
-  std::unique_ptr<std::atomic<int>[]> inflight_replica;
-  /// Filter scans actually started per replica (observability).
-  std::unique_ptr<std::atomic<std::size_t>[]> requests;
   /// Async work items still on the pool (including abandoned hedge losers);
   /// the destructor drains this before the shards are released.
   std::atomic<std::size_t> inflight{0};
@@ -64,7 +75,20 @@ struct ShardedCloudServer::Runtime {
   std::atomic<std::size_t> cancelled_scans{0};
 };
 
+// The maintenance seam: one mutex serializes every mutation (Insert,
+// Delete, compaction, split, serialization snapshots) against the others —
+// searches never take it — plus the background worker.
+struct ShardedCloudServer::Maintenance {
+  std::mutex mu;
+  MaintenanceOptions options;  // guarded by mu
+  std::thread worker;
+  std::atomic<bool> stop{false};
+};
+
 namespace {
+
+using ReplicaState = ShardedCloudServer::ShardSet::ReplicaState;
+using ShardGroup = ShardedCloudServer::ShardSet::ShardGroup;
 
 /// Simulated straggler: the injected latency of a filter work item, served
 /// in 1 ms slices so a cancelled item (lost hedge, expired deadline) wakes
@@ -77,9 +101,9 @@ void InterruptibleDelay(int delay_ms, SearchContext* ctx) {
 }
 
 /// The in-process ShardTransport: one replica behind a function call. Holds
-/// stable pointers only (CloudServer heap slot, the shard's local-to-global
-/// row, the Runtime delay cell) — a dispatch can outlive a move of the
-/// server object, exactly like the hedged work items always have.
+/// pointers only into its own ShardGroup — a dispatch that outlives a
+/// compaction swap keeps the group alive through the coordinator's pinned
+/// ShardSet, so these never dangle.
 class LocalShardTransport final : public ShardTransport {
  public:
   LocalShardTransport(const CloudServer* replica,
@@ -115,94 +139,191 @@ class LocalShardTransport final : public ShardTransport {
   const std::atomic<int>* delay_ms_;
 };
 
+/// Allocates a group's state cells and in-process transports once its
+/// replicas and local_to_global vector objects exist (the transports hold
+/// the vector's address, so the rows may still be filled afterwards).
+void WireLocalGroup(ShardGroup* group, std::size_t num_replicas) {
+  group->state = std::make_unique<ReplicaState[]>(num_replicas);
+  group->transports.reserve(num_replicas);
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    group->transports.push_back(std::make_unique<LocalShardTransport>(
+        &group->replicas[r], &group->local_to_global,
+        &group->state[r].delay_ms));
+  }
+}
+
+/// A fresh compacted shard: the live rows of `old_index` (in local-id
+/// order, so rank = new local id) rebuilt into an empty index of the same
+/// kind and parameters, plus the matching compacted DCE array.
+EncryptedDatabase BuildCompactedShard(const SecureFilterIndex& old_index,
+                                      const std::vector<DceCiphertext>& old_dce,
+                                      std::span<const VectorId> live,
+                                      std::size_t build_threads) {
+  FloatMatrix sap(live.size(), old_index.dim());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    std::memcpy(sap.row(i), old_index.data().row(live[i]),
+                old_index.dim() * sizeof(float));
+  }
+  EncryptedDatabase db;
+  db.index = old_index.MakeEmptyLike();
+  db.index->BuildParallel(sap, &ThreadPool::Global(),
+                          std::max<std::size_t>(build_threads, 1));
+  db.dce.reserve(live.size());
+  for (VectorId l : live) db.dce.push_back(old_dce[l]);
+  return db;
+}
+
+/// R replicas of one freshly built shard, byte-identical by construction:
+/// the primary serializes once and the others deserialize that image —
+/// cheaper than re-running the (deterministic) build R times, and exactly
+/// how an owner-built package stamps its replicas.
+std::vector<CloudServer> ReplicateShard(EncryptedDatabase primary,
+                                        std::size_t num_replicas) {
+  std::vector<CloudServer> replicas;
+  replicas.reserve(num_replicas);
+  BinaryWriter image;
+  if (num_replicas > 1) primary.Serialize(&image);
+  replicas.emplace_back(std::move(primary));
+  for (std::size_t r = 1; r < num_replicas; ++r) {
+    BinaryReader in(image.buffer());
+    Result<EncryptedDatabase> copy = EncryptedDatabase::Deserialize(&in);
+    PPANNS_CHECK(copy.ok());
+    replicas.emplace_back(std::move(*copy));
+  }
+  return replicas;
+}
+
+/// Carries the admin-visible replica flags (down, injected delay, request
+/// totals) from a replaced group onto its rebuilt successor. In-flight
+/// counts reset: outstanding dispatches decrement the OLD group's cells, so
+/// copying them would leave phantom load steering the dispatcher forever.
+void CarryReplicaState(const ShardGroup& from, ShardGroup* to,
+                       std::size_t num_replicas) {
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    to->state[r].down.store(from.state[r].down.load(std::memory_order_acquire),
+                            std::memory_order_release);
+    to->state[r].delay_ms.store(
+        from.state[r].delay_ms.load(std::memory_order_acquire),
+        std::memory_order_release);
+    to->state[r].requests.store(
+        from.state[r].requests.load(std::memory_order_acquire),
+        std::memory_order_release);
+  }
+}
+
+/// Live local ids of a shard's primary index, ascending — the rank order a
+/// compaction assigns new local ids in.
+std::vector<VectorId> LiveLocals(const SecureFilterIndex& index) {
+  std::vector<VectorId> live;
+  live.reserve(index.size());
+  for (std::size_t l = 0; l < index.capacity(); ++l) {
+    if (!index.IsDeleted(static_cast<VectorId>(l))) {
+      live.push_back(static_cast<VectorId>(l));
+    }
+  }
+  return live;
+}
+
 }  // namespace
 
 ShardedCloudServer::ShardedCloudServer(ShardedEncryptedDatabase db)
-    : manifest_(std::move(db.manifest)) {
+    : runtime_(std::make_unique<Runtime>()),
+      maintenance_(std::make_unique<Maintenance>()) {
   PPANNS_CHECK(!db.shards.empty());
   const std::size_t num_replicas = db.shards.front().size();
   PPANNS_CHECK(num_replicas >= 1);
-  replicas_.resize(db.shards.size());
+
+  auto set = std::make_shared<ShardSet>();
+  set->num_replicas = num_replicas;
+  set->manifest = std::move(db.manifest);
+  set->state_version = db.state_version;
+
   std::vector<std::size_t> capacities;
   capacities.reserve(db.shards.size());
+  set->groups.reserve(db.shards.size());
   for (std::size_t s = 0; s < db.shards.size(); ++s) {
     // Uniform replica groups whose members agree on the local id space —
     // Deserialize enforces this on load, owner builds satisfy it by
     // construction.
     PPANNS_CHECK(db.shards[s].size() == num_replicas);
-    replicas_[s].reserve(num_replicas);
+    auto group = std::make_shared<ShardGroup>();
+    group->replicas.reserve(num_replicas);
     for (EncryptedDatabase& replica : db.shards[s]) {
-      if (!replicas_[s].empty()) {
+      if (!group->replicas.empty()) {
         PPANNS_CHECK(replica.index->capacity() ==
-                     replicas_[s].front().index().capacity());
+                     group->replicas.front().index().capacity());
       }
-      replicas_[s].emplace_back(std::move(replica));
+      group->replicas.emplace_back(std::move(replica));
     }
-    capacities.push_back(replicas_[s].front().index().capacity());
+    capacities.push_back(group->replicas.front().index().capacity());
+    group->compaction_epoch =
+        s < db.compaction_epochs.size() ? db.compaction_epochs[s] : 0;
+    group->local_to_global.resize(capacities[s], kInvalidVectorId);
+    WireLocalGroup(group.get(), num_replicas);
+    set->groups.push_back(std::move(group));
   }
   // Owner-built packages are consistent by construction and Deserialize
   // revalidates on load; an inconsistent manifest here is a programmer error.
-  PPANNS_CHECK(manifest_.Validate(capacities).ok());
-
-  local_to_global_.resize(replicas_.size());
-  for (std::size_t s = 0; s < replicas_.size(); ++s) {
-    local_to_global_[s].resize(capacities[s], kInvalidVectorId);
-  }
-  for (std::size_t g = 0; g < manifest_.size(); ++g) {
-    const ShardRef& ref = manifest_.at(static_cast<VectorId>(g));
-    local_to_global_[ref.shard][ref.local] = static_cast<VectorId>(g);
+  PPANNS_CHECK(set->manifest.Validate(capacities).ok());
+  for (std::size_t g = 0; g < set->manifest.size(); ++g) {
+    const ShardRef& ref = set->manifest.at(static_cast<VectorId>(g));
+    if (IsDeadRef(ref)) continue;  // compacted-away id: no slot
+    set->groups[ref.shard]->local_to_global[ref.local] =
+        static_cast<VectorId>(g);
   }
 
-  runtime_ = std::make_unique<Runtime>(replicas_.size(), num_replicas);
-
-  // Every replica gets its in-process transport; search paths dispatch only
-  // through this seam, so remote stubs drop in without touching them.
-  transports_.resize(replicas_.size());
-  for (std::size_t s = 0; s < replicas_.size(); ++s) {
-    transports_[s].reserve(num_replicas);
-    for (std::size_t r = 0; r < num_replicas; ++r) {
-      transports_[s].push_back(std::make_unique<LocalShardTransport>(
-          &replicas_[s][r], &local_to_global_[s],
-          &runtime_->delay_ms[runtime_->slot(s, r)]));
-    }
-  }
+  set_ = std::make_unique<EpochPtr<ShardSet>>(std::move(set));
 }
 
 ShardedCloudServer::ShardedCloudServer(
     const RemoteTopology& topology,
     std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports)
-    : transports_(std::move(transports)), topology_(topology), remote_(true) {
-  PPANNS_CHECK(!transports_.empty());
-  PPANNS_CHECK(transports_.size() == topology.num_shards);
-  for (const auto& group : transports_) {
-    PPANNS_CHECK(group.size() == topology.num_replicas);
-    for (const auto& transport : group) PPANNS_CHECK(transport != nullptr);
+    : topology_(topology),
+      remote_(true),
+      runtime_(std::make_unique<Runtime>()),
+      maintenance_(std::make_unique<Maintenance>()) {
+  PPANNS_CHECK(!transports.empty());
+  PPANNS_CHECK(transports.size() == topology.num_shards);
+  auto set = std::make_shared<ShardSet>();
+  set->num_replicas = topology.num_replicas;
+  set->groups.reserve(transports.size());
+  for (auto& group_transports : transports) {
+    PPANNS_CHECK(group_transports.size() == topology.num_replicas);
+    for (const auto& transport : group_transports) {
+      PPANNS_CHECK(transport != nullptr);
+    }
+    auto group = std::make_shared<ShardGroup>();
+    group->state = std::make_unique<ReplicaState[]>(topology.num_replicas);
+    group->transports = std::move(group_transports);
+    set->groups.push_back(std::move(group));
   }
-  runtime_ =
-      std::make_unique<Runtime>(topology.num_shards, topology.num_replicas);
+  set_ = std::make_unique<EpochPtr<ShardSet>>(std::move(set));
 }
 
-// Out of line: Runtime is incomplete in the header.
+// Out of line: ShardSet/Runtime/Maintenance are incomplete in the header.
 ShardedCloudServer::ShardedCloudServer(ShardedCloudServer&&) noexcept = default;
 
 ShardedCloudServer& ShardedCloudServer::operator=(
     ShardedCloudServer&& other) noexcept {
   if (this != &other) {
-    // The shards and runtime about to be released may still be read by
-    // abandoned async work items; wait them out like the destructor does.
+    // Our background worker captures `this`; it must die before the state it
+    // polls. The shards and runtime about to be released may still be read
+    // by abandoned async work items; wait them out like the destructor does.
+    StopMaintenance();
     DrainAsyncWork();
-    replicas_ = std::move(other.replicas_);
-    manifest_ = std::move(other.manifest_);
-    local_to_global_ = std::move(other.local_to_global_);
-    transports_ = std::move(other.transports_);
+    set_ = std::move(other.set_);
     topology_ = other.topology_;
     remote_ = other.remote_;
     runtime_ = std::move(other.runtime_);
+    maintenance_ = std::move(other.maintenance_);
   }
   return *this;
 }
 
-ShardedCloudServer::~ShardedCloudServer() { DrainAsyncWork(); }
+ShardedCloudServer::~ShardedCloudServer() {
+  StopMaintenance();
+  DrainAsyncWork();
+}
 
 void ShardedCloudServer::DrainAsyncWork() const {
   if (runtime_ == nullptr) return;  // moved-from
@@ -211,40 +332,319 @@ void ShardedCloudServer::DrainAsyncWork() const {
   }
 }
 
+// ---- Maintenance ------------------------------------------------------------
+
+Status ShardedCloudServer::CompactShardLocked(std::size_t s,
+                                              std::size_t build_threads) {
+  const std::shared_ptr<ShardSet> cur = set_->Current();
+  if (s >= cur->groups.size()) {
+    return Status::InvalidArgument("CompactShard: shard " + std::to_string(s) +
+                                   " is outside the " +
+                                   std::to_string(cur->groups.size()) +
+                                   "-shard topology");
+  }
+  const ShardGroup& old_group = *cur->groups[s];
+  const CloudServer& primary = old_group.replicas.front();
+  const std::vector<VectorId> live = LiveLocals(primary.index());
+
+  // The expensive part — gathering rows and rebuilding the index — reads
+  // the old group const while searches keep serving it. Nothing is
+  // published until the single Swap below.
+  auto group = std::make_shared<ShardGroup>();
+  group->replicas = ReplicateShard(
+      BuildCompactedShard(primary.index(), primary.dce_ciphertexts(), live,
+                          build_threads),
+      cur->num_replicas);
+  group->compaction_epoch = old_group.compaction_epoch + 1;
+  group->local_to_global.resize(live.size(), kInvalidVectorId);
+  WireLocalGroup(group.get(), cur->num_replicas);
+  CarryReplicaState(old_group, group.get(), cur->num_replicas);
+
+  auto next = std::make_shared<ShardSet>();
+  next->num_replicas = cur->num_replicas;
+  next->state_version = cur->state_version + 1;
+  next->groups = cur->groups;  // every other shard is shared, not copied
+  next->manifest = cur->manifest;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const VectorId g = old_group.local_to_global[live[i]];
+    group->local_to_global[i] = g;
+    next->manifest.entries[g] =
+        ShardRef{static_cast<ShardId>(s), static_cast<VectorId>(i)};
+  }
+  // Tombstoned slots are physically gone: their global ids become dead refs
+  // (forever — ids are never reused), so Delete reports NotFound and a
+  // reloaded package validates.
+  for (std::size_t l = 0; l < old_group.local_to_global.size(); ++l) {
+    if (!primary.index().IsDeleted(static_cast<VectorId>(l))) continue;
+    const VectorId g = old_group.local_to_global[l];
+    if (g != kInvalidVectorId) next->manifest.entries[g] = kDeadShardRef;
+  }
+  next->groups[s] = std::move(group);
+
+  set_->Swap(std::move(next));
+  return Status::OK();
+}
+
+Status ShardedCloudServer::SplitShardLocked(std::size_t s,
+                                            std::size_t build_threads) {
+  const std::shared_ptr<ShardSet> cur = set_->Current();
+  if (s >= cur->groups.size()) {
+    return Status::InvalidArgument("SplitShard: shard " + std::to_string(s) +
+                                   " is outside the " +
+                                   std::to_string(cur->groups.size()) +
+                                   "-shard topology");
+  }
+  const ShardGroup& old_group = *cur->groups[s];
+  const CloudServer& primary = old_group.replicas.front();
+  const std::vector<VectorId> live = LiveLocals(primary.index());
+  if (live.size() < 2) {
+    return Status::FailedPrecondition("SplitShard: shard " +
+                                      std::to_string(s) + " has " +
+                                      std::to_string(live.size()) +
+                                      " live vectors; nothing to split");
+  }
+
+  // Deterministic split by live rank: the first ceil(n/2) stay on shard s,
+  // the rest move to a new shard appended at the end. Both halves are built
+  // compacted, so the split doubles as a compaction of s.
+  const std::size_t keep = (live.size() + 1) / 2;
+  const std::span<const VectorId> keep_live(live.data(), keep);
+  const std::span<const VectorId> move_live(live.data() + keep,
+                                            live.size() - keep);
+  const ShardId new_shard = static_cast<ShardId>(cur->groups.size());
+
+  auto build_half = [&](std::span<const VectorId> half) {
+    auto group = std::make_shared<ShardGroup>();
+    group->replicas = ReplicateShard(
+        BuildCompactedShard(primary.index(), primary.dce_ciphertexts(), half,
+                            build_threads),
+        cur->num_replicas);
+    group->compaction_epoch = old_group.compaction_epoch + 1;
+    group->local_to_global.resize(half.size(), kInvalidVectorId);
+    WireLocalGroup(group.get(), cur->num_replicas);
+    return group;
+  };
+  auto group_a = build_half(keep_live);
+  auto group_b = build_half(move_live);
+  // The surviving shard id keeps its admin flags; the new shard starts with
+  // clean state (it did not exist when the flags were set).
+  CarryReplicaState(old_group, group_a.get(), cur->num_replicas);
+
+  auto next = std::make_shared<ShardSet>();
+  next->num_replicas = cur->num_replicas;
+  next->state_version = cur->state_version + 1;
+  next->groups = cur->groups;
+  next->manifest = cur->manifest;
+  for (std::size_t i = 0; i < keep_live.size(); ++i) {
+    const VectorId g = old_group.local_to_global[keep_live[i]];
+    group_a->local_to_global[i] = g;
+    next->manifest.entries[g] =
+        ShardRef{static_cast<ShardId>(s), static_cast<VectorId>(i)};
+  }
+  for (std::size_t i = 0; i < move_live.size(); ++i) {
+    const VectorId g = old_group.local_to_global[move_live[i]];
+    group_b->local_to_global[i] = g;
+    next->manifest.entries[g] = ShardRef{new_shard, static_cast<VectorId>(i)};
+  }
+  for (std::size_t l = 0; l < old_group.local_to_global.size(); ++l) {
+    if (!primary.index().IsDeleted(static_cast<VectorId>(l))) continue;
+    const VectorId g = old_group.local_to_global[l];
+    if (g != kInvalidVectorId) next->manifest.entries[g] = kDeadShardRef;
+  }
+  next->groups[s] = std::move(group_a);
+  next->groups.push_back(std::move(group_b));
+
+  set_->Swap(std::move(next));
+  return Status::OK();
+}
+
+Status ShardedCloudServer::CompactShard(std::size_t s) {
+  PPANNS_CHECK(!remote_);
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  return CompactShardLocked(s, maintenance_->options.build_threads);
+}
+
+Status ShardedCloudServer::SplitShard(std::size_t s) {
+  PPANNS_CHECK(!remote_);
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  return SplitShardLocked(s, maintenance_->options.build_threads);
+}
+
+std::size_t ShardedCloudServer::MaybeCompact(const MaintenanceOptions& options) {
+  PPANNS_CHECK(!remote_);
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  std::size_t ops = 0;
+
+  // Compaction pass: sweep the shard list once; each CompactShardLocked
+  // swaps a fresh set, so re-read the current one per decision.
+  const std::size_t shard_count = set_->Current()->groups.size();
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::shared_ptr<ShardSet> cur = set_->Current();
+    const SecureFilterIndex& index = cur->groups[s]->replicas.front().index();
+    if (index.capacity() == 0) continue;
+    const std::size_t dead = index.capacity() - index.size();
+    if (dead == 0) continue;
+    const double ratio =
+        static_cast<double>(dead) / static_cast<double>(index.capacity());
+    if (ratio <= options.compact_threshold) continue;
+    if (CompactShardLocked(s, options.build_threads).ok()) ++ops;
+  }
+
+  // Split pass: one split per sweep keeps the background worker's swaps
+  // paced (the next sweep re-evaluates the new topology).
+  if (options.split_skew > 0.0) {
+    const std::shared_ptr<ShardSet> cur = set_->Current();
+    std::size_t total = 0, heaviest = 0, heaviest_size = 0;
+    for (std::size_t s = 0; s < cur->groups.size(); ++s) {
+      const std::size_t live = cur->groups[s]->replicas.front().size();
+      total += live;
+      if (live > heaviest_size) {
+        heaviest_size = live;
+        heaviest = s;
+      }
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(cur->groups.size());
+    if (heaviest_size >= options.min_split_size &&
+        static_cast<double>(heaviest_size) > options.split_skew * mean) {
+      if (SplitShardLocked(heaviest, options.build_threads).ok()) ++ops;
+    }
+  }
+  return ops;
+}
+
+void ShardedCloudServer::StartMaintenance(const MaintenanceOptions& options) {
+  PPANNS_CHECK(!remote_);
+  StopMaintenance();  // at most one worker
+  {
+    std::lock_guard<std::mutex> lock(maintenance_->mu);
+    maintenance_->options = options;
+  }
+  maintenance_->stop.store(false, std::memory_order_release);
+  Maintenance* const m = maintenance_.get();
+  maintenance_->worker = std::thread([this, m, options] {
+    while (!m->stop.load(std::memory_order_acquire)) {
+      MaybeCompact(options);
+      // Sleep the poll interval in 1 ms slices so StopMaintenance returns
+      // promptly.
+      for (int slice = 0; slice < std::max(options.poll_ms, 1); ++slice) {
+        if (m->stop.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+}
+
+void ShardedCloudServer::StopMaintenance() {
+  if (maintenance_ == nullptr) return;  // moved-from
+  maintenance_->stop.store(true, std::memory_order_release);
+  if (maintenance_->worker.joinable()) maintenance_->worker.join();
+}
+
+double ShardedCloudServer::tombstone_ratio(std::size_t s) const {
+  PPANNS_CHECK(!remote_);
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  const SecureFilterIndex& index = set->groups[s]->replicas.front().index();
+  if (index.capacity() == 0) return 0.0;
+  return static_cast<double>(index.capacity() - index.size()) /
+         static_cast<double>(index.capacity());
+}
+
+std::uint64_t ShardedCloudServer::last_compaction_epoch(std::size_t s) const {
+  PPANNS_CHECK(!remote_);
+  return set_->Pin()->groups[s]->compaction_epoch;
+}
+
+std::uint64_t ShardedCloudServer::state_version() const {
+  PPANNS_CHECK(!remote_);
+  return set_->Pin()->state_version;
+}
+
+// ---- Accessors --------------------------------------------------------------
+
+std::size_t ShardedCloudServer::size() const {
+  if (remote_) return topology_.size;
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  std::size_t total = 0;
+  for (const auto& group : set->groups) total += group->replicas.front().size();
+  return total;
+}
+
+std::size_t ShardedCloudServer::capacity() const {
+  if (remote_) return topology_.capacity;
+  return set_->Pin()->manifest.size();
+}
+
+std::size_t ShardedCloudServer::dim() const {
+  if (remote_) return topology_.dim;
+  return set_->Pin()->groups.front()->replicas.front().index().dim();
+}
+
+IndexKind ShardedCloudServer::index_kind() const {
+  if (remote_) return topology_.index_kind;
+  return set_->Pin()->groups.front()->replicas.front().index().kind();
+}
+
+std::size_t ShardedCloudServer::num_shards() const {
+  return set_->Pin()->groups.size();
+}
+
+std::size_t ShardedCloudServer::replication_factor() const {
+  return set_->Pin()->num_replicas;
+}
+
+const CloudServer& ShardedCloudServer::shard(std::size_t s) const {
+  PPANNS_CHECK(!remote_);
+  return set_->Pin()->groups[s]->replicas.front();
+}
+
+const CloudServer& ShardedCloudServer::replica(std::size_t s,
+                                               std::size_t r) const {
+  PPANNS_CHECK(!remote_);
+  return set_->Pin()->groups[s]->replicas[r];
+}
+
+const ShardManifest& ShardedCloudServer::manifest() const {
+  return set_->Pin()->manifest;
+}
+
+// ---- Replica health / load surface ------------------------------------------
+
 void ShardedCloudServer::SetReplicaDown(std::size_t s, std::size_t r,
                                         bool down) {
-  runtime_->down[runtime_->slot(s, r)].store(down, std::memory_order_release);
+  set_->Pin()->groups[s]->state[r].down.store(down, std::memory_order_release);
+}
+
+bool ShardedCloudServer::ReplicaDown(const ShardSet& set, std::size_t s,
+                                     std::size_t r) {
+  return set.groups[s]->state[r].down.load(std::memory_order_acquire) ||
+         !set.groups[s]->transports[r]->Healthy();
 }
 
 bool ShardedCloudServer::replica_down(std::size_t s, std::size_t r) const {
-  // A replica is unserveable when the admin flagged it down OR its transport
-  // can no longer reach it (a remote stub whose connection died) — failover
-  // treats both identically.
-  return runtime_->down[runtime_->slot(s, r)].load(
-             std::memory_order_acquire) ||
-         !transports_[s][r]->Healthy();
+  return ReplicaDown(*set_->Pin(), s, r);
 }
 
 void ShardedCloudServer::SetReplicaDelayMs(std::size_t s, std::size_t r,
                                            int delay_ms) {
-  runtime_->delay_ms[runtime_->slot(s, r)].store(delay_ms,
-                                                 std::memory_order_release);
+  set_->Pin()->groups[s]->state[r].delay_ms.store(delay_ms,
+                                                  std::memory_order_release);
 }
 
 void ShardedCloudServer::AddReplicaLoad(std::size_t s, std::size_t r,
                                         int delta) {
-  runtime_->inflight_replica[runtime_->slot(s, r)].fetch_add(
+  set_->Pin()->groups[s]->state[r].inflight.fetch_add(
       delta, std::memory_order_acq_rel);
 }
 
 int ShardedCloudServer::replica_inflight(std::size_t s, std::size_t r) const {
-  return runtime_->inflight_replica[runtime_->slot(s, r)].load(
+  return set_->Pin()->groups[s]->state[r].inflight.load(
       std::memory_order_acquire);
 }
 
 std::size_t ShardedCloudServer::replica_requests(std::size_t s,
                                                  std::size_t r) const {
-  return runtime_->requests[runtime_->slot(s, r)].load(
+  return set_->Pin()->groups[s]->state[r].requests.load(
       std::memory_order_acquire);
 }
 
@@ -259,37 +659,38 @@ std::size_t ShardedCloudServer::CancelledScans() const {
 }
 
 std::size_t ShardedCloudServer::live_replicas(std::size_t s) const {
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
   std::size_t live = 0;
-  for (std::size_t r = 0; r < replication_factor(); ++r) {
-    if (!replica_down(s, r)) ++live;
+  for (std::size_t r = 0; r < set->num_replicas; ++r) {
+    if (!ReplicaDown(*set, s, r)) ++live;
   }
   return live;
 }
 
-int ShardedCloudServer::FirstLiveReplica(std::size_t s,
-                                         std::size_t* skipped) const {
-  for (std::size_t r = 0; r < replication_factor(); ++r) {
-    if (!replica_down(s, r)) return static_cast<int>(r);
+int ShardedCloudServer::FirstLiveReplica(const ShardSet& set, std::size_t s,
+                                         std::size_t* skipped) {
+  for (std::size_t r = 0; r < set.num_replicas; ++r) {
+    if (!ReplicaDown(set, s, r)) return static_cast<int>(r);
     if (skipped != nullptr) ++*skipped;
   }
   return -1;
 }
 
-int ShardedCloudServer::PickReplica(std::size_t s,
-                                    std::size_t* skipped) const {
+int ShardedCloudServer::PickReplica(const ShardSet& set, std::size_t s,
+                                    std::size_t* skipped) {
   int best = -1;
   int best_load = std::numeric_limits<int>::max();
   bool seen_live = false;
-  for (std::size_t r = 0; r < replication_factor(); ++r) {
-    if (replica_down(s, r)) {
+  for (std::size_t r = 0; r < set.num_replicas; ++r) {
+    if (ReplicaDown(set, s, r)) {
       // Down replicas ahead of the first live one count as skipped, matching
       // the first-live accounting the counters have always reported.
       if (!seen_live && skipped != nullptr) ++*skipped;
       continue;
     }
     seen_live = true;
-    const int load = runtime_->inflight_replica[runtime_->slot(s, r)].load(
-        std::memory_order_acquire);
+    const int load =
+        set.groups[s]->state[r].inflight.load(std::memory_order_acquire);
     if (load < best_load) {
       best_load = load;
       best = static_cast<int>(r);
@@ -308,17 +709,16 @@ ShardFilterOptions ShardedCloudServer::MakeFilterOptions(
   return options;
 }
 
-Status ShardedCloudServer::FilterVia(std::size_t s, std::size_t r,
-                                     const QueryToken& token,
+Status ShardedCloudServer::FilterVia(const ShardSet& set, std::size_t s,
+                                     std::size_t r, const QueryToken& token,
                                      const ShardFilterOptions& options,
                                      SearchContext* ctx,
-                                     ShardFilterResult* out) const {
-  Runtime* const rt = runtime_.get();
-  const std::size_t slot = rt->slot(s, r);
-  rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
-  const Status st = transports_[s][r]->Filter(token, options, ctx, out);
-  if (out->scanned) rt->requests[slot].fetch_add(1, std::memory_order_acq_rel);
-  rt->inflight_replica[slot].fetch_sub(1, std::memory_order_acq_rel);
+                                     ShardFilterResult* out) {
+  ReplicaState& state = set.groups[s]->state[r];
+  state.inflight.fetch_add(1, std::memory_order_acq_rel);
+  const Status st = set.groups[s]->transports[r]->Filter(token, options, ctx, out);
+  if (out->scanned) state.requests.fetch_add(1, std::memory_order_acq_rel);
+  state.inflight.fetch_sub(1, std::memory_order_acq_rel);
   return st;
 }
 
@@ -328,25 +728,26 @@ Status ShardedCloudServer::FilterShard(std::size_t s, std::size_t r,
                                        SearchContext* ctx,
                                        ShardFilterResult* out) const {
   PPANNS_CHECK(!remote_);
-  if (s >= num_shards() || r >= replication_factor()) {
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  if (s >= set->groups.size() || r >= set->num_replicas) {
     return Status::InvalidArgument(
         "FilterShard: replica (" + std::to_string(s) + ", " +
         std::to_string(r) + ") is outside the " +
-        std::to_string(num_shards()) + "x" +
-        std::to_string(replication_factor()) + " topology");
+        std::to_string(set->groups.size()) + "x" +
+        std::to_string(set->num_replicas) + " topology");
   }
   if (options.k_prime == 0) {
     return Status::InvalidArgument("FilterShard: k' must be positive");
   }
-  PPANNS_RETURN_IF_ERROR(FilterVia(s, r, token, options, ctx, out));
+  PPANNS_RETURN_IF_ERROR(FilterVia(*set, s, r, token, options, ctx, out));
   if (options.want_dce) {
     // Ship the candidates' ciphertexts for the remote refine phase. Any
     // replica of the shard serves (ciphertexts are byte-identical); use the
     // one that answered.
-    const CloudServer& source = replicas_[s][r];
+    const CloudServer& source = set->groups[s]->replicas[r];
     out->dce.reserve(out->candidates.size());
     for (const Neighbor& nb : out->candidates) {
-      const ShardRef& ref = manifest_.at(nb.id);
+      const ShardRef& ref = set->manifest.at(nb.id);
       out->dce.push_back(source.dce_ciphertexts()[ref.local]);
     }
   }
@@ -354,9 +755,9 @@ Status ShardedCloudServer::FilterShard(std::size_t s, std::size_t r,
 }
 
 SearchResult ShardedCloudServer::MergeAndRefine(
-    const QueryToken& token, std::size_t k, const SearchSettings& settings,
-    std::size_t k_prime, std::vector<ShardFilterResult> per_shard,
-    SearchContext* ctx) const {
+    const ShardSet& set, const QueryToken& token, std::size_t k,
+    const SearchSettings& settings, std::size_t k_prime,
+    std::vector<ShardFilterResult> per_shard, SearchContext* ctx) const {
   SearchResult result;
 
   // A remote gather refines over ciphertexts shipped in the answers; index
@@ -401,24 +802,29 @@ SearchResult ShardedCloudServer::MergeAndRefine(
   // across replicas; the choice is pinned per shard up front so the
   // comparison hot loop does no health checks). A remote gather looks up the
   // shipped ciphertexts instead — same comparisons, same ids.
-  std::vector<const CloudServer*> dce_source(replicas_.size());
-  for (std::size_t s = 0; s < replicas_.size(); ++s) {
-    const int r = FirstLiveReplica(s);
-    dce_source[s] = r >= 0 ? &replicas_[s][r] : &replicas_[s].front();
+  std::vector<const CloudServer*> dce_source;
+  if (!remote_) {
+    dce_source.resize(set.groups.size());
+    for (std::size_t s = 0; s < set.groups.size(); ++s) {
+      const int r = FirstLiveReplica(set, s);
+      dce_source[s] = r >= 0 ? &set.groups[s]->replicas[r]
+                             : &set.groups[s]->replicas.front();
+    }
   }
 
   Timer refine_timer;
   std::size_t* comparisons = &result.counters.dce_comparisons;
+  const ShardManifest& manifest = set.manifest;
   ComparisonHeap heap(
-      k, [this, &token, &dce_source, &shipped_dce,
+      k, [this, &token, &dce_source, &shipped_dce, &manifest,
           comparisons](VectorId a, VectorId b) {
         ++*comparisons;
         if (remote_) {
           return DceScheme::Closer(*shipped_dce.at(a), *shipped_dce.at(b),
                                    token.trapdoor);
         }
-        const ShardRef& ra = manifest_.at(a);
-        const ShardRef& rb = manifest_.at(b);
+        const ShardRef& ra = manifest.at(a);
+        const ShardRef& rb = manifest.at(b);
         return DceScheme::Closer(
             dce_source[ra.shard]->dce_ciphertexts()[ra.local],
             dce_source[rb.shard]->dce_ciphertexts()[rb.local], token.trapdoor);
@@ -448,7 +854,7 @@ SearchResult ShardedCloudServer::MergeAndRefine(
         if (it == shipped_dce.end()) continue;
         PrefetchRead(it->second->data.data());
       } else {
-        const ShardRef& ref = manifest_.at(id);
+        const ShardRef& ref = manifest.at(id);
         PrefetchRead(
             dce_source[ref.shard]->dce_ciphertexts()[ref.local].data.data());
       }
@@ -475,6 +881,10 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   ApplyContextSettings(ctx, settings);
   const std::size_t k_prime = ResolveKPrime(settings, k);
 
+  // Pin the serving state once: the whole query — scatter, merge, refine —
+  // reads this set even if a compaction swaps a new one in meanwhile.
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+
   // ---- Scatter (filter phase): every shard answers the full k'-ANNS over
   // its least-loaded live replica. Inside a batch worker the fan-out runs
   // inline; standalone calls parallelize across shards. The gather below is
@@ -482,7 +892,7 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   // Each shard scans under its own Child context (contexts are single-
   // threaded by design); the parent merges them after the barrier.
   Timer filter_timer;
-  const std::size_t num_shards = transports_.size();
+  const std::size_t num_shards = set->groups.size();
   const ShardFilterOptions options = MakeFilterOptions(k_prime, settings);
   std::vector<ShardFilterResult> per_shard(num_shards);
   std::vector<std::size_t> skipped(num_shards, 0);
@@ -493,14 +903,14 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   ThreadPool::Global().ParallelFor(
       num_shards, [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          const int r = PickReplica(s, &skipped[s]);
+          const int r = PickReplica(*set, s, &skipped[s]);
           if (r < 0) {
             shard_down[s] = 1;
             continue;
           }
           // A failed dispatch (dead remote connection, server-side shed)
           // degrades like a dead shard: partial result, not a crash.
-          if (!FilterVia(s, static_cast<std::size_t>(r), token, options,
+          if (!FilterVia(*set, s, static_cast<std::size_t>(r), token, options,
                          &children[s], &per_shard[s])
                    .ok()) {
             shard_down[s] = 1;
@@ -510,8 +920,8 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
   for (const SearchContext& child : children) ctx->MergeChild(child);
   const double filter_seconds = filter_timer.ElapsedSeconds();
 
-  result =
-      MergeAndRefine(token, k, settings, k_prime, std::move(per_shard), ctx);
+  result = MergeAndRefine(*set, token, k, settings, k_prime,
+                          std::move(per_shard), ctx);
   result.counters.filter_seconds = filter_seconds;
   for (std::size_t s = 0; s < num_shards; ++s) {
     result.counters.replicas_skipped += skipped[s];
@@ -521,12 +931,12 @@ SearchResult ShardedCloudServer::Search(const QueryToken& token, std::size_t k,
 }
 
 ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
-    std::span<const QueryToken> tokens, std::span<const ScatterItem> items,
-    const ShardFilterOptions& options, const AsyncOptions& async,
-    SearchContext* parent_ctx) const {
+    std::shared_ptr<const ShardSet> set, std::span<const QueryToken> tokens,
+    std::span<const ScatterItem> items, const ShardFilterOptions& options,
+    const AsyncOptions& async, SearchContext* parent_ctx) const {
   ThreadPool& pool = ThreadPool::Global();
   const std::size_t num_items = items.size();
-  const std::size_t num_replicas = replication_factor();
+  const std::size_t num_replicas = set->num_replicas;
   Runtime* const rt = runtime_.get();
 
   ScatterOutcome outcome;
@@ -537,10 +947,9 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
   outcome.hedges.assign(num_items, 0);
 
   // Everything an abandoned work item may touch after this call returns
-  // lives here, behind a shared_ptr: the token copies, the claim flags and
-  // the answer slots. Work items additionally touch the CloudServers and the
-  // local_to_global rows through stable heap pointers, guarded against
-  // destruction by Runtime::inflight.
+  // lives here, behind a shared_ptr: the token copies, the claim flags, the
+  // answer slots — and the pinned ShardSet, so a compaction swap mid-query
+  // can never free a group a straggler still reads.
   struct ItemSlot {
     /// Raised by the first dispatch to finish — and, with mid_scan_cancel,
     /// registered as a cancellation source in every later dispatch's
@@ -555,6 +964,7 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     double seconds = 0.0;          // winner's delay + scan time, guarded by mu
   };
   struct Coordinator {
+    std::shared_ptr<const ShardSet> set;  ///< keeps every group alive
     std::vector<QueryToken> tokens;
     std::mutex mu;
     std::condition_variable cv;
@@ -565,6 +975,7 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     std::atomic<std::size_t> wasted_nodes{0};
   };
   auto co = std::make_shared<Coordinator>();
+  co->set = set;
   co->tokens.assign(tokens.begin(), tokens.end());
   co->slots = std::make_unique<ItemSlot[]>(num_items);
   co->pending = num_items;
@@ -573,16 +984,17 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
   // transport — in-process scan or remote RPC, the hedging machinery cannot
   // tell. The context is assembled at dispatch time: the caller's deadline
   // and cancellation flags (Child), plus — when mid-scan cancellation is on
-  // — the item's claim flag. The item carries everything it touches by
-  // stable pointer or shared_ptr, never `this`, because a loser can outlive
-  // the calling search (its in-flight count is what the destructor drains).
+  // — the item's claim flag. The item carries everything it touches through
+  // the coordinator (which pins the ShardSet) or the stable Runtime, never
+  // `this`, because a loser can outlive the calling search (its in-flight
+  // count is what the destructor drains).
   struct Dispatch {
     std::shared_ptr<Coordinator> co;
     const ShardTransport* transport;
+    ReplicaState* state;  // the dispatched replica's counters (in co->set)
     Runtime* rt;
     std::size_t item;
     std::size_t token_index;
-    std::size_t replica_slot;  // rt->slot(s, r), for the load counters
     ShardFilterOptions options;
     SearchContext ctx;  // pre-assembled; stats stay local to this dispatch
 
@@ -598,7 +1010,7 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
       const Status st = transport->Filter(co->tokens[token_index], options,
                                           &ctx, &answer);
       if (answer.scanned) {
-        rt->requests[replica_slot].fetch_add(1, std::memory_order_acq_rel);
+        state->requests.fetch_add(1, std::memory_order_acq_rel);
       }
       // A kCancelled exit means we lost only if the *claim* flag is up
       // (another dispatch won). A caller-raised flag with no claim yet
@@ -648,8 +1060,7 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     }
 
     void Finish() {
-      rt->inflight_replica[replica_slot].fetch_sub(1,
-                                                   std::memory_order_acq_rel);
+      state->inflight.fetch_sub(1, std::memory_order_acq_rel);
       rt->inflight.fetch_sub(1, std::memory_order_acq_rel);
     }
   };
@@ -659,15 +1070,15 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
     SearchContext ctx =
         parent_ctx != nullptr ? parent_ctx->Child() : SearchContext{};
     if (async.mid_scan_cancel) ctx.AddCancelFlag(&co->slots[item].claimed);
-    const std::size_t slot = rt->slot(s, r);
-    rt->inflight_replica[slot].fetch_add(1, std::memory_order_acq_rel);
+    ReplicaState* const state = &co->set->groups[s]->state[r];
+    state->inflight.fetch_add(1, std::memory_order_acq_rel);
     rt->inflight.fetch_add(1, std::memory_order_acq_rel);
     return Dispatch{co,
-                    transports_[s][r].get(),
+                    co->set->groups[s]->transports[r].get(),
+                    state,
                     rt,
                     item,
                     items[item].token_index,
-                    slot,
                     options,
                     std::move(ctx)};
   };
@@ -677,7 +1088,7 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
   std::vector<std::vector<std::uint8_t>> dispatched(
       num_items, std::vector<std::uint8_t>(num_replicas, 0));
   for (std::size_t i = 0; i < num_items; ++i) {
-    const int r = PickReplica(items[i].shard, &outcome.replicas_skipped);
+    const int r = PickReplica(*set, items[i].shard, &outcome.replicas_skipped);
     if (r < 0) {
       // Callers exclude shards with no live replica, but SetReplicaDown is
       // an admin knob usable concurrently with serving: the shard's last
@@ -748,11 +1159,12 @@ ShardedCloudServer::ScatterOutcome ShardedCloudServer::RunHedgedScatter(
         int best_load = std::numeric_limits<int>::max();
         std::size_t undispatched_live = 0;
         for (std::size_t r = 0; r < num_replicas; ++r) {
-          if (dispatched[i][r] || replica_down(items[i].shard, r)) continue;
+          if (dispatched[i][r] || ReplicaDown(*set, items[i].shard, r)) {
+            continue;
+          }
           ++undispatched_live;
-          const int load =
-              rt->inflight_replica[rt->slot(items[i].shard, r)].load(
-                  std::memory_order_acquire);
+          const int load = set->groups[items[i].shard]->state[r].inflight.load(
+              std::memory_order_acquire);
           if (load < best_load) {
             best_load = load;
             best = static_cast<int>(r);
@@ -814,7 +1226,9 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
   if (ctx == nullptr) ctx = &local_ctx;
   ApplyContextSettings(ctx, settings);
   const std::size_t k_prime = ResolveKPrime(settings, k);
-  const std::size_t num_shards = transports_.size();
+
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  const std::size_t num_shards = set->groups.size();
 
   // Resolve serveable shards; dead shards are excluded from the scatter.
   std::vector<ScatterItem> items;
@@ -822,7 +1236,7 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
   items.reserve(num_shards);
   bool partial = false;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    if (live_replicas(s) == 0) {
+    if (FirstLiveReplica(*set, s) < 0) {
       partial = true;
       continue;
     }
@@ -841,7 +1255,7 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
 
   Timer filter_timer;
   ScatterOutcome outcome =
-      RunHedgedScatter(std::span(&token, 1), items,
+      RunHedgedScatter(set, std::span(&token, 1), items,
                        MakeFilterOptions(k_prime, settings), async, ctx);
   const double filter_seconds = filter_timer.ElapsedSeconds();
 
@@ -854,8 +1268,8 @@ Result<SearchResult> ShardedCloudServer::SearchAsync(
     ctx->AdoptEarlyExit(outcome.exits[i]);
   }
 
-  result =
-      MergeAndRefine(token, k, settings, k_prime, std::move(per_shard), ctx);
+  result = MergeAndRefine(*set, token, k, settings, k_prime,
+                          std::move(per_shard), ctx);
   result.counters.filter_seconds = filter_seconds;
   result.counters.hedged_requests = outcome.hedged_requests;
   result.counters.replicas_skipped = outcome.replicas_skipped;
@@ -868,11 +1282,13 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
     std::span<const QueryToken> tokens, std::size_t k,
     const SearchSettings& settings) const {
   const std::size_t num_queries = tokens.size();
-  const std::size_t num_shards = transports_.size();
   std::vector<SearchResult> results(num_queries);
   if (num_queries == 0 || k == 0 || size() == 0) return results;
   const std::size_t k_prime = ResolveKPrime(settings, k);
   const ShardFilterOptions options = MakeFilterOptions(k_prime, settings);
+
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  const std::size_t num_shards = set->groups.size();
 
   // Per-query contexts: the deadline/budget knobs bound every query of the
   // batch independently; stats land in that query's counters.
@@ -885,7 +1301,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   std::size_t skipped = 0;
   bool partial = false;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    serving[s] = PickReplica(s, &skipped);
+    serving[s] = PickReplica(*set, s, &skipped);
     if (serving[s] < 0) partial = true;
   }
 
@@ -912,7 +1328,8 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
           Timer item_timer;
           // A failed dispatch leaves this (query, shard) answer empty — the
           // merge degrades like a dead shard.
-          static_cast<void>(FilterVia(s, static_cast<std::size_t>(serving[s]),
+          static_cast<void>(FilterVia(*set, s,
+                                      static_cast<std::size_t>(serving[s]),
                                       tokens[q], options, &item_ctx[item],
                                       &candidates[q][s]));
           item_seconds[item] = item_timer.ElapsedSeconds();
@@ -928,7 +1345,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   ThreadPool::Global().ParallelFor(
       num_queries, [&](std::size_t begin, std::size_t end) {
         for (std::size_t q = begin; q < end; ++q) {
-          results[q] = MergeAndRefine(tokens[q], k, settings, k_prime,
+          results[q] = MergeAndRefine(*set, tokens[q], k, settings, k_prime,
                                       std::move(candidates[q]), &query_ctx[q]);
           double filter_seconds = 0.0;
           for (std::size_t s = 0; s < num_shards; ++s) {
@@ -951,10 +1368,12 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
     return SearchBatchScattered(tokens, k, settings);
   }
   const std::size_t num_queries = tokens.size();
-  const std::size_t num_shards = transports_.size();
   std::vector<SearchResult> results(num_queries);
   if (num_queries == 0 || k == 0 || size() == 0) return results;
   const std::size_t k_prime = ResolveKPrime(settings, k);
+
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  const std::size_t num_shards = set->groups.size();
 
   std::vector<SearchContext> query_ctx(num_queries);
   for (SearchContext& ctx : query_ctx) ApplyContextSettings(&ctx, settings);
@@ -963,7 +1382,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   bool partial = false;
   std::vector<char> shard_live(num_shards, 0);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    if (live_replicas(s) > 0) {
+    if (FirstLiveReplica(*set, s) >= 0) {
       shard_live[s] = 1;
     } else {
       partial = true;
@@ -985,7 +1404,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   // carries the same settings-derived deadline, so the first query's stands
   // in for the gather bound.
   ScatterOutcome outcome =
-      RunHedgedScatter(tokens, items, MakeFilterOptions(k_prime, settings),
+      RunHedgedScatter(set, tokens, items, MakeFilterOptions(k_prime, settings),
                        async, &query_ctx.front());
 
   std::vector<std::vector<ShardFilterResult>> candidates(num_queries);
@@ -1007,7 +1426,7 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   ThreadPool::Global().ParallelFor(
       num_queries, [&](std::size_t begin, std::size_t end) {
         for (std::size_t q = begin; q < end; ++q) {
-          results[q] = MergeAndRefine(tokens[q], k, settings, k_prime,
+          results[q] = MergeAndRefine(*set, tokens[q], k, settings, k_prime,
                                       std::move(candidates[q]), &query_ctx[q]);
           results[q].counters.filter_seconds = seconds_per_query[q];
           results[q].counters.replicas_skipped = outcome.replicas_skipped;
@@ -1026,47 +1445,63 @@ VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
   // The facade gates remote maintenance with a Status; reaching here on a
   // stub-backed server is a programmer error.
   PPANNS_CHECK(!remote_);
-  // Abandoned hedge losers may still be reading the indexes and the
-  // local-to-global rows this mutation is about to touch; they cancel fast
-  // (claim flag / context probe), so wait them out before mutating.
+  // In-place mutation of the current set: exclusive against structural
+  // maintenance (the mutex — a compaction reads the primary it is about to
+  // replace), and callers serialize it against their own searches as they
+  // always had to. Abandoned hedge losers may still be reading the indexes
+  // this mutation is about to touch; they cancel fast (claim flag / context
+  // probe), so wait them out before mutating.
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
   DrainAsyncWork();
+  const std::shared_ptr<ShardSet> set = set_->Current();
   // Least-loaded routing by live count; ties go to the lowest shard id so
-  // routing is deterministic.
+  // routing is deterministic (and WAL replay reproduces it).
   std::size_t target = 0;
-  for (std::size_t s = 1; s < replicas_.size(); ++s) {
-    if (replicas_[s].front().size() < replicas_[target].front().size()) {
+  for (std::size_t s = 1; s < set->groups.size(); ++s) {
+    if (set->groups[s]->replicas.front().size() <
+        set->groups[target]->replicas.front().size()) {
       target = s;
     }
   }
+  ShardGroup& group = *set->groups[target];
   // Every replica of the target shard applies the insert, so replicas stay
   // identical and any of them can serve or fail over afterwards.
-  const VectorId local = replicas_[target].front().Insert(v);
-  for (std::size_t r = 1; r < replicas_[target].size(); ++r) {
-    const VectorId replica_local = replicas_[target][r].Insert(v);
+  const VectorId local = group.replicas.front().Insert(v);
+  for (std::size_t r = 1; r < group.replicas.size(); ++r) {
+    const VectorId replica_local = group.replicas[r].Insert(v);
     PPANNS_CHECK(replica_local == local);
   }
   const VectorId global_id =
-      manifest_.Append(static_cast<ShardId>(target), local);
-  PPANNS_CHECK(local == local_to_global_[target].size());
-  local_to_global_[target].push_back(global_id);
+      set->manifest.Append(static_cast<ShardId>(target), local);
+  PPANNS_CHECK(local == group.local_to_global.size());
+  group.local_to_global.push_back(global_id);
   return global_id;
 }
 
 Status ShardedCloudServer::Delete(VectorId global_id) {
   PPANNS_CHECK(!remote_);  // see Insert
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
   DrainAsyncWork();
-  if (global_id >= manifest_.size()) {
+  const std::shared_ptr<ShardSet> set = set_->Current();
+  if (global_id >= set->manifest.size()) {
     return Status::InvalidArgument("Delete: global id " +
                                    std::to_string(global_id) +
                                    " was never assigned");
   }
-  const ShardRef& ref = manifest_.at(global_id);
-  Status st = replicas_[ref.shard].front().Delete(ref.local);
+  const ShardRef& ref = set->manifest.at(global_id);
+  if (IsDeadRef(ref)) {
+    // The tombstone was physically dropped by a compaction; the id behaves
+    // like any other already-removed id.
+    return Status::NotFound("Delete: global id " + std::to_string(global_id) +
+                            " was already removed (compacted away)");
+  }
+  ShardGroup& group = *set->groups[ref.shard];
+  Status st = group.replicas.front().Delete(ref.local);
   if (st.ok()) {
     // Replicas mirror the primary exactly, so the tombstone must land on
     // every one of them.
-    for (std::size_t r = 1; r < replicas_[ref.shard].size(); ++r) {
-      PPANNS_CHECK(replicas_[ref.shard][r].Delete(ref.local).ok());
+    for (std::size_t r = 1; r < group.replicas.size(); ++r) {
+      PPANNS_CHECK(group.replicas[r].Delete(ref.local).ok());
     }
     return st;
   }
@@ -1085,33 +1520,51 @@ Status ShardedCloudServer::Delete(VectorId global_id) {
   }
 }
 
-std::size_t ShardedCloudServer::size() const {
-  if (remote_) return topology_.size;
-  std::size_t total = 0;
-  for (const std::vector<CloudServer>& group : replicas_) {
-    total += group.front().size();
-  }
-  return total;
-}
-
 std::size_t ShardedCloudServer::StorageBytes() const {
   if (remote_) return topology_.storage_bytes;
-  std::size_t total = manifest_.size() * sizeof(ShardRef);
-  for (const std::vector<CloudServer>& group : replicas_) {
-    for (const CloudServer& replica : group) total += replica.StorageBytes();
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  std::size_t total = set->manifest.size() * sizeof(ShardRef);
+  for (const auto& group : set->groups) {
+    for (const CloudServer& replica : group->replicas) {
+      total += replica.StorageBytes();
+    }
   }
   return total;
 }
 
 void ShardedCloudServer::SerializeDatabase(BinaryWriter* out) const {
   PPANNS_CHECK(!remote_);  // see Insert
-  ShardedEncryptedDatabase::WriteEnvelopeHeader(
-      out, static_cast<std::uint32_t>(replicas_.size()),
-      static_cast<std::uint32_t>(replication_factor()));
-  for (const std::vector<CloudServer>& group : replicas_) {
-    for (const CloudServer& replica : group) replica.SerializeDatabase(out);
+  // Serialize under the maintenance mutex: a snapshot must not interleave
+  // with an Insert/Delete/compaction half-applied (searches are fine — they
+  // only read).
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  const std::shared_ptr<const ShardSet> set = set_->Pin();
+  const auto num_shards = static_cast<std::uint32_t>(set->groups.size());
+  const auto num_replicas = static_cast<std::uint32_t>(set->num_replicas);
+  if (set->state_version > 0) {
+    std::vector<std::uint64_t> epochs;
+    epochs.reserve(set->groups.size());
+    for (const auto& group : set->groups) {
+      epochs.push_back(group->compaction_epoch);
+    }
+    const std::size_t crc_begin = ShardedEncryptedDatabase::WriteEnvelopeHeaderV3(
+        out, num_shards, num_replicas, set->state_version, epochs);
+    for (const auto& group : set->groups) {
+      for (const CloudServer& replica : group->replicas) {
+        replica.SerializeDatabase(out);
+      }
+    }
+    set->manifest.Serialize(out);
+    ShardedEncryptedDatabase::FinishEnvelopeV3(out, crc_begin);
+    return;
   }
-  manifest_.Serialize(out);
+  ShardedEncryptedDatabase::WriteEnvelopeHeader(out, num_shards, num_replicas);
+  for (const auto& group : set->groups) {
+    for (const CloudServer& replica : group->replicas) {
+      replica.SerializeDatabase(out);
+    }
+  }
+  set->manifest.Serialize(out);
 }
 
 }  // namespace ppanns

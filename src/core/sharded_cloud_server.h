@@ -28,20 +28,29 @@
 //  * a shard whose every replica is down degrades to a partial result (flag
 //    on SearchResult) or a Status, per AsyncOptions.
 //
-// Maintenance keeps the manifest authoritative and the replicas identical:
-// Insert routes to the least-loaded shard and applies to every replica of
-// it; Delete resolves the global id through the manifest and tombstones all
-// replicas.
+// Live mutation (the epoch-swap path). The whole serving state — replica
+// groups, manifest, transports — lives in an immutable-on-swap ShardSet
+// behind an EpochPtr. Every search pins the current set once and reads only
+// it; structural maintenance (tombstone compaction, shard split) builds a
+// NEW set off to the side and swaps the pointer, so in-flight searches
+// finish on the old graph and never block, never crash, never see a
+// half-state. Insert/Delete mutate the current set in place under the
+// maintenance mutex (they keep the pre-existing contract: callers serialize
+// mutation against their own searches); only compaction/split enjoy the
+// stronger search-concurrent guarantee. See docs/architecture.md,
+// "Live mutation path".
 
 #ifndef PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
 #define PPANNS_CORE_SHARDED_CLOUD_SERVER_H_
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cloud_server.h"
@@ -79,9 +88,28 @@ struct AsyncOptions {
 /// result contract. Offers a synchronous barrier gather (Search), an async
 /// hedged gather that hides stragglers (SearchAsync), and a batch-level
 /// (query, shard) fan-out (SearchBatchScattered); fails over on replica
-/// loss with identical result ids.
+/// loss with identical result ids; and keeps itself healthy under churn via
+/// epoch-swapped tombstone compaction and shard splits.
 class ShardedCloudServer {
  public:
+  /// Knobs of the background/explicit maintenance path.
+  struct MaintenanceOptions {
+    /// Compact a shard once (capacity - live) / capacity crosses this.
+    /// <= 0 compacts any shard with at least one tombstone; > 1 disables.
+    double compact_threshold = 0.3;
+    /// Split the heaviest shard when its live count exceeds `split_skew`
+    /// times the mean live count across shards. <= 0 disables splitting.
+    double split_skew = 0.0;
+    /// Never split a shard below this many live vectors (splitting tiny
+    /// shards buys nothing and costs a rebuild).
+    std::size_t min_split_size = 64;
+    /// Build threads for the off-thread index rebuild (the deterministic
+    /// wave builder; any value >= 2 yields identical bytes).
+    std::size_t build_threads = 1;
+    /// Background worker poll interval, milliseconds.
+    int poll_ms = 25;
+  };
+
   /// Takes ownership of a validated package (Deserialize has already checked
   /// the manifest and replica-group consistency; owner-built packages are
   /// consistent by construction).
@@ -104,17 +132,21 @@ class ShardedCloudServer {
   /// through the given transport (e.g. a RemoteShardClient) instead of an
   /// in-process CloudServer. All search paths — hedging, failover,
   /// load-aware dispatch, deadlines, cancellation — behave identically;
-  /// maintenance (Insert/Delete/SerializeDatabase) is unavailable, and the
-  /// refine phase runs over DCE ciphertexts shipped in the responses.
-  /// `transports` must be a full num_shards x num_replicas grid.
+  /// maintenance (Insert/Delete/compaction/SerializeDatabase) is
+  /// unavailable, and the refine phase runs over DCE ciphertexts shipped in
+  /// the responses. `transports` must be a full num_shards x num_replicas
+  /// grid.
   ShardedCloudServer(
       const RemoteTopology& topology,
       std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports);
 
-  /// Waits for any abandoned async work items (hedge losers still running on
-  /// the pool) before releasing the shards they read.
+  /// Stops the background maintenance worker, then waits for any abandoned
+  /// async work items (hedge losers still running on the pool) before
+  /// releasing the shards they read.
   ~ShardedCloudServer();
 
+  /// Movable while quiescent: stop maintenance before moving (the
+  /// background worker captures the object address).
   ShardedCloudServer(ShardedCloudServer&&) noexcept;
   ShardedCloudServer& operator=(ShardedCloudServer&&) noexcept;
 
@@ -126,10 +158,11 @@ class ShardedCloudServer {
   /// lowest replica id, so an idle cluster behaves like the old
   /// first-live-in-order rule); a shard with no live replica is excluded and
   /// the result is marked partial. Thread-safe for concurrent const calls,
-  /// like CloudServer::Search. The `ctx` overload threads the caller's
-  /// SearchContext into every per-shard scan (each shard runs a Child
-  /// context; stats merge back), making the whole query cancellable and
-  /// deadline-bounded.
+  /// like CloudServer::Search — including concurrently with a compaction or
+  /// split swap (the query pins the pre-swap set and finishes on it). The
+  /// `ctx` overload threads the caller's SearchContext into every per-shard
+  /// scan (each shard runs a Child context; stats merge back), making the
+  /// whole query cancellable and deadline-bounded.
   SearchResult Search(const QueryToken& token, std::size_t k,
                       const SearchSettings& settings = {}) const {
     return Search(token, k, settings, nullptr);
@@ -184,39 +217,81 @@ class ShardedCloudServer {
       const SearchSettings& settings, const AsyncOptions& async) const;
 
   /// Links a freshly encrypted vector into every replica of the least-loaded
-  /// shard and returns its dense *global* id.
+  /// shard and returns its dense *global* id. Serialized against maintenance
+  /// by the maintenance mutex; callers serialize it against their own
+  /// searches (the pre-existing mutation contract).
   VectorId Insert(const EncryptedVector& v);
 
   /// Removes the vector behind a global id (manifest lookup + per-replica
-  /// delete on its shard). InvalidArgument if the id was never assigned.
+  /// delete on its shard). InvalidArgument if the id was never assigned;
+  /// NotFound if it was already removed — including when a compaction has
+  /// since physically dropped the tombstoned slot (a dead manifest ref).
   Status Delete(VectorId global_id);
+
+  // ---- Structural maintenance (the live-mutation tentpole). Local only.
+
+  /// Rebuilds shard s without its tombstones: gathers the live rows in
+  /// local-id order, builds a fresh filter index (deterministic wave
+  /// builder) plus the compacted DCE array, stamps byte-identical replicas,
+  /// rewrites the manifest (live ids relocate, tombstoned ids become dead
+  /// refs) and swaps the new ShardSet in under the epoch pointer. In-flight
+  /// searches finish on the old set; new ones see only the compacted shard.
+  /// Result ids for live vectors are identical before and after.
+  Status CompactShard(std::size_t s);
+
+  /// Splits shard s in two by live rank: the first half keeps shard id s,
+  /// the second half becomes a new shard appended at the end (global ids
+  /// never change — only their (shard, local) locations). Both halves are
+  /// rebuilt compacted, so a split also collects s's tombstones. Insert
+  /// routing sees the new topology immediately.
+  Status SplitShard(std::size_t s);
+
+  /// One maintenance sweep: compacts every shard whose tombstone ratio
+  /// crosses options.compact_threshold, then (when options.split_skew > 0)
+  /// splits the heaviest shard if it exceeds split_skew times the mean live
+  /// count and min_split_size. Returns the number of structural ops applied.
+  std::size_t MaybeCompact(const MaintenanceOptions& options);
+
+  /// Starts (or restarts) the background maintenance worker: a thread that
+  /// runs MaybeCompact(options) every options.poll_ms. Searches never block
+  /// on it — swaps are the only synchronization. Stop before destroying or
+  /// moving the server (the destructor stops it too).
+  void StartMaintenance(const MaintenanceOptions& options);
+  void StopMaintenance();
+
+  // ---- Maintenance observability (admin / CLI surface).
+
+  /// Tombstoned fraction of shard s: (capacity - live) / capacity of its
+  /// primary index; 0 for an empty shard. Local only.
+  double tombstone_ratio(std::size_t s) const;
+  /// How many times shard s has been structurally rebuilt (compaction or
+  /// split), surviving serialization round-trips. Local only.
+  std::uint64_t last_compaction_epoch(std::size_t s) const;
+  /// Monotonic count of structural maintenance ops applied to the package.
+  /// 0 = never compacted (serializes as the byte-stable v1/v2 envelope);
+  /// > 0 serializes as the checksummed v3 envelope. Local only.
+  std::uint64_t state_version() const;
 
   /// Live vectors across all shards (handshake-time snapshot when remote).
   std::size_t size() const;
-  /// Next global id.
-  std::size_t capacity() const {
-    return remote_ ? topology_.capacity : manifest_.size();
-  }
-  std::size_t dim() const { return remote_ ? topology_.dim : shard(0).index().dim(); }
-  IndexKind index_kind() const {
-    return remote_ ? topology_.index_kind : shard(0).index().kind();
-  }
-  std::size_t num_shards() const { return transports_.size(); }
+  /// Next global id (dead refs still count — global ids are never reused).
+  std::size_t capacity() const;
+  std::size_t dim() const;
+  IndexKind index_kind() const;
+  std::size_t num_shards() const;
   /// Replicas per shard (uniform; 1 for an unreplicated package).
-  std::size_t replication_factor() const { return transports_.front().size(); }
+  std::size_t replication_factor() const;
   /// True when the shards live behind remote transports — no local replicas,
   /// no manifest, no maintenance.
   bool remote() const { return remote_; }
   /// The primary replica of shard s (the PR-2 accessor). Local servers only.
-  const CloudServer& shard(std::size_t s) const {
-    PPANNS_CHECK(!remote_);
-    return replicas_[s].front();
-  }
-  const CloudServer& replica(std::size_t s, std::size_t r) const {
-    PPANNS_CHECK(!remote_);
-    return replicas_[s][r];
-  }
-  const ShardManifest& manifest() const { return manifest_; }
+  /// The reference is into the *current* ShardSet: valid until the next
+  /// structural maintenance op replaces it (exactly like iterators under
+  /// mutation) — don't hold it across CompactShard/SplitShard/MaybeCompact.
+  const CloudServer& shard(std::size_t s) const;
+  const CloudServer& replica(std::size_t s, std::size_t r) const;
+  /// Same currency caveat as shard().
+  const ShardManifest& manifest() const;
 
   /// The server-side entry of the RPC boundary: one filter scan on replica
   /// (s, r), exactly as a gather-side transport dispatches it — injected
@@ -230,6 +305,8 @@ class ShardedCloudServer {
   // ---- Replica health & fault injection (admin / test / bench surface).
   // In a multi-process deployment these flags would be driven by health
   // checks; in-process they simulate loss and stragglers deterministically.
+  // Compaction carries the down/delay flags onto the rebuilt group, so a
+  // fault injection survives maintenance.
 
   /// Marks a replica up/down. Down replicas are skipped at dispatch time by
   /// every search path and by hedging.
@@ -248,7 +325,9 @@ class ShardedCloudServer {
   /// Biases the load-aware dispatcher by `delta` outstanding requests on
   /// replica (s, r) — an external load hint. In a multi-process deployment
   /// this would be fed by the dispatcher's own outstanding-request counts;
-  /// in-process it makes load-aware routing deterministic to test.
+  /// in-process it makes load-aware routing deterministic to test. The bias
+  /// does not survive a compaction of the shard (the rebuilt group starts
+  /// with zero in-flight — old dispatches drain against the old group).
   void AddReplicaLoad(std::size_t s, std::size_t r, int delta);
   /// Filter scans currently in flight (plus any AddReplicaLoad bias) on
   /// replica (s, r) — the quantity the dispatcher minimizes.
@@ -269,40 +348,57 @@ class ShardedCloudServer {
   std::size_t StorageBytes() const;
 
   /// Snapshots the whole package (including maintenance mutations) in the
-  /// sharded envelope format (v1 when unreplicated, v2 otherwise).
+  /// sharded envelope format: v1 when unreplicated, v2 when replicated, and
+  /// the checksummed v3 once any structural maintenance has run
+  /// (state_version > 0).
   void SerializeDatabase(BinaryWriter* out) const;
 
- private:
-  /// Mutable serving-tier state that must survive moves at a stable address:
-  /// async work items capture a raw pointer to it (and to the CloudServers,
-  /// whose heap slots are stable under vector move).
+  // Implementation-detail types, forward-declared here so the .cc's
+  // file-local helpers can name them; the definitions never leave the .cc.
+  /// The immutable-on-swap serving state: replica groups, manifest,
+  /// transports. Searches pin it through the EpochPtr; maintenance swaps a
+  /// new one in.
+  struct ShardSet;
+  /// Global counters that must survive swaps at a stable address (async
+  /// work items capture a raw pointer to it).
   struct Runtime;
+  /// Maintenance mutex, options and the background worker thread.
+  struct Maintenance;
 
+ private:
   /// Waits until no abandoned async work item (hedge loser) is still
   /// touching the shards — losers cancel at their next claim-flag check, so
-  /// this is short. Called before anything that mutates or releases shard
-  /// state: Insert, Delete, move-assignment, destruction.
+  /// this is short. Called before in-place mutation (Insert/Delete),
+  /// move-assignment and destruction. Structural maintenance does NOT need
+  /// it: old-set readers keep their pin.
   void DrainAsyncWork() const;
+
+  /// A replica is unserveable when the admin flagged it down OR its
+  /// transport can no longer reach it; failover treats both identically.
+  static bool ReplicaDown(const ShardSet& set, std::size_t s, std::size_t r);
 
   /// First live replica of shard s in replica order, or -1 if all are down.
   /// `skipped`, when non-null, accumulates how many down replicas were
   /// passed over.
-  int FirstLiveReplica(std::size_t s, std::size_t* skipped = nullptr) const;
+  static int FirstLiveReplica(const ShardSet& set, std::size_t s,
+                              std::size_t* skipped = nullptr);
 
   /// Load-aware dispatch: the least-inflight live replica of shard s (ties
   /// to the lowest replica id), or -1 if all are down. `skipped` accumulates
   /// the down replicas ahead of the first live one, preserving the
   /// first-live accounting of SearchCounters::replicas_skipped.
-  int PickReplica(std::size_t s, std::size_t* skipped = nullptr) const;
+  static int PickReplica(const ShardSet& set, std::size_t s,
+                         std::size_t* skipped = nullptr);
 
   /// One (query, shard) filter work item through the replica's transport —
   /// in-process scan or remote RPC, interchangeably — maintaining the
   /// replica's inflight/request counters around the dispatch. A non-OK
   /// Status means the scan could not run (dead connection, server shed);
   /// `out` is then empty.
-  Status FilterVia(std::size_t s, std::size_t r, const QueryToken& token,
-                   const ShardFilterOptions& options, SearchContext* ctx,
-                   ShardFilterResult* out) const;
+  static Status FilterVia(const ShardSet& set, std::size_t s, std::size_t r,
+                          const QueryToken& token,
+                          const ShardFilterOptions& options, SearchContext* ctx,
+                          ShardFilterResult* out);
 
   /// The per-scan knobs every dispatch of a query shares. want_dce is set
   /// only on remote servers with refinement on — a local gather reads
@@ -314,11 +410,11 @@ class ShardedCloudServer {
   /// global-id candidates to the SAP-top-k', then (unless settings.refine is
   /// off) streams them through one DCE ComparisonHeap, probing `ctx`
   /// between comparisons. A local server resolves ciphertexts through the
-  /// manifest; a remote one refines over the ciphertexts shipped in the
-  /// per-shard answers. Fills ids, filter_candidates, dce_comparisons,
-  /// refine_seconds, and the context-derived counters.
-  SearchResult MergeAndRefine(const QueryToken& token, std::size_t k,
-                              const SearchSettings& settings,
+  /// pinned set's manifest; a remote one refines over the ciphertexts
+  /// shipped in the per-shard answers. Fills ids, filter_candidates,
+  /// dce_comparisons, refine_seconds, and the context-derived counters.
+  SearchResult MergeAndRefine(const ShardSet& set, const QueryToken& token,
+                              std::size_t k, const SearchSettings& settings,
                               std::size_t k_prime,
                               std::vector<ShardFilterResult> per_shard,
                               SearchContext* ctx) const;
@@ -347,29 +443,30 @@ class ShardedCloudServer {
   /// pair). Dispatches every item to its load-aware replica on the pool,
   /// escalates items that miss async.hedge_ms to the shard's next-best live
   /// replica *inline on the gather thread*, and aborts losers mid-scan via
-  /// the claim flag when async.mid_scan_cancel is set. `parent_ctx`
+  /// the claim flag when async.mid_scan_cancel is set. The coordinator
+  /// keeps `set` pinned until the last loser finishes, so a compaction swap
+  /// mid-query can never free state a straggler still reads. `parent_ctx`
   /// contributes the deadline and external cancellation flags every work
   /// item inherits (Child contexts); its own stats are not written. Items
   /// must target shards with at least one live replica.
-  ScatterOutcome RunHedgedScatter(std::span<const QueryToken> tokens,
+  ScatterOutcome RunHedgedScatter(std::shared_ptr<const ShardSet> set,
+                                  std::span<const QueryToken> tokens,
                                   std::span<const ScatterItem> items,
                                   const ShardFilterOptions& options,
                                   const AsyncOptions& async,
                                   SearchContext* parent_ctx) const;
 
-  std::vector<std::vector<CloudServer>> replicas_;  ///< [shard][replica]
-  ShardManifest manifest_;
-  /// Reverse of the manifest, per shard: local_to_global_[s][local] is the
-  /// global id of shard s's local vector. Rebuilt at construction, extended
-  /// by Insert. Shared by all replicas of a shard (identical id spaces).
-  std::vector<std::vector<VectorId>> local_to_global_;
-  /// The dispatch seam: transports_[s][r] fronts replica (s, r), in-process
-  /// (wrapping replicas_[s][r]) or remote (an RPC stub). Every search path
-  /// dispatches through here and nowhere else.
-  std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports_;
+  /// CompactShard/SplitShard bodies, caller holds the maintenance mutex.
+  Status CompactShardLocked(std::size_t s, std::size_t build_threads);
+  Status SplitShardLocked(std::size_t s, std::size_t build_threads);
+
+  /// The epoch-swapped serving state. unique_ptr so ShardSet can stay
+  /// incomplete in the header; never null after construction.
+  std::unique_ptr<EpochPtr<ShardSet>> set_;
   RemoteTopology topology_{};  ///< meaningful only when remote_
   bool remote_ = false;
   std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<Maintenance> maintenance_;
 };
 
 }  // namespace ppanns

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/wal.h"
+
 namespace ppanns {
 namespace {
 
@@ -11,8 +13,16 @@ constexpr std::uint32_t kShardedMagic = 0x50505348;  // "PPSH"
 // after the shard count and stores replication_factor payloads per shard,
 // replicas of one shard adjacent. Both load; v1 is still written whenever
 // the factor is 1 so unreplicated packages stay bit-compatible with PR 2.
+// v3 is the live-mutation envelope: written only once a package has been
+// structurally maintained (compaction / shard split, state_version > 0), it
+// always carries the replica count, adds the state version and per-shard
+// compaction epochs, allows dead (compacted-away) manifest entries, and
+// closes with a CRC-32 + magic footer so a torn write is rejected at load
+// instead of serving a half-state. Never-compacted packages keep writing
+// v1/v2, so deterministic-build byte pins are unaffected.
 constexpr std::uint32_t kShardedVersionV1 = 1;
 constexpr std::uint32_t kShardedVersionV2 = 2;
+constexpr std::uint32_t kShardedVersionV3 = 3;
 
 // Upper bounds no legitimate deployment approaches; reject fuzzed counts
 // before they turn into giant allocations.
@@ -25,10 +35,13 @@ Status ShardManifest::Validate(
     const std::vector<std::size_t>& shard_capacities) const {
   std::size_t total_capacity = 0;
   for (std::size_t cap : shard_capacities) total_capacity += cap;
-  if (entries.size() != total_capacity) {
+  // Dead refs occupy no slot, so the *live* entries must cover the stored
+  // vectors exactly (a never-compacted manifest has no dead refs, and the
+  // check degenerates to the original entries.size() comparison).
+  if (live_size() != total_capacity) {
     return Status::IOError(
-        "ShardManifest: " + std::to_string(entries.size()) +
-        " entries cannot cover " + std::to_string(total_capacity) +
+        "ShardManifest: " + std::to_string(live_size()) +
+        " live entries cannot cover " + std::to_string(total_capacity) +
         " vectors across " + std::to_string(shard_capacities.size()) +
         " shards");
   }
@@ -41,6 +54,14 @@ Status ShardManifest::Validate(
   }
   for (std::size_t g = 0; g < entries.size(); ++g) {
     const ShardRef& ref = entries[g];
+    if (IsDeadRef(ref)) {
+      if (ref.local != kDeadShardRef.local) {
+        return Status::IOError("ShardManifest: global id " +
+                               std::to_string(g) +
+                               " has a malformed dead-ref sentinel");
+      }
+      continue;  // a compacted-away id occupies no slot
+    }
     if (ref.shard >= shard_capacities.size()) {
       return Status::IOError("ShardManifest: global id " + std::to_string(g) +
                              " references shard " + std::to_string(ref.shard) +
@@ -81,7 +102,44 @@ void ShardedEncryptedDatabase::WriteEnvelopeHeader(
   out->Put<std::uint32_t>(num_replicas);
 }
 
+std::size_t ShardedEncryptedDatabase::WriteEnvelopeHeaderV3(
+    BinaryWriter* out, std::uint32_t num_shards, std::uint32_t num_replicas,
+    std::uint64_t state_version,
+    const std::vector<std::uint64_t>& compaction_epochs) {
+  out->Put<std::uint32_t>(kShardedMagic);
+  const std::size_t crc_begin = out->buffer().size();
+  out->Put<std::uint32_t>(kShardedVersionV3);
+  out->Put<std::uint32_t>(num_shards);
+  out->Put<std::uint32_t>(num_replicas);
+  out->Put<std::uint64_t>(state_version);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    out->Put<std::uint64_t>(s < compaction_epochs.size() ? compaction_epochs[s]
+                                                         : 0);
+  }
+  return crc_begin;
+}
+
+void ShardedEncryptedDatabase::FinishEnvelopeV3(BinaryWriter* out,
+                                                std::size_t crc_begin) {
+  const std::uint32_t crc = Crc32(out->buffer().data() + crc_begin,
+                                  out->buffer().size() - crc_begin);
+  out->Put<std::uint32_t>(crc);
+  out->Put<std::uint32_t>(kShardedMagic);
+}
+
 void ShardedEncryptedDatabase::Serialize(BinaryWriter* out) const {
+  if (state_version > 0) {
+    const std::size_t crc_begin = WriteEnvelopeHeaderV3(
+        out, static_cast<std::uint32_t>(shards.size()),
+        static_cast<std::uint32_t>(replication_factor()), state_version,
+        compaction_epochs);
+    for (const std::vector<EncryptedDatabase>& group : shards) {
+      for (const EncryptedDatabase& replica : group) replica.Serialize(out);
+    }
+    manifest.Serialize(out);
+    FinishEnvelopeV3(out, crc_begin);
+    return;
+  }
   WriteEnvelopeHeader(out, static_cast<std::uint32_t>(shards.size()),
                       static_cast<std::uint32_t>(replication_factor()));
   for (const std::vector<EncryptedDatabase>& group : shards) {
@@ -94,11 +152,13 @@ Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
     BinaryReader* in) {
   std::uint32_t magic = 0, version = 0, num_shards = 0, num_replicas = 1;
   PPANNS_RETURN_IF_ERROR(in->Get(&magic));
+  const std::size_t crc_begin = in->position();
   if (magic != kShardedMagic) {
     return Status::IOError("ShardedEncryptedDatabase: bad magic");
   }
   PPANNS_RETURN_IF_ERROR(in->Get(&version));
-  if (version != kShardedVersionV1 && version != kShardedVersionV2) {
+  if (version != kShardedVersionV1 && version != kShardedVersionV2 &&
+      version != kShardedVersionV3) {
     return Status::IOError("ShardedEncryptedDatabase: unsupported version");
   }
   PPANNS_RETURN_IF_ERROR(in->Get(&num_shards));
@@ -106,7 +166,7 @@ Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
     return Status::IOError("ShardedEncryptedDatabase: implausible shard count " +
                            std::to_string(num_shards));
   }
-  if (version == kShardedVersionV2) {
+  if (version != kShardedVersionV1) {
     PPANNS_RETURN_IF_ERROR(in->Get(&num_replicas));
     if (num_replicas == 0 || num_replicas > kMaxReplicas) {
       return Status::IOError(
@@ -116,6 +176,17 @@ Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
   }
 
   ShardedEncryptedDatabase db;
+  if (version == kShardedVersionV3) {
+    PPANNS_RETURN_IF_ERROR(in->Get(&db.state_version));
+    if (db.state_version == 0) {
+      return Status::IOError(
+          "ShardedEncryptedDatabase: v3 envelope with zero state version");
+    }
+    db.compaction_epochs.resize(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      PPANNS_RETURN_IF_ERROR(in->Get(&db.compaction_epochs[s]));
+    }
+  }
   db.shards.resize(num_shards);
   std::vector<std::size_t> capacities;
   capacities.reserve(num_shards);
@@ -142,8 +213,37 @@ Result<ShardedEncryptedDatabase> ShardedEncryptedDatabase::Deserialize(
 
   Result<ShardManifest> manifest = ShardManifest::Deserialize(in);
   if (!manifest.ok()) return manifest.status();
+  if (version != kShardedVersionV3) {
+    // Dead refs exist only in compacted (v3) packages; a v1/v2 envelope
+    // carrying one is corrupt or crafted.
+    for (const ShardRef& ref : manifest->entries) {
+      if (IsDeadRef(ref)) {
+        return Status::IOError(
+            "ShardedEncryptedDatabase: dead manifest entry in a pre-v3 "
+            "envelope");
+      }
+    }
+  }
   PPANNS_RETURN_IF_ERROR(manifest->Validate(capacities));
   db.manifest = std::move(*manifest);
+
+  if (version == kShardedVersionV3) {
+    // Torn-write rejection: the footer CRC covers everything after the
+    // magic up to the end of the manifest, then the magic repeats. A crash
+    // mid-write leaves a short or mismatched footer and the load fails as a
+    // whole — there is no half-applied state.
+    const std::size_t crc_end = in->position();
+    std::uint32_t crc = 0, footer_magic = 0;
+    PPANNS_RETURN_IF_ERROR(in->Get(&crc));
+    PPANNS_RETURN_IF_ERROR(in->Get(&footer_magic));
+    const std::uint32_t want =
+        Crc32(in->bytes() + crc_begin, crc_end - crc_begin);
+    if (crc != want || footer_magic != kShardedMagic) {
+      return Status::IOError(
+          "ShardedEncryptedDatabase: torn v3 envelope (checksum/footer "
+          "mismatch)");
+    }
+  }
   return db;
 }
 

@@ -25,6 +25,17 @@
 
 namespace ppanns {
 
+/// Sentinel manifest entry for a global id whose stored vector was
+/// physically dropped by tombstone compaction: the global id stays valid
+/// forever (ids are never reused) but no longer maps to any slot. Delete on
+/// a dead ref is NotFound; search can never surface one (the vector is
+/// gone from every index).
+inline constexpr ShardRef kDeadShardRef{0xFFFFFFFFu, 0xFFFFFFFFu};
+
+inline bool IsDeadRef(const ShardRef& ref) {
+  return ref.shard == kDeadShardRef.shard;
+}
+
 /// Maps global vector ids to their (shard, local id) location. Global ids
 /// are dense in insertion order, exactly like single-shard VectorIds, so
 /// callers never see the partitioning in the result contract. Replication is
@@ -45,11 +56,20 @@ struct ShardManifest {
   const ShardRef& at(VectorId global_id) const { return entries[global_id]; }
 
   /// Checks the manifest against the shards it claims to describe:
-  /// every entry's shard must exist, every local id must be in range, no two
-  /// global ids may share a (shard, local) slot, and each shard's local id
-  /// space [0, capacity) must be covered exactly — together these reject
-  /// overlapping id ranges and shard-count mismatches.
+  /// every live entry's shard must exist, every local id must be in range,
+  /// no two global ids may share a (shard, local) slot, and each shard's
+  /// local id space [0, capacity) must be covered exactly by the live
+  /// entries — together these reject overlapping id ranges and shard-count
+  /// mismatches. Dead (kDeadShardRef) entries occupy no slot and are
+  /// skipped; they only appear in compacted packages (envelope v3).
   Status Validate(const std::vector<std::size_t>& shard_capacities) const;
+
+  /// Live (non-dead) entry count.
+  std::size_t live_size() const {
+    std::size_t n = 0;
+    for (const ShardRef& ref : entries) n += IsDeadRef(ref) ? 0 : 1;
+    return n;
+  }
 
   void Serialize(BinaryWriter* out) const { out->PutVector(entries); }
 
@@ -69,6 +89,15 @@ struct ShardedEncryptedDatabase {
   std::vector<std::vector<EncryptedDatabase>> shards;
   ShardManifest manifest;
 
+  /// Monotonic count of structural maintenance operations (compactions and
+  /// shard splits) applied to this package. 0 = never compacted — such
+  /// packages serialize as the byte-stable v1/v2 envelopes; any compacted
+  /// state writes the checksummed v3 envelope.
+  std::uint64_t state_version = 0;
+  /// Per-shard compaction generation (empty or size num_shards). Carried so
+  /// a reloaded package reports the same maintenance history it had live.
+  std::vector<std::uint64_t> compaction_epochs;
+
   std::size_t num_shards() const { return shards.size(); }
 
   /// Replicas per shard (uniform across shards; 1 for a PR-2 style package).
@@ -80,7 +109,11 @@ struct ShardedEncryptedDatabase {
   /// per-(shard, replica) EncryptedDatabase payloads (each self-describing,
   /// replicas of one shard adjacent), then the manifest. A replication
   /// factor of 1 writes the version-1 envelope byte-for-byte, so unreplicated
-  /// packages stay readable by older loaders.
+  /// packages stay readable by older loaders. A compacted package
+  /// (state_version > 0) writes the v3 envelope instead: replica count
+  /// always present, state version + per-shard compaction epochs after the
+  /// counts, and a CRC-32 + magic footer that rejects torn writes at load
+  /// time (see docs/file-formats.md).
   void Serialize(BinaryWriter* out) const;
 
   /// Writes the envelope prefix (magic, version, shard count and — when
@@ -89,6 +122,20 @@ struct ShardedEncryptedDatabase {
   /// instead of owning a ShardedEncryptedDatabase value.
   static void WriteEnvelopeHeader(BinaryWriter* out, std::uint32_t num_shards,
                                   std::uint32_t num_replicas);
+
+  /// Writes the v3 envelope prefix (magic, version 3, counts, state
+  /// version, per-shard compaction epochs). Returns the offset the trailing
+  /// CRC covers from (the first byte after the magic); pass it to
+  /// FinishEnvelopeV3 after the payloads and manifest have been written.
+  static std::size_t WriteEnvelopeHeaderV3(
+      BinaryWriter* out, std::uint32_t num_shards, std::uint32_t num_replicas,
+      std::uint64_t state_version,
+      const std::vector<std::uint64_t>& compaction_epochs);
+
+  /// Appends the v3 footer: CRC-32 over [crc_begin, current end) plus a
+  /// trailing magic. A load that fails either check is a torn write and is
+  /// rejected, never half-applied.
+  static void FinishEnvelopeV3(BinaryWriter* out, std::size_t crc_begin);
 
   /// Reads either envelope version, loading each replica through the
   /// existing EncryptedDatabase path, and rejects inconsistent packages:

@@ -1,0 +1,56 @@
+#include "core/wal_records.h"
+
+#include "common/serialize.h"
+
+namespace ppanns {
+
+std::vector<std::uint8_t> EncodeWalInsert(const EncryptedVector& ev) {
+  BinaryWriter w;
+  w.PutVector(ev.sap);
+  w.Put<std::uint64_t>(ev.dce.block);
+  w.PutVector(ev.dce.data);
+  return w.TakeBuffer();
+}
+
+Result<EncryptedVector> DecodeWalInsert(const std::vector<std::uint8_t>& payload) {
+  BinaryReader r(payload);
+  EncryptedVector ev;
+  PPANNS_RETURN_IF_ERROR(r.GetVector(&ev.sap));
+  std::uint64_t block = 0;
+  PPANNS_RETURN_IF_ERROR(r.Get(&block));
+  ev.dce.block = static_cast<std::size_t>(block);
+  PPANNS_RETURN_IF_ERROR(r.GetVector(&ev.dce.data));
+  if (!r.AtEnd()) {
+    return Status::IOError("wal insert record: trailing bytes");
+  }
+  return ev;
+}
+
+std::size_t WalInsertByteSize(const EncryptedVector& ev) {
+  return sizeof(std::uint64_t) + ev.sap.size() * sizeof(float) +
+         sizeof(std::uint64_t) + sizeof(std::uint64_t) +
+         ev.dce.data.size() * sizeof(double);
+}
+
+std::vector<std::uint8_t> EncodeWalRemove(VectorId global_id) {
+  BinaryWriter w;
+  w.Put<std::uint64_t>(global_id);
+  return w.TakeBuffer();
+}
+
+Result<VectorId> DecodeWalRemove(const std::vector<std::uint8_t>& payload) {
+  BinaryReader r(payload);
+  std::uint64_t id = 0;
+  PPANNS_RETURN_IF_ERROR(r.Get(&id));
+  if (!r.AtEnd()) {
+    return Status::IOError("wal remove record: trailing bytes");
+  }
+  if (id > 0xFFFFFFFFull) {
+    return Status::IOError("wal remove record: id out of range");
+  }
+  return static_cast<VectorId>(id);
+}
+
+std::size_t WalRemoveByteSize() { return sizeof(std::uint64_t); }
+
+}  // namespace ppanns

@@ -1,0 +1,36 @@
+// Typed payload codecs for the WAL record types (common/wal.h keeps the
+// framing generic — the common layer cannot depend on core's ciphertext
+// types, so the encode/decode of what an Insert/Remove actually carries
+// lives here).
+//
+// An Insert payload is the full EncryptedVector (the SAP row plus the DCE
+// ciphertext) — exactly what `PpannsService::Insert` was handed, so replay
+// needs no keys and no re-encryption. A Remove payload is the u64 global id.
+// Every codec round-trips with exact ByteSize (pinned by
+// tests/core/wal_test.cc, mirroring the wire-message contract in src/net).
+
+#ifndef PPANNS_CORE_WAL_RECORDS_H_
+#define PPANNS_CORE_WAL_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/encrypted_database.h"
+
+namespace ppanns {
+
+/// [vec<f32> sap][u64 block][vec<f64> data]
+std::vector<std::uint8_t> EncodeWalInsert(const EncryptedVector& ev);
+Result<EncryptedVector> DecodeWalInsert(const std::vector<std::uint8_t>& payload);
+std::size_t WalInsertByteSize(const EncryptedVector& ev);
+
+/// [u64 global_id]
+std::vector<std::uint8_t> EncodeWalRemove(VectorId global_id);
+Result<VectorId> DecodeWalRemove(const std::vector<std::uint8_t>& payload);
+std::size_t WalRemoveByteSize();
+
+}  // namespace ppanns
+
+#endif  // PPANNS_CORE_WAL_RECORDS_H_

@@ -337,28 +337,24 @@ void HnswIndex::AddBatchParallel(RowView batch, ThreadPool* pool,
   }
   threads = std::min(threads, n);
 
-  // Pre-phase (sequential): reserve every slot up front so the concurrent
-  // inserts never resize data_/nodes_ (the rows and the level/deleted fields
-  // are immutable while stripes run; only adjacency mutates, under locks).
-  // Stripe t draws the levels of items {t, t+T, t+2T, ...} from its own rng
-  // seeded params.seed ^ t, making the skeleton reproducible at a fixed
-  // thread count; the interleaved striping also load-balances the later
-  // (costlier) inserts across stripes.
+  // Pre-phase (sequential): reserve every slot up front so the build phases
+  // never resize data_/nodes_ (the rows and the level/deleted fields are
+  // immutable while workers run). One level stream, seeded params.seed and
+  // mixed with the batch's base id so successive batches draw fresh
+  // sequences, assigns every node's level regardless of the thread count —
+  // half of the byte-reproducibility contract (the wave schedule below is
+  // the other half). On an empty index the mix is zero and the stream
+  // reproduces the sequential AddBatch skeleton exactly.
   const VectorId base = static_cast<VectorId>(nodes_.size());
   std::vector<int> levels(n);
-  // `base` is mixed in so successive batches draw fresh level sequences
-  // instead of replaying the first batch's skeleton; on an empty index the
-  // mix is zero and stripe 0 reproduces the sequential stream exactly.
   const std::uint64_t batch_mix =
       0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(base);
-  for (std::size_t t = 0; t < threads; ++t) {
-    Rng stripe_rng(params_.seed ^ batch_mix ^ static_cast<std::uint64_t>(t));
-    for (std::size_t i = t; i < n; i += threads) {
-      levels[i] = LevelFromRng(stripe_rng);
-    }
+  {
+    Rng level_stream(params_.seed ^ batch_mix);
+    for (std::size_t i = 0; i < n; ++i) levels[i] = LevelFromRng(level_stream);
   }
   // Advance the sequential level stream too: a later incremental Add must
-  // draw fresh levels, not replay stripe 0's sequence.
+  // draw fresh levels, not replay this batch's sequence.
   level_rng_ = Rng(level_rng_.NextUint64() ^ batch_mix ^ n);
   nodes_.reserve(nodes_.size() + n);
   data_.data().reserve((static_cast<std::size_t>(base) + n) * dim_);
@@ -379,34 +375,98 @@ void HnswIndex::AddBatchParallel(RowView batch, ThreadPool* pool,
     ++first;
   }
 
-  auto run_stripe = [this, base, n, threads, first](std::size_t t) {
-    for (std::size_t i = t; i < n; i += threads) {
-      const VectorId id = base + static_cast<VectorId>(i);
-      if (id < first) continue;  // the seed element
-      InsertConcurrent(id);
-    }
-  };
-
   if (threads <= 1) {
-    run_stripe(0);
+    // Sequential path: one-at-a-time insertion, bit-identical to AddBatch on
+    // an empty index (each insert sees every previous one).
+    for (std::size_t i = first - base; i < n; ++i) {
+      InsertConcurrent(base + static_cast<VectorId>(i));
+    }
     return;
   }
-  if (pool != nullptr && !pool->InWorker() && pool->num_threads() > 1) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      futures.push_back(pool->Async([&run_stripe, t] { run_stripe(t); }));
+
+  // Wave-barrier schedule, independent of the thread count: each wave's
+  // items run a read-only search over the graph as committed at the wave
+  // start (same-wave peers are still edgeless, hence unreachable), planning
+  // per-level neighbor selections that depend only on that frozen snapshot;
+  // the plans then commit sequentially in ascending id order. Any T >= 2
+  // therefore produces identical bytes. Waves grow with the committed count
+  // (each insert still sees >= 2/3 of the graph a sequential insert would),
+  // so recall stays within noise of the sequential build while the search
+  // phase — the bulk of construction cost — parallelizes fully.
+  struct Planned {
+    VectorId id = kInvalidVectorId;
+    int top = -1;  // min(node level, entry level at wave start)
+    std::vector<std::vector<VectorId>> chosen;  // per level 0..top
+  };
+  std::size_t next = first - base;
+  while (next < n) {
+    std::size_t committed = static_cast<std::size_t>(base) + next;
+    const std::size_t wave =
+        std::min(n - next, std::max<std::size_t>(1, committed / 2));
+    const EntryState state = LoadEntry();
+    std::vector<Planned> plan(wave);
+    auto plan_item = [&](std::size_t w) {
+      const VectorId id = base + static_cast<VectorId>(next + w);
+      Planned& p = plan[w];
+      p.id = id;
+      const int level = nodes_[id].level;
+      p.top = std::min(level, state.level);
+      p.chosen.resize(p.top + 1);
+      const float* query = data_.row(id);
+      VectorId cur = state.entry;
+      for (int l = state.level; l > level; --l) {
+        cur = GreedyClosest(query, cur, l);
+      }
+      auto visited = visited_pool_->Acquire(nodes_.size());
+      for (int l = p.top; l >= 0; --l) {
+        std::vector<Neighbor> cands =
+            SearchLayer(query, cur, params_.ef_construction, l, visited.get());
+        if (cands.empty()) continue;
+        cur = cands.front().id;
+        const std::size_t max_degree = (l == 0) ? params_.max_m0() : params_.m;
+        p.chosen[l] = SelectNeighbors(query, std::move(cands),
+                                      std::min(params_.m, max_degree));
+      }
+      visited_pool_->Release(std::move(visited));
+    };
+
+    const std::size_t wave_threads = std::min(threads, wave);
+    auto run_span = [&plan_item, wave, wave_threads](std::size_t t) {
+      for (std::size_t w = t; w < wave; w += wave_threads) plan_item(w);
+    };
+    if (wave_threads <= 1) {
+      run_span(0);
+    } else if (pool != nullptr && !pool->InWorker() && pool->num_threads() > 1) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(wave_threads);
+      for (std::size_t t = 0; t < wave_threads; ++t) {
+        futures.push_back(pool->Async([&run_span, t] { run_span(t); }));
+      }
+      for (auto& f : futures) f.get();
+    } else {
+      // Inside a pool worker (the sharded build) or without a usable pool:
+      // dedicated threads can never deadlock behind blocked shard tasks.
+      std::vector<std::thread> workers;
+      workers.reserve(wave_threads - 1);
+      for (std::size_t t = 1; t < wave_threads; ++t) {
+        workers.emplace_back(run_span, t);
+      }
+      run_span(0);
+      for (auto& w : workers) w.join();
     }
-    for (auto& f : futures) f.get();
-  } else {
-    // Inside a pool worker (the sharded build) or without a usable pool:
-    // dedicated threads keep shards x build_threads stripes genuinely
-    // concurrent and can never deadlock behind blocked shard tasks.
-    std::vector<std::thread> workers;
-    workers.reserve(threads - 1);
-    for (std::size_t t = 1; t < threads; ++t) workers.emplace_back(run_stripe, t);
-    run_stripe(0);
-    for (auto& w : workers) w.join();
+
+    // Commit phase (sequential, ascending id): link each planned node and
+    // promote the entry point as levels rise. Back-links from Connect only
+    // touch frozen-graph nodes, so a same-wave peer's adjacency is never
+    // read before its own commit.
+    for (Planned& p : plan) {
+      for (int l = p.top; l >= 0; --l) {
+        if (!p.chosen[l].empty()) Connect(p.id, l, p.chosen[l]);
+      }
+      const int level = nodes_[p.id].level;
+      if (level > LoadEntry().level) StoreEntry(EntryState{p.id, level});
+    }
+    next += wave;
   }
 }
 

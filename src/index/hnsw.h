@@ -85,20 +85,22 @@ class HnswIndex {
   void AddBatch(const FloatMatrix& data);
 
   /// Inserts all rows of `data` with the construction fanned across
-  /// `num_threads` logical stripes (0 picks the pool's width, or 1 without a
-  /// pool). Replaces the one-global-mutex build: adjacency lists are guarded
-  /// by a striped per-node mutex pool and the (entry point, max level) pair
-  /// is one atomic word updated under a small lock only on level promotion.
+  /// `num_threads` workers (0 picks the pool's width, or 1 without a pool).
   ///
-  /// Stripe t draws node levels from its own Rng seeded
-  /// `params.seed ^ t` (mixed with the batch's base id so successive
-  /// batches get fresh streams), so the graph's random skeleton (every
-  /// node's level) is reproducible at a fixed thread count; edge sets can
-  /// vary across runs
-  /// only through insertion interleaving, which moves recall by well under a
-  /// point (pinned by tests/index/hnsw_parallel_build_test.cc). At
-  /// num_threads == 1 on an empty index the result is bit-identical to
-  /// AddBatch.
+  /// Determinism contract: the build is byte-reproducible regardless of the
+  /// thread count. Every node's level comes from ONE stream seeded
+  /// `params.seed` (mixed with the batch's base id so successive batches get
+  /// fresh streams), and num_threads >= 2 runs a wave-barrier schedule —
+  /// each wave's items search the *frozen* committed graph in parallel
+  /// (read-only; their edge selections depend only on that snapshot), then
+  /// commit sequentially in ascending id order. Any T >= 2 therefore
+  /// produces the identical graph, and a serialized package built with
+  /// build_threads=8 equals one built with build_threads=2 bit for bit
+  /// (pinned by tests/index/hnsw_parallel_build_test.cc). num_threads == 1
+  /// keeps the original one-at-a-time insertion order and stays
+  /// bit-identical to AddBatch on an empty index; its graph differs from the
+  /// wave-built one (each insert sees all previous ones, a wave's items do
+  /// not see each other), with recall within noise of sequential.
   ///
   /// `pool` is used for the stripes when calling from outside it; from
   /// inside one of its workers (the per-shard sharded build) or with a

@@ -55,6 +55,11 @@ class HnswFilterIndex final : public SecureFilterIndex {
 
   const HnswIndex* AsHnsw() const override { return &index_; }
 
+  std::unique_ptr<SecureFilterIndex> MakeEmptyLike() const override {
+    return std::make_unique<HnswFilterIndex>(
+        HnswIndex(index_.dim(), index_.params()));
+  }
+
  private:
   HnswIndex index_;
 };
@@ -89,6 +94,11 @@ class IvfFilterIndex final : public SecureFilterIndex {
   void Serialize(BinaryWriter* out) const override {
     WriteEnvelope(kind(), out);
     index_.Serialize(out);
+  }
+
+  std::unique_ptr<SecureFilterIndex> MakeEmptyLike() const override {
+    return std::make_unique<IvfFilterIndex>(
+        IvfIndex(index_.dim(), index_.params(), index_.sq_params()));
   }
 
  private:
@@ -126,6 +136,13 @@ class LshFilterIndex final : public SecureFilterIndex {
     index_.Serialize(out);
   }
 
+  std::unique_ptr<SecureFilterIndex> MakeEmptyLike() const override {
+    // The self-seeded constructor redraws projections from params.seed, so
+    // the clone hashes identically to a fresh build with these params.
+    return std::make_unique<LshFilterIndex>(
+        LshIndex(index_.dim(), index_.params()));
+  }
+
  private:
   LshIndex index_;
 };
@@ -157,6 +174,11 @@ class BruteForceFilterIndex final : public SecureFilterIndex {
   void Serialize(BinaryWriter* out) const override {
     WriteEnvelope(kind(), out);
     index_.Serialize(out);
+  }
+
+  std::unique_ptr<SecureFilterIndex> MakeEmptyLike() const override {
+    return std::make_unique<BruteForceFilterIndex>(
+        BruteForceIndex(index_.dim(), index_.sq_params()));
   }
 
  private:

@@ -122,6 +122,13 @@ class SecureFilterIndex {
   /// DeserializeSecureFilterIndex can reconstruct without external context.
   virtual void Serialize(BinaryWriter* out) const = 0;
 
+  /// A fresh, empty index of the same kind, dimension and construction
+  /// parameters (including the SQ tier configuration) as this one — the
+  /// rebuild target of tombstone compaction: the maintenance path gathers
+  /// the live rows and BuildParallel()s them into the clone, then swaps it
+  /// in. Only *parameters* carry over, never contents.
+  virtual std::unique_ptr<SecureFilterIndex> MakeEmptyLike() const = 0;
+
   /// Downcast hook for graph-specific diagnostics (edge inspection, HNSW
   /// stats). Null for non-graph backends.
   virtual const HnswIndex* AsHnsw() const { return nullptr; }

@@ -76,9 +76,9 @@ void ExpectGraphInvariants(const HnswIndex& index, const HnswParams& params) {
   }
 }
 
-// One logical stripe reproduces the sequential insertion order and the
-// sequential level stream (stripe 0's rng is seeded params.seed ^ 0), so the
-// parallel builder at num_threads == 1 must be bit-identical to AddBatch.
+// At num_threads == 1 the wave builder short-circuits to the sequential
+// insertion loop on the same unified level stream, so it must be
+// bit-identical to AddBatch.
 TEST(HnswParallelBuildTest, SingleStripeMatchesSequentialBitForBit) {
   const std::size_t n = 1200, d = 12;
   FloatMatrix data = RandomData(n, d, 31);
@@ -122,10 +122,10 @@ TEST(HnswParallelBuildTest, RecallMatchesSequentialBuild) {
   }
 }
 
-// The graph's random skeleton comes from per-stripe rngs seeded
-// params.seed ^ stripe, so node levels (and therefore the level-0 size and
-// max level) are reproducible at a fixed thread count even though edge sets
-// may vary with insertion interleaving.
+// The wave builder draws every node level from one unified stream and
+// commits each wave in ascending id order, so two runs at the same thread
+// count produce the *entire graph* — levels and edge sets — identically, not
+// just the level skeleton.
 TEST(HnswParallelBuildTest, LevelsReproducibleAtFixedThreadCount) {
   const std::size_t n = 3000, d = 8;
   FloatMatrix data = RandomData(n, d, 35);
@@ -136,10 +136,33 @@ TEST(HnswParallelBuildTest, LevelsReproducibleAtFixedThreadCount) {
   HnswIndex b(d, params);
   b.AddBatchParallel(data, &ThreadPool::Global(), 4);
 
-  for (VectorId id = 0; id < n; ++id) {
-    ASSERT_EQ(a.LevelOf(id), b.LevelOf(id)) << "node " << id;
-  }
+  ExpectSameGraph(a, b);
   EXPECT_EQ(a.ComputeStats().max_level, b.ComputeStats().max_level);
+}
+
+// The stronger contract the compaction rebuild path relies on: the finished
+// graph is independent of the thread count and of how the waves were
+// dispatched (shared pool or dedicated threads). Any num_threads >= 2
+// serializes to the same bytes, so a maintenance rebuild is byte-reproducible
+// no matter what hardware it lands on.
+TEST(HnswParallelBuildTest, GraphBytesIndependentOfThreadCount) {
+  const std::size_t n = 2000, d = 10;
+  FloatMatrix data = RandomData(n, d, 51);
+  const HnswParams params{.m = 8, .ef_construction = 80, .seed = 21};
+
+  auto build_bytes = [&](std::size_t threads, ThreadPool* pool) {
+    HnswIndex index(d, params);
+    index.AddBatchParallel(data, pool, threads);
+    BinaryWriter w;
+    index.Serialize(&w);
+    return w.TakeBuffer();
+  };
+
+  const std::vector<std::uint8_t> t4 = build_bytes(4, &ThreadPool::Global());
+  EXPECT_EQ(build_bytes(4, &ThreadPool::Global()), t4);  // same-run-twice pin
+  EXPECT_EQ(build_bytes(2, &ThreadPool::Global()), t4);  // thread-count free
+  EXPECT_EQ(build_bytes(8, &ThreadPool::Global()), t4);
+  EXPECT_EQ(build_bytes(4, /*pool=*/nullptr), t4);  // dedicated-thread path
 }
 
 TEST(HnswParallelBuildTest, InvariantsHoldAtHighThreadCount) {

@@ -22,6 +22,7 @@
 
 #include "common/io.h"
 #include "common/timer.h"
+#include "common/wal.h"
 #include "core/data_owner.h"
 #include "core/ppanns_service.h"
 #include "core/query_client.h"
@@ -116,10 +117,14 @@ int Usage() {
                "[--admission-ms MS] [--index KIND] [--out results.txt]\n"
                "          [--connect HOST:PORT,...] [--down S:R,...] "
                "[--json F.json]\n"
-               "  info    --db db.ppanns\n"
+               "          [--wal-dir DIR [--replay]] [--compact-threshold T]\n"
+               "  info    --db db.ppanns [--wal-dir DIR]\n"
                "search serves from --db in-process, or — with --connect — "
                "acts as the\ngather node over ppanns_shard_server endpoints "
-               "(--db is then unused).\n");
+               "(--db is then unused).\n"
+               "--wal-dir --replay re-applies a crashed process's surviving "
+               "log before\nserving; --compact-threshold runs one tombstone-"
+               "compaction sweep first.\n");
   return 2;
 }
 
@@ -354,6 +359,58 @@ int CmdSearch(const Args& args) {
     }
   }
 
+  // --wal-dir [--replay]: crash recovery before serving. --replay applies
+  // the surviving log records against the loaded package (last checkpoint +
+  // log = the crashed process's state); attaching afterwards means any
+  // future mutation through this process is logged too. Both are in-process
+  // concerns — a --connect gather node's mutations live on the shard
+  // servers.
+  const std::string wal_dir = args.GetString("wal-dir");
+  if (args.GetBool("replay") && wal_dir.empty()) {
+    std::fprintf(stderr, "--replay requires --wal-dir\n");
+    return 2;
+  }
+  if (!wal_dir.empty()) {
+    if (!connect.empty()) {
+      std::fprintf(stderr, "--wal-dir does not apply to a --connect gather "
+                   "node\n");
+      return 2;
+    }
+    if (args.GetBool("replay")) {
+      auto replayed = service.ReplayWal(wal_dir);
+      if (!replayed.ok()) {
+        std::fprintf(stderr, "replay: %s\n",
+                     replayed.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "replayed %zu WAL record(s) from %s\n", *replayed,
+                   wal_dir.c_str());
+    }
+    Status st = service.AttachWal(wal_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "wal: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // --compact-threshold T: one synchronous compaction sweep before serving —
+  // every shard whose tombstone ratio exceeds T is rebuilt without its dead
+  // rows (searches concurrent with the sweep would keep serving the old
+  // graphs; here it simply runs before the first query).
+  const double compact_threshold = args.GetDouble("compact-threshold", -1.0);
+  if (compact_threshold >= 0.0) {
+    if (!service.sharded() || !connect.empty()) {
+      std::fprintf(stderr, "--compact-threshold requires a local sharded "
+                   "database\n");
+      return 2;
+    }
+    ShardedCloudServer::MaintenanceOptions mopts;
+    mopts.compact_threshold = compact_threshold;
+    const std::size_t ops = service.sharded_server_mutable().MaybeCompact(mopts);
+    std::fprintf(stderr, "compaction sweep at threshold %.2f: %zu shard(s) "
+                 "rebuilt\n", compact_threshold, ops);
+  }
+
   auto queries = ReadFvecs(args.GetString("queries"));
   if (!queries.ok()) {
     std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
@@ -549,6 +606,21 @@ void PrintIndexInfo(const SecureFilterIndex& index, double dce_mb,
   std::printf("%sDCE layer:      %.1f MB\n", pad, dce_mb);
 }
 
+/// `info --wal-dir`: the log-side observability surface — segment count,
+/// byte total and the lsn the next append would get, read without opening a
+/// writer (safe while another process owns the log).
+void PrintWalInfo(const std::string& wal_dir) {
+  if (wal_dir.empty()) return;
+  auto stats = ReadWalStats(wal_dir);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "wal: %s\n", stats.status().ToString().c_str());
+    return;
+  }
+  std::printf("  WAL:            %zu segment(s), %zu bytes, next lsn %llu\n",
+              stats->segments, stats->bytes,
+              static_cast<unsigned long long>(stats->next_lsn));
+}
+
 int CmdInfo(const Args& args) {
   if (!args.Require("db")) return 2;
   auto blob = ReadFile(args.GetString("db"));
@@ -574,9 +646,23 @@ int CmdInfo(const Args& args) {
     std::printf("  replicas/shard: %zu\n", db->replication_factor());
     std::printf("  vectors:        %zu live (%zu deleted)\n", live,
                 total - live);
+    // state version 0 = a v1/v2 envelope that no structural maintenance has
+    // ever touched; > 0 = the checksummed v3 envelope.
+    std::printf("  state version:  %llu\n",
+                static_cast<unsigned long long>(db->state_version));
+    PrintWalInfo(args.GetString("wal-dir"));
     for (std::size_t s = 0; s < db->shards.size(); ++s) {
       const EncryptedDatabase& primary = db->shards[s].front();
+      const std::size_t cap = primary.index->capacity();
+      const double ratio =
+          cap == 0 ? 0.0
+                   : static_cast<double>(cap - primary.index->size()) /
+                         static_cast<double>(cap);
+      const std::uint64_t epoch =
+          s < db->compaction_epochs.size() ? db->compaction_epochs[s] : 0;
       std::printf("  shard %zu:\n", s);
+      std::printf("    tombstones:     %.1f%% (last compaction epoch %llu)\n",
+                  100.0 * ratio, static_cast<unsigned long long>(epoch));
       PrintIndexInfo(*primary.index, primary.DceBytes() / 1e6, "    ");
     }
     return 0;
@@ -587,6 +673,7 @@ int CmdInfo(const Args& args) {
     return 1;
   }
   std::printf("encrypted database: %s\n", args.GetString("db").c_str());
+  PrintWalInfo(args.GetString("wal-dir"));
   PrintIndexInfo(*db->index, db->DceBytes() / 1e6, "  ");
   return 0;
 }
