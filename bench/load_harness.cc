@@ -1,0 +1,458 @@
+// Closed-loop load harness for the serving tier: measures what the trapdoor
+// result cache and the per-endpoint RPC connection pools buy under realistic
+// key skew, and gates the claims that justify shipping them.
+//
+// Three scenarios, all driven by closed-loop clients (each thread issues its
+// next query the moment the previous one returns, so offered load tracks
+// capacity and queueing shows up as latency):
+//
+//   cache  — client ramp x Zipf skew sweep over a fixed population of
+//            pre-encrypted trapdoors, cache off vs on. Closed-loop clients
+//            make per-client-count p99 a misleading comparison (hits are
+//            instant, so cache-on clients spend their wall time in misses
+//            and offered load triples), so the gate compares knee points:
+//            at skew >= 1.0 some cache-on ramp point must DOMINATE the best
+//            cache-off point — at least its QPS and strictly lower p99 —
+//            with a non-zero hit rate. Repeats hit because the *same
+//            trapdoor bytes* are re-presented (trapdoor encryption is
+//            randomized, so a re-encrypted query would — correctly — miss).
+//   mixed  — searches race an insert/delete mutator (serialized by a
+//            harness-level reader/writer lock, honoring the facade's
+//            mutate-vs-search contract) against a cache-enabled service
+//            while a byte-identical twin with no cache absorbs the same
+//            mutations. Gate: after quiescing, every distinct trapdoor must
+//            answer id-for-id identically on both — a cached entry that
+//            survives invalidation wrongly cannot hide here.
+//   pool   — the same package served over real loopback sockets through
+//            ConnectShardedService with pool_size 1 vs 4, DCE-heavy
+//            responses, client ramp to saturation. Gate: pool 4 must reach
+//            higher saturation QPS than pool 1 — enforced only when the
+//            host has >= 4 hardware threads (one core cannot exercise
+//            parallel socket readers; the numbers are still reported).
+//
+// Every cell lands as a JSON line in BENCH_load_harness.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/ppanns_service.h"
+#include "core/sharded_database.h"
+#include "net/remote_shard.h"
+#include "net/shard_server.h"
+
+namespace {
+
+using namespace ppanns;
+
+/// Zipf(s) sampler over [0, n): P(i) proportional to (i+1)^-s, drawn by
+/// binary search over the cumulative weights. s = 0 is uniform. Rank order
+/// is the token index, so token 0 is the hottest key.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += std::pow(static_cast<double>(i + 1), -skew);
+      cdf_[i] = total;
+    }
+  }
+
+  std::size_t Pick(Rng& rng) const {
+    const double u = rng.Uniform(0.0, cdf_.back());
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(it - cdf_.begin()), cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct PhaseResult {
+  std::size_t ops = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = -1.0;  ///< -1 = cache disabled for this phase
+};
+
+/// The mixed phase's search-vs-mutation serialization: searches hold the
+/// lock shared, the mutator holds it exclusive — the harness-level
+/// embodiment of the facade contract that callers serialize Insert/Delete
+/// against their own searches. `write_pending` gives the writer priority:
+/// glibc's shared_mutex prefers readers, and a closed-loop reader stream
+/// would otherwise starve the mutator indefinitely.
+struct MutatorGate {
+  std::shared_mutex mu;
+  std::atomic<bool> write_pending{false};
+};
+
+/// Runs `clients` closed-loop threads against `svc` for `seconds`. When
+/// `gate` is non-null every search passes through it (see MutatorGate).
+PhaseResult RunClosedLoop(PpannsService& svc, const std::vector<QueryToken>& tokens,
+                          std::size_t k, const SearchSettings& settings,
+                          const ZipfSampler& zipf, std::size_t clients,
+                          double seconds, std::uint64_t seed,
+                          MutatorGate* gate = nullptr) {
+  const ResultCacheStats before = svc.result_cache_enabled()
+                                      ? svc.result_cache_stats()
+                                      : ResultCacheStats{};
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Timer wall;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + 7919 * (c + 1));
+      auto& samples = lat[c];
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::size_t pick = zipf.Pick(rng);
+        Timer t;
+        if (gate != nullptr) {
+          while (gate->write_pending.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          std::shared_lock<std::shared_mutex> lock(gate->mu);
+          auto r = svc.Search(tokens[pick], k, settings);
+          PPANNS_CHECK(r.ok());
+        } else {
+          auto r = svc.Search(tokens[pick], k, settings);
+          PPANNS_CHECK(r.ok());
+        }
+        samples.push_back(t.ElapsedMillis());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedMillis() / 1000.0;
+
+  PhaseResult out;
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.ops = all.size();
+  out.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  out.p50_ms = Percentile(all, 0.50);
+  out.p99_ms = Percentile(all, 0.99);
+  if (svc.result_cache_enabled()) {
+    const ResultCacheStats after = svc.result_cache_stats();
+    const std::size_t hits = after.hits - before.hits;
+    const std::size_t misses = after.misses - before.misses;
+    out.hit_rate = (hits + misses) > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppanns::bench;
+
+  PrintBanner("Extension: serving-tier load harness",
+              "result cache + RPC connection pools under closed-loop skew");
+
+  const std::size_t k = 10;
+  const SyntheticKind kind = SyntheticKind::kSiftLike;
+  const std::size_t n = std::max<std::size_t>(DefaultN(kind) / 2, 2000);
+  // Distinct trapdoors ~4x the cache capacity: the hit rate is then a
+  // property of the skew (uniform ~capacity/keys, Zipf >> that), not a
+  // everything-fits freebie.
+  const std::size_t keys = std::max<std::size_t>(
+      EnvSize("PPANNS_BENCH_KEYS", 1024), 64);
+  const std::size_t cache_capacity = keys / 4;
+  const std::size_t insert_pool = 256;
+  const double phase_s = FullScale() ? 2.0 : 0.7;
+  const std::size_t cores = std::thread::hardware_concurrency();
+
+  Dataset ds = MakeOrLoadDataset(kind, n + insert_pool, keys, 0, 811);
+  FloatMatrix initial(0, ds.base.dim());
+  FloatMatrix pool(0, ds.base.dim());
+  for (std::size_t i = 0; i < n; ++i) initial.Append(ds.base.row(i));
+  for (std::size_t i = n; i < ds.base.size(); ++i) pool.Append(ds.base.row(i));
+
+  Rng stat_rng(812);
+  const DatasetStats stats = ComputeStats(initial, stat_rng);
+  PpannsParams params;
+  params.dcpe_beta = 0.0;  // deterministic twins: isolate caching effects
+  params.dce_scale_hint = std::max(stats.mean_norm, 1e-3);
+  params.index_kind = IndexKind::kBruteForce;  // flat per-op cost: queueing
+                                               // effects dominate the knee
+  params.num_shards = 2;
+  params.seed = 813;
+
+  auto owner = DataOwner::Create(ds.base.dim(), params);
+  PPANNS_CHECK(owner.ok());
+
+  // One serialized package; every scenario deserializes its own copy so all
+  // services (and the mixed scenario's twin) start byte-identical.
+  BinaryWriter base_writer;
+  owner->EncryptAndIndexSharded(initial).Serialize(&base_writer);
+  const std::vector<std::uint8_t> base_bytes = base_writer.buffer();
+  auto load = [&base_bytes]() {
+    BinaryReader r(base_bytes);
+    auto db = ShardedEncryptedDatabase::Deserialize(&r);
+    PPANNS_CHECK(db.ok());
+    return PpannsService{ShardedCloudServer(std::move(*db))};
+  };
+
+  QueryClient client(owner->ShareKeys(), 814);
+  std::vector<QueryToken> tokens;
+  tokens.reserve(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    tokens.push_back(client.EncryptQuery(ds.queries.row(i)));
+  }
+  const SearchSettings settings{.k_prime = 4 * k};
+
+  std::FILE* jf = OpenBenchJson("load_harness");
+  int exit_code = 0;
+
+  // ---- Scenario 1: cache off/on x skew x client ramp.
+  std::printf("\ncorpus n=%zu, 2 shards, %zu distinct trapdoors, cache "
+              "capacity %zu, %zu-core host\n\n",
+              n, keys, cache_capacity, cores);
+  std::printf("%-8s %6s %8s %8s %10s %10s %10s %9s\n", "scenario", "skew",
+              "cache", "clients", "qps", "p50_ms", "p99_ms", "hit_rate");
+
+  PpannsService svc = load();
+  const std::vector<double> skews = {0.0, 1.1};
+  const std::vector<std::size_t> ramp = {1, 2, 4};
+  std::vector<PhaseResult> knee_off, knee_on;  // ramp points at skew >= 1.0
+  for (const double skew : skews) {
+    const ZipfSampler zipf(keys, skew);
+    for (const bool cache_on : {false, true}) {
+      if (cache_on) {
+        svc.EnableResultCache({.capacity = cache_capacity});  // fresh + cold
+      } else {
+        svc.DisableResultCache();
+      }
+      for (const std::size_t clients : ramp) {
+        const PhaseResult r = RunClosedLoop(svc, tokens, k, settings, zipf,
+                                            clients, phase_s,
+                                            900 + clients);
+        char hit_buf[16] = "-";
+        if (r.hit_rate >= 0) {
+          std::snprintf(hit_buf, sizeof(hit_buf), "%.3f", r.hit_rate);
+        }
+        std::printf("%-8s %6.1f %8s %8zu %10.0f %10.3f %10.3f %9s\n",
+                    "cache", skew, cache_on ? "on" : "off", clients, r.qps,
+                    r.p50_ms, r.p99_ms, hit_buf);
+        if (jf != nullptr) {
+          std::fprintf(jf,
+                       "{\"scenario\": \"cache\", \"skew\": %.1f, \"cache\": "
+                       "%s, \"capacity\": %zu, \"keys\": %zu, \"clients\": "
+                       "%zu, \"ops\": %zu, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                       "\"p99_ms\": %.3f, \"hit_rate\": %.4f}\n",
+                       skew, cache_on ? "true" : "false", cache_capacity,
+                       keys, clients, r.ops, r.qps, r.p50_ms, r.p99_ms,
+                       r.hit_rate < 0 ? 0.0 : r.hit_rate);
+        }
+        if (skew >= 1.0) (cache_on ? knee_on : knee_off).push_back(r);
+      }
+    }
+  }
+
+  // Knee comparison at skew >= 1.0: the cache must move the
+  // throughput-vs-p99 curve — some cache-on ramp point must carry at least
+  // the best cache-off throughput at strictly lower p99.
+  PhaseResult best_off;
+  for (const PhaseResult& r : knee_off) {
+    if (r.qps > best_off.qps) best_off = r;
+  }
+  PhaseResult best_on;
+  bool cache_gate_ok = false;
+  for (const PhaseResult& r : knee_on) {
+    if (r.qps >= best_off.qps && r.p99_ms < best_off.p99_ms &&
+        r.hit_rate > 0.0) {
+      if (!cache_gate_ok || r.p99_ms < best_on.p99_ms) best_on = r;
+      cache_gate_ok = true;
+    }
+  }
+
+  // ---- Scenario 2: searches + mutations against a cache-enabled service,
+  // id-equality against a mutated-in-lockstep twin with no cache.
+  PpannsService cached = load();
+  cached.EnableResultCache({.capacity = cache_capacity});
+  PpannsService plain = load();
+  MutatorGate gate;
+  std::atomic<bool> stop_mutator{false};
+  std::size_t mutations = 0;
+  std::vector<VectorId> live;
+  live.reserve(n + insert_pool);
+  for (std::size_t i = 0; i < n; ++i) {
+    live.push_back(static_cast<VectorId>(i));
+  }
+  std::thread mutator([&] {
+    Rng rng(815);
+    std::size_t pool_next = 0;
+    while (!stop_mutator.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      gate.write_pending.store(true, std::memory_order_release);
+      std::unique_lock<std::shared_mutex> lock(gate.mu);
+      gate.write_pending.store(false, std::memory_order_release);
+      if ((rng.NextUint64() & 1) != 0 && pool_next < pool.size()) {
+        // Encrypt once, insert the same ciphertext into both twins.
+        EncryptedVector ev = owner->EncryptOne(pool.row(pool_next++));
+        auto a = cached.Insert(ev);
+        auto b = plain.Insert(ev);
+        PPANNS_CHECK(a.ok() && b.ok() && *a == *b);
+        live.push_back(*a);
+      } else {
+        const auto idx = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        const VectorId victim = live[idx];
+        PPANNS_CHECK(cached.Delete(victim).ok());
+        PPANNS_CHECK(plain.Delete(victim).ok());
+        live[idx] = live.back();
+        live.pop_back();
+      }
+      ++mutations;
+    }
+  });
+  const ZipfSampler hot(keys, 1.1);
+  const PhaseResult mixed = RunClosedLoop(cached, tokens, k, settings, hot, 2,
+                                          2.0 * phase_s, 1700, &gate);
+  stop_mutator.store(true, std::memory_order_release);
+  mutator.join();
+
+  // Quiesced: every distinct trapdoor, twice on the cached twin (the second
+  // answer comes from the cache) against the uncached oracle.
+  bool ids_equal = true;
+  for (const QueryToken& token : tokens) {
+    auto first = cached.Search(token, k, settings);
+    auto replay = cached.Search(token, k, settings);
+    auto oracle = plain.Search(token, k, settings);
+    PPANNS_CHECK(first.ok() && replay.ok() && oracle.ok());
+    if (first->ids != oracle->ids || replay->ids != oracle->ids) {
+      ids_equal = false;
+    }
+  }
+  const ResultCacheStats mixed_stats = cached.result_cache_stats();
+  std::printf("\nmixed: %zu searches raced %zu mutations; hit_rate %.3f, "
+              "stale_evictions %zu; post-quiesce ids %s the uncached twin "
+              "(%zu trapdoors)\n",
+              mixed.ops, mutations, mixed.hit_rate,
+              mixed_stats.stale_evictions,
+              ids_equal ? "MATCH" : "DIVERGE FROM", tokens.size());
+  if (jf != nullptr) {
+    std::fprintf(jf,
+                 "{\"scenario\": \"mixed\", \"ops\": %zu, \"mutations\": "
+                 "%zu, \"qps\": %.1f, \"p99_ms\": %.3f, \"hit_rate\": %.4f, "
+                 "\"stale_evictions\": %zu, \"ids_checked\": %zu, "
+                 "\"ids_equal\": %s}\n",
+                 mixed.ops, mutations, mixed.qps, mixed.p99_ms,
+                 mixed.hit_rate, mixed_stats.stale_evictions, tokens.size(),
+                 ids_equal ? "true" : "false");
+  }
+
+  // ---- Scenario 3: pool_size 1 vs 4 over loopback sockets, DCE-heavy
+  // responses (the refine payload is what serializes on a single stream).
+  PpannsService backend = load();
+  ShardServer shard_server(&backend.sharded_server(),
+                           std::vector<std::uint32_t>{});
+  PPANNS_CHECK(shard_server.Start(0).ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(shard_server.port());
+  const SearchSettings heavy{.k_prime = 8 * k};
+  const ZipfSampler uniform(keys, 0.0);
+  const std::vector<std::size_t> remote_ramp = {2, 4, 8};
+  std::printf("\n%-8s %6s %8s %10s %10s %10s\n", "scenario", "pool",
+              "clients", "qps", "p50_ms", "p99_ms");
+  double sat_qps[2] = {0.0, 0.0};
+  const std::size_t pool_sizes[2] = {1, 4};
+  for (int arm = 0; arm < 2; ++arm) {
+    auto remote = ConnectShardedService({endpoint}, pool_sizes[arm]);
+    PPANNS_CHECK(remote.ok());
+    PpannsService rsvc{std::move(*remote)};
+    for (const std::size_t clients : remote_ramp) {
+      const PhaseResult r = RunClosedLoop(rsvc, tokens, k, heavy, uniform,
+                                          clients, phase_s, 2500 + clients);
+      sat_qps[arm] = std::max(sat_qps[arm], r.qps);
+      std::printf("%-8s %6zu %8zu %10.0f %10.3f %10.3f\n", "pool",
+                  pool_sizes[arm], clients, r.qps, r.p50_ms, r.p99_ms);
+      if (jf != nullptr) {
+        std::fprintf(jf,
+                     "{\"scenario\": \"pool\", \"pool_size\": %zu, "
+                     "\"clients\": %zu, \"ops\": %zu, \"qps\": %.1f, "
+                     "\"p50_ms\": %.3f, \"p99_ms\": %.3f}\n",
+                     pool_sizes[arm], clients, r.ops, r.qps, r.p50_ms,
+                     r.p99_ms);
+      }
+    }
+  }
+  const bool pool_gate_enforced = cores >= 4;
+
+  if (jf != nullptr) {
+    std::fprintf(jf,
+                 "{\"scenario\": \"summary\", \"knee_qps_off\": %.1f, "
+                 "\"knee_p99_off_ms\": %.3f, \"knee_qps_on\": %.1f, "
+                 "\"knee_p99_on_ms\": %.3f, \"knee_hit_rate\": %.4f, "
+                 "\"cache_gate_ok\": %s, "
+                 "\"sat_qps_pool1\": %.1f, \"sat_qps_pool4\": %.1f, "
+                 "\"cores\": %zu, \"pool_gate_enforced\": %s, "
+                 "\"ids_equal\": %s}\n",
+                 best_off.qps, best_off.p99_ms, best_on.qps, best_on.p99_ms,
+                 best_on.hit_rate, cache_gate_ok ? "true" : "false",
+                 sat_qps[0], sat_qps[1], cores,
+                 pool_gate_enforced ? "true" : "false",
+                 ids_equal ? "true" : "false");
+    std::fclose(jf);
+  }
+
+  // ---- Gates.
+  if (!cache_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: at skew 1.1 no cache-on ramp point dominated the "
+                 "best cache-off knee (%.0f qps @ p99 %.3f ms)\n",
+                 best_off.qps, best_off.p99_ms);
+    exit_code = 1;
+  }
+  if (!ids_equal) {
+    std::fprintf(stderr, "FAIL: cached answers diverged from the uncached "
+                 "twin after the mutation phase\n");
+    exit_code = 1;
+  }
+  if (pool_gate_enforced && !(sat_qps[1] > sat_qps[0])) {
+    std::fprintf(stderr,
+                 "FAIL: pool_size 4 saturation QPS (%.0f) did not beat "
+                 "pool_size 1 (%.0f) on a %zu-core host\n",
+                 sat_qps[1], sat_qps[0], cores);
+    exit_code = 1;
+  } else if (!pool_gate_enforced) {
+    std::printf("\npool gate skipped: %zu-core host cannot drive parallel "
+                "socket readers (reported, not enforced)\n", cores);
+  }
+
+  std::printf("\ntakeaway: under Zipf skew the trapdoor cache moves the "
+              "knee — %.0f qps @ p99 %.3f ms without it, %.0f qps @ p99 "
+              "%.3f ms with it (hit rate %.0f%%); connection pools add "
+              "parallel byte streams per endpoint (saturation %.0f -> %.0f "
+              "qps), and every cached answer stays id-identical to a fresh "
+              "search across live mutation.\n",
+              best_off.qps, best_off.p99_ms, best_on.qps, best_on.p99_ms,
+              100.0 * best_on.hit_rate, sat_qps[0], sat_qps[1]);
+  return exit_code;
+}

@@ -90,6 +90,11 @@ struct SearchCounters {
   /// Why the query stopped early, if it did (cancellation, deadline, node
   /// budget); kNone for a query that ran to completion.
   EarlyExit early_exit = EarlyExit::kNone;
+  /// True when the result was served from PpannsService's trapdoor-keyed
+  /// result cache: the ids are a verbatim replay of an earlier identical
+  /// query against the same database epoch, and every work counter above is
+  /// zero because no filter/refine work ran.
+  bool cache_hit = false;
   double filter_seconds = 0.0;
   double refine_seconds = 0.0;
 };

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -161,18 +162,56 @@ Status CheckAdmission(const SearchSettings& settings,
 
 }  // namespace
 
+std::uint64_t PpannsService::CacheEpoch() const {
+  std::uint64_t epoch = cache_->mutation_epoch();
+  if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
+      s != nullptr && !s->remote()) {
+    // Both terms are monotonic, so their sum is too: an entry stamped
+    // before any mutation — through the facade or through background
+    // maintenance — can never match again.
+    epoch += s->state_version();
+  }
+  return epoch;
+}
+
+void PpannsService::EnableResultCache(const ResultCacheOptions& options) {
+  cache_ = std::make_unique<ResultCache>(options);
+}
+
+ResultCacheStats PpannsService::result_cache_stats() const {
+  PPANNS_CHECK(cache_ != nullptr);
+  return cache_->Stats();
+}
+
 Result<SearchResult> PpannsService::Search(const QueryToken& token,
                                            std::size_t k,
                                            const SearchSettings& settings,
                                            SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
   PPANNS_RETURN_IF_ERROR(CheckAdmission(settings, ctx));
+  // The epoch is read BEFORE the search runs: a mutation that lands while
+  // the query is in flight makes the inserted entry immediately stale —
+  // conservative, never wrong.
+  ResultCache::Key key;
+  std::uint64_t epoch = 0;
+  if (cache_ != nullptr) {
+    key = ResultCache::MakeKey(token, k, settings);
+    epoch = CacheEpoch();
+    SearchResult cached;
+    if (cache_->Lookup(key, epoch, &cached.ids)) {
+      cached.counters.cache_hit = true;
+      return cached;
+    }
+  }
   SearchContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   SearchResult result = std::visit(
       [&](const auto& s) { return s.Search(token, k, settings, ctx); },
       server_);
   if (DeadlineTripped(result)) return DeadlineStatus(settings);
+  if (cache_ != nullptr && CacheEligible(result)) {
+    cache_->Insert(key, epoch, result.ids);
+  }
   return result;
 }
 
@@ -183,6 +222,17 @@ Result<SearchResult> PpannsService::SearchAsync(const QueryToken& token,
                                                 SearchContext* ctx) const {
   PPANNS_RETURN_IF_ERROR(ValidateQuery(token, k, settings));
   PPANNS_RETURN_IF_ERROR(CheckAdmission(settings, ctx));
+  ResultCache::Key key;
+  std::uint64_t epoch = 0;
+  if (cache_ != nullptr) {
+    key = ResultCache::MakeKey(token, k, settings);
+    epoch = CacheEpoch();
+    SearchResult cached;
+    if (cache_->Lookup(key, epoch, &cached.ids)) {
+      cached.counters.cache_hit = true;
+      return cached;
+    }
+  }
   SearchContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   Result<SearchResult> result = [&]() -> Result<SearchResult> {
@@ -193,6 +243,12 @@ Result<SearchResult> PpannsService::SearchAsync(const QueryToken& token,
     return std::get<CloudServer>(server_).Search(token, k, settings, ctx);
   }();
   if (result.ok() && DeadlineTripped(*result)) return DeadlineStatus(settings);
+  if (cache_ != nullptr && result.ok() && CacheEligible(*result)) {
+    // Hedged/failed-over answers are id-identical to the sync path on the
+    // shards that answered, and partial answers were excluded above — so
+    // Search and SearchAsync share one cache.
+    cache_->Insert(key, epoch, result->ids);
+  }
   return result;
 }
 
@@ -221,28 +277,71 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
 
   BatchSearchResult batch;
   Timer wall;
-  if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
-    // Batch-level scatter: all Q*S (query, shard) filter items as one flat
-    // fan-out — hedged through the claim-flag machinery when asked — then
-    // per-query merge/refine. Same ids as a sequential loop, lower tail
-    // latency for small batches.
-    batch.results = async.hedge_ms > 0.0
-                        ? s->SearchBatchScattered(tokens, k, settings, async)
-                        : s->SearchBatchScattered(tokens, k, settings);
-  } else {
-    batch.results.resize(tokens.size());
+  batch.results.resize(tokens.size());
+
+  // Cache pass: answer what the cache can, collect the rest for the
+  // scatter. Duplicate tokens inside one batch stay independent queries
+  // (they miss together and the last insert wins) — ids are identical
+  // either way, so no intra-batch coordination is worth the complexity.
+  std::vector<ResultCache::Key> keys;
+  std::vector<std::size_t> miss_index;
+  std::uint64_t epoch = 0;
+  if (cache_ != nullptr) {
+    epoch = CacheEpoch();
+    keys.resize(tokens.size());
+    miss_index.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      keys[i] = ResultCache::MakeKey(tokens[i], k, settings);
+      if (cache_->Lookup(keys[i], epoch, &batch.results[i].ids)) {
+        batch.results[i].counters.cache_hit = true;
+        ++batch.counters.total_cache_hits;
+      } else {
+        miss_index.push_back(i);
+      }
+    }
+  }
+
+  // The scatter itself, over whichever tokens were not served above.
+  auto run = [&](std::span<const QueryToken> qs) -> std::vector<SearchResult> {
+    if (const auto* s = std::get_if<ShardedCloudServer>(&server_)) {
+      // Batch-level scatter: all Q*S (query, shard) filter items as one
+      // flat fan-out — hedged through the claim-flag machinery when asked —
+      // then per-query merge/refine. Same ids as a sequential loop, lower
+      // tail latency for small batches.
+      return async.hedge_ms > 0.0
+                 ? s->SearchBatchScattered(qs, k, settings, async)
+                 : s->SearchBatchScattered(qs, k, settings);
+    }
+    std::vector<SearchResult> out(qs.size());
     ThreadPool::Global().ParallelFor(
-        tokens.size(), [&](std::size_t begin, std::size_t end) {
+        qs.size(), [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            batch.results[i] =
-                std::get<CloudServer>(server_).Search(tokens[i], k, settings);
+            out[i] = std::get<CloudServer>(server_).Search(qs[i], k, settings);
           }
         });
+    return out;
+  };
+
+  if (cache_ == nullptr) {
+    batch.results = run(tokens);
+  } else if (!miss_index.empty()) {
+    if (miss_index.size() == tokens.size()) {
+      batch.results = run(tokens);  // nothing hit: skip the gather copy
+    } else {
+      std::vector<QueryToken> miss_tokens;
+      miss_tokens.reserve(miss_index.size());
+      for (std::size_t i : miss_index) miss_tokens.push_back(tokens[i]);
+      std::vector<SearchResult> miss_results = run(miss_tokens);
+      for (std::size_t j = 0; j < miss_index.size(); ++j) {
+        batch.results[miss_index[j]] = std::move(miss_results[j]);
+      }
+    }
   }
   batch.counters.wall_seconds = wall.ElapsedSeconds();
 
   batch.counters.num_queries = tokens.size();
-  for (const SearchResult& r : batch.results) {
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const SearchResult& r = batch.results[i];
     // All-or-nothing deadline contract, batch edition: one expired query
     // fails the batch (its siblings shared the same per-query deadline and
     // were truncated the same way).
@@ -255,6 +354,9 @@ Result<BatchSearchResult> PpannsService::SearchBatch(
     batch.counters.total_hedged_requests += r.counters.hedged_requests;
     batch.counters.total_filter_seconds += r.counters.filter_seconds;
     batch.counters.total_refine_seconds += r.counters.refine_seconds;
+    if (cache_ != nullptr && !r.counters.cache_hit && CacheEligible(r)) {
+      cache_->Insert(keys[i], epoch, r.ids);
+    }
   }
   return batch;
 }
@@ -300,6 +402,10 @@ Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
         wal_->Append(WalRecordType::kInsert, EncodeWalInsert(v));
     if (!lsn.ok()) return lsn.status();
   }
+  // Invalidate before applying: a search racing the mutation may cache a
+  // pre-insert answer, but it will stamp it with the pre-bump epoch and
+  // never serve it again — stale-conservative, never wrong.
+  if (cache_ != nullptr) cache_->BumpMutationEpoch();
   return std::visit([&](auto& s) { return s.Insert(v); }, server_);
 }
 
@@ -313,6 +419,9 @@ Status PpannsService::Delete(VectorId id) {
         wal_->Append(WalRecordType::kRemove, EncodeWalRemove(id));
     if (!lsn.ok()) return lsn.status();
   }
+  // Bumped even when the Delete is then rejected (NotFound): a spurious
+  // wholesale invalidation is harmless, a missed one is not.
+  if (cache_ != nullptr) cache_->BumpMutationEpoch();
   return std::visit([id](auto& s) { return s.Delete(id); }, server_);
 }
 
@@ -328,6 +437,9 @@ Result<std::size_t> PpannsService::ReplayWal(const std::string& dir) {
   PPANNS_RETURN_IF_ERROR(CheckMutable("ReplayWal"));
   Result<std::vector<WalRecord>> records = ReadWal(dir);
   if (!records.ok()) return records.status();
+  // One bump covers the whole replay: entries only ever compare stamps for
+  // equality, so any forward movement invalidates everything cached before.
+  if (cache_ != nullptr && !records->empty()) cache_->BumpMutationEpoch();
   std::size_t applied = 0;
   for (const WalRecord& record : *records) {
     switch (record.type) {

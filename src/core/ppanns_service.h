@@ -23,6 +23,7 @@
 #define PPANNS_CORE_PPANNS_SERVICE_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +34,7 @@
 #include "common/status.h"
 #include "common/wal.h"
 #include "core/cloud_server.h"
+#include "core/result_cache.h"
 #include "core/sharded_cloud_server.h"
 
 namespace ppanns {
@@ -52,6 +54,10 @@ struct BatchCounters {
   /// under parallel execution).
   double total_filter_seconds = 0.0;
   double total_refine_seconds = 0.0;
+  /// Queries answered from the result cache (0 with the cache disabled).
+  /// Cached queries contribute nothing to the work totals above — no
+  /// filter/refine ran for them.
+  std::size_t total_cache_hits = 0;
   /// End-to-end wall seconds of the batch, including fan-out overhead.
   double wall_seconds = 0.0;
 };
@@ -174,6 +180,23 @@ class PpannsService {
   /// Segment/byte/lsn stats of the attached WAL (PPANNS_CHECK if none).
   WalStats wal_stats() const;
 
+  /// Enables the trapdoor-keyed hot-query result cache. From here on, a
+  /// Search/SearchAsync/SearchBatch query whose token bytes and id-shaping
+  /// settings (k, k_prime, ef_search, refine, node_budget) match an earlier
+  /// query against the same database epoch is answered from the cache —
+  /// counters.cache_hit is set and no filter/refine work runs. Only
+  /// completed, non-partial results are cached (an early-exited or degraded
+  /// answer is never replayed), and ANY mutation — Insert, Delete, WAL
+  /// replay, or a compaction/split/rebalance bumping the sharded
+  /// state_version — invalidates the whole cache, so a cached answer is
+  /// always id-identical to a fresh search. Calling again replaces the
+  /// cache (fresh entries, fresh counters).
+  void EnableResultCache(const ResultCacheOptions& options = {});
+  void DisableResultCache() { cache_.reset(); }
+  bool result_cache_enabled() const { return cache_ != nullptr; }
+  /// Lifetime counters of the enabled cache (PPANNS_CHECK if disabled).
+  ResultCacheStats result_cache_stats() const;
+
   std::size_t size() const;
   std::size_t dim() const;
   IndexKind index_kind() const;
@@ -215,8 +238,23 @@ class PpannsService {
   /// The DCE block length dim() dictates: 2 * (dim rounded up to even) + 16.
   std::size_t ExpectedDceBlock() const;
 
+  /// The database epoch cache entries are stamped with: the facade's
+  /// mutation counter plus the sharded server's state_version, so both
+  /// facade mutations and background compaction/split invalidate. Constant
+  /// on a remote gather (its shard servers expose no mutation path).
+  std::uint64_t CacheEpoch() const;
+
+  /// Only a completed, non-degraded answer may be replayed later: an early
+  /// exit (deadline/budget/cancel) or a partial gather truncated the ids.
+  static bool CacheEligible(const SearchResult& result) {
+    return result.counters.early_exit == EarlyExit::kNone && !result.partial;
+  }
+
   std::variant<CloudServer, ShardedCloudServer> server_;
   std::optional<WalWriter> wal_;
+  /// Present iff the result cache is enabled. unique_ptr keeps the facade
+  /// movable (the cache itself holds mutexes and atomics).
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace ppanns

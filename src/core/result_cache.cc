@@ -1,0 +1,147 @@
+#include "core/result_cache.h"
+
+#include <cstring>
+
+#include "core/cloud_server.h"
+#include "core/query_client.h"
+
+namespace ppanns {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Streaming 128-bit mixer: lo is FNV-1a (byte-serial, well studied), hi is
+/// a splitmix-style multiply-xorshift over the same stream with a different
+/// seed. The two halves are computed from independent recurrences, so a
+/// collision in one is uncorrelated with the other — the full 128-bit key is
+/// compared on lookup, making accidental aliasing astronomically unlikely.
+class Mix128 {
+ public:
+  void Bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      lo_ = (lo_ ^ p[i]) * 0x100000001B3ull;           // FNV-1a 64 prime
+      hi_ = (hi_ ^ (p[i] + 0x9E3779B97F4A7C15ull));    // golden-ratio seed
+      hi_ *= 0xBF58476D1CE4E5B9ull;
+      hi_ ^= hi_ >> 27;
+    }
+  }
+
+  void U64(std::uint64_t v) { Bytes(&v, sizeof(v)); }
+
+  ResultCache::Key Finish() {
+    // Final avalanche so short inputs still spread across stripe bits.
+    hi_ ^= hi_ >> 31;
+    hi_ *= 0x94D049BB133111EBull;
+    hi_ ^= hi_ >> 31;
+    return ResultCache::Key{lo_, hi_};
+  }
+
+ private:
+  std::uint64_t lo_ = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  std::uint64_t hi_ = 0x2545F4914F6CDD1Dull;
+};
+
+}  // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  const std::size_t n = RoundUpPow2(options.stripes == 0 ? 1 : options.stripes);
+  stripes_ = std::vector<Stripe>(n);
+  per_stripe_capacity_ =
+      options.capacity < n ? 1 : (options.capacity + n - 1) / n;
+  capacity_ = per_stripe_capacity_ * n;
+}
+
+ResultCache::Key ResultCache::MakeKey(const QueryToken& token, std::size_t k,
+                                      const SearchSettings& settings) {
+  Mix128 mix;
+  // Only the id-shaping knobs: deadline/admission/hedging never change the
+  // ids of a completed query, and only completed queries are cached.
+  mix.U64(static_cast<std::uint64_t>(k));
+  mix.U64(static_cast<std::uint64_t>(settings.k_prime));
+  mix.U64(static_cast<std::uint64_t>(settings.ef_search));
+  mix.U64(settings.refine ? 1 : 0);
+  mix.U64(static_cast<std::uint64_t>(settings.node_budget));
+  // Length prefixes keep (sap, trapdoor) framing unambiguous.
+  mix.U64(static_cast<std::uint64_t>(token.sap.size()));
+  mix.Bytes(token.sap.data(), token.sap.size() * sizeof(float));
+  mix.U64(static_cast<std::uint64_t>(token.trapdoor.data.size()));
+  mix.Bytes(token.trapdoor.data.data(),
+            token.trapdoor.data.size() * sizeof(double));
+  return mix.Finish();
+}
+
+bool ResultCache::Lookup(const Key& key, std::uint64_t epoch,
+                         std::vector<VectorId>* ids) {
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      if (it->second->epoch == epoch) {
+        *ids = it->second->ids;
+        stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Stamped against a database state that no longer exists: the answer
+      // may differ from a fresh search, so it must never be served.
+      stripe.lru.erase(it->second);
+      stripe.map.erase(it);
+      stale_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ResultCache::Insert(const Key& key, std::uint64_t epoch,
+                         const std::vector<VectorId>& ids) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it != stripe.map.end()) {
+    // A concurrent search of the same token finished first; refresh in
+    // place (the newer epoch wins — stamps only move forward).
+    it->second->epoch = epoch;
+    it->second->ids = ids;
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    return;
+  }
+  if (stripe.lru.size() >= per_stripe_capacity_) {
+    stripe.map.erase(stripe.lru.back().key);
+    stripe.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  stripe.lru.push_front(Entry{key, epoch, ids});
+  stripe.map.emplace(key, stripe.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lru.clear();
+    stripe.map.clear();
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.stale_evictions = stale_evictions_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(const_cast<Stripe&>(stripe).mu);
+    stats.entries += stripe.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace ppanns

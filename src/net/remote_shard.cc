@@ -41,7 +41,7 @@ Status RemoteShardClient::Filter(const QueryToken& token,
   }
 
   FilterResponseMessage response;
-  PPANNS_RETURN_IF_ERROR(channel_->CallFilter(request, ctx, &response));
+  PPANNS_RETURN_IF_ERROR(pool_->CallFilter(request, ctx, &response));
 
   // The response's stats and early-exit reason fold into the caller's context
   // whatever the outcome — a shed or cancelled remote scan's partial work is
@@ -73,15 +73,15 @@ Status RemoteShardClient::Filter(const QueryToken& token,
 }
 
 Result<ShardedCloudServer> ConnectShardedService(
-    const std::vector<std::string>& endpoints) {
+    const std::vector<std::string>& endpoints, std::size_t pool_size) {
   if (endpoints.empty()) {
     return Status::InvalidArgument("connect: no endpoints given");
   }
 
-  std::vector<std::shared_ptr<RpcChannel>> channels;
+  std::vector<std::shared_ptr<RpcChannelPool>> channels;
   channels.reserve(endpoints.size());
   for (const std::string& endpoint : endpoints) {
-    auto channel = RpcChannel::Connect(endpoint);
+    auto channel = RpcChannelPool::Connect(endpoint, pool_size);
     if (!channel.ok()) return channel.status();
     channels.push_back(std::move(*channel));
   }
@@ -113,11 +113,11 @@ Result<ShardedCloudServer> ConnectShardedService(
   topology.storage_bytes = static_cast<std::size_t>(first.storage_bytes);
 
   // Route every shard to the first endpoint that serves it; each replica rank
-  // of that shard gets its own stub over the shared channel.
+  // of that shard gets its own stub over the endpoint's shared stream pool.
   std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports(
       first.num_shards);
   for (std::uint32_t s = 0; s < first.num_shards; ++s) {
-    std::shared_ptr<RpcChannel> owner;
+    std::shared_ptr<RpcChannelPool> owner;
     for (const auto& channel : channels) {
       const auto& served = channel->server_info().served_shards;
       if (std::find(served.begin(), served.end(), s) != served.end()) {

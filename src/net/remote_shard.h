@@ -23,12 +23,15 @@
 namespace ppanns {
 
 /// Dispatches filter scans for one (shard, replica) to a remote ShardServer
-/// over a shared RpcChannel. Thread-safe (the channel demultiplexes).
+/// over a shared per-endpoint RpcChannelPool: each call rides the
+/// endpoint's least-loaded live TCP stream, so concurrent scatters stop
+/// head-of-line blocking on one socket. Thread-safe (every stream
+/// demultiplexes, the pool's pick is lock-free).
 class RemoteShardClient final : public ShardTransport {
  public:
-  RemoteShardClient(std::shared_ptr<RpcChannel> channel, std::uint32_t shard,
+  RemoteShardClient(std::shared_ptr<RpcChannelPool> pool, std::uint32_t shard,
                     std::uint32_t replica)
-      : channel_(std::move(channel)), shard_(shard), replica_(replica) {}
+      : pool_(std::move(pool)), shard_(shard), replica_(replica) {}
 
   /// Rebases the context's absolute deadline to a relative per-RPC budget,
   /// sends the scan, and folds the response's SearchStats and early-exit
@@ -37,14 +40,16 @@ class RemoteShardClient final : public ShardTransport {
   Status Filter(const QueryToken& token, const ShardFilterOptions& options,
                 SearchContext* ctx, ShardFilterResult* out) const override;
 
-  bool Healthy() const override { return channel_->healthy(); }
+  /// Healthy while ANY stream in the endpoint's pool is alive — a single
+  /// dead socket degrades capacity, not availability.
+  bool Healthy() const override { return pool_->healthy(); }
   bool remote() const override { return true; }
 
   std::uint32_t shard() const { return shard_; }
   std::uint32_t replica() const { return replica_; }
 
  private:
-  std::shared_ptr<RpcChannel> channel_;
+  std::shared_ptr<RpcChannelPool> pool_;
   std::uint32_t shard_;
   std::uint32_t replica_;
 };
@@ -52,12 +57,16 @@ class RemoteShardClient final : public ShardTransport {
 /// Connects to every endpoint ("host:port"), validates that the advertised
 /// topologies agree, that together they cover every shard, and assembles a
 /// remote ShardedCloudServer: transports_[s][r] routes to the first endpoint
-/// that serves shard s (later duplicates are ignored). Errors:
-///   InvalidArgument    — no endpoints, or endpoints disagree on topology
+/// that serves shard s (later duplicates are ignored). `pool_size` TCP
+/// streams are opened per endpoint (default 1 — the original
+/// one-socket-per-endpoint behavior); every stub on that endpoint shares
+/// the pool. Errors:
+///   InvalidArgument    — no endpoints, pool_size = 0, or endpoints
+///                        disagree on topology
 ///   FailedPrecondition — some shard is served by no endpoint
 ///   IOError            — connect/handshake failure
 Result<ShardedCloudServer> ConnectShardedService(
-    const std::vector<std::string>& endpoints);
+    const std::vector<std::string>& endpoints, std::size_t pool_size = 1);
 
 }  // namespace ppanns
 

@@ -183,4 +183,57 @@ Status RpcChannel::CallFilter(const FilterRequestMessage& request,
   return Status::OK();
 }
 
+Result<std::shared_ptr<RpcChannelPool>> RpcChannelPool::Connect(
+    const std::string& endpoint, std::size_t pool_size) {
+  if (pool_size == 0) {
+    return Status::InvalidArgument("connect: pool_size must be positive");
+  }
+  auto pool = std::shared_ptr<RpcChannelPool>(new RpcChannelPool());
+  pool->streams_.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    auto channel = RpcChannel::Connect(endpoint);
+    if (!channel.ok()) return channel.status();
+    auto stream = std::make_unique<Stream>();
+    stream->channel = std::move(*channel);
+    pool->streams_.push_back(std::move(stream));
+  }
+  return pool;
+}
+
+bool RpcChannelPool::healthy() const {
+  for (const auto& stream : streams_) {
+    if (stream->channel->healthy()) return true;
+  }
+  return false;
+}
+
+Status RpcChannelPool::CallFilter(const FilterRequestMessage& request,
+                                  SearchContext* ctx,
+                                  FilterResponseMessage* response) {
+  // Least-inflight over the live streams; ties go to the lowest index, so a
+  // lone caller sticks to stream 0 and pool_size=1 is byte-for-byte the old
+  // single-channel behavior. The count is a heuristic (racy reads are fine):
+  // a stream picked twice concurrently still demultiplexes correctly.
+  Stream* pick = nullptr;
+  std::int64_t best = 0;
+  for (const auto& stream : streams_) {
+    if (!stream->channel->healthy()) continue;
+    const std::int64_t inflight =
+        stream->inflight.load(std::memory_order_relaxed);
+    if (pick == nullptr || inflight < best) {
+      pick = stream.get();
+      best = inflight;
+    }
+  }
+  if (pick == nullptr) {
+    // Fully dead: let the first stream fail fast with its death reason, the
+    // same error a bare channel would report.
+    return streams_.front()->channel->CallFilter(request, ctx, response);
+  }
+  pick->inflight.fetch_add(1, std::memory_order_relaxed);
+  const Status st = pick->channel->CallFilter(request, ctx, response);
+  pick->inflight.fetch_sub(1, std::memory_order_relaxed);
+  return st;
+}
+
 }  // namespace ppanns

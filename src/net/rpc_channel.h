@@ -96,6 +96,60 @@ class RpcChannel {
   std::thread reader_;
 };
 
+/// RpcChannelPool — N parallel RpcChannels (TCP streams) to one endpoint.
+///
+/// One stream already pipelines many in-flight scans (the reader thread
+/// demultiplexes by request id), but it still serializes at the byte level:
+/// every large DCE response queues behind its predecessors on the same
+/// socket, and one reader thread deserializes all of them. Under a
+/// concurrent scatter that head-of-line blocking caps throughput. The pool
+/// spreads calls across `pool_size` independent streams — least-inflight
+/// pick, ties to the lowest index so a single caller keeps deterministic
+/// stream affinity — giving the endpoint pool_size sockets, reader threads,
+/// and server-side connection handlers.
+///
+/// Semantics are unchanged from a bare channel: a CANCEL frame travels on
+/// the stream that carries its request (RpcChannel handles that
+/// internally), deadline rebasing happens above in RemoteShardClient, and
+/// failure degrades per stream — the pool stays healthy while ANY stream
+/// lives, so a single dead socket no longer looks like a down replica.
+/// Calls on a fully dead pool fail fast with the first stream's death
+/// reason. Thread-safe.
+class RpcChannelPool {
+ public:
+  /// Connects `pool_size` (>= 1) streams to the endpoint; fails if any
+  /// single connect/handshake fails.
+  static Result<std::shared_ptr<RpcChannelPool>> Connect(
+      const std::string& endpoint, std::size_t pool_size = 1);
+
+  /// The topology the server advertised (first stream's handshake).
+  const HelloOkMessage& server_info() const {
+    return streams_.front()->channel->server_info();
+  }
+  const std::string& endpoint() const {
+    return streams_.front()->channel->endpoint();
+  }
+  std::size_t size() const { return streams_.size(); }
+
+  /// True while at least one stream is alive.
+  bool healthy() const;
+
+  /// One filter RPC over the least-loaded live stream.
+  Status CallFilter(const FilterRequestMessage& request, SearchContext* ctx,
+                    FilterResponseMessage* response);
+
+ private:
+  struct Stream {
+    std::shared_ptr<RpcChannel> channel;
+    /// Calls currently parked on this stream; the dispatch heuristic.
+    std::atomic<std::int64_t> inflight{0};
+  };
+
+  RpcChannelPool() = default;
+
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
 }  // namespace ppanns
 
 #endif  // PPANNS_NET_RPC_CHANNEL_H_

@@ -74,7 +74,7 @@ std::string Endpoint(const ShardServer& server) {
 /// every shard, dialed through ConnectShardedService on loopback.
 struct Loopback {
   Loopback(IndexKind kind, std::uint32_t num_shards, std::uint32_t num_replicas,
-           const Dataset& ds, std::uint64_t seed) {
+           const Dataset& ds, std::uint64_t seed, std::size_t pool_size = 1) {
     DataOwner local_owner = MakeOwner(BaseParams(kind, num_shards,
                                                  num_replicas, seed));
     owner = std::make_unique<DataOwner>(
@@ -86,7 +86,7 @@ struct Loopback {
     server = std::make_unique<ShardServer>(backend.get(),
                                            std::vector<std::uint32_t>{});
     PPANNS_CHECK(server->Start(0).ok());
-    auto connected = ConnectShardedService({Endpoint(*server)});
+    auto connected = ConnectShardedService({Endpoint(*server)}, pool_size);
     PPANNS_CHECK(connected.ok());
     remote = std::make_unique<PpannsService>(std::move(*connected));
   }
@@ -325,6 +325,140 @@ TEST(RemoteMutationTest, InsertAndDeleteAreNotSupported) {
   EXPECT_EQ(ins.status().code(), Status::Code::kNotSupported);
   Status del = lb.remote->Delete(0);
   EXPECT_EQ(del.code(), Status::Code::kNotSupported);
+}
+
+// ---------------------------------------------------------------------------
+// Per-endpoint connection pools: pool_size streams per endpoint, calls on
+// the least-loaded live stream. Every protocol semantic — id equality,
+// CANCEL frames, deadline rebasing, failover — must be indistinguishable
+// from the single-stream gather.
+
+// The pool acceptance bar: a pool_size-4 gather returns ids identical to the
+// in-process gather, one query at a time and under a concurrent batch
+// scatter that actually spreads calls across the streams.
+TEST(RemotePoolTest, PooledGatherMatchesInProcessExactly) {
+  const std::size_t n = 400, nq = 12, k = 8;
+  const Dataset ds = MakeData(n, nq, /*seed=*/51);
+  Loopback lb(IndexKind::kBruteForce, 2, /*num_replicas=*/2, ds, 51,
+              /*pool_size=*/4);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 53);
+  const SearchSettings settings{.k_prime = 4 * k};
+  std::vector<std::vector<VectorId>> expected;
+  for (const QueryToken& token : tokens) {
+    auto l = lb.local->Search(token, k, settings);
+    auto r = lb.remote->Search(token, k, settings);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+    expected.push_back(l->ids);
+  }
+
+  // The concurrent path: a batch scatter puts many calls in flight at once,
+  // so the least-inflight pick exercises more than stream 0.
+  auto batch = lb.remote->SearchBatch(tokens, k, settings);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(batch->results[i].ids, expected[i]) << "query " << i;
+  }
+}
+
+// pool_size = 0 is refused at connect time.
+TEST(RemotePoolTest, ZeroPoolSizeIsRejected) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/55);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 55);
+  auto bad = ConnectShardedService({Endpoint(*lb.server)}, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+}
+
+// Cancellation over a pooled endpoint: the CANCEL frame travels on the same
+// stream as its request (the channel owns that pairing), so the remote scan
+// aborts with zero progress exactly like the single-stream case.
+TEST(RemotePoolTest, CancelAbortsTheRemoteScanThroughThePool) {
+  const Dataset ds = MakeData(300, 2, /*seed=*/57);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 57, /*pool_size=*/4);
+  lb.server->set_scan_delay_ms(4000);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 59);
+  std::atomic<bool> cancel{false};
+  SearchContext ctx;
+  ctx.AddCancelFlag(&cancel);
+
+  Result<SearchResult> result = Status::Internal("not run");
+  const auto start = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    result = lb.remote->Search(tokens.front(), 5, SearchSettings{.k_prime = 20},
+                               &ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cancel.store(true, std::memory_order_release);
+  worker.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->counters.early_exit, EarlyExit::kCancelled);
+  EXPECT_EQ(result->counters.nodes_visited, 0u);
+  EXPECT_LT(elapsed_ms, 3000.0);
+}
+
+// Replica failover semantics are untouched by pooling: a down replica
+// reroutes to the next one with identical ids, and the deadline still cuts
+// through a server-side stall.
+TEST(RemotePoolTest, FailoverAndDeadlineSurviveThePool) {
+  const Dataset ds = MakeData(300, 6, /*seed=*/61);
+  Loopback lb(IndexKind::kBruteForce, 2, /*num_replicas=*/2, ds, 61,
+              /*pool_size=*/3);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 63);
+  std::vector<std::vector<VectorId>> healthy;
+  for (const QueryToken& token : tokens) {
+    auto r = lb.remote->Search(token, 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    healthy.push_back(r->ids);
+  }
+  lb.remote->sharded_server_mutable().SetReplicaDown(0, 0, true);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    auto r = lb.remote->Search(tokens[i], 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, healthy[i]);
+    EXPECT_FALSE(r->partial);
+  }
+
+  lb.server->set_scan_delay_ms(2000);
+  auto late = lb.remote->Search(
+      tokens.front(), 5, SearchSettings{.k_prime = 20, .deadline_ms = 50.0});
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), Status::Code::kDeadlineExceeded)
+      << late.status().ToString();
+}
+
+// The result cache composes with the remote topology: the gather node
+// caches final id lists keyed on the token bytes, a repeat answers without
+// touching the wire, and the replay is id-identical.
+TEST(RemotePoolTest, ResultCacheOnTheGatherNodeReplaysIdentically) {
+  const std::size_t n = 300, nq = 6, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/65);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 65, /*pool_size=*/2);
+  lb.remote->EnableResultCache(ResultCacheOptions{.capacity = 64});
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 67);
+  for (const QueryToken& token : tokens) {
+    auto fresh = lb.remote->Search(token, k);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_FALSE(fresh->counters.cache_hit);
+    auto replay = lb.remote->Search(token, k);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->counters.cache_hit);
+    EXPECT_EQ(replay->ids, fresh->ids);
+    EXPECT_EQ(replay->counters.nodes_visited, 0u);
+  }
+  const ResultCacheStats stats = lb.remote->result_cache_stats();
+  EXPECT_EQ(stats.hits, tokens.size());
+  EXPECT_EQ(stats.misses, tokens.size());
 }
 
 // A client whose version range does not intersect the server's is dropped at

@@ -115,9 +115,10 @@ int Usage() {
                "[--k K] [--kprime KP] [--ef EF]\n"
                "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
                "[--admission-ms MS] [--index KIND] [--out results.txt]\n"
-               "          [--connect HOST:PORT,...] [--down S:R,...] "
-               "[--json F.json]\n"
-               "          [--wal-dir DIR [--replay]] [--compact-threshold T]\n"
+               "          [--connect HOST:PORT,...] [--pool-size P] "
+               "[--down S:R,...] [--json F.json]\n"
+               "          [--cache N] [--repeat R] [--wal-dir DIR "
+               "[--replay]] [--compact-threshold T]\n"
                "  info    --db db.ppanns [--wal-dir DIR]\n"
                "search serves from --db in-process, or — with --connect — "
                "acts as the\ngather node over ppanns_shard_server endpoints "
@@ -319,12 +320,20 @@ int CmdSearch(const Args& args) {
     std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
     return 1;
   }
+  // --pool-size P opens P TCP streams per --connect endpoint; calls ride
+  // the least-loaded stream, so concurrent scatters stop serializing their
+  // response bytes behind one socket.
+  const std::size_t pool_size = args.GetSize("pool-size", 1);
+  if (pool_size != 1 && connect.empty()) {
+    std::fprintf(stderr, "--pool-size requires --connect\n");
+    return 2;
+  }
   // --connect makes this process the gather node of a distributed topology:
   // every endpoint is a ppanns_shard_server and the filter phase crosses the
   // wire. Without it the package is loaded and served in-process.
   auto service_or = [&]() -> Result<PpannsService> {
     if (!connect.empty()) {
-      auto remote = ConnectShardedService(SplitComma(connect));
+      auto remote = ConnectShardedService(SplitComma(connect), pool_size);
       if (!remote.ok()) return remote.status();
       return PpannsService{std::move(*remote)};
     }
@@ -338,6 +347,16 @@ int CmdSearch(const Args& args) {
     return 1;
   }
   PpannsService service = std::move(*service_or);
+
+  // --cache N serves repeated trapdoors from an N-entry result cache keyed
+  // on the token bytes + search settings; entries are invalidated on any
+  // mutation, so answers stay id-identical to a fresh search. Trapdoor
+  // encryption is randomized — only a literally re-presented token hits,
+  // which is what --repeat demonstrates (pass 2+ replays pass 1's tokens).
+  const std::size_t cache_capacity = args.GetSize("cache", 0);
+  if (cache_capacity > 0) {
+    service.EnableResultCache({.capacity = cache_capacity});
+  }
 
   // --down S:R,... marks gather-side replicas down before any query runs —
   // the failover/hedging machinery then routes around them, in-process and
@@ -473,10 +492,15 @@ int CmdSearch(const Args& args) {
     std::fprintf(out, "\n");
   };
 
+  // --repeat R serves the whole query file R times; every pass past the
+  // first replays pass 1's exact tokens, so with --cache on it measures the
+  // cache's hit path (ids are printed once — repeats are id-identical by
+  // the cache contract).
+  const std::size_t repeat = std::max<std::size_t>(args.GetSize("repeat", 1), 1);
   int exit_code = 0;
   Timer t;
   if (args.GetBool("batch")) {
-    // One validated batch call, fanned across the thread pool; with
+    // One validated batch call per pass, fanned across the thread pool; with
     // --hedge-ms the (query, shard) work items go through the hedged
     // claim-flag scatter (identical ids, lower tail latency).
     std::vector<QueryToken> tokens;
@@ -484,67 +508,80 @@ int CmdSearch(const Args& args) {
     for (std::size_t i = 0; i < queries->size(); ++i) {
       tokens.push_back(client.EncryptQuery(queries->row(i)));
     }
-    auto batch = hedge_ms > 0.0 ? service.SearchBatch(tokens, k, settings, async)
-                                : service.SearchBatch(tokens, k, settings);
-    if (!batch.ok()) {
-      std::fprintf(stderr, "search: %s\n", batch.status().ToString().c_str());
-      exit_code = 1;
-    } else {
-      for (std::size_t i = 0; i < batch->results.size(); ++i) {
-        print_result(i, batch->results[i]);
+    for (std::size_t rep = 0; rep < repeat && exit_code == 0; ++rep) {
+      auto batch = hedge_ms > 0.0
+                       ? service.SearchBatch(tokens, k, settings, async)
+                       : service.SearchBatch(tokens, k, settings);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "search: %s\n", batch.status().ToString().c_str());
+        exit_code = 1;
+      } else {
+        if (rep == 0) {
+          for (std::size_t i = 0; i < batch->results.size(); ++i) {
+            print_result(i, batch->results[i]);
+          }
+        }
+        std::fprintf(stderr,
+                     "batch: %zu queries over %zu shard(s) x %zu replica(s), "
+                     "%.3fs wall "
+                     "(%.1f QPS), %zu filter candidates, %zu DCE comparisons, "
+                     "%zu nodes visited, %zu distance computations, %zu "
+                     "hedged, %zu cache hit(s)\n",
+                     batch->counters.num_queries, service.num_shards(),
+                     service.num_replicas(),
+                     batch->counters.wall_seconds,
+                     batch->counters.num_queries / batch->counters.wall_seconds,
+                     batch->counters.total_filter_candidates,
+                     batch->counters.total_dce_comparisons,
+                     batch->counters.total_nodes_visited,
+                     batch->counters.total_distance_computations,
+                     batch->counters.total_hedged_requests,
+                     batch->counters.total_cache_hits);
       }
-      std::fprintf(stderr,
-                   "batch: %zu queries over %zu shard(s) x %zu replica(s), "
-                   "%.3fs wall "
-                   "(%.1f QPS), %zu filter candidates, %zu DCE comparisons, "
-                   "%zu nodes visited, %zu distance computations, %zu "
-                   "hedged\n",
-                   batch->counters.num_queries, service.num_shards(),
-                   service.num_replicas(),
-                   batch->counters.wall_seconds,
-                   batch->counters.num_queries / batch->counters.wall_seconds,
-                   batch->counters.total_filter_candidates,
-                   batch->counters.total_dce_comparisons,
-                   batch->counters.total_nodes_visited,
-                   batch->counters.total_distance_computations,
-                   batch->counters.total_hedged_requests);
     }
   } else {
     std::size_t hedged = 0;
     std::size_t wasted_nodes = 0;
     std::vector<double> latencies_ms;
-    latencies_ms.reserve(queries->size());
-    for (std::size_t i = 0; i < queries->size(); ++i) {
-      QueryToken token = client.EncryptQuery(queries->row(i));
-      Timer per_query;
-      auto result = hedge_ms > 0.0 ? service.SearchAsync(token, k, settings, async)
-                                   : service.Search(token, k, settings);
-      latencies_ms.push_back(per_query.ElapsedSeconds() * 1e3);
-      if (!result.ok()) {
-        std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
-        exit_code = 1;
-        break;
+    latencies_ms.reserve(queries->size() * repeat);
+    std::vector<QueryToken> tokens;
+    tokens.reserve(queries->size());
+    for (std::size_t rep = 0; rep < repeat && exit_code == 0; ++rep) {
+      for (std::size_t i = 0; i < queries->size(); ++i) {
+        if (rep == 0) tokens.push_back(client.EncryptQuery(queries->row(i)));
+        Timer per_query;
+        auto result = hedge_ms > 0.0
+                          ? service.SearchAsync(tokens[i], k, settings, async)
+                          : service.Search(tokens[i], k, settings);
+        latencies_ms.push_back(per_query.ElapsedSeconds() * 1e3);
+        if (!result.ok()) {
+          std::fprintf(stderr, "search: %s\n",
+                       result.status().ToString().c_str());
+          exit_code = 1;
+          break;
+        }
+        hedged += result->counters.hedged_requests;
+        wasted_nodes += result->counters.hedge_wasted_nodes;
+        if (rep > 0) continue;  // repeats: collect latency, skip the output
+        if (result->partial) {
+          std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no "
+                       "live replica)\n", i);
+        }
+        // The per-query SearchStats line: what the query actually cost.
+        const SearchCounters& c = result->counters;
+        std::fprintf(stderr,
+                     "query %zu stats: %zu nodes visited, %zu distance "
+                     "computations, %zu DCE comparisons, exit=%s\n",
+                     i, c.nodes_visited, c.distance_computations,
+                     c.dce_comparisons, EarlyExitName(c.early_exit));
+        print_result(i, *result);
       }
-      hedged += result->counters.hedged_requests;
-      wasted_nodes += result->counters.hedge_wasted_nodes;
-      if (result->partial) {
-        std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no live "
-                     "replica)\n", i);
-      }
-      // The per-query SearchStats line: what the query actually cost.
-      const SearchCounters& c = result->counters;
-      std::fprintf(stderr,
-                   "query %zu stats: %zu nodes visited, %zu distance "
-                   "computations, %zu DCE comparisons, exit=%s\n",
-                   i, c.nodes_visited, c.distance_computations,
-                   c.dce_comparisons, EarlyExitName(c.early_exit));
-      print_result(i, *result);
     }
     const double secs = t.ElapsedSeconds();
     if (exit_code == 0) {
       std::fprintf(stderr, "%zu queries in %.3fs (%.1f QPS incl. client-side "
-                   "encryption)\n", queries->size(), secs,
-                   queries->size() / secs);
+                   "encryption)\n", queries->size() * repeat, secs,
+                   queries->size() * repeat / secs);
       if (hedge_ms > 0.0) {
         std::fprintf(stderr, "async: hedge deadline %.1f ms, %zu hedged "
                      "request(s)\n", hedge_ms, hedged);
@@ -568,14 +605,21 @@ int CmdSearch(const Args& args) {
         std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
         exit_code = 1;
       } else {
+        const ResultCacheStats cache_stats =
+            service.result_cache_enabled() ? service.result_cache_stats()
+                                           : ResultCacheStats{};
         std::fprintf(jf,
                      "{\n  \"mode\": \"%s\",\n  \"hedge_ms\": %.3f,\n"
-                     "  \"queries\": %zu,\n  \"p50_ms\": %.3f,\n"
+                     "  \"queries\": %zu,\n  \"repeat\": %zu,\n"
+                     "  \"p50_ms\": %.3f,\n"
                      "  \"p99_ms\": %.3f,\n  \"hedged_requests\": %zu,\n"
-                     "  \"hedge_wasted_nodes\": %zu,\n  \"latencies_ms\": [",
+                     "  \"hedge_wasted_nodes\": %zu,\n"
+                     "  \"cache_hits\": %zu,\n  \"cache_misses\": %zu,\n"
+                     "  \"latencies_ms\": [",
                      connect.empty() ? "local" : "remote", hedge_ms,
-                     latencies_ms.size(), pct(0.50), pct(0.99), hedged,
-                     wasted_nodes);
+                     latencies_ms.size(), repeat, pct(0.50), pct(0.99),
+                     hedged, wasted_nodes, cache_stats.hits,
+                     cache_stats.misses);
         for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
           std::fprintf(jf, "%s%.3f", i == 0 ? "" : ", ", latencies_ms[i]);
         }
@@ -583,6 +627,15 @@ int CmdSearch(const Args& args) {
         std::fclose(jf);
       }
     }
+  }
+  // The serving-cache summary: what fraction of the run was replayed.
+  if (exit_code == 0 && service.result_cache_enabled()) {
+    const ResultCacheStats cs = service.result_cache_stats();
+    std::fprintf(stderr,
+                 "cache: %zu hit(s) / %zu miss(es), %zu entr(ies) of %zu, "
+                 "%zu eviction(s), %zu stale\n",
+                 cs.hits, cs.misses, cs.entries, cache_capacity, cs.evictions,
+                 cs.stale_evictions);
   }
   if (out != stdout) std::fclose(out);
   return exit_code;

@@ -13,7 +13,8 @@
 
 set -eu
 BUILD=${1:-build}
-SMOKE_JSON=${SMOKE_JSON:-fig11_sockets.json}
+# Artifacts land under the build tree by default — the repo root stays clean.
+SMOKE_JSON=${SMOKE_JSON:-$BUILD/fig11_sockets.json}
 CLI=$BUILD/ppanns_cli
 SRV=$BUILD/ppanns_shard_server
 
@@ -62,6 +63,19 @@ echo "== id-equality: sync gather over sockets vs in-process"
   --connect "$CONNECT" --out "$TMP/remote.txt"
 diff "$TMP/local.txt" "$TMP/remote.txt"
 echo "   identical"
+
+echo "== pooled gather (--pool-size 4) with the result cache replaying pass 2"
+"$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
+  --connect "$CONNECT" --pool-size 4 --cache 64 --repeat 2 \
+  --out "$TMP/pooled.txt" 2>"$TMP/pooled.log"
+diff "$TMP/local.txt" "$TMP/pooled.txt"
+# Pass 2 replays pass 1's 20 tokens from the cache.
+grep -q 'cache: 20 hit(s) / 20 miss(es)' "$TMP/pooled.log" || {
+  echo "FAIL: expected 20 cache hits on the repeat pass" >&2
+  cat "$TMP/pooled.log" >&2
+  exit 1
+}
+echo "   identical, cache replayed the repeat pass"
 
 echo "== fig11 over sockets: hedged gather hides the straggler"
 "$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
