@@ -371,8 +371,7 @@ int main() {
   // ---- Scenario 3: pool_size 1 vs 4 over loopback sockets, DCE-heavy
   // responses (the refine payload is what serializes on a single stream).
   PpannsService backend = load();
-  ShardServer shard_server(&backend.sharded_server(),
-                           std::vector<std::uint32_t>{});
+  ShardServer shard_server(&backend, std::vector<std::uint32_t>{});
   PPANNS_CHECK(shard_server.Start(0).ok());
   const std::string endpoint =
       "127.0.0.1:" + std::to_string(shard_server.port());

@@ -194,7 +194,7 @@ int main() {
   mopts.compact_threshold = 0.1;
   Timer compact_timer;
   const std::size_t compactions =
-      compacted.sharded_server_mutable().MaybeCompact(mopts);
+      compacted.sharded_server_mutable().MaybeCompact(mopts).value();
   const double compact_ms = compact_timer.ElapsedMillis();
   auto [recall_compacted, lat_compacted] = measure(compacted, alive);
   double max_tombstones_after = 0.0;

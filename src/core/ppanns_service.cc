@@ -165,10 +165,14 @@ Status CheckAdmission(const SearchSettings& settings,
 std::uint64_t PpannsService::CacheEpoch() const {
   std::uint64_t epoch = cache_->mutation_epoch();
   if (const auto* s = std::get_if<ShardedCloudServer>(&server_);
-      s != nullptr && !s->remote()) {
+      s != nullptr) {
     // Both terms are monotonic, so their sum is too: an entry stamped
     // before any mutation — through the facade or through background
-    // maintenance — can never match again.
+    // maintenance — can never match again. On a remote gather
+    // state_version() reads the cluster epoch fence, which every mutation
+    // response and health ping advances, so a mutation applied over the
+    // wire (or directly on a shard server) stale-evicts here the same way
+    // a local one does.
     epoch += s->state_version();
   }
   return epoch;
@@ -393,7 +397,10 @@ Status PpannsService::ValidateInsert(const EncryptedVector& v) const {
 }
 
 Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
-  PPANNS_RETURN_IF_ERROR(CheckMutable("Insert"));
+  // No CheckMutable: a sharded server over remote shards routes the insert
+  // through its attached MutationTransports (or refuses with NotSupported
+  // itself when none are attached). The WAL below is the *gather's* log and
+  // can only be attached on a local topology (AttachWal is gated).
   PPANNS_RETURN_IF_ERROR(ValidateInsert(v));
   if (wal_.has_value()) {
     // Append-before-apply: the mutation is durable before any in-memory
@@ -406,11 +413,13 @@ Result<VectorId> PpannsService::Insert(const EncryptedVector& v) {
   // pre-insert answer, but it will stamp it with the pre-bump epoch and
   // never serve it again — stale-conservative, never wrong.
   if (cache_ != nullptr) cache_->BumpMutationEpoch();
-  return std::visit([&](auto& s) { return s.Insert(v); }, server_);
+  if (auto* sharded = std::get_if<ShardedCloudServer>(&server_)) {
+    return sharded->Insert(v);
+  }
+  return std::get<CloudServer>(server_).Insert(v);
 }
 
 Status PpannsService::Delete(VectorId id) {
-  PPANNS_RETURN_IF_ERROR(CheckMutable("Delete"));
   if (wal_.has_value()) {
     // Logged before validity is known: a Delete the server rejects
     // (NotFound, bad id) replays to the same rejection, which ReplayWal

@@ -146,7 +146,10 @@ class PpannsService {
   /// whose SAP length differs from dim() or whose DCE payload is not the
   /// four blocks of 2*d_pad+16 doubles the dimension dictates; on a sharded
   /// server the accepted vector routes to the least-loaded shard and the
-  /// returned id is global.
+  /// returned id is global. On a gather node over remote shards the
+  /// mutation broadcasts through the cluster's MutationTransports
+  /// (ConnectCluster attaches them) — identical semantics over the wire, or
+  /// NotSupported when the connection predates the mutation protocol.
   Result<VectorId> Insert(const EncryptedVector& v);
   Status Delete(VectorId id);
 
@@ -240,8 +243,10 @@ class PpannsService {
 
   /// The database epoch cache entries are stamped with: the facade's
   /// mutation counter plus the sharded server's state_version, so both
-  /// facade mutations and background compaction/split invalidate. Constant
-  /// on a remote gather (its shard servers expose no mutation path).
+  /// facade mutations and background compaction/split invalidate. On a
+  /// remote gather state_version() is the cluster epoch fence — advanced by
+  /// every mutation response and health ping — so remote mutations (even
+  /// ones applied directly on a shard server) invalidate too.
   std::uint64_t CacheEpoch() const;
 
   /// Only a completed, non-degraded answer may be replayed later: an early

@@ -316,8 +316,91 @@ ShardedCloudServer& ShardedCloudServer::operator=(
     remote_ = other.remote_;
     runtime_ = std::move(other.runtime_);
     maintenance_ = std::move(other.maintenance_);
+    mutation_transports_ = std::move(other.mutation_transports_);
+    remote_epoch_ = std::move(other.remote_epoch_);
   }
   return *this;
+}
+
+void ShardedCloudServer::AttachMutationTransports(
+    std::vector<std::unique_ptr<MutationTransport>> transports) {
+  PPANNS_CHECK(remote_);
+  for (const auto& transport : transports) PPANNS_CHECK(transport != nullptr);
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  mutation_transports_ = std::move(transports);
+}
+
+void ShardedCloudServer::AttachRemoteEpochFence(
+    std::shared_ptr<std::atomic<std::uint64_t>> fence) {
+  PPANNS_CHECK(remote_);
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  remote_epoch_ = std::move(fence);
+}
+
+Result<MutationOutcome> ShardedCloudServer::BroadcastMutation(
+    const char* what,
+    const std::function<Result<MutationOutcome>(MutationTransport&)>& apply) {
+  // Serialized against concurrent remote mutations by the same mutex the
+  // local path uses; searches never take it.
+  std::lock_guard<std::mutex> lock(maintenance_->mu);
+  if (mutation_transports_.empty()) {
+    return Status::NotSupported(
+        std::string(what) +
+        ": this gather node serves remote shards without a mutation path; "
+        "attach mutation transports (ConnectCluster) or apply maintenance on "
+        "the shard servers' own database");
+  }
+  // Broadcast to every endpoint — each holds the full package, so agreement
+  // on the post-apply observables is what keeps them byte-identical.
+  std::vector<MutationOutcome> outcomes;
+  outcomes.reserve(mutation_transports_.size());
+  for (const auto& transport : mutation_transports_) {
+    auto outcome = apply(*transport);
+    if (!outcome.ok()) {
+      // The command never reached this endpoint. Earlier endpoints may have
+      // applied it already — surface that, it is the operator's cue to
+      // restore the endpoint (the re-dialing pool will) and re-converge.
+      return Status::IOError(
+          std::string(what) + ": endpoint " + transport->endpoint() +
+          " unreachable after " + std::to_string(outcomes.size()) + " of " +
+          std::to_string(mutation_transports_.size()) +
+          " endpoints already applied: " + outcome.status().ToString());
+    }
+    outcomes.push_back(std::move(*outcome));
+  }
+  const MutationOutcome& first = outcomes.front();
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    const MutationOutcome& other = outcomes[i];
+    if (other.status.code() != first.status.code() || other.id != first.id ||
+        other.state_version != first.state_version ||
+        other.size != first.size) {
+      return Status::FailedPrecondition(
+          std::string(what) + ": endpoints diverged — " +
+          mutation_transports_.front()->endpoint() + " reports (id " +
+          std::to_string(first.id) + ", state_version " +
+          std::to_string(first.state_version) + ", size " +
+          std::to_string(first.size) + "), " +
+          mutation_transports_[i]->endpoint() + " reports (id " +
+          std::to_string(other.id) + ", state_version " +
+          std::to_string(other.state_version) + ", size " +
+          std::to_string(other.size) + ")");
+    }
+  }
+  if (remote_epoch_ != nullptr) {
+    // Fold the agreed post-apply epoch into the cluster fence (monotonic
+    // max) so the gather's cache invalidation epoch advances with it.
+    std::uint64_t cur = remote_epoch_->load(std::memory_order_acquire);
+    while (first.state_version > cur &&
+           !remote_epoch_->compare_exchange_weak(cur, first.state_version,
+                                                 std::memory_order_acq_rel)) {
+    }
+  }
+  // The agreed post-apply size refreshes the handshake-time snapshot, so
+  // size() on the gather tracks the cluster across mutations (still under
+  // maintenance_->mu — callers sequence reads against their own mutations,
+  // the same contract as the local path).
+  topology_.size = static_cast<std::size_t>(first.size);
+  return first;
 }
 
 ShardedCloudServer::~ShardedCloudServer() {
@@ -459,19 +542,51 @@ Status ShardedCloudServer::SplitShardLocked(std::size_t s,
 }
 
 Status ShardedCloudServer::CompactShard(std::size_t s) {
-  PPANNS_CHECK(!remote_);
+  if (remote_) {
+    MaintenanceCommand cmd;
+    cmd.op = MaintenanceCommand::Op::kCompactShard;
+    cmd.shard = static_cast<std::uint32_t>(s);
+    auto outcome = BroadcastMutation(
+        "CompactShard",
+        [&cmd](MutationTransport& t) { return t.Maintain(cmd); });
+    if (!outcome.ok()) return outcome.status();
+    return outcome->status;
+  }
   std::lock_guard<std::mutex> lock(maintenance_->mu);
   return CompactShardLocked(s, maintenance_->options.build_threads);
 }
 
 Status ShardedCloudServer::SplitShard(std::size_t s) {
-  PPANNS_CHECK(!remote_);
+  if (remote_) {
+    MaintenanceCommand cmd;
+    cmd.op = MaintenanceCommand::Op::kSplitShard;
+    cmd.shard = static_cast<std::uint32_t>(s);
+    auto outcome = BroadcastMutation(
+        "SplitShard",
+        [&cmd](MutationTransport& t) { return t.Maintain(cmd); });
+    if (!outcome.ok()) return outcome.status();
+    return outcome->status;
+  }
   std::lock_guard<std::mutex> lock(maintenance_->mu);
   return SplitShardLocked(s, maintenance_->options.build_threads);
 }
 
-std::size_t ShardedCloudServer::MaybeCompact(const MaintenanceOptions& options) {
-  PPANNS_CHECK(!remote_);
+Result<std::size_t> ShardedCloudServer::MaybeCompact(
+    const MaintenanceOptions& options) {
+  if (remote_) {
+    MaintenanceCommand cmd;
+    cmd.op = MaintenanceCommand::Op::kSweep;
+    cmd.compact_threshold = options.compact_threshold;
+    cmd.split_skew = options.split_skew;
+    cmd.min_split_size = options.min_split_size;
+    cmd.build_threads = options.build_threads;
+    auto outcome = BroadcastMutation(
+        "MaybeCompact",
+        [&cmd](MutationTransport& t) { return t.Maintain(cmd); });
+    if (!outcome.ok()) return outcome.status();
+    PPANNS_RETURN_IF_ERROR(outcome->status);
+    return static_cast<std::size_t>(outcome->ops);
+  }
   std::lock_guard<std::mutex> lock(maintenance_->mu);
   std::size_t ops = 0;
 
@@ -556,7 +671,13 @@ std::uint64_t ShardedCloudServer::last_compaction_epoch(std::size_t s) const {
 }
 
 std::uint64_t ShardedCloudServer::state_version() const {
-  PPANNS_CHECK(!remote_);
+  if (remote_) {
+    // The epoch fence: the max post-apply state_version any mutation
+    // response or health ping has reported. 0 before a fence is attached.
+    return remote_epoch_ != nullptr
+               ? remote_epoch_->load(std::memory_order_acquire)
+               : 0;
+  }
   return set_->Pin()->state_version;
 }
 
@@ -1441,10 +1562,14 @@ std::vector<SearchResult> ShardedCloudServer::SearchBatchScattered(
   return results;
 }
 
-VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
-  // The facade gates remote maintenance with a Status; reaching here on a
-  // stub-backed server is a programmer error.
-  PPANNS_CHECK(!remote_);
+Result<VectorId> ShardedCloudServer::Insert(const EncryptedVector& v) {
+  if (remote_) {
+    auto outcome = BroadcastMutation(
+        "Insert", [&v](MutationTransport& t) { return t.Insert(v); });
+    if (!outcome.ok()) return outcome.status();
+    PPANNS_RETURN_IF_ERROR(outcome->status);
+    return static_cast<VectorId>(outcome->id);
+  }
   // In-place mutation of the current set: exclusive against structural
   // maintenance (the mutex — a compaction reads the primary it is about to
   // replace), and callers serialize it against their own searches as they
@@ -1479,7 +1604,13 @@ VectorId ShardedCloudServer::Insert(const EncryptedVector& v) {
 }
 
 Status ShardedCloudServer::Delete(VectorId global_id) {
-  PPANNS_CHECK(!remote_);  // see Insert
+  if (remote_) {
+    auto outcome = BroadcastMutation(
+        "Delete",
+        [global_id](MutationTransport& t) { return t.Delete(global_id); });
+    if (!outcome.ok()) return outcome.status();
+    return outcome->status;
+  }
   std::lock_guard<std::mutex> lock(maintenance_->mu);
   DrainAsyncWork();
   const std::shared_ptr<ShardSet> set = set_->Current();

@@ -46,6 +46,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -140,6 +141,24 @@ class ShardedCloudServer {
       const RemoteTopology& topology,
       std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports);
 
+  /// Arms the remote mutation path of a gather node: every Insert/Delete/
+  /// maintenance call broadcasts through ALL attached transports (each
+  /// endpoint loads the full package, so replicated endpoints stay
+  /// byte-identical the way in-process replicas do) and requires their
+  /// outcomes to agree. Remote servers only; without transports the mutation
+  /// surface stays NotSupported.
+  void AttachMutationTransports(
+      std::vector<std::unique_ptr<MutationTransport>> transports);
+
+  /// Shares the cluster's epoch fence with this gather node: every remote
+  /// mutation folds its post-apply state_version into the fence (monotonic
+  /// max), and `state_version()` reads it — so the ResultCache invalidation
+  /// epoch (mutation_epoch + state_version) tracks remote structural changes
+  /// exactly like local ones. The same fence is fed by the channel pools'
+  /// health pings. Remote servers only.
+  void AttachRemoteEpochFence(
+      std::shared_ptr<std::atomic<std::uint64_t>> fence);
+
   /// Stops the background maintenance worker, then waits for any abandoned
   /// async work items (hedge losers still running on the pool) before
   /// releasing the shards they read.
@@ -219,16 +238,22 @@ class ShardedCloudServer {
   /// Links a freshly encrypted vector into every replica of the least-loaded
   /// shard and returns its dense *global* id. Serialized against maintenance
   /// by the maintenance mutex; callers serialize it against their own
-  /// searches (the pre-existing mutation contract).
-  VectorId Insert(const EncryptedVector& v);
+  /// searches (the pre-existing mutation contract). On a remote server with
+  /// attached MutationTransports the insert broadcasts to every endpoint and
+  /// the endpoints must agree on (id, state_version, size) — a divergence
+  /// fails with FailedPrecondition; without transports: NotSupported.
+  Result<VectorId> Insert(const EncryptedVector& v);
 
   /// Removes the vector behind a global id (manifest lookup + per-replica
   /// delete on its shard). InvalidArgument if the id was never assigned;
   /// NotFound if it was already removed — including when a compaction has
   /// since physically dropped the tombstoned slot (a dead manifest ref).
+  /// Broadcasts like Insert on a remote server with transports.
   Status Delete(VectorId global_id);
 
-  // ---- Structural maintenance (the live-mutation tentpole). Local only.
+  // ---- Structural maintenance (the live-mutation tentpole). Runs locally
+  // on a local server; on a remote server with attached MutationTransports
+  // each op broadcasts the matching MaintenanceRequest to every endpoint.
 
   /// Rebuilds shard s without its tombstones: gathers the live rows in
   /// local-id order, builds a fresh filter index (deterministic wave
@@ -250,12 +275,14 @@ class ShardedCloudServer {
   /// crosses options.compact_threshold, then (when options.split_skew > 0)
   /// splits the heaviest shard if it exceeds split_skew times the mean live
   /// count and min_split_size. Returns the number of structural ops applied.
-  std::size_t MaybeCompact(const MaintenanceOptions& options);
+  Result<std::size_t> MaybeCompact(const MaintenanceOptions& options);
 
   /// Starts (or restarts) the background maintenance worker: a thread that
   /// runs MaybeCompact(options) every options.poll_ms. Searches never block
   /// on it — swaps are the only synchronization. Stop before destroying or
-  /// moving the server (the destructor stops it too).
+  /// moving the server (the destructor stops it too). Local only — a remote
+  /// gather's maintenance is driven explicitly (or by the shard servers
+  /// themselves).
   void StartMaintenance(const MaintenanceOptions& options);
   void StopMaintenance();
 
@@ -269,7 +296,9 @@ class ShardedCloudServer {
   std::uint64_t last_compaction_epoch(std::size_t s) const;
   /// Monotonic count of structural maintenance ops applied to the package.
   /// 0 = never compacted (serializes as the byte-stable v1/v2 envelope);
-  /// > 0 serializes as the checksummed v3 envelope. Local only.
+  /// > 0 serializes as the checksummed v3 envelope. On a remote server this
+  /// reads the attached epoch fence (the max post-apply state_version any
+  /// mutation response or health ping has reported), 0 without a fence.
   std::uint64_t state_version() const;
 
   /// Live vectors across all shards (handshake-time snapshot when remote).
@@ -460,6 +489,15 @@ class ShardedCloudServer {
   Status CompactShardLocked(std::size_t s, std::size_t build_threads);
   Status SplitShardLocked(std::size_t s, std::size_t build_threads);
 
+  /// The remote broadcast core: runs `apply` against every attached
+  /// MutationTransport under the maintenance mutex, requires the outcomes to
+  /// agree on (status code, id, state_version, size), folds the agreed
+  /// state_version into the epoch fence, and returns the agreed outcome.
+  /// Caller must hold no locks. NotSupported without transports.
+  Result<MutationOutcome> BroadcastMutation(
+      const char* what,
+      const std::function<Result<MutationOutcome>(MutationTransport&)>& apply);
+
   /// The epoch-swapped serving state. unique_ptr so ShardSet can stay
   /// incomplete in the header; never null after construction.
   std::unique_ptr<EpochPtr<ShardSet>> set_;
@@ -467,6 +505,11 @@ class ShardedCloudServer {
   bool remote_ = false;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<Maintenance> maintenance_;
+  /// Remote mutation fan-out (empty on local servers and on remote gathers
+  /// whose caller never attached one — mutations then stay NotSupported).
+  std::vector<std::unique_ptr<MutationTransport>> mutation_transports_;
+  /// Cluster-wide structural-epoch fence (remote only; may be null).
+  std::shared_ptr<std::atomic<std::uint64_t>> remote_epoch_;
 };
 
 }  // namespace ppanns

@@ -1,0 +1,191 @@
+#include "net/auth.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <random>
+
+#include "common/io.h"
+
+namespace ppanns {
+namespace {
+
+// FIPS 180-4 section 4.2.2 round constants.
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t Rotr(std::uint32_t x, int s) {
+  return (x >> s) | (x << (32 - s));
+}
+
+/// Incremental SHA-256 over 64-byte blocks; enough state for HMAC's
+/// two-pass structure without heap allocation.
+struct Sha256State {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  std::uint8_t block[64];
+  std::size_t block_len = 0;
+  std::uint64_t total_bytes = 0;
+
+  void Compress(const std::uint8_t* p) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t{p[4 * i]} << 24) | (std::uint32_t{p[4 * i + 1]} << 16) |
+             (std::uint32_t{p[4 * i + 2]} << 8) | std::uint32_t{p[4 * i + 3]};
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void Update(const std::uint8_t* data, std::size_t n) {
+    total_bytes += n;
+    while (n > 0) {
+      if (block_len == 0 && n >= 64) {
+        Compress(data);
+        data += 64;
+        n -= 64;
+        continue;
+      }
+      const std::size_t take = std::min<std::size_t>(64 - block_len, n);
+      std::memcpy(block + block_len, data, take);
+      block_len += take;
+      data += take;
+      n -= take;
+      if (block_len == 64) {
+        Compress(block);
+        block_len = 0;
+      }
+    }
+  }
+
+  std::array<std::uint8_t, kAuthDigestBytes> Final() {
+    const std::uint64_t bit_len = total_bytes * 8;
+    const std::uint8_t pad = 0x80;
+    Update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (block_len != 56) Update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i) {
+      len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    Update(len_be, 8);
+    std::array<std::uint8_t, kAuthDigestBytes> out;
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+      out[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+      out[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+      out[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::array<std::uint8_t, kAuthDigestBytes> Sha256(const std::uint8_t* data,
+                                                  std::size_t n) {
+  Sha256State state;
+  state.Update(data, n);
+  return state.Final();
+}
+
+std::array<std::uint8_t, kAuthDigestBytes> HmacSha256(
+    const std::vector<std::uint8_t>& key, const std::uint8_t* msg,
+    std::size_t n) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k0[kBlock] = {};
+  if (key.size() > kBlock) {
+    const auto digest = Sha256(key.data(), key.size());
+    std::memcpy(k0, digest.data(), digest.size());
+  } else if (!key.empty()) {
+    std::memcpy(k0, key.data(), key.size());
+  }
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+  Sha256State inner;
+  inner.Update(ipad, kBlock);
+  inner.Update(msg, n);
+  const auto inner_digest = inner.Final();
+  Sha256State outer;
+  outer.Update(opad, kBlock);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Final();
+}
+
+bool ConstantTimeEqual(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+std::array<std::uint8_t, kAuthDigestBytes> MakeAuthNonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  std::uint8_t seed[kAuthDigestBytes + 8];
+  for (std::size_t i = 0; i < kAuthDigestBytes; i += 4) {
+    const std::uint32_t r = rd();
+    std::memcpy(seed + i, &r, 4);
+  }
+  const std::uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(seed + kAuthDigestBytes, &c, 8);
+  return Sha256(seed, sizeof(seed));
+}
+
+Result<std::vector<std::uint8_t>> LoadAuthKey(const std::string& path) {
+  auto blob = ReadFile(path);
+  if (!blob.ok()) return blob.status();
+  std::vector<std::uint8_t> key = std::move(*blob);
+  if (!key.empty() && key.back() == '\n') key.pop_back();
+  if (!key.empty() && key.back() == '\r') key.pop_back();
+  if (key.empty()) {
+    return Status::InvalidArgument("auth key file is empty: " + path);
+  }
+  return key;
+}
+
+}  // namespace ppanns

@@ -1,0 +1,70 @@
+// Shared-key connection authentication for PP-RPC.
+//
+// The serving tier binds to loopback, but a production deployment puts the
+// gather and the shard servers on different hosts — the listener must be
+// able to refuse strangers before a single request frame is parsed. The
+// mechanism is a classic HMAC challenge–response over a pre-shared key
+// (`--auth-key-file` on both binaries):
+//
+//   client            server
+//     | ---- hello ---->|
+//     |<-- challenge ---|   32 random bytes, fresh per connection
+//     | --- response -->|   HMAC-SHA256(key, nonce)
+//     |<-- hello_ok ----|   (or silent teardown on a bad MAC)
+//
+// The key never crosses the wire, a response replayed from one connection
+// is useless on another (fresh nonce), and an unkeyed server skips the
+// exchange entirely so existing deployments keep working. This
+// authenticates the peer; it does not encrypt the stream — the payloads
+// are ciphertexts already (that is the point of the scheme), so transport
+// privacy is TLS's job when it arrives.
+//
+// SHA-256 and HMAC are implemented here from the FIPS 180-4 / RFC 2104
+// definitions: the repo takes no crypto dependency and src/crypto/ has no
+// hash primitive to reuse (pinned against RFC 4231 vectors in
+// tests/net/auth_test.cc).
+
+#ifndef PPANNS_NET_AUTH_H_
+#define PPANNS_NET_AUTH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppanns {
+
+/// Digest width of SHA-256; also the auth nonce and MAC length on the wire.
+inline constexpr std::size_t kAuthDigestBytes = 32;
+
+/// One-shot SHA-256 (FIPS 180-4) of `n` bytes at `data`.
+std::array<std::uint8_t, kAuthDigestBytes> Sha256(const std::uint8_t* data,
+                                                  std::size_t n);
+
+/// HMAC-SHA256 (RFC 2104) of `n` bytes at `msg` under `key` (any length;
+/// keys longer than the 64-byte block are pre-hashed per the RFC).
+std::array<std::uint8_t, kAuthDigestBytes> HmacSha256(
+    const std::vector<std::uint8_t>& key, const std::uint8_t* msg,
+    std::size_t n);
+
+/// Constant-time equality over `n` bytes — MAC comparison must not leak a
+/// matching prefix through timing.
+bool ConstantTimeEqual(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n);
+
+/// A fresh 32-byte challenge nonce (std::random_device mixed with a
+/// process-wide counter, so even a weak random_device never repeats within
+/// a process).
+std::array<std::uint8_t, kAuthDigestBytes> MakeAuthNonce();
+
+/// Loads the shared key from `path`: the raw file bytes with one trailing
+/// newline (LF or CRLF) stripped, so `echo secret > key` works. Empty keys
+/// are refused — an empty file authenticates nobody.
+Result<std::vector<std::uint8_t>> LoadAuthKey(const std::string& path);
+
+}  // namespace ppanns
+
+#endif  // PPANNS_NET_AUTH_H_

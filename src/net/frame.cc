@@ -14,6 +14,16 @@ bool KnownFrameType(std::uint8_t raw) {
     case FrameType::kFilterRequest:
     case FrameType::kFilterResponse:
     case FrameType::kCancel:
+    case FrameType::kInsertRequest:
+    case FrameType::kDeleteRequest:
+    case FrameType::kMaintenanceRequest:
+    case FrameType::kMutationResponse:
+    case FrameType::kInfoRequest:
+    case FrameType::kInfoResponse:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kAuthChallenge:
+    case FrameType::kAuthResponse:
       return true;
   }
   return false;
@@ -31,6 +41,26 @@ const char* FrameTypeName(FrameType type) {
       return "filter_response";
     case FrameType::kCancel:
       return "cancel";
+    case FrameType::kInsertRequest:
+      return "insert_request";
+    case FrameType::kDeleteRequest:
+      return "delete_request";
+    case FrameType::kMaintenanceRequest:
+      return "maintenance_request";
+    case FrameType::kMutationResponse:
+      return "mutation_response";
+    case FrameType::kInfoRequest:
+      return "info_request";
+    case FrameType::kInfoResponse:
+      return "info_response";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kAuthChallenge:
+      return "auth_challenge";
+    case FrameType::kAuthResponse:
+      return "auth_response";
   }
   return "unknown";
 }

@@ -31,6 +31,17 @@ enum class FrameType : std::uint8_t {
   kFilterRequest = 3,   ///< client -> server: one (shard, replica) scan
   kFilterResponse = 4,  ///< server -> client: candidates + stats (or Status)
   kCancel = 5,          ///< client -> server: abort the named request
+  // Protocol v2 additions: mutation, observability, health, auth.
+  kInsertRequest = 6,       ///< client -> server: insert one EncryptedVector
+  kDeleteRequest = 7,       ///< client -> server: tombstone one global id
+  kMaintenanceRequest = 8,  ///< client -> server: compact/split/sweep
+  kMutationResponse = 9,    ///< server -> client: Status + post-apply epoch
+  kInfoRequest = 10,        ///< client -> server: package/WAL snapshot ask
+  kInfoResponse = 11,       ///< server -> client: the snapshot
+  kPing = 12,               ///< client -> server: health probe
+  kPong = 13,               ///< server -> client: liveness + state_version
+  kAuthChallenge = 14,      ///< server -> client: fresh HMAC nonce
+  kAuthResponse = 15,       ///< client -> server: HMAC(key, nonce)
 };
 
 /// True when `raw` names a FrameType this protocol version understands.

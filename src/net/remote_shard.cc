@@ -5,7 +5,9 @@
 #include <cmath>
 #include <utility>
 
+#include "common/serialize.h"
 #include "common/types.h"
+#include "core/encrypted_database.h"
 
 namespace ppanns {
 
@@ -72,17 +74,102 @@ Status RemoteShardClient::Filter(const QueryToken& token,
   return Status::OK();
 }
 
-Result<ShardedCloudServer> ConnectShardedService(
-    const std::vector<std::string>& endpoints, std::size_t pool_size) {
+// ---- RemoteMutationClient ---------------------------------------------------
+
+Result<MutationOutcome> RemoteMutationClient::Call(
+    FrameType type, const std::vector<std::uint8_t>& payload) const {
+  if (pool_->server_info().version < 2) {
+    return Status::NotSupported(
+        "mutation: endpoint " + pool_->endpoint() +
+        " negotiated protocol version " +
+        std::to_string(pool_->server_info().version) +
+        ", mutation frames require >= 2");
+  }
+  MutationResponseMessage response;
+  PPANNS_RETURN_IF_ERROR(pool_->CallMutation(type, payload, &response));
+  MutationOutcome outcome;
+  outcome.status = response.ToStatus();
+  outcome.id = static_cast<VectorId>(response.id);
+  outcome.state_version = response.state_version;
+  outcome.size = response.size;
+  outcome.ops = static_cast<std::size_t>(response.ops);
+  return outcome;
+}
+
+Result<MutationOutcome> RemoteMutationClient::Insert(const EncryptedVector& v) {
+  InsertRequestMessage request;
+  request.sap = v.sap;
+  request.dce_block = static_cast<std::uint64_t>(v.dce.block);
+  request.dce_data = v.dce.data;
+  BinaryWriter payload;
+  request.Serialize(&payload);
+  return Call(FrameType::kInsertRequest, payload.buffer());
+}
+
+Result<MutationOutcome> RemoteMutationClient::Delete(VectorId global_id) {
+  DeleteRequestMessage request;
+  request.global_id = static_cast<std::uint64_t>(global_id);
+  BinaryWriter payload;
+  request.Serialize(&payload);
+  return Call(FrameType::kDeleteRequest, payload.buffer());
+}
+
+Result<MutationOutcome> RemoteMutationClient::Maintain(
+    const MaintenanceCommand& cmd) {
+  MaintenanceRequestMessage request;
+  request.op = static_cast<std::uint8_t>(cmd.op);
+  request.shard = cmd.shard;
+  request.compact_threshold = cmd.compact_threshold;
+  request.split_skew = cmd.split_skew;
+  request.min_split_size = static_cast<std::uint64_t>(cmd.min_split_size);
+  request.build_threads = static_cast<std::uint64_t>(cmd.build_threads);
+  BinaryWriter payload;
+  request.Serialize(&payload);
+  return Call(FrameType::kMaintenanceRequest, payload.buffer());
+}
+
+Result<InfoResponseMessage> RemoteMutationClient::Info() const {
+  if (pool_->server_info().version < 2) {
+    return Status::NotSupported(
+        "info: endpoint " + pool_->endpoint() +
+        " negotiated protocol version " +
+        std::to_string(pool_->server_info().version) +
+        ", the info frame requires >= 2");
+  }
+  InfoResponseMessage response;
+  PPANNS_RETURN_IF_ERROR(pool_->CallInfo(&response));
+  return response;
+}
+
+// ---- Cluster assembly -------------------------------------------------------
+
+Result<ConnectedCluster> ConnectCluster(
+    const std::vector<std::string>& endpoints, const ConnectOptions& options) {
   if (endpoints.empty()) {
     return Status::InvalidArgument("connect: no endpoints given");
   }
 
+  // One fence for the whole cluster: pools fold Pong epochs into it, the
+  // gather folds mutation-response epochs, state_version() reads it.
+  auto fence = std::make_shared<std::atomic<std::uint64_t>>(0);
+  RpcChannelPool::Options pool_options;
+  pool_options.pool_size = options.pool_size;
+  pool_options.auth_key = options.auth_key;
+  pool_options.health_interval_ms = options.health_interval_ms;
+  pool_options.epoch_fence = fence;
+
   std::vector<std::shared_ptr<RpcChannelPool>> channels;
   channels.reserve(endpoints.size());
   for (const std::string& endpoint : endpoints) {
-    auto channel = RpcChannelPool::Connect(endpoint, pool_size);
+    auto channel = RpcChannelPool::Connect(endpoint, pool_options);
     if (!channel.ok()) return channel.status();
+    // Seed the fence with the handshake-time epoch (v1 servers report 0).
+    const std::uint64_t seed = (*channel)->server_info().state_version;
+    std::uint64_t cur = fence->load(std::memory_order_acquire);
+    while (seed > cur &&
+           !fence->compare_exchange_weak(cur, seed,
+                                         std::memory_order_acq_rel)) {
+    }
     channels.push_back(std::move(*channel));
   }
 
@@ -137,7 +224,35 @@ Result<ShardedCloudServer> ConnectShardedService(
     }
   }
 
-  return ShardedCloudServer(topology, std::move(transports));
+  ConnectedCluster cluster{ShardedCloudServer(topology, std::move(transports)),
+                           fence, channels, endpoints};
+
+  // The mutation path needs EVERY endpoint on v2: each one loads the full
+  // package, so a broadcast that skipped a v1 endpoint would silently
+  // diverge the replicas. Against a mixed or v1 cluster the mutation
+  // surface stays NotSupported (read-only gather, the pre-v2 behavior).
+  const bool all_v2 = std::all_of(
+      channels.begin(), channels.end(),
+      [](const auto& channel) { return channel->server_info().version >= 2; });
+  if (all_v2) {
+    std::vector<std::unique_ptr<MutationTransport>> mutators;
+    mutators.reserve(channels.size());
+    for (const auto& channel : channels) {
+      mutators.push_back(std::make_unique<RemoteMutationClient>(channel));
+    }
+    cluster.server.AttachMutationTransports(std::move(mutators));
+  }
+  cluster.server.AttachRemoteEpochFence(fence);
+  return cluster;
+}
+
+Result<ShardedCloudServer> ConnectShardedService(
+    const std::vector<std::string>& endpoints, std::size_t pool_size) {
+  ConnectOptions options;
+  options.pool_size = pool_size;
+  auto cluster = ConnectCluster(endpoints, options);
+  if (!cluster.ok()) return cluster.status();
+  return std::move(cluster->server);
 }
 
 }  // namespace ppanns

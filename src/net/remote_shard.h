@@ -11,6 +11,7 @@
 #ifndef PPANNS_NET_REMOTE_SHARD_H_
 #define PPANNS_NET_REMOTE_SHARD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -54,17 +55,81 @@ class RemoteShardClient final : public ShardTransport {
   std::uint32_t replica_;
 };
 
+/// The mutation/maintenance stub for one endpoint: speaks the v2 mutation
+/// frames over the endpoint's shared stream pool. Every call is
+/// NotSupported when the handshake settled on v1 (an old server). One
+/// endpoint loads the FULL package — served_shards only scopes what it
+/// *scans* — so the gather broadcasts each mutation through every
+/// endpoint's RemoteMutationClient to keep them byte-identical.
+class RemoteMutationClient final : public MutationTransport {
+ public:
+  explicit RemoteMutationClient(std::shared_ptr<RpcChannelPool> pool)
+      : pool_(std::move(pool)) {}
+
+  Result<MutationOutcome> Insert(const EncryptedVector& v) override;
+  Result<MutationOutcome> Delete(VectorId global_id) override;
+  Result<MutationOutcome> Maintain(const MaintenanceCommand& cmd) override;
+  const std::string& endpoint() const override { return pool_->endpoint(); }
+
+  /// One operator-facing info snapshot (`ppanns_cli info --connect`).
+  Result<InfoResponseMessage> Info() const;
+
+ private:
+  /// Shared call shape: version gate, send, translate the response into a
+  /// MutationOutcome (transport failures stay in the Result).
+  Result<MutationOutcome> Call(FrameType type,
+                               const std::vector<std::uint8_t>& payload) const;
+
+  std::shared_ptr<RpcChannelPool> pool_;
+};
+
+/// Knobs of a cluster connection.
+struct ConnectOptions {
+  /// TCP streams per endpoint (>= 1); every stub on the endpoint shares the
+  /// pool.
+  std::size_t pool_size = 1;
+  /// Shared HMAC key for keyed servers (net/auth.h); empty = plain.
+  std::vector<std::uint8_t> auth_key;
+  /// Health-probe/re-dial cadence per pool; 0 disables self-healing (a dead
+  /// stream then stays dead, the pre-PR-10 behavior).
+  int health_interval_ms = 0;
+};
+
+/// A connected remote cluster: the gather server plus the handles an
+/// operator-facing caller needs for observability (per-endpoint pools) and
+/// epoch tracking (the shared fence).
+struct ConnectedCluster {
+  ShardedCloudServer server;
+  /// The cluster's structural-epoch fence: max post-apply state_version
+  /// reported by any mutation response or health ping. Shared with the
+  /// server (state_version()) and every pool (Pong folding).
+  std::shared_ptr<std::atomic<std::uint64_t>> epoch_fence;
+  /// One pool per endpoint, aligned with `endpoints` — for live_streams()
+  /// health readouts and Info() snapshots.
+  std::vector<std::shared_ptr<RpcChannelPool>> pools;
+  std::vector<std::string> endpoints;
+};
+
 /// Connects to every endpoint ("host:port"), validates that the advertised
 /// topologies agree, that together they cover every shard, and assembles a
-/// remote ShardedCloudServer: transports_[s][r] routes to the first endpoint
-/// that serves shard s (later duplicates are ignored). `pool_size` TCP
-/// streams are opened per endpoint (default 1 — the original
-/// one-socket-per-endpoint behavior); every stub on that endpoint shares
-/// the pool. Errors:
+/// remote ShardedCloudServer: transports_[s][r] routes filter scans to the
+/// first endpoint that serves shard s (later duplicates are ignored). When
+/// every endpoint negotiated protocol v2, the server also gets one
+/// RemoteMutationClient per endpoint (mutations broadcast to all, keeping
+/// endpoints byte-identical) and the shared epoch fence; against a mixed or
+/// v1 cluster the mutation surface stays NotSupported. Errors:
 ///   InvalidArgument    — no endpoints, pool_size = 0, or endpoints
 ///                        disagree on topology
-///   FailedPrecondition — some shard is served by no endpoint
+///   FailedPrecondition — some shard is served by no endpoint, or a keyed
+///                        server challenged a keyless client
 ///   IOError            — connect/handshake failure
+Result<ConnectedCluster> ConnectCluster(
+    const std::vector<std::string>& endpoints,
+    const ConnectOptions& options = {});
+
+/// Compatibility wrapper: ConnectCluster with default options except
+/// `pool_size`, returning just the server (fence and pools ride inside the
+/// transports, so mutation and self-healing still work where enabled).
 Result<ShardedCloudServer> ConnectShardedService(
     const std::vector<std::string>& endpoints, std::size_t pool_size = 1);
 

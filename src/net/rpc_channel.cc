@@ -1,11 +1,13 @@
 #include "net/rpc_channel.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
 
 #include "common/serialize.h"
+#include "net/auth.h"
 #include "net/frame.h"
 
 namespace ppanns {
@@ -19,16 +21,39 @@ namespace {
 constexpr auto kCancelGrace = std::chrono::seconds(5);
 /// Cadence of the context poll while parked in Call().
 constexpr auto kPollInterval = std::chrono::milliseconds(1);
+/// Re-dial backoff: first retry after 100 ms, doubling to a 2 s cap — fast
+/// enough that a bounced server rejoins within one smoke-test window, slow
+/// enough that a permanently dead endpoint costs one connect attempt every
+/// two seconds.
+constexpr auto kRedialInitialBackoff = std::chrono::milliseconds(100);
+constexpr auto kRedialMaxBackoff = std::chrono::milliseconds(2000);
+
+/// A death reason worth keeping over the generic peer-went-away one: socket
+/// EOF surfaces as "connection closed" (socket.cc), which says nothing
+/// about *why* a re-dial keeps failing — connect refused or a protocol
+/// violation does.
+bool DiagnosableReason(const Status& st) {
+  return !st.ok() && st.message().find("connection closed") == std::string::npos;
+}
+
+void FoldIntoFence(std::atomic<std::uint64_t>* fence, std::uint64_t version) {
+  std::uint64_t cur = fence->load(std::memory_order_acquire);
+  while (version > cur &&
+         !fence->compare_exchange_weak(cur, version,
+                                       std::memory_order_acq_rel)) {
+  }
+}
 
 }  // namespace
 
 Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
-    const std::string& endpoint) {
+    const std::string& endpoint, const std::vector<std::uint8_t>& auth_key) {
   auto socket = ConnectTcp(endpoint);
   if (!socket.ok()) return socket.status();
 
   // Handshake runs synchronously before the reader thread exists: Hello out,
-  // exactly one HelloOk back.
+  // then (on a keyed server) one challenge to answer, then exactly one
+  // HelloOk back.
   BinaryWriter hello_writer;
   HelloMessage{}.Serialize(&hello_writer);
   Frame hello_frame{FrameType::kHello, 0, hello_writer.TakeBuffer()};
@@ -39,6 +64,36 @@ Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
 
   Frame reply;
   PPANNS_RETURN_IF_ERROR(ReadFrame(&*socket, &reply));
+  if (reply.type == FrameType::kAuthChallenge) {
+    if (auth_key.empty()) {
+      return Status::FailedPrecondition(
+          "handshake: server requires authentication and no auth key is "
+          "configured (--auth-key-file)");
+    }
+    BinaryReader challenge_reader(reply.payload.data(), reply.payload.size());
+    auto challenge = AuthChallengeMessage::Deserialize(&challenge_reader);
+    if (!challenge.ok()) return challenge.status();
+    const auto mac =
+        HmacSha256(auth_key, challenge->nonce.data(), challenge->nonce.size());
+    AuthResponseMessage response;
+    response.mac.assign(mac.begin(), mac.end());
+    BinaryWriter response_writer;
+    response.Serialize(&response_writer);
+    BinaryWriter auth_frame;
+    EncodeFrame(Frame{FrameType::kAuthResponse, 0,
+                      response_writer.TakeBuffer()},
+                &auth_frame);
+    PPANNS_RETURN_IF_ERROR(socket->WriteAll(auth_frame.buffer().data(),
+                                            auth_frame.buffer().size()));
+    Status read = ReadFrame(&*socket, &reply);
+    if (!read.ok()) {
+      // A keyed server answers a bad MAC with silent teardown; translate the
+      // raw EOF into the diagnosis the operator needs.
+      return Status::FailedPrecondition(
+          "handshake: server rejected the auth response (wrong shared key?): " +
+          read.ToString());
+    }
+  }
   if (reply.type != FrameType::kHelloOk) {
     return Status::IOError("handshake: expected hello_ok, got " +
                            std::string(FrameTypeName(reply.type)));
@@ -72,6 +127,11 @@ RpcChannel::~RpcChannel() {
   if (reader_.joinable()) reader_.join();
 }
 
+Status RpcChannel::death_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return death_reason_;
+}
+
 void RpcChannel::ReaderLoop() {
   for (;;) {
     Frame frame;
@@ -80,15 +140,22 @@ void RpcChannel::ReaderLoop() {
       FailAllPending(st);
       return;
     }
-    if (frame.type != FrameType::kFilterResponse) {
-      FailAllPending(Status::IOError("protocol: unexpected " +
-                                     std::string(FrameTypeName(frame.type)) +
-                                     " frame from server"));
-      return;
+    switch (frame.type) {
+      case FrameType::kFilterResponse:
+      case FrameType::kMutationResponse:
+      case FrameType::kInfoResponse:
+      case FrameType::kPong:
+        break;  // response frames, routed by request id below
+      default:
+        FailAllPending(Status::IOError("protocol: unexpected " +
+                                       std::string(FrameTypeName(frame.type)) +
+                                       " frame from server"));
+        return;
     }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(frame.request_id);
     if (it == pending_.end()) continue;  // caller gave up (grace expired)
+    it->second->type = frame.type;
     it->second->payload = std::move(frame.payload);
     it->second->done = true;
     cv_.notify_all();
@@ -115,9 +182,10 @@ Status RpcChannel::SendFrame(FrameType type, std::uint64_t request_id,
   return socket_.WriteAll(writer.buffer().data(), writer.buffer().size());
 }
 
-Status RpcChannel::CallFilter(const FilterRequestMessage& request,
-                              SearchContext* ctx,
-                              FilterResponseMessage* response) {
+Status RpcChannel::Call(FrameType request_type,
+                        const std::vector<std::uint8_t>& payload,
+                        FrameType expected, SearchContext* ctx,
+                        std::vector<std::uint8_t>* response_payload) {
   if (!healthy()) {
     std::lock_guard<std::mutex> lock(mu_);
     return death_reason_.ok() ? Status::IOError("channel is closed")
@@ -125,16 +193,13 @@ Status RpcChannel::CallFilter(const FilterRequestMessage& request,
   }
   const std::uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  BinaryWriter payload_writer;
-  request.Serialize(&payload_writer);
 
   PendingCall call;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.emplace(id, &call);
   }
-  Status sent = SendFrame(FrameType::kFilterRequest, id,
-                          payload_writer.buffer());
+  Status sent = SendFrame(request_type, id, payload);
   if (!sent.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.erase(id);
@@ -144,7 +209,8 @@ Status RpcChannel::CallFilter(const FilterRequestMessage& request,
   // Park until the response lands, polling the context so a tripped deadline
   // or cancellation flag turns into one CANCEL frame. After cancelling we
   // keep waiting a bounded grace for the response the server still owes —
-  // it carries the remote scan's partial stats.
+  // it carries the remote scan's partial stats. Calls without a context
+  // (mutations, info, pings) park until the response or channel death.
   bool cancel_sent = false;
   std::chrono::steady_clock::time_point grace_deadline{};
   std::unique_lock<std::mutex> lock(mu_);
@@ -176,48 +242,161 @@ Status RpcChannel::CallFilter(const FilterRequestMessage& request,
   }
   lock.unlock();
 
-  BinaryReader reader(call.payload.data(), call.payload.size());
+  if (call.type != expected) {
+    return Status::IOError("protocol: expected " +
+                           std::string(FrameTypeName(expected)) + ", got " +
+                           std::string(FrameTypeName(call.type)) +
+                           " for request " + std::to_string(id));
+  }
+  *response_payload = std::move(call.payload);
+  return Status::OK();
+}
+
+Status RpcChannel::CallFilter(const FilterRequestMessage& request,
+                              SearchContext* ctx,
+                              FilterResponseMessage* response) {
+  BinaryWriter payload_writer;
+  request.Serialize(&payload_writer);
+  std::vector<std::uint8_t> body;
+  PPANNS_RETURN_IF_ERROR(Call(FrameType::kFilterRequest,
+                              payload_writer.buffer(),
+                              FrameType::kFilterResponse, ctx, &body));
+  BinaryReader reader(body.data(), body.size());
   auto parsed = FilterResponseMessage::Deserialize(&reader);
   if (!parsed.ok()) return parsed.status();
   *response = std::move(*parsed);
   return Status::OK();
 }
 
+Status RpcChannel::CallMutation(FrameType type,
+                                const std::vector<std::uint8_t>& payload,
+                                MutationResponseMessage* response) {
+  std::vector<std::uint8_t> body;
+  PPANNS_RETURN_IF_ERROR(
+      Call(type, payload, FrameType::kMutationResponse, nullptr, &body));
+  BinaryReader reader(body.data(), body.size());
+  auto parsed = MutationResponseMessage::Deserialize(&reader);
+  if (!parsed.ok()) return parsed.status();
+  *response = std::move(*parsed);
+  return Status::OK();
+}
+
+Status RpcChannel::CallInfo(InfoResponseMessage* response) {
+  std::vector<std::uint8_t> body;
+  PPANNS_RETURN_IF_ERROR(
+      Call(FrameType::kInfoRequest, {}, FrameType::kInfoResponse, nullptr,
+           &body));
+  BinaryReader reader(body.data(), body.size());
+  auto parsed = InfoResponseMessage::Deserialize(&reader);
+  if (!parsed.ok()) return parsed.status();
+  *response = std::move(*parsed);
+  return Status::OK();
+}
+
+Status RpcChannel::CallPing(PongMessage* response) {
+  std::vector<std::uint8_t> body;
+  PPANNS_RETURN_IF_ERROR(
+      Call(FrameType::kPing, {}, FrameType::kPong, nullptr, &body));
+  BinaryReader reader(body.data(), body.size());
+  auto parsed = PongMessage::Deserialize(&reader);
+  if (!parsed.ok()) return parsed.status();
+  *response = std::move(*parsed);
+  return Status::OK();
+}
+
+// ---- RpcChannelPool ---------------------------------------------------------
+
 Result<std::shared_ptr<RpcChannelPool>> RpcChannelPool::Connect(
     const std::string& endpoint, std::size_t pool_size) {
-  if (pool_size == 0) {
+  Options options;
+  options.pool_size = pool_size;
+  return Connect(endpoint, options);
+}
+
+Result<std::shared_ptr<RpcChannelPool>> RpcChannelPool::Connect(
+    const std::string& endpoint, const Options& options) {
+  if (options.pool_size == 0) {
     return Status::InvalidArgument("connect: pool_size must be positive");
   }
   auto pool = std::shared_ptr<RpcChannelPool>(new RpcChannelPool());
-  pool->streams_.reserve(pool_size);
-  for (std::size_t i = 0; i < pool_size; ++i) {
-    auto channel = RpcChannel::Connect(endpoint);
+  pool->endpoint_ = endpoint;
+  pool->options_ = options;
+  pool->streams_.reserve(options.pool_size);
+  for (std::size_t i = 0; i < options.pool_size; ++i) {
+    auto channel = RpcChannel::Connect(endpoint, options.auth_key);
     if (!channel.ok()) return channel.status();
     auto stream = std::make_unique<Stream>();
     stream->channel = std::move(*channel);
     pool->streams_.push_back(std::move(stream));
   }
+  pool->server_info_ = pool->streams_.front()->channel->server_info();
+  if (options.health_interval_ms > 0) {
+    pool->health_thread_ = std::thread([raw = pool.get()] {
+      raw->HealthLoop();
+    });
+  }
   return pool;
 }
 
-bool RpcChannelPool::healthy() const {
+RpcChannelPool::~RpcChannelPool() {
+  stop_health_.store(true, std::memory_order_release);
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+std::shared_ptr<RpcChannel> RpcChannelPool::ChannelAt(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  return streams_[i]->channel;
+}
+
+std::size_t RpcChannelPool::live_streams() const {
+  std::size_t live = 0;
+  std::lock_guard<std::mutex> lock(streams_mu_);
   for (const auto& stream : streams_) {
-    if (stream->channel->healthy()) return true;
+    if (stream->channel != nullptr && stream->channel->healthy()) ++live;
+  }
+  return live;
+}
+
+bool RpcChannelPool::healthy() const {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  for (const auto& stream : streams_) {
+    if (stream->channel != nullptr && stream->channel->healthy()) return true;
   }
   return false;
 }
 
-Status RpcChannelPool::CallFilter(const FilterRequestMessage& request,
-                                  SearchContext* ctx,
-                                  FilterResponseMessage* response) {
+Status RpcChannelPool::last_death_reason() const {
+  std::lock_guard<std::mutex> lock(death_mu_);
+  return last_death_reason_.ok()
+             ? Status::IOError("pool: every stream to " + endpoint_ +
+                               " is dead")
+             : last_death_reason_;
+}
+
+void RpcChannelPool::NoteDeath(const Status& reason) {
+  if (reason.ok()) return;
+  std::lock_guard<std::mutex> lock(death_mu_);
+  // Keep the most recent reason, but never let a bare EOF ("connection
+  // closed") overwrite a diagnosable one — after a kill the interesting
+  // error is the connect-refused from the failing re-dial, not the EOF that
+  // preceded it.
+  if (DiagnosableReason(reason) || !DiagnosableReason(last_death_reason_)) {
+    last_death_reason_ = reason;
+  }
+}
+
+RpcChannelPool::Stream* RpcChannelPool::PickLive(
+    std::shared_ptr<RpcChannel>* channel) {
   // Least-inflight over the live streams; ties go to the lowest index, so a
   // lone caller sticks to stream 0 and pool_size=1 is byte-for-byte the old
   // single-channel behavior. The count is a heuristic (racy reads are fine):
   // a stream picked twice concurrently still demultiplexes correctly.
+  std::lock_guard<std::mutex> lock(streams_mu_);
   Stream* pick = nullptr;
   std::int64_t best = 0;
   for (const auto& stream : streams_) {
-    if (!stream->channel->healthy()) continue;
+    if (stream->channel == nullptr || !stream->channel->healthy()) continue;
     const std::int64_t inflight =
         stream->inflight.load(std::memory_order_relaxed);
     if (pick == nullptr || inflight < best) {
@@ -225,15 +404,111 @@ Status RpcChannelPool::CallFilter(const FilterRequestMessage& request,
       best = inflight;
     }
   }
-  if (pick == nullptr) {
-    // Fully dead: let the first stream fail fast with its death reason, the
-    // same error a bare channel would report.
-    return streams_.front()->channel->CallFilter(request, ctx, response);
-  }
+  if (pick != nullptr) *channel = pick->channel;
+  return pick;
+}
+
+Status RpcChannelPool::CallFilter(const FilterRequestMessage& request,
+                                  SearchContext* ctx,
+                                  FilterResponseMessage* response) {
+  std::shared_ptr<RpcChannel> channel;
+  Stream* pick = PickLive(&channel);
+  if (pick == nullptr) return last_death_reason();
   pick->inflight.fetch_add(1, std::memory_order_relaxed);
-  const Status st = pick->channel->CallFilter(request, ctx, response);
+  const Status st = channel->CallFilter(request, ctx, response);
   pick->inflight.fetch_sub(1, std::memory_order_relaxed);
+  if (!st.ok()) NoteDeath(channel->death_reason());
   return st;
+}
+
+Status RpcChannelPool::CallMutation(FrameType type,
+                                    const std::vector<std::uint8_t>& payload,
+                                    MutationResponseMessage* response) {
+  std::shared_ptr<RpcChannel> channel;
+  Stream* pick = PickLive(&channel);
+  if (pick == nullptr) return last_death_reason();
+  pick->inflight.fetch_add(1, std::memory_order_relaxed);
+  const Status st = channel->CallMutation(type, payload, response);
+  pick->inflight.fetch_sub(1, std::memory_order_relaxed);
+  if (!st.ok()) NoteDeath(channel->death_reason());
+  return st;
+}
+
+Status RpcChannelPool::CallInfo(InfoResponseMessage* response) {
+  std::shared_ptr<RpcChannel> channel;
+  Stream* pick = PickLive(&channel);
+  if (pick == nullptr) return last_death_reason();
+  pick->inflight.fetch_add(1, std::memory_order_relaxed);
+  const Status st = channel->CallInfo(response);
+  pick->inflight.fetch_sub(1, std::memory_order_relaxed);
+  if (!st.ok()) NoteDeath(channel->death_reason());
+  return st;
+}
+
+void RpcChannelPool::HealthLoop() {
+  const auto interval = std::chrono::milliseconds(options_.health_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(health_mu_);
+      health_cv_.wait_for(lock, interval, [this] {
+        return stop_health_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_health_.load(std::memory_order_acquire)) return;
+
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (stop_health_.load(std::memory_order_acquire)) return;
+      Stream* stream = streams_[i].get();
+      std::shared_ptr<RpcChannel> channel = ChannelAt(i);
+
+      if (channel != nullptr && channel->healthy()) {
+        // Liveness probe; a v1 server would fail the channel on a Ping
+        // frame, so probe only when the handshake settled on v2.
+        if (channel->negotiated_version() < 2) continue;
+        PongMessage pong;
+        const Status st = channel->CallPing(&pong);
+        if (st.ok()) {
+          stream->backoff = std::chrono::milliseconds(0);
+          stream->reported_dead = false;
+          if (options_.epoch_fence != nullptr) {
+            FoldIntoFence(options_.epoch_fence.get(), pong.state_version);
+          }
+        } else {
+          NoteDeath(channel->death_reason());
+          stream->reported_dead = true;
+        }
+        continue;
+      }
+
+      // Dead stream: record why once, then re-dial on the backoff schedule.
+      if (channel != nullptr && !stream->reported_dead) {
+        NoteDeath(channel->death_reason());
+        stream->reported_dead = true;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now < stream->next_redial) continue;
+      auto redialed = RpcChannel::Connect(endpoint_, options_.auth_key);
+      if (redialed.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(streams_mu_);
+          stream->channel = std::move(*redialed);
+        }
+        stream->backoff = std::chrono::milliseconds(0);
+        stream->reported_dead = false;
+        if (options_.epoch_fence != nullptr) {
+          FoldIntoFence(options_.epoch_fence.get(),
+                        ChannelAt(i)->server_info().state_version);
+        }
+      } else {
+        NoteDeath(redialed.status());
+        stream->backoff =
+            stream->backoff.count() == 0
+                ? kRedialInitialBackoff
+                : std::min(stream->backoff * 2, kRedialMaxBackoff);
+        stream->next_redial = now + stream->backoff;
+      }
+    }
+  }
 }
 
 }  // namespace ppanns

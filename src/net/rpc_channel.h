@@ -1,28 +1,33 @@
 // RpcChannel — one client connection to a ShardServer, shared by every
 // RemoteShardClient that dispatches to that endpoint.
 //
-// Concurrency model: callers (pool workers running hedged dispatches) write
-// requests under a mutex and park in Call(); a dedicated reader thread drains
-// response frames and routes each to its waiting caller by request id, so
-// many scans can be in flight on one connection and each response unblocks
-// its caller the moment it arrives — per-shard results stream back as they
-// complete instead of being serialized behind each other.
+// Concurrency model: callers (pool workers running hedged dispatches, the
+// owner's mutation path, the pool's health prober) write requests under a
+// mutex and park in Call(); a dedicated reader thread drains response frames
+// and routes each to its waiting caller by request id, so many RPCs can be
+// in flight on one connection and each response unblocks its caller the
+// moment it arrives — results stream back as they complete instead of being
+// serialized behind each other.
 //
 // Cancellation: Call() polls the caller's SearchContext (~1 ms cadence)
 // while parked. The first observed trip sends one CANCEL frame for the
 // request and keeps waiting (briefly) for the response the server still
 // owes — which carries the remote scan's partial SearchStats, so a hedge
 // loser's wasted remote work is accounted exactly like an in-process one.
+// Mutation/info/ping calls pass no context — they are not cancellable.
 //
 // Failure: a dead connection fails every parked call with IOError, marks the
 // channel unhealthy (dispatchers then skip it like a down replica), and
-// stays dead — reconnection is a topology-assembly concern, not a
-// mid-query one.
+// stays dead. A dead *channel* is not a dead *endpoint*, though —
+// RpcChannelPool re-dials dead streams with capped exponential backoff from
+// its health thread, so a bounced server rejoins the pool without operator
+// intervention.
 
 #ifndef PPANNS_NET_RPC_CHANNEL_H_
 #define PPANNS_NET_RPC_CHANNEL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -42,11 +47,14 @@ namespace ppanns {
 
 class RpcChannel {
  public:
-  /// Connects, performs the versioned Hello handshake, and starts the reader
-  /// thread. Fails on connect errors, a version-range mismatch, or a
-  /// malformed handshake reply.
+  /// Connects, performs the versioned Hello handshake — answering the
+  /// server's HMAC challenge with `auth_key` if it sends one — and starts
+  /// the reader thread. Fails on connect errors, a version-range mismatch,
+  /// a malformed handshake reply, or a challenge arriving with no key to
+  /// answer it (FailedPrecondition).
   static Result<std::shared_ptr<RpcChannel>> Connect(
-      const std::string& endpoint);
+      const std::string& endpoint,
+      const std::vector<std::uint8_t>& auth_key = {});
 
   ~RpcChannel();
   RpcChannel(const RpcChannel&) = delete;
@@ -55,9 +63,14 @@ class RpcChannel {
   /// The topology the server advertised in its handshake.
   const HelloOkMessage& server_info() const { return server_info_; }
   const std::string& endpoint() const { return endpoint_; }
+  /// The protocol version the handshake settled on; mutation/info/health
+  /// frames require >= 2.
+  std::uint32_t negotiated_version() const { return server_info_.version; }
 
   /// False once the connection has died; calls fail fast with IOError.
   bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  /// Why the channel died (OK while healthy). Thread-safe.
+  Status death_reason() const;
 
   /// One filter RPC: sends the request, parks until its response arrives,
   /// polling `ctx` and sending a CANCEL frame on the first observed trip.
@@ -66,12 +79,25 @@ class RpcChannel {
   Status CallFilter(const FilterRequestMessage& request, SearchContext* ctx,
                     FilterResponseMessage* response);
 
+  /// One mutation RPC (`type` is kInsertRequest / kDeleteRequest /
+  /// kMaintenanceRequest, `payload` its serialized message). Not
+  /// cancellable — a mutation in flight must run to its response.
+  Status CallMutation(FrameType type, const std::vector<std::uint8_t>& payload,
+                      MutationResponseMessage* response);
+
+  /// One info snapshot RPC (empty request payload).
+  Status CallInfo(InfoResponseMessage* response);
+
+  /// One health probe; the Pong carries the server's current state_version.
+  Status CallPing(PongMessage* response);
+
  private:
   RpcChannel(Socket socket, std::string endpoint, HelloOkMessage info);
 
   struct PendingCall {
     bool done = false;
-    std::vector<std::uint8_t> payload;  ///< raw FilterResponse message body
+    FrameType type = FrameType::kFilterResponse;  ///< what actually arrived
+    std::vector<std::uint8_t> payload;            ///< raw response body
   };
 
   void ReaderLoop();
@@ -79,6 +105,12 @@ class RpcChannel {
   void FailAllPending(const Status& reason);
   Status SendFrame(FrameType type, std::uint64_t request_id,
                    const std::vector<std::uint8_t>& payload);
+  /// The request/response core every typed Call* wraps: send `request_type`
+  /// with `payload`, park for the response, verify it is `expected`, hand
+  /// back its raw body. `ctx` may be null (not cancellable).
+  Status Call(FrameType request_type, const std::vector<std::uint8_t>& payload,
+              FrameType expected, SearchContext* ctx,
+              std::vector<std::uint8_t>* response_payload);
 
   Socket socket_;
   const std::string endpoint_;
@@ -88,7 +120,7 @@ class RpcChannel {
 
   std::mutex write_mu_;  ///< serializes frame writes (frames must not interleave)
 
-  std::mutex mu_;  ///< guards pending_ and PendingCall bodies
+  mutable std::mutex mu_;  ///< guards pending_ and PendingCall bodies
   std::condition_variable cv_;
   std::map<std::uint64_t, PendingCall*> pending_;
   std::atomic<std::uint64_t> next_request_id_{1};
@@ -96,7 +128,8 @@ class RpcChannel {
   std::thread reader_;
 };
 
-/// RpcChannelPool — N parallel RpcChannels (TCP streams) to one endpoint.
+/// RpcChannelPool — N parallel RpcChannels (TCP streams) to one endpoint,
+/// self-healing.
 ///
 /// One stream already pipelines many in-flight scans (the reader thread
 /// demultiplexes by request id), but it still serializes at the byte level:
@@ -108,46 +141,105 @@ class RpcChannel {
 /// stream affinity — giving the endpoint pool_size sockets, reader threads,
 /// and server-side connection handlers.
 ///
+/// Self-healing (Options::health_interval_ms > 0): a background thread
+/// pings every live stream each interval — so `healthy()` tracks real
+/// server liveness, which is what flips the gather's down flags instead of
+/// a manual `--down` — and re-dials dead streams with capped exponential
+/// backoff (100 ms doubling to 2 s), so a bounced server rejoins the pool
+/// automatically. Each Pong's state_version is folded into the shared
+/// `epoch_fence` (monotonic max), propagating server-side structural
+/// epochs into the gather's cache invalidation between mutations.
+///
 /// Semantics are unchanged from a bare channel: a CANCEL frame travels on
 /// the stream that carries its request (RpcChannel handles that
 /// internally), deadline rebasing happens above in RemoteShardClient, and
 /// failure degrades per stream — the pool stays healthy while ANY stream
-/// lives, so a single dead socket no longer looks like a down replica.
-/// Calls on a fully dead pool fail fast with the first stream's death
-/// reason. Thread-safe.
+/// lives. Calls on a fully dead pool fail fast with the most recent
+/// diagnosable death reason: a non-EOF error (connect refused, protocol
+/// violation) is kept in preference to the generic "connection closed", so
+/// a failing re-dial stays visible in the error. Thread-safe.
 class RpcChannelPool {
  public:
+  struct Options {
+    std::size_t pool_size = 1;
+    /// Shared auth key for every (re-)dial; empty = unauthenticated.
+    std::vector<std::uint8_t> auth_key;
+    /// Health-probe and re-dial cadence; 0 disables the health thread
+    /// (streams then stay dead once failed, the pre-PR-10 behavior).
+    int health_interval_ms = 0;
+    /// When set, every Pong's state_version is max-folded into this fence.
+    std::shared_ptr<std::atomic<std::uint64_t>> epoch_fence;
+  };
+
   /// Connects `pool_size` (>= 1) streams to the endpoint; fails if any
   /// single connect/handshake fails.
   static Result<std::shared_ptr<RpcChannelPool>> Connect(
       const std::string& endpoint, std::size_t pool_size = 1);
+  static Result<std::shared_ptr<RpcChannelPool>> Connect(
+      const std::string& endpoint, const Options& options);
 
-  /// The topology the server advertised (first stream's handshake).
-  const HelloOkMessage& server_info() const {
-    return streams_.front()->channel->server_info();
-  }
-  const std::string& endpoint() const {
-    return streams_.front()->channel->endpoint();
-  }
+  ~RpcChannelPool();
+  RpcChannelPool(const RpcChannelPool&) = delete;
+  RpcChannelPool& operator=(const RpcChannelPool&) = delete;
+
+  /// The topology the server advertised (first stream's handshake,
+  /// snapshotted at connect time — stable across re-dials).
+  const HelloOkMessage& server_info() const { return server_info_; }
+  const std::string& endpoint() const { return endpoint_; }
   std::size_t size() const { return streams_.size(); }
+  /// Streams currently connected and healthy (the operator-facing pool
+  /// health number).
+  std::size_t live_streams() const;
 
   /// True while at least one stream is alive.
   bool healthy() const;
+  /// The most recent diagnosable death reason (OK while any stream lives).
+  Status last_death_reason() const;
 
   /// One filter RPC over the least-loaded live stream.
   Status CallFilter(const FilterRequestMessage& request, SearchContext* ctx,
                     FilterResponseMessage* response);
+  /// One mutation RPC over the least-loaded live stream.
+  Status CallMutation(FrameType type, const std::vector<std::uint8_t>& payload,
+                      MutationResponseMessage* response);
+  /// One info snapshot over the least-loaded live stream.
+  Status CallInfo(InfoResponseMessage* response);
 
  private:
   struct Stream {
+    /// Replaced wholesale by the health thread on a successful re-dial;
+    /// read under streams_mu_ (callers copy the shared_ptr out).
     std::shared_ptr<RpcChannel> channel;
     /// Calls currently parked on this stream; the dispatch heuristic.
     std::atomic<std::int64_t> inflight{0};
+    /// Re-dial backoff state; touched only by the health thread.
+    std::chrono::milliseconds backoff{0};
+    std::chrono::steady_clock::time_point next_redial{};
+    bool reported_dead = false;  ///< death reason already recorded
   };
 
   RpcChannelPool() = default;
 
+  void HealthLoop();
+  void NoteDeath(const Status& reason);
+  std::shared_ptr<RpcChannel> ChannelAt(std::size_t i) const;
+  /// Least-inflight live stream, or null when every stream is dead.
+  Stream* PickLive(std::shared_ptr<RpcChannel>* channel);
+
+  std::string endpoint_;
+  HelloOkMessage server_info_;
+  Options options_;
+
+  mutable std::mutex streams_mu_;  ///< guards Stream::channel pointers
   std::vector<std::unique_ptr<Stream>> streams_;
+
+  mutable std::mutex death_mu_;
+  Status last_death_reason_;  ///< most recent non-EOF-preferred reason
+
+  std::atomic<bool> stop_health_{false};
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+  std::thread health_thread_;
 };
 
 }  // namespace ppanns

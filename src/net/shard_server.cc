@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/serialize.h"
+#include "net/auth.h"
 #include "net/frame.h"
 
 namespace ppanns {
@@ -26,9 +27,9 @@ void InterruptibleDelay(int delay_ms, SearchContext* ctx) {
 
 }  // namespace
 
-// One accepted connection. Pool tasks hold it by shared_ptr, so a scan that
-// finishes after Stop() still has a live socket (already shut down — its
-// write just fails) and live bookkeeping to decrement.
+// One accepted connection. Scan threads hold it by shared_ptr, so a scan
+// that finishes after Stop() still has a live socket (already shut down —
+// its write just fails) and live bookkeeping to decrement.
 struct ShardServer::Connection {
   explicit Connection(Socket s) : socket(std::move(s)) {}
 
@@ -41,17 +42,21 @@ struct ShardServer::Connection {
   /// where a kCancel frame is routed.
   std::map<std::uint64_t, std::shared_ptr<std::atomic<bool>>> inflight;
 
-  std::atomic<int> pending{0};  ///< pool tasks not yet finished
+  std::atomic<int> pending{0};  ///< scan threads not yet finished
   std::mutex done_mu;
   std::condition_variable done_cv;
 };
 
-ShardServer::ShardServer(const ShardedCloudServer* service,
-                         std::vector<std::uint32_t> served_shards)
-    : service_(service), served_shards_(std::move(served_shards)) {
+ShardServer::ShardServer(PpannsService* service,
+                         std::vector<std::uint32_t> served_shards,
+                         Options options)
+    : service_(service),
+      served_shards_(std::move(served_shards)),
+      options_(std::move(options)) {
   // A server needs the actual replicas behind it; a remote (stub-backed)
-  // ShardedCloudServer has none to serve.
-  PPANNS_CHECK(!service_->remote());
+  // facade has none to serve.
+  PPANNS_CHECK(service_->sharded());
+  PPANNS_CHECK(!service_->sharded_server().remote());
   if (served_shards_.empty()) {
     for (std::size_t s = 0; s < service_->num_shards(); ++s) {
       served_shards_.push_back(static_cast<std::uint32_t>(s));
@@ -103,7 +108,7 @@ void ShardServer::Stop() {
     if (conn->reader.joinable()) conn->reader.join();
   }
   // Readers are gone, so no new scans can be submitted; drain the ones still
-  // on the pool (they cancel at their next probe).
+  // running (they cancel at their next probe).
   for (const auto& conn : conns) {
     std::unique_lock<std::mutex> lock(conn->done_mu);
     conn->done_cv.wait(lock, [&conn] {
@@ -132,6 +137,19 @@ void ShardServer::AcceptLoop() {
   }
 }
 
+template <typename Message>
+bool ShardServer::WriteMessage(const std::shared_ptr<Connection>& conn,
+                               FrameType type, std::uint64_t request_id,
+                               const Message& payload) {
+  BinaryWriter payload_writer;
+  payload.Serialize(&payload_writer);
+  BinaryWriter frame;
+  EncodeFrame(Frame{type, request_id, payload_writer.TakeBuffer()}, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  return conn->socket.WriteAll(frame.buffer().data(), frame.buffer().size())
+      .ok();
+}
+
 void ShardServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
   // ---- Handshake: the first frame must be a well-formed Hello whose version
   // range intersects ours. Anything else — wrong magic, disjoint versions, a
@@ -149,35 +167,57 @@ void ShardServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
     return;
   }
 
-  HelloOkMessage ok;
-  ok.version = std::min(kProtocolVersionMax, client->version_max);
-  ok.num_shards = static_cast<std::uint32_t>(service_->num_shards());
-  ok.num_replicas = static_cast<std::uint32_t>(service_->replication_factor());
-  ok.dim = service_->dim();
-  ok.index_kind = static_cast<std::uint8_t>(service_->index_kind());
-  ok.size = service_->size();
-  ok.capacity = service_->capacity();
-  ok.storage_bytes = service_->StorageBytes();
-  ok.served_shards = served_shards_;
-  BinaryWriter ok_payload;
-  ok.Serialize(&ok_payload);
-  BinaryWriter ok_frame;
-  EncodeFrame(Frame{FrameType::kHelloOk, hello.request_id,
-                    ok_payload.TakeBuffer()},
-              &ok_frame);
-  {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    if (!conn->socket
-             .WriteAll(ok_frame.buffer().data(), ok_frame.buffer().size())
-             .ok()) {
+  // ---- Authentication (keyed servers only): one fresh nonce out, one MAC
+  // back, constant-time compare. Every failure path is a silent teardown —
+  // before the MAC verifies, the peer gets no frame and no explanation.
+  if (!options_.auth_key.empty()) {
+    AuthChallengeMessage challenge;
+    const auto nonce = MakeAuthNonce();
+    challenge.nonce.assign(nonce.begin(), nonce.end());
+    if (!WriteMessage(conn, FrameType::kAuthChallenge, hello.request_id,
+                      challenge)) {
+      return;
+    }
+    Frame answer;
+    if (!ReadFrame(&conn->socket, &answer).ok() ||
+        answer.type != FrameType::kAuthResponse) {
+      return;
+    }
+    BinaryReader answer_reader(answer.payload.data(), answer.payload.size());
+    auto mac = AuthResponseMessage::Deserialize(&answer_reader);
+    if (!mac.ok()) return;
+    const auto expected = HmacSha256(options_.auth_key, challenge.nonce.data(),
+                                     challenge.nonce.size());
+    if (mac->mac.size() != expected.size() ||
+        !ConstantTimeEqual(mac->mac.data(), expected.data(),
+                           expected.size())) {
       return;
     }
   }
 
-  // ---- Frame loop. Scans go to the pool so a slow one never blocks the
-  // connection; responses stream back out of order as scans complete. A
-  // malformed request or an out-of-protocol frame tears the connection down
-  // (the client's channel reports IOError and marks itself unhealthy).
+  HelloOkMessage ok;
+  ok.version = std::min(kProtocolVersionMax, client->version_max);
+  ok.num_shards = static_cast<std::uint32_t>(service_->num_shards());
+  ok.num_replicas = static_cast<std::uint32_t>(service_->num_replicas());
+  ok.dim = service_->dim();
+  ok.index_kind = static_cast<std::uint8_t>(service_->index_kind());
+  ok.size = service_->size();
+  ok.capacity = sharded().capacity();
+  ok.storage_bytes = service_->StorageBytes();
+  ok.served_shards = served_shards_;
+  // v2 field; Serialize only emits it when ok.version >= 2, so a v1 client
+  // still gets the bytes it expects.
+  ok.state_version = sharded().state_version();
+  if (!WriteMessage(conn, FrameType::kHelloOk, hello.request_id, ok)) return;
+
+  // ---- Frame loop. Scans go to dedicated threads so a slow one never
+  // blocks the connection; responses stream back out of order as scans
+  // complete. Mutations, info, and pings are handled inline — mutations must
+  // serialize anyway, and inline handling keeps one connection's mutations
+  // naturally ordered. A malformed request or an out-of-protocol frame tears
+  // the connection down (the client's channel reports IOError and marks
+  // itself unhealthy).
+  const bool v2 = ok.version >= 2;
   for (;;) {
     Frame frame;
     if (!ReadFrame(&conn->socket, &frame).ok()) return;
@@ -215,10 +255,150 @@ void ShardServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
         }
         break;  // unknown id: the scan already finished — nothing to abort
       }
+      case FrameType::kInsertRequest:
+      case FrameType::kDeleteRequest:
+      case FrameType::kMaintenanceRequest:
+        // Mutation frames exist from v2 on; a v1 peer sending one is out of
+        // protocol.
+        if (!v2 || !HandleMutation(conn, frame)) return;
+        break;
+      case FrameType::kInfoRequest:
+        if (!v2 || !HandleInfo(conn, frame.request_id)) return;
+        break;
+      case FrameType::kPing:
+        if (!v2 || !HandlePing(conn, frame.request_id)) return;
+        break;
       default:
-        return;  // clients never send hello_ok / filter_response
+        return;  // clients never send hello_ok / filter_response / pong
     }
   }
+}
+
+bool ShardServer::HandleMutation(const std::shared_ptr<Connection>& conn,
+                                 const Frame& frame) {
+  MutationResponseMessage response;
+
+  // Exclusive against every filter scan on this server: the mutation
+  // contract makes the caller serialize mutation against its own searches,
+  // and over the wire this server is that caller.
+  std::unique_lock<std::shared_mutex> serve_lock(serve_mu_);
+
+  switch (frame.type) {
+    case FrameType::kInsertRequest: {
+      BinaryReader reader(frame.payload.data(), frame.payload.size());
+      auto parsed = InsertRequestMessage::Deserialize(&reader);
+      if (!parsed.ok()) return false;
+      EncryptedVector v;
+      v.sap = std::move(parsed->sap);
+      v.dce.block = static_cast<std::size_t>(parsed->dce_block);
+      v.dce.data = std::move(parsed->dce_data);
+      // Through the facade: validation, the attached WAL (append before
+      // apply), and the cache epoch bump all happen exactly as for a local
+      // caller.
+      auto id = service_->Insert(v);
+      if (id.ok()) {
+        response.id = static_cast<std::uint64_t>(*id);
+      } else {
+        response.SetStatus(id.status());
+      }
+      break;
+    }
+    case FrameType::kDeleteRequest: {
+      BinaryReader reader(frame.payload.data(), frame.payload.size());
+      auto parsed = DeleteRequestMessage::Deserialize(&reader);
+      if (!parsed.ok()) return false;
+      response.SetStatus(
+          service_->Delete(static_cast<VectorId>(parsed->global_id)));
+      response.id = parsed->global_id;
+      break;
+    }
+    case FrameType::kMaintenanceRequest: {
+      BinaryReader reader(frame.payload.data(), frame.payload.size());
+      auto parsed = MaintenanceRequestMessage::Deserialize(&reader);
+      if (!parsed.ok()) return false;
+      ShardedCloudServer& server = service_->sharded_server_mutable();
+      switch (parsed->op) {
+        case 0: {  // threshold sweep
+          ShardedCloudServer::MaintenanceOptions options;
+          options.compact_threshold = parsed->compact_threshold;
+          options.split_skew = parsed->split_skew;
+          options.min_split_size =
+              static_cast<std::size_t>(parsed->min_split_size);
+          options.build_threads =
+              static_cast<std::size_t>(parsed->build_threads);
+          auto ops = server.MaybeCompact(options);
+          if (ops.ok()) {
+            response.ops = static_cast<std::uint64_t>(*ops);
+          } else {
+            response.SetStatus(ops.status());
+          }
+          break;
+        }
+        case 1:
+          response.SetStatus(
+              server.CompactShard(static_cast<std::size_t>(parsed->shard)));
+          if (response.status_code == 0) response.ops = 1;
+          break;
+        case 2:
+          response.SetStatus(
+              server.SplitShard(static_cast<std::size_t>(parsed->shard)));
+          if (response.status_code == 0) response.ops = 1;
+          break;
+        default:
+          return false;  // Deserialize validates op <= 2; defensive
+      }
+      break;
+    }
+    default:
+      return false;  // caller dispatches only mutation frames here
+  }
+
+  // The epoch fence: post-apply observables on every mutation response, OK
+  // or refused — the gather folds state_version into its cache invalidation
+  // and checks that replicated endpoints agree.
+  response.state_version = sharded().state_version();
+  response.size = service_->size();
+  serve_lock.unlock();
+  return WriteMessage(conn, FrameType::kMutationResponse, frame.request_id,
+                      response);
+}
+
+bool ShardServer::HandleInfo(const std::shared_ptr<Connection>& conn,
+                             std::uint64_t request_id) {
+  InfoResponseMessage info;
+  // Shared with filter scans (pure reads), excluded against mutations so
+  // the snapshot is never half-applied.
+  std::shared_lock<std::shared_mutex> serve_lock(serve_mu_);
+  info.state_version = sharded().state_version();
+  info.size = service_->size();
+  info.capacity = sharded().capacity();
+  info.storage_bytes = service_->StorageBytes();
+  info.wal_attached = service_->wal_attached() ? 1 : 0;
+  if (service_->wal_attached()) {
+    const WalStats stats = service_->wal_stats();
+    info.wal_segments = stats.segments;
+    info.wal_bytes = stats.bytes;
+  }
+  // Maintenance may have split shards past the handshake-time list; expose
+  // every shard that currently exists when this endpoint serves all of them,
+  // the configured scope otherwise.
+  info.served_shards = served_shards_;
+  info.tombstone_ratios.reserve(info.served_shards.size());
+  info.compaction_epochs.reserve(info.served_shards.size());
+  for (std::uint32_t s : info.served_shards) {
+    info.tombstone_ratios.push_back(sharded().tombstone_ratio(s));
+    info.compaction_epochs.push_back(sharded().last_compaction_epoch(s));
+  }
+  serve_lock.unlock();
+  return WriteMessage(conn, FrameType::kInfoResponse, request_id, info);
+}
+
+bool ShardServer::HandlePing(const std::shared_ptr<Connection>& conn,
+                             std::uint64_t request_id) {
+  PongMessage pong;
+  pong.state_version = sharded().state_version();
+  pong.size = service_->size();
+  return WriteMessage(conn, FrameType::kPong, request_id, pong);
 }
 
 void ShardServer::RunFilter(const std::shared_ptr<Connection>& conn,
@@ -258,9 +438,14 @@ void ShardServer::RunFilter(const std::shared_ptr<Connection>& conn,
     options.ef_search = static_cast<std::size_t>(request->ef_search);
     options.want_dce = request->want_dce != 0;
     ShardFilterResult result;
+    // Shared lock: scans run concurrently with each other, never with a
+    // mutation mid-apply. Taken after the injected delay so the straggler
+    // knob does not stall real mutations.
+    std::shared_lock<std::shared_mutex> serve_lock(serve_mu_);
     const Status st =
-        service_->FilterShard(request->shard, request->replica, request->token,
+        sharded().FilterShard(request->shard, request->replica, request->token,
                               options, &ctx, &result);
+    serve_lock.unlock();
     if (!st.ok()) {
       response.SetStatus(st);
     } else {
@@ -284,18 +469,9 @@ void ShardServer::RunFilter(const std::shared_ptr<Connection>& conn,
   response.distance_computations = ctx.stats.distance_computations;
   response.dce_comparisons = ctx.stats.dce_comparisons;
 
-  BinaryWriter payload;
-  response.Serialize(&payload);
-  BinaryWriter frame;
-  EncodeFrame(Frame{FrameType::kFilterResponse, request_id,
-                    payload.TakeBuffer()},
-              &frame);
-  {
-    // Best effort: a failed write means the connection is dying and the
-    // reader/Stop() path owns the teardown.
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    conn->socket.WriteAll(frame.buffer().data(), frame.buffer().size());
-  }
+  // Best effort: a failed write means the connection is dying and the
+  // reader/Stop() path owns the teardown.
+  WriteMessage(conn, FrameType::kFilterResponse, request_id, response);
 
   {
     std::lock_guard<std::mutex> lock(conn->mu);

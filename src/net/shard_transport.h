@@ -21,6 +21,8 @@
 #define PPANNS_NET_SHARD_TRANSPORT_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/search_context.h"
@@ -77,6 +79,54 @@ class ShardTransport {
 
   /// True for transports that cross a process boundary.
   virtual bool remote() const = 0;
+};
+
+/// Forward declaration — the full ciphertext pair lives in core.
+struct EncryptedVector;
+
+/// One structural-maintenance command, topology-blind: the same triple of
+/// (sweep, compact-shard, split-shard) ShardedCloudServer runs locally,
+/// expressed so it can cross the wire as a MaintenanceRequestMessage.
+struct MaintenanceCommand {
+  enum class Op : std::uint8_t { kSweep = 0, kCompactShard = 1, kSplitShard = 2 };
+  Op op = Op::kSweep;
+  std::uint32_t shard = 0;       ///< target (compact/split only)
+  double compact_threshold = 0.3;
+  double split_skew = 0.0;
+  std::size_t min_split_size = 64;
+  std::size_t build_threads = 1;
+};
+
+/// What a mutation did on the other side of the seam. `state_version` and
+/// `size` are post-apply — the epoch fence the gather folds into its cache
+/// invalidation epoch and uses to check that replicated endpoints agree.
+struct MutationOutcome {
+  Status status = Status::OK();  ///< the apply's own Status (IO errors are
+                                 ///< the transport call's Result instead)
+  VectorId id = 0;               ///< assigned global id (inserts)
+  std::uint64_t state_version = 0;
+  std::uint64_t size = 0;
+  std::size_t ops = 0;           ///< shards rebuilt (sweeps)
+};
+
+/// The mutation/maintenance side of the seam — one endpoint that holds real
+/// shard data (in practice: one ppanns_shard_server, whose process loads
+/// the full package). ShardedCloudServer broadcasts every mutation to all
+/// attached MutationTransports and requires their outcomes to agree, which
+/// keeps replicated endpoints byte-identical the same way deterministic
+/// insert routing does in-process. A non-OK Result means the command never
+/// reached the endpoint (dead pool); a reached-but-refused apply comes back
+/// OK with `outcome.status` carrying the refusal.
+class MutationTransport {
+ public:
+  virtual ~MutationTransport() = default;
+
+  virtual Result<MutationOutcome> Insert(const EncryptedVector& v) = 0;
+  virtual Result<MutationOutcome> Delete(VectorId global_id) = 0;
+  virtual Result<MutationOutcome> Maintain(const MaintenanceCommand& cmd) = 0;
+
+  /// The endpoint this transport mutates ("host:port"), for error messages.
+  virtual const std::string& endpoint() const = 0;
 };
 
 }  // namespace ppanns

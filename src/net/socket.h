@@ -57,8 +57,11 @@ class Socket {
 /// Connects to IPv4 `host:port` ("127.0.0.1:9000"; "localhost" resolves).
 Result<Socket> ConnectTcp(const std::string& endpoint);
 
-/// A listening TCP socket bound to 127.0.0.1 (the serving tier has no
-/// authentication layer yet, so it never listens on a public interface).
+/// A listening TCP socket bound to 127.0.0.1. The serving tier now has an
+/// optional shared-key handshake (net/auth.h, --auth-key-file), but the
+/// listener stays loopback-only: the auth layer proves key possession, it
+/// does not encrypt the stream, so ciphertext frames still should not
+/// transit an untrusted network.
 class Listener {
  public:
   /// Binds and listens; port 0 picks an ephemeral port, readable via port().

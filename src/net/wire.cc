@@ -81,6 +81,8 @@ void HelloOkMessage::Serialize(BinaryWriter* out) const {
   out->Put<std::uint64_t>(capacity);
   out->Put<std::uint64_t>(storage_bytes);
   out->PutVector(served_shards);
+  // v2 field, appended last so a v1 peer's byte stream is untouched.
+  if (version >= 2) out->Put<std::uint64_t>(state_version);
 }
 
 Result<HelloOkMessage> HelloOkMessage::Deserialize(BinaryReader* in) {
@@ -94,6 +96,9 @@ Result<HelloOkMessage> HelloOkMessage::Deserialize(BinaryReader* in) {
   PPANNS_RETURN_IF_ERROR(in->Get(&msg.capacity));
   PPANNS_RETURN_IF_ERROR(in->Get(&msg.storage_bytes));
   PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.served_shards));
+  if (msg.version >= 2) {
+    PPANNS_RETURN_IF_ERROR(in->Get(&msg.state_version));
+  }
   if (msg.num_shards == 0 || msg.num_replicas == 0) {
     return Status::IOError("hello_ok: empty topology");
   }
@@ -115,7 +120,8 @@ std::size_t HelloOkMessage::ByteSize() const {
   return 3 * sizeof(std::uint32_t) + sizeof(std::uint8_t) +
          4 * sizeof(std::uint64_t) +  // dim, size, capacity, storage_bytes
          sizeof(std::uint64_t) +      // served_shards length prefix
-         served_shards.size() * sizeof(std::uint32_t);
+         served_shards.size() * sizeof(std::uint32_t) +
+         (version >= 2 ? sizeof(std::uint64_t) : 0);  // state_version
 }
 
 // ---- FilterRequestMessage ---------------------------------------------------
@@ -241,6 +247,239 @@ Status FilterResponseMessage::ToStatus() const {
 void FilterResponseMessage::SetStatus(const Status& st) {
   status_code = static_cast<std::uint8_t>(st.code());
   status_message = st.message();
+}
+
+// ---- InsertRequestMessage ---------------------------------------------------
+
+void InsertRequestMessage::Serialize(BinaryWriter* out) const {
+  out->PutVector(sap);
+  out->Put<std::uint64_t>(dce_block);
+  out->PutVector(dce_data);
+}
+
+Result<InsertRequestMessage> InsertRequestMessage::Deserialize(
+    BinaryReader* in) {
+  InsertRequestMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.sap));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.dce_block));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.dce_data));
+  if (msg.sap.empty()) {
+    return Status::IOError("insert_request: empty SAP ciphertext");
+  }
+  if (msg.dce_block == 0 || msg.dce_block > kMaxFrameBytes) {
+    // The upper bound also rules out 4 * block overflowing below.
+    return Status::IOError("insert_request: implausible DCE block length " +
+                           std::to_string(msg.dce_block));
+  }
+  if (msg.dce_data.size() != 4 * static_cast<std::size_t>(msg.dce_block)) {
+    return Status::IOError("insert_request: DCE payload shape mismatch (" +
+                           std::to_string(msg.dce_data.size()) +
+                           " doubles for block " +
+                           std::to_string(msg.dce_block) + ")");
+  }
+  return msg;
+}
+
+std::size_t InsertRequestMessage::ByteSize() const {
+  return sizeof(std::uint64_t) + sap.size() * sizeof(float) +
+         sizeof(std::uint64_t) +  // dce_block
+         sizeof(std::uint64_t) + dce_data.size() * sizeof(double);
+}
+
+// ---- DeleteRequestMessage ---------------------------------------------------
+
+void DeleteRequestMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint64_t>(global_id);
+}
+
+Result<DeleteRequestMessage> DeleteRequestMessage::Deserialize(
+    BinaryReader* in) {
+  DeleteRequestMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.global_id));
+  return msg;
+}
+
+std::size_t DeleteRequestMessage::ByteSize() const {
+  return sizeof(std::uint64_t);
+}
+
+// ---- MaintenanceRequestMessage ----------------------------------------------
+
+void MaintenanceRequestMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint8_t>(op);
+  out->Put<std::uint32_t>(shard);
+  out->Put<double>(compact_threshold);
+  out->Put<double>(split_skew);
+  out->Put<std::uint64_t>(min_split_size);
+  out->Put<std::uint64_t>(build_threads);
+}
+
+Result<MaintenanceRequestMessage> MaintenanceRequestMessage::Deserialize(
+    BinaryReader* in) {
+  MaintenanceRequestMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.op));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.shard));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.compact_threshold));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.split_skew));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.min_split_size));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.build_threads));
+  if (msg.op > 2) {
+    return Status::IOError("maintenance_request: unknown op " +
+                           std::to_string(msg.op));
+  }
+  if (!(msg.compact_threshold >= 0.0) || !(msg.split_skew >= 0.0)) {
+    // Also rejects NaN, which would silently disable every threshold check.
+    return Status::IOError("maintenance_request: negative or NaN threshold");
+  }
+  return msg;
+}
+
+std::size_t MaintenanceRequestMessage::ByteSize() const {
+  return sizeof(std::uint8_t) + sizeof(std::uint32_t) + 2 * sizeof(double) +
+         2 * sizeof(std::uint64_t);
+}
+
+// ---- MutationResponseMessage ------------------------------------------------
+
+void MutationResponseMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint8_t>(status_code);
+  out->PutString(status_message);
+  out->Put<std::uint64_t>(id);
+  out->Put<std::uint64_t>(state_version);
+  out->Put<std::uint64_t>(size);
+  out->Put<std::uint64_t>(ops);
+}
+
+Result<MutationResponseMessage> MutationResponseMessage::Deserialize(
+    BinaryReader* in) {
+  MutationResponseMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.status_code));
+  PPANNS_RETURN_IF_ERROR(in->GetString(&msg.status_message));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.id));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.state_version));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.size));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.ops));
+  if (msg.status_code > kMaxStatusCode) {
+    return Status::IOError("mutation_response: unknown status code " +
+                           std::to_string(msg.status_code));
+  }
+  return msg;
+}
+
+std::size_t MutationResponseMessage::ByteSize() const {
+  return sizeof(std::uint8_t) + sizeof(std::uint64_t) +
+         status_message.size() +  // string
+         4 * sizeof(std::uint64_t);
+}
+
+Status MutationResponseMessage::ToStatus() const {
+  return FromWireCode(status_code, status_message);
+}
+
+void MutationResponseMessage::SetStatus(const Status& st) {
+  status_code = static_cast<std::uint8_t>(st.code());
+  status_message = st.message();
+}
+
+// ---- InfoResponseMessage ----------------------------------------------------
+
+void InfoResponseMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint64_t>(state_version);
+  out->Put<std::uint64_t>(size);
+  out->Put<std::uint64_t>(capacity);
+  out->Put<std::uint64_t>(storage_bytes);
+  out->Put<std::uint8_t>(wal_attached);
+  out->Put<std::uint64_t>(wal_segments);
+  out->Put<std::uint64_t>(wal_bytes);
+  out->PutVector(served_shards);
+  out->PutVector(tombstone_ratios);
+  out->PutVector(compaction_epochs);
+}
+
+Result<InfoResponseMessage> InfoResponseMessage::Deserialize(BinaryReader* in) {
+  InfoResponseMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.state_version));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.size));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.capacity));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.storage_bytes));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.wal_attached));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.wal_segments));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.wal_bytes));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.served_shards));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.tombstone_ratios));
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.compaction_epochs));
+  if (msg.tombstone_ratios.size() != msg.served_shards.size() ||
+      msg.compaction_epochs.size() != msg.served_shards.size()) {
+    return Status::IOError(
+        "info_response: per-shard arrays misaligned with served_shards");
+  }
+  return msg;
+}
+
+std::size_t InfoResponseMessage::ByteSize() const {
+  return 4 * sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+         2 * sizeof(std::uint64_t) +  // wal_segments, wal_bytes
+         sizeof(std::uint64_t) + served_shards.size() * sizeof(std::uint32_t) +
+         sizeof(std::uint64_t) + tombstone_ratios.size() * sizeof(double) +
+         sizeof(std::uint64_t) +
+         compaction_epochs.size() * sizeof(std::uint64_t);
+}
+
+// ---- PongMessage ------------------------------------------------------------
+
+void PongMessage::Serialize(BinaryWriter* out) const {
+  out->Put<std::uint64_t>(state_version);
+  out->Put<std::uint64_t>(size);
+}
+
+Result<PongMessage> PongMessage::Deserialize(BinaryReader* in) {
+  PongMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.state_version));
+  PPANNS_RETURN_IF_ERROR(in->Get(&msg.size));
+  return msg;
+}
+
+std::size_t PongMessage::ByteSize() const {
+  return 2 * sizeof(std::uint64_t);
+}
+
+// ---- AuthChallengeMessage / AuthResponseMessage -----------------------------
+
+void AuthChallengeMessage::Serialize(BinaryWriter* out) const {
+  out->PutVector(nonce);
+}
+
+Result<AuthChallengeMessage> AuthChallengeMessage::Deserialize(
+    BinaryReader* in) {
+  AuthChallengeMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.nonce));
+  if (msg.nonce.size() != 32) {
+    return Status::IOError("auth_challenge: nonce must be 32 bytes, got " +
+                           std::to_string(msg.nonce.size()));
+  }
+  return msg;
+}
+
+std::size_t AuthChallengeMessage::ByteSize() const {
+  return sizeof(std::uint64_t) + nonce.size();
+}
+
+void AuthResponseMessage::Serialize(BinaryWriter* out) const {
+  out->PutVector(mac);
+}
+
+Result<AuthResponseMessage> AuthResponseMessage::Deserialize(BinaryReader* in) {
+  AuthResponseMessage msg;
+  PPANNS_RETURN_IF_ERROR(in->GetVector(&msg.mac));
+  if (msg.mac.size() != 32) {
+    return Status::IOError("auth_response: MAC must be 32 bytes, got " +
+                           std::to_string(msg.mac.size()));
+  }
+  return msg;
+}
+
+std::size_t AuthResponseMessage::ByteSize() const {
+  return sizeof(std::uint64_t) + mac.size();
 }
 
 }  // namespace ppanns

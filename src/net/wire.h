@@ -39,8 +39,13 @@ inline constexpr std::uint32_t kProtocolMagic = 0x50525050u;
 /// Protocol versions this build can speak. The handshake intersects the
 /// client's [min, max] with the server's; an empty intersection is a clean
 /// handshake failure, not a parse error mid-stream.
+/// v1: handshake + filter/cancel. v2 adds mutation
+/// (insert/delete/maintenance + mutation_response with the post-apply
+/// state_version), the info snapshot, ping/pong health probes, the HMAC
+/// auth challenge–response, and a state_version field on hello_ok. Min
+/// stays 1: a v2 server still serves a v1 client read-only.
 inline constexpr std::uint32_t kProtocolVersionMin = 1;
-inline constexpr std::uint32_t kProtocolVersionMax = 1;
+inline constexpr std::uint32_t kProtocolVersionMax = 2;
 
 /// Client -> server, first frame on every connection.
 struct HelloMessage {
@@ -67,6 +72,10 @@ struct HelloOkMessage {
   std::uint64_t storage_bytes = 0;
   /// Shard ids this endpoint actually serves (a server may host a subset).
   std::vector<std::uint32_t> served_shards;
+  /// Structural epoch of the package behind this endpoint (v2 field —
+  /// serialized only when the negotiated `version` is >= 2, so the message
+  /// stays byte-compatible with v1 peers). Seeds the gather's epoch fence.
+  std::uint64_t state_version = 0;
 
   void Serialize(BinaryWriter* out) const;
   static Result<HelloOkMessage> Deserialize(BinaryReader* in);
@@ -124,6 +133,124 @@ struct FilterResponseMessage {
 
 /// kCancel frames carry no payload — the request id in the frame header
 /// names the scan to abort.
+
+// ---- Protocol v2: mutation, observability, health, auth ---------------------
+
+/// Client -> server: insert one EncryptedVector (the owner's ciphertext
+/// pair, exactly what PpannsService::Insert is handed in-process). The DCE
+/// ciphertext travels flattened like FilterResponseMessage's refine payload.
+struct InsertRequestMessage {
+  std::vector<float> sap;          ///< SAP ciphertext, length dim
+  std::uint64_t dce_block = 0;     ///< DCE block length (d_pad + 4)
+  std::vector<double> dce_data;    ///< 4 * dce_block doubles
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<InsertRequestMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Client -> server: tombstone one global id.
+struct DeleteRequestMessage {
+  std::uint64_t global_id = 0;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<DeleteRequestMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Client -> server: one structural-maintenance command. `op` 0 is a
+/// threshold sweep (MaybeCompact over every shard), 1 compacts `shard`,
+/// 2 splits `shard`; the remaining fields mirror
+/// ShardedCloudServer::MaintenanceOptions.
+struct MaintenanceRequestMessage {
+  std::uint8_t op = 0;  ///< 0 = sweep, 1 = compact shard, 2 = split shard
+  std::uint32_t shard = 0;
+  double compact_threshold = 0.3;
+  double split_skew = 0.0;
+  std::uint64_t min_split_size = 64;
+  std::uint64_t build_threads = 1;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<MaintenanceRequestMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Server -> client: outcome of any mutation frame. Besides the Status it
+/// always carries the post-apply `state_version` and live size — the epoch
+/// fence data the gather folds into its ResultCache invalidation epoch, so
+/// a remote mutation stale-evicts cached answers exactly like a local one.
+struct MutationResponseMessage {
+  std::uint8_t status_code = 0;  ///< Status::Code; 0 = OK
+  std::string status_message;
+  std::uint64_t id = 0;             ///< assigned global id (inserts)
+  std::uint64_t state_version = 0;  ///< structural epoch after the apply
+  std::uint64_t size = 0;           ///< live vectors after the apply
+  std::uint64_t ops = 0;            ///< shards rebuilt (maintenance sweeps)
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<MutationResponseMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+
+  Status ToStatus() const;
+  void SetStatus(const Status& st);
+};
+
+/// kInfoRequest frames carry no payload. Server -> client reply: the
+/// operator-facing snapshot behind this endpoint — epoch state, WAL
+/// attachment, and per-served-shard tombstone ratios (aligned with
+/// `served_shards`), so `ppanns_cli info --connect` can show cluster state
+/// without holding a byte of ciphertext.
+struct InfoResponseMessage {
+  std::uint64_t state_version = 0;
+  std::uint64_t size = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t storage_bytes = 0;
+  std::uint8_t wal_attached = 0;
+  std::uint64_t wal_segments = 0;
+  std::uint64_t wal_bytes = 0;
+  std::vector<std::uint32_t> served_shards;
+  /// Per-served-shard tombstone ratio / last-compaction epoch, index-aligned
+  /// with served_shards (equal lengths enforced on deserialize).
+  std::vector<double> tombstone_ratios;
+  std::vector<std::uint64_t> compaction_epochs;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<InfoResponseMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Server -> client reply to a kPing (which carries no payload): liveness
+/// plus the current structural epoch, so routine health probes double as
+/// epoch-fence propagation — a compaction applied directly on a shard
+/// server reaches the gather's cache invalidation within one ping interval.
+struct PongMessage {
+  std::uint64_t state_version = 0;
+  std::uint64_t size = 0;
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<PongMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Server -> client, between hello and hello_ok on a keyed server: a fresh
+/// 32-byte nonce the client must MAC (net/auth.h) to prove key possession.
+struct AuthChallengeMessage {
+  std::vector<std::uint8_t> nonce;  ///< exactly kAuthDigestBytes
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<AuthChallengeMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
+
+/// Client -> server: HMAC-SHA256(key, nonce). A bad MAC tears the
+/// connection down before any request frame is parsed.
+struct AuthResponseMessage {
+  std::vector<std::uint8_t> mac;  ///< exactly kAuthDigestBytes
+
+  void Serialize(BinaryWriter* out) const;
+  static Result<AuthResponseMessage> Deserialize(BinaryReader* in);
+  std::size_t ByteSize() const;
+};
 
 }  // namespace ppanns
 

@@ -306,12 +306,12 @@ TEST(MaintenanceDynamicsTest, MaybeCompactHonorsThresholdAndSkew) {
 
   ShardedCloudServer::MaintenanceOptions options;
   options.compact_threshold = 0.3;
-  EXPECT_EQ(server.MaybeCompact(options), 1u);  // only shard 0 crossed it
+  EXPECT_EQ(server.MaybeCompact(options).value(), 1u);  // only shard 0 crossed it
   EXPECT_EQ(server.last_compaction_epoch(0), 1u);
   for (std::size_t s = 1; s < 4; ++s) {
     EXPECT_EQ(server.last_compaction_epoch(s), 0u) << "shard " << s;
   }
-  EXPECT_EQ(server.MaybeCompact(options), 0u);  // nothing left to do
+  EXPECT_EQ(server.MaybeCompact(options).value(), 0u);  // nothing left to do
 
   // Skew-triggered split: shard 0 now holds 40 live vs 60 on the others
   // (mean 55). A 1.05 skew bound flags the heaviest shard; a compact
@@ -319,12 +319,12 @@ TEST(MaintenanceDynamicsTest, MaybeCompactHonorsThresholdAndSkew) {
   options.compact_threshold = 2.0;
   options.split_skew = 1.05;
   options.min_split_size = 10;
-  EXPECT_EQ(server.MaybeCompact(options), 1u);
+  EXPECT_EQ(server.MaybeCompact(options).value(), 1u);
   EXPECT_EQ(server.num_shards(), 5u);
 
   // min_split_size gates the same trigger.
   options.min_split_size = 1000;
-  EXPECT_EQ(server.MaybeCompact(options), 0u);
+  EXPECT_EQ(server.MaybeCompact(options).value(), 0u);
   EXPECT_EQ(server.num_shards(), 5u);
 }
 

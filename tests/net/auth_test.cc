@@ -1,0 +1,171 @@
+// The auth primitives are implemented in-repo (no crypto dependency), so
+// they are pinned against published vectors: FIPS 180-4 examples for
+// SHA-256, RFC 4231 test cases for HMAC-SHA256. Plus the key-file loader's
+// trailing-newline contract and the nonce/constant-time helpers.
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "net/auth.h"
+
+namespace ppanns {
+namespace {
+
+std::string Hex(const std::array<std::uint8_t, kAuthDigestBytes>& digest) {
+  std::string out;
+  out.reserve(2 * digest.size());
+  for (std::uint8_t b : digest) {
+    char buf[3];
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// FIPS 180-4 appendix examples plus the empty string.
+TEST(Sha256Test, KnownAnswers) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(Hex(Sha256(empty.data(), 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+
+  const std::vector<std::uint8_t> abc = Bytes("abc");
+  EXPECT_EQ(Hex(Sha256(abc.data(), abc.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+
+  const std::vector<std::uint8_t> two_blocks = Bytes(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(Hex(Sha256(two_blocks.data(), two_blocks.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+// The padding boundary cases: 55 bytes is the last length that fits one
+// block with its length word, 56 forces a second block, 64 is exactly one
+// block of input.
+TEST(Sha256Test, PaddingBoundaries) {
+  const std::vector<std::uint8_t> a55(55, 'a');
+  EXPECT_EQ(Hex(Sha256(a55.data(), a55.size())),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  const std::vector<std::uint8_t> a56(56, 'a');
+  EXPECT_EQ(Hex(Sha256(a56.data(), a56.size())),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  const std::vector<std::uint8_t> a64(64, 'a');
+  EXPECT_EQ(Hex(Sha256(a64.data(), a64.size())),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+// RFC 4231 test case 1: 20-byte 0x0b key, "Hi There".
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::vector<std::uint8_t> msg = Bytes("Hi There");
+  EXPECT_EQ(Hex(HmacSha256(key, msg.data(), msg.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short text key ("Jefe").
+TEST(HmacSha256Test, Rfc4231Case2) {
+  const std::vector<std::uint8_t> key = Bytes("Jefe");
+  const std::vector<std::uint8_t> msg =
+      Bytes("what do ya want for nothing?");
+  EXPECT_EQ(Hex(HmacSha256(key, msg.data(), msg.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, fifty 0xdd bytes.
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(Hex(HmacSha256(key, msg.data(), msg.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: a 131-byte key exceeds the 64-byte HMAC block and
+// must be pre-hashed per the RFC.
+TEST(HmacSha256Test, Rfc4231Case6LongKeyIsPreHashed) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::vector<std::uint8_t> msg =
+      Bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(Hex(HmacSha256(key, msg.data(), msg.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(ConstantTimeEqualTest, MatchesAndMismatches) {
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[4] = {1, 2, 3, 4};
+  const std::uint8_t c[4] = {1, 2, 3, 5};
+  EXPECT_TRUE(ConstantTimeEqual(a, b, 4));
+  EXPECT_FALSE(ConstantTimeEqual(a, c, 4));
+  EXPECT_TRUE(ConstantTimeEqual(a, c, 3));  // differing byte outside range
+  EXPECT_TRUE(ConstantTimeEqual(a, b, 0));
+}
+
+TEST(AuthNonceTest, NoncesAreFreshWithinAProcess) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    auto nonce = MakeAuthNonce();
+    EXPECT_TRUE(seen.insert(Hex(nonce)).second) << "nonce repeated";
+  }
+}
+
+class LoadAuthKeyTest : public ::testing::Test {
+ protected:
+  std::string Path(const char* name) {
+    const auto dir = std::filesystem::temp_directory_path() / "ppanns_auth";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+  void WriteKeyFile(const std::string& path, const std::string& content) {
+    ASSERT_TRUE(WriteFile(path, Bytes(content)).ok());
+  }
+};
+
+// `echo secret > key` appends a newline; the loader strips exactly one so
+// both binaries derive the same key from the same file.
+TEST_F(LoadAuthKeyTest, StripsOneTrailingNewline) {
+  const std::string path = Path("lf");
+  WriteKeyFile(path, "secret\n");
+  auto key = LoadAuthKey(path);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_EQ(*key, Bytes("secret"));
+
+  WriteKeyFile(path, "secret\r\n");
+  key = LoadAuthKey(path);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, Bytes("secret"));
+
+  // Only ONE trailing newline is cosmetic; an interior one is key material.
+  WriteKeyFile(path, "secret\n\n");
+  key = LoadAuthKey(path);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, Bytes("secret\n"));
+
+  WriteKeyFile(path, "se\ncret");
+  key = LoadAuthKey(path);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, Bytes("se\ncret"));
+}
+
+TEST_F(LoadAuthKeyTest, EmptyKeysAreRefused) {
+  const std::string path = Path("empty");
+  WriteKeyFile(path, "");
+  EXPECT_FALSE(LoadAuthKey(path).ok());
+  WriteKeyFile(path, "\n");  // newline-only file is an empty key too
+  EXPECT_FALSE(LoadAuthKey(path).ok());
+}
+
+TEST_F(LoadAuthKeyTest, MissingFileIsAnError) {
+  EXPECT_FALSE(LoadAuthKey(Path("no-such-file")).ok());
+}
+
+}  // namespace
+}  // namespace ppanns

@@ -28,7 +28,12 @@ std::vector<std::uint8_t> Encode(const Frame& frame) {
 TEST(FrameTest, RoundTripsEveryType) {
   for (FrameType type :
        {FrameType::kHello, FrameType::kHelloOk, FrameType::kFilterRequest,
-        FrameType::kFilterResponse, FrameType::kCancel}) {
+        FrameType::kFilterResponse, FrameType::kCancel,
+        FrameType::kInsertRequest, FrameType::kDeleteRequest,
+        FrameType::kMaintenanceRequest, FrameType::kMutationResponse,
+        FrameType::kInfoRequest, FrameType::kInfoResponse, FrameType::kPing,
+        FrameType::kPong, FrameType::kAuthChallenge,
+        FrameType::kAuthResponse}) {
     Frame in;
     in.type = type;
     in.request_id = 0xDEADBEEF12345678ull;
@@ -109,7 +114,7 @@ TEST(FrameTest, CorruptFramesFailCleanly) {
       // unknown / reserved frame types
       {"type zero", WithLength(9, {0, 1, 0, 0, 0, 0, 0, 0, 0}),
        Status::Code::kIOError},
-      {"type 6", WithLength(9, {6, 1, 0, 0, 0, 0, 0, 0, 0}),
+      {"type 16", WithLength(9, {16, 1, 0, 0, 0, 0, 0, 0, 0}),
        Status::Code::kIOError},
       {"type 255", WithLength(9, {255, 1, 0, 0, 0, 0, 0, 0, 0}),
        Status::Code::kIOError},
@@ -138,7 +143,7 @@ TEST(FrameTest, RandomBytesNeverCrashTheDecoder) {
     for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextUint64());
     Frame out;
     // Random ≤64-byte strings essentially never form a valid frame (the
-    // type byte must be 1..5 and the length must match exactly); either way
+    // type byte must be 1..15 and the length must match exactly); either way
     // the decoder must return, not crash.
     DecodeFrame(bytes.data(), bytes.size(), &out);
   }
@@ -199,6 +204,162 @@ TEST(WireTest, HelloOkRoundTrip) {
     EXPECT_EQ(b.storage_bytes, a.storage_bytes);
     EXPECT_EQ(b.served_shards, a.served_shards);
   });
+}
+
+// The v2 handshake appends state_version; its ByteSize must account for the
+// version-gated field in both shapes.
+TEST(WireTest, HelloOkV2CarriesStateVersion) {
+  HelloOkMessage in;
+  in.version = 2;
+  in.num_shards = 2;
+  in.num_replicas = 1;
+  in.dim = 16;
+  in.size = 300;
+  in.capacity = 320;
+  in.state_version = 0xABCDEF0123456789ull;
+  ExpectRoundTrip<HelloOkMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.version, 2u);
+    EXPECT_EQ(b.state_version, a.state_version);
+  });
+
+  // A v1 HelloOk never ships the field — the pre-v2 byte stream is frozen.
+  HelloOkMessage v1 = in;
+  v1.version = 1;
+  EXPECT_EQ(v1.ByteSize() + sizeof(std::uint64_t), in.ByteSize());
+  BinaryWriter w;
+  v1.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto out = HelloOkMessage::Deserialize(&r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->state_version, 0u);
+}
+
+TEST(WireTest, InsertRequestRoundTrip) {
+  InsertRequestMessage in;
+  in.sap = {1.5f, -2.25f, 0.0f};
+  in.dce_block = 2;
+  in.dce_data = {1.0, -2.0, 3.0, 4.5, 5.0, 6.0, 7.0, 8.0};
+  ExpectRoundTrip<InsertRequestMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.sap, a.sap);
+    EXPECT_EQ(b.dce_block, a.dce_block);
+    EXPECT_EQ(b.dce_data, a.dce_data);
+  });
+}
+
+TEST(WireTest, DeleteRequestRoundTrip) {
+  DeleteRequestMessage in;
+  in.global_id = 0x1122334455667788ull;
+  ExpectRoundTrip<DeleteRequestMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.global_id, a.global_id);
+  });
+}
+
+TEST(WireTest, MaintenanceRequestRoundTrip) {
+  MaintenanceRequestMessage in;
+  in.op = 2;
+  in.shard = 3;
+  in.compact_threshold = 0.125;
+  in.split_skew = 1.75;
+  in.min_split_size = 4096;
+  in.build_threads = 8;
+  ExpectRoundTrip<MaintenanceRequestMessage>(
+      in, [](const auto& a, const auto& b) {
+        EXPECT_EQ(b.op, a.op);
+        EXPECT_EQ(b.shard, a.shard);
+        EXPECT_EQ(b.compact_threshold, a.compact_threshold);
+        EXPECT_EQ(b.split_skew, a.split_skew);
+        EXPECT_EQ(b.min_split_size, a.min_split_size);
+        EXPECT_EQ(b.build_threads, a.build_threads);
+      });
+}
+
+TEST(WireTest, MutationResponseRoundTrip) {
+  MutationResponseMessage in;
+  in.SetStatus(Status::InvalidArgument("dimension mismatch"));
+  in.id = 417;
+  in.state_version = 9;
+  in.size = 299;
+  in.ops = 2;
+  ExpectRoundTrip<MutationResponseMessage>(
+      in, [](const auto& a, const auto& b) {
+        EXPECT_EQ(b.status_code, a.status_code);
+        EXPECT_EQ(b.status_message, a.status_message);
+        EXPECT_EQ(b.ToStatus().code(), Status::Code::kInvalidArgument);
+        EXPECT_EQ(b.id, a.id);
+        EXPECT_EQ(b.state_version, a.state_version);
+        EXPECT_EQ(b.size, a.size);
+        EXPECT_EQ(b.ops, a.ops);
+      });
+}
+
+TEST(WireTest, InfoResponseRoundTrip) {
+  InfoResponseMessage in;
+  in.state_version = 5;
+  in.size = 290;
+  in.capacity = 310;
+  in.storage_bytes = 123456;
+  in.wal_attached = 1;
+  in.wal_segments = 2;
+  in.wal_bytes = 8192;
+  in.served_shards = {0, 3};
+  in.tombstone_ratios = {0.0625, 0.5};
+  in.compaction_epochs = {4, 0};
+  ExpectRoundTrip<InfoResponseMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.state_version, a.state_version);
+    EXPECT_EQ(b.size, a.size);
+    EXPECT_EQ(b.capacity, a.capacity);
+    EXPECT_EQ(b.storage_bytes, a.storage_bytes);
+    EXPECT_EQ(b.wal_attached, a.wal_attached);
+    EXPECT_EQ(b.wal_segments, a.wal_segments);
+    EXPECT_EQ(b.wal_bytes, a.wal_bytes);
+    EXPECT_EQ(b.served_shards, a.served_shards);
+    EXPECT_EQ(b.tombstone_ratios, a.tombstone_ratios);
+    EXPECT_EQ(b.compaction_epochs, a.compaction_epochs);
+  });
+}
+
+// served_shards / tombstone_ratios / compaction_epochs are index-aligned;
+// a response violating that is refused at the parser.
+TEST(WireTest, InfoResponseRejectsMisalignedShardArrays) {
+  InfoResponseMessage in;
+  in.served_shards = {0, 1};
+  in.tombstone_ratios = {0.5};  // too short
+  in.compaction_epochs = {1, 2};
+  BinaryWriter w;
+  in.Serialize(&w);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(InfoResponseMessage::Deserialize(&r).ok());
+}
+
+TEST(WireTest, PongRoundTrip) {
+  PongMessage in;
+  in.state_version = 12;
+  in.size = 4096;
+  ExpectRoundTrip<PongMessage>(in, [](const auto& a, const auto& b) {
+    EXPECT_EQ(b.state_version, a.state_version);
+    EXPECT_EQ(b.size, a.size);
+  });
+}
+
+TEST(WireTest, AuthMessagesRoundTripAndRejectBadLengths) {
+  AuthChallengeMessage challenge;
+  challenge.nonce.assign(32, 0xA5);
+  ExpectRoundTrip<AuthChallengeMessage>(
+      challenge,
+      [](const auto& a, const auto& b) { EXPECT_EQ(b.nonce, a.nonce); });
+
+  AuthResponseMessage mac;
+  mac.mac.assign(32, 0x5A);
+  ExpectRoundTrip<AuthResponseMessage>(
+      mac, [](const auto& a, const auto& b) { EXPECT_EQ(b.mac, a.mac); });
+
+  // A digest of the wrong length is malformed, not a comparison miss.
+  AuthChallengeMessage runt;
+  runt.nonce.assign(16, 0x11);
+  BinaryWriter w;
+  runt.Serialize(&w);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(AuthChallengeMessage::Deserialize(&r).ok());
 }
 
 TEST(WireTest, FilterRequestRoundTrip) {
@@ -285,6 +446,38 @@ TEST(WireTest, TruncatedMessagesFailCleanly) {
     BinaryReader r(w2.buffer().data(), cut);
     EXPECT_FALSE(FilterResponseMessage::Deserialize(&r).ok()) << "cut=" << cut;
   }
+
+  InsertRequestMessage ins;
+  ins.sap = {1.0f, 2.0f};
+  ins.dce_block = 1;
+  ins.dce_data = {1.0, 2.0, 3.0, 4.0};
+  BinaryWriter w3;
+  ins.Serialize(&w3);
+  for (std::size_t cut = 0; cut < w3.buffer().size(); ++cut) {
+    BinaryReader r(w3.buffer().data(), cut);
+    EXPECT_FALSE(InsertRequestMessage::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+
+  InfoResponseMessage info;
+  info.served_shards = {0};
+  info.tombstone_ratios = {0.25};
+  info.compaction_epochs = {1};
+  BinaryWriter w4;
+  info.Serialize(&w4);
+  for (std::size_t cut = 0; cut < w4.buffer().size(); ++cut) {
+    BinaryReader r(w4.buffer().data(), cut);
+    EXPECT_FALSE(InfoResponseMessage::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+
+  MutationResponseMessage mut;
+  mut.SetStatus(Status::IOError("x"));
+  BinaryWriter w5;
+  mut.Serialize(&w5);
+  for (std::size_t cut = 0; cut < w5.buffer().size(); ++cut) {
+    BinaryReader r(w5.buffer().data(), cut);
+    EXPECT_FALSE(MutationResponseMessage::Deserialize(&r).ok())
+        << "cut=" << cut;
+  }
 }
 
 TEST(WireTest, RandomPayloadsNeverCrashMessageParsers) {
@@ -308,6 +501,38 @@ TEST(WireTest, RandomPayloadsNeverCrashMessageParsers) {
     {
       BinaryReader r(bytes);
       FilterResponseMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      InsertRequestMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      DeleteRequestMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      MaintenanceRequestMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      MutationResponseMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      InfoResponseMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      PongMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      AuthChallengeMessage::Deserialize(&r);
+    }
+    {
+      BinaryReader r(bytes);
+      AuthResponseMessage::Deserialize(&r);
     }
   }
 }

@@ -71,7 +71,8 @@ std::string Endpoint(const ShardServer& server) {
 /// One in-process gather and one socket-backed gather over byte-identical
 /// packages (same seed → bit-identical SAP streams, like the sharded suite's
 /// flat-vs-sharded equivalence): the remote side is a ShardServer hosting
-/// every shard, dialed through ConnectShardedService on loopback.
+/// every shard behind a PpannsService facade, dialed through
+/// ConnectShardedService on loopback.
 struct Loopback {
   Loopback(IndexKind kind, std::uint32_t num_shards, std::uint32_t num_replicas,
            const Dataset& ds, std::uint64_t seed, std::size_t pool_size = 1) {
@@ -81,8 +82,8 @@ struct Loopback {
         MakeOwner(BaseParams(kind, num_shards, num_replicas, seed)));
     local = std::make_unique<PpannsService>(
         ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base)));
-    backend = std::make_unique<ShardedCloudServer>(
-        owner->EncryptAndIndexSharded(ds.base));
+    backend = std::make_unique<PpannsService>(
+        ShardedCloudServer(owner->EncryptAndIndexSharded(ds.base)));
     server = std::make_unique<ShardServer>(backend.get(),
                                            std::vector<std::uint32_t>{});
     PPANNS_CHECK(server->Start(0).ok());
@@ -93,7 +94,7 @@ struct Loopback {
 
   std::unique_ptr<DataOwner> owner;  ///< key authority for the token stream
   std::unique_ptr<PpannsService> local;
-  std::unique_ptr<ShardedCloudServer> backend;  ///< behind the socket
+  std::unique_ptr<PpannsService> backend;  ///< behind the socket
   std::unique_ptr<ShardServer> server;
   std::unique_ptr<PpannsService> remote;
 };
@@ -149,7 +150,8 @@ TEST(RemoteTopologyTest, TwoEndpointsAssembleAndGapsAreRejected) {
       MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 23));
   PpannsService local{
       ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base))};
-  ShardedCloudServer backend(remote_owner.EncryptAndIndexSharded(ds.base));
+  PpannsService backend{
+      ShardedCloudServer(remote_owner.EncryptAndIndexSharded(ds.base))};
 
   ShardServer server0(&backend, {0});
   ShardServer server1(&backend, {1});
@@ -265,7 +267,7 @@ TEST(RemoteHedgingTest, DelayedReplicaIsHedgedOverTheWire) {
   Loopback lb(IndexKind::kBruteForce, 2, /*num_replicas=*/2, ds, 31);
   // Replica (0,0) is a straggler on the server side; the gather only sees
   // the latency.
-  lb.backend->SetReplicaDelayMs(0, 0, 500);
+  lb.backend->sharded_server_mutable().SetReplicaDelayMs(0, 0, 500);
 
   const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 43);
   const SearchSettings settings{.k_prime = 20};
@@ -314,17 +316,347 @@ TEST(RemoteFailoverTest, DownReplicaFailsOverWithIdenticalIds) {
   }
 }
 
-// Maintenance does not cross the RPC boundary: the gather holds no shard
-// data, so Insert/Delete on a remote service are refused outright.
-TEST(RemoteMutationTest, InsertAndDeleteAreNotSupported) {
-  const Dataset ds = MakeData(200, 1, /*seed=*/35);
-  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 35);
+// ---------------------------------------------------------------------------
+// Topology-blind mutation: Insert/Delete/MaybeCompact through the remote
+// facade broadcast over the wire and must stay id-identical to an in-process
+// twin applying the same ciphertexts — including after a reconnect, whose
+// handshake must pick up the mutated state.
 
-  auto ins = lb.remote->Insert(EncryptedVector{});
+// The mutation acceptance bar: insert → delete → compact applied to the
+// local twin and via the remote facade leave both topologies answering with
+// identical ids, sizes, and structural epochs; a fresh connection to the
+// mutated server agrees too.
+TEST(RemoteMutationTest, InsertDeleteCompactMatchLocalTwin) {
+  const std::size_t n = 300, nq = 6, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/71);
+  const Dataset extra = MakeData(8, 0, /*seed=*/72);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 71);
+
+  // Insert: one ciphertext per row, applied to the twin and broadcast
+  // through the facade — the assigned global ids must agree.
+  for (std::size_t i = 0; i < extra.base.size(); ++i) {
+    const EncryptedVector v = lb.owner->EncryptOne(extra.base.row(i));
+    auto lid = lb.local->Insert(v);
+    auto rid = lb.remote->Insert(v);
+    ASSERT_TRUE(lid.ok()) << lid.status().ToString();
+    ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    EXPECT_EQ(*rid, *lid);
+  }
+  EXPECT_EQ(lb.remote->size(), lb.local->size());
+
+  // Delete enough rows that a low compaction threshold triggers a rebuild.
+  for (VectorId id = 0; id < 40; ++id) {
+    Status l = lb.local->Delete(id);
+    Status r = lb.remote->Delete(id);
+    ASSERT_TRUE(l.ok()) << l.ToString();
+    ASSERT_TRUE(r.ok()) << r.ToString();
+  }
+  EXPECT_EQ(lb.remote->size(), lb.local->size());
+
+  // Compact: the remote sweep crosses the wire as a MaintenanceRequest and
+  // must rebuild the same shards the local sweep does.
+  ShardedCloudServer::MaintenanceOptions mopts;
+  mopts.compact_threshold = 0.05;
+  auto local_ops = lb.local->sharded_server_mutable().MaybeCompact(mopts);
+  auto remote_ops = lb.remote->sharded_server_mutable().MaybeCompact(mopts);
+  ASSERT_TRUE(local_ops.ok()) << local_ops.status().ToString();
+  ASSERT_TRUE(remote_ops.ok()) << remote_ops.status().ToString();
+  EXPECT_EQ(*remote_ops, *local_ops);
+  EXPECT_GT(*remote_ops, 0u);
+  // The mutation responses' post-apply epoch reached the gather's fence.
+  EXPECT_EQ(lb.remote->sharded_server().state_version(),
+            lb.local->sharded_server().state_version());
+  EXPECT_GT(lb.remote->sharded_server().state_version(), 0u);
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 73);
+  for (const QueryToken& token : tokens) {
+    auto l = lb.local->Search(token, k);
+    auto r = lb.remote->Search(token, k);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+  }
+
+  // Reconnect: a fresh handshake against the mutated server must reproduce
+  // the mutated answers (the server state is real, not per-connection).
+  auto reconnected = ConnectShardedService({Endpoint(*lb.server)});
+  ASSERT_TRUE(reconnected.ok()) << reconnected.status().ToString();
+  PpannsService fresh{std::move(*reconnected)};
+  EXPECT_EQ(fresh.size(), lb.local->size());
+  for (const QueryToken& token : tokens) {
+    auto l = lb.local->Search(token, k);
+    auto r = fresh.Search(token, k);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+  }
+}
+
+/// A remote transport grid with no mutation path (the pre-v2 shape).
+class NullTransport final : public ShardTransport {
+ public:
+  Status Filter(const QueryToken&, const ShardFilterOptions&, SearchContext*,
+                ShardFilterResult*) const override {
+    return Status::OK();
+  }
+  bool remote() const override { return true; }
+};
+
+// A remote gather whose connection predates the mutation protocol (no
+// attached MutationTransports) refuses mutations with NotSupported instead
+// of silently dropping them.
+TEST(RemoteMutationTest, MutationWithoutTransportsIsNotSupported) {
+  ShardedCloudServer::RemoteTopology topology;
+  topology.num_shards = 1;
+  topology.num_replicas = 1;
+  topology.dim = kDim;
+  topology.index_kind = IndexKind::kBruteForce;
+  topology.size = 10;
+  topology.capacity = 10;
+  std::vector<std::vector<std::unique_ptr<ShardTransport>>> transports(1);
+  transports[0].push_back(std::make_unique<NullTransport>());
+  ShardedCloudServer gather(topology, std::move(transports));
+
+  auto ins = gather.Insert(EncryptedVector{});
   ASSERT_FALSE(ins.ok());
   EXPECT_EQ(ins.status().code(), Status::Code::kNotSupported);
-  Status del = lb.remote->Delete(0);
+  Status del = gather.Delete(0);
   EXPECT_EQ(del.code(), Status::Code::kNotSupported);
+  ShardedCloudServer::MaintenanceOptions mopts;
+  auto swept = gather.MaybeCompact(mopts);
+  ASSERT_FALSE(swept.ok());
+  EXPECT_EQ(swept.status().code(), Status::Code::kNotSupported);
+}
+
+// The epoch fence over the wire: a remote mutation must stale-evict the
+// gather's result cache — through the facade's own epoch bump for
+// insert/delete, and through the state_version carried by the mutation
+// response for structural maintenance (which bypasses the facade).
+TEST(RemoteMutationTest, CacheStaleEvictsOnRemoteMutation) {
+  const std::size_t n = 300, nq = 3, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/75);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 75);
+  lb.remote->EnableResultCache(ResultCacheOptions{.capacity = 32});
+
+  const std::vector<QueryToken> tokens = MakeTokens(*lb.owner, ds, 77);
+  const QueryToken& token = tokens.front();
+  auto fresh = lb.remote->Search(token, k);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->counters.cache_hit);
+  auto hit = lb.remote->Search(token, k);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_TRUE(hit->counters.cache_hit);
+
+  // Phase 1: a remote delete through the facade invalidates the cache.
+  for (VectorId id = 0; id < 40; ++id) {
+    ASSERT_TRUE(lb.remote->Delete(id).ok());
+  }
+  auto after_delete = lb.remote->Search(token, k);
+  ASSERT_TRUE(after_delete.ok()) << after_delete.status().ToString();
+  EXPECT_FALSE(after_delete->counters.cache_hit);
+  EXPECT_GE(lb.remote->result_cache_stats().stale_evictions, 1u);
+
+  // Re-prime, then phase 2: structural maintenance bypasses the facade —
+  // only the mutation response's state_version can invalidate, and must.
+  auto reprime = lb.remote->Search(token, k);
+  ASSERT_TRUE(reprime.ok());
+  EXPECT_TRUE(reprime->counters.cache_hit);
+  ShardedCloudServer::MaintenanceOptions mopts;
+  mopts.compact_threshold = 0.05;
+  auto swept = lb.remote->sharded_server_mutable().MaybeCompact(mopts);
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  ASSERT_GT(*swept, 0u);
+  const std::size_t stale_before = lb.remote->result_cache_stats().stale_evictions;
+  auto after_compact = lb.remote->Search(token, k);
+  ASSERT_TRUE(after_compact.ok()) << after_compact.status().ToString();
+  EXPECT_FALSE(after_compact->counters.cache_hit);
+  EXPECT_GT(lb.remote->result_cache_stats().stale_evictions, stale_before);
+}
+
+// Self-healing: a killed-then-restarted shard server is re-dialed by the
+// pool's health loop with no operator intervention, and the rejoined
+// endpoint serves identical ids.
+TEST(RemoteSelfHealTest, KilledServerIsRedialedAutomatically) {
+  const std::size_t n = 300, nq = 4, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/81);
+  DataOwner local_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 81));
+  DataOwner remote_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 81));
+  PpannsService local{
+      ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base))};
+  PpannsService backend{
+      ShardedCloudServer(remote_owner.EncryptAndIndexSharded(ds.base))};
+  auto server = std::make_unique<ShardServer>(&backend,
+                                              std::vector<std::uint32_t>{});
+  ASSERT_TRUE(server->Start(0).ok());
+  const std::uint16_t port = server->port();
+
+  ConnectOptions copts;
+  copts.health_interval_ms = 20;
+  auto cluster =
+      ConnectCluster({"127.0.0.1:" + std::to_string(port)}, copts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto pool = cluster->pools.front();
+  PpannsService remote{std::move(cluster->server)};
+
+  const std::vector<QueryToken> tokens = MakeTokens(local_owner, ds, 83);
+  for (const QueryToken& token : tokens) {
+    auto l = local.Search(token, k);
+    auto r = remote.Search(token, k);
+    ASSERT_TRUE(l.ok() && r.ok());
+    EXPECT_EQ(r->ids, l->ids);
+  }
+
+  // Kill the server; the health loop must notice within a few probes.
+  server->Stop();
+  server.reset();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (pool->healthy() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(pool->healthy());
+
+  // Restart on the same port: the pool's capped-backoff re-dial must bring
+  // the endpoint back without any call on this thread prompting it.
+  server = std::make_unique<ShardServer>(&backend,
+                                         std::vector<std::uint32_t>{});
+  ASSERT_TRUE(server->Start(port).ok());
+  while (!pool->healthy() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(pool->healthy());
+
+  for (const QueryToken& token : tokens) {
+    auto l = local.Search(token, k);
+    auto r = remote.Search(token, k);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ids, l->ids);
+  }
+}
+
+// A pool whose every stream is dead surfaces the endpoint in the mutation
+// error instead of a bare EOF (the operator needs to know *which* server to
+// restore).
+TEST(RemoteSelfHealTest, DeadPoolSurfacesTheEndpointInTheError) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/85);
+  const Dataset extra = MakeData(1, 0, /*seed=*/86);
+  Loopback lb(IndexKind::kBruteForce, 2, 1, ds, 85, /*pool_size=*/2);
+  const std::string endpoint = Endpoint(*lb.server);
+  lb.server->Stop();
+
+  // Give the reader threads a moment to observe the close.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto probe = lb.remote->Insert(lb.owner->EncryptOne(extra.base.row(0)));
+    if (!probe.ok() && probe.status().code() != Status::Code::kNotSupported) {
+      EXPECT_NE(probe.status().ToString().find(endpoint), std::string::npos)
+          << probe.status().ToString();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "dead pool never surfaced an error";
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated handshake: HMAC-SHA256 challenge–response over a shared key.
+
+std::vector<std::uint8_t> TestKey() {
+  return {'s', 'h', 'a', 'r', 'e', 'd', '-', 'k', 'e', 'y', '-', '0', '1'};
+}
+
+// The full matrix: the right key authenticates and serves (searches and
+// mutations alike); a keyless client gets a FailedPrecondition diagnosis; a
+// wrong key is torn down before HelloOk.
+TEST(RemoteAuthTest, KeyedHandshakeAcceptsRightKeyAndRejectsOthers) {
+  const std::size_t n = 200, nq = 3, k = 5;
+  const Dataset ds = MakeData(n, nq, /*seed=*/91);
+  DataOwner local_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 91));
+  DataOwner remote_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 91));
+  PpannsService local{
+      ShardedCloudServer(local_owner.EncryptAndIndexSharded(ds.base))};
+  PpannsService backend{
+      ShardedCloudServer(remote_owner.EncryptAndIndexSharded(ds.base))};
+  ShardServer::Options sopts;
+  sopts.auth_key = TestKey();
+  ShardServer server(&backend, {}, sopts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  ConnectOptions good;
+  good.auth_key = TestKey();
+  auto cluster = ConnectCluster({Endpoint(server)}, good);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  PpannsService remote{std::move(cluster->server)};
+  const std::vector<QueryToken> tokens = MakeTokens(local_owner, ds, 93);
+  for (const QueryToken& token : tokens) {
+    auto l = local.Search(token, k);
+    auto r = remote.Search(token, k);
+    ASSERT_TRUE(l.ok() && r.ok());
+    EXPECT_EQ(r->ids, l->ids);
+  }
+  ASSERT_TRUE(remote.Delete(0).ok());  // mutations ride the keyed channel too
+  ASSERT_TRUE(local.Delete(0).ok());
+
+  auto keyless = ConnectShardedService({Endpoint(server)});
+  ASSERT_FALSE(keyless.ok());
+  EXPECT_EQ(keyless.status().code(), Status::Code::kFailedPrecondition)
+      << keyless.status().ToString();
+
+  ConnectOptions bad;
+  bad.auth_key = {9, 9, 9, 9};
+  auto rejected = ConnectCluster({Endpoint(server)}, bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kFailedPrecondition)
+      << rejected.status().ToString();
+}
+
+// Frame-level rejection: a peer that answers the challenge with a request
+// frame instead of the MAC is torn down — no frame is ever served to an
+// unauthenticated connection.
+TEST(RemoteAuthTest, UnauthenticatedFrameIsNeverServed) {
+  const Dataset ds = MakeData(200, 1, /*seed=*/95);
+  DataOwner remote_owner =
+      MakeOwner(BaseParams(IndexKind::kBruteForce, 2, 1, 95));
+  PpannsService backend{
+      ShardedCloudServer(remote_owner.EncryptAndIndexSharded(ds.base))};
+  ShardServer::Options sopts;
+  sopts.auth_key = TestKey();
+  ShardServer server(&backend, {}, sopts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto sock = ConnectTcp(Endpoint(server));
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  HelloMessage hello;
+  BinaryWriter payload;
+  hello.Serialize(&payload);
+  BinaryWriter frame;
+  EncodeFrame(Frame{FrameType::kHello, 1, payload.TakeBuffer()}, &frame);
+  ASSERT_TRUE(
+      sock->WriteAll(frame.buffer().data(), frame.buffer().size()).ok());
+  Frame challenge;
+  ASSERT_TRUE(ReadFrame(&*sock, &challenge).ok());
+  ASSERT_EQ(challenge.type, FrameType::kAuthChallenge);
+
+  // Skip the MAC and ask for work directly: the server must hang up.
+  DeleteRequestMessage request;
+  request.global_id = 0;
+  BinaryWriter req_payload;
+  request.Serialize(&req_payload);
+  BinaryWriter req_frame;
+  EncodeFrame(Frame{FrameType::kDeleteRequest, 2, req_payload.TakeBuffer()},
+              &req_frame);
+  ASSERT_TRUE(sock->WriteAll(req_frame.buffer().data(),
+                             req_frame.buffer().size())
+                  .ok());
+  Frame reply;
+  EXPECT_FALSE(ReadFrame(&*sock, &reply).ok());
+  EXPECT_EQ(backend.size(), ds.base.size());  // the delete was never applied
 }
 
 // ---------------------------------------------------------------------------

@@ -13,11 +13,13 @@
 // db.ppanns is the outsourced package (safe to hand to the cloud).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/io.h"
@@ -29,6 +31,7 @@
 #include "core/sharded_database.h"
 #include "datagen/synthetic.h"
 #include "index/secure_filter_index.h"
+#include "net/auth.h"
 #include "net/remote_shard.h"
 
 namespace {
@@ -116,16 +119,29 @@ int Usage() {
                "          [--batch] [--hedge-ms MS] [--deadline-ms MS] "
                "[--admission-ms MS] [--index KIND] [--out results.txt]\n"
                "          [--connect HOST:PORT,...] [--pool-size P] "
-               "[--down S:R,...] [--json F.json]\n"
-               "          [--cache N] [--repeat R] [--wal-dir DIR "
-               "[--replay]] [--compact-threshold T]\n"
+               "[--auth-key-file F] [--down S:R,...] [--json F.json]\n"
+               "          [--cache N] [--repeat R] [--repeat-delay-ms MS] "
+               "[--wal-dir DIR [--replay]] [--compact-threshold T]\n"
+               "  mutate  --keys keys.bin (--db db.ppanns --out db2.ppanns | "
+               "--connect HOST:PORT,...)\n"
+               "          [--insert F.fvecs] [--delete ID,...] "
+               "[--compact-threshold T] [--pool-size P] [--auth-key-file F]\n"
                "  info    --db db.ppanns [--wal-dir DIR]\n"
+               "  info    --connect HOST:PORT,... [--json] [--pool-size P] "
+               "[--auth-key-file F]\n"
                "search serves from --db in-process, or — with --connect — "
                "acts as the\ngather node over ppanns_shard_server endpoints "
                "(--db is then unused).\n"
                "--wal-dir --replay re-applies a crashed process's surviving "
                "log before\nserving; --compact-threshold runs one tombstone-"
-               "compaction sweep first.\n");
+               "compaction sweep first.\n"
+               "mutate applies inserts/deletes/compaction to a local package "
+               "(rewritten\nto --out) or broadcasts them to every --connect "
+               "endpoint; info --connect\nsnapshots each endpoint's state "
+               "version, tombstones, WAL and pool health.\n"
+               "--auth-key-file holds the shared HMAC key a keyed "
+               "ppanns_shard_server\nexpects during its challenge-response "
+               "handshake.\n");
   return 2;
 }
 
@@ -311,6 +327,26 @@ std::vector<std::string> SplitComma(const std::string& s) {
   return out;
 }
 
+/// `--auth-key-file F`: loads the shared HMAC key a keyed shard server
+/// expects. Only meaningful with --connect (a local package has no
+/// handshake). Returns 0 on success, an exit code otherwise.
+int LoadConnectAuthKey(const Args& args, bool have_connect,
+                       std::vector<std::uint8_t>* key) {
+  const std::string path = args.GetString("auth-key-file");
+  if (path.empty()) return 0;
+  if (!have_connect) {
+    std::fprintf(stderr, "--auth-key-file requires --connect\n");
+    return 2;
+  }
+  auto loaded = LoadAuthKey(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "auth key: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  *key = std::move(*loaded);
+  return 0;
+}
+
 int CmdSearch(const Args& args) {
   const std::string connect = args.GetString("connect");
   if (!args.Require("keys") || !args.Require("queries")) return 2;
@@ -328,14 +364,25 @@ int CmdSearch(const Args& args) {
     std::fprintf(stderr, "--pool-size requires --connect\n");
     return 2;
   }
+  std::vector<std::uint8_t> auth_key;
+  if (int rc = LoadConnectAuthKey(args, !connect.empty(), &auth_key); rc != 0) {
+    return rc;
+  }
   // --connect makes this process the gather node of a distributed topology:
   // every endpoint is a ppanns_shard_server and the filter phase crosses the
-  // wire. Without it the package is loaded and served in-process.
+  // wire. Without it the package is loaded and served in-process. The
+  // connected pools self-heal: health pings flip down flags and dead
+  // streams are re-dialed with backoff, so a bounced server rejoins
+  // mid-run without a gather restart.
   auto service_or = [&]() -> Result<PpannsService> {
     if (!connect.empty()) {
-      auto remote = ConnectShardedService(SplitComma(connect), pool_size);
-      if (!remote.ok()) return remote.status();
-      return PpannsService{std::move(*remote)};
+      ConnectOptions copts;
+      copts.pool_size = pool_size;
+      copts.auth_key = auth_key;
+      copts.health_interval_ms = 200;
+      auto cluster = ConnectCluster(SplitComma(connect), copts);
+      if (!cluster.ok()) return cluster.status();
+      return PpannsService{std::move(cluster->server)};
     }
     auto blob = ReadFile(args.GetString("db"));
     if (!blob.ok()) return blob.status();
@@ -425,9 +472,13 @@ int CmdSearch(const Args& args) {
     }
     ShardedCloudServer::MaintenanceOptions mopts;
     mopts.compact_threshold = compact_threshold;
-    const std::size_t ops = service.sharded_server_mutable().MaybeCompact(mopts);
+    auto ops = service.sharded_server_mutable().MaybeCompact(mopts);
+    if (!ops.ok()) {
+      std::fprintf(stderr, "compact: %s\n", ops.status().ToString().c_str());
+      return 1;
+    }
     std::fprintf(stderr, "compaction sweep at threshold %.2f: %zu shard(s) "
-                 "rebuilt\n", compact_threshold, ops);
+                 "rebuilt\n", compact_threshold, *ops);
   }
 
   auto queries = ReadFvecs(args.GetString("queries"));
@@ -497,6 +548,15 @@ int CmdSearch(const Args& args) {
   // cache's hit path (ids are printed once — repeats are id-identical by
   // the cache contract).
   const std::size_t repeat = std::max<std::size_t>(args.GetSize("repeat", 1), 1);
+  // --repeat-delay-ms pauses between passes — the window the kill/restart
+  // smoke leg uses to bounce a shard server mid-run and watch the pool
+  // re-dial it before the next pass.
+  const std::size_t repeat_delay_ms = args.GetSize("repeat-delay-ms", 0);
+  auto pass_delay = [repeat_delay_ms](std::size_t rep) {
+    if (rep > 0 && repeat_delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(repeat_delay_ms));
+    }
+  };
   int exit_code = 0;
   Timer t;
   if (args.GetBool("batch")) {
@@ -509,6 +569,7 @@ int CmdSearch(const Args& args) {
       tokens.push_back(client.EncryptQuery(queries->row(i)));
     }
     for (std::size_t rep = 0; rep < repeat && exit_code == 0; ++rep) {
+      pass_delay(rep);
       auto batch = hedge_ms > 0.0
                        ? service.SearchBatch(tokens, k, settings, async)
                        : service.SearchBatch(tokens, k, settings);
@@ -546,7 +607,14 @@ int CmdSearch(const Args& args) {
     latencies_ms.reserve(queries->size() * repeat);
     std::vector<QueryToken> tokens;
     tokens.reserve(queries->size());
+    // Pass 1's ids, kept so later passes can be verified against them —
+    // repeats are an id-equality gate, not just a latency loop. The smoke
+    // script leans on this: a pass served while a bounced server is still
+    // being re-dialed would come back partial or diverged and fail here.
+    std::vector<std::vector<VectorId>> first_pass_ids;
+    first_pass_ids.reserve(queries->size());
     for (std::size_t rep = 0; rep < repeat && exit_code == 0; ++rep) {
+      pass_delay(rep);
       for (std::size_t i = 0; i < queries->size(); ++i) {
         if (rep == 0) tokens.push_back(client.EncryptQuery(queries->row(i)));
         Timer per_query;
@@ -562,7 +630,22 @@ int CmdSearch(const Args& args) {
         }
         hedged += result->counters.hedged_requests;
         wasted_nodes += result->counters.hedge_wasted_nodes;
-        if (rep > 0) continue;  // repeats: collect latency, skip the output
+        if (rep > 0) {  // repeats: collect latency + verify, skip the output
+          if (result->partial) {
+            std::fprintf(stderr, "repeat: pass %zu query %zu came back "
+                         "PARTIAL (a shard had no live replica)\n", rep + 1, i);
+            exit_code = 1;
+            break;
+          }
+          if (result->ids != first_pass_ids[i]) {
+            std::fprintf(stderr, "repeat: pass %zu query %zu ids diverged "
+                         "from pass 1\n", rep + 1, i);
+            exit_code = 1;
+            break;
+          }
+          continue;
+        }
+        first_pass_ids.push_back(result->ids);
         if (result->partial) {
           std::fprintf(stderr, "query %zu: PARTIAL result (a shard had no "
                        "live replica)\n", i);
@@ -641,6 +724,236 @@ int CmdSearch(const Args& args) {
   return exit_code;
 }
 
+/// `mutate` — the owner-side mutation front end. --insert rows are
+/// encrypted with the secret keys before anything leaves this process (the
+/// cloud never sees plaintext); deletes and the optional compaction sweep
+/// follow. Against --db the mutated package is rewritten to --out; against
+/// --connect every mutation broadcasts to all endpoints through the v2
+/// mutation frames, keeping their full-package replicas byte-identical.
+int CmdMutate(const Args& args) {
+  const std::string connect = args.GetString("connect");
+  if (!args.Require("keys")) return 2;
+  if (connect.empty() && (!args.Require("db") || !args.Require("out"))) {
+    return 2;
+  }
+  if (!connect.empty() && !args.GetString("out").empty()) {
+    std::fprintf(stderr, "--out applies to a local --db package; a --connect "
+                 "mutation persists on the shard servers (see their "
+                 "--wal-dir)\n");
+    return 2;
+  }
+  auto keys = LoadKeys(args.GetString("keys"));
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keys: %s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t pool_size = args.GetSize("pool-size", 1);
+  std::vector<std::uint8_t> auth_key;
+  if (int rc = LoadConnectAuthKey(args, !connect.empty(), &auth_key); rc != 0) {
+    return rc;
+  }
+  auto service_or = [&]() -> Result<PpannsService> {
+    if (!connect.empty()) {
+      ConnectOptions copts;
+      copts.pool_size = pool_size;
+      copts.auth_key = auth_key;
+      auto cluster = ConnectCluster(SplitComma(connect), copts);
+      if (!cluster.ok()) return cluster.status();
+      return PpannsService{std::move(cluster->server)};
+    }
+    auto blob = ReadFile(args.GetString("db"));
+    if (!blob.ok()) return blob.status();
+    return LoadService(*blob);
+  }();
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", connect.empty() ? "db" : "connect",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  PpannsService service = std::move(*service_or);
+
+  std::size_t inserted = 0;
+  const std::string insert_path = args.GetString("insert");
+  if (!insert_path.empty()) {
+    auto rows = ReadFvecs(insert_path);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "insert: %s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    if (rows->dim() != (*keys)->dce.dim()) {
+      std::fprintf(stderr, "dimension mismatch: keys=%zu insert=%zu\n",
+                   (*keys)->dce.dim(), rows->dim());
+      return 1;
+    }
+    PpannsParams params;
+    params.dcpe_s = (*keys)->dcpe.key().s;
+    auto owner = DataOwner::FromKeys(*keys, rows->dim(), params);
+    if (!owner.ok()) {
+      std::fprintf(stderr, "%s\n", owner.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      auto id = service.Insert(owner->EncryptOne(rows->row(i)));
+      if (!id.ok()) {
+        std::fprintf(stderr, "insert row %zu: %s\n", i,
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      ++inserted;
+    }
+  }
+
+  std::size_t deleted = 0;
+  for (const std::string& item : SplitComma(args.GetString("delete"))) {
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(item.c_str(), &end, 10);
+    if (item.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "--delete: bad id '%s'\n", item.c_str());
+      return 2;
+    }
+    Status st = service.Delete(static_cast<VectorId>(id));
+    if (!st.ok()) {
+      std::fprintf(stderr, "delete %llu: %s\n", id, st.ToString().c_str());
+      return 1;
+    }
+    ++deleted;
+  }
+
+  std::size_t compacted = 0;
+  const double compact_threshold = args.GetDouble("compact-threshold", -1.0);
+  if (compact_threshold >= 0.0) {
+    if (!service.sharded()) {
+      std::fprintf(stderr, "--compact-threshold requires a sharded "
+                   "database\n");
+      return 2;
+    }
+    ShardedCloudServer::MaintenanceOptions mopts;
+    mopts.compact_threshold = compact_threshold;
+    auto ops = service.sharded_server_mutable().MaybeCompact(mopts);
+    if (!ops.ok()) {
+      std::fprintf(stderr, "compact: %s\n", ops.status().ToString().c_str());
+      return 1;
+    }
+    compacted = *ops;
+  }
+
+  if (connect.empty()) {
+    BinaryWriter w;
+    service.SerializeDatabase(&w);
+    Status st = WriteFile(args.GetString("out"), w.buffer());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::uint64_t state_version =
+      service.sharded() ? service.sharded_server().state_version() : 0;
+  std::printf("mutate: %zu inserted, %zu deleted, %zu shard(s) compacted — "
+              "%zu vectors live, state version %llu%s%s\n",
+              inserted, deleted, compacted, service.size(),
+              static_cast<unsigned long long>(state_version),
+              connect.empty() ? ", wrote " : "",
+              connect.empty() ? args.GetString("out").c_str() : "");
+  return 0;
+}
+
+/// `info --connect` — the remote observability surface: one InfoRequest per
+/// endpoint (state version, live/deleted counts, WAL, per-shard tombstones)
+/// plus the client-side pool health, as text or (--json) a machine-readable
+/// document for the smoke scripts.
+int CmdInfoConnect(const Args& args, const std::string& connect) {
+  std::vector<std::uint8_t> auth_key;
+  if (int rc = LoadConnectAuthKey(args, true, &auth_key); rc != 0) return rc;
+  ConnectOptions copts;
+  copts.pool_size = args.GetSize("pool-size", 1);
+  copts.auth_key = auth_key;
+  auto cluster = ConnectCluster(SplitComma(connect), copts);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  const bool json = args.GetBool("json");
+  if (json) {
+    std::printf("{\n  \"endpoints\": [");
+  } else {
+    std::printf("remote cluster: %zu endpoint(s), %zu shard(s) x %zu "
+                "replica(s), state version %llu\n",
+                cluster->endpoints.size(), cluster->server.num_shards(),
+                cluster->server.replication_factor(),
+                static_cast<unsigned long long>(
+                    cluster->server.state_version()));
+  }
+  for (std::size_t e = 0; e < cluster->pools.size(); ++e) {
+    const auto& pool = cluster->pools[e];
+    RemoteMutationClient client(pool);
+    auto info = client.Info();
+    if (!info.ok()) {
+      std::fprintf(stderr, "info: endpoint %s: %s\n", pool->endpoint().c_str(),
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    if (json) {
+      std::printf("%s\n    {\"endpoint\": \"%s\", \"protocol_version\": %u, "
+                  "\"pool_live_streams\": %zu, \"pool_size\": %zu, "
+                  "\"state_version\": %llu, \"size\": %llu, \"capacity\": "
+                  "%llu, \"storage_bytes\": %llu, \"wal_attached\": %s, "
+                  "\"wal_segments\": %llu, \"wal_bytes\": %llu, \"shards\": [",
+                  e == 0 ? "" : ",", pool->endpoint().c_str(),
+                  pool->server_info().version, pool->live_streams(),
+                  pool->size(),
+                  static_cast<unsigned long long>(info->state_version),
+                  static_cast<unsigned long long>(info->size),
+                  static_cast<unsigned long long>(info->capacity),
+                  static_cast<unsigned long long>(info->storage_bytes),
+                  info->wal_attached != 0 ? "true" : "false",
+                  static_cast<unsigned long long>(info->wal_segments),
+                  static_cast<unsigned long long>(info->wal_bytes));
+      for (std::size_t s = 0; s < info->served_shards.size(); ++s) {
+        std::printf("%s{\"shard\": %u, \"tombstone_ratio\": %.6f, "
+                    "\"last_compaction_epoch\": %llu}",
+                    s == 0 ? "" : ", ", info->served_shards[s],
+                    info->tombstone_ratios[s],
+                    static_cast<unsigned long long>(
+                        info->compaction_epochs[s]));
+      }
+      std::printf("]}");
+    } else {
+      std::printf("endpoint %s: protocol v%u, pool %zu/%zu stream(s) live\n",
+                  pool->endpoint().c_str(), pool->server_info().version,
+                  pool->live_streams(), pool->size());
+      std::printf("  state version:  %llu\n",
+                  static_cast<unsigned long long>(info->state_version));
+      std::printf("  vectors:        %llu live (%llu deleted)\n",
+                  static_cast<unsigned long long>(info->size),
+                  static_cast<unsigned long long>(info->capacity -
+                                                  info->size));
+      std::printf("  storage:        %.1f MB\n", info->storage_bytes / 1e6);
+      if (info->wal_attached != 0) {
+        std::printf("  WAL:            attached, %llu segment(s), %llu "
+                    "bytes\n",
+                    static_cast<unsigned long long>(info->wal_segments),
+                    static_cast<unsigned long long>(info->wal_bytes));
+      } else {
+        std::printf("  WAL:            not attached\n");
+      }
+      for (std::size_t s = 0; s < info->served_shards.size(); ++s) {
+        std::printf("  shard %u: tombstones %.1f%% (last compaction epoch "
+                    "%llu)\n",
+                    info->served_shards[s], 100.0 * info->tombstone_ratios[s],
+                    static_cast<unsigned long long>(
+                        info->compaction_epochs[s]));
+      }
+    }
+  }
+  if (json) {
+    std::printf("\n  ],\n  \"state_version\": %llu\n}\n",
+                static_cast<unsigned long long>(
+                    cluster->server.state_version()));
+  }
+  return 0;
+}
+
 void PrintIndexInfo(const SecureFilterIndex& index, double dce_mb,
                     const char* pad) {
   std::printf("%sindex backend:  %s\n", pad, IndexKindName(index.kind()));
@@ -675,6 +988,9 @@ void PrintWalInfo(const std::string& wal_dir) {
 }
 
 int CmdInfo(const Args& args) {
+  // --connect inspects a live cluster instead of an on-disk package.
+  const std::string connect = args.GetString("connect");
+  if (!connect.empty()) return CmdInfoConnect(args, connect);
   if (!args.Require("db")) return 2;
   auto blob = ReadFile(args.GetString("db"));
   if (!blob.ok()) {
@@ -741,6 +1057,7 @@ int main(int argc, char** argv) {
   if (cmd == "keygen") return CmdKeygen(args);
   if (cmd == "encrypt") return CmdEncrypt(args);
   if (cmd == "search") return CmdSearch(args);
+  if (cmd == "mutate") return CmdMutate(args);
   if (cmd == "info") return CmdInfo(args);
   return Usage();
 }

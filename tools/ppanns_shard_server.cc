@@ -22,6 +22,7 @@
 #include "common/io.h"
 #include "core/ppanns_service.h"
 #include "core/sharded_database.h"
+#include "net/auth.h"
 #include "net/shard_server.h"
 
 namespace {
@@ -79,13 +80,21 @@ int Usage() {
       stderr,
       "usage: ppanns_shard_server --db db.ppanns [--port P]\n"
       "         [--shards 0,1,...] [--delay S:R:MS,...]\n"
+      "         [--wal-dir DIR] [--auth-key-file FILE]\n"
       "  --db      sharded encrypted package (ppanns_cli encrypt --shards N)\n"
       "  --port    TCP port to listen on (default 0 = ephemeral; the chosen\n"
       "            port is printed as 'listening on port N')\n"
       "  --shards  comma-separated shard ids this endpoint serves\n"
       "            (default: all shards in the package)\n"
       "  --delay   straggler injection: replica (S,R) sleeps MS ms per scan\n"
-      "            (cancellable mid-sleep, like the in-process delay knob)\n");
+      "            (cancellable mid-sleep, like the in-process delay knob)\n"
+      "  --wal-dir write-ahead log directory: surviving records are replayed\n"
+      "            against the package on startup, then every remote\n"
+      "            Insert/Delete appends before it applies — a kill -9'd\n"
+      "            server restarts into its pre-crash state\n"
+      "  --auth-key-file  shared-key file (HMAC-SHA256 challenge-response);\n"
+      "            peers without the key are torn down before any frame is\n"
+      "            served\n");
   return 2;
 }
 
@@ -158,18 +167,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "db: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  ShardedCloudServer service(std::move(*db));
+  // The facade wraps the sharded server so remote mutations get validation
+  // and (with --wal-dir) append-before-apply durability, exactly like a
+  // local caller's.
+  PpannsService service(ShardedCloudServer(std::move(*db)));
 
   // Fault/straggler injection, applied before the listener opens so every
   // request observes it.
   for (const std::string& item : SplitComma(args.GetString("delay"))) {
     auto f = ParseColonTuple(item, 3, "delay");
-    if (f[0] >= service.num_shards() || f[1] >= service.replication_factor()) {
+    if (f[0] >= service.num_shards() || f[1] >= service.num_replicas()) {
       std::fprintf(stderr, "--delay: replica (%zu,%zu) out of range\n", f[0],
                    f[1]);
       return 2;
     }
-    service.SetReplicaDelayMs(f[0], f[1], static_cast<int>(f[2]));
+    service.sharded_server_mutable().SetReplicaDelayMs(f[0], f[1],
+                                                       static_cast<int>(f[2]));
   }
   std::vector<std::uint32_t> served;
   for (const std::string& item : SplitComma(args.GetString("shards"))) {
@@ -182,7 +195,37 @@ int main(int argc, char** argv) {
     served.push_back(static_cast<std::uint32_t>(f[0]));
   }
 
-  ShardServer server(&service, std::move(served));
+  // Durability: replay whatever survived a previous run FIRST (records not
+  // yet in a checkpoint), then attach so new mutations append to the log.
+  const std::string wal_dir = args.GetString("wal-dir");
+  if (!wal_dir.empty()) {
+    auto replayed = service.ReplayWal(wal_dir);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "wal replay: %s\n",
+                   replayed.status().ToString().c_str());
+      return 1;
+    }
+    Status attached = service.AttachWal(wal_dir);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "wal attach: %s\n", attached.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wal: replayed %zu record(s) from %s\n", *replayed,
+                 wal_dir.c_str());
+  }
+
+  ShardServer::Options server_options;
+  const std::string auth_key_file = args.GetString("auth-key-file");
+  if (!auth_key_file.empty()) {
+    auto key = LoadAuthKey(auth_key_file);
+    if (!key.ok()) {
+      std::fprintf(stderr, "auth key: %s\n", key.status().ToString().c_str());
+      return 1;
+    }
+    server_options.auth_key = std::move(*key);
+  }
+
+  ShardServer server(&service, std::move(served), std::move(server_options));
   Status st = server.Start(static_cast<std::uint16_t>(args.GetSize("port", 0)));
   if (!st.ok()) {
     std::fprintf(stderr, "listen: %s\n", st.ToString().c_str());
@@ -195,8 +238,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "serving %zu shard(s) x %zu replica(s), %zu vectors — "
                "ctrl-c to stop\n",
-               service.num_shards(), service.replication_factor(),
-               service.size());
+               service.num_shards(), service.num_replicas(), service.size());
 
   // Park until SIGINT/SIGTERM; the ShardServer's own threads do the work.
   sigset_t signals;

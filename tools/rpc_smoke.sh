@@ -10,11 +10,19 @@
 #  2. With a 200 ms straggler injected on replica (1,0), the hedged run
 #     completes with hedges fired — the fig11-over-sockets shape — and its
 #     --json latency sidecar lands at $SMOKE_JSON for the CI artifact.
+#  3. Mutations are topology-blind: `mutate --connect` against two keyed,
+#     WAL-backed servers reaches the same state (same summary line, same
+#     ids) as `mutate --db --out` on a local twin; a keyless client is
+#     refused outright; and after `kill -9` of one server mid-run, the
+#     restarted server (same port, WAL replayed) is re-dialed automatically
+#     and the second search pass still matches pass 1 exactly. The re-dial
+#     run's --json sidecar lands at $MUTATION_JSON for the CI artifact.
 
 set -eu
 BUILD=${1:-build}
 # Artifacts land under the build tree by default — the repo root stays clean.
 SMOKE_JSON=${SMOKE_JSON:-$BUILD/fig11_sockets.json}
+MUTATION_JSON=${MUTATION_JSON:-$BUILD/mutation_sockets.json}
 CLI=$BUILD/ppanns_cli
 SRV=$BUILD/ppanns_shard_server
 
@@ -92,4 +100,108 @@ if grep -q '"hedged_requests": 0,' "$SMOKE_JSON"; then
   cat "$SMOKE_JSON" >&2
   exit 1
 fi
-echo "== rpc smoke OK ($SMOKE_JSON)"
+
+# ---------------------------------------------------------------------------
+# Mutation leg: fresh pair of servers, this time authenticated and WAL-backed.
+# ---------------------------------------------------------------------------
+echo "== mutation leg: retiring the search-leg servers"
+# shellcheck disable=SC2046
+kill $(jobs -p) 2>/dev/null || true
+wait 2>/dev/null || true
+
+echo "== two keyed, WAL-backed shard servers"
+printf 'smoke-shared-key\n' >"$TMP/auth.key"
+mkdir -p "$TMP/wal0" "$TMP/wal1"
+"$SRV" --db "$TMP/db.ppanns" --port 0 --shards 0 --wal-dir "$TMP/wal0" \
+  --auth-key-file "$TMP/auth.key" >"$TMP/msrv0.log" 2>&1 &
+"$SRV" --db "$TMP/db.ppanns" --port 0 --shards 1 --wal-dir "$TMP/wal1" \
+  --auth-key-file "$TMP/auth.key" >"$TMP/msrv1.log" 2>&1 &
+SRV1_PID=$!
+MPORT0=$(wait_port "$TMP/msrv0.log")
+MPORT1=$(wait_port "$TMP/msrv1.log")
+MCONNECT="127.0.0.1:$MPORT0,127.0.0.1:$MPORT1"
+echo "   endpoints: $MCONNECT"
+
+echo "== a keyless client must be refused before any frame is served"
+if "$CLI" info --connect "$MCONNECT" >/dev/null 2>"$TMP/keyless.log"; then
+  echo "FAIL: keyless client was served by a keyed server" >&2
+  exit 1
+fi
+grep -q 'requires authentication' "$TMP/keyless.log" || {
+  echo "FAIL: keyless rejection carried the wrong diagnostic:" >&2
+  cat "$TMP/keyless.log" >&2
+  exit 1
+}
+echo "   refused"
+
+echo "== remote insert/delete/compact vs a local twin"
+"$CLI" synth --kind sift --n 64 --seed 99 --out "$TMP/extra.fvecs"
+DELETE_IDS=$(seq -s, 0 39)
+# Client-side encryption is deterministic for fixed (keys, data), so the
+# twin runs produce identical ciphertexts — and must land identical states.
+LOCAL_SUMMARY=$("$CLI" mutate --keys "$TMP/keys.bin" --db "$TMP/db.ppanns" \
+  --out "$TMP/db2.ppanns" --insert "$TMP/extra.fvecs" \
+  --delete "$DELETE_IDS" --compact-threshold 0.01 | sed 's/, wrote .*//')
+REMOTE_SUMMARY=$("$CLI" mutate --keys "$TMP/keys.bin" --connect "$MCONNECT" \
+  --auth-key-file "$TMP/auth.key" --insert "$TMP/extra.fvecs" \
+  --delete "$DELETE_IDS" --compact-threshold 0.01)
+echo "   local:  $LOCAL_SUMMARY"
+echo "   remote: $REMOTE_SUMMARY"
+if [ "$LOCAL_SUMMARY" != "$REMOTE_SUMMARY" ]; then
+  echo "FAIL: local and remote mutation summaries diverged" >&2
+  exit 1
+fi
+case "$REMOTE_SUMMARY" in
+  *" 0 shard(s) compacted"*)
+    echo "FAIL: the 40 deletes never tripped the 1% compaction threshold" >&2
+    exit 1 ;;
+esac
+
+echo "== id-equality after mutation: remote cluster vs mutated twin package"
+"$CLI" search --keys "$TMP/keys.bin" --db "$TMP/db2.ppanns" \
+  --queries "$TMP/q.fvecs" --k 10 --out "$TMP/local2.txt"
+"$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
+  --connect "$MCONNECT" --auth-key-file "$TMP/auth.key" \
+  --out "$TMP/remote2.txt"
+diff "$TMP/local2.txt" "$TMP/remote2.txt"
+echo "   identical"
+
+echo "== info --connect surfaces the mutated state"
+"$CLI" info --connect "$MCONNECT" --auth-key-file "$TMP/auth.key" --json \
+  >"$TMP/info.json"
+grep -q '"wal_attached": true' "$TMP/info.json"
+# Both endpoints applied the same broadcast, so they report one state version
+# and the JSON rolls it up at top level.
+grep -q '"state_version"' "$TMP/info.json"
+
+echo "== kill -9 one server mid-run; the pool must re-dial the restart"
+# Pass 1 runs against the healthy pair, then the client sleeps 8 s; during
+# that window server 1 is SIGKILLed and restarted on the same port, its WAL
+# replaying the broadcast mutations. Pass 2 only passes if the pool re-dialed
+# the restarted server AND its ids match pass 1 exactly (the CLI exits
+# non-zero on a partial or diverged repeat pass).
+"$CLI" search --keys "$TMP/keys.bin" --queries "$TMP/q.fvecs" --k 10 \
+  --connect "$MCONNECT" --auth-key-file "$TMP/auth.key" \
+  --repeat 2 --repeat-delay-ms 8000 --json "$MUTATION_JSON" \
+  --out "$TMP/redial.txt" 2>"$TMP/redial.log" &
+SEARCH_PID=$!
+sleep 2
+kill -9 "$SRV1_PID"
+sleep 1
+"$SRV" --db "$TMP/db.ppanns" --port "$MPORT1" --shards 1 \
+  --wal-dir "$TMP/wal1" --auth-key-file "$TMP/auth.key" \
+  >"$TMP/msrv1b.log" 2>&1 &
+wait "$SEARCH_PID" || {
+  echo "FAIL: repeat pass after the kill -9/restart did not match pass 1" >&2
+  cat "$TMP/redial.log" >&2
+  exit 1
+}
+diff "$TMP/local2.txt" "$TMP/redial.txt"
+grep -q 'wal: replayed' "$TMP/msrv1b.log" || {
+  echo "FAIL: restarted server never replayed its WAL" >&2
+  cat "$TMP/msrv1b.log" >&2
+  exit 1
+}
+echo "   re-dialed, WAL replayed, ids identical"
+
+echo "== rpc smoke OK ($SMOKE_JSON, $MUTATION_JSON)"
